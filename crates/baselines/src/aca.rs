@@ -1,0 +1,215 @@
+//! ACA-based H-matrix construction — the entry-evaluation route (a) of the
+//! paper's §I (HLIBpro, hmglib): every admissible block of the strong
+//! partition is compressed independently by adaptive cross approximation,
+//! touching only `O((m+n)k)` of its entries.
+//!
+//! This gives the workspace a third, fully independent construction path
+//! (besides sketching and proxy-ID), used for cross-validation and as the
+//! baseline the "route (b)" sketching algorithms are compared against when
+//! only entries — not a fast matvec — are available.
+
+use crate::hmatrix::{HMatrix, LowRankBlock};
+use h2_dense::{aca, EntryAccess, Mat};
+use h2_tree::{ClusterTree, Partition};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration of the ACA H-matrix constructor.
+#[derive(Clone, Copy, Debug)]
+pub struct AcaConfig {
+    /// Per-block relative tolerance.
+    pub tol: f64,
+    /// Hard cap on per-block rank.
+    pub max_rank: usize,
+}
+
+impl Default for AcaConfig {
+    fn default() -> Self {
+        AcaConfig { tol: 1e-8, max_rank: 256 }
+    }
+}
+
+/// Statistics of an ACA construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcaStats {
+    /// Entries of `K` evaluated across all low-rank blocks.
+    pub lowrank_entries: usize,
+    /// Entries evaluated for the dense near field.
+    pub dense_entries: usize,
+    /// Number of admissible blocks that hit the rank cap before converging.
+    pub unconverged_blocks: usize,
+}
+
+/// Compress an operator into a (non-nested) H-matrix with per-block ACA.
+pub fn aca_compress(
+    gen: &dyn EntryAccess,
+    tree: Arc<ClusterTree>,
+    partition: Arc<Partition>,
+    cfg: &AcaConfig,
+) -> (HMatrix, AcaStats) {
+    let mut h = HMatrix::new(tree.clone(), partition.clone());
+    let lr_entries = AtomicUsize::new(0);
+    let unconverged = AtomicUsize::new(0);
+
+    // Admissible pairs at every level (unordered).
+    let mut pairs = Vec::new();
+    for s in 0..tree.nodes.len() {
+        for &t in partition.far_of[s].iter().filter(|&&t| s <= t) {
+            pairs.push((s, t));
+        }
+    }
+    let blocks: Vec<((usize, usize), LowRankBlock)> = pairs
+        .par_iter()
+        .map(|&(s, t)| {
+            let (sb, se) = tree.range(s);
+            let (tb, te) = tree.range(t);
+            let res = aca(
+                se - sb,
+                te - tb,
+                |i, j| gen.entry(sb + i, tb + j),
+                cfg.tol,
+                cfg.max_rank,
+            );
+            lr_entries.fetch_add(res.entries_evaluated, Ordering::Relaxed);
+            if !res.converged {
+                unconverged.fetch_add(1, Ordering::Relaxed);
+            }
+            let k = res.rank();
+            ((s, t), LowRankBlock { u: res.u, b: Mat::eye(k), v: res.v })
+        })
+        .collect();
+    for (key, blk) in blocks {
+        h.lowrank.insert(key, blk);
+    }
+
+    // Dense near field, evaluated exactly.
+    let mut dense_entries = 0usize;
+    let mut near_pairs = Vec::new();
+    for s in tree.level(tree.leaf_level()) {
+        for &t in partition.near_of[s].iter().filter(|&&t| s <= t) {
+            near_pairs.push((s, t));
+        }
+    }
+    let dense_blocks: Vec<((usize, usize), Mat)> = near_pairs
+        .par_iter()
+        .map(|&(s, t)| {
+            let (sb, se) = tree.range(s);
+            let (tb, te) = tree.range(t);
+            let rows: Vec<usize> = (sb..se).collect();
+            let cols: Vec<usize> = (tb..te).collect();
+            ((s, t), gen.block_mat(&rows, &cols))
+        })
+        .collect();
+    for (key, blk) in dense_blocks {
+        dense_entries += blk.rows() * blk.cols();
+        h.dense.insert(key, blk);
+    }
+
+    let stats = AcaStats {
+        lowrank_entries: lr_entries.into_inner(),
+        dense_entries,
+        unconverged_blocks: unconverged.into_inner(),
+    };
+    (h, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_dense::relative_error_2;
+    use h2_kernels::{ExponentialKernel, HelmholtzKernel, KernelMatrix};
+    use h2_tree::Admissibility;
+
+    fn problem(
+        n: usize,
+        seed: u64,
+    ) -> (Arc<ClusterTree>, Arc<Partition>, KernelMatrix<ExponentialKernel>) {
+        let pts = h2_tree::uniform_cube(n, seed);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        assert!(part.top_far_level(&tree).is_some(), "test problem needs far pairs");
+        let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+        (tree, part, km)
+    }
+
+    #[test]
+    fn aca_hmatrix_approximates_kernel() {
+        let (tree, part, km) = problem(1500, 141);
+        let (h, stats) = aca_compress(&km, tree, part, &AcaConfig::default());
+        assert_eq!(stats.unconverged_blocks, 0, "all far blocks must converge");
+        let e = relative_error_2(&km, &h, 20, 142);
+        assert!(e < 1e-6, "ACA H-matrix rel err {e}");
+    }
+
+    #[test]
+    fn aca_touches_fraction_of_far_entries() {
+        // The η=0.7 partition admits *barely separated* blocks whose ranks
+        // rival the 64-point leaf size, so entry savings in this regime are
+        // real but modest (measured ≈ 55% of far entries evaluated). The
+        // strong-savings regime — well-separated smooth blocks, where ACA
+        // touches <25% of entries — is covered by h2_dense::aca's tests.
+        let pts = h2_tree::uniform_cube(8000, 143);
+        let tree = Arc::new(ClusterTree::build(&pts, 64));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        assert!(part.top_far_level(&tree).is_some());
+        let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+        let (_, stats) = aca_compress(
+            &km,
+            tree.clone(),
+            part.clone(),
+            &AcaConfig { tol: 1e-6, max_rank: 64 },
+        );
+        let mut far_total = 0usize;
+        for s in 0..tree.nodes.len() {
+            for &t in part.far_of[s].iter().filter(|&&t| s <= t) {
+                far_total += tree.nodes[s].len() * tree.nodes[t].len();
+            }
+        }
+        assert!(
+            (stats.lowrank_entries as f64) < 0.8 * far_total as f64,
+            "ACA evaluated {} of {} far entries",
+            stats.lowrank_entries,
+            far_total
+        );
+    }
+
+    #[test]
+    fn aca_helmholtz_accuracy() {
+        let pts = h2_tree::uniform_cube(1200, 144);
+        let tree = Arc::new(ClusterTree::build(&pts, 32));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        let km = KernelMatrix::new(HelmholtzKernel::paper(1200), tree.points.clone());
+        let (h, _) = aca_compress(&km, tree, part, &AcaConfig { tol: 1e-9, max_rank: 128 });
+        let e = relative_error_2(&km, &h, 20, 145);
+        assert!(e < 1e-6, "ACA Helmholtz rel err {e}");
+    }
+
+    #[test]
+    fn aca_agrees_with_sketching_construction() {
+        // Cross-validation: two completely independent construction paths
+        // must agree with each other to roughly their common tolerance.
+        use h2_core::{sketch_construct, SketchConfig};
+        use h2_runtime::Runtime;
+        let (tree, part, km) = problem(1200, 146);
+        let (h_aca, _) = aca_compress(
+            &km,
+            tree.clone(),
+            part.clone(),
+            &AcaConfig { tol: 1e-9, max_rank: 128 },
+        );
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-8, initial_samples: 96, ..Default::default() };
+        let (h_sk, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
+        let e = relative_error_2(&h_aca, &h_sk, 20, 147);
+        assert!(e < 1e-6, "ACA vs sketching disagreement {e}");
+    }
+
+    #[test]
+    fn rank_cap_reported_as_unconverged() {
+        let (tree, part, km) = problem(2000, 148);
+        let (_, stats) =
+            aca_compress(&km, tree, part, &AcaConfig { tol: 1e-14, max_rank: 2 });
+        assert!(stats.unconverged_blocks > 0, "rank cap 2 must truncate some blocks");
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the batched device kernels — the
+//! building blocks whose throughput drives Fig. 5/7 (batched GEMM, QR,
+//! CPQR-based ID, transpose/shrink, BSR product) on both backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2_dense::cpqr::Truncation;
+use h2_runtime::{
+    batched_row_id, bsr_gemm, gather_rows, gemm_at_x, qr_min_rdiag, rand_mat, shrink_rows,
+    BsrBlock, BsrPattern, Runtime, VarBatch,
+};
+
+fn batch_of(count: usize, rows: usize, d: usize, rt: &Runtime) -> VarBatch {
+    let src = rand_mat(rt, count * rows, d, 42);
+    let ranges: Vec<(usize, usize)> = (0..count).map(|i| (i * rows, (i + 1) * rows)).collect();
+    gather_rows(rt, &src, &ranges)
+}
+
+fn bench_batched_qr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_qr_convergence_test");
+    for &count in &[64usize, 256] {
+        for (label, rt) in [("seq", Runtime::sequential()), ("par", Runtime::parallel())] {
+            let b = batch_of(count, 64, 32, &rt);
+            g.bench_with_input(
+                BenchmarkId::new(label, count),
+                &count,
+                |bench, _| bench.iter(|| qr_min_rdiag(&rt, &b)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_batched_id(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_row_id");
+    g.sample_size(10);
+    for &count in &[64usize, 256] {
+        for (label, rt) in [("seq", Runtime::sequential()), ("par", Runtime::parallel())] {
+            let b = batch_of(count, 64, 32, &rt);
+            g.bench_with_input(BenchmarkId::new(label, count), &count, |bench, _| {
+                bench.iter(|| batched_row_id(&rt, &b, Truncation::Absolute(1e-8)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_batched_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_gemm_upsweep");
+    for &count in &[64usize, 256] {
+        for (label, rt) in [("seq", Runtime::sequential()), ("par", Runtime::parallel())] {
+            let x = batch_of(count, 64, 32, &rt);
+            let bases: Vec<h2_dense::Mat> =
+                (0..count).map(|i| h2_dense::gaussian_mat(64, 20, i as u64)).collect();
+            g.bench_with_input(BenchmarkId::new(label, count), &count, |bench, _| {
+                bench.iter(|| gemm_at_x(&rt, &bases, &x))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_batched_shrink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_shrink");
+    for (label, rt) in [("seq", Runtime::sequential()), ("par", Runtime::parallel())] {
+        let b = batch_of(256, 64, 32, &rt);
+        let skels: Vec<Vec<usize>> = (0..256).map(|_| (0..20).collect()).collect();
+        let refs: Vec<&[usize]> = skels.iter().map(|v| v.as_slice()).collect();
+        g.bench_function(label, |bench| bench.iter(|| shrink_rows(&rt, &b, &refs)));
+    }
+    g.finish();
+}
+
+fn bench_bsr_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_bsr_gemm");
+    g.sample_size(10);
+    for (label, rt) in [("seq", Runtime::sequential()), ("par", Runtime::parallel())] {
+        // 128 rows, ring adjacency of degree 8 (Csp = 8 launches).
+        let count = 128usize;
+        let rows_adj: Vec<Vec<usize>> = (0..count)
+            .map(|r| (0..8).map(|k| (r + k * 16) % count).collect())
+            .collect();
+        let pattern = BsrPattern::from_rows(&rows_adj);
+        let owned: Vec<h2_dense::Mat> = (0..pattern.nblocks())
+            .map(|i| h2_dense::gaussian_mat(48, 48, i as u64))
+            .collect();
+        let x = batch_of(count, 48, 32, &rt);
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                let blocks: Vec<BsrBlock<'_>> = owned.iter().map(BsrBlock::plain).collect();
+                let mut y = batch_of(count, 48, 32, &rt);
+                bsr_gemm(&rt, &pattern, &blocks, &x, &mut y, -1.0);
+                y
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_batched_qr,
+    bench_batched_id,
+    bench_batched_gemm,
+    bench_batched_shrink,
+    bench_bsr_gemm
+);
+criterion_main!(kernels);

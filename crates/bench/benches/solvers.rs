@@ -1,0 +1,86 @@
+//! Criterion benches for the solver layer and the unsymmetric construction
+//! (the DESIGN.md §9 extensions): ULV factor/solve throughput, H2-operator
+//! PCG iteration cost, and the two-stream unsymmetric construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig};
+use h2_dense::gaussian_mat;
+use h2_kernels::{ConvectionKernel, ExponentialKernel, KernelMatrix, UnsymKernelMatrix};
+use h2_matrix::H2Matrix;
+use h2_runtime::Runtime;
+use h2_solve::{pcg, BlockJacobi, UlvFactor};
+use h2_tree::{Admissibility, ClusterTree, Partition};
+use std::sync::Arc;
+
+fn hss_1d(n: usize) -> H2Matrix {
+    let pts: Vec<[f64; 3]> = (0..n).map(|i| [i as f64 / n as f64, 0.0, 0.0]).collect();
+    let tree = Arc::new(ClusterTree::build(&pts, 64));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
+    let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
+    let rt = Runtime::parallel();
+    let cfg = SketchConfig { tol: 1e-9, initial_samples: 64, max_rank: 96, ..Default::default() };
+    let (mut hss, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
+    for i in 0..hss.dense.pairs.len() {
+        let (s, t) = hss.dense.pairs[i];
+        if s == t {
+            let blk = &mut hss.dense.blocks[i];
+            for j in 0..blk.rows() {
+                blk[(j, j)] += 2.0;
+            }
+        }
+    }
+    hss
+}
+
+fn bench_ulv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ulv");
+    for n in [2048usize, 8192] {
+        let hss = hss_1d(n);
+        g.bench_with_input(BenchmarkId::new("factor", n), &n, |b, _| {
+            b.iter(|| UlvFactor::new(&hss).unwrap());
+        });
+        let ulv = UlvFactor::new(&hss).unwrap();
+        let rhs = gaussian_mat(n, 1, 11);
+        g.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
+            b.iter(|| ulv.solve(&rhs));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pcg(c: &mut Criterion) {
+    let n = 4096;
+    let pts = h2_tree::uniform_cube(n, 12);
+    let tree = Arc::new(ClusterTree::build(&pts, 64));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+    let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+    let rt = Runtime::parallel();
+    let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+    let (h2, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
+    let bj = BlockJacobi::from_h2(&h2).unwrap();
+    let b: Vec<f64> = (0..n).map(|i| (0.01 * i as f64).sin()).collect();
+    c.bench_function("pcg_h2_cov_4096_10iters", |bch| {
+        bch.iter(|| pcg(&h2, &bj, &b, 10, 0.0));
+    });
+}
+
+fn bench_unsym_construction(c: &mut Criterion) {
+    let n = 2048;
+    let pts = h2_tree::uniform_cube(n, 13);
+    let tree = Arc::new(ClusterTree::build(&pts, 32));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+    let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
+    let cfg = SketchConfig { tol: 1e-6, initial_samples: 48, ..Default::default() };
+    let mut g = c.benchmark_group("unsym_construct");
+    g.sample_size(10);
+    g.bench_function("convection_2048", |b| {
+        b.iter(|| {
+            let rt = Runtime::parallel();
+            sketch_construct_unsym(&km, &km, tree.clone(), part.clone(), &rt, &cfg)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ulv, bench_pcg, bench_unsym_construction);
+criterion_main!(benches);

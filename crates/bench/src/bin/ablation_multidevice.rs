@@ -1,0 +1,71 @@
+//! Multi-device scaling projection (paper §IV.B).
+//!
+//! The paper evaluates on a single A100 and sketches the multi-GPU
+//! extension in §IV.B: per-level batches divide across devices, and only
+//! `batchedBSRGemm` (Ω fetches) and the line-24 child gather communicate.
+//! This harness grounds that discussion quantitatively: it builds a real H2
+//! matrix, extracts its per-level execution structure, and projects
+//! makespan / traffic / efficiency across device counts under an A100-class
+//! device model — and under a weaker compute model where the crossover
+//! happens earlier.
+//!
+//! Usage: `cargo run --release -p h2-bench --bin ablation_multidevice -- [--n 32768] [--samples 256]`
+
+use h2_bench::{build_problem, header, reference_h2, row, App, Args};
+use h2_core::{level_specs, sketch_construct, SketchConfig};
+use h2_runtime::{simulate, DeviceModel, Runtime};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 32768);
+    let d: usize = args.get("samples", 256);
+    let tol: f64 = args.get("tol", 1e-6);
+
+    let problem = build_problem(App::Covariance, n, 64, 0.7, 0xD1CE);
+    let reference = reference_h2(&problem, tol * 1e-2);
+    let rt = Runtime::parallel();
+    let cfg = SketchConfig { tol, initial_samples: d.min(256), ..Default::default() };
+    let (h2, stats) = sketch_construct(
+        &reference,
+        &problem.kernel,
+        problem.tree.clone(),
+        problem.partition.clone(),
+        &rt,
+        &cfg,
+    );
+    let specs = level_specs(&h2);
+    println!(
+        "# Multi-device projection (covariance, N={n}, d={d}, {} processed levels, ranks {:?})\n",
+        specs.len(),
+        h2.rank_range()
+    );
+    println!("construction used {} samples, {} adaptation rounds\n", stats.total_samples, stats.rounds);
+
+    for (name, model) in [
+        ("A100-class (10 TF/s, 200 GB/s links)", DeviceModel::default()),
+        (
+            "weak-compute (0.5 TF/s, 200 GB/s links)",
+            DeviceModel { flops_per_sec: 5.0e11, ..DeviceModel::default() },
+        ),
+    ] {
+        println!("## {name}\n");
+        header(&["devices", "makespan (ms)", "speedup", "efficiency", "comm (MiB)", "launches"]);
+        let base = simulate(&specs, d, 1, &model).makespan;
+        for devices in [1usize, 2, 4, 8, 16] {
+            let rep = simulate(&specs, d, devices, &model);
+            row(&[
+                devices.to_string(),
+                format!("{:.3}", rep.makespan * 1e3),
+                format!("{:.2}x", base / rep.makespan),
+                format!("{:.2}", rep.efficiency()),
+                format!("{:.2}", rep.total_comm_bytes as f64 / (1 << 20) as f64),
+                rep.total_launches.to_string(),
+            ]);
+        }
+        println!();
+    }
+
+    println!("Interpretation: the batched construction is compute-bound at the leaves");
+    println!("and latency/traffic-bound at the top levels; speedup saturates once the");
+    println!("per-device level chunks stop amortizing Ω fetches — the §IV.B tradeoff.");
+}

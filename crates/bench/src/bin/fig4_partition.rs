@@ -1,0 +1,59 @@
+//! Fig. 4(a,b): block partitioning of a hierarchical matrix for a 3-D
+//! problem with admissibility η = 0.5 and 0.7.
+//!
+//! The paper renders the partitions as block pictures for N = 2^15; we
+//! report the equivalent quantitative content: per-level admissible /
+//! inadmissible block counts, sparsity constants, and the dense/low-rank
+//! area split ("smaller η leads to more refined partitioning ... and hence
+//! larger sparsity constants Csp", §II.A).
+//!
+//! Usage: `cargo run --release -p h2-bench --bin fig4_partition -- [--n 32768] [--leaf 64]`
+
+use h2_bench::{header, row, Args};
+use h2_tree::{Admissibility, ClusterTree, Partition};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("n", 1 << 15);
+    let leaf: usize = args.get("leaf", 64);
+    let pts = h2_tree::uniform_cube(n, 0xF164);
+    let tree = ClusterTree::build(&pts, leaf);
+    println!("# Fig. 4: block partition statistics (N = {n}, leaf = {leaf})\n");
+
+    for eta in [0.5, 0.7] {
+        let part = Partition::build(&tree, Admissibility::Strong { eta });
+        assert!(part.is_complete(&tree), "partition must tile the matrix");
+        println!("## eta = {eta}\n");
+        header(&["level", "nodes", "adm blocks", "Csp(adm)", "dense blocks", "Csp(dense)"]);
+        let mut adm_area = 0usize;
+        let mut dense_area = 0usize;
+        for s in part.level_stats(&tree) {
+            row(&[
+                s.level.to_string(),
+                s.nodes.to_string(),
+                s.far_blocks.to_string(),
+                s.csp_far.to_string(),
+                s.near_blocks.to_string(),
+                s.csp_near.to_string(),
+            ]);
+        }
+        for (id, list) in part.far_of.iter().enumerate() {
+            for &t in list {
+                adm_area += tree.nodes[id].len() * tree.nodes[t].len();
+            }
+        }
+        for (id, list) in part.near_of.iter().enumerate() {
+            for &t in list {
+                dense_area += tree.nodes[id].len() * tree.nodes[t].len();
+            }
+        }
+        let total = (n * n) as f64;
+        println!(
+            "\nadmissible area: {:.2}% of the matrix, dense area: {:.2}% \
+             (areas tile exactly: {})\n",
+            100.0 * adm_area as f64 / total,
+            100.0 * dense_area as f64 / total,
+            adm_area + dense_area == n * n
+        );
+    }
+}

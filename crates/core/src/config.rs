@@ -1,0 +1,150 @@
+//! Configuration and statistics for the sketching construction.
+
+use h2_runtime::{Phase, Profile};
+use std::time::Duration;
+
+/// Per-level tolerance schedule for the interpolative decompositions
+/// ("ID with ε_l", Algorithm 1 lines 16/34).
+///
+/// The paper's "simple error compensation scheme" keeps per-level truncation
+/// close to the target while errors accumulate up the tree; we expose the
+/// schedule so the Table II trade-off can be reproduced and explored.
+#[derive(Clone, Copy, Debug)]
+pub enum TolSchedule {
+    /// Same absolute threshold `ε·‖K‖` at every level.
+    Constant,
+    /// Tighten by `factor^h` at height `h` above the leaves (factor < 1
+    /// compensates for upsweep error accumulation).
+    PerLevel { factor: f64 },
+}
+
+impl TolSchedule {
+    /// Scaling applied to the base threshold at `height` levels above leaves.
+    pub fn scale(&self, height: usize) -> f64 {
+        match *self {
+            TolSchedule::Constant => 1.0,
+            TolSchedule::PerLevel { factor } => factor.powi(height as i32),
+        }
+    }
+}
+
+/// Configuration of Algorithm 1.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchConfig {
+    /// Relative compression tolerance ε (paper: 1e-6).
+    pub tol: f64,
+    /// Initial number of sample vectors (paper: 256).
+    pub initial_samples: usize,
+    /// Sample block size `d` added per adaptation round (paper: 32 or the
+    /// leaf size — Table II).
+    pub sample_block: usize,
+    /// Enable the adaptive while-loops (lines 11/29). With `false`, the
+    /// fixed-sample variant of §III.A runs with `initial_samples` vectors.
+    pub adaptive: bool,
+    /// Hard cap on total samples.
+    pub max_samples: usize,
+    /// Hard cap on per-node rank.
+    pub max_rank: usize,
+    /// Power-iteration count for the `‖K‖₂` estimate backing the relative
+    /// threshold (§III.B).
+    pub norm_est_iters: usize,
+    /// Per-level ID tolerance schedule.
+    pub schedule: TolSchedule,
+    /// Safety factor applied to the absolute threshold (`ε_eff = safety·ε·‖K‖`).
+    /// Truncation at exactly `ε·‖K‖` accumulates per-level and per-block
+    /// errors to a multiple of ε; a conservative factor keeps the measured
+    /// error at or below the requested tolerance, matching the paper's
+    /// reported errors (Table II shows measured errors 2-25x *below* ε).
+    pub safety: f64,
+    /// RNG seed (all sketching randomness derives from it).
+    pub seed: u64,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig {
+            tol: 1e-6,
+            initial_samples: 64,
+            sample_block: 32,
+            adaptive: true,
+            max_samples: 2048,
+            max_rank: 512,
+            norm_est_iters: 10,
+            schedule: TolSchedule::Constant,
+            safety: 1.0 / 30.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SketchConfig {
+    /// The paper's headline configuration (Fig. 5): ε=1e-6, 256 initial
+    /// samples.
+    pub fn paper() -> Self {
+        SketchConfig { tol: 1e-6, initial_samples: 256, sample_block: 32, ..Default::default() }
+    }
+}
+
+/// Outcome statistics of one construction (the data behind Fig. 5 labels,
+/// Fig. 7 and Table II).
+#[derive(Clone, Debug, Default)]
+pub struct SketchStats {
+    /// Total random vectors consumed by sketching (initial + adaptive).
+    pub total_samples: usize,
+    /// Adaptive rounds taken (extra `Kblk` invocations).
+    pub rounds: usize,
+    /// Adaptive rounds per level (leaf first).
+    pub rounds_per_level: Vec<usize>,
+    /// Estimated `‖K‖₂` backing the relative threshold.
+    pub norm_estimate: f64,
+    /// Wall-clock construction time.
+    pub elapsed: Duration,
+    /// Per-phase timing snapshot (Fig. 7).
+    pub phase_seconds: Vec<(&'static str, f64)>,
+    /// Kernel-launch counts (§IV.B analysis).
+    pub launches: Vec<(&'static str, usize)>,
+}
+
+impl SketchStats {
+    /// Capture phase timings and launch counts from a runtime profile.
+    pub fn capture_profile(&mut self, profile: &Profile) {
+        self.phase_seconds = Phase::ALL
+            .iter()
+            .map(|&p| (p.name(), profile.phase_time(p).as_secs_f64()))
+            .collect();
+        self.launches = profile.launch_summary();
+    }
+
+    /// Total phase-attributed seconds.
+    pub fn phase_total(&self) -> f64 {
+        self.phase_seconds.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Total kernel launches.
+    pub fn total_launches(&self) -> usize {
+        self.launches.iter().map(|(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_scales() {
+        assert_eq!(TolSchedule::Constant.scale(5), 1.0);
+        let s = TolSchedule::PerLevel { factor: 0.5 };
+        assert_eq!(s.scale(0), 1.0);
+        assert_eq!(s.scale(2), 0.25);
+    }
+
+    #[test]
+    fn defaults_sane() {
+        let c = SketchConfig::default();
+        assert!(c.adaptive);
+        assert!(c.initial_samples <= c.max_samples);
+        let p = SketchConfig::paper();
+        assert_eq!(p.initial_samples, 256);
+        assert_eq!(p.tol, 1e-6);
+    }
+}

@@ -1,0 +1,385 @@
+//! Algorithm 1: bottom-up sketching-based H2 construction with adaptive
+//! sampling.
+//!
+//! Inputs (paper §III): a hierarchical block partition, a black-box sampler
+//! `Y = Kblk(Ω)`, an entry evaluator for sub-blocks, a relative tolerance ε,
+//! and the sample block size `d`. The construction proceeds level by level
+//! from the leaves:
+//!
+//! 1. subtract the inadmissible (leaf) / already-compressed (coupling)
+//!    contributions from the samples with `batchedBSRGemm`,
+//! 2. test convergence per node via the QR diagonal of `Y^loc_τ`
+//!    (lines 11/29) and, if needed, draw `d` fresh global samples and sweep
+//!    them up through the already-skeletonized levels (`updateSamples`),
+//! 3. skeletonize with a batched row ID (lines 16/34) giving `U_τ` (leaves)
+//!    or stacked transfers `[E_{ν1}; E_{ν2}]` (inner nodes),
+//! 4. shrink the samples to skeleton rows and compress the random blocks
+//!    (`Y^{l+1}_τ = Y^loc_τ(J_τ,:)`, `Ω^{l+1}_τ = U_τ^T Ω^l_τ`),
+//! 5. evaluate the coupling blocks `B_{τ,b} = K(Ĩ_τ, Ĩ_b)` with `batchedGen`.
+//!
+//! Every step runs as batched kernels on the [`Runtime`] and is attributed
+//! to the Fig.-7 phase it belongs to.
+
+use crate::config::{SketchConfig, SketchStats};
+use h2_dense::cpqr::Truncation;
+use h2_dense::{estimate_norm_2, EntryAccess, LinOp, Mat};
+use h2_matrix::H2Matrix;
+use h2_runtime::{
+    batched_gen, batched_row_id, bsr_gemm, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag,
+    rand_mat, shrink_rows, stack_children, BsrBlock, BsrPattern, GenBlock, Phase, Runtime,
+    VarBatch,
+};
+use h2_tree::{ClusterTree, Partition};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which block store a BSR position reads from.
+#[derive(Clone, Copy)]
+enum BlockSource {
+    Dense,
+    Coupling,
+}
+
+/// Frozen per-level data used to sweep later sample batches up the tree.
+struct LevelRecord {
+    /// BSR subtraction pattern. Rows = leaf nodes (leaf level) or child
+    /// nodes (inner levels).
+    pattern: BsrPattern,
+    /// Ordered `(row_node, col_node)` per BSR position.
+    pairs: Vec<(usize, usize)>,
+    source: BlockSource,
+    /// For inner levels: per-parent local child indices (stacking map).
+    /// Empty at the leaf level.
+    children_local: Vec<Vec<usize>>,
+    /// Node ids at this level, in level order.
+    node_ids: Vec<usize>,
+    /// Skeleton row positions `J_τ` into the stacked local samples
+    /// (populated once the level is skeletonized).
+    skels_local: Vec<Vec<usize>>,
+}
+
+/// Construct an H2 matrix by adaptive sketching (Algorithm 1).
+///
+/// `sampler` and `gen` view the matrix in tree-permuted coordinates, as do
+/// all operators in this workspace.
+pub fn sketch_construct(
+    sampler: &dyn LinOp,
+    gen: &dyn EntryAccess,
+    tree: Arc<ClusterTree>,
+    partition: Arc<Partition>,
+    rt: &Runtime,
+    cfg: &SketchConfig,
+) -> (H2Matrix, SketchStats) {
+    let t0 = Instant::now();
+    let n = tree.npoints();
+    assert_eq!(sampler.nrows(), n, "sampler size mismatch");
+    let mut h2 = H2Matrix::new_shell(tree.clone(), partition.clone());
+    let mut stats = SketchStats::default();
+    let leaf_level = tree.leaf_level();
+
+    // ---- dense near-field blocks (batchedGen, line 8) ----
+    rt.phase(Phase::EntryGen, || {
+        let mut specs = Vec::new();
+        let mut keys = Vec::new();
+        for s in tree.level(leaf_level) {
+            for &t in partition.near_of[s].iter().filter(|&&t| s <= t) {
+                let (sb, se) = tree.range(s);
+                let (tb, te) = tree.range(t);
+                specs.push(GenBlock { rows: (sb..se).collect(), cols: (tb..te).collect() });
+                keys.push((s, t));
+            }
+        }
+        let blocks = batched_gen(rt, gen, &specs);
+        for ((s, t), b) in keys.into_iter().zip(blocks) {
+            h2.dense.insert(s, t, b);
+        }
+    });
+
+    // Entirely dense partition (tiny N): done.
+    let Some(top) = partition.top_far_level(&tree) else {
+        stats.elapsed = t0.elapsed();
+        stats.capture_profile(rt.profile());
+        return (h2, stats);
+    };
+
+    // ---- norm estimate backing the relative threshold (§III.B) ----
+    let norm_est = rt.phase(Phase::Misc, || {
+        estimate_norm_2(sampler, cfg.norm_est_iters, cfg.seed ^ 0x5A5A_5A5A)
+    });
+    stats.norm_estimate = norm_est;
+    let eps_abs = cfg.safety * cfg.tol * norm_est.max(f64::MIN_POSITIVE);
+
+    // ---- initial sampling (lines 1): Ω ∈ R^{N x d0}, Y = Kblk(Ω) ----
+    let d0 = cfg.initial_samples.min(cfg.max_samples).max(1);
+    let omega0 = rt.phase(Phase::Rand, || rand_mat(rt, n, d0, cfg.seed));
+    let y0 = rt.phase(Phase::Sampling, || sampler.apply_mat(&omega0));
+    stats.total_samples = d0;
+
+    let leaf_ranges: Vec<(usize, usize)> =
+        tree.level(leaf_level).map(|id| tree.range(id)).collect();
+    let mut cur_omega = rt.phase(Phase::Misc, || gather_rows(rt, &omega0, &leaf_ranges));
+    let mut cur_y = rt.phase(Phase::Misc, || gather_rows(rt, &y0, &leaf_ranges));
+    drop(omega0);
+    drop(y0);
+
+    let mut records: Vec<LevelRecord> = Vec::new();
+    let mut round_seed = cfg.seed.wrapping_add(0x1234_5678);
+
+    // ---- bottom-up level loop ----
+    for l in (top..=leaf_level).rev() {
+        let node_ids: Vec<usize> = tree.level(l).collect();
+        let is_leaf = l == leaf_level;
+
+        // BSR subtraction structure for this level.
+        let (pattern, pairs, source, children_local) = if is_leaf {
+            let adj: Vec<Vec<usize>> = node_ids
+                .iter()
+                .map(|&s| {
+                    partition.near_of[s].iter().map(|&t| tree.local_index(t)).collect()
+                })
+                .collect();
+            let mut pairs = Vec::new();
+            for &s in &node_ids {
+                for &t in &partition.near_of[s] {
+                    pairs.push((s, t));
+                }
+            }
+            (BsrPattern::from_rows(&adj), pairs, BlockSource::Dense, Vec::new())
+        } else {
+            let child_ids: Vec<usize> = tree.level(l + 1).collect();
+            let adj: Vec<Vec<usize>> = child_ids
+                .iter()
+                .map(|&s| partition.far_of[s].iter().map(|&t| tree.local_index(t)).collect())
+                .collect();
+            let mut pairs = Vec::new();
+            for &s in &child_ids {
+                for &t in &partition.far_of[s] {
+                    pairs.push((s, t));
+                }
+            }
+            let children_local: Vec<Vec<usize>> = node_ids
+                .iter()
+                .map(|&p| {
+                    let (c1, c2) = tree.nodes[p].children.unwrap();
+                    vec![tree.local_index(c1), tree.local_index(c2)]
+                })
+                .collect();
+            (BsrPattern::from_rows(&adj), pairs, BlockSource::Coupling, children_local)
+        };
+
+        // Subtract known contributions and stack to this level's nodes
+        // (lines 9 / 24+27).
+        let (mut yloc, mut omega_l) = advance_level(
+            rt,
+            &h2,
+            &pattern,
+            &pairs,
+            source,
+            &children_local,
+            cur_y,
+            cur_omega,
+        );
+
+        // ---- adaptive sampling loop (lines 11-14 / 29-32) ----
+        let mut level_rounds = 0usize;
+        loop {
+            let d_cur = if yloc.count() > 0 { yloc.cols_of(0) } else { 0 };
+            if !cfg.adaptive || d_cur == 0 {
+                break;
+            }
+            let mins = rt.phase(Phase::ConvergenceTest, || qr_min_rdiag(rt, &yloc));
+            let eps_conv = eps_abs * (d_cur as f64).sqrt();
+            let unconverged = (0..yloc.count())
+                .any(|i| d_cur < yloc.rows_of(i) && mins[i] > eps_conv);
+            if !unconverged || stats.total_samples + cfg.sample_block > cfg.max_samples {
+                break;
+            }
+            // updateSamples: fresh global sketch swept through the frozen
+            // levels below, then advanced through this level's subtraction.
+            round_seed = round_seed.wrapping_add(0x9E37_79B9);
+            let (new_yloc, new_omega_l) = sweep_new_samples(
+                rt,
+                sampler,
+                &h2,
+                &tree,
+                &records,
+                &leaf_ranges,
+                &pattern,
+                &pairs,
+                source,
+                &children_local,
+                cfg.sample_block,
+                round_seed,
+            );
+            yloc = rt.phase(Phase::Misc, || hcat_batches(rt, &yloc, &new_yloc));
+            omega_l = rt.phase(Phase::Misc, || hcat_batches(rt, &omega_l, &new_omega_l));
+            stats.total_samples += cfg.sample_block;
+            stats.rounds += 1;
+            level_rounds += 1;
+        }
+        stats.rounds_per_level.push(level_rounds);
+
+        // ---- batched row ID (lines 16 / 34) ----
+        let height = leaf_level - l;
+        let eps_id = eps_abs * cfg.schedule.scale(height)
+            * (yloc.cols_of(0).max(1) as f64).sqrt();
+        let mut id_res = rt.phase(Phase::Id, || {
+            batched_row_id(rt, &yloc, Truncation::Absolute(eps_id))
+        });
+        // Enforce the rank cap (rare; re-factor the offenders).
+        for (i, r) in id_res.iter_mut().enumerate() {
+            if r.rank() > cfg.max_rank {
+                *r = h2_dense::cpqr::row_id(&yloc.to_mat(i), Truncation::Rank(cfg.max_rank));
+            }
+        }
+
+        // Store bases and global skeleton indices (lines 19 / 37).
+        let mut skels_local: Vec<Vec<usize>> = Vec::with_capacity(node_ids.len());
+        for (local, &id) in node_ids.iter().enumerate() {
+            let r = &id_res[local];
+            let stacked_rows: Vec<usize> = if is_leaf {
+                let (b, e) = tree.range(id);
+                (b..e).collect()
+            } else {
+                let (c1, c2) = tree.nodes[id].children.unwrap();
+                h2.skel[c1].iter().chain(h2.skel[c2].iter()).copied().collect()
+            };
+            h2.skel[id] = r.skel.iter().map(|&p| stacked_rows[p]).collect();
+            h2.basis[id] = r.u.clone();
+            skels_local.push(r.skel.clone());
+        }
+
+        // ---- coupling blocks at this level (batchedGen, line 41) ----
+        rt.phase(Phase::EntryGen, || {
+            let mut specs = Vec::new();
+            let mut keys = Vec::new();
+            for &s in &node_ids {
+                for &t in partition.far_of[s].iter().filter(|&&t| s <= t) {
+                    specs.push(GenBlock { rows: h2.skel[s].clone(), cols: h2.skel[t].clone() });
+                    keys.push((s, t));
+                }
+            }
+            let blocks = batched_gen(rt, gen, &specs);
+            for ((s, t), b) in keys.into_iter().zip(blocks) {
+                h2.coupling.insert(s, t, b);
+            }
+        });
+
+        // ---- upsweep to the next level (lines 17-18 / 35-36) ----
+        if l > top {
+            let skel_refs: Vec<&[usize]> = skels_local.iter().map(|v| v.as_slice()).collect();
+            let bases: Vec<Mat> = node_ids.iter().map(|&id| h2.basis[id].clone()).collect();
+            cur_y = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yloc, &skel_refs));
+            cur_omega = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases, &omega_l));
+        } else {
+            cur_y = VarBatch::zeros_uniform_cols(Vec::new(), 0);
+            cur_omega = VarBatch::zeros_uniform_cols(Vec::new(), 0);
+        }
+
+        records.push(LevelRecord { pattern, pairs, source, children_local, node_ids, skels_local });
+
+        if l == top {
+            break;
+        }
+    }
+
+    stats.elapsed = t0.elapsed();
+    stats.capture_profile(rt.profile());
+    (h2, stats)
+}
+
+/// Resolve the BSR block references of a level against the H2 block stores.
+fn resolve_blocks<'a>(
+    h2: &'a H2Matrix,
+    pairs: &[(usize, usize)],
+    source: BlockSource,
+) -> Vec<BsrBlock<'a>> {
+    pairs
+        .iter()
+        .map(|&(s, t)| {
+            let (mat, transposed) = match source {
+                BlockSource::Dense => h2.dense.get(s, t).expect("dense block"),
+                BlockSource::Coupling => h2.coupling.get(s, t).expect("coupling block"),
+            };
+            BsrBlock { mat, transposed }
+        })
+        .collect()
+}
+
+/// Subtract the level's known contributions from the incoming samples and
+/// stack child entries onto this level's nodes. Consumes the child-level
+/// batches and returns `(Y_loc, Ω_l)`.
+#[allow(clippy::too_many_arguments)]
+fn advance_level(
+    rt: &Runtime,
+    h2: &H2Matrix,
+    pattern: &BsrPattern,
+    pairs: &[(usize, usize)],
+    source: BlockSource,
+    children_local: &[Vec<usize>],
+    mut y: VarBatch,
+    omega: VarBatch,
+) -> (VarBatch, VarBatch) {
+    rt.phase(Phase::BsrGemm, || {
+        let blocks = resolve_blocks(h2, pairs, source);
+        bsr_gemm(rt, pattern, &blocks, &omega, &mut y, -1.0);
+    });
+    if children_local.is_empty() {
+        (y, omega)
+    } else {
+        rt.phase(Phase::Misc, || {
+            let yl = stack_children(rt, &y, children_local);
+            let ol = stack_children(rt, &omega, children_local);
+            (yl, ol)
+        })
+    }
+}
+
+/// `updateSamples` (lines 13/31): draw a fresh global sketch and sweep it
+/// through all completed levels (frozen bases and skeletons), then advance
+/// it through the current level's subtraction/stacking.
+#[allow(clippy::too_many_arguments)]
+fn sweep_new_samples(
+    rt: &Runtime,
+    sampler: &dyn LinOp,
+    h2: &H2Matrix,
+    tree: &ClusterTree,
+    records: &[LevelRecord],
+    leaf_ranges: &[(usize, usize)],
+    cur_pattern: &BsrPattern,
+    cur_pairs: &[(usize, usize)],
+    cur_source: BlockSource,
+    cur_children_local: &[Vec<usize>],
+    d: usize,
+    seed: u64,
+) -> (VarBatch, VarBatch) {
+    let n = tree.npoints();
+    let omega_new = rt.phase(Phase::Rand, || rand_mat(rt, n, d, seed));
+    let y_new = rt.phase(Phase::Sampling, || sampler.apply_mat(&omega_new));
+    let mut om = rt.phase(Phase::Misc, || gather_rows(rt, &omega_new, leaf_ranges));
+    let mut yv = rt.phase(Phase::Misc, || gather_rows(rt, &y_new, leaf_ranges));
+
+    for rec in records {
+        // Subtract + stack with the recorded structure.
+        let (mut yl, ol) = advance_level(
+            rt,
+            h2,
+            &rec.pattern,
+            &rec.pairs,
+            rec.source,
+            &rec.children_local,
+            yv,
+            om,
+        );
+        // Apply the frozen skeletonization: shrink rows, compress Ω.
+        let skel_refs: Vec<&[usize]> = rec.skels_local.iter().map(|v| v.as_slice()).collect();
+        let bases: Vec<Mat> = rec.node_ids.iter().map(|&id| h2.basis[id].clone()).collect();
+        yl = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yl, &skel_refs));
+        let ol2 = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases, &ol));
+        yv = yl;
+        om = ol2;
+    }
+
+    // Advance through the current (not yet skeletonized) level.
+    advance_level(rt, h2, cur_pattern, cur_pairs, cur_source, cur_children_local, yv, om)
+}

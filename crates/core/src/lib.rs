@@ -1,0 +1,395 @@
+//! # h2-core
+//!
+//! The paper's primary contribution: **linear-complexity bottom-up
+//! sketching-based construction of strongly-admissible H2 matrices with
+//! adaptive sampling** (Algorithm 1), executed entirely as batched kernels
+//! on the [`h2_runtime`] device model.
+//!
+//! The construction consumes the two black-box inputs of the paper — a
+//! sketching operator `Y = Kblk(Ω)` ([`h2_dense::LinOp`]) and an entry
+//! evaluator ([`h2_dense::EntryAccess`]) — plus a cluster tree and block
+//! partition from [`h2_tree`], and produces an [`h2_matrix::H2Matrix`]
+//! together with [`SketchStats`] (sample counts, adaptation rounds, phase
+//! timings and kernel-launch counts).
+
+pub mod config;
+pub mod construct;
+pub mod multidev;
+pub mod unsym;
+
+pub use config::{SketchConfig, SketchStats, TolSchedule};
+pub use construct::sketch_construct;
+pub use multidev::level_specs;
+pub use unsym::sketch_construct_unsym;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_dense::{relative_error_2, DenseOp, EntryAccess, Mat};
+    use h2_kernels::{ExponentialKernel, HelmholtzKernel, KernelMatrix};
+    use h2_matrix::LowRankUpdate;
+    use h2_runtime::{Backend, Kernel, Runtime};
+    use h2_tree::{Admissibility, ClusterTree, Partition};
+    use std::sync::Arc;
+
+    fn cov_problem(
+        n: usize,
+        leaf: usize,
+        eta: f64,
+        seed: u64,
+    ) -> (Arc<ClusterTree>, Arc<Partition>, KernelMatrix<ExponentialKernel>) {
+        let pts = h2_tree::uniform_cube(n, seed);
+        let tree = Arc::new(ClusterTree::build(&pts, leaf));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta }));
+        // Guard against trivially-dense partitions: every test below is
+        // meant to exercise the actual sketching path.
+        assert!(
+            part.top_far_level(&tree).is_some(),
+            "test problem too small for eta={eta}: no admissible blocks"
+        );
+        let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+        (tree, part, km)
+    }
+
+    /// Full pipeline against a dense reference: error must respect the
+    /// tolerance (up to a safety factor for the ID error propagation).
+    #[test]
+    fn covariance_construction_meets_tolerance() {
+        let (tree, part, km) = cov_problem(1500, 16, 0.7, 100);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+        let (h2, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        h2.validate().unwrap();
+        assert!(stats.total_samples >= 64);
+        let dense = Mat::from_fn(1500, 1500, |i, j| km.entry(i, j));
+        let rec = h2.to_dense();
+        let mut d = rec;
+        d.axpy(-1.0, &dense);
+        let rel = d.norm_fro() / dense.norm_fro();
+        assert!(rel < 1e-5, "construction error {rel} vs tol 1e-6");
+    }
+
+    #[test]
+    fn helmholtz_construction_meets_tolerance() {
+        let pts = h2_tree::uniform_cube(1500, 101);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        let km = KernelMatrix::new(HelmholtzKernel::paper(1500), tree.points.clone());
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-6, initial_samples: 96, ..Default::default() };
+        let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        let e = relative_error_2(&km, &h2, 20, 102);
+        assert!(e < 1e-5, "rel err {e}");
+    }
+
+    /// The adaptive variant starting from a deliberately tiny sample count
+    /// must grow its sample set and still meet the tolerance.
+    #[test]
+    fn adaptive_grows_samples_from_small_start() {
+        let (tree, part, km) = cov_problem(3000, 32, 0.7, 103);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            tol: 1e-6,
+            initial_samples: 8,
+            sample_block: 8,
+            ..Default::default()
+        };
+        let (h2, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        assert!(stats.rounds > 0, "must adapt from 8 samples");
+        assert!(stats.total_samples > 8);
+        let e = relative_error_2(&km, &h2, 20, 104);
+        assert!(e < 1e-5, "rel err {e} after {} samples", stats.total_samples);
+    }
+
+    /// Fixed-sample construction (adaptive off) with ample samples.
+    #[test]
+    fn fixed_sample_construction() {
+        let (tree, part, km) = cov_problem(1500, 16, 0.7, 105);
+        let rt = Runtime::sequential();
+        let cfg = SketchConfig {
+            tol: 1e-6,
+            initial_samples: 96,
+            adaptive: false,
+            ..Default::default()
+        };
+        let (h2, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        assert_eq!(stats.total_samples, 96);
+        assert_eq!(stats.rounds, 0);
+        let e = relative_error_2(&km, &h2, 20, 106);
+        assert!(e < 1e-5, "rel err {e}");
+    }
+
+    /// Sequential and parallel backends are numerically identical.
+    #[test]
+    fn backends_agree_exactly() {
+        let (tree, part, km) = cov_problem(1200, 16, 0.7, 107);
+        let cfg = SketchConfig { initial_samples: 48, ..Default::default() };
+        let (a, _) = sketch_construct(
+            &km,
+            &km,
+            tree.clone(),
+            part.clone(),
+            &Runtime::new(Backend::Sequential),
+            &cfg,
+        );
+        let (b, _) =
+            sketch_construct(&km, &km, tree.clone(), part, &Runtime::new(Backend::Parallel), &cfg);
+        let da = a.to_dense();
+        let db = b.to_dense();
+        let mut d = da;
+        d.axpy(-1.0, &db);
+        assert!(d.norm_max() < 1e-12, "backend divergence {}", d.norm_max());
+    }
+
+    /// §IV.B: the whole construction issues O(levels) kernel launches, not
+    /// O(N) — the headline GPU design property.
+    #[test]
+    fn launch_count_scales_with_levels_not_nodes() {
+        let (tree, part, km) = cov_problem(2000, 16, 0.7, 108);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { initial_samples: 64, ..Default::default() };
+        let (_, stats) = sketch_construct(&km, &km, tree.clone(), part.clone(), &rt, &cfg);
+        let levels = tree.nlevels();
+        let max_csp = (0..levels)
+            .map(|l| part.csp_far(&tree, l))
+            .chain([part.csp_near(&tree)])
+            .max()
+            .unwrap();
+        let budget = levels * (20 + 2 * max_csp) * (1 + stats.rounds);
+        assert!(
+            stats.total_launches() <= budget,
+            "{} launches exceeds O(L·Csp) budget {budget}",
+            stats.total_launches()
+        );
+        // and in particular far fewer than the number of tree nodes
+        assert!(stats.total_launches() < tree.nodes.len() * 4);
+    }
+
+    /// Same seed ⇒ identical result (bitwise).
+    #[test]
+    fn deterministic_by_seed() {
+        let (tree, part, km) = cov_problem(1000, 16, 0.7, 109);
+        let cfg = SketchConfig { initial_samples: 48, ..Default::default() };
+        let (a, _) =
+            sketch_construct(&km, &km, tree.clone(), part.clone(), &Runtime::parallel(), &cfg);
+        let (b, _) =
+            sketch_construct(&km, &km, tree.clone(), part.clone(), &Runtime::parallel(), &cfg);
+        let mut d = a.to_dense();
+        d.axpy(-1.0, &b.to_dense());
+        assert_eq!(d.norm_max(), 0.0, "same-seed construction must be bitwise identical");
+    }
+
+    /// Weak admissibility partition turns Algorithm 1 into the HSS
+    /// construction it generalizes (Martinsson 2011).
+    #[test]
+    fn weak_admissibility_hss_construction() {
+        let pts = h2_tree::uniform_cube(400, 110);
+        let tree = Arc::new(ClusterTree::build(&pts, 32));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
+        // Smooth kernel so weak-admissible blocks are low rank.
+        let km = KernelMatrix::new(ExponentialKernel { l: 3.0 }, tree.points.clone());
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            tol: 1e-8,
+            initial_samples: 64,
+            max_rank: 200,
+            ..Default::default()
+        };
+        let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        h2.validate().unwrap();
+        let e = relative_error_2(&km, &h2, 20, 111);
+        assert!(e < 1e-6, "HSS-mode rel err {e}");
+    }
+
+    /// The paper's third application: recompress an H2 matrix plus a rank-32
+    /// low-rank product into a fresh H2 matrix, with the sampler being the
+    /// fast H2 matvec and entry evaluation coming from the compressed
+    /// representation.
+    #[test]
+    fn lowrank_update_recompression() {
+        let (tree, part, km) = cov_problem(1500, 16, 0.7, 112);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-7, initial_samples: 80, ..Default::default() };
+        let (base, _) = sketch_construct(&km, &km, tree.clone(), part.clone(), &rt, &cfg);
+
+        let p = h2_dense::gaussian_mat(1500, 8, 113);
+        let mut pscaled = p.clone();
+        pscaled.scale(0.05); // keep the update comparable to K's scale
+        let updated = LowRankUpdate::symmetric(&base, pscaled.clone());
+
+        let rt2 = Runtime::parallel();
+        let (recompressed, stats) =
+            sketch_construct(&updated, &updated, tree.clone(), part, &rt2, &cfg);
+        assert!(stats.total_samples >= 80);
+
+        // Reference: dense kernel + update, vs recompressed.
+        let mut want = Mat::from_fn(1500, 1500, |i, j| km.entry(i, j));
+        let ppt =
+            h2_dense::matmul(h2_dense::Op::NoTrans, h2_dense::Op::Trans, pscaled.rf(), pscaled.rf());
+        want.axpy(1.0, &ppt);
+        let got = recompressed.to_dense();
+        let mut d = got;
+        d.axpy(-1.0, &want);
+        let rel = d.norm_fro() / want.norm_fro();
+        // Two compressions stack their errors; stay within an order of
+        // magnitude of the base tolerance.
+        assert!(rel < 1e-5, "update recompression error {rel}");
+    }
+
+    /// Sketching from a *dense* operator (frontal-matrix style input where
+    /// the sampler is a plain matrix product).
+    #[test]
+    fn dense_operator_input() {
+        let (tree, part, km) = cov_problem(1024, 16, 0.7, 114);
+        let dense = Mat::from_fn(1024, 1024, |i, j| km.entry(i, j));
+        let op = DenseOp::new(dense.clone());
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { initial_samples: 64, ..Default::default() };
+        let (h2, _) = sketch_construct(&op, &op, tree.clone(), part, &rt, &cfg);
+        let mut d = h2.to_dense();
+        d.axpy(-1.0, &dense);
+        let rel = d.norm_fro() / dense.norm_fro();
+        assert!(rel < 1e-5, "dense-input rel err {rel}");
+    }
+
+    /// Tiny problems degrade to a single dense block.
+    #[test]
+    fn tiny_problem_all_dense() {
+        let pts = h2_tree::uniform_cube(20, 115);
+        let tree = Arc::new(ClusterTree::build(&pts, 32));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+        let rt = Runtime::sequential();
+        let (h2, stats) =
+            sketch_construct(&km, &km, tree.clone(), part, &rt, &SketchConfig::default());
+        assert_eq!(stats.total_samples, 0, "no sketching needed for a dense-only partition");
+        let dense = Mat::from_fn(20, 20, |i, j| km.entry(i, j));
+        let mut d = h2.to_dense();
+        d.axpy(-1.0, &dense);
+        assert_eq!(d.norm_max(), 0.0, "dense-only representation is exact");
+        assert_eq!(rt.profile().launches(Kernel::Id), 0);
+    }
+
+    /// Tighter tolerance must give a more accurate representation.
+    #[test]
+    fn tolerance_monotonicity() {
+        let (tree, part, km) = cov_problem(1500, 16, 0.7, 116);
+        let err_at = |tol: f64| {
+            let rt = Runtime::parallel();
+            let cfg =
+                SketchConfig { tol, initial_samples: 48, sample_block: 16, ..Default::default() };
+            let (h2, _) = sketch_construct(&km, &km, tree.clone(), part.clone(), &rt, &cfg);
+            relative_error_2(&km, &h2, 20, 117)
+        };
+        let e_loose = err_at(1e-3);
+        let e_tight = err_at(1e-8);
+        assert!(e_tight < e_loose, "tight {e_tight} vs loose {e_loose}");
+        assert!(e_tight < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use h2_dense::relative_error_2;
+    use h2_kernels::{ExponentialKernel, KernelMatrix};
+    use h2_runtime::Runtime;
+    use h2_tree::{Admissibility, ClusterTree, Partition};
+    use std::sync::Arc;
+
+    fn problem(n: usize, seed: u64) -> (Arc<ClusterTree>, Arc<Partition>, KernelMatrix<ExponentialKernel>) {
+        let pts = h2_tree::uniform_cube(n, seed);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        assert!(part.top_far_level(&tree).is_some());
+        let km = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
+        (tree, part, km)
+    }
+
+    /// The max_samples cap is respected exactly and the construction still
+    /// terminates with a usable (if less accurate) matrix.
+    #[test]
+    fn sample_budget_is_hard_cap() {
+        let (tree, part, km) = problem(2000, 401);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            tol: 1e-12, // unreachable: forces the adaptive loop to the cap
+            initial_samples: 8,
+            sample_block: 8,
+            max_samples: 40,
+            ..Default::default()
+        };
+        let (h2, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        assert!(stats.total_samples <= 40, "budget violated: {}", stats.total_samples);
+        h2.validate().unwrap();
+        let e = relative_error_2(&km, &h2, 15, 402);
+        assert!(e < 0.5, "even budget-capped construction stays sane, err {e}");
+    }
+
+    /// max_rank truncates node ranks without breaking structure.
+    #[test]
+    fn rank_cap_is_enforced() {
+        let (tree, part, km) = problem(1500, 403);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            tol: 1e-10,
+            initial_samples: 96,
+            max_rank: 6,
+            ..Default::default()
+        };
+        let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        h2.validate().unwrap();
+        let (_, hi) = h2.rank_range();
+        assert!(hi <= 6, "rank cap violated: {hi}");
+    }
+
+    /// Adaptive rounds can trigger at inner levels, not just the leaves:
+    /// the updateSamples upsweep machinery is exercised when upper levels
+    /// carry more rank than the initial samples cover.
+    #[test]
+    fn inner_level_adaptation_happens() {
+        let (tree, part, km) = problem(3000, 404);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            tol: 1e-8,
+            initial_samples: 12,
+            sample_block: 8,
+            ..Default::default()
+        };
+        let (h2, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        assert!(stats.rounds > 0);
+        assert_eq!(
+            stats.rounds_per_level.iter().sum::<usize>(),
+            stats.rounds,
+            "per-level accounting must add up"
+        );
+        let e = relative_error_2(&km, &h2, 15, 405);
+        assert!(e < 1e-6, "err {e} after adaptation at levels {:?}", stats.rounds_per_level);
+    }
+
+    /// The norm estimate feeding the relative threshold is in the right
+    /// ballpark (sanity of the §III.B mechanism).
+    #[test]
+    fn norm_estimate_reported() {
+        let (tree, part, km) = problem(1200, 406);
+        let rt = Runtime::sequential();
+        let cfg = SketchConfig { initial_samples: 48, ..Default::default() };
+        let (_, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        let exact = h2_dense::estimate_norm_2(&km, 40, 407);
+        assert!(stats.norm_estimate > 0.3 * exact && stats.norm_estimate < 1.2 * exact);
+    }
+
+    /// Phase timings cover the construction: the recorded phases account
+    /// for the bulk of the wall-clock elapsed time.
+    #[test]
+    fn phase_accounting_covers_runtime() {
+        let (tree, part, km) = problem(2000, 408);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { initial_samples: 64, ..Default::default() };
+        let (_, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
+        let covered = stats.phase_total();
+        let wall = stats.elapsed.as_secs_f64();
+        assert!(covered > 0.6 * wall, "phases cover {covered:.3}s of {wall:.3}s");
+        assert!(stats.total_launches() > 0);
+    }
+}

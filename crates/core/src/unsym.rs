@@ -1,0 +1,624 @@
+//! Unsymmetric Algorithm 1: bottom-up sketching with two sample streams.
+//!
+//! The paper constructs symmetric H2 matrices (`V = U`) and notes the
+//! extension to unsymmetric matrices is straightforward (§II.A, §III). The
+//! extension doubles the sketching state:
+//!
+//! * a *row* stream `Y = K Ω` whose per-node local samples span the block
+//!   **row** of the remaining admissible matrix — its row ID yields the row
+//!   basis `U_τ` and row skeleton `Ĩ^r_τ`;
+//! * a *column* stream `Z = Kᵀ Ψ` spanning the block **column** — its row
+//!   ID yields the column basis `V_τ` and column skeleton `Ĩ^c_τ`.
+//!
+//! The input compressions swap sides: the `Ω` vectors are compressed by the
+//! **column** basis (`Ω^{l+1}_τ = V_τ^T Ω^l_τ`, because the admissible block
+//! acts as `U_s B_{s,t} V_t^T`), and symmetrically `Ψ^{l+1}_τ = U_τ^T Ψ^l_τ`.
+//! Coupling blocks are evaluated at mixed skeletons,
+//! `B_{s,t} = K(Ĩ^r_s, Ĩ^c_t)`, for every *ordered* admissible pair.
+//!
+//! All batched kernels, the adaptive convergence test and the
+//! `updateSamples` upsweep are shared with the symmetric path; each exists
+//! here once per stream.
+
+use crate::config::{SketchConfig, SketchStats};
+use h2_dense::cpqr::Truncation;
+use h2_dense::{estimate_norm_2, EntryAccess, LinOp, Mat};
+use h2_matrix::H2MatrixUnsym;
+use h2_runtime::{
+    batched_gen, batched_row_id, bsr_gemm, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag,
+    rand_mat, shrink_rows, stack_children, BsrBlock, BsrPattern, GenBlock, Phase, Runtime,
+    VarBatch,
+};
+use h2_tree::{ClusterTree, Partition};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which block store a BSR position reads from.
+#[derive(Clone, Copy)]
+enum BlockSource {
+    Dense,
+    Coupling,
+}
+
+/// Which sketch stream a subtraction serves. The row stream multiplies
+/// blocks as stored; the column stream multiplies their transposes
+/// (`Kᵀ(I_s, I_t) = K(I_t, I_s)ᵀ`).
+#[derive(Clone, Copy)]
+enum Side {
+    Row,
+    Col,
+}
+
+/// Frozen per-level data used to sweep later sample batches up the tree.
+struct LevelRecord {
+    pattern: BsrPattern,
+    pairs: Vec<(usize, usize)>,
+    source: BlockSource,
+    children_local: Vec<Vec<usize>>,
+    node_ids: Vec<usize>,
+    row_skels_local: Vec<Vec<usize>>,
+    col_skels_local: Vec<Vec<usize>>,
+}
+
+/// Construct an unsymmetric H2 matrix by adaptive sketching.
+///
+/// `sampler` must implement both `apply` and `apply_transpose`; `gen`
+/// evaluates entries of the (possibly unsymmetric) matrix. Both view the
+/// matrix in tree-permuted coordinates.
+///
+/// `SketchStats::total_samples` counts the columns of **each** stream; the
+/// construction draws that many `Ω` and that many `Ψ` vectors.
+pub fn sketch_construct_unsym(
+    sampler: &dyn LinOp,
+    gen: &dyn EntryAccess,
+    tree: Arc<ClusterTree>,
+    partition: Arc<Partition>,
+    rt: &Runtime,
+    cfg: &SketchConfig,
+) -> (H2MatrixUnsym, SketchStats) {
+    let t0 = Instant::now();
+    let n = tree.npoints();
+    assert_eq!(sampler.nrows(), n, "sampler size mismatch");
+    assert_eq!(sampler.ncols(), n, "only square matrices are supported");
+    let mut h2 = H2MatrixUnsym::new_shell(tree.clone(), partition.clone());
+    let mut stats = SketchStats::default();
+    let leaf_level = tree.leaf_level();
+
+    // ---- dense near-field blocks (batchedGen) ----
+    // Every *ordered* near pair: K(I_s, I_t) and K(I_t, I_s) are disjoint
+    // entry sets of an unsymmetric matrix.
+    rt.phase(Phase::EntryGen, || {
+        let mut specs = Vec::new();
+        let mut keys = Vec::new();
+        for s in tree.level(leaf_level) {
+            for &t in &partition.near_of[s] {
+                let (sb, se) = tree.range(s);
+                let (tb, te) = tree.range(t);
+                specs.push(GenBlock { rows: (sb..se).collect(), cols: (tb..te).collect() });
+                keys.push((s, t));
+            }
+        }
+        let blocks = batched_gen(rt, gen, &specs);
+        for ((s, t), b) in keys.into_iter().zip(blocks) {
+            h2.dense.insert(s, t, b);
+        }
+    });
+
+    let Some(top) = partition.top_far_level(&tree) else {
+        stats.elapsed = t0.elapsed();
+        stats.capture_profile(rt.profile());
+        return (h2, stats);
+    };
+
+    // ---- norm estimate (power iteration on KᵀK handles unsymmetry) ----
+    let norm_est = rt.phase(Phase::Misc, || {
+        estimate_norm_2(sampler, cfg.norm_est_iters, cfg.seed ^ 0x5A5A_5A5A)
+    });
+    stats.norm_estimate = norm_est;
+    let eps_abs = cfg.safety * cfg.tol * norm_est.max(f64::MIN_POSITIVE);
+
+    // ---- initial sampling of both streams ----
+    let d0 = cfg.initial_samples.min(cfg.max_samples).max(1);
+    let omega0 = rt.phase(Phase::Rand, || rand_mat(rt, n, d0, cfg.seed));
+    let psi0 = rt.phase(Phase::Rand, || rand_mat(rt, n, d0, cfg.seed ^ 0xA5A5_5A5A));
+    let y0 = rt.phase(Phase::Sampling, || sampler.apply_mat(&omega0));
+    let z0 = rt.phase(Phase::Sampling, || {
+        let mut z = Mat::zeros(n, d0);
+        sampler.apply_transpose(psi0.rf(), z.rm());
+        z
+    });
+    stats.total_samples = d0;
+
+    let leaf_ranges: Vec<(usize, usize)> =
+        tree.level(leaf_level).map(|id| tree.range(id)).collect();
+    let mut cur_omega = rt.phase(Phase::Misc, || gather_rows(rt, &omega0, &leaf_ranges));
+    let mut cur_y = rt.phase(Phase::Misc, || gather_rows(rt, &y0, &leaf_ranges));
+    let mut cur_psi = rt.phase(Phase::Misc, || gather_rows(rt, &psi0, &leaf_ranges));
+    let mut cur_z = rt.phase(Phase::Misc, || gather_rows(rt, &z0, &leaf_ranges));
+    drop((omega0, psi0, y0, z0));
+
+    let mut records: Vec<LevelRecord> = Vec::new();
+    let mut round_seed = cfg.seed.wrapping_add(0x1234_5678);
+
+    for l in (top..=leaf_level).rev() {
+        let node_ids: Vec<usize> = tree.level(l).collect();
+        let is_leaf = l == leaf_level;
+
+        let (pattern, pairs, source, children_local) = if is_leaf {
+            let adj: Vec<Vec<usize>> = node_ids
+                .iter()
+                .map(|&s| partition.near_of[s].iter().map(|&t| tree.local_index(t)).collect())
+                .collect();
+            let mut pairs = Vec::new();
+            for &s in &node_ids {
+                for &t in &partition.near_of[s] {
+                    pairs.push((s, t));
+                }
+            }
+            (BsrPattern::from_rows(&adj), pairs, BlockSource::Dense, Vec::new())
+        } else {
+            let child_ids: Vec<usize> = tree.level(l + 1).collect();
+            let adj: Vec<Vec<usize>> = child_ids
+                .iter()
+                .map(|&s| partition.far_of[s].iter().map(|&t| tree.local_index(t)).collect())
+                .collect();
+            let mut pairs = Vec::new();
+            for &s in &child_ids {
+                for &t in &partition.far_of[s] {
+                    pairs.push((s, t));
+                }
+            }
+            let children_local: Vec<Vec<usize>> = node_ids
+                .iter()
+                .map(|&p| {
+                    let (c1, c2) = tree.nodes[p].children.unwrap();
+                    vec![tree.local_index(c1), tree.local_index(c2)]
+                })
+                .collect();
+            (BsrPattern::from_rows(&adj), pairs, BlockSource::Coupling, children_local)
+        };
+
+        // Subtract known contributions, stack to this level's nodes.
+        let (mut yloc, mut omega_l) = advance_level(
+            rt, &h2, &pattern, &pairs, source, Side::Row, &children_local, cur_y, cur_omega,
+        );
+        let (mut zloc, mut psi_l) = advance_level(
+            rt, &h2, &pattern, &pairs, source, Side::Col, &children_local, cur_z, cur_psi,
+        );
+
+        // ---- adaptive sampling: both streams must converge ----
+        let mut level_rounds = 0usize;
+        loop {
+            let d_cur = if yloc.count() > 0 { yloc.cols_of(0) } else { 0 };
+            if !cfg.adaptive || d_cur == 0 {
+                break;
+            }
+            let mins_y = rt.phase(Phase::ConvergenceTest, || qr_min_rdiag(rt, &yloc));
+            let mins_z = rt.phase(Phase::ConvergenceTest, || qr_min_rdiag(rt, &zloc));
+            let eps_conv = eps_abs * (d_cur as f64).sqrt();
+            let unconverged = (0..yloc.count()).any(|i| {
+                (d_cur < yloc.rows_of(i) && mins_y[i] > eps_conv)
+                    || (d_cur < zloc.rows_of(i) && mins_z[i] > eps_conv)
+            });
+            if !unconverged || stats.total_samples + cfg.sample_block > cfg.max_samples {
+                break;
+            }
+            round_seed = round_seed.wrapping_add(0x9E37_79B9);
+            let (ny, nom) = sweep_new_samples(
+                rt, sampler, &h2, &tree, &records, &leaf_ranges, &pattern, &pairs, source,
+                Side::Row, &children_local, cfg.sample_block, round_seed,
+            );
+            let (nz, nps) = sweep_new_samples(
+                rt, sampler, &h2, &tree, &records, &leaf_ranges, &pattern, &pairs, source,
+                Side::Col, &children_local, cfg.sample_block,
+                round_seed ^ 0xA5A5_5A5A,
+            );
+            yloc = rt.phase(Phase::Misc, || hcat_batches(rt, &yloc, &ny));
+            omega_l = rt.phase(Phase::Misc, || hcat_batches(rt, &omega_l, &nom));
+            zloc = rt.phase(Phase::Misc, || hcat_batches(rt, &zloc, &nz));
+            psi_l = rt.phase(Phase::Misc, || hcat_batches(rt, &psi_l, &nps));
+            stats.total_samples += cfg.sample_block;
+            stats.rounds += 1;
+            level_rounds += 1;
+        }
+        stats.rounds_per_level.push(level_rounds);
+
+        // ---- batched row IDs: row stream -> U, column stream -> V ----
+        let height = leaf_level - l;
+        let eps_id = eps_abs * cfg.schedule.scale(height)
+            * (yloc.cols_of(0).max(1) as f64).sqrt();
+        let mut id_row = rt.phase(Phase::Id, || {
+            batched_row_id(rt, &yloc, Truncation::Absolute(eps_id))
+        });
+        let mut id_col = rt.phase(Phase::Id, || {
+            batched_row_id(rt, &zloc, Truncation::Absolute(eps_id))
+        });
+        for (i, r) in id_row.iter_mut().enumerate() {
+            if r.rank() > cfg.max_rank {
+                *r = h2_dense::cpqr::row_id(&yloc.to_mat(i), Truncation::Rank(cfg.max_rank));
+            }
+        }
+        for (i, r) in id_col.iter_mut().enumerate() {
+            if r.rank() > cfg.max_rank {
+                *r = h2_dense::cpqr::row_id(&zloc.to_mat(i), Truncation::Rank(cfg.max_rank));
+            }
+        }
+
+        // Store bases and global skeleton indices for both trees.
+        let mut row_skels_local: Vec<Vec<usize>> = Vec::with_capacity(node_ids.len());
+        let mut col_skels_local: Vec<Vec<usize>> = Vec::with_capacity(node_ids.len());
+        for (local, &id) in node_ids.iter().enumerate() {
+            let stacked_rows: Vec<usize> = if is_leaf {
+                let (b, e) = tree.range(id);
+                (b..e).collect()
+            } else {
+                let (c1, c2) = tree.nodes[id].children.unwrap();
+                h2.row_skel[c1].iter().chain(h2.row_skel[c2].iter()).copied().collect()
+            };
+            let stacked_cols: Vec<usize> = if is_leaf {
+                let (b, e) = tree.range(id);
+                (b..e).collect()
+            } else {
+                let (c1, c2) = tree.nodes[id].children.unwrap();
+                h2.col_skel[c1].iter().chain(h2.col_skel[c2].iter()).copied().collect()
+            };
+            let rr = &id_row[local];
+            let rc = &id_col[local];
+            h2.row_skel[id] = rr.skel.iter().map(|&p| stacked_rows[p]).collect();
+            h2.col_skel[id] = rc.skel.iter().map(|&p| stacked_cols[p]).collect();
+            h2.row_basis[id] = rr.u.clone();
+            h2.col_basis[id] = rc.u.clone();
+            row_skels_local.push(rr.skel.clone());
+            col_skels_local.push(rc.skel.clone());
+        }
+
+        // ---- coupling blocks: every ordered admissible pair ----
+        rt.phase(Phase::EntryGen, || {
+            let mut specs = Vec::new();
+            let mut keys = Vec::new();
+            for &s in &node_ids {
+                for &t in &partition.far_of[s] {
+                    specs.push(GenBlock {
+                        rows: h2.row_skel[s].clone(),
+                        cols: h2.col_skel[t].clone(),
+                    });
+                    keys.push((s, t));
+                }
+            }
+            let blocks = batched_gen(rt, gen, &specs);
+            for ((s, t), b) in keys.into_iter().zip(blocks) {
+                h2.coupling.insert(s, t, b);
+            }
+        });
+
+        // ---- upsweep: Ω through V, Ψ through U ----
+        if l > top {
+            let row_refs: Vec<&[usize]> = row_skels_local.iter().map(|v| v.as_slice()).collect();
+            let col_refs: Vec<&[usize]> = col_skels_local.iter().map(|v| v.as_slice()).collect();
+            let u_bases: Vec<Mat> = node_ids.iter().map(|&id| h2.row_basis[id].clone()).collect();
+            let v_bases: Vec<Mat> = node_ids.iter().map(|&id| h2.col_basis[id].clone()).collect();
+            cur_y = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yloc, &row_refs));
+            cur_omega = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &v_bases, &omega_l));
+            cur_z = rt.phase(Phase::Upsweep, || shrink_rows(rt, &zloc, &col_refs));
+            cur_psi = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &u_bases, &psi_l));
+        } else {
+            cur_y = VarBatch::zeros_uniform_cols(Vec::new(), 0);
+            cur_omega = VarBatch::zeros_uniform_cols(Vec::new(), 0);
+            cur_z = VarBatch::zeros_uniform_cols(Vec::new(), 0);
+            cur_psi = VarBatch::zeros_uniform_cols(Vec::new(), 0);
+        }
+
+        records.push(LevelRecord {
+            pattern,
+            pairs,
+            source,
+            children_local,
+            node_ids,
+            row_skels_local,
+            col_skels_local,
+        });
+
+        if l == top {
+            break;
+        }
+    }
+
+    stats.elapsed = t0.elapsed();
+    stats.capture_profile(rt.profile());
+    (h2, stats)
+}
+
+/// Resolve the BSR block references of a level against the unsymmetric
+/// block stores.
+///
+/// The row stream multiplies blocks of `K`: ordered `(s, t)` lookups, no
+/// transpose. The column stream multiplies blocks of `Kᵀ`:
+/// `Kᵀ(I_s, I_t) = K(I_t, I_s)ᵀ`, i.e. the ordered `(t, s)` block
+/// transposed — and likewise `B_{t,s}ᵀ` for coupling.
+fn resolve_blocks<'a>(
+    h2: &'a H2MatrixUnsym,
+    pairs: &[(usize, usize)],
+    source: BlockSource,
+    side: Side,
+) -> Vec<BsrBlock<'a>> {
+    pairs
+        .iter()
+        .map(|&(s, t)| {
+            let (key_s, key_t, transposed) = match side {
+                Side::Row => (s, t, false),
+                Side::Col => (t, s, true),
+            };
+            let mat = match source {
+                BlockSource::Dense => h2.dense.get(key_s, key_t).expect("dense block"),
+                BlockSource::Coupling => h2.coupling.get(key_s, key_t).expect("coupling block"),
+            };
+            BsrBlock { mat, transposed }
+        })
+        .collect()
+}
+
+/// Subtract the level's known contributions from one stream's samples and
+/// stack child entries onto this level's nodes.
+#[allow(clippy::too_many_arguments)]
+fn advance_level(
+    rt: &Runtime,
+    h2: &H2MatrixUnsym,
+    pattern: &BsrPattern,
+    pairs: &[(usize, usize)],
+    source: BlockSource,
+    side: Side,
+    children_local: &[Vec<usize>],
+    mut y: VarBatch,
+    omega: VarBatch,
+) -> (VarBatch, VarBatch) {
+    rt.phase(Phase::BsrGemm, || {
+        let blocks = resolve_blocks(h2, pairs, source, side);
+        bsr_gemm(rt, pattern, &blocks, &omega, &mut y, -1.0);
+    });
+    if children_local.is_empty() {
+        (y, omega)
+    } else {
+        rt.phase(Phase::Misc, || {
+            let yl = stack_children(rt, &y, children_local);
+            let ol = stack_children(rt, &omega, children_local);
+            (yl, ol)
+        })
+    }
+}
+
+/// `updateSamples` for one stream: fresh global sketch swept through all
+/// completed levels, then advanced through the current level.
+#[allow(clippy::too_many_arguments)]
+fn sweep_new_samples(
+    rt: &Runtime,
+    sampler: &dyn LinOp,
+    h2: &H2MatrixUnsym,
+    tree: &ClusterTree,
+    records: &[LevelRecord],
+    leaf_ranges: &[(usize, usize)],
+    cur_pattern: &BsrPattern,
+    cur_pairs: &[(usize, usize)],
+    cur_source: BlockSource,
+    side: Side,
+    cur_children_local: &[Vec<usize>],
+    d: usize,
+    seed: u64,
+) -> (VarBatch, VarBatch) {
+    let n = tree.npoints();
+    let omega_new = rt.phase(Phase::Rand, || rand_mat(rt, n, d, seed));
+    let y_new = rt.phase(Phase::Sampling, || match side {
+        Side::Row => sampler.apply_mat(&omega_new),
+        Side::Col => {
+            let mut z = Mat::zeros(n, d);
+            sampler.apply_transpose(omega_new.rf(), z.rm());
+            z
+        }
+    });
+    let mut om = rt.phase(Phase::Misc, || gather_rows(rt, &omega_new, leaf_ranges));
+    let mut yv = rt.phase(Phase::Misc, || gather_rows(rt, &y_new, leaf_ranges));
+
+    for rec in records {
+        let (yl, ol) = advance_level(
+            rt, h2, &rec.pattern, &rec.pairs, rec.source, side, &rec.children_local, yv, om,
+        );
+        // Frozen skeletonization: shrink the samples by this stream's
+        // skeletons, compress the inputs by the *opposite* basis tree.
+        let (skels, bases): (&[Vec<usize>], Vec<Mat>) = match side {
+            Side::Row => (
+                &rec.row_skels_local,
+                rec.node_ids.iter().map(|&id| h2.col_basis[id].clone()).collect(),
+            ),
+            Side::Col => (
+                &rec.col_skels_local,
+                rec.node_ids.iter().map(|&id| h2.row_basis[id].clone()).collect(),
+            ),
+        };
+        let skel_refs: Vec<&[usize]> = skels.iter().map(|v| v.as_slice()).collect();
+        yv = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yl, &skel_refs));
+        om = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases, &ol));
+    }
+
+    advance_level(
+        rt, h2, cur_pattern, cur_pairs, cur_source, side, cur_children_local, yv, om,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SketchConfig;
+    use h2_dense::{gaussian_mat, relative_error_2, Mat};
+    use h2_kernels::{
+        ConvectionKernel, ExponentialKernel, KernelMatrix, ScaledKernelMatrix, UnsymKernelMatrix,
+    };
+    use h2_runtime::{Backend, Runtime};
+    use h2_tree::{Admissibility, ClusterTree, Partition};
+
+    fn convection_problem(
+        n: usize,
+        seed: u64,
+    ) -> (Arc<ClusterTree>, Arc<Partition>, UnsymKernelMatrix<ConvectionKernel>) {
+        let pts = h2_tree::uniform_cube(n, seed);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        assert!(part.top_far_level(&tree).is_some(), "problem too small");
+        let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
+        (tree, part, km)
+    }
+
+    #[test]
+    fn convection_construction_meets_tolerance() {
+        let (tree, part, km) = convection_problem(1200, 501);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+        let (h2, stats) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
+        h2.validate().unwrap();
+        assert!(stats.total_samples >= 64);
+        let dense = Mat::from_fn(1200, 1200, |i, j| km.entry(i, j));
+        let mut d = h2.to_dense();
+        d.axpy(-1.0, &dense);
+        let rel = d.norm_fro() / dense.norm_fro();
+        assert!(rel < 1e-5, "unsym construction error {rel}");
+    }
+
+    #[test]
+    fn transpose_apply_matches_dense() {
+        let (tree, part, km) = convection_problem(1000, 502);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-7, initial_samples: 80, ..Default::default() };
+        let (h2, _) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
+        let dense = Mat::from_fn(1000, 1000, |i, j| km.entry(i, j));
+        let x = gaussian_mat(1000, 3, 503);
+        let got = h2.apply_transpose_permuted_mat(&x);
+        let want = h2_dense::matmul(h2_dense::Op::Trans, h2_dense::Op::NoTrans, dense.rf(), x.rf());
+        let mut d = got;
+        d.axpy(-1.0, &want);
+        let rel = d.norm_fro() / want.norm_fro();
+        assert!(rel < 1e-5, "Kᵀx error {rel}");
+    }
+
+    #[test]
+    fn forward_and_transpose_are_consistent() {
+        // x̂ᵀ(K y) == (Kᵀ x̂)ᵀ y must hold exactly for the *representation*
+        // (same blocks read in both passes), independent of compression error.
+        let (tree, part, km) = convection_problem(900, 504);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-5, initial_samples: 48, ..Default::default() };
+        let (h2, _) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
+        let x = gaussian_mat(900, 2, 505);
+        let y = gaussian_mat(900, 2, 506);
+        let ky = h2.apply_permuted_mat(&y);
+        let ktx = h2.apply_transpose_permuted_mat(&x);
+        let a = h2_dense::matmul(h2_dense::Op::Trans, h2_dense::Op::NoTrans, x.rf(), ky.rf());
+        let b = h2_dense::matmul(h2_dense::Op::Trans, h2_dense::Op::NoTrans, ktx.rf(), y.rf());
+        let mut d = a;
+        d.axpy(-1.0, &b);
+        assert!(d.norm_max() < 1e-9, "adjoint identity violated by {}", d.norm_max());
+    }
+
+    #[test]
+    fn scaled_symmetric_kernel_construction() {
+        let pts = h2_tree::uniform_cube(1000, 507);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        let inner = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+        let dr: Vec<f64> = (0..1000).map(|i| 1.0 + 0.3 * ((i * 7) % 11) as f64 / 11.0).collect();
+        let dc: Vec<f64> = (0..1000).map(|i| 0.5 + 0.2 * ((i * 13) % 17) as f64 / 17.0).collect();
+        let km = ScaledKernelMatrix::new(inner, dr, dc);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+        let (h2, _) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
+        h2.validate().unwrap();
+        let e = relative_error_2(&km, &h2, 20, 508);
+        assert!(e < 1e-5, "scaled kernel rel err {e}");
+    }
+
+    #[test]
+    fn symmetric_input_through_unsym_path() {
+        // A symmetric kernel through the two-stream path: both bases exist,
+        // the result approximates the kernel, and K ≈ Kᵀ in the output.
+        let pts = h2_tree::uniform_cube(800, 509);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+        let (h2, _) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
+        let e = relative_error_2(&km, &h2, 20, 510);
+        assert!(e < 1e-5, "rel err {e}");
+        let d = h2.to_dense();
+        let mut asym = d.transpose();
+        asym.axpy(-1.0, &d);
+        // the representation itself need not be exactly symmetric, but the
+        // asymmetry is bounded by the compression error
+        assert!(asym.norm_fro() / d.norm_fro() < 1e-5);
+    }
+
+    #[test]
+    fn adaptive_grows_samples_unsym() {
+        let (tree, part, km) = convection_problem(2000, 511);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            tol: 1e-6,
+            initial_samples: 8,
+            sample_block: 8,
+            ..Default::default()
+        };
+        let (h2, stats) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
+        assert!(stats.rounds > 0, "must adapt from 8 samples");
+        assert!(stats.total_samples > 8);
+        let e = relative_error_2(&km, &h2, 15, 512);
+        assert!(e < 1e-5, "rel err {e} after {} samples", stats.total_samples);
+    }
+
+    #[test]
+    fn deterministic_by_seed_unsym() {
+        let (tree, part, km) = convection_problem(800, 513);
+        let cfg = SketchConfig { initial_samples: 48, ..Default::default() };
+        let (a, _) = sketch_construct_unsym(
+            &km, &km, tree.clone(), part.clone(), &Runtime::parallel(), &cfg,
+        );
+        let (b, _) = sketch_construct_unsym(
+            &km, &km, tree.clone(), part.clone(), &Runtime::new(Backend::Sequential), &cfg,
+        );
+        let mut d = a.to_dense();
+        d.axpy(-1.0, &b.to_dense());
+        assert_eq!(d.norm_max(), 0.0, "seeded construction must be backend-invariant");
+    }
+
+    #[test]
+    fn entry_extraction_matches_to_dense() {
+        let (tree, part, km) = convection_problem(700, 514);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig { tol: 1e-7, initial_samples: 64, ..Default::default() };
+        let (h2, _) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
+        let dense = h2.to_dense();
+        let rows: Vec<usize> = (0..700).step_by(31).collect();
+        let cols: Vec<usize> = (0..700).step_by(47).collect();
+        let blk = h2.extract_block(&rows, &cols);
+        for (r, &i) in rows.iter().enumerate() {
+            for (c, &j) in cols.iter().enumerate() {
+                assert!(
+                    (blk[(r, c)] - dense[(i, j)]).abs() < 1e-12,
+                    "extraction mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_problem_all_dense_unsym() {
+        let pts = h2_tree::uniform_cube(20, 515);
+        let tree = Arc::new(ClusterTree::build(&pts, 32));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
+        let rt = Runtime::sequential();
+        let (h2, stats) =
+            sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &SketchConfig::default());
+        assert_eq!(stats.total_samples, 0);
+        let dense = Mat::from_fn(20, 20, |i, j| km.entry(i, j));
+        let mut d = h2.to_dense();
+        d.axpy(-1.0, &dense);
+        assert_eq!(d.norm_max(), 0.0, "dense-only representation is exact");
+    }
+}

@@ -1,0 +1,343 @@
+//! General matrix-matrix multiplication for column-major views.
+//!
+//! `gemm` computes `C = alpha * op(A) * op(B) + beta * C` with the four
+//! transpose combinations. The kernels are written so the innermost loop
+//! walks a contiguous column (axpy / dot form), which auto-vectorizes well
+//! for the small-to-medium block sizes that dominate H2 workloads. The
+//! batch-level parallelism lives in `h2-runtime`; a column-parallel
+//! `par_gemm` is provided for the few genuinely large products (dense
+//! samplers, frontal updates).
+
+use crate::mat::{Mat, MatMut, MatRef};
+use rayon::prelude::*;
+
+/// Transpose selector, mirroring the BLAS `trans` argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    NoTrans,
+    Trans,
+}
+
+impl Op {
+    /// Rows of `op(A)` given the storage shape of `A`.
+    pub fn rows_of(self, a: MatRef<'_>) -> usize {
+        match self {
+            Op::NoTrans => a.rows(),
+            Op::Trans => a.cols(),
+        }
+    }
+
+    /// Columns of `op(A)` given the storage shape of `A`.
+    pub fn cols_of(self, a: MatRef<'_>) -> usize {
+        match self {
+            Op::NoTrans => a.cols(),
+            Op::Trans => a.rows(),
+        }
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Shapes are checked: `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`.
+pub fn gemm(
+    ta: Op,
+    tb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let m = ta.rows_of(a);
+    let k = ta.cols_of(a);
+    let k2 = tb.rows_of(b);
+    let n = tb.cols_of(b);
+    assert_eq!(k, k2, "gemm: inner dimension mismatch ({k} vs {k2})");
+    assert_eq!(c.rows(), m, "gemm: C row mismatch");
+    assert_eq!(c.cols(), n, "gemm: C col mismatch");
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill(0.0);
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    match (ta, tb) {
+        (Op::NoTrans, Op::NoTrans) => {
+            // C[:,j] += alpha * B[l,j] * A[:,l]  (axpy over contiguous columns)
+            for j in 0..n {
+                let bj = b.col(j);
+                let cj = c.col_mut(j);
+                for l in 0..k {
+                    let s = alpha * bj[l];
+                    if s != 0.0 {
+                        let al = a.col(l);
+                        for i in 0..m {
+                            cj[i] += s * al[i];
+                        }
+                    }
+                }
+            }
+        }
+        (Op::Trans, Op::NoTrans) => {
+            // C[i,j] += alpha * dot(A[:,i], B[:,j])
+            for j in 0..n {
+                let bj = b.col(j);
+                for i in 0..m {
+                    let ai = a.col(i);
+                    let mut s = 0.0;
+                    for l in 0..k {
+                        s += ai[l] * bj[l];
+                    }
+                    *c.at_mut(i, j) += alpha * s;
+                }
+            }
+        }
+        (Op::NoTrans, Op::Trans) => {
+            // C[:,j] += alpha * B[j,l] * A[:,l]
+            for j in 0..n {
+                let cj = c.col_mut(j);
+                for l in 0..k {
+                    let s = alpha * b.at(j, l);
+                    if s != 0.0 {
+                        let al = a.col(l);
+                        for i in 0..m {
+                            cj[i] += s * al[i];
+                        }
+                    }
+                }
+            }
+        }
+        (Op::Trans, Op::Trans) => {
+            // C[i,j] += alpha * sum_l A[l,i] * B[j,l]
+            for j in 0..n {
+                for i in 0..m {
+                    let ai = a.col(i);
+                    let mut s = 0.0;
+                    for l in 0..k {
+                        s += ai[l] * b.at(j, l);
+                    }
+                    *c.at_mut(i, j) += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: allocate and return `op(A) * op(B)`.
+pub fn matmul(ta: Op, tb: Op, a: MatRef<'_>, b: MatRef<'_>) -> Mat {
+    let mut c = Mat::zeros(ta.rows_of(a), tb.cols_of(b));
+    gemm(ta, tb, 1.0, a, b, 0.0, c.rm());
+    c
+}
+
+/// Column-parallel GEMM for large products (`C = alpha op(A) op(B) + beta C`).
+///
+/// Splits the columns of `C` into contiguous chunks processed by rayon; each
+/// chunk runs the sequential kernel. Used by dense samplers and the frontal
+/// Schur updates where a single product is the whole workload.
+pub fn par_gemm(
+    ta: Op,
+    tb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    let n = c.cols();
+    let m = c.rows();
+    let work = m.saturating_mul(n).saturating_mul(ta.cols_of(a));
+    if work < 1 << 18 || n < 4 {
+        gemm(ta, tb, alpha, a, b, beta, c);
+        return;
+    }
+    let nchunks = rayon::current_num_threads().max(1) * 4;
+    let chunk = n.div_ceil(nchunks).max(1);
+
+    // Partition C into disjoint column views, pairing each with the matching
+    // columns of op(B).
+    let mut tasks: Vec<(usize, MatMut<'_>)> = Vec::new();
+    let mut rest = c;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = chunk.min(n - j0);
+        let (head, tail) = rest.split_cols(w);
+        tasks.push((j0, head));
+        rest = tail;
+        j0 += w;
+    }
+    tasks.into_par_iter().for_each(|(j0, cj)| {
+        let w = cj.cols();
+        let bj = match tb {
+            Op::NoTrans => b.view(0, j0, b.rows(), w),
+            Op::Trans => b.view(j0, 0, w, b.cols()),
+        };
+        gemm(ta, tb, alpha, a, bj, beta, cj);
+    });
+}
+
+/// Matrix-vector product `y = alpha * op(A) * x + beta * y`.
+pub fn gemv(ta: Op, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    let m = ta.rows_of(a);
+    let k = ta.cols_of(a);
+    assert_eq!(x.len(), k, "gemv: x length mismatch");
+    assert_eq!(y.len(), m, "gemv: y length mismatch");
+    if beta != 1.0 {
+        if beta == 0.0 {
+            y.fill(0.0);
+        } else {
+            for v in y.iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    match ta {
+        Op::NoTrans => {
+            for l in 0..k {
+                let s = alpha * x[l];
+                if s != 0.0 {
+                    for (yi, ai) in y.iter_mut().zip(a.col(l)) {
+                        *yi += s * ai;
+                    }
+                }
+            }
+        }
+        Op::Trans => {
+            for (i, yi) in y.iter_mut().enumerate() {
+                let ai = a.col(i);
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += ai[l] * x[l];
+                }
+                *yi += alpha * s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand::gaussian_mat;
+
+    fn naive(ta: Op, tb: Op, a: &Mat, b: &Mat) -> Mat {
+        let ar = ta.rows_of(a.rf());
+        let ak = ta.cols_of(a.rf());
+        let bn = tb.cols_of(b.rf());
+        let get_a = |i: usize, l: usize| match ta {
+            Op::NoTrans => a[(i, l)],
+            Op::Trans => a[(l, i)],
+        };
+        let get_b = |l: usize, j: usize| match tb {
+            Op::NoTrans => b[(l, j)],
+            Op::Trans => b[(j, l)],
+        };
+        Mat::from_fn(ar, bn, |i, j| (0..ak).map(|l| get_a(i, l) * get_b(l, j)).sum())
+    }
+
+    #[test]
+    fn all_transpose_combos_match_naive() {
+        for (m, k, n) in [(3, 4, 5), (1, 7, 2), (6, 1, 3), (5, 5, 5)] {
+            for ta in [Op::NoTrans, Op::Trans] {
+                for tb in [Op::NoTrans, Op::Trans] {
+                    let a = match ta {
+                        Op::NoTrans => gaussian_mat(m, k, 1),
+                        Op::Trans => gaussian_mat(k, m, 1),
+                    };
+                    let b = match tb {
+                        Op::NoTrans => gaussian_mat(k, n, 2),
+                        Op::Trans => gaussian_mat(n, k, 2),
+                    };
+                    let c = matmul(ta, tb, a.rf(), b.rf());
+                    let want = naive(ta, tb, &a, &b);
+                    let mut diff = c.clone();
+                    diff.axpy(-1.0, &want);
+                    assert!(diff.norm_max() < 1e-12, "mismatch for {ta:?},{tb:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = gaussian_mat(4, 3, 3);
+        let b = gaussian_mat(3, 2, 4);
+        let mut c = gaussian_mat(4, 2, 5);
+        let c0 = c.clone();
+        gemm(Op::NoTrans, Op::NoTrans, 2.0, a.rf(), b.rf(), 0.5, c.rm());
+        let mut want = matmul(Op::NoTrans, Op::NoTrans, a.rf(), b.rf());
+        want.scale(2.0);
+        want.axpy(0.5, &c0);
+        let mut diff = c;
+        diff.axpy(-1.0, &want);
+        assert!(diff.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_on_views() {
+        let a = gaussian_mat(8, 8, 6);
+        let b = gaussian_mat(8, 8, 7);
+        let mut c = Mat::zeros(3, 4);
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.view(2, 1, 3, 5),
+            b.view(3, 2, 5, 4),
+            0.0,
+            c.rm(),
+        );
+        let asub = a.view(2, 1, 3, 5).to_mat();
+        let bsub = b.view(3, 2, 5, 4).to_mat();
+        let want = matmul(Op::NoTrans, Op::NoTrans, asub.rf(), bsub.rf());
+        let mut diff = c;
+        diff.axpy(-1.0, &want);
+        assert!(diff.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn par_gemm_matches_gemm() {
+        let a = gaussian_mat(64, 96, 8);
+        let b = gaussian_mat(96, 200, 9);
+        let mut c1 = Mat::zeros(64, 200);
+        let mut c2 = Mat::zeros(64, 200);
+        gemm(Op::NoTrans, Op::NoTrans, 1.5, a.rf(), b.rf(), 0.0, c1.rm());
+        par_gemm(Op::NoTrans, Op::NoTrans, 1.5, a.rf(), b.rf(), 0.0, c2.rm());
+        let mut diff = c1;
+        diff.axpy(-1.0, &c2);
+        assert!(diff.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let a = gaussian_mat(5, 4, 10);
+        let x: Vec<f64> = (0..4).map(|i| i as f64 + 0.5).collect();
+        let mut y = vec![1.0; 5];
+        gemv(Op::NoTrans, 2.0, a.rf(), &x, 3.0, &mut y);
+        let xm = Mat::from_vec(4, 1, x);
+        let mut want = Mat::from_vec(5, 1, vec![1.0; 5]);
+        gemm(Op::NoTrans, Op::NoTrans, 2.0, a.rf(), xm.rf(), 3.0, want.rm());
+        for i in 0..5 {
+            assert!((y[i] - want[(i, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let a = Mat::zeros(0, 3);
+        let b = Mat::zeros(3, 2);
+        let mut c = Mat::zeros(0, 2);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.rf(), b.rf(), 0.0, c.rm());
+        let a2 = Mat::zeros(2, 0);
+        let b2 = Mat::zeros(0, 3);
+        let mut c2 = Mat::from_fn(2, 3, |_, _| 7.0);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a2.rf(), b2.rf(), 0.0, c2.rm());
+        assert_eq!(c2.norm_max(), 0.0, "k=0 with beta=0 must clear C");
+    }
+}

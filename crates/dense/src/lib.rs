@@ -1,0 +1,45 @@
+//! # h2-dense
+//!
+//! Dense linear-algebra substrate for the H2 sketching workspace.
+//!
+//! The paper's GPU implementation leans on KBLAS/MAGMA/cuBLAS for batched
+//! dense kernels; this crate provides the equivalent single-matrix
+//! operations, written from scratch:
+//!
+//! * column-major [`Mat`] / [`MatRef`] / [`MatMut`] storage with
+//!   leading-dimension views (so batched workspaces can be sliced in place),
+//! * [`gemm`](gemm::gemm) with all transpose combinations and a
+//!   column-parallel variant for large products,
+//! * Householder QR ([`qr`]) — the adaptive convergence test,
+//! * column-pivoted QR and interpolative decompositions ([`cpqr`]) — the
+//!   skeletonization step,
+//! * triangular solves, LU, Cholesky, one-sided Jacobi SVD,
+//! * the [`LinOp`](op::LinOp) / [`EntryAccess`](op::EntryAccess) traits — the
+//!   paper's two black-box inputs — plus power-iteration norm estimation.
+
+pub mod aca;
+pub mod cpqr;
+pub mod krylov;
+pub mod gemm;
+pub mod lu;
+pub mod mat;
+pub mod op;
+pub mod qr;
+pub mod rand;
+pub mod svd;
+pub mod tri;
+
+pub use aca::{aca, AcaResult};
+pub use cpqr::{col_id, cpqr_factor, row_id, select_rank, ColId, RowId, Truncation};
+pub use krylov::{cg, hutchinson_trace, power_eig_max, SolveResult};
+pub use gemm::{gemm, gemv, matmul, par_gemm, Op};
+pub use lu::{cholesky_in_place, cholesky_solve, lu_factor, LuFactor};
+pub use mat::{Mat, MatMut, MatRef};
+pub use op::{estimate_norm_2, relative_error_2, DenseOp, DiffOp, EntryAccess, LinOp};
+pub use qr::{orthonormalize, qr_factor, qr_in_place, QrFactor};
+pub use rand::{fill_gaussian, gaussian_mat, random_low_rank, standard_normal};
+pub use svd::{spectral_norm, svd, Svd};
+pub use tri::{
+    solve_triangular_left, solve_triangular_left_transposed, solve_triangular_right, Diag,
+    Triangle,
+};

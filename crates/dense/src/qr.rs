@@ -1,0 +1,244 @@
+//! Householder QR factorization (unblocked, LAPACK `geqrf`-style).
+//!
+//! The factor is stored compactly: R in the upper triangle, the Householder
+//! vectors below the diagonal with implicit unit leading entry, and the
+//! scalar factors `tau` separately. This is the work-horse of the adaptive
+//! convergence test (Algorithm 1, lines 11/29 — "QR of Y_loc, inspect
+//! min |R_ii|") and of sample orthonormalization.
+
+use crate::mat::{Mat, MatMut, MatRef};
+
+/// Compact Householder QR factor of an `m x n` matrix.
+pub struct QrFactor {
+    /// Packed factor: R upper, Householder vectors lower.
+    pub a: Mat,
+    /// Householder scalars, length `min(m, n)`.
+    pub tau: Vec<f64>,
+}
+
+/// Factor `a` in place (consumes and returns the packed factor).
+pub fn qr_factor(mut a: Mat) -> QrFactor {
+    let tau = qr_in_place(&mut a.rm());
+    QrFactor { a, tau }
+}
+
+/// In-place Householder QR on a view; returns `tau`.
+pub fn qr_in_place(a: &mut MatMut<'_>) -> Vec<f64> {
+    let m = a.rows();
+    let n = a.cols();
+    let kmax = m.min(n);
+    let mut tau = vec![0.0; kmax];
+    for k in 0..kmax {
+        // Build the Householder reflector for column k.
+        let (t, beta) = house_gen(a, k);
+        tau[k] = t;
+        // Apply (I - tau v v^T) to the trailing columns.
+        if t != 0.0 {
+            for j in (k + 1)..n {
+                let mut s = a.at(k, j);
+                for i in (k + 1)..m {
+                    s += a.at(i, k) * a.at(i, j);
+                }
+                s *= t;
+                *a.at_mut(k, j) -= s;
+                for i in (k + 1)..m {
+                    let vik = a.at(i, k);
+                    *a.at_mut(i, j) -= s * vik;
+                }
+            }
+        }
+        *a.at_mut(k, k) = beta;
+    }
+    tau
+}
+
+/// Generate a Householder reflector for column `k` of `a` (rows `k..m`),
+/// storing `v` (unit leading entry implicit) in rows `k+1..m`. Returns
+/// `(tau, beta)` where `beta` is the resulting diagonal value of R.
+fn house_gen(a: &mut MatMut<'_>, k: usize) -> (f64, f64) {
+    let m = a.rows();
+    let alpha = a.at(k, k);
+    let mut xnorm2 = 0.0;
+    for i in (k + 1)..m {
+        let v = a.at(i, k);
+        xnorm2 += v * v;
+    }
+    if xnorm2 == 0.0 {
+        return (0.0, alpha);
+    }
+    let norm = (alpha * alpha + xnorm2).sqrt();
+    let beta = if alpha >= 0.0 { -norm } else { norm };
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for i in (k + 1)..m {
+        *a.at_mut(i, k) *= scale;
+    }
+    (tau, beta)
+}
+
+impl QrFactor {
+    pub fn rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    pub fn cols(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Absolute values of the diagonal of R (the adaptive convergence
+    /// statistic of Algorithm 1).
+    pub fn r_diag_abs(&self) -> Vec<f64> {
+        (0..self.tau.len()).map(|i| self.a[(i, i)].abs()).collect()
+    }
+
+    /// Smallest `|R_ii|`; `None` for an empty factor.
+    pub fn min_r_diag_abs(&self) -> Option<f64> {
+        self.r_diag_abs().into_iter().min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// The upper-triangular factor R (`min(m,n) x n`).
+    pub fn r(&self) -> Mat {
+        let k = self.tau.len();
+        Mat::from_fn(k, self.a.cols(), |i, j| if j >= i { self.a[(i, j)] } else { 0.0 })
+    }
+
+    /// The thin orthonormal factor Q (`m x min(m,n)`).
+    pub fn q_thin(&self) -> Mat {
+        let m = self.a.rows();
+        let k = self.tau.len();
+        let mut q = Mat::zeros(m, k);
+        for i in 0..k {
+            q[(i, i)] = 1.0;
+        }
+        self.apply_q(&mut q.rm());
+        q
+    }
+
+    /// `c <- Q c` (apply reflectors in reverse order).
+    pub fn apply_q(&self, c: &mut MatMut<'_>) {
+        let m = self.a.rows();
+        assert_eq!(c.rows(), m, "apply_q: row mismatch");
+        for k in (0..self.tau.len()).rev() {
+            self.apply_reflector(k, c);
+        }
+    }
+
+    /// `c <- Q^T c` (apply reflectors in forward order).
+    pub fn apply_qt(&self, c: &mut MatMut<'_>) {
+        let m = self.a.rows();
+        assert_eq!(c.rows(), m, "apply_qt: row mismatch");
+        for k in 0..self.tau.len() {
+            self.apply_reflector(k, c);
+        }
+    }
+
+    fn apply_reflector(&self, k: usize, c: &mut MatMut<'_>) {
+        let t = self.tau[k];
+        if t == 0.0 {
+            return;
+        }
+        let m = self.a.rows();
+        for j in 0..c.cols() {
+            let mut s = c.at(k, j);
+            for i in (k + 1)..m {
+                s += self.a[(i, k)] * c.at(i, j);
+            }
+            s *= t;
+            *c.at_mut(k, j) -= s;
+            for i in (k + 1)..m {
+                *c.at_mut(i, j) -= s * self.a[(i, k)];
+            }
+        }
+    }
+}
+
+/// Orthonormalize the columns of `a` (thin Q of its QR factorization).
+pub fn orthonormalize(a: Mat) -> Mat {
+    qr_factor(a).q_thin()
+}
+
+/// Compute only `|diag(R)|` of the QR of a view, without keeping the factor.
+/// This is the exact statistic the batched convergence test needs.
+pub fn r_diag_abs_of(a: MatRef<'_>, work: &mut Mat) -> Vec<f64> {
+    if work.rows() != a.rows() || work.cols() != a.cols() {
+        *work = Mat::zeros(a.rows(), a.cols());
+    }
+    work.rm().copy_from(a);
+    let tau = qr_in_place(&mut work.rm());
+    (0..tau.len()).map(|i| work[(i, i)].abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, Op};
+    use crate::rand::gaussian_mat;
+
+    fn reconstruct_err(a: &Mat) -> f64 {
+        let f = qr_factor(a.clone());
+        let q = f.q_thin();
+        let r = f.r();
+        let qr = matmul(Op::NoTrans, Op::NoTrans, q.rf(), r.rf());
+        let mut d = qr;
+        d.axpy(-1.0, a);
+        d.norm_max() / a.norm_max().max(1.0)
+    }
+
+    #[test]
+    fn reconstructs_tall_square_wide() {
+        for (m, n) in [(10, 4), (6, 6), (4, 9), (1, 1), (12, 1)] {
+            let a = gaussian_mat(m, n, (m * 100 + n) as u64);
+            assert!(reconstruct_err(&a) < 1e-13, "QR failed for {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = gaussian_mat(20, 7, 11);
+        let q = qr_factor(a).q_thin();
+        let qtq = matmul(Op::Trans, Op::NoTrans, q.rf(), q.rf());
+        let mut d = qtq;
+        d.axpy(-1.0, &Mat::eye(7));
+        assert!(d.norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn qt_q_roundtrip() {
+        let a = gaussian_mat(9, 5, 12);
+        let f = qr_factor(a);
+        let c0 = gaussian_mat(9, 3, 13);
+        let mut c = c0.clone();
+        f.apply_qt(&mut c.rm());
+        f.apply_q(&mut c.rm());
+        let mut d = c;
+        d.axpy(-1.0, &c0);
+        assert!(d.norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn rank_deficiency_shows_in_r_diag() {
+        // Rank-3 matrix: |R_44| must collapse.
+        let a = crate::rand::random_low_rank(12, 8, 3, 0.9, 5);
+        let f = qr_factor(a);
+        let d = f.r_diag_abs();
+        assert!(d[3] < 1e-10 * d[0].max(1e-300));
+    }
+
+    #[test]
+    fn min_r_diag_matches_helper() {
+        let a = gaussian_mat(16, 6, 17);
+        let f = qr_factor(a.clone());
+        let mut work = Mat::zeros(0, 0);
+        let d = r_diag_abs_of(a.rf(), &mut work);
+        let want = f.min_r_diag_abs().unwrap();
+        let got = d.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((want - got).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_matrix_qr() {
+        let a = Mat::zeros(5, 3);
+        let f = qr_factor(a);
+        assert_eq!(f.min_r_diag_abs().unwrap(), 0.0);
+    }
+}

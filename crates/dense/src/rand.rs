@@ -1,0 +1,92 @@
+//! Deterministic Gaussian random matrices.
+//!
+//! The sketching algorithm needs standard-normal random blocks Ω. We generate
+//! them with a Box–Muller transform over a seeded `SmallRng` so that every
+//! experiment is reproducible, and so that the batched generator in
+//! `h2-runtime` can hand each batch entry an independent, seed-derived stream
+//! (the parallel-safe equivalent of the paper's single `batchedRand` kernel).
+
+use crate::mat::{Mat, MatMut};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw one standard-normal sample via Box–Muller.
+#[inline]
+pub fn standard_normal(rng: &mut SmallRng) -> f64 {
+    // Box–Muller: u1 in (0,1], u2 in [0,1).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fill a view with i.i.d. N(0,1) entries.
+pub fn fill_gaussian(m: &mut MatMut<'_>, rng: &mut SmallRng) {
+    for j in 0..m.cols() {
+        for v in m.col_mut(j) {
+            *v = standard_normal(rng);
+        }
+    }
+}
+
+/// Allocate a `rows x cols` matrix of i.i.d. N(0,1) entries from `seed`.
+pub fn gaussian_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = Mat::zeros(rows, cols);
+    fill_gaussian(&mut m.rm(), &mut rng);
+    m
+}
+
+/// Fill a slice with i.i.d. N(0,1) entries.
+pub fn fill_gaussian_slice(s: &mut [f64], rng: &mut SmallRng) {
+    for v in s {
+        *v = standard_normal(rng);
+    }
+}
+
+/// A rank-`k` random matrix `U diag(s) V^T` with geometrically decaying
+/// singular values `s_i = decay^i` — the standard synthetic low-rank test
+/// input.
+pub fn random_low_rank(rows: usize, cols: usize, k: usize, decay: f64, seed: u64) -> Mat {
+    use crate::gemm::{matmul, Op};
+    use crate::qr::orthonormalize;
+    let u = orthonormalize(gaussian_mat(rows, k, seed));
+    let v = orthonormalize(gaussian_mat(cols, k, seed.wrapping_add(1)));
+    let mut us = u;
+    for j in 0..k {
+        let s = decay.powi(j as i32);
+        for x in us.col_mut(j) {
+            *x *= s;
+        }
+    }
+    matmul(Op::NoTrans, Op::Trans, us.rf(), v.rf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments() {
+        let m = gaussian_mat(200, 200, 42);
+        let n = m.len() as f64;
+        let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(gaussian_mat(5, 5, 7), gaussian_mat(5, 5, 7));
+        assert_ne!(gaussian_mat(5, 5, 7), gaussian_mat(5, 5, 8));
+    }
+
+    #[test]
+    fn low_rank_has_requested_rank() {
+        let a = random_low_rank(30, 20, 5, 0.5, 3);
+        // Columns 6.. of a CPQR should be numerically negligible.
+        let (_, _, r_diag) = crate::cpqr::cpqr_factor(a.clone());
+        assert!(r_diag[5].abs() < 1e-10 * r_diag[0].abs());
+        assert!(r_diag[4].abs() > 1e-6 * r_diag[0].abs());
+    }
+}

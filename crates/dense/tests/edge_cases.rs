@@ -1,0 +1,299 @@
+//! Deterministic edge-case coverage of the dense substrate: degenerate
+//! shapes, exact singularities, duplicated data — the inputs batched GPU
+//! code paths hit when cluster sizes, ranks, or sample counts collapse.
+
+use h2_dense::cpqr::{col_id, row_id, Truncation};
+use h2_dense::{
+    aca, cholesky_in_place, gaussian_mat, lu_factor, matmul, qr_factor, solve_triangular_left,
+    svd, Diag, Mat, Op, Triangle,
+};
+
+// ---------------------------------------------------------------- shapes
+
+#[test]
+fn qr_of_empty_and_single() {
+    let f = qr_factor(Mat::zeros(0, 0));
+    assert_eq!(f.r().rows(), 0);
+
+    let f = qr_factor(Mat::from_rows(&[&[3.0]]));
+    assert!((f.r()[(0, 0)].abs() - 3.0).abs() < 1e-15);
+
+    // Zero-column tall matrix.
+    let f = qr_factor(Mat::zeros(5, 0));
+    assert_eq!(f.r().cols(), 0);
+}
+
+#[test]
+fn qr_tall_and_wide() {
+    for (m, n) in [(10, 3), (3, 10)] {
+        let a = gaussian_mat(m, n, 71);
+        let f = qr_factor(a.clone());
+        let q = f.q_thin();
+        let r = f.r();
+        let qr = matmul(Op::NoTrans, Op::NoTrans, q.rf(), r.rf());
+        let mut d = qr;
+        d.axpy(-1.0, &a);
+        assert!(d.norm_max() < 1e-12, "{m}x{n} QR reconstruction");
+        // Q orthonormal.
+        let qtq = matmul(Op::Trans, Op::NoTrans, q.rf(), q.rf());
+        let mut e = qtq;
+        e.axpy(-1.0, &Mat::eye(m.min(n)));
+        assert!(e.norm_max() < 1e-12);
+    }
+}
+
+#[test]
+fn row_id_of_rank_zero_matrix() {
+    let rid = row_id(&Mat::zeros(6, 4), Truncation::Absolute(1e-12));
+    assert_eq!(rid.rank(), 0);
+    assert_eq!(rid.u.rows(), 6);
+    assert_eq!(rid.u.cols(), 0);
+}
+
+#[test]
+fn row_id_single_row() {
+    let a = Mat::from_rows(&[&[1.0, 2.0, 3.0]]);
+    let rid = row_id(&a, Truncation::Relative(1e-12));
+    assert_eq!(rid.rank(), 1);
+    assert_eq!(rid.skel, vec![0]);
+}
+
+#[test]
+fn col_id_duplicated_columns() {
+    // Two distinct columns, each duplicated 3x: rank exactly 2 and the
+    // interpolation reconstructs the duplicates exactly.
+    let c1 = [1.0, 2.0, 3.0, 4.0];
+    let c2 = [4.0, -1.0, 0.5, 2.0];
+    let a = Mat::from_fn(4, 6, |i, j| if j % 2 == 0 { c1[i] } else { c2[i] });
+    let cid = col_id(a.clone(), Truncation::Relative(1e-12));
+    assert_eq!(cid.rank(), 2);
+    let sel = a.select_cols(&cid.skel);
+    let rec = matmul(Op::NoTrans, Op::NoTrans, sel.rf(), cid.interp_matrix(6).rf());
+    let mut d = rec;
+    d.axpy(-1.0, &a);
+    assert!(d.norm_max() < 1e-12);
+}
+
+#[test]
+fn rank_truncation_exact() {
+    let a = gaussian_mat(12, 12, 72);
+    for k in [0usize, 1, 5, 12] {
+        let rid = row_id(&a, Truncation::Rank(k));
+        assert_eq!(rid.rank(), k);
+    }
+}
+
+// ----------------------------------------------------------- singularity
+
+#[test]
+fn lu_detects_exact_singularity() {
+    assert!(lu_factor(Mat::zeros(3, 3)).is_none());
+    // Rank-1 3x3.
+    let u = Mat::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+    let s = matmul(Op::NoTrans, Op::Trans, u.rf(), u.rf());
+    assert!(lu_factor(s).is_none());
+}
+
+#[test]
+fn lu_permutation_matrix_solved_exactly() {
+    // A pure permutation forces pivoting on every step.
+    let mut p = Mat::zeros(4, 4);
+    p[(0, 2)] = 1.0;
+    p[(1, 0)] = 1.0;
+    p[(2, 3)] = 1.0;
+    p[(3, 1)] = 1.0;
+    let f = lu_factor(p.clone()).unwrap();
+    let b = gaussian_mat(4, 2, 73);
+    let x = f.solve(&b);
+    let px = matmul(Op::NoTrans, Op::NoTrans, p.rf(), x.rf());
+    let mut d = px;
+    d.axpy(-1.0, &b);
+    assert!(d.norm_max() < 1e-14);
+}
+
+#[test]
+fn cholesky_rejects_indefinite() {
+    let mut a = Mat::eye(3);
+    a[(2, 2)] = -1.0;
+    assert!(cholesky_in_place(&mut a.rm()).is_err());
+}
+
+#[test]
+fn cholesky_1x1() {
+    let mut a = Mat::from_rows(&[&[9.0]]);
+    cholesky_in_place(&mut a.rm()).unwrap();
+    assert!((a[(0, 0)] - 3.0).abs() < 1e-15);
+}
+
+#[test]
+fn triangular_solve_unit_diagonal() {
+    // Unit-lower solve must ignore stored diagonal values.
+    let mut l = Mat::eye(3);
+    l[(1, 0)] = 2.0;
+    l[(2, 0)] = -1.0;
+    l[(2, 1)] = 0.5;
+    l[(0, 0)] = 99.0; // must be ignored with Diag::Unit
+    let b = Mat::from_rows(&[&[1.0], &[4.0], &[2.0]]);
+    let mut x = b.clone();
+    solve_triangular_left(Triangle::Lower, Diag::Unit, l.rf(), &mut x.rm());
+    // Forward substitution with unit diagonal.
+    assert!((x[(0, 0)] - 1.0).abs() < 1e-15);
+    assert!((x[(1, 0)] - 2.0).abs() < 1e-15);
+    assert!((x[(2, 0)] - (2.0 + 1.0 - 1.0)).abs() < 1e-15);
+}
+
+// ------------------------------------------------------------------ svd
+
+#[test]
+fn svd_of_diagonal_matrix() {
+    let mut a = Mat::zeros(4, 4);
+    for (i, s) in [4.0, 3.0, 2.0, 1.0].iter().enumerate() {
+        a[(i, i)] = *s;
+    }
+    let f = svd(&a);
+    for (i, s) in [4.0, 3.0, 2.0, 1.0].iter().enumerate() {
+        assert!((f.s[i] - s).abs() < 1e-12, "singular value {i}");
+    }
+}
+
+#[test]
+fn svd_rank_one() {
+    let u = Mat::from_rows(&[&[1.0], &[2.0], &[2.0]]);
+    let v = Mat::from_rows(&[&[3.0], &[4.0]]);
+    let a = matmul(Op::NoTrans, Op::Trans, u.rf(), v.rf());
+    let f = svd(&a);
+    assert!((f.s[0] - 15.0).abs() < 1e-12, "3*5 = |u||v| = 15, got {}", f.s[0]);
+    assert!(f.s[1].abs() < 1e-12);
+}
+
+#[test]
+fn svd_wide_matches_transpose() {
+    let a = gaussian_mat(3, 7, 74);
+    let fa = svd(&a);
+    let ft = svd(&a.transpose());
+    for i in 0..3 {
+        assert!((fa.s[i] - ft.s[i]).abs() < 1e-10);
+    }
+}
+
+// ------------------------------------------------------------------ aca
+
+#[test]
+fn aca_rank_one_constant_matrix() {
+    let res = aca(8, 9, |_, _| 2.5, 1e-12, 8);
+    assert_eq!(res.rank(), 1);
+    let mut d = res.to_mat();
+    d.axpy(-1.0, &Mat::from_fn(8, 9, |_, _| 2.5));
+    assert!(d.norm_max() < 1e-12);
+}
+
+#[test]
+fn aca_single_row_and_column() {
+    let res = aca(1, 6, |_, j| (j + 1) as f64, 1e-12, 4);
+    assert_eq!(res.rank(), 1);
+    let res = aca(6, 1, |i, _| (i + 1) as f64, 1e-12, 4);
+    assert_eq!(res.rank(), 1);
+}
+
+// ---------------------------------------------------------------- gemm
+
+#[test]
+fn gemm_zero_dims_are_noops() {
+    // k = 0 contraction: C unchanged under beta = 1.
+    let a = Mat::zeros(3, 0);
+    let b = Mat::zeros(0, 2);
+    let mut c = gaussian_mat(3, 2, 75);
+    let c0 = c.clone();
+    h2_dense::gemm(Op::NoTrans, Op::NoTrans, 1.0, a.rf(), b.rf(), 1.0, c.rm());
+    let mut d = c;
+    d.axpy(-1.0, &c0);
+    assert_eq!(d.norm_max(), 0.0);
+}
+
+#[test]
+fn gemm_beta_zero_clears_nan() {
+    // beta = 0 must overwrite even NaN garbage in C (BLAS semantics).
+    let a = Mat::eye(2);
+    let b = Mat::eye(2);
+    let mut c = Mat::from_fn(2, 2, |_, _| f64::NAN);
+    h2_dense::gemm(Op::NoTrans, Op::NoTrans, 1.0, a.rf(), b.rf(), 0.0, c.rm());
+    assert_eq!(c[(0, 0)], 1.0);
+    assert_eq!(c[(0, 1)], 0.0);
+    assert!(!c[(1, 1)].is_nan());
+}
+
+#[test]
+fn matmul_all_transpose_combinations() {
+    let a = gaussian_mat(4, 3, 76);
+    let b = gaussian_mat(3, 5, 77);
+    let c1 = matmul(Op::NoTrans, Op::NoTrans, a.rf(), b.rf());
+    let c2 = matmul(Op::Trans, Op::NoTrans, a.transpose().rf(), b.rf());
+    let c3 = matmul(Op::NoTrans, Op::Trans, a.rf(), b.transpose().rf());
+    let c4 = matmul(Op::Trans, Op::Trans, a.transpose().rf(), b.transpose().rf());
+    for c in [&c2, &c3, &c4] {
+        let mut d = c.clone();
+        d.axpy(-1.0, &c1);
+        assert!(d.norm_max() < 1e-13);
+    }
+}
+
+// ------------------------------------------------------------- mat ops
+
+#[test]
+fn select_rows_and_cols_consistency() {
+    let a = Mat::from_fn(6, 5, |i, j| (10 * i + j) as f64);
+    let r = a.select_rows(&[5, 0, 3]);
+    assert_eq!(r[(0, 4)], 54.0);
+    assert_eq!(r[(1, 0)], 0.0);
+    let c = a.select_cols(&[4, 4]);
+    assert_eq!(c[(2, 0)], 24.0);
+    assert_eq!(c[(2, 1)], 24.0);
+}
+
+#[test]
+fn vcat_hcat_shapes_and_content() {
+    let a = Mat::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+    let b = Mat::from_fn(1, 3, |_, j| (100 + j) as f64);
+    let v = a.vcat(&b);
+    assert_eq!((v.rows(), v.cols()), (3, 3));
+    assert_eq!(v[(2, 1)], 101.0);
+
+    let c = Mat::from_fn(2, 1, |i, _| (200 + i) as f64);
+    let h = a.hcat(&c);
+    assert_eq!((h.rows(), h.cols()), (2, 4));
+    assert_eq!(h[(1, 3)], 201.0);
+}
+
+#[test]
+fn norms_of_known_matrices() {
+    let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+    assert!((a.norm_fro() - 5.0).abs() < 1e-15);
+    assert_eq!(a.norm_max(), 4.0);
+    assert_eq!(Mat::zeros(3, 3).norm_fro(), 0.0);
+}
+
+#[test]
+fn transpose_involution() {
+    let a = gaussian_mat(5, 7, 78);
+    let mut d = a.transpose().transpose();
+    d.axpy(-1.0, &a);
+    assert_eq!(d.norm_max(), 0.0);
+}
+
+#[test]
+fn zero_size_views_at_boundary() {
+    // Regression: view(m, n, 0, 0) — the full-rank corner case of the ULV
+    // elimination (no variables to eliminate) — must not panic.
+    let a = gaussian_mat(4, 4, 79);
+    let v = a.view(4, 4, 0, 0);
+    assert_eq!((v.rows(), v.cols()), (0, 0));
+    let v = a.view(0, 4, 4, 0);
+    assert_eq!((v.rows(), v.cols()), (4, 0));
+    let v = a.view(4, 0, 0, 4);
+    assert_eq!((v.rows(), v.cols()), (0, 4));
+    assert_eq!(v.to_mat().rows(), 0);
+
+    let mut b = gaussian_mat(3, 3, 80);
+    let v = b.view_mut(3, 3, 0, 0);
+    assert_eq!((v.rows(), v.cols()), (0, 0));
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the dense LA substrate.
+
+use h2_dense::*;
+use proptest::prelude::*;
+
+fn mat_strategy(max: usize) -> impl Strategy<Value = Mat> {
+    (1..max, 1..max, 0u64..10_000)
+        .prop_map(|(m, n, seed)| gaussian_mat(m, n, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (A B) C == A (B C) within roundoff.
+    #[test]
+    fn gemm_associative(seed in 0u64..1000, m in 1usize..12, k in 1usize..12, n in 1usize..12, p in 1usize..12) {
+        let a = gaussian_mat(m, k, seed);
+        let b = gaussian_mat(k, n, seed + 1);
+        let c = gaussian_mat(n, p, seed + 2);
+        let ab_c = matmul(Op::NoTrans, Op::NoTrans, matmul(Op::NoTrans, Op::NoTrans, a.rf(), b.rf()).rf(), c.rf());
+        let a_bc = matmul(Op::NoTrans, Op::NoTrans, a.rf(), matmul(Op::NoTrans, Op::NoTrans, b.rf(), c.rf()).rf());
+        let mut d = ab_c;
+        d.axpy(-1.0, &a_bc);
+        prop_assert!(d.norm_max() < 1e-10);
+    }
+
+    /// (A B)^T == B^T A^T.
+    #[test]
+    fn gemm_transpose_identity(seed in 0u64..1000, m in 1usize..12, k in 1usize..12, n in 1usize..12) {
+        let a = gaussian_mat(m, k, seed);
+        let b = gaussian_mat(k, n, seed + 7);
+        let abt = matmul(Op::NoTrans, Op::NoTrans, a.rf(), b.rf()).transpose();
+        let btat = matmul(Op::Trans, Op::Trans, b.rf(), a.rf());
+        let mut d = abt;
+        d.axpy(-1.0, &btat);
+        prop_assert!(d.norm_max() < 1e-12);
+    }
+
+    /// Triangular solves invert triangular products for well-conditioned T.
+    #[test]
+    fn tri_solve_roundtrip(seed in 0u64..1000, n in 1usize..14, k in 1usize..6) {
+        let g = gaussian_mat(n, n, seed);
+        let t = Mat::from_fn(n, n, |i, j| {
+            if i < j { 0.0 } else if i == j { 2.0 + g[(i, j)].abs() } else { 0.25 * g[(i, j)] }
+        });
+        let x0 = gaussian_mat(n, k, seed + 3);
+        let mut b = matmul(Op::NoTrans, Op::NoTrans, t.rf(), x0.rf());
+        solve_triangular_left(Triangle::Lower, Diag::NonUnit, t.rf(), &mut b.rm());
+        let mut d = b;
+        d.axpy(-1.0, &x0);
+        prop_assert!(d.norm_max() < 1e-9);
+    }
+
+    /// LU solves random nonsingular systems.
+    #[test]
+    fn lu_solves_random(seed in 0u64..1000, n in 1usize..16) {
+        let mut a = gaussian_mat(n, n, seed);
+        for i in 0..n {
+            a[(i, i)] += 4.0; // keep comfortably nonsingular
+        }
+        let x0 = gaussian_mat(n, 2, seed + 5);
+        let b = matmul(Op::NoTrans, Op::NoTrans, a.rf(), x0.rf());
+        let f = lu_factor(a).expect("nonsingular");
+        let x = f.solve(&b);
+        let mut d = x;
+        d.axpy(-1.0, &x0);
+        prop_assert!(d.norm_max() < 1e-8);
+    }
+
+    /// Cholesky of G Gᵀ + c I succeeds and solves.
+    #[test]
+    fn cholesky_spd_random(seed in 0u64..1000, n in 1usize..16) {
+        let g = gaussian_mat(n, n, seed);
+        let mut a = matmul(Op::NoTrans, Op::Trans, g.rf(), g.rf());
+        for i in 0..n {
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let x0 = gaussian_mat(n, 1, seed + 11);
+        let mut b = matmul(Op::NoTrans, Op::NoTrans, a.rf(), x0.rf());
+        let mut f = a;
+        prop_assert!(cholesky_in_place(&mut f.rm()).is_ok());
+        cholesky_solve(f.rf(), &mut b.rm());
+        let mut d = b;
+        d.axpy(-1.0, &x0);
+        prop_assert!(d.norm_max() < 1e-8);
+    }
+
+    /// CPQR pivots never repeat, rdiag non-increasing.
+    #[test]
+    fn cpqr_pivots_valid(a in mat_strategy(16)) {
+        let n = a.cols();
+        let (_, jpvt, rdiag) = cpqr_factor(a);
+        let mut seen = vec![false; n];
+        for &p in &jpvt {
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+        for w in rdiag.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    /// ID error is controlled by the discarded diagonal of R.
+    #[test]
+    fn id_error_tracks_truncation(seed in 0u64..500, m in 4usize..20, n in 4usize..20) {
+        let a = random_low_rank(m, n, 3.min(m).min(n), 0.3, seed);
+        let id = row_id(&a, Truncation::Absolute(1e-10));
+        let sk = a.select_rows(&id.skel);
+        let rec = matmul(Op::NoTrans, Op::NoTrans, id.u.rf(), sk.rf());
+        let mut d = rec;
+        d.axpy(-1.0, &a);
+        prop_assert!(d.norm_fro() < 1e-6 * a.norm_fro().max(1e-12) + 1e-8);
+    }
+
+    /// Norm estimate is within a factor of the true spectral norm.
+    #[test]
+    fn norm_estimate_bounds(seed in 0u64..200, n in 2usize..20) {
+        let a = gaussian_mat(n, n, seed);
+        let exact = spectral_norm(&a);
+        let est = estimate_norm_2(&DenseOp::new(a), 25, seed + 1);
+        prop_assert!(est <= exact * 1.001);
+        prop_assert!(est >= 0.5 * exact, "est {} exact {}", est, exact);
+    }
+
+    /// Views never alias incorrectly: writing a sub-view touches only its
+    /// block.
+    #[test]
+    fn view_writes_are_local(m in 2usize..12, n in 2usize..12, seed in 0u64..100) {
+        let mut a = gaussian_mat(m, n, seed);
+        let orig = a.clone();
+        let (r0, c0) = (m / 2, n / 2);
+        a.view_mut(r0, c0, m - r0, n - c0).fill(7.0);
+        for i in 0..m {
+            for j in 0..n {
+                if i >= r0 && j >= c0 {
+                    prop_assert_eq!(a[(i, j)], 7.0);
+                } else {
+                    prop_assert_eq!(a[(i, j)], orig[(i, j)]);
+                }
+            }
+        }
+    }
+
+    /// hcat/vcat shapes and contents.
+    #[test]
+    fn cat_contents(m in 1usize..8, n1 in 1usize..8, n2 in 1usize..8, seed in 0u64..100) {
+        let a = gaussian_mat(m, n1, seed);
+        let b = gaussian_mat(m, n2, seed + 1);
+        let h = a.hcat(&b);
+        prop_assert_eq!(h.cols(), n1 + n2);
+        prop_assert_eq!(h[(m - 1, n1 + n2 - 1)], b[(m - 1, n2 - 1)]);
+        let v = a.transpose().vcat(&b.transpose());
+        prop_assert_eq!(v.rows(), n1 + n2);
+        prop_assert_eq!(v[(n1, 0)], b[(0, 0)]);
+    }
+}

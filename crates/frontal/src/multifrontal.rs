@@ -1,0 +1,514 @@
+//! Nested dissection and multifrontal Cholesky for regular 3-D grids.
+//!
+//! The separator tree is built by recursive planar bisection of the grid
+//! (the classical geometric nested dissection for which 3-D Poisson top
+//! separators are full grid planes of size `n²` — exactly the frontal sizes
+//! 50²=2500 … 250²=62500 on the x-axis of the paper's Fig. 6(b)).
+//!
+//! The multifrontal factorization processes separators in postorder: each
+//! node assembles its frontal matrix from original matrix entries plus the
+//! children's update matrices (extend-add), eliminates its separator
+//! variables by a partial Cholesky, and passes the Schur complement up.
+//! `top_front` returns the fully-assembled root front *before* elimination —
+//! the dense Schur complement the paper compresses.
+
+use crate::sparse::{CsrMatrix, Grid3};
+use h2_dense::{cholesky_in_place, gemm, Diag, Mat, Op, Triangle};
+use std::collections::HashMap;
+
+/// One node of the separator tree.
+pub struct NdNode {
+    /// Matrix indices eliminated at this node (a separator plane or a leaf
+    /// box).
+    pub vars: Vec<usize>,
+    pub children: Vec<usize>,
+    /// Grid bounding box `(x0, x1, y0, y1, z0, z1)` (half-open).
+    pub region: (usize, usize, usize, usize, usize, usize),
+}
+
+/// Separator tree from geometric nested dissection.
+pub struct NdTree {
+    pub nodes: Vec<NdNode>,
+    pub root: usize,
+    /// Postorder traversal (children before parents).
+    pub postorder: Vec<usize>,
+}
+
+/// Build the separator tree for the grid; boxes of at most `leaf_box`
+/// vertices stop recursing.
+pub fn nested_dissection(grid: Grid3, leaf_box: usize) -> NdTree {
+    let mut nodes = Vec::new();
+    let root = dissect(
+        grid,
+        (0, grid.nx, 0, grid.ny, 0, grid.nz),
+        leaf_box.max(1),
+        &mut nodes,
+    );
+    let mut postorder = Vec::with_capacity(nodes.len());
+    post(&nodes, root, &mut postorder);
+    NdTree { nodes, root, postorder }
+}
+
+fn post(nodes: &[NdNode], id: usize, out: &mut Vec<usize>) {
+    for &c in &nodes[id].children {
+        post(nodes, c, out);
+    }
+    out.push(id);
+}
+
+fn dissect(
+    grid: Grid3,
+    region: (usize, usize, usize, usize, usize, usize),
+    leaf_box: usize,
+    nodes: &mut Vec<NdNode>,
+) -> usize {
+    let (x0, x1, y0, y1, z0, z1) = region;
+    let dims = [x1 - x0, y1 - y0, z1 - z0];
+    let vol = dims[0] * dims[1] * dims[2];
+    if vol <= leaf_box || dims.iter().all(|&d| d <= 1) {
+        let mut vars = Vec::with_capacity(vol);
+        for z in z0..z1 {
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    vars.push(grid.index(x, y, z));
+                }
+            }
+        }
+        nodes.push(NdNode { vars, children: Vec::new(), region });
+        return nodes.len() - 1;
+    }
+    // Split the widest dimension with a one-plane separator.
+    let dim = (0..3).max_by_key(|&d| dims[d]).unwrap();
+    let (lo, hi) = match dim {
+        0 => (x0, x1),
+        1 => (y0, y1),
+        _ => (z0, z1),
+    };
+    let mid = lo + (hi - lo) / 2;
+    let (left_region, right_region, sep_vars) = match dim {
+        0 => (
+            (x0, mid, y0, y1, z0, z1),
+            (mid + 1, x1, y0, y1, z0, z1),
+            plane_vars(grid, dim, mid, region),
+        ),
+        1 => (
+            (x0, x1, y0, mid, z0, z1),
+            (x0, x1, mid + 1, y1, z0, z1),
+            plane_vars(grid, dim, mid, region),
+        ),
+        _ => (
+            (x0, x1, y0, y1, z0, mid),
+            (x0, x1, y0, y1, mid + 1, z1),
+            plane_vars(grid, dim, mid, region),
+        ),
+    };
+    let mut children = Vec::new();
+    if region_len(left_region) > 0 {
+        children.push(dissect(grid, left_region, leaf_box, nodes));
+    }
+    if region_len(right_region) > 0 {
+        children.push(dissect(grid, right_region, leaf_box, nodes));
+    }
+    nodes.push(NdNode { vars: sep_vars, children, region });
+    nodes.len() - 1
+}
+
+fn region_len(r: (usize, usize, usize, usize, usize, usize)) -> usize {
+    let (x0, x1, y0, y1, z0, z1) = r;
+    (x1.saturating_sub(x0)) * (y1.saturating_sub(y0)) * (z1.saturating_sub(z0))
+}
+
+fn plane_vars(
+    grid: Grid3,
+    dim: usize,
+    at: usize,
+    region: (usize, usize, usize, usize, usize, usize),
+) -> Vec<usize> {
+    let (x0, x1, y0, y1, z0, z1) = region;
+    let mut v = Vec::new();
+    match dim {
+        0 => {
+            for z in z0..z1 {
+                for y in y0..y1 {
+                    v.push(grid.index(at, y, z));
+                }
+            }
+        }
+        1 => {
+            for z in z0..z1 {
+                for x in x0..x1 {
+                    v.push(grid.index(x, at, z));
+                }
+            }
+        }
+        _ => {
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    v.push(grid.index(x, y, at));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// A frontal matrix: its index set and the dense values.
+pub struct Front {
+    /// Global matrix indices of the front (eliminated vars first, then
+    /// boundary), each list sorted ascending.
+    pub vars: Vec<usize>,
+    pub boundary: Vec<usize>,
+    /// Dense front of order `vars.len() + boundary.len()`.
+    pub mat: Mat,
+}
+
+/// Result of the multifrontal factorization.
+pub struct MultifrontalResult {
+    /// Cholesky factors per node (the `[L11; L21]` panel), by node id.
+    pub panels: Vec<Option<Mat>>,
+    /// Per node: `(vars, boundary)` global index sets matching the panel
+    /// rows (vars first, then boundary).
+    pub index_sets: Vec<(Vec<usize>, Vec<usize>)>,
+    /// Postorder used during factorization (for the solve sweeps).
+    pub postorder: Vec<usize>,
+    /// The root front assembled *before* elimination (paper's extracted
+    /// frontal matrix) and its index set.
+    pub top_front: Mat,
+    pub top_vars: Vec<usize>,
+}
+
+impl MultifrontalResult {
+    /// Solve `A x = b` using the multifrontal Cholesky factors
+    /// (forward sweep in postorder, backward sweep in reverse).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        // Forward: y(vars) = L11^{-1} y(vars); y(bnd) -= L21 y(vars).
+        for &id in &self.postorder {
+            let Some(panel) = &self.panels[id] else { continue };
+            let (vars, bnd) = &self.index_sets[id];
+            let nv = vars.len();
+            if nv == 0 {
+                continue;
+            }
+            let mut rhs = Mat::from_fn(nv, 1, |i, _| y[vars[i]]);
+            let l11 = panel.view(0, 0, nv, nv);
+            h2_dense::solve_triangular_left(
+                Triangle::Lower,
+                Diag::NonUnit,
+                l11,
+                &mut rhs.rm(),
+            );
+            for (i, &v) in vars.iter().enumerate() {
+                y[v] = rhs[(i, 0)];
+            }
+            if !bnd.is_empty() {
+                let l21 = panel.view(nv, 0, bnd.len(), nv);
+                let mut upd = Mat::zeros(bnd.len(), 1);
+                gemm(Op::NoTrans, Op::NoTrans, 1.0, l21, rhs.rf(), 0.0, upd.rm());
+                for (i, &v) in bnd.iter().enumerate() {
+                    y[v] -= upd[(i, 0)];
+                }
+            }
+        }
+        // Backward: x(vars) = L11^{-T} (y(vars) - L21^T x(bnd)).
+        let mut x = y;
+        for &id in self.postorder.iter().rev() {
+            let Some(panel) = &self.panels[id] else { continue };
+            let (vars, bnd) = &self.index_sets[id];
+            let nv = vars.len();
+            if nv == 0 {
+                continue;
+            }
+            let mut rhs = Mat::from_fn(nv, 1, |i, _| x[vars[i]]);
+            if !bnd.is_empty() {
+                let l21 = panel.view(nv, 0, bnd.len(), nv);
+                let xb = Mat::from_fn(bnd.len(), 1, |i, _| x[bnd[i]]);
+                gemm(Op::Trans, Op::NoTrans, -1.0, l21, xb.rf(), 1.0, rhs.rm());
+            }
+            let l11 = panel.view(0, 0, nv, nv);
+            h2_dense::solve_triangular_left_transposed(
+                Triangle::Lower,
+                Diag::NonUnit,
+                l11,
+                &mut rhs.rm(),
+            );
+            for (i, &v) in vars.iter().enumerate() {
+                x[v] = rhs[(i, 0)];
+            }
+        }
+        x
+    }
+}
+
+/// Run the multifrontal Cholesky. Panics if the matrix is not SPD.
+pub fn multifrontal_cholesky(a: &CsrMatrix, tree: &NdTree) -> MultifrontalResult {
+    let n = a.n;
+    // node owning each variable
+    let mut owner = vec![usize::MAX; n];
+    for (id, node) in tree.nodes.iter().enumerate() {
+        for &v in &node.vars {
+            owner[id_checked(v, n)] = id;
+        }
+    }
+    // Elimination order: position of each node in postorder.
+    let mut node_pos = vec![0usize; tree.nodes.len()];
+    for (p, &id) in tree.postorder.iter().enumerate() {
+        node_pos[id] = p;
+    }
+
+    let mut updates: Vec<Option<(Vec<usize>, Mat)>> = (0..tree.nodes.len()).map(|_| None).collect();
+    let mut panels: Vec<Option<Mat>> = (0..tree.nodes.len()).map(|_| None).collect();
+    let mut index_sets: Vec<(Vec<usize>, Vec<usize>)> =
+        (0..tree.nodes.len()).map(|_| (Vec::new(), Vec::new())).collect();
+    let mut top_front = Mat::zeros(0, 0);
+    let mut top_vars = Vec::new();
+
+    for &id in &tree.postorder {
+        let node = &tree.nodes[id];
+        let mut vars = node.vars.clone();
+        vars.sort_unstable();
+
+        // Boundary: union of (a) original-matrix neighbours of `vars`
+        // eliminated strictly later, (b) children's boundaries minus `vars`.
+        let mut bset: Vec<usize> = Vec::new();
+        for &v in &vars {
+            for (j, _) in a.row(v) {
+                if node_pos[owner[j]] > node_pos[id] {
+                    bset.push(j);
+                }
+            }
+        }
+        for &c in &node.children {
+            if let Some((cb, _)) = &updates[c] {
+                for &j in cb {
+                    if owner[j] != id {
+                        bset.push(j);
+                    }
+                }
+            }
+        }
+        bset.sort_unstable();
+        bset.dedup();
+
+        let nv = vars.len();
+        let nb = bset.len();
+        let m = nv + nb;
+        let mut f = Mat::zeros(m, m);
+        let all: Vec<usize> = vars.iter().chain(bset.iter()).copied().collect();
+        let pos: HashMap<usize, usize> = all.iter().enumerate().map(|(p, &g)| (g, p)).collect();
+
+        // Assemble original entries: rows of eliminated vars (and symmetry).
+        for (p, &v) in vars.iter().enumerate() {
+            for (j, val) in a.row(v) {
+                if let Some(&q) = pos.get(&j) {
+                    // Only assemble entries not already owned by a child
+                    // (original entries between two later-eliminated vars
+                    // belong to the node eliminating the earlier one).
+                    f[(p, q)] += val;
+                    if q != p && q >= nv {
+                        f[(q, p)] += val;
+                    }
+                }
+            }
+        }
+
+        // Extend-add children updates.
+        for &c in &node.children {
+            if let Some((cb, u)) = updates[c].take() {
+                let map: Vec<usize> = cb.iter().map(|g| pos[g]).collect();
+                for (ci, &pi) in map.iter().enumerate() {
+                    for (cj, &pj) in map.iter().enumerate() {
+                        f[(pi, pj)] += u[(ci, cj)];
+                    }
+                }
+            }
+        }
+
+        if id == tree.root {
+            top_front = f.clone();
+            top_vars = all.clone();
+        }
+
+        // Partial Cholesky: eliminate the first nv variables.
+        {
+            let mut f11 = f.view_mut(0, 0, nv, nv);
+            cholesky_in_place(&mut f11).expect("front not SPD");
+        }
+        if nb > 0 {
+            // L21 = F21 * L11^{-T}
+            let l11 = f.view(0, 0, nv, nv).to_mat();
+            let mut f21 = f.view(nv, 0, nb, nv).to_mat();
+            // Solve X L11^T = F21  =>  right-solve with lower-transposed.
+            solve_lower_transposed_right(&l11, &mut f21);
+            // U = F22 - L21 L21^T
+            let mut u = f.view(nv, nv, nb, nb).to_mat();
+            gemm(Op::NoTrans, Op::Trans, -1.0, f21.rf(), f21.rf(), 1.0, u.rm());
+            // store panel [L11; L21]
+            let mut panel = Mat::zeros(m, nv);
+            panel.view_mut(0, 0, nv, nv).copy_from(lower_of(&l11).rf());
+            panel.view_mut(nv, 0, nb, nv).copy_from(f21.rf());
+            panels[id] = Some(panel);
+            index_sets[id] = (vars.clone(), bset.clone());
+            updates[id] = Some((bset, u));
+        } else {
+            let l11 = lower_of(&f.view(0, 0, nv, nv).to_mat());
+            panels[id] = Some(l11);
+            index_sets[id] = (vars.clone(), Vec::new());
+            updates[id] = Some((bset, Mat::zeros(0, 0)));
+        }
+    }
+
+    MultifrontalResult { panels, index_sets, postorder: tree.postorder.clone(), top_front, top_vars }
+}
+
+fn id_checked(v: usize, n: usize) -> usize {
+    debug_assert!(v < n);
+    v
+}
+
+/// Zero out the strict upper triangle (Cholesky stores L in the lower part).
+fn lower_of(a: &Mat) -> Mat {
+    Mat::from_fn(a.rows(), a.cols(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+}
+
+/// Solve `X L^T = B` in place for lower-triangular `L` (i.e. `X = B L^{-T}`).
+fn solve_lower_transposed_right(l: &Mat, b: &mut Mat) {
+    // X L^T = B  <=>  L X^T = B^T: one left-solve on the transpose.
+    let mut bt = b.transpose();
+    h2_dense::solve_triangular_left(Triangle::Lower, Diag::NonUnit, l.rf(), &mut bt.rm());
+    *b = bt.transpose();
+}
+
+/// Extract the root-separator front of the Poisson problem on an `n³` grid:
+/// the paper's frontal matrix of size `n²`. Returns the dense front and the
+/// physical coordinates of its grid points (for cluster-tree construction).
+pub fn poisson_top_front(n: usize, leaf_box: usize) -> (Mat, Vec<[f64; 3]>) {
+    let grid = Grid3::cube(n);
+    let a = crate::sparse::poisson3d(grid);
+    let tree = nested_dissection(grid, leaf_box);
+    let res = multifrontal_cholesky(&a, &tree);
+    let pts: Vec<[f64; 3]> = res.top_vars.iter().map(|&v| grid.point(v)).collect();
+    (res.top_front, pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::poisson3d;
+
+    #[test]
+    fn nd_partitions_all_variables_once() {
+        let grid = Grid3::cube(5);
+        let tree = nested_dissection(grid, 8);
+        let mut seen = vec![false; grid.len()];
+        for node in &tree.nodes {
+            for &v in &node.vars {
+                assert!(!seen[v], "variable {v} in two separators");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing variables");
+    }
+
+    #[test]
+    fn root_separator_is_a_plane() {
+        let grid = Grid3::cube(6);
+        let tree = nested_dissection(grid, 8);
+        assert_eq!(tree.nodes[tree.root].vars.len(), 36, "root separator = 6x6 plane");
+    }
+
+    #[test]
+    fn top_front_equals_dense_schur_complement() {
+        let n = 5;
+        let grid = Grid3::cube(n);
+        let a = poisson3d(grid);
+        let tree = nested_dissection(grid, 4);
+        let res = multifrontal_cholesky(&a, &tree);
+
+        // Dense reference: S = A_ss - A_si A_ii^{-1} A_is.
+        let dense = a.to_dense();
+        let s_idx = &res.top_vars;
+        let i_idx: Vec<usize> =
+            (0..a.n).filter(|v| !s_idx.contains(v)).collect();
+        let a_ss = dense.select_rows(s_idx).select_cols(s_idx);
+        let a_si = dense.select_rows(s_idx).select_cols(&i_idx);
+        let a_ii = dense.select_rows(&i_idx).select_cols(&i_idx);
+        let f = h2_dense::lu_factor(a_ii).unwrap();
+        let a_is = a_si.transpose();
+        let x = f.solve(&a_is); // A_ii^{-1} A_is
+        let mut want = a_ss;
+        gemm(Op::NoTrans, Op::NoTrans, -1.0, a_si.rf(), x.rf(), 1.0, want.rm());
+
+        let mut d = res.top_front.clone();
+        d.axpy(-1.0, &want);
+        assert!(
+            d.norm_max() < 1e-9 * want.norm_max().max(1.0),
+            "top front differs from Schur complement by {}",
+            d.norm_max()
+        );
+    }
+
+    #[test]
+    fn factorization_solves_the_system() {
+        // Verify L L^T = A by reconstructing through a matvec comparison on
+        // the root front path: the top front must be SPD (factorizable).
+        let (front, pts) = poisson_top_front(5, 4);
+        assert_eq!(front.rows(), 25);
+        assert_eq!(pts.len(), 25);
+        let mut f = front;
+        assert!(h2_dense::cholesky_in_place(&mut f.rm()).is_ok(), "top front must be SPD");
+    }
+
+    #[test]
+    fn multifrontal_solve_matches_dense() {
+        let grid = Grid3::cube(6);
+        let a = poisson3d(grid);
+        let tree = nested_dissection(grid, 8);
+        let res = multifrontal_cholesky(&a, &tree);
+        // Random RHS; compare against dense Cholesky solve.
+        let n = a.n;
+        let b: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0).collect();
+        let x = res.solve(&b);
+        let mut dense = a.to_dense();
+        h2_dense::cholesky_in_place(&mut dense.rm()).unwrap();
+        let mut want = Mat::from_fn(n, 1, |i, _| b[i]);
+        h2_dense::cholesky_solve(dense.rf(), &mut want.rm());
+        for i in 0..n {
+            assert!(
+                (x[i] - want[(i, 0)]).abs() < 1e-9,
+                "solution mismatch at {i}: {} vs {}",
+                x[i],
+                want[(i, 0)]
+            );
+        }
+        // And the residual through the sparse operator must vanish.
+        let mut ax = vec![0.0; n];
+        a.matvec(&x, &mut ax);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-9, "residual at {i}");
+        }
+    }
+
+    #[test]
+    fn multifrontal_solve_nonuniform_grid() {
+        let grid = Grid3 { nx: 7, ny: 4, nz: 5 };
+        let a = poisson3d(grid);
+        let tree = nested_dissection(grid, 6);
+        let res = multifrontal_cholesky(&a, &tree);
+        let n = a.n;
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
+        let mut b = vec![0.0; n];
+        a.matvec(&x0, &mut b);
+        let x = res.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x0[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn front_sizes_match_paper_axis() {
+        // n³ grid ⇒ n² top separator: the paper's 2500..62500 axis is n=50..250.
+        let (front, _) = poisson_top_front(8, 16);
+        assert_eq!(front.rows(), 64);
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal CSR sparse matrices and the 3-D Poisson model problem.
+//!
+//! The paper's third experiment extracts frontal matrices "from the
+//! multifrontal factorization of a uniform-grid discretized 3D Poisson
+//! problem" (§V.A). This module provides the 7-point finite-difference
+//! operator on an `nx x ny x nz` grid with homogeneous Dirichlet conditions
+//! (diagonal 6, off-diagonals -1 — strictly diagonally dominant, SPD).
+
+use h2_dense::Mat;
+
+/// Compressed sparse row symmetric matrix (full pattern stored).
+pub struct CsrMatrix {
+    pub n: usize,
+    pub row_ptr: Vec<usize>,
+    pub col_idx: Vec<usize>,
+    pub vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Entries of row `i` as `(col, value)` pairs.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let r = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[r.clone()].iter().copied().zip(self.vals[r].iter().copied())
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Entry lookup (O(row degree)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.row(i).find(|&(c, _)| c == j).map(|(_, v)| v).unwrap_or(0.0)
+    }
+
+    /// `y = A x` for a single vector.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut s = 0.0;
+            for (j, v) in self.row(i) {
+                s += v * x[j];
+            }
+            y[i] = s;
+        }
+    }
+
+    /// Dense copy (tests only).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.n, self.n);
+        for i in 0..self.n {
+            for (j, v) in self.row(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+}
+
+/// Regular-grid helper: index of grid point `(x, y, z)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Grid3 {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Grid3 {
+    pub fn cube(n: usize) -> Self {
+        Grid3 { nx: n, ny: n, nz: n }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        x + self.nx * (y + self.ny * z)
+    }
+
+    #[inline]
+    pub fn coords(&self, i: usize) -> (usize, usize, usize) {
+        let x = i % self.nx;
+        let y = (i / self.nx) % self.ny;
+        let z = i / (self.nx * self.ny);
+        (x, y, z)
+    }
+
+    /// Physical coordinates of grid point `i` in the unit cube.
+    pub fn point(&self, i: usize) -> [f64; 3] {
+        let (x, y, z) = self.coords(i);
+        [
+            (x as f64 + 0.5) / self.nx as f64,
+            (y as f64 + 0.5) / self.ny as f64,
+            (z as f64 + 0.5) / self.nz as f64,
+        ]
+    }
+}
+
+/// Assemble the 7-point Laplacian on the grid (Dirichlet, diagonal 6).
+pub fn poisson3d(grid: Grid3) -> CsrMatrix {
+    let n = grid.len();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for i in 0..n {
+        let (x, y, z) = grid.coords(i);
+        let mut push = |c: usize, v: f64| {
+            col_idx.push(c);
+            vals.push(v);
+        };
+        // CSR rows kept sorted by column.
+        if z > 0 {
+            push(grid.index(x, y, z - 1), -1.0);
+        }
+        if y > 0 {
+            push(grid.index(x, y - 1, z), -1.0);
+        }
+        if x > 0 {
+            push(grid.index(x - 1, y, z), -1.0);
+        }
+        push(i, 6.0);
+        if x + 1 < grid.nx {
+            push(grid.index(x + 1, y, z), -1.0);
+        }
+        if y + 1 < grid.ny {
+            push(grid.index(x, y + 1, z), -1.0);
+        }
+        if z + 1 < grid.nz {
+            push(grid.index(x, y, z + 1), -1.0);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix { n, row_ptr, col_idx, vals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_index_roundtrip() {
+        let g = Grid3 { nx: 3, ny: 4, nz: 5 };
+        for i in 0..g.len() {
+            let (x, y, z) = g.coords(i);
+            assert_eq!(g.index(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn poisson_is_symmetric_and_diagonally_dominant() {
+        let a = poisson3d(Grid3::cube(4));
+        let d = a.to_dense();
+        for i in 0..a.n {
+            for j in 0..a.n {
+                assert_eq!(d[(i, j)], d[(j, i)]);
+            }
+            let off: f64 = (0..a.n).filter(|&j| j != i).map(|j| d[(i, j)].abs()).sum();
+            assert!(d[(i, i)] > off - 1e-12, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn poisson_row_counts() {
+        let g = Grid3::cube(3);
+        let a = poisson3d(g);
+        // Center point has 7 entries, corner has 4.
+        assert_eq!(a.row(g.index(1, 1, 1)).count(), 7);
+        assert_eq!(a.row(g.index(0, 0, 0)).count(), 4);
+        assert_eq!(a.get(0, 0), 6.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn poisson_is_spd() {
+        let a = poisson3d(Grid3::cube(4)).to_dense();
+        let mut f = a;
+        assert!(h2_dense::cholesky_in_place(&mut f.rm()).is_ok());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = poisson3d(Grid3 { nx: 3, ny: 2, nz: 4 });
+        let d = a.to_dense();
+        let x: Vec<f64> = (0..a.n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; a.n];
+        a.matvec(&x, &mut y);
+        for i in 0..a.n {
+            let want: f64 = (0..a.n).map(|j| d[(i, j)] * x[j]).sum();
+            assert!((y[i] - want).abs() < 1e-12);
+        }
+    }
+}

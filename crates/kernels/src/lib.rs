@@ -1,0 +1,452 @@
+//! # h2-kernels
+//!
+//! Kernel functions and kernel matrices — the paper's three test problems
+//! plus a few extras:
+//!
+//! * exponential covariance `K(x,y) = exp(-|x-y| / l)` (paper eq. (8),
+//!   Gaussian spatial process, correlation length `l = 0.2`),
+//! * Helmholtz volume IE `K(x,y) = cos(k |x-y|) / |x-y|` (paper eq. (9),
+//!   `k = 3`), with a configurable diagonal self-term,
+//! * Gaussian and Matérn-3/2 covariance kernels,
+//! * the 3-D Laplace (free-space Green's function) kernel used by the
+//!   frontal-matrix surrogate.
+//!
+//! [`KernelMatrix`] binds a kernel to a point cloud in *tree order* and
+//! implements both black-box inputs of Algorithm 1 ([`LinOp`] for sketching
+//! and [`EntryAccess`] for `batchedGen`). Its `apply` is the exact O(N² d)
+//! product — used as ground truth in tests and to bootstrap reference
+//! operators; large-scale sampling goes through the O(N) H2 matvec in
+//! `h2-matrix`.
+
+use h2_dense::{EntryAccess, LinOp, MatMut, MatRef};
+use h2_tree::{dist, Point};
+use rayon::prelude::*;
+
+pub mod unsym;
+
+pub use unsym::{ConvectionKernel, Kernel2, ScaledKernelMatrix, UnsymKernelMatrix};
+
+/// A symmetric, translation-invariant kernel function.
+pub trait Kernel: Sync + Send {
+    /// Evaluate the kernel at distance `r > 0`.
+    fn eval_r(&self, r: f64) -> f64;
+
+    /// Value on the diagonal (and for coincident points).
+    fn diag(&self) -> f64;
+
+    /// Evaluate for a point pair.
+    fn eval(&self, x: &Point, y: &Point) -> f64 {
+        let r = dist(x, y);
+        if r == 0.0 {
+            self.diag()
+        } else {
+            self.eval_r(r)
+        }
+    }
+}
+
+/// Exponential covariance kernel `exp(-r / l)` (paper eq. (8)).
+#[derive(Clone, Copy, Debug)]
+pub struct ExponentialKernel {
+    /// Correlation length (paper uses 0.2).
+    pub l: f64,
+}
+
+impl Default for ExponentialKernel {
+    fn default() -> Self {
+        ExponentialKernel { l: 0.2 }
+    }
+}
+
+impl Kernel for ExponentialKernel {
+    fn eval_r(&self, r: f64) -> f64 {
+        (-r / self.l).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Helmholtz volume IE kernel `cos(k r) / r` (paper eq. (9)).
+///
+/// The paper leaves the `x = y` self-term to the discretization; we expose it
+/// as `diag`. The `paper(n)` constructor uses an `n^{1/3}`-scaled self-term
+/// mimicking a volume quadrature self-interaction (≈ 2/h for mesh width h),
+/// which keeps the operator well conditioned.
+#[derive(Clone, Copy, Debug)]
+pub struct HelmholtzKernel {
+    /// Wavenumber (paper fixes k = 3).
+    pub k: f64,
+    /// Diagonal self-term.
+    pub diag: f64,
+}
+
+impl HelmholtzKernel {
+    /// Paper configuration for an `n`-point unit-cube volume grid.
+    pub fn paper(n: usize) -> Self {
+        HelmholtzKernel { k: 3.0, diag: 2.0 * (n as f64).cbrt() }
+    }
+}
+
+impl Kernel for HelmholtzKernel {
+    fn eval_r(&self, r: f64) -> f64 {
+        (self.k * r).cos() / r
+    }
+
+    fn diag(&self) -> f64 {
+        self.diag
+    }
+}
+
+/// Gaussian (squared-exponential) covariance kernel `exp(-r² / (2 l²))`.
+#[derive(Clone, Copy, Debug)]
+pub struct GaussianKernel {
+    pub l: f64,
+}
+
+impl Kernel for GaussianKernel {
+    fn eval_r(&self, r: f64) -> f64 {
+        (-0.5 * (r / self.l) * (r / self.l)).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Matérn-3/2 covariance kernel `(1 + √3 r/l) exp(-√3 r/l)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Matern32Kernel {
+    pub l: f64,
+}
+
+impl Kernel for Matern32Kernel {
+    fn eval_r(&self, r: f64) -> f64 {
+        let s = 3f64.sqrt() * r / self.l;
+        (1.0 + s) * (-s).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Matérn-5/2 covariance kernel `(1 + √5 r/l + 5r²/(3l²)) exp(-√5 r/l)` —
+/// the twice-differentiable member of the Matérn family, the default in
+/// much of the Gaussian-process literature.
+#[derive(Clone, Copy, Debug)]
+pub struct Matern52Kernel {
+    pub l: f64,
+}
+
+impl Kernel for Matern52Kernel {
+    fn eval_r(&self, r: f64) -> f64 {
+        let s = 5f64.sqrt() * r / self.l;
+        (1.0 + s + s * s / 3.0) * (-s).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Inverse multiquadric kernel `1 / √(1 + (r/l)²)` — an RBF-interpolation
+/// staple with algebraic (not exponential) decay; strictly positive
+/// definite on distinct points.
+#[derive(Clone, Copy, Debug)]
+pub struct InverseMultiquadricKernel {
+    pub l: f64,
+}
+
+impl Kernel for InverseMultiquadricKernel {
+    fn eval_r(&self, r: f64) -> f64 {
+        let s = r / self.l;
+        1.0 / (1.0 + s * s).sqrt()
+    }
+
+    fn diag(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Cauchy (rational-quadratic limit) kernel `1 / (1 + (r/l)²)` — heavy
+/// polynomial tails, long-range correlations.
+#[derive(Clone, Copy, Debug)]
+pub struct CauchyKernel {
+    pub l: f64,
+}
+
+impl Kernel for CauchyKernel {
+    fn eval_r(&self, r: f64) -> f64 {
+        let s = r / self.l;
+        1.0 / (1.0 + s * s)
+    }
+
+    fn diag(&self) -> f64 {
+        1.0
+    }
+}
+
+/// 3-D Laplace single-layer kernel `1 / (4π r)` with a diagonal self-term —
+/// the Green's-function surrogate for Poisson frontal matrices.
+#[derive(Clone, Copy, Debug)]
+pub struct LaplaceKernel {
+    pub diag: f64,
+}
+
+impl LaplaceKernel {
+    /// Self-term `≈ 1/(2π h)` for mesh width `h` (keeps the surrogate SPD-ish).
+    pub fn with_mesh_width(h: f64) -> Self {
+        LaplaceKernel { diag: 1.0 / (2.0 * std::f64::consts::PI * h) }
+    }
+}
+
+impl Kernel for LaplaceKernel {
+    fn eval_r(&self, r: f64) -> f64 {
+        1.0 / (4.0 * std::f64::consts::PI * r)
+    }
+
+    fn diag(&self) -> f64 {
+        self.diag
+    }
+}
+
+/// A kernel matrix over a point cloud in tree (permuted) order.
+///
+/// Index `i` refers to `points[i]`; callers pass points already permuted by
+/// the cluster tree so that matrix indices match cluster index ranges.
+pub struct KernelMatrix<K: Kernel> {
+    pub kernel: K,
+    pub points: Vec<Point>,
+}
+
+impl<K: Kernel> KernelMatrix<K> {
+    pub fn new(kernel: K, points: Vec<Point>) -> Self {
+        KernelMatrix { kernel, points }
+    }
+
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn value(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.kernel.diag();
+        }
+        let r = dist(&self.points[i], &self.points[j]);
+        if r == 0.0 {
+            self.kernel.diag()
+        } else {
+            self.kernel.eval_r(r)
+        }
+    }
+}
+
+impl<K: Kernel> EntryAccess for KernelMatrix<K> {
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        self.value(i, j)
+    }
+
+    fn block(&self, rows: &[usize], cols: &[usize], out: &mut MatMut<'_>) {
+        assert_eq!(out.rows(), rows.len());
+        assert_eq!(out.cols(), cols.len());
+        for (jj, &j) in cols.iter().enumerate() {
+            let col = out.col_mut(jj);
+            for (ii, &i) in rows.iter().enumerate() {
+                col[ii] = self.value(i, j);
+            }
+        }
+    }
+}
+
+impl<K: Kernel> LinOp for KernelMatrix<K> {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+
+    fn ncols(&self) -> usize {
+        self.n()
+    }
+
+    /// Exact dense product, computed on the fly (never forms the N x N
+    /// matrix), parallelized over output columns. O(N² d) — ground truth for
+    /// tests and reference-operator bootstrap.
+    fn apply(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        let n = self.n();
+        assert_eq!(x.rows(), n);
+        assert_eq!(y.rows(), n);
+        let d = x.cols();
+
+        // Disjoint single-column views of y for safe parallelism.
+        let mut cols: Vec<MatMut<'_>> = Vec::with_capacity(d);
+        let mut rest = y;
+        for _ in 0..d {
+            let (head, tail) = rest.split_cols(1);
+            cols.push(head);
+            rest = tail;
+        }
+        cols.into_par_iter().enumerate().for_each(|(j, mut yj)| {
+            let xj = x.col(j);
+            for i in 0..n {
+                let mut s = 0.0;
+                for (l, xl) in xj.iter().enumerate() {
+                    s += self.value(i, l) * xl;
+                }
+                *yj.at_mut(i, 0) = s;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_dense::{gaussian_mat, Mat};
+    use h2_tree::uniform_cube;
+
+    #[test]
+    fn kernels_match_formulas() {
+        let e = ExponentialKernel { l: 0.2 };
+        assert!((e.eval_r(0.2) - (-1.0f64).exp()).abs() < 1e-15);
+        assert_eq!(e.diag(), 1.0);
+
+        let h = HelmholtzKernel { k: 3.0, diag: 5.0 };
+        assert!((h.eval_r(0.5) - (1.5f64).cos() / 0.5).abs() < 1e-15);
+        assert_eq!(h.diag(), 5.0);
+
+        let g = GaussianKernel { l: 1.0 };
+        assert!((g.eval_r(1.0) - (-0.5f64).exp()).abs() < 1e-15);
+
+        let m = Matern32Kernel { l: 1.0 };
+        let s = 3f64.sqrt();
+        assert!((m.eval_r(1.0) - (1.0 + s) * (-s).exp()).abs() < 1e-15);
+
+        let m5 = Matern52Kernel { l: 1.0 };
+        let s5 = 5f64.sqrt();
+        assert!((m5.eval_r(1.0) - (1.0 + s5 + 5.0 / 3.0) * (-s5).exp()).abs() < 1e-15);
+
+        let imq = InverseMultiquadricKernel { l: 2.0 };
+        assert!((imq.eval_r(2.0) - 1.0 / 2f64.sqrt()).abs() < 1e-15);
+
+        let c = CauchyKernel { l: 1.0 };
+        assert!((c.eval_r(3.0) - 0.1).abs() < 1e-15);
+
+        let lp = LaplaceKernel { diag: 1.0 };
+        assert!((lp.eval_r(2.0) - 1.0 / (8.0 * std::f64::consts::PI)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matern_family_ordering() {
+        // At a fixed distance, smoother Matérn members stay closer to 1
+        // (faster small-r Taylor agreement): exp (ν=1/2) < 3/2 < 5/2 < Gauss.
+        let r = 0.3;
+        let e = ExponentialKernel { l: 1.0 }.eval_r(r);
+        let m3 = Matern32Kernel { l: 1.0 }.eval_r(r);
+        let m5 = Matern52Kernel { l: 1.0 }.eval_r(r);
+        assert!(e < m3 && m3 < m5, "Matérn smoothness ordering violated: {e} {m3} {m5}");
+    }
+
+    #[test]
+    fn new_kernels_are_spd_on_small_clouds() {
+        let pts = uniform_cube(50, 67);
+        for k in [
+            &KernelMatrix::new(Matern52Kernel { l: 0.5 }, pts.clone()) as &dyn EntryAccess,
+            &KernelMatrix::new(InverseMultiquadricKernel { l: 0.5 }, pts.clone()),
+            &KernelMatrix::new(CauchyKernel { l: 0.5 }, pts.clone()),
+        ] {
+            let mut dense = Mat::from_fn(50, 50, |i, j| k.entry(i, j));
+            assert!(
+                h2_dense::cholesky_in_place(&mut dense.rm()).is_ok(),
+                "kernel matrix must be SPD on distinct points"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_matrix_symmetric() {
+        let pts = uniform_cube(50, 61);
+        let km = KernelMatrix::new(ExponentialKernel::default(), pts);
+        for i in (0..50).step_by(7) {
+            for j in (0..50).step_by(11) {
+                assert_eq!(km.entry(i, j), km.entry(j, i));
+            }
+        }
+        assert_eq!(km.entry(3, 3), 1.0);
+    }
+
+    #[test]
+    fn block_matches_entries() {
+        let pts = uniform_cube(40, 62);
+        let km = KernelMatrix::new(HelmholtzKernel::paper(40), pts);
+        let rows = [3, 17, 0];
+        let cols = [5, 3, 39, 1];
+        let b = km.block_mat(&rows, &cols);
+        for (ii, &i) in rows.iter().enumerate() {
+            for (jj, &j) in cols.iter().enumerate() {
+                assert_eq!(b[(ii, jj)], km.entry(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_matches_dense() {
+        let pts = uniform_cube(120, 63);
+        let km = KernelMatrix::new(ExponentialKernel::default(), pts);
+        let dense = Mat::from_fn(120, 120, |i, j| km.entry(i, j));
+        let x = gaussian_mat(120, 3, 64);
+        let y = km.apply_mat(&x);
+        let want =
+            h2_dense::matmul(h2_dense::Op::NoTrans, h2_dense::Op::NoTrans, dense.rf(), x.rf());
+        let mut d = y;
+        d.axpy(-1.0, &want);
+        assert!(d.norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn covariance_matrix_is_spd_small() {
+        // Exponential covariance on distinct points is strictly PD.
+        let pts = uniform_cube(60, 65);
+        let km = KernelMatrix::new(ExponentialKernel::default(), pts);
+        let mut dense = Mat::from_fn(60, 60, |i, j| km.entry(i, j));
+        assert!(h2_dense::cholesky_in_place(&mut dense.rm()).is_ok());
+    }
+
+    #[test]
+    fn kernel_decay_ordering() {
+        // At the paper's correlation length, distant interactions are tiny —
+        // the low-rank structure the whole method exploits.
+        let e = ExponentialKernel { l: 0.2 };
+        assert!(e.eval_r(1.0) < 0.01);
+        assert!(e.eval_r(0.05) > 0.75);
+    }
+
+    #[test]
+    fn helmholtz_far_blocks_are_low_rank() {
+        // Two well-separated clusters: the interaction block must compress.
+        let mut pts = uniform_cube(64, 66);
+        for p in pts.iter_mut().take(32) {
+            // cluster A: compact box [0, 0.2]^3
+            for c in p.iter_mut() {
+                *c *= 0.2;
+            }
+        }
+        for p in pts.iter_mut().skip(32) {
+            // cluster B: compact box [0.8, 1.0]^3 (distance ≈ 1, diam ≈ 0.35)
+            for c in p.iter_mut() {
+                *c = 0.8 + 0.2 * *c;
+            }
+        }
+        let km = KernelMatrix::new(HelmholtzKernel::paper(64), pts);
+        let rows: Vec<usize> = (0..32).collect();
+        let cols: Vec<usize> = (32..64).collect();
+        let b = km.block_mat(&rows, &cols);
+        let f = h2_dense::svd(&b);
+        let rel_rank = f.s.iter().take_while(|&&s| s > 1e-6 * f.s[0]).count();
+        assert!(
+            rel_rank <= 20,
+            "separated 32x32 block should be numerically low rank, got rank {rel_rank}"
+        );
+    }
+}

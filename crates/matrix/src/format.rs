@@ -1,0 +1,272 @@
+//! The H2 matrix representation.
+//!
+//! An H2 matrix (paper §II.A) stores:
+//! * explicit bases `U_τ` at leaf clusters,
+//! * transfer matrices `E_{ν1}, E_{ν2}` at inner clusters (stored stacked as
+//!   one `(k_{ν1}+k_{ν2}) x k_τ` matrix — the nested-basis property,
+//!   eq. (2)),
+//! * small coupling matrices `B_{s,t} = K(Ĩ_s, Ĩ_t)` for admissible pairs,
+//! * dense blocks `D_{s,t} = K(I_s, I_t)` for inadmissible leaf pairs.
+//!
+//! The matrix is assumed symmetric (paper simplification `V_t = U_t`), so
+//! blocks are stored once per unordered pair `(min(s,t), max(s,t))` and the
+//! transposed side is applied on the fly.
+
+use h2_dense::Mat;
+use h2_tree::{ClusterTree, Partition};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Storage for per-pair blocks, deduplicated by symmetry (`s <= t`).
+#[derive(Default)]
+pub struct BlockStore {
+    /// Unordered pairs, `s <= t` (node ids).
+    pub pairs: Vec<(usize, usize)>,
+    /// `blocks[i]` is the block of `pairs[i]`, stored as `K(rows(s), cols(t))`.
+    pub blocks: Vec<Mat>,
+    index: HashMap<(usize, usize), usize>,
+}
+
+impl BlockStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert the block for pair `(s, t)` (stored under the unordered key;
+    /// pass the matrix oriented as `K(s-rows, t-cols)` with `s <= t`).
+    pub fn insert(&mut self, s: usize, t: usize, block: Mat) {
+        assert!(s <= t, "BlockStore stores unordered pairs; pass s <= t");
+        let idx = self.blocks.len();
+        let prev = self.index.insert((s, t), idx);
+        assert!(prev.is_none(), "duplicate block ({s},{t})");
+        self.pairs.push((s, t));
+        self.blocks.push(block);
+    }
+
+    /// Look up the block for the ordered pair `(s, t)`. Returns the stored
+    /// matrix and whether it must be transposed (`true` when `s > t`).
+    pub fn get(&self, s: usize, t: usize) -> Option<(&Mat, bool)> {
+        let key = (s.min(t), s.max(t));
+        self.index.get(&key).map(|&i| (&self.blocks[i], s > t))
+    }
+
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Heap bytes of all blocks.
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.memory_bytes()).sum()
+    }
+}
+
+/// A symmetric H2 matrix over a cluster tree and block partition.
+pub struct H2Matrix {
+    pub tree: Arc<ClusterTree>,
+    pub partition: Arc<Partition>,
+    /// Per node id: leaf basis `U_τ` (`m x k`) or stacked transfer
+    /// `[E_{ν1}; E_{ν2}]` (`(k1+k2) x k`). Empty (0x0) for nodes above the
+    /// top admissible level, which need no basis.
+    pub basis: Vec<Mat>,
+    /// Per node id: skeleton (global permuted) indices `Ĩ_τ`, length = rank.
+    pub skel: Vec<Vec<usize>>,
+    /// Coupling blocks `B_{s,t}` keyed by unordered admissible pairs.
+    pub coupling: BlockStore,
+    /// Dense leaf blocks `D_{s,t}` keyed by unordered inadmissible leaf pairs.
+    pub dense: BlockStore,
+}
+
+impl H2Matrix {
+    /// An empty shell ready to be populated by a constructor.
+    pub fn new_shell(tree: Arc<ClusterTree>, partition: Arc<Partition>) -> Self {
+        let nnodes = tree.nodes.len();
+        H2Matrix {
+            tree,
+            partition,
+            basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
+            skel: vec![Vec::new(); nnodes],
+            coupling: BlockStore::new(),
+            dense: BlockStore::new(),
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.tree.npoints()
+    }
+
+    /// Rank of node `τ` (0 when it has no basis).
+    pub fn rank(&self, node: usize) -> usize {
+        self.basis[node].cols()
+    }
+
+    /// Whether node `τ` carries a basis.
+    pub fn has_basis(&self, node: usize) -> bool {
+        self.rank(node) > 0
+    }
+
+    /// Total heap bytes of the representation (the paper's Fig. 6 metric).
+    pub fn memory_bytes(&self) -> usize {
+        let basis: usize = self.basis.iter().map(|b| b.memory_bytes()).sum();
+        let skel: usize =
+            self.skel.iter().map(|s| s.len() * std::mem::size_of::<usize>()).sum();
+        basis + skel + self.coupling.memory_bytes() + self.dense.memory_bytes()
+    }
+
+    /// Memory broken down by component, in bytes.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        MemoryBreakdown {
+            basis: self.basis.iter().map(|b| b.memory_bytes()).sum(),
+            coupling: self.coupling.memory_bytes(),
+            dense: self.dense.memory_bytes(),
+        }
+    }
+
+    /// `(min, max)` rank over all nodes with a basis (Table II "Rank range").
+    pub fn rank_range(&self) -> (usize, usize) {
+        let ranks: Vec<usize> =
+            (0..self.basis.len()).map(|i| self.rank(i)).filter(|&r| r > 0).collect();
+        match (ranks.iter().min(), ranks.iter().max()) {
+            (Some(&a), Some(&b)) => (a, b),
+            _ => (0, 0),
+        }
+    }
+
+    /// Per-level `(min, max, mean)` rank statistics.
+    pub fn rank_stats_per_level(&self) -> Vec<(usize, usize, f64)> {
+        (0..self.tree.nlevels())
+            .map(|l| {
+                let ranks: Vec<usize> =
+                    self.tree.level(l).map(|id| self.rank(id)).filter(|&r| r > 0).collect();
+                if ranks.is_empty() {
+                    (0, 0, 0.0)
+                } else {
+                    let mn = *ranks.iter().min().unwrap();
+                    let mx = *ranks.iter().max().unwrap();
+                    let mean = ranks.iter().sum::<usize>() as f64 / ranks.len() as f64;
+                    (mn, mx, mean)
+                }
+            })
+            .collect()
+    }
+
+    /// Structural sanity checks: basis shapes consistent with tree and
+    /// children ranks, skeleton indices inside cluster ranges, block shapes
+    /// consistent with ranks / cluster sizes, all partition blocks present.
+    pub fn validate(&self) -> Result<(), String> {
+        let tree = &self.tree;
+        let leaf_level = tree.leaf_level();
+        for (id, c) in tree.nodes.iter().enumerate() {
+            let k = self.rank(id);
+            if k == 0 {
+                continue;
+            }
+            let b = &self.basis[id];
+            if tree.level_of(id) == leaf_level {
+                if b.rows() != c.len() {
+                    return Err(format!("leaf {id}: basis rows {} != cluster size {}", b.rows(), c.len()));
+                }
+            } else {
+                let (c1, c2) = c.children.unwrap();
+                let want = self.rank(c1) + self.rank(c2);
+                if b.rows() != want {
+                    return Err(format!(
+                        "inner {id}: transfer rows {} != child ranks {want}",
+                        b.rows()
+                    ));
+                }
+            }
+            if self.skel[id].len() != k {
+                return Err(format!("node {id}: skeleton len != rank"));
+            }
+            for &i in &self.skel[id] {
+                if i < c.begin || i >= c.end {
+                    return Err(format!("node {id}: skeleton index {i} outside cluster"));
+                }
+            }
+        }
+        // Every admissible pair has a coupling block of matching shape.
+        for (s, list) in self.partition.far_of.iter().enumerate() {
+            for &t in list.iter().filter(|&&t| s <= t) {
+                match self.coupling.get(s, t) {
+                    None => return Err(format!("missing coupling block ({s},{t})")),
+                    Some((b, _)) => {
+                        if b.rows() != self.rank(s) || b.cols() != self.rank(t) {
+                            return Err(format!(
+                                "coupling ({s},{t}) shape {}x{} != ranks {}x{}",
+                                b.rows(),
+                                b.cols(),
+                                self.rank(s),
+                                self.rank(t)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Every near pair has a dense block of matching shape.
+        for (s, list) in self.partition.near_of.iter().enumerate() {
+            for &t in list.iter().filter(|&&t| s <= t) {
+                match self.dense.get(s, t) {
+                    None => return Err(format!("missing dense block ({s},{t})")),
+                    Some((b, _)) => {
+                        if b.rows() != tree.nodes[s].len() || b.cols() != tree.nodes[t].len() {
+                            return Err(format!("dense ({s},{t}) shape mismatch"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bytes per component of an [`H2Matrix`].
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryBreakdown {
+    pub basis: usize,
+    pub coupling: usize,
+    pub dense: usize,
+}
+
+impl MemoryBreakdown {
+    pub fn total(&self) -> usize {
+        self.basis + self.coupling + self.dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_store_symmetric_lookup() {
+        let mut s = BlockStore::new();
+        s.insert(2, 5, Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let (b, t) = s.get(2, 5).unwrap();
+        assert!(!t);
+        assert_eq!(b[(0, 1)], 2.0);
+        let (b2, t2) = s.get(5, 2).unwrap();
+        assert!(t2);
+        assert_eq!(b2[(0, 1)], 2.0);
+        assert!(s.get(1, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "s <= t")]
+    fn block_store_rejects_unordered() {
+        let mut s = BlockStore::new();
+        s.insert(5, 2, Mat::zeros(1, 1));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut s = BlockStore::new();
+        s.insert(0, 1, Mat::zeros(10, 10));
+        s.insert(1, 2, Mat::zeros(5, 4));
+        assert_eq!(s.memory_bytes(), (100 + 20) * 8);
+    }
+}

@@ -1,0 +1,174 @@
+//! O(N) H2 matrix-vector and matrix-block products.
+//!
+//! The classical three-pass algorithm: an upward pass compressing the input
+//! through the nested bases (`x̂_τ = U_τ^T x_τ`), coupling products
+//! (`ŷ_s += B_{s,t} x̂_t`), and a downward pass expanding back
+//! (`y_τ += U_τ ŷ_τ`), plus the dense near-field. This is the fast black-box
+//! sampler `Kblk(·)` used by the construction experiments (the paper uses
+//! H2Opus's matvec for the same purpose).
+
+use crate::format::H2Matrix;
+use h2_dense::{gemm, Mat, MatMut, MatRef, Op};
+use rayon::prelude::*;
+
+impl H2Matrix {
+    /// `y = K x` for a block of vectors, in tree-permuted coordinates.
+    pub fn apply_permuted(&self, x: MatRef<'_>, mut y: MatMut<'_>) {
+        let n = self.n();
+        let d = x.cols();
+        assert_eq!(x.rows(), n, "apply: x rows");
+        assert_eq!(y.rows(), n, "apply: y rows");
+        assert_eq!(y.cols(), d, "apply: y cols");
+        y.fill(0.0);
+
+        let tree = &self.tree;
+        let nnodes = tree.nodes.len();
+        let leaf_level = tree.leaf_level();
+
+        // ---- upward pass: x̂_τ ----
+        let mut xhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+        for l in (0..tree.nlevels()).rev() {
+            let ids: Vec<usize> = tree.level(l).collect();
+            let level_res: Vec<(usize, Mat)> = ids
+                .par_iter()
+                .filter(|&&id| self.has_basis(id))
+                .map(|&id| {
+                    let u = &self.basis[id];
+                    let mut out = Mat::zeros(u.cols(), d);
+                    if l == leaf_level {
+                        let (b, e) = tree.range(id);
+                        gemm(Op::Trans, Op::NoTrans, 1.0, u.rf(), x.view(b, 0, e - b, d), 0.0, out.rm());
+                    } else {
+                        // Children with rank 0 (empty far field) contribute
+                        // zero rows; build the stack shape-correctly.
+                        let (c1, c2) = tree.nodes[id].children.unwrap();
+                        let (k1, k2) = (self.rank(c1), self.rank(c2));
+                        let mut stacked = Mat::zeros(k1 + k2, d);
+                        if xhat[c1].rows() == k1 && xhat[c1].cols() == d && k1 > 0 {
+                            stacked.view_mut(0, 0, k1, d).copy_from(xhat[c1].rf());
+                        }
+                        if xhat[c2].rows() == k2 && xhat[c2].cols() == d && k2 > 0 {
+                            stacked.view_mut(k1, 0, k2, d).copy_from(xhat[c2].rf());
+                        }
+                        gemm(Op::Trans, Op::NoTrans, 1.0, u.rf(), stacked.rf(), 0.0, out.rm());
+                    }
+                    (id, out)
+                })
+                .collect();
+            for (id, m) in level_res {
+                xhat[id] = m;
+            }
+        }
+
+        // ---- coupling products: ŷ_s = Σ_t op(B_{s,t}) x̂_t ----
+        let yhat_res: Vec<(usize, Mat)> = (0..nnodes)
+            .into_par_iter()
+            .filter(|&s| !self.partition.far_of[s].is_empty())
+            .map(|s| {
+                let mut acc = Mat::zeros(self.rank(s), d);
+                for &t in &self.partition.far_of[s] {
+                    // Rank-0 partners (far field below tolerance) contribute
+                    // nothing; their coupling blocks are zero-dimensional.
+                    if self.rank(t) == 0 || self.rank(s) == 0 {
+                        continue;
+                    }
+                    let (blk, transposed) = self.coupling.get(s, t).expect("coupling block");
+                    let op = if transposed { Op::Trans } else { Op::NoTrans };
+                    gemm(op, Op::NoTrans, 1.0, blk.rf(), xhat[t].rf(), 1.0, acc.rm());
+                }
+                (s, acc)
+            })
+            .collect();
+        let mut yhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+        for (s, m) in yhat_res {
+            yhat[s] = m;
+        }
+
+        // ---- downward pass ----
+        for l in 0..tree.nlevels() {
+            if l == leaf_level {
+                break;
+            }
+            let ids: Vec<usize> = tree.level(l + 1).collect();
+            let contrib: Vec<(usize, Mat)> = ids
+                .par_iter()
+                .filter_map(|&child| {
+                    let parent = tree.nodes[child].parent?;
+                    if yhat[parent].rows() == 0 || !self.has_basis(parent) {
+                        return None;
+                    }
+                    let (c1, _c2) = tree.nodes[parent].children.unwrap();
+                    let off = if child == c1 { 0 } else { self.rank(c1) };
+                    let e = self.basis[parent].view(off, 0, self.rank(child), self.rank(parent));
+                    let mut out = Mat::zeros(self.rank(child), d);
+                    gemm(Op::NoTrans, Op::NoTrans, 1.0, e, yhat[parent].rf(), 0.0, out.rm());
+                    Some((child, out))
+                })
+                .collect();
+            for (child, m) in contrib {
+                if yhat[child].rows() == 0 {
+                    yhat[child] = m;
+                } else {
+                    yhat[child].axpy(1.0, &m);
+                }
+            }
+        }
+
+        // ---- expand at leaves + dense near field ----
+        let leaf_ids: Vec<usize> = tree.level(leaf_level).collect();
+        // Disjoint leaf row ranges of y: compute contributions in parallel.
+        let leaf_out: Vec<(usize, Mat)> = leaf_ids
+            .par_iter()
+            .map(|&s| {
+                let (b, e) = tree.range(s);
+                let m = e - b;
+                let mut out = Mat::zeros(m, d);
+                if yhat[s].rows() > 0 && self.has_basis(s) {
+                    gemm(Op::NoTrans, Op::NoTrans, 1.0, self.basis[s].rf(), yhat[s].rf(), 1.0, out.rm());
+                }
+                for &t in &self.partition.near_of[s] {
+                    let (blk, transposed) = self.dense.get(s, t).expect("dense block");
+                    let op = if transposed { Op::Trans } else { Op::NoTrans };
+                    let (tb, te) = tree.range(t);
+                    gemm(op, Op::NoTrans, 1.0, blk.rf(), x.view(tb, 0, te - tb, d), 1.0, out.rm());
+                }
+                (b, out)
+            })
+            .collect();
+        for (b, m) in leaf_out {
+            y.rb_mut().into_view(b, 0, m.rows(), d).copy_from(m.rf());
+        }
+    }
+
+    /// Convenience: allocate and return `K x` (permuted coordinates).
+    pub fn apply_permuted_mat(&self, x: &Mat) -> Mat {
+        let mut y = Mat::zeros(self.n(), x.cols());
+        self.apply_permuted(x.rf(), y.rm());
+        y
+    }
+
+    /// `y = K x` in the *original* (pre-permutation) index ordering.
+    pub fn apply_original(&self, x: &Mat) -> Mat {
+        let n = self.n();
+        assert_eq!(x.rows(), n);
+        let xp = Mat::from_fn(n, x.cols(), |i, j| x[(self.tree.perm[i], j)]);
+        let yp = self.apply_permuted_mat(&xp);
+        Mat::from_fn(n, x.cols(), |i, j| yp[(self.tree.iperm[i], j)])
+    }
+}
+
+impl h2_dense::LinOp for H2Matrix {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+
+    fn ncols(&self) -> usize {
+        self.n()
+    }
+
+    /// Operates in tree-permuted coordinates, like every operator in this
+    /// workspace.
+    fn apply(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_permuted(x, y);
+    }
+}

@@ -1,0 +1,178 @@
+//! Basis orthogonalization for H2 matrices.
+//!
+//! The sketching construction produces interpolation bases `U = P[I; T]`
+//! which are well-conditioned but not orthonormal. Downstream arithmetic
+//! (matvec stability, recompression, the future inversion the paper's §VI
+//! announces) prefers orthonormal cluster bases. This pass converts the
+//! representation in place, bottom-up, without changing the represented
+//! operator:
+//!
+//! * leaf: `U_τ = Q R` → store `Q`, push `R` into the parent transfer slice
+//!   and into every coupling block of `τ`,
+//! * inner: the (already-updated) stacked transfer `[R_1 E_1; R_2 E_2] = QR`
+//!   → store `Q`, push `R` upward likewise.
+//!
+//! Coupling blocks become `B ← R_s B R_tᵀ`. The skeleton index lists keep
+//! their values for bookkeeping but the identity-rows property of the
+//! interpolative basis no longer holds afterwards (documented trade-off).
+
+use crate::format::H2Matrix;
+use h2_dense::{gemm, matmul, qr_factor, Mat, Op};
+
+impl H2Matrix {
+    /// Orthogonalize all cluster bases in place. Returns the number of
+    /// nodes processed.
+    pub fn orthogonalize(&mut self) -> usize {
+        let tree = self.tree.clone();
+        let leaf_level = tree.leaf_level();
+        let mut processed = 0;
+        // R factors of the current level, indexed by node id.
+        let mut r_of: Vec<Option<Mat>> = vec![None; tree.nodes.len()];
+
+        for l in (0..=leaf_level).rev() {
+            let ids: Vec<usize> = tree.level(l).filter(|&id| self.has_basis(id)).collect();
+            if ids.is_empty() {
+                continue;
+            }
+            // 1. Update this level's stacked bases with the children's R
+            //    factors (no-op at the leaf level).
+            if l < leaf_level {
+                for &id in &ids {
+                    let (c1, c2) = tree.nodes[id].children.unwrap();
+                    let b = &self.basis[id];
+                    let (k1_old, k2_old) = (r_of[c1].as_ref().map(|r| r.cols()), r_of[c2].as_ref().map(|r| r.cols()));
+                    // Rows of the stacked transfer split by the children's
+                    // *old* ranks (cols of their R factors).
+                    let k1 = k1_old.unwrap_or(self.rank(c1));
+                    let k2 = k2_old.unwrap_or(self.rank(c2));
+                    debug_assert_eq!(k1 + k2, b.rows());
+                    let mut updated = Mat::zeros(
+                        r_of[c1].as_ref().map(|r| r.rows()).unwrap_or(k1)
+                            + r_of[c2].as_ref().map(|r| r.rows()).unwrap_or(k2),
+                        b.cols(),
+                    );
+                    let top_rows = r_of[c1].as_ref().map(|r| r.rows()).unwrap_or(k1);
+                    {
+                        let e1 = b.view(0, 0, k1, b.cols());
+                        let mut dst = updated.view_mut(0, 0, top_rows, b.cols());
+                        match &r_of[c1] {
+                            Some(r) => gemm(Op::NoTrans, Op::NoTrans, 1.0, r.rf(), e1, 0.0, dst),
+                            None => dst.copy_from(e1),
+                        }
+                    }
+                    {
+                        let e2 = b.view(k1, 0, k2, b.cols());
+                        let rows2 = updated.rows() - top_rows;
+                        let mut dst = updated.view_mut(top_rows, 0, rows2, b.cols());
+                        match &r_of[c2] {
+                            Some(r) => gemm(Op::NoTrans, Op::NoTrans, 1.0, r.rf(), e2, 0.0, dst),
+                            None => dst.copy_from(e2),
+                        }
+                    }
+                    self.basis[id] = updated;
+                }
+            }
+
+            // 2. QR each basis; keep Q, remember R.
+            for &id in &ids {
+                let b = std::mem::replace(&mut self.basis[id], Mat::zeros(0, 0));
+                let f = qr_factor(b);
+                let q = f.q_thin();
+                let r = f.r();
+                self.basis[id] = q;
+                r_of[id] = Some(r);
+                processed += 1;
+            }
+
+            // 3. Rescale this level's coupling blocks: B ← R_s B R_tᵀ.
+            let level_ids: std::collections::HashSet<usize> = ids.iter().copied().collect();
+            for idx in 0..self.coupling.pairs.len() {
+                let (s, t) = self.coupling.pairs[idx];
+                if !level_ids.contains(&s) {
+                    continue;
+                }
+                let rs = r_of[s].as_ref().expect("row R factor");
+                let rt = r_of[t].as_ref().expect("col R factor");
+                let b = &self.coupling.blocks[idx];
+                let rb = matmul(Op::NoTrans, Op::NoTrans, rs.rf(), b.rf());
+                self.coupling.blocks[idx] = matmul(Op::NoTrans, Op::Trans, rb.rf(), rt.rf());
+            }
+        }
+        processed
+    }
+
+    /// Max deviation of `UᵀU` from identity over all *leaf* bases, and of
+    /// the stacked transfers at inner nodes (0 for an orthogonalized
+    /// matrix). Diagnostic used by tests.
+    pub fn basis_orthogonality_error(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for id in 0..self.basis.len() {
+            let b = &self.basis[id];
+            if b.cols() == 0 {
+                continue;
+            }
+            let g = matmul(Op::Trans, Op::NoTrans, b.rf(), b.rf());
+            let mut d = g;
+            d.axpy(-1.0, &Mat::eye(b.cols()));
+            worst = worst.max(d.norm_max());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::direct::{direct_construct, DirectConfig};
+    use h2_dense::gaussian_mat;
+    use h2_kernels::{ExponentialKernel, KernelMatrix};
+    use h2_tree::{Admissibility, ClusterTree, Partition};
+    use std::sync::Arc;
+
+    #[test]
+    fn orthogonalize_preserves_operator_and_orthonormalizes() {
+        let pts = h2_tree::uniform_cube(1200, 201);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        assert!(part.top_far_level(&tree).is_some());
+        let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+        let mut h2 = direct_construct(&km, tree.clone(), part, &DirectConfig::default());
+
+        assert!(h2.basis_orthogonality_error() > 1e-8, "interpolative bases are not orthonormal");
+        let x = gaussian_mat(1200, 3, 202);
+        let before = h2.apply_permuted_mat(&x);
+
+        let processed = h2.orthogonalize();
+        assert!(processed > 0);
+        assert!(
+            h2.basis_orthogonality_error() < 1e-12,
+            "bases must be orthonormal, err {}",
+            h2.basis_orthogonality_error()
+        );
+
+        let after = h2.apply_permuted_mat(&x);
+        let mut d = after;
+        d.axpy(-1.0, &before);
+        assert!(
+            d.norm_max() < 1e-10 * before.norm_max().max(1.0),
+            "operator changed by {}",
+            d.norm_max()
+        );
+    }
+
+    #[test]
+    fn orthogonalize_preserves_entry_extraction() {
+        let pts = h2_tree::uniform_cube(900, 203);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+        let mut h2 = direct_construct(&km, tree.clone(), part, &DirectConfig::default());
+        let rows: Vec<usize> = (0..900).step_by(97).collect();
+        let cols: Vec<usize> = (3..900).step_by(113).collect();
+        let before = h2.extract_block(&rows, &cols);
+        h2.orthogonalize();
+        let after = h2.extract_block(&rows, &cols);
+        let mut d = after;
+        d.axpy(-1.0, &before);
+        assert!(d.norm_max() < 1e-10, "entry extraction changed by {}", d.norm_max());
+    }
+}

@@ -1,0 +1,587 @@
+//! Unsymmetric H2 matrices: separate row and column bases.
+//!
+//! The paper works with symmetric matrices (`V_t = U_t`, §II.A) and notes the
+//! algorithm "can be easily extended to un-symmetric or complex-valued
+//! matrices". This module provides that extension for the real unsymmetric
+//! case: each admissible block is `K(I_s, I_t) ≈ U_s B_{s,t} V_t^T` with a
+//! *row* basis tree `U` (nested through row transfers) and an independent
+//! *column* basis tree `V`.
+//!
+//! Storage notes: *both* stores are keyed by **ordered** `(s, t)` pairs.
+//! For an unsymmetric matrix, `K(I_s, I_t)^T = K^T(I_t, I_s)` — the
+//! transpose of a sub-block belongs to the transposed matrix, so the `(t,s)`
+//! block is *not* recoverable from the `(s,t)` block (their entries are
+//! disjoint subsets of `K`). Near-field memory therefore doubles relative to
+//! the symmetric format, which is inherent to the problem, not the format.
+
+use h2_dense::{gemm, matmul, EntryAccess, LinOp, Mat, MatMut, MatRef, Op};
+use h2_tree::{ClusterTree, Partition};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Storage for per-pair blocks keyed by *ordered* `(s, t)` node pairs.
+#[derive(Default)]
+pub struct OrderedBlockStore {
+    /// Ordered pairs (node ids).
+    pub pairs: Vec<(usize, usize)>,
+    /// `blocks[i]` is the block of `pairs[i]`.
+    pub blocks: Vec<Mat>,
+    index: HashMap<(usize, usize), usize>,
+}
+
+impl OrderedBlockStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert the block for the ordered pair `(s, t)`.
+    pub fn insert(&mut self, s: usize, t: usize, block: Mat) {
+        let idx = self.blocks.len();
+        let prev = self.index.insert((s, t), idx);
+        assert!(prev.is_none(), "duplicate ordered block ({s},{t})");
+        self.pairs.push((s, t));
+        self.blocks.push(block);
+    }
+
+    /// Look up the block for the ordered pair `(s, t)`.
+    pub fn get(&self, s: usize, t: usize) -> Option<&Mat> {
+        self.index.get(&(s, t)).map(|&i| &self.blocks[i])
+    }
+
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Heap bytes of all blocks.
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.memory_bytes()).sum()
+    }
+}
+
+/// Rows of an accumulated nested basis for a subset `idx` of cluster `s`.
+///
+/// Shared by the symmetric and unsymmetric extraction paths: at a leaf these
+/// are rows of the explicit basis; at an inner node, the children's
+/// accumulated rows multiplied by the transfer slices (eq. (2)).
+pub(crate) fn accumulated_basis_rows(
+    tree: &ClusterTree,
+    basis: &[Mat],
+    s: usize,
+    idx: &[usize],
+) -> Mat {
+    let k = basis[s].cols();
+    if idx.is_empty() {
+        return Mat::zeros(0, k);
+    }
+    if tree.level_of(s) == tree.leaf_level() {
+        let (b, _) = tree.range(s);
+        return Mat::from_fn(idx.len(), k, |r, c| basis[s][(idx[r] - b, c)]);
+    }
+    let (c1, c2) = tree.nodes[s].children.unwrap();
+    let split = tree.nodes[c1].end;
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut pos_left = Vec::new();
+    let mut pos_right = Vec::new();
+    for (p, &i) in idx.iter().enumerate() {
+        if i < split {
+            left.push(i);
+            pos_left.push(p);
+        } else {
+            right.push(i);
+            pos_right.push(p);
+        }
+    }
+    let k1 = basis[c1].cols();
+    let e1 = basis[s].view(0, 0, k1, k);
+    let e2 = basis[s].view(k1, 0, basis[s].rows() - k1, k);
+    let mut out = Mat::zeros(idx.len(), k);
+    for (child, ids, pos, e) in
+        [(c1, &left, &pos_left, e1), (c2, &right, &pos_right, e2)]
+    {
+        if ids.is_empty() {
+            continue;
+        }
+        let rows_c = accumulated_basis_rows(tree, basis, child, ids);
+        let mut prod = Mat::zeros(ids.len(), k);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, rows_c.rf(), e, 0.0, prod.rm());
+        for (r, &p) in pos.iter().enumerate() {
+            for c in 0..k {
+                out[(p, c)] = prod[(r, c)];
+            }
+        }
+    }
+    out
+}
+
+/// An unsymmetric H2 matrix with independent row (`U`) and column (`V`)
+/// nested basis trees.
+pub struct H2MatrixUnsym {
+    pub tree: Arc<ClusterTree>,
+    pub partition: Arc<Partition>,
+    /// Per node: row basis `U_τ` (leaf) or stacked row transfers (inner).
+    pub row_basis: Vec<Mat>,
+    /// Per node: column basis `V_τ` (leaf) or stacked column transfers.
+    pub col_basis: Vec<Mat>,
+    /// Row skeleton indices `Ĩ^r_τ` (global permuted), length = row rank.
+    pub row_skel: Vec<Vec<usize>>,
+    /// Column skeleton indices `Ĩ^c_τ`, length = column rank.
+    pub col_skel: Vec<Vec<usize>>,
+    /// Coupling blocks `B_{s,t} = K(Ĩ^r_s, Ĩ^c_t)`, ordered pairs.
+    pub coupling: OrderedBlockStore,
+    /// Dense near-field leaf blocks `K(I_s, I_t)`, ordered pairs.
+    pub dense: OrderedBlockStore,
+}
+
+impl H2MatrixUnsym {
+    /// An empty shell ready to be populated by a constructor.
+    pub fn new_shell(tree: Arc<ClusterTree>, partition: Arc<Partition>) -> Self {
+        let nnodes = tree.nodes.len();
+        H2MatrixUnsym {
+            tree,
+            partition,
+            row_basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
+            col_basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
+            row_skel: vec![Vec::new(); nnodes],
+            col_skel: vec![Vec::new(); nnodes],
+            coupling: OrderedBlockStore::new(),
+            dense: OrderedBlockStore::new(),
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.tree.npoints()
+    }
+
+    /// Row rank of node `τ`.
+    pub fn row_rank(&self, node: usize) -> usize {
+        self.row_basis[node].cols()
+    }
+
+    /// Column rank of node `τ`.
+    pub fn col_rank(&self, node: usize) -> usize {
+        self.col_basis[node].cols()
+    }
+
+    /// Total heap bytes of the representation.
+    pub fn memory_bytes(&self) -> usize {
+        let row: usize = self.row_basis.iter().map(|b| b.memory_bytes()).sum();
+        let col: usize = self.col_basis.iter().map(|b| b.memory_bytes()).sum();
+        let skel: usize = self
+            .row_skel
+            .iter()
+            .chain(self.col_skel.iter())
+            .map(|s| s.len() * std::mem::size_of::<usize>())
+            .sum();
+        row + col + skel + self.coupling.memory_bytes() + self.dense.memory_bytes()
+    }
+
+    /// `(min, max)` over all nonzero row/column ranks.
+    pub fn rank_range(&self) -> (usize, usize) {
+        let ranks: Vec<usize> = (0..self.row_basis.len())
+            .flat_map(|i| [self.row_rank(i), self.col_rank(i)])
+            .filter(|&r| r > 0)
+            .collect();
+        match (ranks.iter().min(), ranks.iter().max()) {
+            (Some(&a), Some(&b)) => (a, b),
+            _ => (0, 0),
+        }
+    }
+
+    /// `y = K x` for a block of vectors, in tree-permuted coordinates.
+    ///
+    /// The three-pass algorithm with the column basis on the input side:
+    /// `x̂_τ = V_τ^T x_τ`, `ŷ_s += B_{s,t} x̂_t`, `y_τ += U_τ ŷ_τ`.
+    pub fn apply_permuted(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_impl(x, y, false);
+    }
+
+    /// `y = K^T x`: roles of the bases swap and coupling blocks transpose
+    /// (`K^T`'s block `(t, s)` is `V_t B_{s,t}^T U_s^T`).
+    pub fn apply_transpose_permuted(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_impl(x, y, true);
+    }
+
+    fn apply_impl(&self, x: MatRef<'_>, mut y: MatMut<'_>, transpose: bool) {
+        let n = self.n();
+        let d = x.cols();
+        assert_eq!(x.rows(), n, "apply: x rows");
+        assert_eq!(y.rows(), n, "apply: y rows");
+        assert_eq!(y.cols(), d, "apply: y cols");
+        y.fill(0.0);
+
+        // For K:   input side = V, output side = U, blocks as stored.
+        // For K^T: input side = U, output side = V, blocks transposed.
+        let (in_basis, out_basis) = if transpose {
+            (&self.row_basis, &self.col_basis)
+        } else {
+            (&self.col_basis, &self.row_basis)
+        };
+
+        let tree = &self.tree;
+        let nnodes = tree.nodes.len();
+        let leaf_level = tree.leaf_level();
+
+        // ---- upward pass through the input basis ----
+        let mut xhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+        for l in (0..tree.nlevels()).rev() {
+            let ids: Vec<usize> = tree.level(l).collect();
+            let level_res: Vec<(usize, Mat)> = ids
+                .par_iter()
+                .filter(|&&id| in_basis[id].cols() > 0)
+                .map(|&id| {
+                    let v = &in_basis[id];
+                    let mut out = Mat::zeros(v.cols(), d);
+                    if l == leaf_level {
+                        let (b, e) = tree.range(id);
+                        gemm(Op::Trans, Op::NoTrans, 1.0, v.rf(), x.view(b, 0, e - b, d), 0.0, out.rm());
+                    } else {
+                        let (c1, c2) = tree.nodes[id].children.unwrap();
+                        let (k1, k2) = (in_basis[c1].cols(), in_basis[c2].cols());
+                        let mut stacked = Mat::zeros(k1 + k2, d);
+                        if xhat[c1].rows() == k1 && k1 > 0 {
+                            stacked.view_mut(0, 0, k1, d).copy_from(xhat[c1].rf());
+                        }
+                        if xhat[c2].rows() == k2 && k2 > 0 {
+                            stacked.view_mut(k1, 0, k2, d).copy_from(xhat[c2].rf());
+                        }
+                        gemm(Op::Trans, Op::NoTrans, 1.0, v.rf(), stacked.rf(), 0.0, out.rm());
+                    }
+                    (id, out)
+                })
+                .collect();
+            for (id, m) in level_res {
+                xhat[id] = m;
+            }
+        }
+
+        // ---- coupling products ----
+        let yhat_res: Vec<(usize, Mat)> = (0..nnodes)
+            .into_par_iter()
+            .filter(|&s| !self.partition.far_of[s].is_empty())
+            .map(|s| {
+                let ks = out_basis[s].cols();
+                let mut acc = Mat::zeros(ks, d);
+                for &t in &self.partition.far_of[s] {
+                    if ks == 0 || in_basis[t].cols() == 0 {
+                        continue;
+                    }
+                    // y = Kx  : ŷ_s += B_{s,t} x̂_t        (block keyed (s,t))
+                    // y = Kᵀx : ŷ_s += B_{t,s}^T x̂_t      (block keyed (t,s))
+                    let (blk, op) = if transpose {
+                        (self.coupling.get(t, s).expect("coupling block"), Op::Trans)
+                    } else {
+                        (self.coupling.get(s, t).expect("coupling block"), Op::NoTrans)
+                    };
+                    gemm(op, Op::NoTrans, 1.0, blk.rf(), xhat[t].rf(), 1.0, acc.rm());
+                }
+                (s, acc)
+            })
+            .collect();
+        let mut yhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+        for (s, m) in yhat_res {
+            yhat[s] = m;
+        }
+
+        // ---- downward pass through the output basis ----
+        for l in 0..tree.nlevels() {
+            if l == leaf_level {
+                break;
+            }
+            let ids: Vec<usize> = tree.level(l + 1).collect();
+            let contrib: Vec<(usize, Mat)> = ids
+                .par_iter()
+                .filter_map(|&child| {
+                    let parent = tree.nodes[child].parent?;
+                    if yhat[parent].rows() == 0 || out_basis[parent].cols() == 0 {
+                        return None;
+                    }
+                    let (c1, _) = tree.nodes[parent].children.unwrap();
+                    let kc = out_basis[child].cols();
+                    let kp = out_basis[parent].cols();
+                    let off = if child == c1 { 0 } else { out_basis[c1].cols() };
+                    let e = out_basis[parent].view(off, 0, kc, kp);
+                    let mut out = Mat::zeros(kc, d);
+                    gemm(Op::NoTrans, Op::NoTrans, 1.0, e, yhat[parent].rf(), 0.0, out.rm());
+                    Some((child, out))
+                })
+                .collect();
+            for (child, m) in contrib {
+                if yhat[child].rows() == 0 {
+                    yhat[child] = m;
+                } else {
+                    yhat[child].axpy(1.0, &m);
+                }
+            }
+        }
+
+        // ---- expand at leaves + dense near field ----
+        let leaf_ids: Vec<usize> = tree.level(leaf_level).collect();
+        let leaf_out: Vec<(usize, Mat)> = leaf_ids
+            .par_iter()
+            .map(|&s| {
+                let (b, e) = tree.range(s);
+                let m = e - b;
+                let mut out = Mat::zeros(m, d);
+                if yhat[s].rows() > 0 && out_basis[s].cols() > 0 {
+                    gemm(Op::NoTrans, Op::NoTrans, 1.0, out_basis[s].rf(), yhat[s].rf(), 1.0, out.rm());
+                }
+                for &t in &self.partition.near_of[s] {
+                    // y = Kx  : D_{s,t} x_t            (block keyed (s,t))
+                    // y = Kᵀx : Kᵀ(I_s,I_t) x_t = D_{t,s}^T x_t (keyed (t,s))
+                    let (blk, op) = if transpose {
+                        (self.dense.get(t, s).expect("dense block"), Op::Trans)
+                    } else {
+                        (self.dense.get(s, t).expect("dense block"), Op::NoTrans)
+                    };
+                    let (tb, te) = tree.range(t);
+                    gemm(op, Op::NoTrans, 1.0, blk.rf(), x.view(tb, 0, te - tb, d), 1.0, out.rm());
+                }
+                (b, out)
+            })
+            .collect();
+        for (b, m) in leaf_out {
+            y.rb_mut().into_view(b, 0, m.rows(), d).copy_from(m.rf());
+        }
+    }
+
+    /// Convenience: allocate and return `K x` (permuted coordinates).
+    pub fn apply_permuted_mat(&self, x: &Mat) -> Mat {
+        let mut y = Mat::zeros(self.n(), x.cols());
+        self.apply_permuted(x.rf(), y.rm());
+        y
+    }
+
+    /// Convenience: allocate and return `K^T x`.
+    pub fn apply_transpose_permuted_mat(&self, x: &Mat) -> Mat {
+        let mut y = Mat::zeros(self.n(), x.cols());
+        self.apply_transpose_permuted(x.rf(), y.rm());
+        y
+    }
+
+    /// Extract the sub-block `K(rows, cols)` (global permuted indices).
+    pub fn extract_block(&self, rows: &[usize], cols: &[usize]) -> Mat {
+        let mut out = Mat::zeros(rows.len(), cols.len());
+        let mut rp: Vec<usize> = (0..rows.len()).collect();
+        let mut cp: Vec<usize> = (0..cols.len()).collect();
+        self.extract_rec(0, 0, rows, cols, &mut out, &mut rp, &mut cp);
+        out
+    }
+
+    fn extract_rec(
+        &self,
+        s: usize,
+        t: usize,
+        rows: &[usize],
+        cols: &[usize],
+        out: &mut Mat,
+        row_pos: &mut [usize],
+        col_pos: &mut [usize],
+    ) {
+        if rows.is_empty() || cols.is_empty() {
+            return;
+        }
+        let tree = &self.tree;
+        if self.partition.far_of[s].binary_search(&t).is_ok() {
+            let blk = self.coupling.get(s, t).expect("coupling block");
+            let us = accumulated_basis_rows(tree, &self.row_basis, s, rows);
+            let vt = accumulated_basis_rows(tree, &self.col_basis, t, cols);
+            // value = U_s(rows) B_{s,t} V_t(cols)^T
+            let tmp = matmul(Op::NoTrans, Op::Trans, blk.rf(), vt.rf());
+            let val = matmul(Op::NoTrans, Op::NoTrans, us.rf(), tmp.rf());
+            for (r, &rp) in row_pos.iter().enumerate() {
+                for (c, &cp) in col_pos.iter().enumerate() {
+                    out[(rp, cp)] = val[(r, c)];
+                }
+            }
+            return;
+        }
+        if tree.level_of(s) == tree.leaf_level() {
+            debug_assert!(self.partition.near_of[s].binary_search(&t).is_ok());
+            let blk = self.dense.get(s, t).expect("dense block");
+            let (sb, _) = tree.range(s);
+            let (tb, _) = tree.range(t);
+            for (r, &rp) in row_pos.iter().enumerate() {
+                for (c, &cp) in col_pos.iter().enumerate() {
+                    out[(rp, cp)] = blk[(rows[r] - sb, cols[c] - tb)];
+                }
+            }
+            return;
+        }
+        let (s1, s2) = tree.nodes[s].children.unwrap();
+        let (t1, t2) = tree.nodes[t].children.unwrap();
+        let rsplit = tree.nodes[s1].end;
+        let csplit = tree.nodes[t1].end;
+        let (rl, rl_pos, rr, rr_pos) = split_indexed(rows, row_pos, rsplit);
+        let (cl, cl_pos, cr, cr_pos) = split_indexed(cols, col_pos, csplit);
+        for (sc, rws, rps) in [(s1, &rl, &rl_pos), (s2, &rr, &rr_pos)] {
+            for (tc, cls, cps) in [(t1, &cl, &cl_pos), (t2, &cr, &cr_pos)] {
+                self.extract_rec(sc, tc, rws, cls, out, &mut rps.clone(), &mut cps.clone());
+            }
+        }
+    }
+
+    /// Materialize the full dense matrix (tests / tiny problems only).
+    pub fn to_dense(&self) -> Mat {
+        let all: Vec<usize> = (0..self.n()).collect();
+        self.extract_block(&all, &all)
+    }
+
+    /// Structural sanity checks mirroring [`crate::H2Matrix::validate`],
+    /// applied to both basis trees and the ordered coupling store.
+    pub fn validate(&self) -> Result<(), String> {
+        let tree = &self.tree;
+        let leaf_level = tree.leaf_level();
+        for (name, basis, skel) in [
+            ("row", &self.row_basis, &self.row_skel),
+            ("col", &self.col_basis, &self.col_skel),
+        ] {
+            for (id, c) in tree.nodes.iter().enumerate() {
+                let k = basis[id].cols();
+                if k == 0 {
+                    continue;
+                }
+                let b = &basis[id];
+                if tree.level_of(id) == leaf_level {
+                    if b.rows() != c.len() {
+                        return Err(format!(
+                            "{name} leaf {id}: basis rows {} != cluster size {}",
+                            b.rows(),
+                            c.len()
+                        ));
+                    }
+                } else {
+                    let (c1, c2) = c.children.unwrap();
+                    let want = basis[c1].cols() + basis[c2].cols();
+                    if b.rows() != want {
+                        return Err(format!(
+                            "{name} inner {id}: transfer rows {} != child ranks {want}",
+                            b.rows()
+                        ));
+                    }
+                }
+                if skel[id].len() != k {
+                    return Err(format!("{name} node {id}: skeleton len != rank"));
+                }
+                for &i in &skel[id] {
+                    if i < c.begin || i >= c.end {
+                        return Err(format!("{name} node {id}: skeleton index {i} outside cluster"));
+                    }
+                }
+            }
+        }
+        // Every ordered admissible pair has a coupling block of matching shape.
+        for (s, list) in self.partition.far_of.iter().enumerate() {
+            for &t in list {
+                match self.coupling.get(s, t) {
+                    None => return Err(format!("missing coupling block ({s},{t})")),
+                    Some(b) => {
+                        if b.rows() != self.row_rank(s) || b.cols() != self.col_rank(t) {
+                            return Err(format!(
+                                "coupling ({s},{t}) shape {}x{} != row/col ranks {}x{}",
+                                b.rows(),
+                                b.cols(),
+                                self.row_rank(s),
+                                self.col_rank(t)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (s, list) in self.partition.near_of.iter().enumerate() {
+            for &t in list {
+                match self.dense.get(s, t) {
+                    None => return Err(format!("missing dense block ({s},{t})")),
+                    Some(b) => {
+                        if b.rows() != tree.nodes[s].len() || b.cols() != tree.nodes[t].len() {
+                            return Err(format!("dense ({s},{t}) shape mismatch"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Split `(idx, pos)` pairs by `idx < split`.
+fn split_indexed(
+    idx: &[usize],
+    pos: &[usize],
+    split: usize,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut l = Vec::new();
+    let mut lp = Vec::new();
+    let mut r = Vec::new();
+    let mut rp = Vec::new();
+    for (i, &v) in idx.iter().enumerate() {
+        if v < split {
+            l.push(v);
+            lp.push(pos[i]);
+        } else {
+            r.push(v);
+            rp.push(pos[i]);
+        }
+    }
+    (l, lp, r, rp)
+}
+
+impl LinOp for H2MatrixUnsym {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+
+    fn ncols(&self) -> usize {
+        self.n()
+    }
+
+    fn apply(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_permuted(x, y);
+    }
+
+    fn apply_transpose(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_transpose_permuted(x, y);
+    }
+}
+
+impl EntryAccess for H2MatrixUnsym {
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        self.extract_block(&[i], &[j])[(0, 0)]
+    }
+
+    fn block(&self, rows: &[usize], cols: &[usize], out: &mut MatMut<'_>) {
+        let b = self.extract_block(rows, cols);
+        out.copy_from(b.rf());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_store_roundtrip() {
+        let mut s = OrderedBlockStore::new();
+        s.insert(2, 5, Mat::from_rows(&[&[1.0, 2.0]]));
+        s.insert(5, 2, Mat::from_rows(&[&[3.0], &[4.0]]));
+        assert_eq!(s.get(2, 5).unwrap()[(0, 1)], 2.0);
+        assert_eq!(s.get(5, 2).unwrap()[(1, 0)], 4.0);
+        assert!(s.get(2, 2).is_none());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.memory_bytes(), 4 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ordered block")]
+    fn ordered_store_rejects_duplicates() {
+        let mut s = OrderedBlockStore::new();
+        s.insert(1, 2, Mat::zeros(1, 1));
+        s.insert(1, 2, Mat::zeros(1, 1));
+    }
+}

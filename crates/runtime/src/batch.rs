@@ -1,0 +1,222 @@
+//! Variable-size batched matrix workspaces.
+//!
+//! The paper avoids per-node allocations by computing the total size of each
+//! level's workspace with a parallel prefix sum and making a *single*
+//! allocation per operation (§IV.A). [`VarBatch`] reproduces that layout: one
+//! contiguous buffer holding `count` column-major matrices of per-entry
+//! shapes `(rows[i], cols[i])`, with offsets from the prefix sum.
+
+use h2_dense::{Mat, MatMut, MatRef};
+use rayon::prelude::*;
+
+/// A batch of variable-size column-major matrices in one allocation.
+pub struct VarBatch {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    offsets: Vec<usize>, // length count + 1 (exclusive prefix sum)
+    buf: Vec<f64>,
+}
+
+impl VarBatch {
+    /// Allocate a zero-filled batch with the given per-entry shapes.
+    ///
+    /// The offset table is an exclusive prefix sum over `rows[i] * cols[i]` —
+    /// the direct analogue of the paper's Thrust `exclusive_scan` +
+    /// single `cudaMalloc`.
+    pub fn zeros(rows: Vec<usize>, cols: Vec<usize>) -> Self {
+        assert_eq!(rows.len(), cols.len(), "VarBatch: shape arrays must align");
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for i in 0..rows.len() {
+            acc += rows[i] * cols[i];
+            offsets.push(acc);
+        }
+        VarBatch { rows, cols, offsets, buf: vec![0.0; acc] }
+    }
+
+    /// Batch with the same column count `d` for every entry (the per-level
+    /// sample layout: row counts vary with cluster size/rank, `d` is shared).
+    pub fn zeros_uniform_cols(rows: Vec<usize>, d: usize) -> Self {
+        let cols = vec![d; rows.len()];
+        VarBatch::zeros(rows, cols)
+    }
+
+    pub fn count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn rows_of(&self, i: usize) -> usize {
+        self.rows[i]
+    }
+
+    pub fn cols_of(&self, i: usize) -> usize {
+        self.cols[i]
+    }
+
+    /// Total scalar footprint of the batch.
+    pub fn total_len(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Immutable view of entry `i`.
+    pub fn mat(&self, i: usize) -> MatRef<'_> {
+        let (r, c) = (self.rows[i], self.cols[i]);
+        MatRef::from_parts(r, c, r.max(1), &self.buf[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// Mutable view of entry `i`.
+    pub fn mat_mut(&mut self, i: usize) -> MatMut<'_> {
+        let (r, c) = (self.rows[i], self.cols[i]);
+        let range = self.offsets[i]..self.offsets[i + 1];
+        MatMut::from_parts(r, c, r.max(1), &mut self.buf[range])
+    }
+
+    /// Owned copy of entry `i`.
+    pub fn to_mat(&self, i: usize) -> Mat {
+        self.mat(i).to_mat()
+    }
+
+    /// Copy a same-shape matrix into entry `i`.
+    pub fn set(&mut self, i: usize, src: MatRef<'_>) {
+        self.mat_mut(i).copy_from(src);
+    }
+
+    /// Visit every entry mutably, in parallel when `parallel` is set.
+    ///
+    /// The entries occupy disjoint sub-slices of the shared buffer (strictly
+    /// increasing offsets), so handing each worker its own `MatMut` is safe;
+    /// we materialize that disjointness with `split_at_mut` chains.
+    pub fn for_each_mut<F>(&mut self, parallel: bool, f: F)
+    where
+        F: Fn(usize, MatMut<'_>) + Sync + Send,
+    {
+        let slices = split_disjoint(&mut self.buf, &self.offsets);
+        let rows = &self.rows;
+        let cols = &self.cols;
+        let run = |(i, s): (usize, &mut [f64])| {
+            let m = MatMut::from_parts(rows[i], cols[i], rows[i].max(1), s);
+            f(i, m);
+        };
+        if parallel {
+            slices.into_par_iter().enumerate().for_each(run);
+        } else {
+            slices.into_iter().enumerate().for_each(run);
+        }
+    }
+
+    /// Visit every entry immutably with an index, in parallel when requested,
+    /// collecting results in entry order.
+    pub fn map<R, F>(&self, parallel: bool, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, MatRef<'_>) -> R + Sync + Send,
+    {
+        if parallel {
+            (0..self.count()).into_par_iter().map(|i| f(i, self.mat(i))).collect()
+        } else {
+            (0..self.count()).map(|i| f(i, self.mat(i))).collect()
+        }
+    }
+
+    /// Zip two batches (same count) and visit `(i, a_i, b_i_mut)`.
+    pub fn zip_for_each_mut<F>(&mut self, other: &VarBatch, parallel: bool, f: F)
+    where
+        F: Fn(usize, MatRef<'_>, MatMut<'_>) + Sync + Send,
+    {
+        assert_eq!(self.count(), other.count(), "zip: batch count mismatch");
+        let slices = split_disjoint(&mut self.buf, &self.offsets);
+        let rows = &self.rows;
+        let cols = &self.cols;
+        let run = |(i, s): (usize, &mut [f64])| {
+            let m = MatMut::from_parts(rows[i], cols[i], rows[i].max(1), s);
+            f(i, other.mat(i), m);
+        };
+        if parallel {
+            slices.into_par_iter().enumerate().for_each(run);
+        } else {
+            slices.into_iter().enumerate().for_each(run);
+        }
+    }
+}
+
+/// Split `buf` into the disjoint per-entry sub-slices described by
+/// `offsets` (exclusive prefix sum, last element = total length).
+fn split_disjoint<'a>(buf: &'a mut [f64], offsets: &[usize]) -> Vec<&'a mut [f64]> {
+    let count = offsets.len() - 1;
+    let mut out = Vec::with_capacity(count);
+    let mut rest = buf;
+    let mut consumed = 0usize;
+    for i in 0..count {
+        let len = offsets[i + 1] - offsets[i];
+        let (head, tail) = rest.split_at_mut(len);
+        debug_assert_eq!(offsets[i], consumed);
+        consumed += len;
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_prefix_sum() {
+        let b = VarBatch::zeros(vec![2, 3, 0, 1], vec![4, 2, 5, 1]);
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.total_len(), 8 + 6 + 1);
+        assert_eq!(b.mat(1).rows(), 3);
+        assert_eq!(b.mat(2).cols(), 5);
+    }
+
+    #[test]
+    fn entries_are_independent() {
+        let mut b = VarBatch::zeros_uniform_cols(vec![2, 3], 2);
+        b.mat_mut(0).fill(1.0);
+        b.mat_mut(1).fill(2.0);
+        assert_eq!(b.mat(0).at(1, 1), 1.0);
+        assert_eq!(b.mat(1).at(2, 0), 2.0);
+    }
+
+    #[test]
+    fn parallel_for_each_writes_all() {
+        let mut b = VarBatch::zeros_uniform_cols(vec![3; 64], 2);
+        b.for_each_mut(true, |i, mut m| m.fill(i as f64));
+        for i in 0..64 {
+            assert_eq!(b.mat(i).at(2, 1), i as f64);
+        }
+    }
+
+    #[test]
+    fn map_collects_in_order() {
+        let mut b = VarBatch::zeros_uniform_cols(vec![1, 2, 3], 1);
+        b.for_each_mut(false, |i, mut m| m.fill((i + 1) as f64));
+        let sums: Vec<f64> = b.map(true, |_, m| m.col(0).iter().sum());
+        assert_eq!(sums, vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn zero_sized_entries_ok() {
+        let mut b = VarBatch::zeros(vec![0, 2, 0], vec![3, 2, 0]);
+        b.for_each_mut(true, |_, mut m| m.fill(7.0));
+        assert_eq!(b.mat(0).rows(), 0);
+        assert_eq!(b.mat(1).at(0, 0), 7.0);
+    }
+
+    #[test]
+    fn zip_reads_other_batch() {
+        let mut a = VarBatch::zeros_uniform_cols(vec![2, 2], 2);
+        let mut b = VarBatch::zeros_uniform_cols(vec![2, 2], 2);
+        a.for_each_mut(false, |i, mut m| m.fill((i + 1) as f64));
+        b.zip_for_each_mut(&a, false, |_, src, mut dst| {
+            dst.axpy(2.0, src);
+        });
+        assert_eq!(b.mat(1).at(0, 0), 4.0);
+    }
+}

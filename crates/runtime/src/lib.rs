@@ -1,0 +1,38 @@
+//! # h2-runtime
+//!
+//! Batched device runtime reproducing the paper's GPU execution model on
+//! CPU threads.
+//!
+//! The paper's central implementation idea (§IV) is that an H2 construction
+//! consists of *many small variable-size dense operations*, which are only
+//! fast on a GPU when organized as **batched kernels**: trees stored
+//! level-contiguously, a marshaling phase gathering operands, a single
+//! workspace allocation per level sized by a parallel prefix sum, and one
+//! kernel launch per level per operation (at most `Csp` for the BSR
+//! product). This crate reproduces that model:
+//!
+//! * [`Runtime`] — backend switch (sequential "CPU" vs parallel "GPU") plus
+//!   kernel-launch accounting and Fig.-7 phase timers,
+//! * [`VarBatch`] — one-allocation variable-size batched workspaces,
+//! * [`ops`] — the batched kernels annotated in Algorithm 1
+//!   (`batchedRand`, `batchedGen`, `batchedID`, `batchedShrink`,
+//!   `batchedGemm`, marshaling gathers),
+//! * [`bsr`] — the `batchedBSRGemm` with the paper's `Csp`-slot
+//!   conflict-free decomposition.
+
+pub mod batch;
+pub mod bsr;
+pub mod multidev;
+pub mod ops;
+pub mod profile;
+pub mod runtime;
+
+pub use batch::VarBatch;
+pub use multidev::{simulate, DeviceModel, LevelSpec, SimReport};
+pub use bsr::{bsr_gemm, BsrBlock, BsrPattern};
+pub use ops::{
+    batched_gen, batched_row_id, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag, rand_mat,
+    shrink_rows, stack_children, GenBlock,
+};
+pub use profile::{Kernel, Phase, Profile, KERNEL_COUNT, PHASE_COUNT};
+pub use runtime::{Backend, Runtime};

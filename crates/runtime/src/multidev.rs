@@ -1,0 +1,400 @@
+//! Multi-device (multi-GPU) execution model for the batched construction.
+//!
+//! The paper's §IV.B sketches the multi-GPU extension of Algorithm 1: the
+//! per-level batch count divides across devices, no batched operation needs
+//! inter-device communication *except* `batchedBSRGemm` (which must fetch
+//! the input vectors `Ω_b` of off-device column partners) and the child
+//! stacking of line 24 (children resident on two devices gathered into one
+//! parent). This module turns those observations into a quantitative model:
+//! given the level structure of a concrete construction (node sizes, BSR
+//! adjacency, ranks, sample count), it computes per-device compute costs,
+//! cross-device traffic, kernel-launch counts and a makespan estimate for
+//! any device count.
+//!
+//! Nodes of a level are assigned to devices in contiguous chunks — the
+//! level-contiguous storage layout of §IV.A makes this the natural
+//! decomposition, and it keeps siblings (merged at line 24) on the same
+//! device except at chunk boundaries.
+
+/// Hardware parameters of the modeled device fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceModel {
+    /// Sustained FLOP rate of one device (flops/s).
+    pub flops_per_sec: f64,
+    /// Inter-device link bandwidth (bytes/s).
+    pub link_bandwidth: f64,
+    /// Per-message link latency (s).
+    pub link_latency: f64,
+    /// Kernel launch overhead (s per launch).
+    pub launch_overhead: f64,
+    /// Cost of evaluating one matrix entry, in flop-equivalents
+    /// (`batchedGen` per-entry work: a kernel evaluation).
+    pub entry_cost: f64,
+}
+
+impl Default for DeviceModel {
+    /// Loosely A100-flavored defaults: 10 TF/s sustained f64, 200 GB/s
+    /// NVLink-class links, 5 µs latency, 5 µs launch overhead, 20 flops per
+    /// kernel-entry evaluation.
+    fn default() -> Self {
+        DeviceModel {
+            flops_per_sec: 1.0e13,
+            link_bandwidth: 2.0e11,
+            link_latency: 5.0e-6,
+            launch_overhead: 5.0e-6,
+            entry_cost: 20.0,
+        }
+    }
+}
+
+/// Execution structure of one processed level of Algorithm 1, in the form
+/// the simulator consumes (extracted from a constructed H2 matrix by
+/// `h2_core::multidev::level_specs`).
+///
+/// Two node populations appear at inner levels: the **BSR population**
+/// (the *children*, whose samples are subtracted against coupling blocks,
+/// lines 26-28) and the **ID population** (the level's own nodes, whose
+/// stacked samples are skeletonized, line 34). At the leaf level the two
+/// coincide.
+#[derive(Clone, Debug, Default)]
+pub struct LevelSpec {
+    /// BSR population: per row-node, rows of its local sample block
+    /// (cluster size at the leaf level; node rank at inner levels).
+    pub rows: Vec<usize>,
+    /// BSR adjacency of the subtraction: per row-node, local indices of its
+    /// column partners in the same population.
+    pub adj: Vec<Vec<usize>>,
+    /// Per column-partner node (same local indexing as `adj` targets): rows
+    /// of its input-vector block `Ω_b`.
+    pub col_rows: Vec<usize>,
+    /// `batchedGen` blocks issued at this level: `(rows, cols)` dimensions.
+    pub gen_blocks: Vec<(usize, usize)>,
+    /// ID population: per node processed at this level, rows of the stacked
+    /// sample block fed to the QR convergence test and the row ID.
+    pub id_rows: Vec<usize>,
+    /// Post-ID rank per ID-population node.
+    pub ranks: Vec<usize>,
+    /// Pairs of BSR-population local indices merged into one ID-population
+    /// node (line 24). Empty at the leaf level.
+    pub merges: Vec<(usize, usize)>,
+}
+
+/// Cost breakdown of one level at a given device count.
+#[derive(Clone, Debug)]
+pub struct LevelCost {
+    /// Wall-clock estimate: max per-device compute + comm + launch overhead.
+    pub makespan: f64,
+    /// Total compute time summed over devices (s).
+    pub compute_total: f64,
+    /// Per-device compute seconds.
+    pub compute_per_device: Vec<f64>,
+    /// Cross-device traffic in bytes (Ω fetches + child gathers).
+    pub comm_bytes: u64,
+    /// Cross-device messages.
+    pub comm_messages: usize,
+    /// Kernel launches across all devices at this level.
+    pub launches: usize,
+}
+
+/// Simulation result over all levels.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    pub devices: usize,
+    pub levels: Vec<LevelCost>,
+    /// Sum of level makespans (levels are sequential in Algorithm 1).
+    pub makespan: f64,
+    pub total_comm_bytes: u64,
+    pub total_launches: usize,
+}
+
+impl SimReport {
+    /// Total compute time aggregated over devices and levels.
+    pub fn compute_total(&self) -> f64 {
+        self.levels.iter().map(|l| l.compute_total).sum()
+    }
+
+    /// Parallel efficiency relative to an ideal single device:
+    /// `T_compute / (devices · makespan)`.
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 1.0;
+        }
+        self.compute_total() / (self.devices as f64 * self.makespan)
+    }
+}
+
+/// Contiguous-chunk owner of local node `i` among `n` nodes on `d` devices.
+#[inline]
+pub fn owner(i: usize, n: usize, d: usize) -> usize {
+    if n == 0 || d <= 1 {
+        return 0;
+    }
+    (i * d / n).min(d - 1)
+}
+
+/// Simulate the construction's batched execution on `devices` devices.
+///
+/// `d_samples` is the sample block width (paper: 256 initial). The per-level
+/// costs follow Algorithm 1's kernel sequence: `batchedGen`,
+/// `batchedBSRGemm` (the only op with Ω traffic), convergence QR,
+/// `batchedID`, and the upsweep GEMM, plus the line-24 child gather.
+///
+/// ```
+/// use h2_runtime::{simulate, DeviceModel, LevelSpec};
+/// let leaf = LevelSpec {
+///     rows: vec![64; 8],
+///     adj: (0..8).map(|i| vec![i]).collect(),
+///     col_rows: vec![64; 8],
+///     gen_blocks: vec![(64, 64); 8],
+///     id_rows: vec![64; 8],
+///     ranks: vec![16; 8],
+///     merges: vec![],
+/// };
+/// let rep = simulate(&[leaf], 128, 1, &DeviceModel::default());
+/// assert_eq!(rep.total_comm_bytes, 0); // one device never communicates
+/// assert!(rep.makespan > 0.0);
+/// ```
+pub fn simulate(
+    levels: &[LevelSpec],
+    d_samples: usize,
+    devices: usize,
+    model: &DeviceModel,
+) -> SimReport {
+    assert!(devices > 0, "at least one device");
+    let d = d_samples as f64;
+    let mut out_levels = Vec::with_capacity(levels.len());
+    let mut makespan = 0.0;
+    let mut total_comm = 0u64;
+    let mut total_launches = 0usize;
+
+    for spec in levels {
+        let n = spec.rows.len();
+        let n_id = spec.id_rows.len();
+        let mut compute = vec![0.0_f64; devices];
+        let mut comm_bytes = 0u64;
+        let mut comm_messages = 0usize;
+
+        // batchedGen: entry evaluation, no communication (generator is
+        // device-resident, §IV.A). Blocks are distributed like their row
+        // nodes; approximate with round-robin over devices.
+        for (i, &(r, c)) in spec.gen_blocks.iter().enumerate() {
+            let dev = if devices > 1 { i % devices } else { 0 };
+            compute[dev] += (r * c) as f64 * model.entry_cost / model.flops_per_sec;
+        }
+
+        // batchedBSRGemm: 2·m_s·m_b·d flops per block; fetch Ω_b when the
+        // partner lives on another device (once per (device, partner)).
+        let mut fetched: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        for (i, partners) in spec.adj.iter().enumerate() {
+            let dev = owner(i, n, devices);
+            for &b in partners {
+                let mb = spec.col_rows.get(b).copied().unwrap_or(0);
+                compute[dev] +=
+                    2.0 * spec.rows[i] as f64 * mb as f64 * d / model.flops_per_sec;
+                let dev_b = owner(b, spec.col_rows.len().max(n), devices);
+                if dev_b != dev && fetched.insert((dev, b)) {
+                    comm_bytes += (mb * d_samples * 8) as u64;
+                    comm_messages += 1;
+                }
+            }
+        }
+
+        // Convergence QR (2 m d²) + row ID (4 m d min(m,d)) + upsweep GEMM
+        // (2 m k d), all node-local, over the ID population.
+        for i in 0..n_id {
+            let m = spec.id_rows[i] as f64;
+            let k = spec.ranks.get(i).copied().unwrap_or(0) as f64;
+            let dev = owner(i, n_id, devices);
+            let md = (spec.id_rows[i].min(d_samples)) as f64;
+            compute[dev] += (2.0 * m * d * d + 4.0 * m * d * md + 2.0 * m * k * d)
+                / model.flops_per_sec;
+        }
+
+        // Line-24 gather: a merge whose children live on different devices
+        // moves one child's samples + inputs (rows × d × 2 × 8B).
+        for &(a, b) in &spec.merges {
+            let (da, db) = (owner(a, n, devices), owner(b, n, devices));
+            if da != db {
+                let moved = spec.rows.get(b).copied().unwrap_or(0);
+                comm_bytes += (moved * d_samples * 2 * 8) as u64;
+                comm_messages += 1;
+            }
+        }
+
+        // Launches: each device launches each of the ~6 per-level batched
+        // kernels over its chunk, plus one BSR launch per Csp slot (§IV.A).
+        let csp = spec.adj.iter().map(|a| a.len()).max().unwrap_or(0);
+        let active = devices.min(n.max(1));
+        let launches = active * (6 + csp);
+
+        let compute_max = compute.iter().cloned().fold(0.0, f64::max);
+        let comm_time = comm_bytes as f64 / model.link_bandwidth
+            + comm_messages as f64 * model.link_latency;
+        let level_makespan =
+            compute_max + comm_time + launches as f64 / active.max(1) as f64 * model.launch_overhead;
+
+        makespan += level_makespan;
+        total_comm += comm_bytes;
+        total_launches += launches;
+        out_levels.push(LevelCost {
+            makespan: level_makespan,
+            compute_total: compute.iter().sum(),
+            compute_per_device: compute,
+            comm_bytes,
+            comm_messages,
+            launches,
+        });
+    }
+
+    SimReport { devices, levels: out_levels, makespan, total_comm_bytes: total_comm, total_launches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_levels() -> Vec<LevelSpec> {
+        // Leaf level: 8 nodes of 64 rows, ring adjacency, rank 16; the BSR
+        // and ID populations coincide.
+        let n = 8;
+        let leaf = LevelSpec {
+            rows: vec![64; n],
+            adj: (0..n).map(|i| vec![i, (i + 1) % n, (i + n - 1) % n]).collect(),
+            col_rows: vec![64; n],
+            gen_blocks: (0..n).map(|_| (64, 64)).collect(),
+            id_rows: vec![64; n],
+            ranks: vec![16; n],
+            merges: vec![],
+        };
+        // Inner level: BSR over the 8 children (rank 16 each), merged in
+        // sibling pairs into 4 ID nodes of 32 stacked rows.
+        let inner = LevelSpec {
+            rows: vec![16; n],
+            adj: (0..n).map(|i| vec![(i + 2) % n]).collect(),
+            col_rows: vec![16; n],
+            gen_blocks: (0..4).map(|_| (16, 16)).collect(),
+            id_rows: vec![32; 4],
+            ranks: vec![12; 4],
+            merges: (0..n / 2).map(|p| (2 * p, 2 * p + 1)).collect(),
+        };
+        vec![leaf, inner]
+    }
+
+    #[test]
+    fn owner_is_contiguous_and_balanced() {
+        let n = 10;
+        let d = 3;
+        let owners: Vec<usize> = (0..n).map(|i| owner(i, n, d)).collect();
+        // Non-decreasing.
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        // All devices used.
+        assert_eq!(owners.iter().cloned().max().unwrap(), d - 1);
+        // Balanced within 1.
+        let counts: Vec<usize> =
+            (0..d).map(|dev| owners.iter().filter(|&&o| o == dev).count()).collect();
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn single_device_has_no_communication() {
+        let rep = simulate(&toy_levels(), 128, 1, &DeviceModel::default());
+        assert_eq!(rep.total_comm_bytes, 0);
+        assert!(rep.makespan > 0.0);
+    }
+
+    #[test]
+    fn multi_device_reduces_makespan_on_large_levels() {
+        // A wide leaf level with enough work for parallelism to win.
+        let n = 256;
+        let level = LevelSpec {
+            rows: vec![256; n],
+            adj: (0..n).map(|i| vec![i]).collect(),
+            col_rows: vec![256; n],
+            gen_blocks: (0..n).map(|_| (256, 256)).collect(),
+            id_rows: vec![256; n],
+            ranks: vec![32; n],
+            merges: vec![],
+        };
+        let m = DeviceModel::default();
+        let r1 = simulate(&[level.clone()], 256, 1, &m);
+        let r4 = simulate(&[level], 256, 4, &m);
+        assert!(
+            r4.makespan < r1.makespan / 2.0,
+            "4 devices {} vs 1 device {}",
+            r4.makespan,
+            r1.makespan
+        );
+    }
+
+    #[test]
+    fn communication_grows_with_devices() {
+        let levels = toy_levels();
+        let m = DeviceModel::default();
+        let c2 = simulate(&levels, 128, 2, &m).total_comm_bytes;
+        let c8 = simulate(&levels, 128, 8, &m).total_comm_bytes;
+        assert!(c2 > 0, "cross-device partners must appear at D=2");
+        assert!(c8 >= c2, "more devices cannot reduce traffic: {c2} -> {c8}");
+    }
+
+    #[test]
+    fn compute_total_is_device_invariant() {
+        let levels = toy_levels();
+        let m = DeviceModel::default();
+        let t1 = simulate(&levels, 64, 1, &m).compute_total();
+        let t4 = simulate(&levels, 64, 4, &m).compute_total();
+        assert!((t1 - t4).abs() < 1e-12 * t1.max(1e-30), "work is conserved");
+    }
+
+    #[test]
+    fn efficiency_bounded_by_one() {
+        let levels = toy_levels();
+        let m = DeviceModel::default();
+        for d in [1, 2, 4, 8] {
+            let e = simulate(&levels, 64, d, &m).efficiency();
+            assert!(e > 0.0 && e <= 1.0 + 1e-9, "efficiency {e} at D={d}");
+        }
+    }
+
+    #[test]
+    fn launches_scale_with_active_devices_not_nodes() {
+        let n = 1024;
+        let level = LevelSpec {
+            rows: vec![64; n],
+            adj: (0..n).map(|i| vec![i]).collect(),
+            col_rows: vec![64; n],
+            gen_blocks: vec![],
+            id_rows: vec![64; n],
+            ranks: vec![8; n],
+            merges: vec![],
+        };
+        let rep = simulate(&[level], 64, 4, &DeviceModel::default());
+        assert!(rep.total_launches < 64, "launches must not scale with node count");
+    }
+
+    #[test]
+    fn empty_levels_cost_nothing() {
+        let rep = simulate(&[], 64, 4, &DeviceModel::default());
+        assert_eq!(rep.makespan, 0.0);
+        assert_eq!(rep.total_comm_bytes, 0);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_levels() {
+        // A level with 2 tiny nodes on 8 devices: makespan should be close
+        // to pure overhead (launch + latency), not compute.
+        let level = LevelSpec {
+            rows: vec![4, 4],
+            adj: vec![vec![1], vec![0]],
+            col_rows: vec![4, 4],
+            gen_blocks: vec![(4, 4)],
+            id_rows: vec![8],
+            ranks: vec![2],
+            merges: vec![(0, 1)],
+        };
+        let m = DeviceModel::default();
+        let rep = simulate(&[level], 16, 8, &m);
+        let overhead = m.launch_overhead + m.link_latency;
+        assert!(rep.makespan >= overhead, "tiny levels are overhead-bound");
+    }
+}

@@ -1,0 +1,320 @@
+//! Batched kernels over [`VarBatch`] workspaces.
+//!
+//! Each function is the Rust analogue of one blue-green comment in
+//! Algorithm 1 of the paper: it records exactly the kernel launches the GPU
+//! implementation would issue, marshals its operands, and runs the per-entry
+//! work on the runtime's backend.
+
+use crate::batch::VarBatch;
+use crate::profile::Kernel;
+use crate::runtime::Runtime;
+use h2_dense::cpqr::{row_id, RowId, Truncation};
+use h2_dense::qr::qr_in_place;
+use h2_dense::{gemm, EntryAccess, Mat, Op};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// `batchedRand`: generate a global `n x d` standard-normal block.
+///
+/// Columns are generated from independent seed-derived streams so the result
+/// is identical on both backends (the parallel-safe analogue of cuRAND's
+/// counter-based generators).
+pub fn rand_mat(rt: &Runtime, n: usize, d: usize, seed: u64) -> Mat {
+    rt.launch(Kernel::Rand);
+    let mut y = Mat::zeros(n, d);
+    // Split into per-column tasks with deterministic seeds.
+    let cols: Vec<&mut [f64]> = y.as_mut_slice().chunks_mut(n.max(1)).collect();
+    let run = |(j, col): (usize, &mut [f64])| {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(j as u64 + 1)));
+        h2_dense::rand::fill_gaussian_slice(col, &mut rng);
+    };
+    if rt.is_parallel() {
+        use rayon::prelude::*;
+        cols.into_par_iter().enumerate().for_each(run);
+    } else {
+        cols.into_iter().enumerate().for_each(run);
+    }
+    y
+}
+
+/// Marshal: gather row ranges of a global `n x d` matrix into a batch
+/// (`Ω¹_τ = Ω(I_τ, :)`, Algorithm 1 line 5). `ranges[i]` is the contiguous
+/// row range of entry `i` (clusters own contiguous index ranges in tree
+/// order).
+pub fn gather_rows(rt: &Runtime, src: &Mat, ranges: &[(usize, usize)]) -> VarBatch {
+    rt.launch(Kernel::PrefixSum);
+    rt.launch(Kernel::Marshal);
+    let rows: Vec<usize> = ranges.iter().map(|&(b, e)| e - b).collect();
+    let d = src.cols();
+    let mut out = VarBatch::zeros_uniform_cols(rows, d);
+    let par = rt.is_parallel();
+    out.for_each_mut(par, |i, mut m| {
+        let (b, _e) = ranges[i];
+        m.copy_from(src.view(b, 0, m.rows(), d));
+    });
+    out
+}
+
+/// Marshal: stack pairs (or singletons) of child entries into parent entries
+/// (`Y^l_τ = [Y^l_ν1; Y^l_ν2]`, Algorithm 1 line 24).
+/// `children[p]` lists the child entry indices of parent `p`.
+pub fn stack_children(rt: &Runtime, child: &VarBatch, children: &[Vec<usize>]) -> VarBatch {
+    rt.launch(Kernel::PrefixSum);
+    rt.launch(Kernel::Marshal);
+    let d = if child.count() > 0 { child.cols_of(0) } else { 0 };
+    let rows: Vec<usize> =
+        children.iter().map(|cs| cs.iter().map(|&c| child.rows_of(c)).sum()).collect();
+    let mut out = VarBatch::zeros_uniform_cols(rows, d);
+    let par = rt.is_parallel();
+    out.for_each_mut(par, |p, mut m| {
+        let mut off = 0;
+        for &c in &children[p] {
+            let cm = child.mat(c);
+            m.rb_mut().into_view(off, 0, cm.rows(), cm.cols()).copy_from(cm);
+            off += cm.rows();
+        }
+    });
+    out
+}
+
+/// Batched QR convergence statistic: per entry, `min_i |R_ii|` of the
+/// Householder QR of the entry (Algorithm 1 lines 11/29). Entries with zero
+/// rows or columns report `0.0` (trivially converged).
+pub fn qr_min_rdiag(rt: &Runtime, batch: &VarBatch) -> Vec<f64> {
+    rt.launch(Kernel::Qr);
+    batch.map(rt.is_parallel(), |_, m| {
+        if m.rows() == 0 || m.cols() == 0 {
+            return 0.0;
+        }
+        let mut work = m.to_mat();
+        let tau = qr_in_place(&mut work.rm());
+        (0..tau.len()).map(|i| work[(i, i)].abs()).fold(f64::INFINITY, f64::min)
+    })
+}
+
+/// `batchedID`: batched row interpolative decomposition.
+///
+/// The GPU implementation first batch-transposes the samples for coalesced
+/// access and then runs a batched column-pivoted QR; we record both launches
+/// and return the per-entry [`RowId`]s.
+pub fn batched_row_id(rt: &Runtime, batch: &VarBatch, rule: Truncation) -> Vec<RowId> {
+    rt.launch(Kernel::Transpose);
+    rt.launch(Kernel::Id);
+    batch.map(rt.is_parallel(), |_, m| row_id(&m.to_mat(), rule))
+}
+
+/// `batchedShrink`: gather skeleton rows, `Y^{l+1}_τ = Y^loc_τ(J_τ, :)`
+/// (Algorithm 1 lines 17/35). On the GPU this is a column swap on the
+/// transposed samples plus a transpose back; we record the same launches.
+pub fn shrink_rows(rt: &Runtime, batch: &VarBatch, skels: &[&[usize]]) -> VarBatch {
+    assert_eq!(batch.count(), skels.len());
+    rt.launch(Kernel::Shrink);
+    rt.launch(Kernel::Transpose);
+    let d = if batch.count() > 0 { batch.cols_of(0) } else { 0 };
+    let rows: Vec<usize> = skels.iter().map(|s| s.len()).collect();
+    let mut out = VarBatch::zeros_uniform_cols(rows, d);
+    let par = rt.is_parallel();
+    out.for_each_mut(par, |i, mut m| {
+        let src = batch.mat(i);
+        for (r, &j) in skels[i].iter().enumerate() {
+            for c in 0..d {
+                *m.at_mut(r, c) = src.at(j, c);
+            }
+        }
+    });
+    out
+}
+
+/// `batchedGemm` (transposed-A form): per entry `out_i = A_i^T X_i`
+/// (`Ω^{l+1}_τ = U_τ^T Ω^l_τ` / `E^T Ω`, Algorithm 1 lines 18/36).
+pub fn gemm_at_x(rt: &Runtime, a: &[Mat], x: &VarBatch) -> VarBatch {
+    assert_eq!(a.len(), x.count());
+    rt.launch(Kernel::Gemm);
+    let d = if x.count() > 0 { x.cols_of(0) } else { 0 };
+    let rows: Vec<usize> = a.iter().map(|m| m.cols()).collect();
+    let mut out = VarBatch::zeros_uniform_cols(rows, d);
+    let par = rt.is_parallel();
+    out.for_each_mut(par, |i, m| {
+        gemm(Op::Trans, Op::NoTrans, 1.0, a[i].rf(), x.mat(i), 0.0, m);
+    });
+    out
+}
+
+/// Horizontal concatenation of two batches with matching entry row counts:
+/// the sample-widening step of adaptive construction (`updateSamples`).
+pub fn hcat_batches(rt: &Runtime, a: &VarBatch, b: &VarBatch) -> VarBatch {
+    assert_eq!(a.count(), b.count(), "hcat: batch count mismatch");
+    rt.launch(Kernel::PrefixSum);
+    rt.launch(Kernel::Marshal);
+    let rows: Vec<usize> = (0..a.count()).map(|i| a.rows_of(i)).collect();
+    let cols: Vec<usize> = (0..a.count()).map(|i| a.cols_of(i) + b.cols_of(i)).collect();
+    let mut out = VarBatch::zeros(rows, cols);
+    let par = rt.is_parallel();
+    out.for_each_mut(par, |i, mut m| {
+        assert_eq!(a.rows_of(i), b.rows_of(i), "hcat: entry {i} row mismatch");
+        let (ca, cb) = (a.cols_of(i), b.cols_of(i));
+        m.rb_mut().into_view(0, 0, a.rows_of(i), ca).copy_from(a.mat(i));
+        m.rb_mut().into_view(0, ca, b.rows_of(i), cb).copy_from(b.mat(i));
+    });
+    out
+}
+
+/// Specification of one block to evaluate with `batchedGen`.
+pub struct GenBlock {
+    /// Global (permuted) row indices.
+    pub rows: Vec<usize>,
+    /// Global (permuted) column indices.
+    pub cols: Vec<usize>,
+}
+
+/// `batchedGen`: evaluate a batch of sub-blocks of the matrix with a single
+/// launch (Algorithm 1 lines 8/41).
+pub fn batched_gen(rt: &Runtime, gen: &dyn EntryAccess, blocks: &[GenBlock]) -> Vec<Mat> {
+    rt.launch(Kernel::Gen);
+    rt.map_index(blocks.len(), |i| gen.block_mat(&blocks[i].rows, &blocks[i].cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Backend;
+    use h2_dense::{gaussian_mat, DenseOp};
+
+    fn rts() -> [Runtime; 2] {
+        [Runtime::new(Backend::Sequential), Runtime::new(Backend::Parallel)]
+    }
+
+    #[test]
+    fn rand_mat_deterministic_across_backends() {
+        let a = rand_mat(&Runtime::sequential(), 40, 8, 3);
+        let b = rand_mat(&Runtime::parallel(), 40, 8, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gather_rows_extracts_ranges() {
+        for rt in rts() {
+            let src = Mat::from_fn(10, 3, |i, j| (i * 10 + j) as f64);
+            let b = gather_rows(&rt, &src, &[(0, 2), (5, 9)]);
+            assert_eq!(b.count(), 2);
+            assert_eq!(b.mat(0).at(1, 2), 12.0);
+            assert_eq!(b.mat(1).at(0, 0), 50.0);
+            assert_eq!(b.mat(1).rows(), 4);
+        }
+    }
+
+    #[test]
+    fn stack_children_concatenates() {
+        for rt in rts() {
+            let src = Mat::from_fn(6, 2, |i, j| (i * 2 + j) as f64);
+            let child = gather_rows(&rt, &src, &[(0, 2), (2, 3), (3, 6)]);
+            let parent = stack_children(&rt, &child, &[vec![0, 1], vec![2]]);
+            assert_eq!(parent.rows_of(0), 3);
+            assert_eq!(parent.mat(0).at(2, 1), 5.0); // row 2 of src
+            assert_eq!(parent.mat(1).at(0, 0), 6.0); // row 3 of src
+        }
+    }
+
+    #[test]
+    fn qr_min_rdiag_detects_rank_deficiency() {
+        for rt in rts() {
+            let full = gaussian_mat(8, 4, 1);
+            let lowrank = h2_dense::random_low_rank(8, 4, 2, 0.5, 2);
+            let mut b = VarBatch::zeros_uniform_cols(vec![8, 8], 4);
+            b.set(0, full.rf());
+            b.set(1, lowrank.rf());
+            let mins = qr_min_rdiag(&rt, &b);
+            assert!(mins[0] > 1e-3, "full-rank sample should have large min rdiag");
+            assert!(mins[1] < 1e-10, "rank-2 sample must collapse by column 3");
+        }
+    }
+
+    #[test]
+    fn batched_row_id_reconstructs() {
+        for rt in rts() {
+            let a0 = h2_dense::random_low_rank(10, 6, 3, 0.4, 5);
+            let a1 = h2_dense::random_low_rank(7, 6, 2, 0.4, 6);
+            let mut b = VarBatch::zeros(vec![10, 7], vec![6, 6]);
+            b.set(0, a0.rf());
+            b.set(1, a1.rf());
+            let ids = batched_row_id(&rt, &b, Truncation::Relative(1e-12));
+            for (i, src) in [a0, a1].iter().enumerate() {
+                let sk = src.select_rows(&ids[i].skel);
+                let rec = h2_dense::matmul(Op::NoTrans, Op::NoTrans, ids[i].u.rf(), sk.rf());
+                let mut d = rec;
+                d.axpy(-1.0, src);
+                assert!(d.norm_max() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_selects_rows() {
+        for rt in rts() {
+            let src = Mat::from_fn(5, 2, |i, j| (i * 2 + j) as f64);
+            let mut b = VarBatch::zeros_uniform_cols(vec![5], 2);
+            b.set(0, src.rf());
+            let skel: Vec<&[usize]> = vec![&[4, 0]];
+            let out = shrink_rows(&rt, &b, &skel);
+            assert_eq!(out.mat(0).at(0, 0), 8.0);
+            assert_eq!(out.mat(0).at(1, 1), 1.0);
+        }
+    }
+
+    #[test]
+    fn gemm_at_x_computes_transposed_product() {
+        for rt in rts() {
+            let u = gaussian_mat(6, 2, 7);
+            let x = gaussian_mat(6, 3, 8);
+            let mut b = VarBatch::zeros_uniform_cols(vec![6], 3);
+            b.set(0, x.rf());
+            let out = gemm_at_x(&rt, &[u.clone()], &b);
+            let want = h2_dense::matmul(Op::Trans, Op::NoTrans, u.rf(), x.rf());
+            let mut d = out.to_mat(0);
+            d.axpy(-1.0, &want);
+            assert!(d.norm_max() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn hcat_widens_batch() {
+        for rt in rts() {
+            let mut a = VarBatch::zeros_uniform_cols(vec![3, 2], 2);
+            let mut b = VarBatch::zeros_uniform_cols(vec![3, 2], 1);
+            a.for_each_mut(false, |_, mut m| m.fill(1.0));
+            b.for_each_mut(false, |_, mut m| m.fill(2.0));
+            let c = hcat_batches(&rt, &a, &b);
+            assert_eq!(c.cols_of(0), 3);
+            assert_eq!(c.mat(0).at(0, 1), 1.0);
+            assert_eq!(c.mat(1).at(1, 2), 2.0);
+        }
+    }
+
+    #[test]
+    fn batched_gen_evaluates_blocks() {
+        for rt in rts() {
+            let a = Mat::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
+            let op = DenseOp::new(a);
+            let blocks = vec![
+                GenBlock { rows: vec![0, 1], cols: vec![2, 3] },
+                GenBlock { rows: vec![7], cols: vec![0] },
+            ];
+            let out = batched_gen(&rt, &op, &blocks);
+            assert_eq!(out[0][(0, 0)], 2.0);
+            assert_eq!(out[0][(1, 1)], 11.0);
+            assert_eq!(out[1][(0, 0)], 56.0);
+        }
+    }
+
+    #[test]
+    fn launch_accounting() {
+        let rt = Runtime::parallel();
+        let src = gaussian_mat(8, 2, 9);
+        let _ = gather_rows(&rt, &src, &[(0, 4), (4, 8)]);
+        assert_eq!(rt.profile().launches(Kernel::Marshal), 1);
+        assert_eq!(rt.profile().launches(Kernel::PrefixSum), 1);
+        let b = gather_rows(&rt, &src, &[(0, 8)]);
+        let _ = qr_min_rdiag(&rt, &b);
+        assert_eq!(rt.profile().launches(Kernel::Qr), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! The device runtime: backend selection plus profiling.
+//!
+//! The paper runs one code base on both CPU and GPU (Thrust backends).
+//! [`Runtime`] mirrors that: every batched kernel takes a `&Runtime` and
+//! executes its per-entry work either sequentially ([`Backend::Sequential`],
+//! the paper's "CPU" configuration) or with work-stealing parallelism across
+//! batch entries ([`Backend::Parallel`], the "GPU" configuration — batch
+//! entries play the role of thread blocks).
+
+use crate::profile::{Kernel, Phase, Profile};
+use rayon::prelude::*;
+
+/// Execution backend for batched kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// One thread, entries processed in order (paper's CPU baseline used
+    /// OpenMP loops; use `Parallel` for that — `Sequential` is the
+    /// single-thread reference).
+    Sequential,
+    /// Entries processed by the rayon pool (paper's GPU batched execution).
+    Parallel,
+}
+
+/// Shared handle passed to every batched operation.
+pub struct Runtime {
+    backend: Backend,
+    profile: Profile,
+}
+
+impl Runtime {
+    pub fn new(backend: Backend) -> Self {
+        Runtime { backend, profile: Profile::new() }
+    }
+
+    pub fn sequential() -> Self {
+        Runtime::new(Backend::Sequential)
+    }
+
+    pub fn parallel() -> Self {
+        Runtime::new(Backend::Parallel)
+    }
+
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    pub fn is_parallel(&self) -> bool {
+        self.backend == Backend::Parallel
+    }
+
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Record a kernel launch (the unit the paper's §IV.B analysis counts).
+    pub fn launch(&self, k: Kernel) {
+        self.profile.record_launch(k);
+    }
+
+    pub fn launches(&self, k: Kernel, n: usize) {
+        self.profile.record_launches(k, n);
+    }
+
+    /// Time a phase of the construction.
+    pub fn phase<R>(&self, p: Phase, f: impl FnOnce() -> R) -> R {
+        self.profile.time(p, f)
+    }
+
+    /// Run an indexed loop on the chosen backend (generic batched "kernel
+    /// body"; the caller records the launch).
+    pub fn for_each_index<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        match self.backend {
+            Backend::Sequential => (0..n).for_each(f),
+            Backend::Parallel => (0..n).into_par_iter().for_each(f),
+        }
+    }
+
+    /// Indexed map on the chosen backend, preserving order.
+    pub fn map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync + Send,
+    {
+        match self.backend {
+            Backend::Sequential => (0..n).map(f).collect(),
+            Backend::Parallel => (0..n).into_par_iter().map(f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn both_backends_cover_all_indices() {
+        for backend in [Backend::Sequential, Backend::Parallel] {
+            let rt = Runtime::new(backend);
+            let hits = AtomicUsize::new(0);
+            rt.for_each_index(100, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let rt = Runtime::parallel();
+        let v = rt.map_index(50, |i| i * i);
+        assert_eq!(v[7], 49);
+        assert_eq!(v.len(), 50);
+    }
+
+    #[test]
+    fn launches_visible_via_profile() {
+        let rt = Runtime::sequential();
+        rt.launch(Kernel::Gemm);
+        rt.launches(Kernel::BsrGemm, 4);
+        assert_eq!(rt.profile().launches(Kernel::Gemm), 1);
+        assert_eq!(rt.profile().launches(Kernel::BsrGemm), 4);
+    }
+}

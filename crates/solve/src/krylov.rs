@@ -1,0 +1,494 @@
+//! Preconditioned Krylov methods on abstract operators.
+//!
+//! All methods take the operator as an [`h2_dense::LinOp`] — a compressed H2
+//! matrix, a kernel matrix, or any other black box — and a
+//! [`Preconditioner`]. Residual histories are returned so convergence
+//! behaviour (e.g. preconditioner quality) can be asserted in tests and
+//! reported by the benchmark harness.
+
+use crate::precond::Preconditioner;
+use h2_dense::{LinOp, Mat};
+
+/// Result of a preconditioned iterative solve.
+#[derive(Clone, Debug)]
+pub struct IterResult {
+    pub x: Vec<f64>,
+    pub iterations: usize,
+    /// True relative residual `‖b - A x‖₂ / ‖b‖₂` at exit.
+    pub relative_residual: f64,
+    pub converged: bool,
+    /// Per-iteration (estimated) relative residuals.
+    pub history: Vec<f64>,
+}
+
+fn apply_op(a: &dyn LinOp, v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let vm = Mat::from_vec(n, 1, v.to_vec());
+    let mut out = Mat::zeros(a.nrows(), 1);
+    a.apply(vm.rf(), out.rm());
+    out.as_slice().to_vec()
+}
+
+fn apply_prec(m: &dyn Preconditioner, v: &[f64]) -> Vec<f64> {
+    let vm = Mat::from_vec(v.len(), 1, v.to_vec());
+    m.apply_inv(&vm).as_slice().to_vec()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn true_residual(a: &dyn LinOp, x: &[f64], b: &[f64]) -> f64 {
+    let ax = apply_op(a, x);
+    let mut s = 0.0;
+    for i in 0..b.len() {
+        let d = b[i] - ax[i];
+        s += d * d;
+    }
+    s.sqrt() / norm(b).max(f64::MIN_POSITIVE)
+}
+
+/// Preconditioned conjugate gradients for SPD `A` and SPD `M`.
+///
+/// ```
+/// use h2_dense::{DenseOp, Mat};
+/// use h2_solve::{pcg, Identity};
+/// // A 2x2 SPD system.
+/// let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let op = DenseOp::new(a);
+/// let res = pcg(&op, &Identity { n: 2 }, &[1.0, 2.0], 50, 1e-12);
+/// assert!(res.converged);
+/// assert!((4.0 * res.x[0] + res.x[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn pcg(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    max_iters: usize,
+    rtol: f64,
+) -> IterResult {
+    let n = b.len();
+    assert_eq!(a.nrows(), n, "pcg: dimension mismatch");
+    assert_eq!(m.n(), n, "pcg: preconditioner dimension mismatch");
+    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = apply_prec(m, &r);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut history = Vec::new();
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        let rn = norm(&r) / b_norm;
+        history.push(rn);
+        if rn <= rtol {
+            break;
+        }
+        iterations += 1;
+        let ap = apply_op(a, &p);
+        let denom = dot(&p, &ap);
+        if denom <= 0.0 {
+            break; // not SPD (numerically): bail with best effort
+        }
+        let alpha = rz / denom;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        z = apply_prec(m, &r);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        rz = rz_new;
+    }
+
+    let relative_residual = true_residual(a, &x, b);
+    IterResult {
+        x,
+        iterations,
+        relative_residual,
+        converged: relative_residual <= 10.0 * rtol,
+        history,
+    }
+}
+
+/// Restarted GMRES(m) with *right* preconditioning: solves `A M⁻¹ u = b`,
+/// `x = M⁻¹ u`, so the preconditioner need not be symmetric.
+pub fn gmres(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    restart: usize,
+    max_iters: usize,
+    rtol: f64,
+) -> IterResult {
+    let n = b.len();
+    assert_eq!(a.nrows(), n, "gmres: dimension mismatch");
+    let restart = restart.max(1);
+    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+
+    let mut x = vec![0.0; n];
+    let mut history = Vec::new();
+    let mut iterations = 0;
+
+    'outer: while iterations < max_iters {
+        // r = b - A x
+        let ax = apply_op(a, &x);
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            r[i] = b[i] - ax[i];
+        }
+        let beta = norm(&r);
+        history.push(beta / b_norm);
+        if beta / b_norm <= rtol {
+            break;
+        }
+
+        // Arnoldi on A M⁻¹.
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(restart + 1);
+        v.push(r.iter().map(|&t| t / beta).collect());
+        // Hessenberg in column-major (restart+1) x restart.
+        let mut h = Mat::zeros(restart + 1, restart);
+        // Givens rotations and the transformed RHS.
+        let mut cs = vec![0.0; restart];
+        let mut sn = vec![0.0; restart];
+        let mut g = vec![0.0; restart + 1];
+        g[0] = beta;
+
+        let mut k_used = 0;
+        for k in 0..restart {
+            if iterations >= max_iters {
+                break;
+            }
+            iterations += 1;
+            let mz = apply_prec(m, &v[k]);
+            let mut w = apply_op(a, &mz);
+            // Modified Gram-Schmidt.
+            for (i, vi) in v.iter().enumerate() {
+                let hik = dot(&w, vi);
+                h[(i, k)] = hik;
+                for j in 0..n {
+                    w[j] -= hik * vi[j];
+                }
+            }
+            let wn = norm(&w);
+            h[(k + 1, k)] = wn;
+
+            // Apply existing Givens rotations to the new column.
+            for i in 0..k {
+                let t = cs[i] * h[(i, k)] + sn[i] * h[(i + 1, k)];
+                h[(i + 1, k)] = -sn[i] * h[(i, k)] + cs[i] * h[(i + 1, k)];
+                h[(i, k)] = t;
+            }
+            // New rotation to annihilate h[k+1][k].
+            let (c, s) = givens(h[(k, k)], h[(k + 1, k)]);
+            cs[k] = c;
+            sn[k] = s;
+            h[(k, k)] = c * h[(k, k)] + s * h[(k + 1, k)];
+            h[(k + 1, k)] = 0.0;
+            let t = c * g[k];
+            g[k + 1] = -s * g[k];
+            g[k] = t;
+            k_used = k + 1;
+
+            let res_est = g[k + 1].abs() / b_norm;
+            history.push(res_est);
+            if wn == 0.0 || res_est <= rtol {
+                break;
+            }
+            v.push(w.iter().map(|&t| t / wn).collect());
+            if v.len() == restart + 1 {
+                break;
+            }
+        }
+
+        if k_used == 0 {
+            break 'outer; // stagnation: no Krylov direction produced
+        }
+
+        // Solve the k_used x k_used triangular system H y = g.
+        let mut y = vec![0.0; k_used];
+        for i in (0..k_used).rev() {
+            let mut s = g[i];
+            for j in (i + 1)..k_used {
+                s -= h[(i, j)] * y[j];
+            }
+            y[i] = s / h[(i, i)];
+        }
+        // x += M⁻¹ (V y)
+        let mut u = vec![0.0; n];
+        for (j, &yj) in y.iter().enumerate() {
+            for i in 0..n {
+                u[i] += yj * v[j][i];
+            }
+        }
+        let mu = apply_prec(m, &u);
+        for i in 0..n {
+            x[i] += mu[i];
+        }
+    }
+
+    let relative_residual = true_residual(a, &x, b);
+    IterResult {
+        x,
+        iterations,
+        relative_residual,
+        converged: relative_residual <= 10.0 * rtol,
+        history,
+    }
+}
+
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() > b.abs() {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c.copysign(a.signum() * c.abs()), c * t)
+    } else {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    }
+}
+
+/// BiCGStab with right preconditioning — unsymmetric systems where GMRES
+/// restarts stall or memory for the Krylov basis is a concern.
+pub fn bicgstab(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    max_iters: usize,
+    rtol: f64,
+) -> IterResult {
+    let n = b.len();
+    assert_eq!(a.nrows(), n, "bicgstab: dimension mismatch");
+    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let r0 = r.clone();
+    let mut rho = 1.0_f64;
+    let mut alpha = 1.0_f64;
+    let mut omega = 1.0_f64;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut history = Vec::new();
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        let rn = norm(&r) / b_norm;
+        history.push(rn);
+        if rn <= rtol {
+            break;
+        }
+        iterations += 1;
+        let rho_new = dot(&r0, &r);
+        if rho_new == 0.0 {
+            break; // breakdown
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        let phat = apply_prec(m, &p);
+        v = apply_op(a, &phat);
+        let r0v = dot(&r0, &v);
+        if r0v == 0.0 {
+            break;
+        }
+        alpha = rho_new / r0v;
+        let mut s = vec![0.0; n];
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        if norm(&s) / b_norm <= rtol {
+            for i in 0..n {
+                x[i] += alpha * phat[i];
+            }
+            r = s;
+            continue;
+        }
+        let shat = apply_prec(m, &s);
+        let t = apply_op(a, &shat);
+        let tt = dot(&t, &t);
+        if tt == 0.0 {
+            break;
+        }
+        omega = dot(&t, &s) / tt;
+        for i in 0..n {
+            x[i] += alpha * phat[i] + omega * shat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        if omega == 0.0 {
+            break;
+        }
+        rho = rho_new;
+    }
+
+    let relative_residual = true_residual(a, &x, b);
+    IterResult {
+        x,
+        iterations,
+        relative_residual,
+        converged: relative_residual <= 10.0 * rtol,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{BlockJacobi, DiagJacobi, Identity};
+    use h2_dense::{gaussian_mat, DenseOp, Mat};
+
+    fn spd_problem(n: usize, seed: u64) -> (DenseOp, Vec<f64>) {
+        // A = G Gᵀ + n·I is SPD and well conditioned.
+        let g = gaussian_mat(n, n, seed);
+        let mut a = h2_dense::matmul(h2_dense::Op::NoTrans, h2_dense::Op::Trans, g.rf(), g.rf());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        (DenseOp::new(a), b)
+    }
+
+    fn unsym_problem(n: usize, seed: u64) -> (DenseOp, Vec<f64>) {
+        // Diagonally dominant unsymmetric matrix.
+        let g = gaussian_mat(n, n, seed);
+        let mut a = g;
+        for i in 0..n {
+            a[(i, i)] += 3.0 * (n as f64).sqrt();
+        }
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.11).cos()).collect();
+        (DenseOp::new(a), b)
+    }
+
+    #[test]
+    fn pcg_converges_on_spd() {
+        let (op, b) = spd_problem(80, 11);
+        let res = pcg(&op, &Identity { n: 80 }, &b, 200, 1e-10);
+        assert!(res.converged, "residual {}", res.relative_residual);
+        assert!(res.relative_residual < 1e-9);
+    }
+
+    #[test]
+    fn pcg_history_is_recorded_and_decreases() {
+        let (op, b) = spd_problem(60, 12);
+        let res = pcg(&op, &Identity { n: 60 }, &b, 200, 1e-10);
+        assert!(res.history.len() >= 2);
+        assert!(res.history.last().unwrap() < &res.history[0]);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_helps_on_scaled_system() {
+        // Badly row/column-scaled SPD matrix: diag precond should cut the
+        // iteration count substantially.
+        let n = 120;
+        let g = gaussian_mat(n, n, 13);
+        let mut a = h2_dense::matmul(h2_dense::Op::NoTrans, h2_dense::Op::Trans, g.rf(), g.rf());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        // Scale rows and columns by wildly varying weights.
+        for i in 0..n {
+            let w = 10f64.powi((i % 7) as i32 - 3);
+            for j in 0..n {
+                a[(i, j)] *= w;
+                a[(j, i)] *= w;
+            }
+        }
+        let op = DenseOp::new(a.clone());
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let plain = pcg(&op, &Identity { n }, &b, 3000, 1e-8);
+        let jac = pcg(&op, &DiagJacobi::new(&op, n), &b, 3000, 1e-8);
+        assert!(jac.converged);
+        assert!(
+            jac.iterations * 2 < plain.iterations.max(1),
+            "jacobi {} vs plain {}",
+            jac.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn gmres_converges_on_unsymmetric() {
+        let (op, b) = unsym_problem(90, 14);
+        let res = gmres(&op, &Identity { n: 90 }, &b, 30, 400, 1e-10);
+        assert!(res.converged, "residual {}", res.relative_residual);
+    }
+
+    #[test]
+    fn gmres_with_restart_shorter_than_problem() {
+        let (op, b) = unsym_problem(100, 15);
+        let res = gmres(&op, &Identity { n: 100 }, &b, 10, 2000, 1e-8);
+        assert!(res.converged, "restarted GMRES residual {}", res.relative_residual);
+    }
+
+    #[test]
+    fn bicgstab_converges_on_unsymmetric() {
+        let (op, b) = unsym_problem(90, 16);
+        let res = bicgstab(&op, &Identity { n: 90 }, &b, 400, 1e-10);
+        assert!(res.converged, "residual {}", res.relative_residual);
+    }
+
+    #[test]
+    fn solvers_agree_on_the_solution() {
+        let (op, b) = unsym_problem(64, 17);
+        let g = gmres(&op, &Identity { n: 64 }, &b, 32, 400, 1e-12);
+        let s = bicgstab(&op, &Identity { n: 64 }, &b, 400, 1e-12);
+        let mut d = 0.0_f64;
+        for i in 0..64 {
+            d = d.max((g.x[i] - s.x[i]).abs());
+        }
+        assert!(d < 1e-8, "gmres and bicgstab disagree by {d}");
+    }
+
+    #[test]
+    fn block_jacobi_beats_identity_on_block_structured_spd() {
+        use h2_tree::ClusterTree;
+        let n = 128;
+        let pts: Vec<[f64; 3]> = (0..n).map(|i| [i as f64 / n as f64, 0.0, 0.0]).collect();
+        let tree = ClusterTree::build(&pts, 16);
+        // SPD with strong diagonal blocks, weak off-diagonal coupling.
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let near = (i / 16) == (j / 16);
+                let base = (-((i as f64 - j as f64) / 4.0).powi(2)).exp();
+                a[(i, j)] = if near { base } else { 0.01 * base };
+            }
+            a[(i, i)] += 2.0;
+        }
+        let op = DenseOp::new(a);
+        let b: Vec<f64> = (0..n).map(|i| (0.05 * i as f64).sin()).collect();
+        let plain = pcg(&op, &Identity { n }, &b, 500, 1e-10);
+        let bj = BlockJacobi::from_entry(&op, &tree).unwrap();
+        let prec = pcg(&op, &bj, &b, 500, 1e-10);
+        assert!(prec.converged);
+        assert!(
+            prec.iterations < plain.iterations,
+            "block-jacobi {} vs plain {}",
+            prec.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let (op, _) = spd_problem(20, 18);
+        let b = vec![0.0; 20];
+        let res = pcg(&op, &Identity { n: 20 }, &b, 50, 1e-10);
+        assert!(res.x.iter().all(|&v| v == 0.0));
+        let res = gmres(&op, &Identity { n: 20 }, &b, 10, 50, 1e-10);
+        assert!(res.x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! # h2-solve
+//!
+//! Solving linear systems with compressed H2 operators — the workload the
+//! paper's construction feeds ("accelerating H2 arithmetic in sparse
+//! multifrontal solvers or Schur complement-based updates", §I; H2
+//! inversion is the paper's stated follow-up work).
+//!
+//! Three layers:
+//!
+//! * [`krylov`] — preconditioned iterative methods on [`h2_dense::LinOp`]:
+//!   CG for SPD systems, restarted GMRES and BiCGStab for unsymmetric ones.
+//! * [`precond`] — preconditioners assembled from the H2 representation:
+//!   block-Jacobi from the near-field diagonal blocks, and any direct
+//!   factorization wrapped as a preconditioner.
+//! * [`ulv`] — a ULV-style direct factorization for weak-admissibility
+//!   (HSS-pattern) H2 matrices: O(N k²) factor + O(N k) solve, the
+//!   bottom-up elimination that the paper's bottom-up construction is
+//!   designed to feed.
+//! * [`woodbury`] — Sherman–Morrison–Woodbury solves for low-rank-updated
+//!   operators (`A + P Qᵀ`), pairing with [`h2_matrix::LowRankUpdate`].
+
+pub mod krylov;
+pub mod precond;
+pub mod ulv;
+pub mod woodbury;
+
+pub use krylov::{bicgstab, gmres, pcg, IterResult};
+pub use precond::{BlockJacobi, DiagJacobi, Identity, Preconditioner};
+pub use ulv::{UlvError, UlvFactor};
+pub use woodbury::woodbury_solve;

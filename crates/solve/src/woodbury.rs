@@ -1,0 +1,119 @@
+//! Sherman–Morrison–Woodbury solves for low-rank-updated operators.
+//!
+//! The paper's third application recompresses `A + P Qᵀ` (an H2 matrix plus
+//! a low-rank product, [`h2_matrix::LowRankUpdate`]). When the goal is a
+//! *solve* rather than a recompression, the Woodbury identity avoids
+//! refactoring:
+//!
+//! `(A + P Qᵀ)⁻¹ b = A⁻¹ b - A⁻¹ P (I + Qᵀ A⁻¹ P)⁻¹ Qᵀ A⁻¹ b`
+//!
+//! Any solver for `A` works as the inner solve — a [`crate::UlvFactor`], a
+//! converged Krylov iteration, or a dense factorization in tests.
+
+use h2_dense::{lu_factor, matmul, Mat, Op};
+
+/// Solve `(A + P Qᵀ) X = B` given a solver for `A`.
+///
+/// `solve_a` must apply `A⁻¹` to a block of vectors. Returns `None` when the
+/// `k × k` capacitance system `I + Qᵀ A⁻¹ P` is singular (the update makes
+/// the operator singular).
+pub fn woodbury_solve(
+    solve_a: &dyn Fn(&Mat) -> Mat,
+    p: &Mat,
+    q: &Mat,
+    b: &Mat,
+) -> Option<Mat> {
+    let n = b.rows();
+    assert_eq!(p.rows(), n, "woodbury: P rows");
+    assert_eq!(q.rows(), n, "woodbury: Q rows");
+    assert_eq!(p.cols(), q.cols(), "woodbury: update rank mismatch");
+    let k = p.cols();
+
+    let ai_b = solve_a(b);
+    if k == 0 {
+        return Some(ai_b);
+    }
+    let ai_p = solve_a(p);
+
+    // Capacitance: C = I + Qᵀ A⁻¹ P.
+    let mut cap = matmul(Op::Trans, Op::NoTrans, q.rf(), ai_p.rf());
+    for i in 0..k {
+        cap[(i, i)] += 1.0;
+    }
+    let lu = lu_factor(cap)?;
+
+    // t = C⁻¹ Qᵀ A⁻¹ b;  x = A⁻¹ b - A⁻¹ P t.
+    let qt_aib = matmul(Op::Trans, Op::NoTrans, q.rf(), ai_b.rf());
+    let t = lu.solve(&qt_aib);
+    let mut x = ai_b;
+    h2_dense::gemm(Op::NoTrans, Op::NoTrans, -1.0, ai_p.rf(), t.rf(), 1.0, x.rm());
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_dense::gaussian_mat;
+
+    #[test]
+    fn woodbury_matches_dense_solve() {
+        let n = 60;
+        let k = 5;
+        let g = gaussian_mat(n, n, 31);
+        let mut a = matmul(Op::NoTrans, Op::Trans, g.rf(), g.rf());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let p = gaussian_mat(n, k, 32);
+        let q = gaussian_mat(n, k, 33);
+        let b = gaussian_mat(n, 2, 34);
+
+        let lu_a = lu_factor(a.clone()).unwrap();
+        let solve_a = |rhs: &Mat| lu_a.solve(rhs);
+        let x = woodbury_solve(&solve_a, &p, &q, &b).unwrap();
+
+        // Dense reference: (A + P Qᵀ) x = b.
+        let mut full = a;
+        let pqt = matmul(Op::NoTrans, Op::Trans, p.rf(), q.rf());
+        full.axpy(1.0, &pqt);
+        let want = lu_factor(full).unwrap().solve(&b);
+        let mut d = x;
+        d.axpy(-1.0, &want);
+        assert!(d.norm_max() < 1e-9, "woodbury mismatch {}", d.norm_max());
+    }
+
+    #[test]
+    fn rank_zero_update_is_plain_solve() {
+        let n = 20;
+        let g = gaussian_mat(n, n, 35);
+        let mut a = matmul(Op::NoTrans, Op::Trans, g.rf(), g.rf());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let lu_a = lu_factor(a).unwrap();
+        let solve_a = |rhs: &Mat| lu_a.solve(rhs);
+        let b = gaussian_mat(n, 1, 36);
+        let p = Mat::zeros(n, 0);
+        let q = Mat::zeros(n, 0);
+        let x = woodbury_solve(&solve_a, &p, &q, &b).unwrap();
+        let mut d = x;
+        d.axpy(-1.0, &lu_a.solve(&b));
+        assert_eq!(d.norm_max(), 0.0);
+    }
+
+    #[test]
+    fn singular_capacitance_reported() {
+        // A = I, P = Q = e1: A + P Qᵀ has (1 + 1) = 2 in the corner — fine.
+        // Make it singular instead: P = e1, Q = -e1 -> 1 + qᵀp = 0.
+        let n = 10;
+        let a = Mat::eye(n);
+        let lu_a = lu_factor(a).unwrap();
+        let solve_a = |rhs: &Mat| lu_a.solve(rhs);
+        let mut p = Mat::zeros(n, 1);
+        p[(0, 0)] = 1.0;
+        let mut q = Mat::zeros(n, 1);
+        q[(0, 0)] = -1.0;
+        let b = gaussian_mat(n, 1, 37);
+        assert!(woodbury_solve(&solve_a, &p, &q, &b).is_none());
+    }
+}

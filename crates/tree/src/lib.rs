@@ -1,0 +1,18 @@
+//! # h2-tree
+//!
+//! Geometric clustering substrate: points and bounding boxes, complete KD
+//! cluster trees with level-contiguous storage (the paper's flattened-tree
+//! GPU layout), the general admissibility condition (paper eq. (1)), and the
+//! dual-tree traversal producing the block partition / matrix tree with its
+//! sparsity constants.
+
+pub mod cluster;
+pub mod geometry;
+pub mod partition;
+
+pub use cluster::{Cluster, ClusterTree};
+pub use geometry::{
+    anisotropic_box, annulus, clustered_blobs, dist, grid_cube, grid_plane, helix, uniform_cube,
+    uniform_sphere, BBox, Point,
+};
+pub use partition::{Admissibility, LevelStats, Partition};

@@ -1,0 +1,150 @@
+//! Property-based structural invariants of the clustering substrate, over
+//! every geometry generator (including the adversarial ones).
+
+use h2_tree::{
+    anisotropic_box, annulus, clustered_blobs, helix, uniform_cube, uniform_sphere, Admissibility,
+    BBox, ClusterTree, Partition,
+};
+use proptest::prelude::*;
+
+fn any_geometry() -> impl Strategy<Value = Vec<[f64; 3]>> {
+    (0usize..6, 30usize..400, 0u64..1000).prop_map(|(kind, n, seed)| match kind {
+        0 => uniform_cube(n, seed),
+        1 => uniform_sphere(n, seed),
+        2 => clustered_blobs(n, 1 + (seed % 7) as usize, 0.02, seed),
+        3 => annulus(n, 0.3, 1.0, seed),
+        4 => anisotropic_box(n, [50.0, 1.0, 0.02], seed),
+        _ => helix(n, 4.0, 1.0, 3.0),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cluster tree is a permutation: every input point appears exactly
+    /// once, level ranges are contiguous, leaf sizes are bounded.
+    #[test]
+    fn tree_structure_valid(pts in any_geometry(), leaf in 2usize..48) {
+        let tree = ClusterTree::build(&pts, leaf);
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.npoints(), pts.len());
+        prop_assert!(tree.max_leaf_size() <= leaf.max(1) * 2,
+            "leaf size {} vs requested {}", tree.max_leaf_size(), leaf);
+        // The permutation is a bijection.
+        let mut seen = vec![false; pts.len()];
+        for &p in &tree.perm {
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+        // Each node's bbox contains its points.
+        for c in &tree.nodes {
+            let b = &c.bbox;
+            for i in c.begin..c.end {
+                for d in 0..3 {
+                    prop_assert!(tree.points[i][d] >= b.min[d] - 1e-12);
+                    prop_assert!(tree.points[i][d] <= b.max[d] + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Partitions tile the matrix exactly once and are symmetric, for any
+    /// geometry and admissibility parameter.
+    #[test]
+    fn partition_tiles_matrix(pts in any_geometry(), eta in 0.25f64..1.5) {
+        let tree = ClusterTree::build(&pts, 16);
+        let part = Partition::build(&tree, Admissibility::Strong { eta });
+        prop_assert!(part.is_complete(&tree));
+        prop_assert!(part.is_symmetric());
+        let weak = Partition::build(&tree, Admissibility::Weak);
+        prop_assert!(weak.is_complete(&tree));
+        prop_assert!(weak.is_symmetric());
+    }
+
+    /// Smaller eta (stronger admissibility) never shrinks the near field.
+    #[test]
+    fn near_field_monotone_in_eta(pts in any_geometry()) {
+        let tree = ClusterTree::build(&pts, 16);
+        let strong = Partition::build(&tree, Admissibility::Strong { eta: 0.4 });
+        let loose = Partition::build(&tree, Admissibility::Strong { eta: 1.2 });
+        prop_assert!(strong.near_count(&tree) >= loose.near_count(&tree),
+            "eta=0.4 near {} < eta=1.2 near {}",
+            strong.near_count(&tree), loose.near_count(&tree));
+    }
+
+    /// Admissible pairs genuinely satisfy the distance condition (eq. (1)).
+    #[test]
+    fn far_pairs_satisfy_condition(pts in any_geometry(), eta in 0.3f64..1.2) {
+        let tree = ClusterTree::build(&pts, 16);
+        let part = Partition::build(&tree, Admissibility::Strong { eta });
+        for (s, list) in part.far_of.iter().enumerate() {
+            for &t in list {
+                let bs = &tree.nodes[s].bbox;
+                let bt = &tree.nodes[t].bbox;
+                let d = 0.5 * (bs.diameter() + bt.diameter());
+                let dist = bs.distance(bt);
+                prop_assert!(dist > 0.0 && d <= eta * dist + 1e-12,
+                    "inadmissible far pair ({s},{t}): d={d}, dist={dist}");
+            }
+        }
+    }
+
+    /// The weak partition has the HSS shape: every node's far list is
+    /// exactly its sibling, and near pairs are only the leaf diagonal.
+    #[test]
+    fn weak_partition_is_hss(pts in any_geometry()) {
+        let tree = ClusterTree::build(&pts, 16);
+        let part = Partition::build(&tree, Admissibility::Weak);
+        for (s, c) in tree.nodes.iter().enumerate() {
+            if let Some(parent) = c.parent {
+                let (c1, c2) = tree.nodes[parent].children.unwrap();
+                let sibling = if s == c1 { c2 } else { c1 };
+                prop_assert_eq!(&part.far_of[s], &vec![sibling]);
+            } else {
+                prop_assert!(part.far_of[s].is_empty());
+            }
+        }
+        for s in tree.level(tree.leaf_level()) {
+            prop_assert_eq!(&part.near_of[s], &vec![s]);
+        }
+    }
+
+    /// bbox distance is a metric-compatible lower bound: dist(A,B) <=
+    /// |a - b| for any member points.
+    #[test]
+    fn bbox_distance_lower_bounds_point_distance(pts in any_geometry()) {
+        if pts.len() < 4 {
+            return Ok(());
+        }
+        let half = pts.len() / 2;
+        let a = BBox::of_points(&pts[..half]);
+        let b = BBox::of_points(&pts[half..]);
+        let d = a.distance(&b);
+        for p in &pts[..half] {
+            for q in &pts[half..] {
+                prop_assert!(d <= h2_tree::dist(p, q) + 1e-12);
+            }
+        }
+    }
+}
+
+/// Csp is bounded by a geometry constant independent of N (the paper's
+/// sparsity-constant claim, §II.A) — deterministic sweep over sizes.
+#[test]
+fn csp_saturates_with_n() {
+    let csp_at = |n: usize| {
+        let pts = uniform_cube(n, 42);
+        let tree = ClusterTree::build(&pts, 32);
+        let part = Partition::build(&tree, Admissibility::Strong { eta: 0.7 });
+        (0..tree.nlevels())
+            .map(|l| part.csp_far(&tree, l))
+            .chain([part.csp_near(&tree)])
+            .max()
+            .unwrap()
+    };
+    let c1 = csp_at(2000);
+    let c2 = csp_at(8000);
+    // Csp grows toward geometric saturation but must not scale with N:
+    // quadrupling N must not quadruple Csp.
+    assert!(c2 < 4 * c1.max(8), "Csp {c1} -> {c2} scales with N");
+}

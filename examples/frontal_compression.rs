@@ -1,0 +1,75 @@
+//! Frontal-matrix compression — the paper's Fig. 6(b) pipeline:
+//! extract the top-separator frontal matrix of a 3-D Poisson multifrontal
+//! factorization and compare H2 (strong admissibility, Algorithm 1) against
+//! the weak-admissibility formats HSS and HODLR.
+//!
+//! ```sh
+//! cargo run --release --example frontal_compression
+//! ```
+
+use h2sketch::baselines::{hodlr_compress, hss_construct};
+use h2sketch::dense::{relative_error_2, DenseOp, Mat};
+use h2sketch::frontal::poisson_top_front;
+use h2sketch::runtime::Runtime;
+use h2sketch::sketch::{sketch_construct, SketchConfig};
+use h2sketch::tree::{Admissibility, ClusterTree, Partition};
+use std::sync::Arc;
+
+fn main() {
+    // 16³ Poisson grid → 256-point top separator (a full grid plane).
+    let grid_n = 16;
+    let (front, pts) = poisson_top_front(grid_n, 64);
+    let size = front.rows();
+    println!(
+        "extracted the top front of a {grid_n}^3 Poisson grid: {size} x {size} dense Schur complement"
+    );
+
+    // Cluster the separator points and permute the front into tree order.
+    let tree = Arc::new(ClusterTree::build(&pts, 32));
+    let permuted = Mat::from_fn(size, size, |i, j| front[(tree.perm[i], tree.perm[j])]);
+    let op = DenseOp::new(permuted);
+
+    let tol = 1e-6;
+    let dense_mib = (size * size * 8) as f64 / (1 << 20) as f64;
+    println!("dense front: {dense_mib:.2} MiB\n");
+
+    // H2, strong admissibility (the paper's algorithm).
+    let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+    let rt = Runtime::parallel();
+    let cfg = SketchConfig { tol, initial_samples: 96, max_rank: 512, ..Default::default() };
+    let (h2, h2_stats) = sketch_construct(&op, &op, tree.clone(), part, &rt, &cfg);
+    let h2_err = relative_error_2(&op, &h2, 15, 31);
+    println!(
+        "H2   (strong adm): {:.2} MiB, samples {}, rank range {:?}, rel err {h2_err:.2e}",
+        h2.memory_bytes() as f64 / (1 << 20) as f64,
+        h2_stats.total_samples,
+        h2.rank_range()
+    );
+
+    // HSS (Algorithm 1 on the weak partition — Martinsson 2011).
+    let rt2 = Runtime::parallel();
+    let cfg_hss = SketchConfig { tol, initial_samples: 96, max_rank: 512, max_samples: 4096, ..Default::default() };
+    let (hss, hss_stats) = hss_construct(&op, &op, tree.clone(), &rt2, &cfg_hss);
+    let hss_err = relative_error_2(&op, &hss, 15, 32);
+    println!(
+        "HSS  (weak adm)  : {:.2} MiB, samples {}, rank range {:?}, rel err {hss_err:.2e}",
+        hss.memory_bytes() as f64 / (1 << 20) as f64,
+        hss_stats.total_samples,
+        hss.rank_range()
+    );
+
+    // HODLR (direct per-block compression).
+    let hodlr = hodlr_compress(&op, tree.clone(), tol);
+    let hodlr_err = relative_error_2(&op, &hodlr, 15, 33);
+    println!(
+        "HODLR(weak adm)  : {:.2} MiB, max block rank {}, rel err {hodlr_err:.2e}",
+        hodlr.memory_bytes() as f64 / (1 << 20) as f64,
+        hodlr.max_rank()
+    );
+
+    println!(
+        "\nThe weak-admissibility formats pay for the plane-separator geometry with larger ranks;\n\
+         at paper scale (front sizes 2500-62500) the gap widens into the Fig. 6(b) separation.\n\
+         Run `cargo run --release -p h2-bench --bin fig6b_frontal` for the full sweep."
+    );
+}

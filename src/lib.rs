@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the whole h2sketch workspace.
+pub use h2_baselines as baselines;
+pub use h2_core as sketch;
+pub use h2_dense as dense;
+pub use h2_frontal as frontal;
+pub use h2_kernels as kernels;
+pub use h2_matrix as matrix;
+pub use h2_runtime as runtime;
+pub use h2_solve as solve;
+pub use h2_tree as tree;
