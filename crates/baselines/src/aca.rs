@@ -12,8 +12,8 @@ use crate::hmatrix::{HMatrix, LowRankBlock};
 use h2_dense::{aca, EntryAccess, Mat};
 use h2_tree::{ClusterTree, Partition};
 use rayon::prelude::*;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Configuration of the ACA H-matrix constructor.
 #[derive(Clone, Copy, Debug)]
@@ -26,7 +26,10 @@ pub struct AcaConfig {
 
 impl Default for AcaConfig {
     fn default() -> Self {
-        AcaConfig { tol: 1e-8, max_rank: 256 }
+        AcaConfig {
+            tol: 1e-8,
+            max_rank: 256,
+        }
     }
 }
 
@@ -76,7 +79,14 @@ pub fn aca_compress(
                 unconverged.fetch_add(1, Ordering::Relaxed);
             }
             let k = res.rank();
-            ((s, t), LowRankBlock { u: res.u, b: Mat::eye(k), v: res.v })
+            (
+                (s, t),
+                LowRankBlock {
+                    u: res.u,
+                    b: Mat::eye(k),
+                    v: res.v,
+                },
+            )
         })
         .collect();
     for (key, blk) in blocks {
@@ -124,11 +134,18 @@ mod tests {
     fn problem(
         n: usize,
         seed: u64,
-    ) -> (Arc<ClusterTree>, Arc<Partition>, KernelMatrix<ExponentialKernel>) {
+    ) -> (
+        Arc<ClusterTree>,
+        Arc<Partition>,
+        KernelMatrix<ExponentialKernel>,
+    ) {
         let pts = h2_tree::uniform_cube(n, seed);
         let tree = Arc::new(ClusterTree::build(&pts, 16));
         let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
-        assert!(part.top_far_level(&tree).is_some(), "test problem needs far pairs");
+        assert!(
+            part.top_far_level(&tree).is_some(),
+            "test problem needs far pairs"
+        );
         let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
         (tree, part, km)
     }
@@ -158,7 +175,10 @@ mod tests {
             &km,
             tree.clone(),
             part.clone(),
-            &AcaConfig { tol: 1e-6, max_rank: 64 },
+            &AcaConfig {
+                tol: 1e-6,
+                max_rank: 64,
+            },
         );
         let mut far_total = 0usize;
         for s in 0..tree.nodes.len() {
@@ -180,7 +200,15 @@ mod tests {
         let tree = Arc::new(ClusterTree::build(&pts, 32));
         let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
         let km = KernelMatrix::new(HelmholtzKernel::paper(1200), tree.points.clone());
-        let (h, _) = aca_compress(&km, tree, part, &AcaConfig { tol: 1e-9, max_rank: 128 });
+        let (h, _) = aca_compress(
+            &km,
+            tree,
+            part,
+            &AcaConfig {
+                tol: 1e-9,
+                max_rank: 128,
+            },
+        );
         let e = relative_error_2(&km, &h, 20, 145);
         assert!(e < 1e-6, "ACA Helmholtz rel err {e}");
     }
@@ -196,10 +224,17 @@ mod tests {
             &km,
             tree.clone(),
             part.clone(),
-            &AcaConfig { tol: 1e-9, max_rank: 128 },
+            &AcaConfig {
+                tol: 1e-9,
+                max_rank: 128,
+            },
         );
         let rt = Runtime::parallel();
-        let cfg = SketchConfig { tol: 1e-8, initial_samples: 96, ..Default::default() };
+        let cfg = SketchConfig {
+            tol: 1e-8,
+            initial_samples: 96,
+            ..Default::default()
+        };
         let (h_sk, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
         let e = relative_error_2(&h_aca, &h_sk, 20, 147);
         assert!(e < 1e-6, "ACA vs sketching disagreement {e}");
@@ -208,8 +243,18 @@ mod tests {
     #[test]
     fn rank_cap_reported_as_unconverged() {
         let (tree, part, km) = problem(2000, 148);
-        let (_, stats) =
-            aca_compress(&km, tree, part, &AcaConfig { tol: 1e-14, max_rank: 2 });
-        assert!(stats.unconverged_blocks > 0, "rank cap 2 must truncate some blocks");
+        let (_, stats) = aca_compress(
+            &km,
+            tree,
+            part,
+            &AcaConfig {
+                tol: 1e-14,
+                max_rank: 2,
+            },
+        );
+        assert!(
+            stats.unconverged_blocks > 0,
+            "rank cap 2 must truncate some blocks"
+        );
     }
 }

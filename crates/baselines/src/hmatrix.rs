@@ -42,7 +42,12 @@ pub struct HMatrix {
 
 impl HMatrix {
     pub fn new(tree: Arc<ClusterTree>, partition: Arc<Partition>) -> Self {
-        HMatrix { tree, partition, lowrank: HashMap::new(), dense: HashMap::new() }
+        HMatrix {
+            tree,
+            partition,
+            lowrank: HashMap::new(),
+            dense: HashMap::new(),
+        }
     }
 
     pub fn n(&self) -> usize {
@@ -96,8 +101,7 @@ impl HMatrix {
                 let (rb, re) = tree.range(row_node);
                 let mut acc = Mat::zeros(re - rb, d);
                 for &(col_node, _, mirrored, is_dense) in list {
-                    let key =
-                        (row_node.min(col_node), row_node.max(col_node));
+                    let key = (row_node.min(col_node), row_node.max(col_node));
                     let (cb, ce) = tree.range(col_node);
                     let xt = x.view(cb, 0, ce - cb, d);
                     if is_dense {
@@ -111,13 +115,29 @@ impl HMatrix {
                             let utx = h2_dense::matmul(Op::Trans, Op::NoTrans, blk.u.rf(), xt);
                             let btutx =
                                 h2_dense::matmul(Op::Trans, Op::NoTrans, blk.b.rf(), utx.rf());
-                            gemm(Op::NoTrans, Op::NoTrans, 1.0, blk.v.rf(), btutx.rf(), 1.0, acc.rm());
+                            gemm(
+                                Op::NoTrans,
+                                Op::NoTrans,
+                                1.0,
+                                blk.v.rf(),
+                                btutx.rf(),
+                                1.0,
+                                acc.rm(),
+                            );
                         } else {
                             // y(I_s) += U B V^T x(I_t)
                             let vtx = h2_dense::matmul(Op::Trans, Op::NoTrans, blk.v.rf(), xt);
                             let bvtx =
                                 h2_dense::matmul(Op::NoTrans, Op::NoTrans, blk.b.rf(), vtx.rf());
-                            gemm(Op::NoTrans, Op::NoTrans, 1.0, blk.u.rf(), bvtx.rf(), 1.0, acc.rm());
+                            gemm(
+                                Op::NoTrans,
+                                Op::NoTrans,
+                                1.0,
+                                blk.u.rf(),
+                                bvtx.rf(),
+                                1.0,
+                                acc.rm(),
+                            );
                         }
                     }
                 }
@@ -170,7 +190,11 @@ mod tests {
         let (ms, mt, k) = (se - sb, te - tb, 3);
         h.lowrank.insert(
             (s, t),
-            LowRankBlock { u: gaussian_mat(ms, k, 2), b: gaussian_mat(k, k, 3), v: gaussian_mat(mt, k, 4) },
+            LowRankBlock {
+                u: gaussian_mat(ms, k, 2),
+                b: gaussian_mat(k, k, 3),
+                v: gaussian_mat(mt, k, 4),
+            },
         );
 
         // Dense assembly of the same operator.

@@ -90,7 +90,14 @@ pub fn hodlr_compress(gen: &dyn EntryAccess, tree: Arc<ClusterTree>, tol: f64) -
             let cid = row_id(&full.transpose(), rule);
             let skel_cols: Vec<usize> = cid.skel.iter().map(|&c| tb + c).collect();
             let b = gen.block_mat(&skel_rows, &skel_cols);
-            ((s, t), LowRankBlock { u: rid.u, b, v: cid.u })
+            (
+                (s, t),
+                LowRankBlock {
+                    u: rid.u,
+                    b,
+                    v: cid.u,
+                },
+            )
         })
         .collect();
     for (k, v) in blocks {
@@ -117,8 +124,12 @@ mod tests {
         let tree = Arc::new(ClusterTree::build(&pts, 32));
         let km = KernelMatrix::new(ExponentialKernel { l: 3.0 }, tree.points.clone());
         let rt = Runtime::parallel();
-        let cfg =
-            SketchConfig { tol: 1e-8, initial_samples: 64, max_rank: 256, ..Default::default() };
+        let cfg = SketchConfig {
+            tol: 1e-8,
+            initial_samples: 64,
+            max_rank: 256,
+            ..Default::default()
+        };
         let (hss, stats) = hss_construct(&km, &km, tree.clone(), &rt, &cfg);
         assert!(stats.total_samples >= 64);
         let e = relative_error_2(&km, &hss, 20, 131);
@@ -138,7 +149,10 @@ mod tests {
         let h = hodlr_compress(&op, tree.clone(), 1e-9);
         let e = relative_error_2(&op, &h, 20, 133);
         assert!(e < 1e-6, "HODLR rel err {e}");
-        assert!(h.memory_bytes() < dense.memory_bytes(), "no compression achieved");
+        assert!(
+            h.memory_bytes() < dense.memory_bytes(),
+            "no compression achieved"
+        );
     }
 
     #[test]
@@ -158,7 +172,10 @@ mod tests {
         };
         let r1 = rank_of(&pts1d);
         let r3 = rank_of(&pts3d);
-        assert!(r3 > 3 * r1, "3-D HODLR rank {r3} should dwarf 1-D rank {r1}");
+        assert!(
+            r3 > 3 * r1,
+            "3-D HODLR rank {r3} should dwarf 1-D rank {r1}"
+        );
     }
 
     /// The headline comparison of Fig. 5: bottom-up Algorithm 1 uses O(1)
@@ -176,15 +193,25 @@ mod tests {
             &km,
             tree.clone(),
             part.clone(),
-            &h2_matrix::DirectConfig { tol: 1e-8, ..Default::default() },
+            &h2_matrix::DirectConfig {
+                tol: 1e-8,
+                ..Default::default()
+            },
         );
 
         let rt = Runtime::parallel();
-        let cfg = SketchConfig { tol: 1e-4, initial_samples: 32, ..Default::default() };
+        let cfg = SketchConfig {
+            tol: 1e-4,
+            initial_samples: 32,
+            ..Default::default()
+        };
         let (_, bu_stats) =
             sketch_construct(&reference, &km, tree.clone(), part.clone(), &rt, &cfg);
 
-        let pcfg = PeelConfig { tol: 1e-4, ..Default::default() };
+        let pcfg = PeelConfig {
+            tol: 1e-4,
+            ..Default::default()
+        };
         let (_, td_stats) = topdown_peel(&reference, &km, tree.clone(), part, &pcfg);
 
         assert!(

@@ -80,8 +80,11 @@ fn color_level(tree: &ClusterTree, partition: &Partition, level: usize) -> Vec<u
     let n = ids.len();
     let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
     for &s in &ids {
-        let mut active: Vec<usize> =
-            partition.far_of[s].iter().chain(partition.inadm_of[s].iter()).map(|&t| t - base).collect();
+        let mut active: Vec<usize> = partition.far_of[s]
+            .iter()
+            .chain(partition.inadm_of[s].iter())
+            .map(|&t| t - base)
+            .collect();
         active.sort_unstable();
         active.dedup();
         for (i, &a) in active.iter().enumerate() {
@@ -93,8 +96,10 @@ fn color_level(tree: &ClusterTree, partition: &Partition, level: usize) -> Vec<u
     }
     let mut color = vec![usize::MAX; n];
     for v in 0..n {
-        let used: std::collections::BTreeSet<usize> =
-            adj[v].iter().filter_map(|&u| (color[u] != usize::MAX).then_some(color[u])).collect();
+        let used: std::collections::BTreeSet<usize> = adj[v]
+            .iter()
+            .filter_map(|&u| (color[u] != usize::MAX).then_some(color[u]))
+            .collect();
         let mut c = 0;
         while used.contains(&c) {
             c += 1;
@@ -135,7 +140,10 @@ pub fn topdown_peel(
             let pairs: Vec<(usize, usize)> = ids
                 .iter()
                 .flat_map(|&s| {
-                    partition.far_of[s].iter().filter(move |&&t| s <= t).map(move |&t| (s, t))
+                    partition.far_of[s]
+                        .iter()
+                        .filter(move |&&t| s <= t)
+                        .map(move |&t| (s, t))
                 })
                 .collect();
             if pairs.is_empty() {
@@ -153,8 +161,11 @@ pub fn topdown_peel(
             let mut level_samples = 0usize;
 
             for c in 0..ncolors {
-                let members: Vec<usize> =
-                    ids.iter().copied().filter(|&t| colors[t - base] == c).collect();
+                let members: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&t| colors[t - base] == c)
+                    .collect();
                 // Ordered pairs whose column cluster has this colour.
                 let targets: Vec<(usize, usize)> = ids
                     .iter()
@@ -287,13 +298,24 @@ fn finalize_level(
             let d = ys.cols() as f64;
             let rule = Truncation::Absolute(eps_abs * d.sqrt());
             let ids = row_id(ys, rule);
-            let idt = if s == t { row_id(ys, rule) } else { row_id(yt, rule) };
+            let idt = if s == t {
+                row_id(ys, rule)
+            } else {
+                row_id(yt, rule)
+            };
             let (sb, _) = tree.range(s);
             let (tb, _) = tree.range(t);
             let skel_s: Vec<usize> = ids.skel.iter().map(|&r| sb + r).collect();
             let skel_t: Vec<usize> = idt.skel.iter().map(|&r| tb + r).collect();
             let b = gen.block_mat(&skel_s, &skel_t);
-            Some(((s, t), LowRankBlock { u: ids.u, b, v: idt.u }))
+            Some((
+                (s, t),
+                LowRankBlock {
+                    u: ids.u,
+                    b,
+                    v: idt.u,
+                },
+            ))
         })
         .collect();
     for (k, v) in built {
@@ -317,8 +339,11 @@ mod tests {
         let colors = color_level(&tree, &part, l);
         let base = tree.level(l).next().unwrap();
         for s in tree.level(l) {
-            let active: Vec<usize> =
-                part.far_of[s].iter().chain(part.inadm_of[s].iter()).copied().collect();
+            let active: Vec<usize> = part.far_of[s]
+                .iter()
+                .chain(part.inadm_of[s].iter())
+                .copied()
+                .collect();
             for (i, &a) in active.iter().enumerate() {
                 for &b in &active[i + 1..] {
                     if a != b {
@@ -345,9 +370,15 @@ mod tests {
             &km,
             tree.clone(),
             part.clone(),
-            &h2_matrix::DirectConfig { tol: 1e-10, ..Default::default() },
+            &h2_matrix::DirectConfig {
+                tol: 1e-10,
+                ..Default::default()
+            },
         );
-        let cfg = PeelConfig { tol: 1e-6, ..Default::default() };
+        let cfg = PeelConfig {
+            tol: 1e-6,
+            ..Default::default()
+        };
         let (h, stats) = topdown_peel(&reference, &km, tree.clone(), part, &cfg);
         assert!(stats.total_samples > 0);
         assert!(!stats.budget_exhausted);
@@ -366,9 +397,15 @@ mod tests {
             &km,
             tree.clone(),
             part.clone(),
-            &h2_matrix::DirectConfig { tol: 1e-8, ..Default::default() },
+            &h2_matrix::DirectConfig {
+                tol: 1e-8,
+                ..Default::default()
+            },
         );
-        let cfg = PeelConfig { tol: 1e-4, ..Default::default() };
+        let cfg = PeelConfig {
+            tol: 1e-4,
+            ..Default::default()
+        };
         let (_, stats) = topdown_peel(&reference, &km, tree.clone(), part, &cfg);
         let active_levels = stats.samples_per_level.iter().filter(|&&s| s > 0).count();
         assert!(active_levels >= 2);

@@ -20,11 +20,9 @@ fn bench_batched_qr(c: &mut Criterion) {
     for &count in &[64usize, 256] {
         for (label, rt) in [("seq", Runtime::sequential()), ("par", Runtime::parallel())] {
             let b = batch_of(count, 64, 32, &rt);
-            g.bench_with_input(
-                BenchmarkId::new(label, count),
-                &count,
-                |bench, _| bench.iter(|| qr_min_rdiag(&rt, &b)),
-            );
+            g.bench_with_input(BenchmarkId::new(label, count), &count, |bench, _| {
+                bench.iter(|| qr_min_rdiag(&rt, &b))
+            });
         }
     }
     g.finish();
@@ -49,8 +47,9 @@ fn bench_batched_gemm(c: &mut Criterion) {
     for &count in &[64usize, 256] {
         for (label, rt) in [("seq", Runtime::sequential()), ("par", Runtime::parallel())] {
             let x = batch_of(count, 64, 32, &rt);
-            let bases: Vec<h2_dense::Mat> =
-                (0..count).map(|i| h2_dense::gaussian_mat(64, 20, i as u64)).collect();
+            let bases: Vec<h2_dense::Mat> = (0..count)
+                .map(|i| h2_dense::gaussian_mat(64, 20, i as u64))
+                .collect();
             g.bench_with_input(BenchmarkId::new(label, count), &count, |bench, _| {
                 bench.iter(|| gemm_at_x(&rt, &bases, &x))
             });

@@ -18,7 +18,12 @@ fn hss_1d(n: usize) -> H2Matrix {
     let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
     let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-9, initial_samples: 64, max_rank: 96, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-9,
+        initial_samples: 64,
+        max_rank: 96,
+        ..Default::default()
+    };
     let (mut hss, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
     for i in 0..hss.dense.pairs.len() {
         let (s, t) = hss.dense.pairs[i];
@@ -55,7 +60,11 @@ fn bench_pcg(c: &mut Criterion) {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
     let bj = BlockJacobi::from_h2(&h2).unwrap();
     let b: Vec<f64> = (0..n).map(|i| (0.01 * i as f64).sin()).collect();
@@ -70,7 +79,11 @@ fn bench_unsym_construction(c: &mut Criterion) {
     let tree = Arc::new(ClusterTree::build(&pts, 32));
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 48, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 48,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("unsym_construct");
     g.sample_size(10);
     g.bench_function("convection_2048", |b| {

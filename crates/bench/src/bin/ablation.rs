@@ -41,9 +41,22 @@ fn main() {
     println!("# Ablation (covariance, N={n}, tol={tol})\n");
 
     println!("## safety factor on the truncation threshold\n");
-    header(&["safety", "time (s)", "rank range", "memory (MiB)", "samples", "rel error", "err/tol"]);
+    header(&[
+        "safety",
+        "time (s)",
+        "rank range",
+        "memory (MiB)",
+        "samples",
+        "rel error",
+        "err/tol",
+    ]);
     for safety in [1.0, 1.0 / 3.0, 1.0 / 10.0, 1.0 / 30.0, 1.0 / 100.0] {
-        let cfg = SketchConfig { tol, initial_samples: 128, safety, ..Default::default() };
+        let cfg = SketchConfig {
+            tol,
+            initial_samples: 128,
+            safety,
+            ..Default::default()
+        };
         let (secs, h2, stats, err) = run(&cfg);
         let (lo, hi) = h2.rank_range();
         row(&[
@@ -58,13 +71,24 @@ fn main() {
     }
 
     println!("\n## per-level tolerance schedule\n");
-    header(&["schedule", "time (s)", "rank range", "memory (MiB)", "rel error"]);
+    header(&[
+        "schedule",
+        "time (s)",
+        "rank range",
+        "memory (MiB)",
+        "rel error",
+    ]);
     for (name, schedule) in [
         ("constant", TolSchedule::Constant),
         ("x0.7/level", TolSchedule::PerLevel { factor: 0.7 }),
         ("x0.5/level", TolSchedule::PerLevel { factor: 0.5 }),
     ] {
-        let cfg = SketchConfig { tol, initial_samples: 128, schedule, ..Default::default() };
+        let cfg = SketchConfig {
+            tol,
+            initial_samples: 128,
+            schedule,
+            ..Default::default()
+        };
         let (secs, h2, _, err) = run(&cfg);
         let (lo, hi) = h2.rank_range();
         row(&[
@@ -77,7 +101,15 @@ fn main() {
     }
 
     println!("\n## adaptive vs fixed sampling\n");
-    header(&["mode", "d0", "block", "time (s)", "samples", "rounds", "rel error"]);
+    header(&[
+        "mode",
+        "d0",
+        "block",
+        "time (s)",
+        "samples",
+        "rounds",
+        "rel error",
+    ]);
     for (mode, d0, block, adaptive) in [
         ("fixed", 256usize, 32usize, false),
         ("fixed", 128, 32, false),

@@ -24,7 +24,11 @@ fn main() {
     let problem = build_problem(App::Covariance, n, 64, 0.7, 0xD1CE);
     let reference = reference_h2(&problem, tol * 1e-2);
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol, initial_samples: d.min(256), ..Default::default() };
+    let cfg = SketchConfig {
+        tol,
+        initial_samples: d.min(256),
+        ..Default::default()
+    };
     let (h2, stats) = sketch_construct(
         &reference,
         &problem.kernel,
@@ -39,17 +43,33 @@ fn main() {
         specs.len(),
         h2.rank_range()
     );
-    println!("construction used {} samples, {} adaptation rounds\n", stats.total_samples, stats.rounds);
+    println!(
+        "construction used {} samples, {} adaptation rounds\n",
+        stats.total_samples, stats.rounds
+    );
 
     for (name, model) in [
-        ("A100-class (10 TF/s, 200 GB/s links)", DeviceModel::default()),
+        (
+            "A100-class (10 TF/s, 200 GB/s links)",
+            DeviceModel::default(),
+        ),
         (
             "weak-compute (0.5 TF/s, 200 GB/s links)",
-            DeviceModel { flops_per_sec: 5.0e11, ..DeviceModel::default() },
+            DeviceModel {
+                flops_per_sec: 5.0e11,
+                ..DeviceModel::default()
+            },
         ),
     ] {
         println!("## {name}\n");
-        header(&["devices", "makespan (ms)", "speedup", "efficiency", "comm (MiB)", "launches"]);
+        header(&[
+            "devices",
+            "makespan (ms)",
+            "speedup",
+            "efficiency",
+            "comm (MiB)",
+            "launches",
+        ]);
         let base = simulate(&specs, d, 1, &model).makespan;
         for devices in [1usize, 2, 4, 8, 16] {
             let rep = simulate(&specs, d, devices, &model);

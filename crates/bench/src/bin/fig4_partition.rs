@@ -24,7 +24,14 @@ fn main() {
         let part = Partition::build(&tree, Admissibility::Strong { eta });
         assert!(part.is_complete(&tree), "partition must tile the matrix");
         println!("## eta = {eta}\n");
-        header(&["level", "nodes", "adm blocks", "Csp(adm)", "dense blocks", "Csp(dense)"]);
+        header(&[
+            "level",
+            "nodes",
+            "adm blocks",
+            "Csp(adm)",
+            "dense blocks",
+            "Csp(dense)",
+        ]);
         let mut adm_area = 0usize;
         let mut dense_area = 0usize;
         for s in part.level_stats(&tree) {

@@ -56,7 +56,11 @@ fn main() {
 
     for &n in &sizes {
         let problem = build_problem(
-            if app == App::LowRankUpdate { App::Covariance } else { app },
+            if app == App::LowRankUpdate {
+                App::Covariance
+            } else {
+                app
+            },
             n,
             leaf,
             eta,
@@ -74,14 +78,26 @@ fn main() {
             None
         };
 
-        let cfg = SketchConfig { tol, initial_samples: d0, sample_block: 32, ..Default::default() };
+        let cfg = SketchConfig {
+            tol,
+            initial_samples: d0,
+            sample_block: 32,
+            ..Default::default()
+        };
 
         let run = |rt: &Runtime| {
             let t = Instant::now();
             let (h2, stats) = match &update {
                 Some(p) => {
                     let op = LowRankUpdate::symmetric(&reference, p.clone());
-                    sketch_construct(&op, &op, problem.tree.clone(), problem.partition.clone(), rt, &cfg)
+                    sketch_construct(
+                        &op,
+                        &op,
+                        problem.tree.clone(),
+                        problem.partition.clone(),
+                        rt,
+                        &cfg,
+                    )
                 }
                 None => sketch_construct(
                     &reference,
@@ -106,8 +122,12 @@ fn main() {
         };
 
         // Top-down comparators sketch the same reference operator.
-        let pcfg =
-            PeelConfig { tol, d_block: 32, max_samples: budget * 8, ..Default::default() };
+        let pcfg = PeelConfig {
+            tol,
+            d_block: 32,
+            max_samples: budget * 8,
+            ..Default::default()
+        };
         let t = Instant::now();
         let (_, td_stats) = topdown_peel(
             &reference,
@@ -121,10 +141,14 @@ fn main() {
         let (t_hodlr, hodlr_samples) = if skip_hodlr {
             (f64::NAN, "skipped".to_string())
         } else {
-            let hcfg = PeelConfig { tol, d_block: 64, max_samples: budget, ..Default::default() };
+            let hcfg = PeelConfig {
+                tol,
+                d_block: 64,
+                max_samples: budget,
+                ..Default::default()
+            };
             let t = Instant::now();
-            let (_, h_stats) =
-                hodlr_peel(&reference, &problem.kernel, problem.tree.clone(), &hcfg);
+            let (_, h_stats) = hodlr_peel(&reference, &problem.kernel, problem.tree.clone(), &hcfg);
             let label = if h_stats.budget_exhausted {
                 format!("{} (budget exhausted — paper: OOM)", h_stats.total_samples)
             } else {

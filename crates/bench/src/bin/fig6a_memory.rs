@@ -14,7 +14,9 @@ fn main() {
     let eta: f64 = args.get("eta", 0.7);
     let tol: f64 = args.get("tol", 1e-6);
 
-    println!("# Fig. 6(a): memory of the constructed H2 matrix (leaf={leaf}, eta={eta}, tol={tol})\n");
+    println!(
+        "# Fig. 6(a): memory of the constructed H2 matrix (leaf={leaf}, eta={eta}, tol={tol})\n"
+    );
     header(&[
         "N",
         "app",
@@ -31,7 +33,11 @@ fn main() {
             let problem = build_problem(app, n, leaf, eta, 0xF6A);
             let reference = reference_h2(&problem, tol * 1e-2);
             let rt = Runtime::parallel();
-            let cfg = SketchConfig { tol, initial_samples: 128, ..Default::default() };
+            let cfg = SketchConfig {
+                tol,
+                initial_samples: 128,
+                ..Default::default()
+            };
             let (h2, _) = sketch_construct(
                 &reference,
                 &problem.kernel,

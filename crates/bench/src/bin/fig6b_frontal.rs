@@ -64,7 +64,13 @@ fn compress_and_report(name: &str, op: &FrontOp, pts: &[Point], leaf: usize, tol
     let size = op.nrows();
     let tree = Arc::new(ClusterTree::build(pts, leaf));
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol, initial_samples: 128, max_rank: 1024, max_samples: 4096, ..Default::default() };
+    let cfg = SketchConfig {
+        tol,
+        initial_samples: 128,
+        max_rank: 1024,
+        max_samples: 4096,
+        ..Default::default()
+    };
 
     // H2, strong admissibility (ours).
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
@@ -115,13 +121,7 @@ fn main() {
         let tree_probe = ClusterTree::build(&raw_pts, leaf);
         let op = FrontOp::Dense(permuted_dense_op(&front, &tree_probe));
         // points must be permuted identically to the operator
-        compress_and_report(
-            &format!("exact {g}^3 grid"),
-            &op,
-            &raw_pts,
-            leaf,
-            tol,
-        );
+        compress_and_report(&format!("exact {g}^3 grid"), &op, &raw_pts, leaf, tol);
     }
 
     for &k in &surrogate {

@@ -37,7 +37,11 @@ fn main() {
             let problem = build_problem(App::Covariance, n, leaf, 0.7, 0xF7);
             let reference = reference_h2(&problem, tol * 1e-2);
             let rt = Runtime::new(backend);
-            let cfg = SketchConfig { tol, initial_samples: 128, ..Default::default() };
+            let cfg = SketchConfig {
+                tol,
+                initial_samples: 128,
+                ..Default::default()
+            };
             let (_, stats) = sketch_construct(
                 &reference,
                 &problem.kernel,

@@ -22,20 +22,48 @@ fn main() {
     // (binary, quick args, output file)
     let experiments: &[(&str, &[&str], &str)] = &[
         ("fig4_partition", &["--n", "8192"], "fig4_partition.out"),
-        ("fig5_construction", &["--app", "cov", "--sizes", "2048,4096"], "fig5_cov.out"),
-        ("fig5_construction", &["--app", "ie", "--sizes", "2048,4096"], "fig5_ie.out"),
-        ("fig5_construction", &["--app", "update", "--sizes", "2048,4096"], "fig5_update.out"),
-        ("fig6a_memory", &["--sizes", "2048,4096,8192"], "fig6a_memory.out"),
+        (
+            "fig5_construction",
+            &["--app", "cov", "--sizes", "2048,4096"],
+            "fig5_cov.out",
+        ),
+        (
+            "fig5_construction",
+            &["--app", "ie", "--sizes", "2048,4096"],
+            "fig5_ie.out",
+        ),
+        (
+            "fig5_construction",
+            &["--app", "update", "--sizes", "2048,4096"],
+            "fig5_update.out",
+        ),
+        (
+            "fig6a_memory",
+            &["--sizes", "2048,4096,8192"],
+            "fig6a_memory.out",
+        ),
         ("fig6b_frontal", &[], "fig6b_frontal.out"),
-        ("fig7_breakdown", &["--sizes", "2048,4096"], "fig7_breakdown.out"),
+        (
+            "fig7_breakdown",
+            &["--sizes", "2048,4096"],
+            "fig7_breakdown.out",
+        ),
         ("table2_adaptive", &["--n", "4096"], "table2_adaptive.out"),
         ("ablation", &["--n", "2048"], "ablation.out"),
-        ("ablation_multidevice", &["--n", "8192"], "ablation_multidevice.out"),
+        (
+            "ablation_multidevice",
+            &["--n", "8192"],
+            "ablation_multidevice.out",
+        ),
     ];
 
     let mut failures = 0usize;
     for (bin, quick_args, out) in experiments {
-        let args: Vec<&str> = if full { Vec::new() } else { quick_args.to_vec() };
+        let args: Vec<&str> = if full {
+            Vec::new()
+        } else {
+            quick_args.to_vec()
+        };
         eprintln!("== {bin} {} -> {dir}/{out}", args.join(" "));
         let t0 = std::time::Instant::now();
         let result = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))

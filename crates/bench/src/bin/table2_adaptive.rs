@@ -16,7 +16,11 @@ use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
-    let n: usize = if args.flag("paper") { 1 << 18 } else { args.get("n", 1 << 15) };
+    let n: usize = if args.flag("paper") {
+        1 << 18
+    } else {
+        args.get("n", 1 << 15)
+    };
     let tol: f64 = args.get("tol", 1e-6);
 
     println!("# Table II: leaf size x sample block size (N = {n}, tol = {tol})\n");
@@ -37,9 +41,10 @@ fn main() {
             let problem = build_problem(app, n, leaf, 0.7, 0x7AB2);
             let reference = reference_h2(&problem, tol * 1e-2);
 
-            for (mode, d0, block, adaptive) in
-                [("fixed sample", leaf, leaf, false), ("adaptive", 64, 32, true)]
-            {
+            for (mode, d0, block, adaptive) in [
+                ("fixed sample", leaf, leaf, false),
+                ("adaptive", 64, 32, true),
+            ] {
                 let rt = Runtime::parallel();
                 let cfg = SketchConfig {
                     tol,

@@ -52,7 +52,10 @@ impl Args {
     }
 
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.map.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.map
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Comma-separated list of sizes.
@@ -151,26 +154,44 @@ pub fn build_problem(app: App, n: usize, leaf: usize, eta: f64, seed: u64) -> Pr
     let tree = Arc::new(ClusterTree::build(&pts, leaf));
     let partition = Arc::new(Partition::build(&tree, Admissibility::Strong { eta }));
     let kernel = match app {
-        App::IntegralEquation => {
-            KernelOp::Helm(KernelMatrix::new(HelmholtzKernel::paper(n), tree.points.clone()))
-        }
-        _ => KernelOp::Exp(KernelMatrix::new(ExponentialKernel::default(), tree.points.clone())),
+        App::IntegralEquation => KernelOp::Helm(KernelMatrix::new(
+            HelmholtzKernel::paper(n),
+            tree.points.clone(),
+        )),
+        _ => KernelOp::Exp(KernelMatrix::new(
+            ExponentialKernel::default(),
+            tree.points.clone(),
+        )),
     };
-    Problem { tree, partition, kernel }
+    Problem {
+        tree,
+        partition,
+        kernel,
+    }
 }
 
 /// Build the fast reference operator: an H2 matrix from the direct
 /// (entry-based) constructor, whose O(N) matvec plays the role H2Opus's
 /// matvec plays in the paper (the black-box `Kblk`).
 pub fn reference_h2(problem: &Problem, tol: f64) -> H2Matrix {
-    let cfg = DirectConfig { tol, ..Default::default() };
-    direct_construct(&problem.kernel, problem.tree.clone(), problem.partition.clone(), &cfg)
+    let cfg = DirectConfig {
+        tol,
+        ..Default::default()
+    };
+    direct_construct(
+        &problem.kernel,
+        problem.tree.clone(),
+        problem.partition.clone(),
+        &cfg,
+    )
 }
 
 /// A dense front wrapped as an operator in tree order.
 pub fn permuted_dense_op(front: &h2_dense::Mat, tree: &ClusterTree) -> DenseOp {
     let n = front.rows();
-    DenseOp::new(h2_dense::Mat::from_fn(n, n, |i, j| front[(tree.perm[i], tree.perm[j])]))
+    DenseOp::new(h2_dense::Mat::from_fn(n, n, |i, j| {
+        front[(tree.perm[i], tree.perm[j])]
+    }))
 }
 
 /// GiB pretty-printer.
@@ -190,7 +211,10 @@ pub fn row(cells: &[String]) {
 
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

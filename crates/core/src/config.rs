@@ -81,7 +81,12 @@ impl SketchConfig {
     /// The paper's headline configuration (Fig. 5): ε=1e-6, 256 initial
     /// samples.
     pub fn paper() -> Self {
-        SketchConfig { tol: 1e-6, initial_samples: 256, sample_block: 32, ..Default::default() }
+        SketchConfig {
+            tol: 1e-6,
+            initial_samples: 256,
+            sample_block: 32,
+            ..Default::default()
+        }
     }
 }
 

@@ -1,24 +1,45 @@
-//! Algorithm 1: bottom-up sketching-based H2 construction with adaptive
-//! sampling.
+//! Algorithm 1 as a stream-generic engine: bottom-up sketching-based H2
+//! construction with adaptive sampling, for symmetric *and* unsymmetric
+//! matrices from one level-by-level loop.
 //!
 //! Inputs (paper §III): a hierarchical block partition, a black-box sampler
-//! `Y = Kblk(Ω)`, an entry evaluator for sub-blocks, a relative tolerance ε,
-//! and the sample block size `d`. The construction proceeds level by level
-//! from the leaves:
+//! `Y = Kblk(Ω)` (with `Z = Kᵀblk(Ψ)` for the unsymmetric extension), an
+//! entry evaluator for sub-blocks, a relative tolerance ε, and the sample
+//! block size `d`. The construction proceeds level by level from the
+//! leaves, driving one [`SketchStream`] per basis side:
 //!
-//! 1. subtract the inadmissible (leaf) / already-compressed (coupling)
-//!    contributions from the samples with `batchedBSRGemm`,
-//! 2. test convergence per node via the QR diagonal of `Y^loc_τ`
-//!    (lines 11/29) and, if needed, draw `d` fresh global samples and sweep
-//!    them up through the already-skeletonized levels (`updateSamples`),
-//! 3. skeletonize with a batched row ID (lines 16/34) giving `U_τ` (leaves)
-//!    or stacked transfers `[E_{ν1}; E_{ν2}]` (inner nodes),
-//! 4. shrink the samples to skeleton rows and compress the random blocks
-//!    (`Y^{l+1}_τ = Y^loc_τ(J_τ,:)`, `Ω^{l+1}_τ = U_τ^T Ω^l_τ`),
-//! 5. evaluate the coupling blocks `B_{τ,b} = K(Ĩ_τ, Ĩ_b)` with `batchedGen`.
+//! * the **row** stream `Y = K Ω`: its per-node local samples span the
+//!   block row of the remaining admissible matrix; a row ID yields the row
+//!   basis `U_τ` and row skeleton `Ĩ^r_τ`;
+//! * the **column** stream `Z = Kᵀ Ψ` (unsymmetric only): spans the block
+//!   column; its row ID yields `V_τ` and `Ĩ^c_τ`.
 //!
-//! Every step runs as batched kernels on the [`Runtime`] and is attributed
-//! to the Fig.-7 phase it belongs to.
+//! Per level, each stream is advanced identically:
+//!
+//! 1. subtract the known contributions (dense blocks at the leaves, the
+//!    previous level's coupling blocks above) with `batchedBSRGemm` — the
+//!    column stream reads every block through the transposed lookup
+//!    (`Kᵀ(I_s, I_t) = K(I_t, I_s)ᵀ`), which the side-generic
+//!    `BlockStore::get_op` resolves for both storage layouts,
+//! 2. test convergence per node via the QR diagonal of the local samples
+//!    (lines 11/29) and, if needed, draw `d` fresh global samples per
+//!    stream and sweep them up through the already-skeletonized levels
+//!    (`updateSamples`),
+//! 3. skeletonize with a batched row ID (lines 16/34) giving the side's
+//!    leaf basis or stacked transfers `[E_{ν1}; E_{ν2}]`,
+//! 4. shrink the samples to skeleton rows and compress the random inputs by
+//!    the *opposite* side's basis (`Ω ← Vᵀ Ω`, `Ψ ← Uᵀ Ψ` — because an
+//!    admissible block acts as `U_s B_{s,t} V_tᵀ`); for the symmetric
+//!    one-stream instance the opposite side is the stream's own,
+//! 5. evaluate the coupling blocks `B_{s,t} = K(Ĩ^r_s, Ĩ^c_t)` with
+//!    `batchedGen` — per unordered pair when symmetric, per ordered pair
+//!    otherwise.
+//!
+//! The symmetric construction is the degenerate one-stream instance
+//! (`V = U`, shared skeletons): it executes exactly the seed symmetric
+//! kernel sequence, so results are bitwise identical to the pre-unification
+//! path. Every step runs as batched kernels on the [`Runtime`] and is
+//! attributed to the Fig.-7 phase it belongs to.
 
 use crate::config::{SketchConfig, SketchStats};
 use h2_dense::cpqr::Truncation;
@@ -40,8 +61,36 @@ enum BlockSource {
     Coupling,
 }
 
-/// Frozen per-level data used to sweep later sample batches up the tree.
-struct LevelRecord {
+/// Which sketch stream / basis side a computation serves. The row stream
+/// multiplies blocks of `K` as stored; the column stream multiplies blocks
+/// of `Kᵀ`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Side {
+    Row,
+    Col,
+}
+
+impl Side {
+    /// Seed perturbation separating the two streams' randomness.
+    fn seed_salt(self) -> u64 {
+        match self {
+            Side::Row => 0,
+            Side::Col => 0xA5A5_5A5A,
+        }
+    }
+}
+
+/// One sketch stream: a basis side plus its current per-node sample batches
+/// (`y` — the sketched output samples, `omega` — the random inputs).
+struct SketchStream {
+    side: Side,
+    y: VarBatch,
+    omega: VarBatch,
+}
+
+/// The shared per-level BSR subtraction/stacking structure (identical for
+/// every stream of a level).
+struct LevelStructure {
     /// BSR subtraction pattern. Rows = leaf nodes (leaf level) or child
     /// nodes (inner levels).
     pattern: BsrPattern,
@@ -51,17 +100,23 @@ struct LevelRecord {
     /// For inner levels: per-parent local child indices (stacking map).
     /// Empty at the leaf level.
     children_local: Vec<Vec<usize>>,
-    /// Node ids at this level, in level order.
-    node_ids: Vec<usize>,
-    /// Skeleton row positions `J_τ` into the stacked local samples
-    /// (populated once the level is skeletonized).
-    skels_local: Vec<Vec<usize>>,
 }
 
-/// Construct an H2 matrix by adaptive sketching (Algorithm 1).
+/// Frozen per-level data used to sweep later sample batches up the tree.
+struct LevelRecord {
+    structure: LevelStructure,
+    /// Node ids at this level, in level order.
+    node_ids: Vec<usize>,
+    /// Per stream (same order as the engine's stream vector): skeleton row
+    /// positions into the stacked local samples.
+    skels_local: Vec<Vec<Vec<usize>>>,
+}
+
+/// Construct a symmetric H2 matrix by adaptive sketching (Algorithm 1).
 ///
-/// `sampler` and `gen` view the matrix in tree-permuted coordinates, as do
-/// all operators in this workspace.
+/// The degenerate one-stream instance of the engine: `V = U`, one sample
+/// stream, unordered block stores. `sampler` and `gen` view the matrix in
+/// tree-permuted coordinates, as do all operators in this workspace.
 pub fn sketch_construct(
     sampler: &dyn LinOp,
     gen: &dyn EntryAccess,
@@ -70,22 +125,72 @@ pub fn sketch_construct(
     rt: &Runtime,
     cfg: &SketchConfig,
 ) -> (H2Matrix, SketchStats) {
+    sketch_construct_engine(sampler, gen, tree, partition, rt, cfg, true)
+}
+
+/// Construct an unsymmetric H2 matrix by adaptive sketching: the two-stream
+/// instance with independent row/column bases and ordered block stores.
+///
+/// `sampler` must implement both `apply` and `apply_transpose`; `gen`
+/// evaluates entries of the (possibly unsymmetric) matrix. Both view the
+/// matrix in tree-permuted coordinates.
+///
+/// `SketchStats::total_samples` counts the columns of **each** stream; the
+/// construction draws that many `Ω` and that many `Ψ` vectors.
+pub fn sketch_construct_unsym(
+    sampler: &dyn LinOp,
+    gen: &dyn EntryAccess,
+    tree: Arc<ClusterTree>,
+    partition: Arc<Partition>,
+    rt: &Runtime,
+    cfg: &SketchConfig,
+) -> (H2Matrix, SketchStats) {
+    assert_eq!(
+        sampler.ncols(),
+        sampler.nrows(),
+        "only square matrices are supported"
+    );
+    sketch_construct_engine(sampler, gen, tree, partition, rt, cfg, false)
+}
+
+/// The stream-generic construction engine behind both entry points.
+fn sketch_construct_engine(
+    sampler: &dyn LinOp,
+    gen: &dyn EntryAccess,
+    tree: Arc<ClusterTree>,
+    partition: Arc<Partition>,
+    rt: &Runtime,
+    cfg: &SketchConfig,
+    symmetric: bool,
+) -> (H2Matrix, SketchStats) {
     let t0 = Instant::now();
     let n = tree.npoints();
     assert_eq!(sampler.nrows(), n, "sampler size mismatch");
-    let mut h2 = H2Matrix::new_shell(tree.clone(), partition.clone());
+    let mut h2 = if symmetric {
+        H2Matrix::new_shell(tree.clone(), partition.clone())
+    } else {
+        H2Matrix::new_shell_unsym(tree.clone(), partition.clone())
+    };
     let mut stats = SketchStats::default();
     let leaf_level = tree.leaf_level();
 
     // ---- dense near-field blocks (batchedGen, line 8) ----
+    // Symmetric: once per unordered pair. Unsymmetric: every ordered pair —
+    // K(I_s, I_t) and K(I_t, I_s) are disjoint entry sets.
     rt.phase(Phase::EntryGen, || {
         let mut specs = Vec::new();
         let mut keys = Vec::new();
         for s in tree.level(leaf_level) {
-            for &t in partition.near_of[s].iter().filter(|&&t| s <= t) {
+            for &t in partition.near_of[s]
+                .iter()
+                .filter(|&&t| !symmetric || s <= t)
+            {
                 let (sb, se) = tree.range(s);
                 let (tb, te) = tree.range(t);
-                specs.push(GenBlock { rows: (sb..se).collect(), cols: (tb..te).collect() });
+                specs.push(GenBlock {
+                    rows: (sb..se).collect(),
+                    cols: (tb..te).collect(),
+                });
                 keys.push((s, t));
             }
         }
@@ -102,25 +207,64 @@ pub fn sketch_construct(
         return (h2, stats);
     };
 
-    // ---- norm estimate backing the relative threshold (§III.B) ----
+    // ---- norm estimate backing the relative threshold (§III.B; power
+    // iteration on KᵀK, so unsymmetry is handled) ----
     let norm_est = rt.phase(Phase::Misc, || {
         estimate_norm_2(sampler, cfg.norm_est_iters, cfg.seed ^ 0x5A5A_5A5A)
     });
     stats.norm_estimate = norm_est;
     let eps_abs = cfg.safety * cfg.tol * norm_est.max(f64::MIN_POSITIVE);
 
-    // ---- initial sampling (lines 1): Ω ∈ R^{N x d0}, Y = Kblk(Ω) ----
-    let d0 = cfg.initial_samples.min(cfg.max_samples).max(1);
-    let omega0 = rt.phase(Phase::Rand, || rand_mat(rt, n, d0, cfg.seed));
-    let y0 = rt.phase(Phase::Sampling, || sampler.apply_mat(&omega0));
-    stats.total_samples = d0;
+    // The column stream samples through `apply_transpose`, whose `LinOp`
+    // default silently falls back to `apply` (correct only for symmetric
+    // operators). The adjoint identity xᵀ(K y) = (Kᵀ x)ᵀ y holds for every
+    // correct pair regardless of symmetry, so one cheap probe catches a
+    // forgotten override before it corrupts the column bases.
+    if !symmetric {
+        rt.phase(Phase::Misc, || {
+            let x = h2_dense::gaussian_mat(n, 1, cfg.seed ^ 0x0DD5_EED5);
+            let y = h2_dense::gaussian_mat(n, 1, cfg.seed ^ 0x5EED_0DD5);
+            let ky = sampler.apply_mat(&y);
+            let mut ktx = Mat::zeros(n, 1);
+            sampler.apply_transpose(x.rf(), ktx.rm());
+            let a: f64 = (0..n).map(|i| x[(i, 0)] * ky[(i, 0)]).sum();
+            let b: f64 = (0..n).map(|i| ktx[(i, 0)] * y[(i, 0)]).sum();
+            let scale = norm_est.max(f64::MIN_POSITIVE) * x.norm_fro() * y.norm_fro();
+            assert!(
+                (a - b).abs() <= 1e-8 * scale,
+                "sampler violates the adjoint identity (|xᵀKy - (Kᵀx)ᵀy| = {:.3e} vs scale {:.3e}); \
+                 its LinOp::apply_transpose is likely the symmetric default",
+                (a - b).abs(),
+                scale
+            );
+        });
+    }
 
+    // ---- initial sampling (line 1), one batch per stream ----
+    let d0 = cfg.initial_samples.min(cfg.max_samples).max(1);
     let leaf_ranges: Vec<(usize, usize)> =
         tree.level(leaf_level).map(|id| tree.range(id)).collect();
-    let mut cur_omega = rt.phase(Phase::Misc, || gather_rows(rt, &omega0, &leaf_ranges));
-    let mut cur_y = rt.phase(Phase::Misc, || gather_rows(rt, &y0, &leaf_ranges));
-    drop(omega0);
-    drop(y0);
+    let sides: &[Side] = if symmetric {
+        &[Side::Row]
+    } else {
+        &[Side::Row, Side::Col]
+    };
+    let mut streams: Vec<SketchStream> = sides
+        .iter()
+        .map(|&side| {
+            let (y, omega) = draw_global_samples(
+                rt,
+                sampler,
+                n,
+                d0,
+                cfg.seed ^ side.seed_salt(),
+                side,
+                &leaf_ranges,
+            );
+            SketchStream { side, y, omega }
+        })
+        .collect();
+    stats.total_samples = d0;
 
     let mut records: Vec<LevelRecord> = Vec::new();
     let mut round_seed = cfg.seed.wrapping_add(0x1234_5678);
@@ -129,133 +273,118 @@ pub fn sketch_construct(
     for l in (top..=leaf_level).rev() {
         let node_ids: Vec<usize> = tree.level(l).collect();
         let is_leaf = l == leaf_level;
-
-        // BSR subtraction structure for this level.
-        let (pattern, pairs, source, children_local) = if is_leaf {
-            let adj: Vec<Vec<usize>> = node_ids
-                .iter()
-                .map(|&s| {
-                    partition.near_of[s].iter().map(|&t| tree.local_index(t)).collect()
-                })
-                .collect();
-            let mut pairs = Vec::new();
-            for &s in &node_ids {
-                for &t in &partition.near_of[s] {
-                    pairs.push((s, t));
-                }
-            }
-            (BsrPattern::from_rows(&adj), pairs, BlockSource::Dense, Vec::new())
-        } else {
-            let child_ids: Vec<usize> = tree.level(l + 1).collect();
-            let adj: Vec<Vec<usize>> = child_ids
-                .iter()
-                .map(|&s| partition.far_of[s].iter().map(|&t| tree.local_index(t)).collect())
-                .collect();
-            let mut pairs = Vec::new();
-            for &s in &child_ids {
-                for &t in &partition.far_of[s] {
-                    pairs.push((s, t));
-                }
-            }
-            let children_local: Vec<Vec<usize>> = node_ids
-                .iter()
-                .map(|&p| {
-                    let (c1, c2) = tree.nodes[p].children.unwrap();
-                    vec![tree.local_index(c1), tree.local_index(c2)]
-                })
-                .collect();
-            (BsrPattern::from_rows(&adj), pairs, BlockSource::Coupling, children_local)
-        };
+        let structure = level_structure(&tree, &partition, &node_ids, is_leaf);
 
         // Subtract known contributions and stack to this level's nodes
-        // (lines 9 / 24+27).
-        let (mut yloc, mut omega_l) = advance_level(
-            rt,
-            &h2,
-            &pattern,
-            &pairs,
-            source,
-            &children_local,
-            cur_y,
-            cur_omega,
-        );
+        // (lines 9 / 24+27), per stream.
+        let mut locals: Vec<(VarBatch, VarBatch)> = streams
+            .drain(..)
+            .map(|s| advance_level(rt, &h2, &structure, s.side, s.y, s.omega))
+            .collect();
 
-        // ---- adaptive sampling loop (lines 11-14 / 29-32) ----
+        // ---- adaptive sampling loop (lines 11-14 / 29-32): every stream
+        // must pass the per-node convergence test ----
         let mut level_rounds = 0usize;
         loop {
-            let d_cur = if yloc.count() > 0 { yloc.cols_of(0) } else { 0 };
+            let d_cur = if locals[0].0.count() > 0 {
+                locals[0].0.cols_of(0)
+            } else {
+                0
+            };
             if !cfg.adaptive || d_cur == 0 {
                 break;
             }
-            let mins = rt.phase(Phase::ConvergenceTest, || qr_min_rdiag(rt, &yloc));
             let eps_conv = eps_abs * (d_cur as f64).sqrt();
-            let unconverged = (0..yloc.count())
-                .any(|i| d_cur < yloc.rows_of(i) && mins[i] > eps_conv);
+            let mut unconverged = false;
+            let mut mins_per_stream = Vec::with_capacity(locals.len());
+            for (yloc, _) in &locals {
+                let mins = rt.phase(Phase::ConvergenceTest, || qr_min_rdiag(rt, yloc));
+                mins_per_stream.push(mins);
+            }
+            for ((yloc, _), mins) in locals.iter().zip(&mins_per_stream) {
+                unconverged |=
+                    (0..yloc.count()).any(|i| d_cur < yloc.rows_of(i) && mins[i] > eps_conv);
+            }
             if !unconverged || stats.total_samples + cfg.sample_block > cfg.max_samples {
                 break;
             }
-            // updateSamples: fresh global sketch swept through the frozen
-            // levels below, then advanced through this level's subtraction.
+            // updateSamples: fresh global sketch per stream swept through the
+            // frozen levels below, then advanced through this level.
             round_seed = round_seed.wrapping_add(0x9E37_79B9);
-            let (new_yloc, new_omega_l) = sweep_new_samples(
-                rt,
-                sampler,
-                &h2,
-                &tree,
-                &records,
-                &leaf_ranges,
-                &pattern,
-                &pairs,
-                source,
-                &children_local,
-                cfg.sample_block,
-                round_seed,
-            );
-            yloc = rt.phase(Phase::Misc, || hcat_batches(rt, &yloc, &new_yloc));
-            omega_l = rt.phase(Phase::Misc, || hcat_batches(rt, &omega_l, &new_omega_l));
+            for (idx, &side) in sides.iter().enumerate() {
+                let (ny, nom) = sweep_new_samples(
+                    rt,
+                    sampler,
+                    &h2,
+                    &tree,
+                    &records,
+                    &leaf_ranges,
+                    &structure,
+                    side,
+                    idx,
+                    cfg.sample_block,
+                    round_seed ^ side.seed_salt(),
+                );
+                let (yloc, omega_l) = &mut locals[idx];
+                *yloc = rt.phase(Phase::Misc, || hcat_batches(rt, yloc, &ny));
+                *omega_l = rt.phase(Phase::Misc, || hcat_batches(rt, omega_l, &nom));
+            }
             stats.total_samples += cfg.sample_block;
             stats.rounds += 1;
             level_rounds += 1;
         }
         stats.rounds_per_level.push(level_rounds);
 
-        // ---- batched row ID (lines 16 / 34) ----
+        // ---- batched row ID per stream (lines 16 / 34) ----
         let height = leaf_level - l;
-        let eps_id = eps_abs * cfg.schedule.scale(height)
-            * (yloc.cols_of(0).max(1) as f64).sqrt();
-        let mut id_res = rt.phase(Phase::Id, || {
-            batched_row_id(rt, &yloc, Truncation::Absolute(eps_id))
-        });
-        // Enforce the rank cap (rare; re-factor the offenders).
-        for (i, r) in id_res.iter_mut().enumerate() {
-            if r.rank() > cfg.max_rank {
-                *r = h2_dense::cpqr::row_id(&yloc.to_mat(i), Truncation::Rank(cfg.max_rank));
+        let eps_id =
+            eps_abs * cfg.schedule.scale(height) * (locals[0].0.cols_of(0).max(1) as f64).sqrt();
+        let mut skels_local: Vec<Vec<Vec<usize>>> = Vec::with_capacity(locals.len());
+        for (idx, &side) in sides.iter().enumerate() {
+            let (yloc, _) = &locals[idx];
+            let mut id_res = rt.phase(Phase::Id, || {
+                batched_row_id(rt, yloc, Truncation::Absolute(eps_id))
+            });
+            // Enforce the rank cap (rare; re-factor the offenders).
+            for (i, r) in id_res.iter_mut().enumerate() {
+                if r.rank() > cfg.max_rank {
+                    *r = h2_dense::cpqr::row_id(&yloc.to_mat(i), Truncation::Rank(cfg.max_rank));
+                }
             }
+
+            // Store bases and global skeleton indices (lines 19 / 37).
+            let mut side_skels: Vec<Vec<usize>> = Vec::with_capacity(node_ids.len());
+            for (local, &id) in node_ids.iter().enumerate() {
+                let r = &id_res[local];
+                let stacked_rows: Vec<usize> = if is_leaf {
+                    let (b, e) = tree.range(id);
+                    (b..e).collect()
+                } else {
+                    let (c1, c2) = tree.nodes[id].children.unwrap();
+                    let skel = side_skel(&h2, side);
+                    skel[c1].iter().chain(skel[c2].iter()).copied().collect()
+                };
+                let global: Vec<usize> = r.skel.iter().map(|&p| stacked_rows[p]).collect();
+                set_side_basis(&mut h2, side, id, r.u.clone(), global);
+                side_skels.push(r.skel.clone());
+            }
+            skels_local.push(side_skels);
         }
 
-        // Store bases and global skeleton indices (lines 19 / 37).
-        let mut skels_local: Vec<Vec<usize>> = Vec::with_capacity(node_ids.len());
-        for (local, &id) in node_ids.iter().enumerate() {
-            let r = &id_res[local];
-            let stacked_rows: Vec<usize> = if is_leaf {
-                let (b, e) = tree.range(id);
-                (b..e).collect()
-            } else {
-                let (c1, c2) = tree.nodes[id].children.unwrap();
-                h2.skel[c1].iter().chain(h2.skel[c2].iter()).copied().collect()
-            };
-            h2.skel[id] = r.skel.iter().map(|&p| stacked_rows[p]).collect();
-            h2.basis[id] = r.u.clone();
-            skels_local.push(r.skel.clone());
-        }
-
-        // ---- coupling blocks at this level (batchedGen, line 41) ----
+        // ---- coupling blocks at this level (batchedGen, line 41):
+        // B_{s,t} = K(Ĩ^r_s, Ĩ^c_t) ----
         rt.phase(Phase::EntryGen, || {
             let mut specs = Vec::new();
             let mut keys = Vec::new();
             for &s in &node_ids {
-                for &t in partition.far_of[s].iter().filter(|&&t| s <= t) {
-                    specs.push(GenBlock { rows: h2.skel[s].clone(), cols: h2.skel[t].clone() });
+                for &t in partition.far_of[s]
+                    .iter()
+                    .filter(|&&t| !symmetric || s <= t)
+                {
+                    specs.push(GenBlock {
+                        rows: h2.skel[s].clone(),
+                        cols: h2.col_skel()[t].clone(),
+                    });
                     keys.push((s, t));
                 }
             }
@@ -265,18 +394,39 @@ pub fn sketch_construct(
             }
         });
 
-        // ---- upsweep to the next level (lines 17-18 / 35-36) ----
-        if l > top {
-            let skel_refs: Vec<&[usize]> = skels_local.iter().map(|v| v.as_slice()).collect();
-            let bases: Vec<Mat> = node_ids.iter().map(|&id| h2.basis[id].clone()).collect();
-            cur_y = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yloc, &skel_refs));
-            cur_omega = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases, &omega_l));
-        } else {
-            cur_y = VarBatch::zeros_uniform_cols(Vec::new(), 0);
-            cur_omega = VarBatch::zeros_uniform_cols(Vec::new(), 0);
-        }
+        // ---- upsweep to the next level (lines 17-18 / 35-36): shrink each
+        // stream's samples to its skeleton rows, compress its inputs by the
+        // opposite side's basis (Ω ← VᵀΩ, Ψ ← UᵀΨ; V = U when symmetric) ----
+        streams = sides
+            .iter()
+            .zip(locals.drain(..))
+            .enumerate()
+            .map(|(idx, (&side, (yloc, omega_l)))| {
+                if l > top {
+                    let skel_refs: Vec<&[usize]> =
+                        skels_local[idx].iter().map(|v| v.as_slice()).collect();
+                    let bases: Vec<Mat> = {
+                        let b = input_basis(&h2, side);
+                        node_ids.iter().map(|&id| b[id].clone()).collect()
+                    };
+                    let y = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yloc, &skel_refs));
+                    let omega = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases, &omega_l));
+                    SketchStream { side, y, omega }
+                } else {
+                    SketchStream {
+                        side,
+                        y: VarBatch::zeros_uniform_cols(Vec::new(), 0),
+                        omega: VarBatch::zeros_uniform_cols(Vec::new(), 0),
+                    }
+                }
+            })
+            .collect();
 
-        records.push(LevelRecord { pattern, pairs, source, children_local, node_ids, skels_local });
+        records.push(LevelRecord {
+            structure,
+            node_ids,
+            skels_local,
+        });
 
         if l == top {
             break;
@@ -288,56 +438,184 @@ pub fn sketch_construct(
     (h2, stats)
 }
 
+/// The basis side a stream's row IDs populate.
+fn set_side_basis(h2: &mut H2Matrix, side: Side, id: usize, u: Mat, skel: Vec<usize>) {
+    match side {
+        Side::Row => {
+            h2.basis[id] = u;
+            h2.skel[id] = skel;
+        }
+        Side::Col => {
+            let c = h2
+                .col
+                .as_mut()
+                .expect("column side present for the column stream");
+            c.basis[id] = u;
+            c.skel[id] = skel;
+        }
+    }
+}
+
+/// The skeleton lists of a stream's own side.
+fn side_skel(h2: &H2Matrix, side: Side) -> &[Vec<usize>] {
+    match side {
+        Side::Row => &h2.skel,
+        Side::Col => h2.col_skel(),
+    }
+}
+
+/// The basis compressing a stream's random inputs: the *opposite* side
+/// (`Ω ← VᵀΩ`, `Ψ ← UᵀΨ`), which is the stream's own side when symmetric.
+fn input_basis(h2: &H2Matrix, side: Side) -> &[Mat] {
+    match side {
+        Side::Row => h2.col_basis(),
+        Side::Col => &h2.basis,
+    }
+}
+
+/// Draw `d` fresh global samples for one stream: random inputs, the
+/// side-matching sampler product (`K Ω` or `Kᵀ Ψ`), gathered to leaf rows.
+fn draw_global_samples(
+    rt: &Runtime,
+    sampler: &dyn LinOp,
+    n: usize,
+    d: usize,
+    seed: u64,
+    side: Side,
+    leaf_ranges: &[(usize, usize)],
+) -> (VarBatch, VarBatch) {
+    let omega = rt.phase(Phase::Rand, || rand_mat(rt, n, d, seed));
+    let y = rt.phase(Phase::Sampling, || match side {
+        Side::Row => sampler.apply_mat(&omega),
+        Side::Col => {
+            let mut z = Mat::zeros(n, d);
+            sampler.apply_transpose(omega.rf(), z.rm());
+            z
+        }
+    });
+    let ob = rt.phase(Phase::Misc, || gather_rows(rt, &omega, leaf_ranges));
+    let yb = rt.phase(Phase::Misc, || gather_rows(rt, &y, leaf_ranges));
+    (yb, ob)
+}
+
+/// Build the shared BSR subtraction/stacking structure of a level.
+fn level_structure(
+    tree: &ClusterTree,
+    partition: &Partition,
+    node_ids: &[usize],
+    is_leaf: bool,
+) -> LevelStructure {
+    if is_leaf {
+        let adj: Vec<Vec<usize>> = node_ids
+            .iter()
+            .map(|&s| {
+                partition.near_of[s]
+                    .iter()
+                    .map(|&t| tree.local_index(t))
+                    .collect()
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        for &s in node_ids {
+            for &t in &partition.near_of[s] {
+                pairs.push((s, t));
+            }
+        }
+        LevelStructure {
+            pattern: BsrPattern::from_rows(&adj),
+            pairs,
+            source: BlockSource::Dense,
+            children_local: Vec::new(),
+        }
+    } else {
+        let child_level = tree.level_of(node_ids[0]) + 1;
+        let child_ids: Vec<usize> = tree.level(child_level).collect();
+        let adj: Vec<Vec<usize>> = child_ids
+            .iter()
+            .map(|&s| {
+                partition.far_of[s]
+                    .iter()
+                    .map(|&t| tree.local_index(t))
+                    .collect()
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        for &s in &child_ids {
+            for &t in &partition.far_of[s] {
+                pairs.push((s, t));
+            }
+        }
+        let children_local: Vec<Vec<usize>> = node_ids
+            .iter()
+            .map(|&p| {
+                let (c1, c2) = tree.nodes[p].children.unwrap();
+                vec![tree.local_index(c1), tree.local_index(c2)]
+            })
+            .collect();
+        LevelStructure {
+            pattern: BsrPattern::from_rows(&adj),
+            pairs,
+            source: BlockSource::Coupling,
+            children_local,
+        }
+    }
+}
+
 /// Resolve the BSR block references of a level against the H2 block stores.
+///
+/// The row stream multiplies blocks of `K` (ordered `(s, t)` lookups); the
+/// column stream multiplies blocks of `Kᵀ` (`K(I_t, I_s)ᵀ`). Both the
+/// unordered-symmetric and ordered-unsymmetric stores answer through
+/// `BlockStore::get_op`.
 fn resolve_blocks<'a>(
     h2: &'a H2Matrix,
     pairs: &[(usize, usize)],
     source: BlockSource,
+    side: Side,
 ) -> Vec<BsrBlock<'a>> {
+    let store = match source {
+        BlockSource::Dense => &h2.dense,
+        BlockSource::Coupling => &h2.coupling,
+    };
+    let transpose = side == Side::Col;
     pairs
         .iter()
         .map(|&(s, t)| {
-            let (mat, transposed) = match source {
-                BlockSource::Dense => h2.dense.get(s, t).expect("dense block"),
-                BlockSource::Coupling => h2.coupling.get(s, t).expect("coupling block"),
-            };
+            let (mat, transposed) = store.get_op(s, t, transpose).expect("level block");
             BsrBlock { mat, transposed }
         })
         .collect()
 }
 
-/// Subtract the level's known contributions from the incoming samples and
+/// Subtract the level's known contributions from one stream's samples and
 /// stack child entries onto this level's nodes. Consumes the child-level
 /// batches and returns `(Y_loc, Ω_l)`.
-#[allow(clippy::too_many_arguments)]
 fn advance_level(
     rt: &Runtime,
     h2: &H2Matrix,
-    pattern: &BsrPattern,
-    pairs: &[(usize, usize)],
-    source: BlockSource,
-    children_local: &[Vec<usize>],
+    structure: &LevelStructure,
+    side: Side,
     mut y: VarBatch,
     omega: VarBatch,
 ) -> (VarBatch, VarBatch) {
     rt.phase(Phase::BsrGemm, || {
-        let blocks = resolve_blocks(h2, pairs, source);
-        bsr_gemm(rt, pattern, &blocks, &omega, &mut y, -1.0);
+        let blocks = resolve_blocks(h2, &structure.pairs, structure.source, side);
+        bsr_gemm(rt, &structure.pattern, &blocks, &omega, &mut y, -1.0);
     });
-    if children_local.is_empty() {
+    if structure.children_local.is_empty() {
         (y, omega)
     } else {
         rt.phase(Phase::Misc, || {
-            let yl = stack_children(rt, &y, children_local);
-            let ol = stack_children(rt, &omega, children_local);
+            let yl = stack_children(rt, &y, &structure.children_local);
+            let ol = stack_children(rt, &omega, &structure.children_local);
             (yl, ol)
         })
     }
 }
 
-/// `updateSamples` (lines 13/31): draw a fresh global sketch and sweep it
-/// through all completed levels (frozen bases and skeletons), then advance
-/// it through the current level's subtraction/stacking.
+/// `updateSamples` (lines 13/31) for one stream: draw a fresh global sketch
+/// and sweep it through all completed levels (frozen bases and skeletons),
+/// then advance it through the current level's subtraction/stacking.
 #[allow(clippy::too_many_arguments)]
 fn sweep_new_samples(
     rt: &Runtime,
@@ -346,40 +624,32 @@ fn sweep_new_samples(
     tree: &ClusterTree,
     records: &[LevelRecord],
     leaf_ranges: &[(usize, usize)],
-    cur_pattern: &BsrPattern,
-    cur_pairs: &[(usize, usize)],
-    cur_source: BlockSource,
-    cur_children_local: &[Vec<usize>],
+    cur_structure: &LevelStructure,
+    side: Side,
+    stream_idx: usize,
     d: usize,
     seed: u64,
 ) -> (VarBatch, VarBatch) {
     let n = tree.npoints();
-    let omega_new = rt.phase(Phase::Rand, || rand_mat(rt, n, d, seed));
-    let y_new = rt.phase(Phase::Sampling, || sampler.apply_mat(&omega_new));
-    let mut om = rt.phase(Phase::Misc, || gather_rows(rt, &omega_new, leaf_ranges));
-    let mut yv = rt.phase(Phase::Misc, || gather_rows(rt, &y_new, leaf_ranges));
+    let (mut yv, mut om) = draw_global_samples(rt, sampler, n, d, seed, side, leaf_ranges);
 
     for rec in records {
         // Subtract + stack with the recorded structure.
-        let (mut yl, ol) = advance_level(
-            rt,
-            h2,
-            &rec.pattern,
-            &rec.pairs,
-            rec.source,
-            &rec.children_local,
-            yv,
-            om,
-        );
-        // Apply the frozen skeletonization: shrink rows, compress Ω.
-        let skel_refs: Vec<&[usize]> = rec.skels_local.iter().map(|v| v.as_slice()).collect();
-        let bases: Vec<Mat> = rec.node_ids.iter().map(|&id| h2.basis[id].clone()).collect();
-        yl = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yl, &skel_refs));
-        let ol2 = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases, &ol));
-        yv = yl;
-        om = ol2;
+        let (yl, ol) = advance_level(rt, h2, &rec.structure, side, yv, om);
+        // Apply the frozen skeletonization: shrink the samples by this
+        // stream's skeletons, compress the inputs by the opposite side.
+        let skel_refs: Vec<&[usize]> = rec.skels_local[stream_idx]
+            .iter()
+            .map(|v| v.as_slice())
+            .collect();
+        let bases: Vec<Mat> = {
+            let b = input_basis(h2, side);
+            rec.node_ids.iter().map(|&id| b[id].clone()).collect()
+        };
+        yv = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yl, &skel_refs));
+        om = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases, &ol));
     }
 
     // Advance through the current (not yet skeletonized) level.
-    advance_level(rt, h2, cur_pattern, cur_pairs, cur_source, cur_children_local, yv, om)
+    advance_level(rt, h2, cur_structure, side, yv, om)
 }

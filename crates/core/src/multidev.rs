@@ -35,14 +35,18 @@ pub fn level_specs(h2: &H2Matrix) -> Vec<LevelSpec> {
             spec.adj = node_ids
                 .iter()
                 .map(|&s| {
-                    partition.near_of[s].iter().map(|&t| tree.local_index(t)).collect()
+                    partition.near_of[s]
+                        .iter()
+                        .map(|&t| tree.local_index(t))
+                        .collect()
                 })
                 .collect();
             spec.id_rows = spec.rows.clone();
             // Dense near blocks are generated at this level (line 8)...
             for &s in &node_ids {
                 for &t in partition.near_of[s].iter().filter(|&&t| s <= t) {
-                    spec.gen_blocks.push((tree.nodes[s].len(), tree.nodes[t].len()));
+                    spec.gen_blocks
+                        .push((tree.nodes[s].len(), tree.nodes[t].len()));
                 }
             }
         } else {
@@ -53,7 +57,12 @@ pub fn level_specs(h2: &H2Matrix) -> Vec<LevelSpec> {
             spec.col_rows = spec.rows.clone();
             spec.adj = child_ids
                 .iter()
-                .map(|&s| partition.far_of[s].iter().map(|&t| tree.local_index(t)).collect())
+                .map(|&s| {
+                    partition.far_of[s]
+                        .iter()
+                        .map(|&t| tree.local_index(t))
+                        .collect()
+                })
                 .collect();
             // Line-24 merges: sibling pairs of the child population.
             spec.merges = node_ids
@@ -99,7 +108,10 @@ mod tests {
         let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
         let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
         let rt = Runtime::parallel();
-        let cfg = SketchConfig { initial_samples: 48, ..Default::default() };
+        let cfg = SketchConfig {
+            initial_samples: 48,
+            ..Default::default()
+        };
         sketch_construct(&km, &km, tree, part, &rt, &cfg).0
     }
 
@@ -180,7 +192,10 @@ mod tests {
         let m = DeviceModel::default();
         let t1 = simulate(&specs, 256, 1, &m).makespan;
         let t2 = simulate(&specs, 256, 2, &m).makespan;
-        assert!(t2 > 0.9 * t1, "tiny problems must not show fake multi-GPU wins");
+        assert!(
+            t2 > 0.9 * t1,
+            "tiny problems must not show fake multi-GPU wins"
+        );
     }
 
     #[test]

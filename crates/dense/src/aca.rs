@@ -28,7 +28,12 @@ impl AcaResult {
 
     /// Materialize the approximation (tests / small blocks).
     pub fn to_mat(&self) -> Mat {
-        crate::gemm::matmul(crate::gemm::Op::NoTrans, crate::gemm::Op::Trans, self.u.rf(), self.v.rf())
+        crate::gemm::matmul(
+            crate::gemm::Op::NoTrans,
+            crate::gemm::Op::Trans,
+            self.u.rf(),
+            self.v.rf(),
+        )
     }
 }
 
@@ -65,7 +70,12 @@ pub fn aca(
     let mut converged = false;
 
     if m == 0 || n == 0 {
-        return AcaResult { u: Mat::zeros(m, 0), v: Mat::zeros(n, 0), entries_evaluated: 0, converged: true };
+        return AcaResult {
+            u: Mat::zeros(m, 0),
+            v: Mat::zeros(n, 0),
+            entries_evaluated: 0,
+            converged: true,
+        };
     }
 
     // Next pivot row: start at the middle (heuristic: interior rows carry
@@ -176,7 +186,12 @@ pub fn aca(
         u.col_mut(c).copy_from_slice(uc);
         v.col_mut(c).copy_from_slice(vc);
     }
-    AcaResult { u, v, entries_evaluated: entries, converged }
+    AcaResult {
+        u,
+        v,
+        entries_evaluated: entries,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -188,9 +203,18 @@ mod tests {
     fn exact_low_rank_recovered() {
         let a = gaussian_mat(30, 4, 41);
         let b = gaussian_mat(25, 4, 42);
-        let prod = crate::gemm::matmul(crate::gemm::Op::NoTrans, crate::gemm::Op::Trans, a.rf(), b.rf());
+        let prod = crate::gemm::matmul(
+            crate::gemm::Op::NoTrans,
+            crate::gemm::Op::Trans,
+            a.rf(),
+            b.rf(),
+        );
         let res = aca(30, 25, |i, j| prod[(i, j)], 1e-12, 30);
-        assert!(res.rank() <= 5, "rank-4 matrix recovered at rank {}", res.rank());
+        assert!(
+            res.rank() <= 5,
+            "rank-4 matrix recovered at rank {}",
+            res.rank()
+        );
         let mut d = res.to_mat();
         d.axpy(-1.0, &prod);
         assert!(d.norm_fro() / prod.norm_fro() < 1e-10);

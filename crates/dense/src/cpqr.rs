@@ -40,7 +40,10 @@ pub fn cpqr_factor(mut a: Mat) -> (Cpqr, Vec<usize>, Vec<f64>) {
             .iter()
             .enumerate()
             .skip(k)
-            .fold((k, -1.0), |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) });
+            .fold(
+                (k, -1.0),
+                |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) },
+            );
         if piv != k {
             swap_cols(&mut a, k, piv);
             jpvt.swap(k, piv);
@@ -195,12 +198,21 @@ pub fn col_id(a: Mat, rule: Truncation) -> ColId {
     let (f, jpvt, rdiag) = cpqr_factor(a);
     let k = select_rank(&rdiag, rule).min(rdiag.len());
     // T = R1^{-1} R2 with R1 = R[0..k, 0..k], R2 = R[0..k, k..n].
-    let mut r2 = Mat::from_fn(k, n - k, |i, j| if i <= (j + k) { f.a[(i, j + k)] } else { 0.0 });
+    let mut r2 = Mat::from_fn(
+        k,
+        n - k,
+        |i, j| if i <= (j + k) { f.a[(i, j + k)] } else { 0.0 },
+    );
     let r1 = Mat::from_fn(k, k, |i, j| if j >= i { f.a[(i, j)] } else { 0.0 });
     if k > 0 && n > k {
         solve_triangular_left(Triangle::Upper, Diag::NonUnit, r1.rf(), &mut r2.rm());
     }
-    ColId { skel: jpvt[..k].to_vec(), t: r2, jpvt, rdiag }
+    ColId {
+        skel: jpvt[..k].to_vec(),
+        t: r2,
+        jpvt,
+        rdiag,
+    }
 }
 
 /// A row interpolative decomposition `A ≈ U * A(skel, :)` with `U(skel,:) = I`.
@@ -240,7 +252,11 @@ pub fn row_id(a: &Mat, rule: Truncation) -> RowId {
             }
         }
     }
-    RowId { skel: cid.skel, u, rdiag: cid.rdiag }
+    RowId {
+        skel: cid.skel,
+        u,
+        rdiag: cid.rdiag,
+    }
 }
 
 #[cfg(test)]
@@ -254,7 +270,10 @@ mod tests {
         let a = gaussian_mat(8, 6, 21);
         let (f, jpvt, _) = cpqr_factor(a.clone());
         // Rebuild Q from the packed factor by applying reflectors to I.
-        let qf = crate::qr::QrFactor { a: f.a.clone(), tau: f.tau.clone() };
+        let qf = crate::qr::QrFactor {
+            a: f.a.clone(),
+            tau: f.tau.clone(),
+        };
         let q = qf.q_thin();
         let r = qf.r();
         let qr = matmul(Op::NoTrans, Op::NoTrans, q.rf(), r.rf());

@@ -238,7 +238,9 @@ mod tests {
             Op::NoTrans => b[(l, j)],
             Op::Trans => b[(j, l)],
         };
-        Mat::from_fn(ar, bn, |i, j| (0..ak).map(|l| get_a(i, l) * get_b(l, j)).sum())
+        Mat::from_fn(ar, bn, |i, j| {
+            (0..ak).map(|l| get_a(i, l) * get_b(l, j)).sum()
+        })
     }
 
     #[test]
@@ -322,7 +324,15 @@ mod tests {
         gemv(Op::NoTrans, 2.0, a.rf(), &x, 3.0, &mut y);
         let xm = Mat::from_vec(4, 1, x);
         let mut want = Mat::from_vec(5, 1, vec![1.0; 5]);
-        gemm(Op::NoTrans, Op::NoTrans, 2.0, a.rf(), xm.rf(), 3.0, want.rm());
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            2.0,
+            a.rf(),
+            xm.rf(),
+            3.0,
+            want.rm(),
+        );
         for i in 0..5 {
             assert!((y[i] - want[(i, 0)]).abs() < 1e-12);
         }
@@ -337,7 +347,15 @@ mod tests {
         let a2 = Mat::zeros(2, 0);
         let b2 = Mat::zeros(0, 3);
         let mut c2 = Mat::from_fn(2, 3, |_, _| 7.0);
-        gemm(Op::NoTrans, Op::NoTrans, 1.0, a2.rf(), b2.rf(), 0.0, c2.rm());
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a2.rf(),
+            b2.rf(),
+            0.0,
+            c2.rm(),
+        );
         assert_eq!(c2.norm_max(), 0.0, "k=0 with beta=0 must clear C");
     }
 }

@@ -71,7 +71,12 @@ pub fn cg(a: &dyn LinOp, b: &[f64], shift: f64, max_iters: usize, rtol: f64) -> 
         res += d * d;
     }
     let relative_residual = res.sqrt() / b_norm;
-    SolveResult { x, iterations, relative_residual, converged: relative_residual <= 10.0 * rtol }
+    SolveResult {
+        x,
+        iterations,
+        relative_residual,
+        converged: relative_residual <= 10.0 * rtol,
+    }
 }
 
 /// Hutchinson stochastic trace estimator `tr(A) ≈ mean(zᵀ A z)` with
@@ -190,7 +195,10 @@ mod tests {
         let op = spd_op(n, 6);
         let exact: f64 = (0..n).map(|i| op.a[(i, i)]).sum();
         let est = hutchinson_trace(&op, 400, 7);
-        assert!((est - exact).abs() < 0.1 * exact, "est {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.1 * exact,
+            "est {est} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@
 
 pub mod aca;
 pub mod cpqr;
-pub mod krylov;
 pub mod gemm;
+pub mod krylov;
 pub mod lu;
 pub mod mat;
 pub mod op;
@@ -31,8 +31,8 @@ pub mod tri;
 
 pub use aca::{aca, AcaResult};
 pub use cpqr::{col_id, cpqr_factor, row_id, select_rank, ColId, RowId, Truncation};
-pub use krylov::{cg, hutchinson_trace, power_eig_max, SolveResult};
 pub use gemm::{gemm, gemv, matmul, par_gemm, Op};
+pub use krylov::{cg, hutchinson_trace, power_eig_max, SolveResult};
 pub use lu::{cholesky_in_place, cholesky_solve, lu_factor, LuFactor};
 pub use mat::{Mat, MatMut, MatRef};
 pub use op::{estimate_norm_2, relative_error_2, DenseOp, DiffOp, EntryAccess, LinOp};
@@ -40,6 +40,5 @@ pub use qr::{orthonormalize, qr_factor, qr_in_place, QrFactor};
 pub use rand::{fill_gaussian, gaussian_mat, random_low_rank, standard_normal};
 pub use svd::{spectral_norm, svd, Svd};
 pub use tri::{
-    solve_triangular_left, solve_triangular_left_transposed, solve_triangular_right, Diag,
-    Triangle,
+    solve_triangular_left, solve_triangular_left_transposed, solve_triangular_right, Diag, Triangle,
 };

@@ -37,7 +37,11 @@ pub struct MatMut<'a> {
 impl Mat {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -92,12 +96,22 @@ impl Mat {
 
     /// Immutable view of the whole matrix.
     pub fn rf(&self) -> MatRef<'_> {
-        MatRef { rows: self.rows, cols: self.cols, ld: self.rows.max(1), data: &self.data }
+        MatRef {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.rows.max(1),
+            data: &self.data,
+        }
     }
 
     /// Mutable view of the whole matrix.
     pub fn rm(&mut self) -> MatMut<'_> {
-        MatMut { rows: self.rows, cols: self.cols, ld: self.rows.max(1), data: &mut self.data }
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.rows.max(1),
+            data: &mut self.data,
+        }
     }
 
     /// Immutable view of the sub-block starting at `(r0, c0)` of shape `nr x nc`.
@@ -173,7 +187,11 @@ impl Mat {
 
     /// `self += alpha * other` (same shape).
     pub fn axpy(&mut self, alpha: f64, other: &Mat) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy: shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
@@ -200,7 +218,8 @@ impl Mat {
         assert_eq!(self.rows, other.rows(), "append_cols: row mismatch");
         let old = self.cols;
         self.append_zero_cols(other.cols());
-        self.view_mut(0, old, self.rows, other.cols()).copy_from(other);
+        self.view_mut(0, old, self.rows, other.cols())
+            .copy_from(other);
     }
 
     /// Bytes of heap storage (used for the paper's memory accounting).
@@ -248,9 +267,17 @@ impl<'a> MatRef<'a> {
     pub fn from_parts(rows: usize, cols: usize, ld: usize, data: &'a [f64]) -> Self {
         assert!(ld >= rows.max(1), "ld too small");
         if cols > 0 && rows > 0 {
-            assert!(data.len() >= (cols - 1) * ld + rows, "data too short for view");
+            assert!(
+                data.len() >= (cols - 1) * ld + rows,
+                "data too short for view"
+            );
         }
-        MatRef { rows, cols, ld, data }
+        MatRef {
+            rows,
+            cols,
+            ld,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -283,13 +310,26 @@ impl<'a> MatRef<'a> {
     /// Sub-view. Zero-size views are legal anywhere within (or at the
     /// boundary of) the parent's index range, e.g. `view(rows, cols, 0, 0)`.
     pub fn view(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view out of bounds");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "view out of bounds"
+        );
         if nr == 0 || nc == 0 {
-            return MatRef { rows: nr, cols: nc, ld: 1, data: &[] };
+            return MatRef {
+                rows: nr,
+                cols: nc,
+                ld: 1,
+                data: &[],
+            };
         }
         let off = r0 + c0 * self.ld;
         let end = off + (nc - 1) * self.ld + nr;
-        MatRef { rows: nr, cols: nc, ld: self.ld, data: &self.data[off..end] }
+        MatRef {
+            rows: nr,
+            cols: nc,
+            ld: self.ld,
+            data: &self.data[off..end],
+        }
     }
 
     /// Owned copy of this view.
@@ -330,9 +370,17 @@ impl<'a> MatMut<'a> {
     pub fn from_parts(rows: usize, cols: usize, ld: usize, data: &'a mut [f64]) -> Self {
         assert!(ld >= rows.max(1), "ld too small");
         if cols > 0 && rows > 0 {
-            assert!(data.len() >= (cols - 1) * ld + rows, "data too short for view");
+            assert!(
+                data.len() >= (cols - 1) * ld + rows,
+                "data too short for view"
+            );
         }
-        MatMut { rows, cols, ld, data }
+        MatMut {
+            rows,
+            cols,
+            ld,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -377,24 +425,47 @@ impl<'a> MatMut<'a> {
 
     /// Immutable re-borrow of this view.
     pub fn rb(&self) -> MatRef<'_> {
-        MatRef { rows: self.rows, cols: self.cols, ld: self.ld, data: self.data }
+        MatRef {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: self.data,
+        }
     }
 
     /// Mutable re-borrow (for passing to functions without consuming).
     pub fn rb_mut(&mut self) -> MatMut<'_> {
-        MatMut { rows: self.rows, cols: self.cols, ld: self.ld, data: self.data }
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: self.data,
+        }
     }
 
     /// Consume into a sub-view. Zero-size views are legal anywhere within
     /// (or at the boundary of) the parent's index range.
     pub fn into_view(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view out of bounds");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "view out of bounds"
+        );
         if nr == 0 || nc == 0 {
-            return MatMut { rows: nr, cols: nc, ld: 1, data: &mut [] };
+            return MatMut {
+                rows: nr,
+                cols: nc,
+                ld: 1,
+                data: &mut [],
+            };
         }
         let off = r0 + c0 * self.ld;
         let end = off + (nc - 1) * self.ld + nr;
-        MatMut { rows: nr, cols: nc, ld: self.ld, data: &mut self.data[off..end] }
+        MatMut {
+            rows: nr,
+            cols: nc,
+            ld: self.ld,
+            data: &mut self.data[off..end],
+        }
     }
 
     /// Split into two disjoint column-range views `[0, c)` and `[c, cols)`.
@@ -402,14 +473,28 @@ impl<'a> MatMut<'a> {
         assert!(c <= self.cols);
         let (l, r) = self.data.split_at_mut(c * self.ld);
         (
-            MatMut { rows: self.rows, cols: c, ld: self.ld, data: l },
-            MatMut { rows: self.rows, cols: self.cols - c, ld: self.ld, data: r },
+            MatMut {
+                rows: self.rows,
+                cols: c,
+                ld: self.ld,
+                data: l,
+            },
+            MatMut {
+                rows: self.rows,
+                cols: self.cols - c,
+                ld: self.ld,
+                data: r,
+            },
         )
     }
 
     /// Copy entries from a same-shape source view.
     pub fn copy_from(&mut self, src: MatRef<'_>) {
-        assert_eq!((self.rows, self.cols), (src.rows(), src.cols()), "copy_from: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows(), src.cols()),
+            "copy_from: shape mismatch"
+        );
         for j in 0..self.cols {
             let s = src.col(j);
             self.col_mut(j).copy_from_slice(s);
@@ -432,7 +517,11 @@ impl<'a> MatMut<'a> {
 
     /// `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f64, other: MatRef<'_>) {
-        assert_eq!((self.rows, self.cols), (other.rows(), other.cols()), "axpy: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows(), other.cols()),
+            "axpy: shape mismatch"
+        );
         for j in 0..self.cols {
             let src = other.col(j);
             for (d, s) in self.col_mut(j).iter_mut().zip(src) {

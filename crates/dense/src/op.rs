@@ -23,7 +23,10 @@ pub trait LinOp: Sync {
     fn apply(&self, x: MatRef<'_>, y: MatMut<'_>);
 
     /// `y = A^T x`. Defaults to `apply` — correct for the symmetric operators
-    /// the paper works with; non-symmetric implementations must override.
+    /// the paper works with; non-symmetric implementations **must override**
+    /// (the unsymmetric construction's column stream samples through this
+    /// method, and guards the adjoint identity `xᵀ(Ay) = (Aᵀx)ᵀy` at
+    /// startup to catch a forgotten override).
     fn apply_transpose(&self, x: MatRef<'_>, y: MatMut<'_>) {
         self.apply(x, y);
     }
@@ -206,7 +209,10 @@ mod tests {
         let a = gaussian_mat(30, 30, 54);
         let exact = spectral_norm(&a);
         let est = estimate_norm_2(&DenseOp::new(a), 30, 55);
-        assert!((est - exact).abs() < 0.05 * exact, "est {est} exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.05 * exact,
+            "est {est} exact {exact}"
+        );
     }
 
     #[test]

@@ -93,13 +93,19 @@ impl QrFactor {
 
     /// Smallest `|R_ii|`; `None` for an empty factor.
     pub fn min_r_diag_abs(&self) -> Option<f64> {
-        self.r_diag_abs().into_iter().min_by(|a, b| a.partial_cmp(b).unwrap())
+        self.r_diag_abs()
+            .into_iter()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
     }
 
     /// The upper-triangular factor R (`min(m,n) x n`).
     pub fn r(&self) -> Mat {
         let k = self.tau.len();
-        Mat::from_fn(k, self.a.cols(), |i, j| if j >= i { self.a[(i, j)] } else { 0.0 })
+        Mat::from_fn(
+            k,
+            self.a.cols(),
+            |i, j| if j >= i { self.a[(i, j)] } else { 0.0 },
+        )
     }
 
     /// The thin orthonormal factor Q (`m x min(m,n)`).

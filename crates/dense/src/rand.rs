@@ -70,7 +70,12 @@ mod tests {
         let m = gaussian_mat(200, 200, 42);
         let n = m.len() as f64;
         let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -24,7 +24,11 @@ pub fn svd(a: &Mat) -> Svd {
     } else {
         // SVD of A^T = V s U^T.
         let t = svd_tall(a.transpose());
-        Svd { u: t.v, s: t.s, v: t.u }
+        Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        }
     }
 }
 

@@ -4,8 +4,8 @@
 
 use h2_dense::cpqr::{col_id, row_id, Truncation};
 use h2_dense::{
-    aca, cholesky_in_place, gaussian_mat, lu_factor, matmul, qr_factor, solve_triangular_left,
-    svd, Diag, Mat, Op, Triangle,
+    aca, cholesky_in_place, gaussian_mat, lu_factor, matmul, qr_factor, solve_triangular_left, svd,
+    Diag, Mat, Op, Triangle,
 };
 
 // ---------------------------------------------------------------- shapes
@@ -68,7 +68,12 @@ fn col_id_duplicated_columns() {
     let cid = col_id(a.clone(), Truncation::Relative(1e-12));
     assert_eq!(cid.rank(), 2);
     let sel = a.select_cols(&cid.skel);
-    let rec = matmul(Op::NoTrans, Op::NoTrans, sel.rf(), cid.interp_matrix(6).rf());
+    let rec = matmul(
+        Op::NoTrans,
+        Op::NoTrans,
+        sel.rf(),
+        cid.interp_matrix(6).rf(),
+    );
     let mut d = rec;
     d.axpy(-1.0, &a);
     assert!(d.norm_max() < 1e-12);
@@ -162,7 +167,11 @@ fn svd_rank_one() {
     let v = Mat::from_rows(&[&[3.0], &[4.0]]);
     let a = matmul(Op::NoTrans, Op::Trans, u.rf(), v.rf());
     let f = svd(&a);
-    assert!((f.s[0] - 15.0).abs() < 1e-12, "3*5 = |u||v| = 15, got {}", f.s[0]);
+    assert!(
+        (f.s[0] - 15.0).abs() < 1e-12,
+        "3*5 = |u||v| = 15, got {}",
+        f.s[0]
+    );
     assert!(f.s[1].abs() < 1e-12);
 }
 

@@ -4,8 +4,7 @@ use h2_dense::*;
 use proptest::prelude::*;
 
 fn mat_strategy(max: usize) -> impl Strategy<Value = Mat> {
-    (1..max, 1..max, 0u64..10_000)
-        .prop_map(|(m, n, seed)| gaussian_mat(m, n, seed))
+    (1..max, 1..max, 0u64..10_000).prop_map(|(m, n, seed)| gaussian_mat(m, n, seed))
 }
 
 proptest! {

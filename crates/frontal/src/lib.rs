@@ -15,8 +15,7 @@ pub mod sparse;
 pub mod surrogate;
 
 pub use multifrontal::{
-    multifrontal_cholesky, nested_dissection, poisson_top_front, MultifrontalResult, NdNode,
-    NdTree,
+    multifrontal_cholesky, nested_dissection, poisson_top_front, MultifrontalResult, NdNode, NdTree,
 };
 pub use sparse::{poisson3d, CsrMatrix, Grid3};
 pub use surrogate::green_surrogate_front;
@@ -36,12 +35,15 @@ mod tests {
         let tree = Arc::new(ClusterTree::build(&pts, 16));
         // permute the front into tree order
         let n = front.rows();
-        let permuted =
-            h2_dense::Mat::from_fn(n, n, |i, j| front[(tree.perm[i], tree.perm[j])]);
+        let permuted = h2_dense::Mat::from_fn(n, n, |i, j| front[(tree.perm[i], tree.perm[j])]);
         let op = DenseOp::new(permuted);
         let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 1.0 }));
         let rt = h2_runtime_shim::runtime();
-        let cfg = h2_core::SketchConfig { tol: 1e-8, initial_samples: 64, ..Default::default() };
+        let cfg = h2_core::SketchConfig {
+            tol: 1e-8,
+            initial_samples: 64,
+            ..Default::default()
+        };
         let (h2, _) = h2_core::sketch_construct(&op, &op, tree.clone(), part, &rt, &cfg);
         let e = relative_error_2(&op, &h2, 20, 140);
         assert!(e < 1e-6, "front compression rel err {e}");

@@ -46,7 +46,11 @@ pub fn nested_dissection(grid: Grid3, leaf_box: usize) -> NdTree {
     );
     let mut postorder = Vec::with_capacity(nodes.len());
     post(&nodes, root, &mut postorder);
-    NdTree { nodes, root, postorder }
+    NdTree {
+        nodes,
+        root,
+        postorder,
+    }
 }
 
 fn post(nodes: &[NdNode], id: usize, out: &mut Vec<usize>) {
@@ -74,7 +78,11 @@ fn dissect(
                 }
             }
         }
-        nodes.push(NdNode { vars, children: Vec::new(), region });
+        nodes.push(NdNode {
+            vars,
+            children: Vec::new(),
+            region,
+        });
         return nodes.len() - 1;
     }
     // Split the widest dimension with a one-plane separator.
@@ -109,7 +117,11 @@ fn dissect(
     if region_len(right_region) > 0 {
         children.push(dissect(grid, right_region, leaf_box, nodes));
     }
-    nodes.push(NdNode { vars: sep_vars, children, region });
+    nodes.push(NdNode {
+        vars: sep_vars,
+        children,
+        region,
+    });
     nodes.len() - 1
 }
 
@@ -184,7 +196,9 @@ impl MultifrontalResult {
         let mut y = b.to_vec();
         // Forward: y(vars) = L11^{-1} y(vars); y(bnd) -= L21 y(vars).
         for &id in &self.postorder {
-            let Some(panel) = &self.panels[id] else { continue };
+            let Some(panel) = &self.panels[id] else {
+                continue;
+            };
             let (vars, bnd) = &self.index_sets[id];
             let nv = vars.len();
             if nv == 0 {
@@ -192,12 +206,7 @@ impl MultifrontalResult {
             }
             let mut rhs = Mat::from_fn(nv, 1, |i, _| y[vars[i]]);
             let l11 = panel.view(0, 0, nv, nv);
-            h2_dense::solve_triangular_left(
-                Triangle::Lower,
-                Diag::NonUnit,
-                l11,
-                &mut rhs.rm(),
-            );
+            h2_dense::solve_triangular_left(Triangle::Lower, Diag::NonUnit, l11, &mut rhs.rm());
             for (i, &v) in vars.iter().enumerate() {
                 y[v] = rhs[(i, 0)];
             }
@@ -213,7 +222,9 @@ impl MultifrontalResult {
         // Backward: x(vars) = L11^{-T} (y(vars) - L21^T x(bnd)).
         let mut x = y;
         for &id in self.postorder.iter().rev() {
-            let Some(panel) = &self.panels[id] else { continue };
+            let Some(panel) = &self.panels[id] else {
+                continue;
+            };
             let (vars, bnd) = &self.index_sets[id];
             let nv = vars.len();
             if nv == 0 {
@@ -258,8 +269,9 @@ pub fn multifrontal_cholesky(a: &CsrMatrix, tree: &NdTree) -> MultifrontalResult
 
     let mut updates: Vec<Option<(Vec<usize>, Mat)>> = (0..tree.nodes.len()).map(|_| None).collect();
     let mut panels: Vec<Option<Mat>> = (0..tree.nodes.len()).map(|_| None).collect();
-    let mut index_sets: Vec<(Vec<usize>, Vec<usize>)> =
-        (0..tree.nodes.len()).map(|_| (Vec::new(), Vec::new())).collect();
+    let mut index_sets: Vec<(Vec<usize>, Vec<usize>)> = (0..tree.nodes.len())
+        .map(|_| (Vec::new(), Vec::new()))
+        .collect();
     let mut top_front = Mat::zeros(0, 0);
     let mut top_vars = Vec::new();
 
@@ -342,7 +354,15 @@ pub fn multifrontal_cholesky(a: &CsrMatrix, tree: &NdTree) -> MultifrontalResult
             solve_lower_transposed_right(&l11, &mut f21);
             // U = F22 - L21 L21^T
             let mut u = f.view(nv, nv, nb, nb).to_mat();
-            gemm(Op::NoTrans, Op::Trans, -1.0, f21.rf(), f21.rf(), 1.0, u.rm());
+            gemm(
+                Op::NoTrans,
+                Op::Trans,
+                -1.0,
+                f21.rf(),
+                f21.rf(),
+                1.0,
+                u.rm(),
+            );
             // store panel [L11; L21]
             let mut panel = Mat::zeros(m, nv);
             panel.view_mut(0, 0, nv, nv).copy_from(lower_of(&l11).rf());
@@ -358,7 +378,13 @@ pub fn multifrontal_cholesky(a: &CsrMatrix, tree: &NdTree) -> MultifrontalResult
         }
     }
 
-    MultifrontalResult { panels, index_sets, postorder: tree.postorder.clone(), top_front, top_vars }
+    MultifrontalResult {
+        panels,
+        index_sets,
+        postorder: tree.postorder.clone(),
+        top_front,
+        top_vars,
+    }
 }
 
 fn id_checked(v: usize, n: usize) -> usize {
@@ -368,7 +394,11 @@ fn id_checked(v: usize, n: usize) -> usize {
 
 /// Zero out the strict upper triangle (Cholesky stores L in the lower part).
 fn lower_of(a: &Mat) -> Mat {
-    Mat::from_fn(a.rows(), a.cols(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+    Mat::from_fn(
+        a.rows(),
+        a.cols(),
+        |i, j| if i >= j { a[(i, j)] } else { 0.0 },
+    )
 }
 
 /// Solve `X L^T = B` in place for lower-triangular `L` (i.e. `X = B L^{-T}`).
@@ -414,7 +444,11 @@ mod tests {
     fn root_separator_is_a_plane() {
         let grid = Grid3::cube(6);
         let tree = nested_dissection(grid, 8);
-        assert_eq!(tree.nodes[tree.root].vars.len(), 36, "root separator = 6x6 plane");
+        assert_eq!(
+            tree.nodes[tree.root].vars.len(),
+            36,
+            "root separator = 6x6 plane"
+        );
     }
 
     #[test]
@@ -428,8 +462,7 @@ mod tests {
         // Dense reference: S = A_ss - A_si A_ii^{-1} A_is.
         let dense = a.to_dense();
         let s_idx = &res.top_vars;
-        let i_idx: Vec<usize> =
-            (0..a.n).filter(|v| !s_idx.contains(v)).collect();
+        let i_idx: Vec<usize> = (0..a.n).filter(|v| !s_idx.contains(v)).collect();
         let a_ss = dense.select_rows(s_idx).select_cols(s_idx);
         let a_si = dense.select_rows(s_idx).select_cols(&i_idx);
         let a_ii = dense.select_rows(&i_idx).select_cols(&i_idx);
@@ -437,7 +470,15 @@ mod tests {
         let a_is = a_si.transpose();
         let x = f.solve(&a_is); // A_ii^{-1} A_is
         let mut want = a_ss;
-        gemm(Op::NoTrans, Op::NoTrans, -1.0, a_si.rf(), x.rf(), 1.0, want.rm());
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            -1.0,
+            a_si.rf(),
+            x.rf(),
+            1.0,
+            want.rm(),
+        );
 
         let mut d = res.top_front.clone();
         d.axpy(-1.0, &want);
@@ -456,7 +497,10 @@ mod tests {
         assert_eq!(front.rows(), 25);
         assert_eq!(pts.len(), 25);
         let mut f = front;
-        assert!(h2_dense::cholesky_in_place(&mut f.rm()).is_ok(), "top front must be SPD");
+        assert!(
+            h2_dense::cholesky_in_place(&mut f.rm()).is_ok(),
+            "top front must be SPD"
+        );
     }
 
     #[test]
@@ -467,7 +511,9 @@ mod tests {
         let res = multifrontal_cholesky(&a, &tree);
         // Random RHS; compare against dense Cholesky solve.
         let n = a.n;
-        let b: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0)
+            .collect();
         let x = res.solve(&b);
         let mut dense = a.to_dense();
         h2_dense::cholesky_in_place(&mut dense.rm()).unwrap();
@@ -491,7 +537,11 @@ mod tests {
 
     #[test]
     fn multifrontal_solve_nonuniform_grid() {
-        let grid = Grid3 { nx: 7, ny: 4, nz: 5 };
+        let grid = Grid3 {
+            nx: 7,
+            ny: 4,
+            nz: 5,
+        };
         let a = poisson3d(grid);
         let tree = nested_dissection(grid, 6);
         let res = multifrontal_cholesky(&a, &tree);

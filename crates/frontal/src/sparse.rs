@@ -20,7 +20,10 @@ impl CsrMatrix {
     /// Entries of row `i` as `(col, value)` pairs.
     pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let r = self.row_ptr[i]..self.row_ptr[i + 1];
-        self.col_idx[r.clone()].iter().copied().zip(self.vals[r].iter().copied())
+        self.col_idx[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.vals[r].iter().copied())
     }
 
     /// Number of stored entries.
@@ -30,7 +33,10 @@ impl CsrMatrix {
 
     /// Entry lookup (O(row degree)).
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.row(i).find(|&(c, _)| c == j).map(|(_, v)| v).unwrap_or(0.0)
+        self.row(i)
+            .find(|&(c, _)| c == j)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
     }
 
     /// `y = A x` for a single vector.
@@ -68,7 +74,11 @@ pub struct Grid3 {
 
 impl Grid3 {
     pub fn cube(n: usize) -> Self {
-        Grid3 { nx: n, ny: n, nz: n }
+        Grid3 {
+            nx: n,
+            ny: n,
+            nz: n,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -138,7 +148,12 @@ pub fn poisson3d(grid: Grid3) -> CsrMatrix {
         }
         row_ptr.push(col_idx.len());
     }
-    CsrMatrix { n, row_ptr, col_idx, vals }
+    CsrMatrix {
+        n,
+        row_ptr,
+        col_idx,
+        vals,
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +162,11 @@ mod tests {
 
     #[test]
     fn grid_index_roundtrip() {
-        let g = Grid3 { nx: 3, ny: 4, nz: 5 };
+        let g = Grid3 {
+            nx: 3,
+            ny: 4,
+            nz: 5,
+        };
         for i in 0..g.len() {
             let (x, y, z) = g.coords(i);
             assert_eq!(g.index(x, y, z), i);
@@ -188,7 +207,11 @@ mod tests {
 
     #[test]
     fn matvec_matches_dense() {
-        let a = poisson3d(Grid3 { nx: 3, ny: 2, nz: 4 });
+        let a = poisson3d(Grid3 {
+            nx: 3,
+            ny: 2,
+            nz: 4,
+        });
         let d = a.to_dense();
         let x: Vec<f64> = (0..a.n).map(|i| (i as f64 * 0.37).sin()).collect();
         let mut y = vec![0.0; a.n];

@@ -37,8 +37,7 @@ mod tests {
     #[test]
     fn surrogate_is_spd_small() {
         let (km, _) = green_surrogate_front(6);
-        let mut dense =
-            h2_dense::Mat::from_fn(36, 36, |i, j| km.entry(i, j));
+        let mut dense = h2_dense::Mat::from_fn(36, 36, |i, j| km.entry(i, j));
         assert!(h2_dense::cholesky_in_place(&mut dense.rm()).is_ok());
     }
 
@@ -56,8 +55,15 @@ mod tests {
         let last_row: Vec<usize> = ((k * (k - 1))..k * k).collect();
         let far = km.block_mat(&first_row, &last_row);
         let s_far = h2_dense::svd(&far);
-        let rank_far = s_far.s.iter().take_while(|&&v| v > 1e-8 * s_far.s[0]).count();
-        assert!(rank_far <= 10, "separated rows must be very low rank, got {rank_far}");
+        let rank_far = s_far
+            .s
+            .iter()
+            .take_while(|&&v| v > 1e-8 * s_far.s[0])
+            .count();
+        assert!(
+            rank_far <= 10,
+            "separated rows must be very low rank, got {rank_far}"
+        );
 
         // Adjacent halves share a long interface: high rank.
         let n = km.n();
@@ -65,7 +71,14 @@ mod tests {
         let hi: Vec<usize> = (n / 2..n).collect();
         let near = km.block_mat(&lo, &hi);
         let s_near = h2_dense::svd(&near);
-        let rank_near = s_near.s.iter().take_while(|&&v| v > 1e-8 * s_near.s[0]).count();
-        assert!(rank_near > 3 * rank_far, "adjacent halves should resist compression");
+        let rank_near = s_near
+            .s
+            .iter()
+            .take_while(|&&v| v > 1e-8 * s_near.s[0])
+            .count();
+        assert!(
+            rank_near > 3 * rank_far,
+            "adjacent halves should resist compression"
+        );
     }
 }

@@ -9,22 +9,25 @@
 //!   `k = 3`), with a configurable diagonal self-term,
 //! * Gaussian and Matérn-3/2 covariance kernels,
 //! * the 3-D Laplace (free-space Green's function) kernel used by the
-//!   frontal-matrix surrogate.
+//!   frontal-matrix surrogate,
+//! * unsymmetric operators feeding the two-stream construction:
+//!   [`ConvectionKernel`] (diffusion plus directional drift,
+//!   `K(x,y) = exp(-r/l)·(1 + v·(x-y))` — the structure of a
+//!   convection-diffusion volume operator) behind [`UnsymKernelMatrix`],
+//!   and [`ScaledKernelMatrix`] (`D_r K D_c`, the structure produced by row
+//!   equilibration or non-Galerkin discretizations).
 //!
 //! [`KernelMatrix`] binds a kernel to a point cloud in *tree order* and
 //! implements both black-box inputs of Algorithm 1 ([`LinOp`] for sketching
-//! and [`EntryAccess`] for `batchedGen`). Its `apply` is the exact O(N² d)
-//! product — used as ground truth in tests and to bootstrap reference
-//! operators; large-scale sampling goes through the O(N) H2 matvec in
-//! `h2-matrix`.
+//! and [`EntryAccess`] for `batchedGen`); the unsymmetric matrices
+//! additionally implement `apply_transpose`, the `Kᵀ·Ψ` sampler of the
+//! column sketch stream. Every `apply` here is the exact O(N² d) product —
+//! used as ground truth in tests and to bootstrap reference operators;
+//! large-scale sampling goes through the O(N) H2 matvec in `h2-matrix`.
 
 use h2_dense::{EntryAccess, LinOp, MatMut, MatRef};
 use h2_tree::{dist, Point};
 use rayon::prelude::*;
-
-pub mod unsym;
-
-pub use unsym::{ConvectionKernel, Kernel2, ScaledKernelMatrix, UnsymKernelMatrix};
 
 /// A symmetric, translation-invariant kernel function.
 pub trait Kernel: Sync + Send {
@@ -85,7 +88,10 @@ pub struct HelmholtzKernel {
 impl HelmholtzKernel {
     /// Paper configuration for an `n`-point unit-cube volume grid.
     pub fn paper(n: usize) -> Self {
-        HelmholtzKernel { k: 3.0, diag: 2.0 * (n as f64).cbrt() }
+        HelmholtzKernel {
+            k: 3.0,
+            diag: 2.0 * (n as f64).cbrt(),
+        }
     }
 }
 
@@ -198,7 +204,9 @@ pub struct LaplaceKernel {
 impl LaplaceKernel {
     /// Self-term `≈ 1/(2π h)` for mesh width `h` (keeps the surrogate SPD-ish).
     pub fn with_mesh_width(h: f64) -> Self {
-        LaplaceKernel { diag: 1.0 / (2.0 * std::f64::consts::PI * h) }
+        LaplaceKernel {
+            diag: 1.0 / (2.0 * std::f64::consts::PI * h),
+        }
     }
 }
 
@@ -300,6 +308,226 @@ impl<K: Kernel> LinOp for KernelMatrix<K> {
     }
 }
 
+/// A general (possibly unsymmetric) kernel function of two points.
+pub trait Kernel2: Sync + Send {
+    /// Evaluate `K(x, y)` for distinct points.
+    fn eval2(&self, x: &Point, y: &Point) -> f64;
+
+    /// Value for coincident points.
+    fn diag(&self) -> f64;
+}
+
+/// Exponential diffusion with a directional drift:
+/// `K(x, y) = exp(-|x-y|/l) · (1 + v · (x - y))`.
+///
+/// The drift term is antisymmetric in `(x, y)`, so `K(x,y) ≠ K(y,x)` while
+/// the function stays smooth away from the diagonal — admissible blocks keep
+/// the low numerical rank the construction relies on.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvectionKernel {
+    /// Correlation length of the diffusive part.
+    pub l: f64,
+    /// Drift velocity.
+    pub v: [f64; 3],
+}
+
+impl Default for ConvectionKernel {
+    fn default() -> Self {
+        ConvectionKernel {
+            l: 0.2,
+            v: [0.4, -0.25, 0.1],
+        }
+    }
+}
+
+impl Kernel2 for ConvectionKernel {
+    fn eval2(&self, x: &Point, y: &Point) -> f64 {
+        let r = dist(x, y);
+        let drift: f64 = (0..3).map(|c| self.v[c] * (x[c] - y[c])).sum();
+        (-r / self.l).exp() * (1.0 + drift)
+    }
+
+    fn diag(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A kernel matrix for a general two-point kernel, in tree-permuted order.
+pub struct UnsymKernelMatrix<K: Kernel2> {
+    pub kernel: K,
+    pub points: Vec<Point>,
+}
+
+impl<K: Kernel2> UnsymKernelMatrix<K> {
+    pub fn new(kernel: K, points: Vec<Point>) -> Self {
+        UnsymKernelMatrix { kernel, points }
+    }
+
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn value(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.kernel.diag();
+        }
+        let x = &self.points[i];
+        let y = &self.points[j];
+        if dist(x, y) == 0.0 {
+            self.kernel.diag()
+        } else {
+            self.kernel.eval2(x, y)
+        }
+    }
+
+    fn apply_dir(&self, x: MatRef<'_>, y: MatMut<'_>, transpose: bool) {
+        let n = self.n();
+        assert_eq!(x.rows(), n);
+        assert_eq!(y.rows(), n);
+        let d = x.cols();
+        let mut cols: Vec<MatMut<'_>> = Vec::with_capacity(d);
+        let mut rest = y;
+        for _ in 0..d {
+            let (head, tail) = rest.split_cols(1);
+            cols.push(head);
+            rest = tail;
+        }
+        cols.into_par_iter().enumerate().for_each(|(j, mut yj)| {
+            let xj = x.col(j);
+            for i in 0..n {
+                let mut s = 0.0;
+                for (l, xl) in xj.iter().enumerate() {
+                    let v = if transpose {
+                        self.value(l, i)
+                    } else {
+                        self.value(i, l)
+                    };
+                    s += v * xl;
+                }
+                *yj.at_mut(i, 0) = s;
+            }
+        });
+    }
+}
+
+impl<K: Kernel2> EntryAccess for UnsymKernelMatrix<K> {
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        self.value(i, j)
+    }
+
+    fn block(&self, rows: &[usize], cols: &[usize], out: &mut MatMut<'_>) {
+        assert_eq!(out.rows(), rows.len());
+        assert_eq!(out.cols(), cols.len());
+        for (jj, &j) in cols.iter().enumerate() {
+            let col = out.col_mut(jj);
+            for (ii, &i) in rows.iter().enumerate() {
+                col[ii] = self.value(i, j);
+            }
+        }
+    }
+}
+
+impl<K: Kernel2> LinOp for UnsymKernelMatrix<K> {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+
+    fn ncols(&self) -> usize {
+        self.n()
+    }
+
+    /// Exact dense product, O(N² d): ground truth for tests.
+    fn apply(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_dir(x, y, false);
+    }
+
+    fn apply_transpose(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_dir(x, y, true);
+    }
+}
+
+/// Two-sided diagonal scaling `D_r K D_c` of a symmetric kernel matrix.
+pub struct ScaledKernelMatrix<K: Kernel> {
+    pub inner: KernelMatrix<K>,
+    /// Row scaling `D_r` (length N).
+    pub row_scale: Vec<f64>,
+    /// Column scaling `D_c` (length N).
+    pub col_scale: Vec<f64>,
+}
+
+impl<K: Kernel> ScaledKernelMatrix<K> {
+    pub fn new(inner: KernelMatrix<K>, row_scale: Vec<f64>, col_scale: Vec<f64>) -> Self {
+        assert_eq!(inner.n(), row_scale.len());
+        assert_eq!(inner.n(), col_scale.len());
+        ScaledKernelMatrix {
+            inner,
+            row_scale,
+            col_scale,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+}
+
+impl<K: Kernel> EntryAccess for ScaledKernelMatrix<K> {
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        self.row_scale[i] * self.inner.entry(i, j) * self.col_scale[j]
+    }
+}
+
+impl<K: Kernel> LinOp for ScaledKernelMatrix<K> {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+
+    fn ncols(&self) -> usize {
+        self.n()
+    }
+
+    fn apply(&self, x: MatRef<'_>, mut y: MatMut<'_>) {
+        // y = D_r K D_c x
+        let n = self.n();
+        let d = x.cols();
+        let mut xs = x.to_mat();
+        for j in 0..d {
+            let col = xs.col_mut(j);
+            for i in 0..n {
+                col[i] *= self.col_scale[i];
+            }
+        }
+        self.inner.apply(xs.rf(), y.rb_mut());
+        for j in 0..d {
+            let col = y.col_mut(j);
+            for i in 0..n {
+                col[i] *= self.row_scale[i];
+            }
+        }
+    }
+
+    fn apply_transpose(&self, x: MatRef<'_>, mut y: MatMut<'_>) {
+        // (D_r K D_c)^T = D_c K D_r (K symmetric)
+        let n = self.n();
+        let d = x.cols();
+        let mut xs = x.to_mat();
+        for j in 0..d {
+            let col = xs.col_mut(j);
+            for i in 0..n {
+                col[i] *= self.row_scale[i];
+            }
+        }
+        self.inner.apply(xs.rf(), y.rb_mut());
+        for j in 0..d {
+            let col = y.col_mut(j);
+            for i in 0..n {
+                col[i] *= self.col_scale[i];
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,7 +573,10 @@ mod tests {
         let e = ExponentialKernel { l: 1.0 }.eval_r(r);
         let m3 = Matern32Kernel { l: 1.0 }.eval_r(r);
         let m5 = Matern52Kernel { l: 1.0 }.eval_r(r);
-        assert!(e < m3 && m3 < m5, "Matérn smoothness ordering violated: {e} {m3} {m5}");
+        assert!(
+            e < m3 && m3 < m5,
+            "Matérn smoothness ordering violated: {e} {m3} {m5}"
+        );
     }
 
     #[test]
@@ -397,8 +628,12 @@ mod tests {
         let dense = Mat::from_fn(120, 120, |i, j| km.entry(i, j));
         let x = gaussian_mat(120, 3, 64);
         let y = km.apply_mat(&x);
-        let want =
-            h2_dense::matmul(h2_dense::Op::NoTrans, h2_dense::Op::NoTrans, dense.rf(), x.rf());
+        let want = h2_dense::matmul(
+            h2_dense::Op::NoTrans,
+            h2_dense::Op::NoTrans,
+            dense.rf(),
+            x.rf(),
+        );
         let mut d = y;
         d.axpy(-1.0, &want);
         assert!(d.norm_max() < 1e-11);
@@ -448,5 +683,120 @@ mod tests {
             rel_rank <= 20,
             "separated 32x32 block should be numerically low rank, got rank {rel_rank}"
         );
+    }
+}
+
+#[cfg(test)]
+mod unsym_tests {
+    use super::*;
+
+    use h2_dense::{gaussian_mat, Mat};
+    use h2_tree::uniform_cube;
+
+    #[test]
+    fn convection_kernel_is_unsymmetric() {
+        let k = ConvectionKernel::default();
+        let x = [0.1, 0.2, 0.3];
+        let y = [0.7, 0.1, 0.5];
+        let a = k.eval2(&x, &y);
+        let b = k.eval2(&y, &x);
+        assert!(
+            (a - b).abs() > 1e-3,
+            "drift must break symmetry: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn unsym_apply_matches_dense() {
+        let pts = uniform_cube(80, 201);
+        let km = UnsymKernelMatrix::new(ConvectionKernel::default(), pts);
+        let dense = Mat::from_fn(80, 80, |i, j| km.entry(i, j));
+        let x = gaussian_mat(80, 3, 202);
+        let y = km.apply_mat(&x);
+        let want = h2_dense::matmul(
+            h2_dense::Op::NoTrans,
+            h2_dense::Op::NoTrans,
+            dense.rf(),
+            x.rf(),
+        );
+        let mut d = y;
+        d.axpy(-1.0, &want);
+        assert!(d.norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn unsym_apply_transpose_matches_dense() {
+        let pts = uniform_cube(70, 203);
+        let km = UnsymKernelMatrix::new(ConvectionKernel::default(), pts);
+        let dense = Mat::from_fn(70, 70, |i, j| km.entry(i, j));
+        let x = gaussian_mat(70, 2, 204);
+        let mut y = Mat::zeros(70, 2);
+        km.apply_transpose(x.rf(), y.rm());
+        let want = h2_dense::matmul(
+            h2_dense::Op::Trans,
+            h2_dense::Op::NoTrans,
+            dense.rf(),
+            x.rf(),
+        );
+        let mut d = y;
+        d.axpy(-1.0, &want);
+        assert!(d.norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn scaled_kernel_entries_and_apply_agree() {
+        let pts = uniform_cube(60, 205);
+        let inner = KernelMatrix::new(ExponentialKernel::default(), pts);
+        let dr: Vec<f64> = (0..60).map(|i| 1.0 + 0.01 * i as f64).collect();
+        let dc: Vec<f64> = (0..60).map(|i| 2.0 - 0.02 * i as f64).collect();
+        let sk = ScaledKernelMatrix::new(inner, dr, dc);
+        let dense = Mat::from_fn(60, 60, |i, j| sk.entry(i, j));
+        let x = gaussian_mat(60, 2, 206);
+        let y = sk.apply_mat(&x);
+        let want = h2_dense::matmul(
+            h2_dense::Op::NoTrans,
+            h2_dense::Op::NoTrans,
+            dense.rf(),
+            x.rf(),
+        );
+        let mut d = y;
+        d.axpy(-1.0, &want);
+        assert!(d.norm_max() < 1e-11);
+
+        // transpose path
+        let mut yt = Mat::zeros(60, 2);
+        sk.apply_transpose(x.rf(), yt.rm());
+        let want_t = h2_dense::matmul(
+            h2_dense::Op::Trans,
+            h2_dense::Op::NoTrans,
+            dense.rf(),
+            x.rf(),
+        );
+        let mut dt = yt;
+        dt.axpy(-1.0, &want_t);
+        assert!(dt.norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn convection_far_blocks_low_rank() {
+        // Separated clusters: the unsymmetric far block must still compress.
+        let mut pts = uniform_cube(64, 207);
+        for p in pts.iter_mut().take(32) {
+            for c in p.iter_mut() {
+                *c *= 0.2;
+            }
+        }
+        for p in pts.iter_mut().skip(32) {
+            for c in p.iter_mut() {
+                *c = 0.8 + 0.2 * *c;
+            }
+        }
+        let km = UnsymKernelMatrix::new(ConvectionKernel::default(), pts);
+        let rows: Vec<usize> = (0..32).collect();
+        let cols: Vec<usize> = (32..64).collect();
+        let b = km.block_mat(&rows, &cols);
+        let f = h2_dense::svd(&b);
+        let rel_rank = f.s.iter().take_while(|&&s| s > 1e-8 * f.s[0]).count();
+        assert!(rel_rank <= 24, "unsym far block rank {rel_rank}");
     }
 }

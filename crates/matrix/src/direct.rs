@@ -34,7 +34,12 @@ pub struct DirectConfig {
 
 impl Default for DirectConfig {
     fn default() -> Self {
-        DirectConfig { tol: 1e-9, n_proxy: 160, max_rank: 256, seed: 0x5EED }
+        DirectConfig {
+            tol: 1e-9,
+            n_proxy: 160,
+            max_rank: 256,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -62,7 +67,11 @@ pub fn direct_construct(
                     (b..e).collect()
                 } else {
                     let (c1, c2) = tree.nodes[id].children.unwrap();
-                    h2.skel[c1].iter().chain(h2.skel[c2].iter()).copied().collect()
+                    h2.skel[c1]
+                        .iter()
+                        .chain(h2.skel[c2].iter())
+                        .copied()
+                        .collect()
                 };
                 let far = partition.far_field_ranges(&tree, id);
                 let far_total: usize = far.iter().map(|&(b, e)| e - b).sum();
@@ -70,7 +79,9 @@ pub fn direct_construct(
                     // No admissible interaction anywhere above: empty basis.
                     return (id, Mat::zeros(rows.len(), 0), Vec::new());
                 }
-                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut rng = SmallRng::seed_from_u64(
+                    cfg.seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
                 let proxies = sample_from_ranges(&far, cfg.n_proxy.min(far_total), &mut rng);
                 let sample = gen.block_mat(&rows, &proxies);
                 let mut id_res = row_id(&sample, Truncation::Relative(cfg.tol));
@@ -137,11 +148,7 @@ pub fn fill_blocks(
 }
 
 /// Sample `k` distinct indices (sorted) from a union of disjoint intervals.
-fn sample_from_ranges(
-    ranges: &[(usize, usize)],
-    k: usize,
-    rng: &mut SmallRng,
-) -> Vec<usize> {
+fn sample_from_ranges(ranges: &[(usize, usize)], k: usize, rng: &mut SmallRng) -> Vec<usize> {
     let total: usize = ranges.iter().map(|&(b, e)| e - b).sum();
     if k >= total {
         let mut all = Vec::with_capacity(total);
@@ -177,7 +184,10 @@ mod tests {
         let s = sample_from_ranges(&ranges, 8, &mut rng);
         assert_eq!(s.len(), 8);
         for &i in &s {
-            assert!(ranges.iter().any(|&(b, e)| i >= b && i < e), "index {i} outside ranges");
+            assert!(
+                ranges.iter().any(|&(b, e)| i >= b && i < e),
+                "index {i} outside ranges"
+            );
         }
         // sorted + distinct
         for w in s.windows(2) {

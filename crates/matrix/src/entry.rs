@@ -1,4 +1,4 @@
-//! Entry and sub-block extraction from an H2 representation.
+//! Entry and sub-block extraction from an H2 representation, side-generic.
 //!
 //! The low-rank-update experiment (paper §V.A, third application) needs an
 //! entry evaluation function *for an existing H2 matrix*: `batchedGen` must
@@ -6,77 +6,105 @@
 //! representation itself. For an index pair `(i, j)` the owning block of the
 //! matrix tree is either a dense leaf block (direct lookup) or an admissible
 //! block `(s, t)` at some level, where the value is
-//! `u_s(i, :) · B_{s,t} · u_t(j, :)^T` with `u_s(i, :)` the row of the
-//! *accumulated* nested basis — computed by climbing the transfer matrices.
+//! `u_s(i, :) · B_{s,t} · v_t(j, :)ᵀ` with `u_s(i, :)` a row of the
+//! *accumulated* row-side basis and `v_t(j, :)` a row of the accumulated
+//! column-side basis — computed by climbing the transfer matrices. For
+//! symmetric matrices both sides read the same basis tree.
 
 use crate::format::H2Matrix;
 use h2_dense::{gemm, matmul, EntryAccess, Mat, MatMut, Op};
+use h2_tree::ClusterTree;
+
+/// Rows of an accumulated nested basis for a subset `idx` of cluster `s`.
+///
+/// At a leaf these are rows of the explicit basis; at an inner node, the
+/// children's accumulated rows multiplied by the transfer slices (the
+/// nested-basis property, eq. (2)). Works on either basis side.
+pub(crate) fn accumulated_basis_rows(
+    tree: &ClusterTree,
+    basis: &[Mat],
+    s: usize,
+    idx: &[usize],
+) -> Mat {
+    let k = basis[s].cols();
+    if idx.is_empty() {
+        return Mat::zeros(0, k);
+    }
+    if tree.level_of(s) == tree.leaf_level() {
+        let (b, _) = tree.range(s);
+        return Mat::from_fn(idx.len(), k, |r, c| basis[s][(idx[r] - b, c)]);
+    }
+    let (c1, c2) = tree.nodes[s].children.unwrap();
+    let split = tree.nodes[c1].end;
+    // Partition idx between the children, tracking original positions.
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut pos_left = Vec::new();
+    let mut pos_right = Vec::new();
+    for (p, &i) in idx.iter().enumerate() {
+        if i < split {
+            left.push(i);
+            pos_left.push(p);
+        } else {
+            right.push(i);
+            pos_right.push(p);
+        }
+    }
+    let k1 = basis[c1].cols();
+    let e1 = basis[s].view(0, 0, k1, k);
+    let e2 = basis[s].view(k1, 0, basis[s].rows() - k1, k);
+    let mut out = Mat::zeros(idx.len(), k);
+    for (child, ids, pos, e) in [(c1, &left, &pos_left, e1), (c2, &right, &pos_right, e2)] {
+        if ids.is_empty() {
+            continue;
+        }
+        let rows_c = accumulated_basis_rows(tree, basis, child, ids);
+        let mut prod = Mat::zeros(ids.len(), k);
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            rows_c.rf(),
+            e,
+            0.0,
+            prod.rm(),
+        );
+        for (r, &p) in pos.iter().enumerate() {
+            for c in 0..k {
+                out[(p, c)] = prod[(r, c)];
+            }
+        }
+    }
+    out
+}
 
 impl H2Matrix {
-    /// Rows of the accumulated basis `U_s` for a subset `idx` of the cluster
-    /// `s` (global permuted indices, each in `range(s)`). Shape `|idx| x k_s`.
-    ///
-    /// Recursive: at a leaf these are rows of the explicit `U`; at an inner
-    /// node, the children's accumulated rows multiplied by the transfer
-    /// slices (the nested-basis property, eq. (2)).
+    /// Rows of the accumulated *row-side* basis `U_s` for a subset `idx` of
+    /// the cluster `s` (global permuted indices, each in `range(s)`). Shape
+    /// `|idx| x k_s`.
     pub fn basis_rows(&self, s: usize, idx: &[usize]) -> Mat {
-        let k = self.rank(s);
-        if idx.is_empty() {
-            return Mat::zeros(0, k);
-        }
-        let tree = &self.tree;
-        if tree.level_of(s) == tree.leaf_level() {
-            let (b, _) = tree.range(s);
-            return Mat::from_fn(idx.len(), k, |r, c| self.basis[s][(idx[r] - b, c)]);
-        }
-        let (c1, c2) = tree.nodes[s].children.unwrap();
-        let split = tree.nodes[c1].end;
-        // Partition idx between the children, tracking original positions.
-        let mut left = Vec::new();
-        let mut right = Vec::new();
-        let mut pos_left = Vec::new();
-        let mut pos_right = Vec::new();
-        for (p, &i) in idx.iter().enumerate() {
-            if i < split {
-                left.push(i);
-                pos_left.push(p);
-            } else {
-                right.push(i);
-                pos_right.push(p);
-            }
-        }
-        let (k1, _k2) = (self.rank(c1), self.rank(c2));
-        let e1 = self.basis[s].view(0, 0, k1, k);
-        let e2 = self.basis[s].view(k1, 0, self.basis[s].rows() - k1, k);
-        let mut out = Mat::zeros(idx.len(), k);
-        if !left.is_empty() {
-            let rows_c1 = self.basis_rows(c1, &left);
-            let mut prod = Mat::zeros(left.len(), k);
-            gemm(Op::NoTrans, Op::NoTrans, 1.0, rows_c1.rf(), e1, 0.0, prod.rm());
-            for (r, &p) in pos_left.iter().enumerate() {
-                for c in 0..k {
-                    out[(p, c)] = prod[(r, c)];
-                }
-            }
-        }
-        if !right.is_empty() {
-            let rows_c2 = self.basis_rows(c2, &right);
-            let mut prod = Mat::zeros(right.len(), k);
-            gemm(Op::NoTrans, Op::NoTrans, 1.0, rows_c2.rf(), e2, 0.0, prod.rm());
-            for (r, &p) in pos_right.iter().enumerate() {
-                for c in 0..k {
-                    out[(p, c)] = prod[(r, c)];
-                }
-            }
-        }
-        out
+        accumulated_basis_rows(&self.tree, &self.basis, s, idx)
+    }
+
+    /// Rows of the accumulated *column-side* basis `V_s` (the row side when
+    /// symmetric).
+    pub fn col_basis_rows(&self, s: usize, idx: &[usize]) -> Mat {
+        accumulated_basis_rows(&self.tree, self.col_basis(), s, idx)
     }
 
     /// Extract the sub-block `K(rows, cols)` (global permuted indices) by
     /// recursive descent through the matrix tree.
     pub fn extract_block(&self, rows: &[usize], cols: &[usize]) -> Mat {
         let mut out = Mat::zeros(rows.len(), cols.len());
-        self.extract_rec(0, 0, rows, cols, &mut out, &mut identity_pos(rows.len()), &mut identity_pos(cols.len()));
+        self.extract_rec(
+            0,
+            0,
+            rows,
+            cols,
+            &mut out,
+            &mut identity_pos(rows.len()),
+            &mut identity_pos(cols.len()),
+        );
         out
     }
 
@@ -98,10 +126,10 @@ impl H2Matrix {
         if self.partition.far_of[s].binary_search(&t).is_ok() {
             let (blk, transposed) = self.coupling.get(s, t).expect("coupling block");
             let us = self.basis_rows(s, rows);
-            let ut = self.basis_rows(t, cols);
-            // value = us * op(B) * ut^T
+            let vt = self.col_basis_rows(t, cols);
+            // value = U_s(rows) · op(B) · V_t(cols)ᵀ
             let op = if transposed { Op::Trans } else { Op::NoTrans };
-            let tmp = matmul(op, Op::Trans, blk.rf(), ut.rf());
+            let tmp = matmul(op, Op::Trans, blk.rf(), vt.rf());
             let val = matmul(Op::NoTrans, Op::NoTrans, us.rf(), tmp.rf());
             for (r, &rp) in row_pos.iter().enumerate() {
                 for (c, &cp) in col_pos.iter().enumerate() {
@@ -119,7 +147,11 @@ impl H2Matrix {
             for (r, &rp) in row_pos.iter().enumerate() {
                 for (c, &cp) in col_pos.iter().enumerate() {
                     let (li, lj) = (rows[r] - sb, cols[c] - tb);
-                    out[(rp, cp)] = if transposed { blk[(lj, li)] } else { blk[(li, lj)] };
+                    out[(rp, cp)] = if transposed {
+                        blk[(lj, li)]
+                    } else {
+                        blk[(li, lj)]
+                    };
                 }
             }
             return;
@@ -133,15 +165,7 @@ impl H2Matrix {
         let (cl, cl_pos, cr, cr_pos) = split_indexed(cols, col_pos, csplit);
         for (sc, rws, rps) in [(s1, &rl, &rl_pos), (s2, &rr, &rr_pos)] {
             for (tc, cls, cps) in [(t1, &cl, &cl_pos), (t2, &cr, &cr_pos)] {
-                self.extract_rec(
-                    sc,
-                    tc,
-                    rws,
-                    cls,
-                    out,
-                    &mut rps.clone(),
-                    &mut cps.clone(),
-                );
+                self.extract_rec(sc, tc, rws, cls, out, &mut rps.clone(), &mut cps.clone());
             }
         }
     }

@@ -1,41 +1,105 @@
-//! The H2 matrix representation.
+//! The side-generic H2 matrix representation.
 //!
 //! An H2 matrix (paper §II.A) stores:
 //! * explicit bases `U_τ` at leaf clusters,
 //! * transfer matrices `E_{ν1}, E_{ν2}` at inner clusters (stored stacked as
 //!   one `(k_{ν1}+k_{ν2}) x k_τ` matrix — the nested-basis property,
 //!   eq. (2)),
-//! * small coupling matrices `B_{s,t} = K(Ĩ_s, Ĩ_t)` for admissible pairs,
+//! * small coupling matrices `B_{s,t} = K(Ĩ^r_s, Ĩ^c_t)` for admissible
+//!   pairs,
 //! * dense blocks `D_{s,t} = K(I_s, I_t)` for inadmissible leaf pairs.
 //!
-//! The matrix is assumed symmetric (paper simplification `V_t = U_t`), so
-//! blocks are stored once per unordered pair `(min(s,t), max(s,t))` and the
-//! transposed side is applied on the fly.
+//! One type covers both symmetry regimes. The *row* side (`basis`/`skel` —
+//! the basis tree `U` and row skeletons `Ĩ^r`) always exists. The *column*
+//! side is [`BasisSide`]-valued and optional:
+//!
+//! * **symmetric** (`col == None`, the paper's simplification `V_t = U_t`):
+//!   the column side aliases the row side, and the block stores deduplicate
+//!   by unordered pair (`s <= t`) with the transposed orientation applied on
+//!   the fly;
+//! * **unsymmetric** (`col == Some(..)`): an independent column basis tree
+//!   `V` with its own skeletons `Ĩ^c`, and block stores keyed by *ordered*
+//!   pairs — for an unsymmetric matrix `K(I_s, I_t)` and `K(I_t, I_s)` are
+//!   disjoint entry sets, so near-field memory doubles inherently.
+//!
+//! The same [`BlockStore`] implements both keying disciplines (and therefore
+//! one `memory_bytes` accounting); [`BlockStore::get_op`] answers "the block
+//! of `K` or `Kᵀ` at ordered position `(s, t)`" uniformly, which is what the
+//! matvec and the construction's BSR subtraction consume.
 
 use h2_dense::Mat;
 use h2_tree::{ClusterTree, Partition};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Storage for per-pair blocks, deduplicated by symmetry (`s <= t`).
-#[derive(Default)]
+/// Keying discipline of a [`BlockStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreLayout {
+    /// Blocks stored once per unordered pair (`s <= t`); the `(t, s)` block
+    /// is the stored block transposed (valid for symmetric matrices).
+    Symmetric,
+    /// Blocks stored per ordered pair; `(s, t)` and `(t, s)` are
+    /// independent.
+    Ordered,
+}
+
+/// Storage for per-pair blocks under either keying discipline.
 pub struct BlockStore {
-    /// Unordered pairs, `s <= t` (node ids).
+    /// Stored pair keys (unordered `s <= t` for [`StoreLayout::Symmetric`],
+    /// ordered otherwise), in insertion order.
     pub pairs: Vec<(usize, usize)>,
-    /// `blocks[i]` is the block of `pairs[i]`, stored as `K(rows(s), cols(t))`.
+    /// `blocks[i]` is the block of `pairs[i]`, oriented as
+    /// `K(rows(pairs[i].0), cols(pairs[i].1))`.
     pub blocks: Vec<Mat>,
     index: HashMap<(usize, usize), usize>,
+    layout: StoreLayout,
+}
+
+impl Default for BlockStore {
+    fn default() -> Self {
+        BlockStore::symmetric()
+    }
 }
 
 impl BlockStore {
+    /// A symmetric (unordered-pair) store — the historical default.
     pub fn new() -> Self {
-        Self::default()
+        BlockStore::symmetric()
     }
 
-    /// Insert the block for pair `(s, t)` (stored under the unordered key;
-    /// pass the matrix oriented as `K(s-rows, t-cols)` with `s <= t`).
+    pub fn symmetric() -> Self {
+        BlockStore {
+            pairs: Vec::new(),
+            blocks: Vec::new(),
+            index: HashMap::new(),
+            layout: StoreLayout::Symmetric,
+        }
+    }
+
+    pub fn ordered() -> Self {
+        BlockStore {
+            pairs: Vec::new(),
+            blocks: Vec::new(),
+            index: HashMap::new(),
+            layout: StoreLayout::Ordered,
+        }
+    }
+
+    pub fn layout(&self) -> StoreLayout {
+        self.layout
+    }
+
+    /// Insert the block for pair `(s, t)`.
+    ///
+    /// Symmetric layout requires the canonical orientation `s <= t`; ordered
+    /// layout accepts any pair. Duplicate keys panic in both layouts.
     pub fn insert(&mut self, s: usize, t: usize, block: Mat) {
-        assert!(s <= t, "BlockStore stores unordered pairs; pass s <= t");
+        if self.layout == StoreLayout::Symmetric {
+            assert!(
+                s <= t,
+                "symmetric BlockStore stores unordered pairs; pass s <= t"
+            );
+        }
         let idx = self.blocks.len();
         let prev = self.index.insert((s, t), idx);
         assert!(prev.is_none(), "duplicate block ({s},{t})");
@@ -43,11 +107,38 @@ impl BlockStore {
         self.blocks.push(block);
     }
 
-    /// Look up the block for the ordered pair `(s, t)`. Returns the stored
-    /// matrix and whether it must be transposed (`true` when `s > t`).
+    /// Look up the block of `K` at the *ordered* position `(s, t)`. Returns
+    /// the stored matrix and whether it must be read transposed.
     pub fn get(&self, s: usize, t: usize) -> Option<(&Mat, bool)> {
-        let key = (s.min(t), s.max(t));
-        self.index.get(&key).map(|&i| (&self.blocks[i], s > t))
+        match self.layout {
+            StoreLayout::Symmetric => {
+                let key = (s.min(t), s.max(t));
+                self.index.get(&key).map(|&i| (&self.blocks[i], s > t))
+            }
+            StoreLayout::Ordered => self.index.get(&(s, t)).map(|&i| (&self.blocks[i], false)),
+        }
+    }
+
+    /// Look up the block of `K` (`transpose == false`) or of `Kᵀ`
+    /// (`transpose == true`) at the ordered position `(s, t)` —
+    /// `Kᵀ(I_s, I_t) = K(I_t, I_s)ᵀ`. This is the one lookup the
+    /// side-generic matvec and BSR subtraction need.
+    ///
+    /// A symmetric store represents a symmetric matrix, so `Kᵀ = K` and the
+    /// flag is ignored — transpose products read *identical* blocks with
+    /// identical orientations and are therefore bitwise equal to forward
+    /// products, not merely equal up to roundoff.
+    pub fn get_op(&self, s: usize, t: usize, transpose: bool) -> Option<(&Mat, bool)> {
+        match self.layout {
+            StoreLayout::Symmetric => self.get(s, t),
+            StoreLayout::Ordered => {
+                if transpose {
+                    self.get(t, s).map(|(m, tr)| (m, !tr))
+                } else {
+                    self.get(s, t)
+                }
+            }
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -58,30 +149,53 @@ impl BlockStore {
         self.blocks.is_empty()
     }
 
-    /// Heap bytes of all blocks.
+    /// Heap bytes of all blocks (identical accounting in both layouts).
     pub fn memory_bytes(&self) -> usize {
         self.blocks.iter().map(|b| b.memory_bytes()).sum()
     }
 }
 
-/// A symmetric H2 matrix over a cluster tree and block partition.
+/// One side of the nested-basis pair: per-node bases/transfers plus
+/// skeleton index lists.
+#[derive(Default)]
+pub struct BasisSide {
+    /// Per node id: leaf basis (`m x k`) or stacked transfer
+    /// `[E_{ν1}; E_{ν2}]` (`(k1+k2) x k`). Empty (0x0) above the top
+    /// admissible level.
+    pub basis: Vec<Mat>,
+    /// Per node id: skeleton (global permuted) indices, length = rank.
+    pub skel: Vec<Vec<usize>>,
+}
+
+impl BasisSide {
+    fn empty(nnodes: usize) -> Self {
+        BasisSide {
+            basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
+            skel: vec![Vec::new(); nnodes],
+        }
+    }
+}
+
+/// An H2 matrix over a cluster tree and block partition, symmetric or
+/// unsymmetric (see the module docs for the side layout).
 pub struct H2Matrix {
     pub tree: Arc<ClusterTree>,
     pub partition: Arc<Partition>,
-    /// Per node id: leaf basis `U_τ` (`m x k`) or stacked transfer
-    /// `[E_{ν1}; E_{ν2}]` (`(k1+k2) x k`). Empty (0x0) for nodes above the
-    /// top admissible level, which need no basis.
+    /// Row-side basis `U_τ` (leaf) or stacked row transfers (inner).
     pub basis: Vec<Mat>,
-    /// Per node id: skeleton (global permuted) indices `Ĩ_τ`, length = rank.
+    /// Row skeleton indices `Ĩ^r_τ` (global permuted), length = row rank.
     pub skel: Vec<Vec<usize>>,
-    /// Coupling blocks `B_{s,t}` keyed by unordered admissible pairs.
+    /// Column side `V` / `Ĩ^c`. `None` means symmetric: the column side
+    /// aliases the row side.
+    pub col: Option<BasisSide>,
+    /// Coupling blocks `B_{s,t} = K(Ĩ^r_s, Ĩ^c_t)` for admissible pairs.
     pub coupling: BlockStore,
-    /// Dense leaf blocks `D_{s,t}` keyed by unordered inadmissible leaf pairs.
+    /// Dense leaf blocks `D_{s,t} = K(I_s, I_t)` for inadmissible pairs.
     pub dense: BlockStore,
 }
 
 impl H2Matrix {
-    /// An empty shell ready to be populated by a constructor.
+    /// An empty *symmetric* shell ready to be populated by a constructor.
     pub fn new_shell(tree: Arc<ClusterTree>, partition: Arc<Partition>) -> Self {
         let nnodes = tree.nodes.len();
         H2Matrix {
@@ -89,8 +203,24 @@ impl H2Matrix {
             partition,
             basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
             skel: vec![Vec::new(); nnodes],
-            coupling: BlockStore::new(),
-            dense: BlockStore::new(),
+            col: None,
+            coupling: BlockStore::symmetric(),
+            dense: BlockStore::symmetric(),
+        }
+    }
+
+    /// An empty *unsymmetric* shell: independent column side, ordered block
+    /// stores.
+    pub fn new_shell_unsym(tree: Arc<ClusterTree>, partition: Arc<Partition>) -> Self {
+        let nnodes = tree.nodes.len();
+        H2Matrix {
+            tree,
+            partition,
+            basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
+            skel: vec![Vec::new(); nnodes],
+            col: Some(BasisSide::empty(nnodes)),
+            coupling: BlockStore::ordered(),
+            dense: BlockStore::ordered(),
         }
     }
 
@@ -98,49 +228,110 @@ impl H2Matrix {
         self.tree.npoints()
     }
 
-    /// Rank of node `τ` (0 when it has no basis).
+    /// Whether the column side aliases the row side.
+    pub fn is_symmetric(&self) -> bool {
+        self.col.is_none()
+    }
+
+    /// Column-side bases (the row side itself when symmetric).
+    pub fn col_basis(&self) -> &[Mat] {
+        match &self.col {
+            Some(c) => &c.basis,
+            None => &self.basis,
+        }
+    }
+
+    /// Column-side skeletons (the row side itself when symmetric).
+    pub fn col_skel(&self) -> &[Vec<usize>] {
+        match &self.col {
+            Some(c) => &c.skel,
+            None => &self.skel,
+        }
+    }
+
+    /// Row rank of node `τ` (0 when it has no basis). For symmetric
+    /// matrices this is *the* rank.
     pub fn rank(&self, node: usize) -> usize {
         self.basis[node].cols()
     }
 
-    /// Whether node `τ` carries a basis.
+    /// Row rank of node `τ` (alias of [`H2Matrix::rank`]).
+    pub fn row_rank(&self, node: usize) -> usize {
+        self.rank(node)
+    }
+
+    /// Column rank of node `τ`.
+    pub fn col_rank(&self, node: usize) -> usize {
+        self.col_basis()[node].cols()
+    }
+
+    /// Whether node `τ` carries a row basis.
     pub fn has_basis(&self, node: usize) -> bool {
         self.rank(node) > 0
     }
 
     /// Total heap bytes of the representation (the paper's Fig. 6 metric).
+    /// Bases, skeletons and block stores of every *stored* side are counted
+    /// once — the aliased symmetric column side costs nothing, consistently
+    /// with the shared [`BlockStore::memory_bytes`] accounting.
     pub fn memory_bytes(&self) -> usize {
-        let basis: usize = self.basis.iter().map(|b| b.memory_bytes()).sum();
-        let skel: usize =
-            self.skel.iter().map(|s| s.len() * std::mem::size_of::<usize>()).sum();
-        basis + skel + self.coupling.memory_bytes() + self.dense.memory_bytes()
+        let usize_bytes = std::mem::size_of::<usize>();
+        let mut total: usize = self.basis.iter().map(|b| b.memory_bytes()).sum();
+        total += self
+            .skel
+            .iter()
+            .map(|s| s.len() * usize_bytes)
+            .sum::<usize>();
+        if let Some(c) = &self.col {
+            total += c.basis.iter().map(|b| b.memory_bytes()).sum::<usize>();
+            total += c.skel.iter().map(|s| s.len() * usize_bytes).sum::<usize>();
+        }
+        total + self.coupling.memory_bytes() + self.dense.memory_bytes()
     }
 
     /// Memory broken down by component, in bytes.
     pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        let mut basis: usize = self.basis.iter().map(|b| b.memory_bytes()).sum();
+        if let Some(c) = &self.col {
+            basis += c.basis.iter().map(|b| b.memory_bytes()).sum::<usize>();
+        }
         MemoryBreakdown {
-            basis: self.basis.iter().map(|b| b.memory_bytes()).sum(),
+            basis,
             coupling: self.coupling.memory_bytes(),
             dense: self.dense.memory_bytes(),
         }
     }
 
-    /// `(min, max)` rank over all nodes with a basis (Table II "Rank range").
+    /// `(min, max)` rank over all nodes with a basis, across both sides
+    /// (Table II "Rank range").
     pub fn rank_range(&self) -> (usize, usize) {
-        let ranks: Vec<usize> =
-            (0..self.basis.len()).map(|i| self.rank(i)).filter(|&r| r > 0).collect();
+        let mut ranks: Vec<usize> = (0..self.basis.len())
+            .map(|i| self.rank(i))
+            .filter(|&r| r > 0)
+            .collect();
+        if let Some(c) = &self.col {
+            ranks.extend(
+                (0..c.basis.len())
+                    .map(|i| c.basis[i].cols())
+                    .filter(|&r| r > 0),
+            );
+        }
         match (ranks.iter().min(), ranks.iter().max()) {
             (Some(&a), Some(&b)) => (a, b),
             _ => (0, 0),
         }
     }
 
-    /// Per-level `(min, max, mean)` rank statistics.
+    /// Per-level `(min, max, mean)` row-rank statistics.
     pub fn rank_stats_per_level(&self) -> Vec<(usize, usize, f64)> {
         (0..self.tree.nlevels())
             .map(|l| {
-                let ranks: Vec<usize> =
-                    self.tree.level(l).map(|id| self.rank(id)).filter(|&r| r > 0).collect();
+                let ranks: Vec<usize> = self
+                    .tree
+                    .level(l)
+                    .map(|id| self.rank(id))
+                    .filter(|&r| r > 0)
+                    .collect();
                 if ranks.is_empty() {
                     (0, 0, 0.0)
                 } else {
@@ -154,53 +345,67 @@ impl H2Matrix {
     }
 
     /// Structural sanity checks: basis shapes consistent with tree and
-    /// children ranks, skeleton indices inside cluster ranges, block shapes
-    /// consistent with ranks / cluster sizes, all partition blocks present.
+    /// children ranks on every stored side, skeleton indices inside cluster
+    /// ranges, block shapes consistent with side ranks / cluster sizes, all
+    /// partition blocks present under the store's keying discipline.
     pub fn validate(&self) -> Result<(), String> {
         let tree = &self.tree;
         let leaf_level = tree.leaf_level();
-        for (id, c) in tree.nodes.iter().enumerate() {
-            let k = self.rank(id);
-            if k == 0 {
-                continue;
-            }
-            let b = &self.basis[id];
-            if tree.level_of(id) == leaf_level {
-                if b.rows() != c.len() {
-                    return Err(format!("leaf {id}: basis rows {} != cluster size {}", b.rows(), c.len()));
+        let mut sides: Vec<(&str, &[Mat], &[Vec<usize>])> = vec![("row", &self.basis, &self.skel)];
+        if let Some(c) = &self.col {
+            sides.push(("col", &c.basis, &c.skel));
+        }
+        for (name, basis, skel) in sides {
+            for (id, c) in tree.nodes.iter().enumerate() {
+                let k = basis[id].cols();
+                if k == 0 {
+                    continue;
                 }
-            } else {
-                let (c1, c2) = c.children.unwrap();
-                let want = self.rank(c1) + self.rank(c2);
-                if b.rows() != want {
-                    return Err(format!(
-                        "inner {id}: transfer rows {} != child ranks {want}",
-                        b.rows()
-                    ));
+                let b = &basis[id];
+                if tree.level_of(id) == leaf_level {
+                    if b.rows() != c.len() {
+                        return Err(format!(
+                            "{name} leaf {id}: basis rows {} != cluster size {}",
+                            b.rows(),
+                            c.len()
+                        ));
+                    }
+                } else {
+                    let (c1, c2) = c.children.unwrap();
+                    let want = basis[c1].cols() + basis[c2].cols();
+                    if b.rows() != want {
+                        return Err(format!(
+                            "{name} inner {id}: transfer rows {} != child ranks {want}",
+                            b.rows()
+                        ));
+                    }
                 }
-            }
-            if self.skel[id].len() != k {
-                return Err(format!("node {id}: skeleton len != rank"));
-            }
-            for &i in &self.skel[id] {
-                if i < c.begin || i >= c.end {
-                    return Err(format!("node {id}: skeleton index {i} outside cluster"));
+                if skel[id].len() != k {
+                    return Err(format!("{name} node {id}: skeleton len != rank"));
+                }
+                for &i in &skel[id] {
+                    if i < c.begin || i >= c.end {
+                        return Err(format!(
+                            "{name} node {id}: skeleton index {i} outside cluster"
+                        ));
+                    }
                 }
             }
         }
+        let symmetric = self.is_symmetric();
         // Every admissible pair has a coupling block of matching shape.
         for (s, list) in self.partition.far_of.iter().enumerate() {
-            for &t in list.iter().filter(|&&t| s <= t) {
+            for &t in list.iter().filter(|&&t| !symmetric || s <= t) {
                 match self.coupling.get(s, t) {
                     None => return Err(format!("missing coupling block ({s},{t})")),
                     Some((b, _)) => {
-                        if b.rows() != self.rank(s) || b.cols() != self.rank(t) {
+                        if b.rows() != self.row_rank(s) || b.cols() != self.col_rank(t) {
                             return Err(format!(
-                                "coupling ({s},{t}) shape {}x{} != ranks {}x{}",
+                                "coupling ({s},{t}) shape {}x{} != row/col ranks {}x{}",
                                 b.rows(),
                                 b.cols(),
-                                self.rank(s),
-                                self.rank(t)
+                                self.row_rank(s),
+                                self.col_rank(t)
                             ));
                         }
                     }
@@ -209,7 +414,7 @@ impl H2Matrix {
         }
         // Every near pair has a dense block of matching shape.
         for (s, list) in self.partition.near_of.iter().enumerate() {
-            for &t in list.iter().filter(|&&t| s <= t) {
+            for &t in list.iter().filter(|&&t| !symmetric || s <= t) {
                 match self.dense.get(s, t) {
                     None => return Err(format!("missing dense block ({s},{t})")),
                     Some((b, _)) => {
@@ -263,10 +468,60 @@ mod tests {
     }
 
     #[test]
-    fn memory_accounting() {
-        let mut s = BlockStore::new();
-        s.insert(0, 1, Mat::zeros(10, 10));
-        s.insert(1, 2, Mat::zeros(5, 4));
-        assert_eq!(s.memory_bytes(), (100 + 20) * 8);
+    fn ordered_store_roundtrip() {
+        let mut s = BlockStore::ordered();
+        s.insert(2, 5, Mat::from_rows(&[&[1.0, 2.0]]));
+        s.insert(5, 2, Mat::from_rows(&[&[3.0], &[4.0]]));
+        assert_eq!(s.get(2, 5).unwrap().0[(0, 1)], 2.0);
+        assert!(
+            !s.get(2, 5).unwrap().1,
+            "ordered lookups are never transposed"
+        );
+        assert_eq!(s.get(5, 2).unwrap().0[(1, 0)], 4.0);
+        assert!(s.get(2, 2).is_none());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.memory_bytes(), 4 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn ordered_store_rejects_duplicates() {
+        let mut s = BlockStore::ordered();
+        s.insert(1, 2, Mat::zeros(1, 1));
+        s.insert(1, 2, Mat::zeros(1, 1));
+    }
+
+    #[test]
+    fn get_op_is_transpose_consistent_across_layouts() {
+        // Symmetric store: K(5,2) = K(2,5)^T read through the flag.
+        let mut sym = BlockStore::symmetric();
+        sym.insert(2, 5, Mat::from_rows(&[&[1.0, 2.0]]));
+        let (m, tr) = sym.get_op(2, 5, false).unwrap();
+        assert!(!tr);
+        assert_eq!(m[(0, 1)], 2.0);
+        // Kᵀ at (2,5) = K(5,2)ᵀ = (K(2,5)ᵀ)ᵀ = K(2,5) for the stored block.
+        let (m, tr) = sym.get_op(2, 5, true).unwrap();
+        assert!(!tr);
+        assert_eq!(m[(0, 1)], 2.0);
+
+        // Ordered store: Kᵀ at (2,5) reads the (5,2) block transposed.
+        let mut ord = BlockStore::ordered();
+        ord.insert(2, 5, Mat::from_rows(&[&[1.0, 2.0]]));
+        ord.insert(5, 2, Mat::from_rows(&[&[3.0], &[4.0]]));
+        let (m, tr) = ord.get_op(2, 5, true).unwrap();
+        assert!(tr);
+        assert_eq!(m[(1, 0)], 4.0);
+    }
+
+    #[test]
+    fn memory_accounting_consistent_across_layouts() {
+        let mut sym = BlockStore::new();
+        sym.insert(0, 1, Mat::zeros(10, 10));
+        sym.insert(1, 2, Mat::zeros(5, 4));
+        assert_eq!(sym.memory_bytes(), (100 + 20) * 8);
+        let mut ord = BlockStore::ordered();
+        ord.insert(0, 1, Mat::zeros(10, 10));
+        ord.insert(1, 2, Mat::zeros(5, 4));
+        assert_eq!(ord.memory_bytes(), sym.memory_bytes());
     }
 }

@@ -7,18 +7,21 @@
 //! partition, so a loaded matrix is fully self-contained — written with
 //! `std::io` only (no serialization-framework dependency).
 //!
-//! Format: magic `b"H2SK"`, a format version, then length-prefixed
-//! sections (points, permutations, tree nodes, partition lists, bases,
-//! skeletons, block stores). All integers are `u64` little-endian; floats
-//! are `f64` bit patterns.
+//! Format: magic `b"H2SK"` (symmetric) or `b"H2SU"` (unsymmetric), a format
+//! version, then length-prefixed sections (points, permutations, tree
+//! nodes, partition lists, bases, skeletons, block stores; the unsymmetric
+//! magic adds the column-side basis/skeleton sections). All integers are
+//! `u64` little-endian; floats are `f64` bit patterns. One reader accepts
+//! both magics and reconstructs the matching [`H2Matrix`] side layout.
 
-use crate::format::{BlockStore, H2Matrix};
+use crate::format::{BasisSide, BlockStore, H2Matrix, StoreLayout};
 use h2_dense::Mat;
 use h2_tree::{Admissibility, BBox, Cluster, ClusterTree, Partition};
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-const MAGIC: &[u8; 4] = b"H2SK";
+const MAGIC_SYM: &[u8; 4] = b"H2SK";
+const MAGIC_UNSYM: &[u8; 4] = b"H2SU";
 const VERSION: u64 = 1;
 
 // ------------------------------------------------------------ primitives
@@ -98,16 +101,65 @@ fn write_block_store(w: &mut impl Write, s: &BlockStore) -> io::Result<()> {
     Ok(())
 }
 
-fn read_block_store(r: &mut impl Read) -> io::Result<BlockStore> {
+fn read_block_store(r: &mut impl Read, layout: StoreLayout) -> io::Result<BlockStore> {
     let n = read_usize(r)?;
-    let mut s = BlockStore::new();
+    let mut s = match layout {
+        StoreLayout::Symmetric => BlockStore::symmetric(),
+        StoreLayout::Ordered => BlockStore::ordered(),
+    };
     for _ in 0..n {
         let a = read_usize(r)?;
         let b = read_usize(r)?;
+        if layout == StoreLayout::Symmetric && a > b {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unordered symmetric pair",
+            ));
+        }
+        if s.get(a, b).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("duplicate block pair ({a},{b})"),
+            ));
+        }
         let m = read_mat(r)?;
         s.insert(a, b, m);
     }
     Ok(s)
+}
+
+fn write_basis_section(w: &mut impl Write, basis: &[Mat]) -> io::Result<()> {
+    write_usize(w, basis.len())?;
+    for b in basis {
+        write_mat(w, b)?;
+    }
+    Ok(())
+}
+
+fn read_basis_section(r: &mut impl Read) -> io::Result<Vec<Mat>> {
+    let nb = read_usize(r)?;
+    let mut basis = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        basis.push(read_mat(r)?);
+    }
+    Ok(basis)
+}
+
+fn write_skel_section(w: &mut impl Write, skels: &[Vec<usize>]) -> io::Result<()> {
+    write_usize(w, skels.len())?;
+    for s in skels {
+        write_usize_slice(w, s)?;
+    }
+    Ok(())
+}
+
+fn read_skel_section(r: &mut impl Read) -> io::Result<Vec<Vec<usize>>> {
+    let ns = read_usize(r)?;
+    let mut skel = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        skel.push(read_usize_vec(r)?);
+    }
+    Ok(skel)
 }
 
 // ------------------------------------------------------------- tree bits
@@ -182,11 +234,28 @@ fn read_tree(r: &mut impl Read) -> io::Result<ClusterTree> {
         } else {
             None
         };
-        let parent = if read_u64(r)? == 1 { Some(read_usize(r)?) } else { None };
-        nodes.push(Cluster { begin, end, bbox: BBox { min, max }, children, parent });
+        let parent = if read_u64(r)? == 1 {
+            Some(read_usize(r)?)
+        } else {
+            None
+        };
+        nodes.push(Cluster {
+            begin,
+            end,
+            bbox: BBox { min, max },
+            children,
+            parent,
+        });
     }
-    let tree = ClusterTree { points, perm, iperm, nodes, level_ptr };
-    tree.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let tree = ClusterTree {
+        points,
+        perm,
+        iperm,
+        nodes,
+        level_ptr,
+    };
+    tree.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     Ok(tree)
 }
 
@@ -212,7 +281,12 @@ fn read_partition(r: &mut impl Read) -> io::Result<Partition> {
     let rule = match read_u64(r)? {
         0 => Admissibility::Strong { eta: read_f64(r)? },
         1 => Admissibility::Weak,
-        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad admissibility tag")),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad admissibility tag",
+            ))
+        }
     };
     let nlevels = read_usize(r)?;
     let mut lists: Vec<Vec<Vec<usize>>> = Vec::with_capacity(3);
@@ -227,39 +301,58 @@ fn read_partition(r: &mut impl Read) -> io::Result<Partition> {
     let inadm_of = lists.pop().unwrap();
     let near_of = lists.pop().unwrap();
     let far_of = lists.pop().unwrap();
-    Ok(Partition { rule, far_of, near_of, inadm_of, nlevels })
+    Ok(Partition {
+        rule,
+        far_of,
+        near_of,
+        inadm_of,
+        nlevels,
+    })
 }
 
 // --------------------------------------------------------------- matrix
 
 impl H2Matrix {
     /// Serialize the matrix (including its tree and partition) to a writer.
+    /// Symmetric matrices use the `H2SK` frame, unsymmetric ones `H2SU`
+    /// with the extra column-side sections.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(MAGIC)?;
+        w.write_all(if self.is_symmetric() {
+            MAGIC_SYM
+        } else {
+            MAGIC_UNSYM
+        })?;
         write_u64(w, VERSION)?;
         write_tree(w, &self.tree)?;
         write_partition(w, &self.partition)?;
-        write_usize(w, self.basis.len())?;
-        for b in &self.basis {
-            write_mat(w, b)?;
+        write_basis_section(w, &self.basis)?;
+        if let Some(c) = &self.col {
+            write_basis_section(w, &c.basis)?;
         }
-        write_usize(w, self.skel.len())?;
-        for s in &self.skel {
-            write_usize_slice(w, s)?;
+        write_skel_section(w, &self.skel)?;
+        if let Some(c) = &self.col {
+            write_skel_section(w, &c.skel)?;
         }
         write_block_store(w, &self.coupling)?;
         write_block_store(w, &self.dense)?;
         Ok(())
     }
 
-    /// Deserialize a matrix written by [`H2Matrix::write_to`]. The result is
-    /// structurally validated before being returned.
+    /// Deserialize a matrix written by [`H2Matrix::write_to`] — either side
+    /// layout. The result is structurally validated before being returned.
     pub fn read_from(r: &mut impl Read) -> io::Result<H2Matrix> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an h2sketch file"));
-        }
+        let symmetric = match &magic {
+            m if m == MAGIC_SYM => true,
+            m if m == MAGIC_UNSYM => false,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not an h2sketch file",
+                ))
+            }
+        };
         let version = read_u64(r)?;
         if version != VERSION {
             return Err(io::Error::new(
@@ -269,155 +362,53 @@ impl H2Matrix {
         }
         let tree = Arc::new(read_tree(r)?);
         let partition = Arc::new(read_partition(r)?);
-        let nb = read_usize(r)?;
-        let mut basis = Vec::with_capacity(nb);
-        for _ in 0..nb {
-            basis.push(read_mat(r)?);
-        }
-        let ns = read_usize(r)?;
-        let mut skel = Vec::with_capacity(ns);
-        for _ in 0..ns {
-            skel.push(read_usize_vec(r)?);
-        }
-        let coupling = read_block_store(r)?;
-        let dense = read_block_store(r)?;
-        let h2 = H2Matrix { tree, partition, basis, skel, coupling, dense };
-        h2.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let basis = read_basis_section(r)?;
+        let col_basis = if symmetric {
+            None
+        } else {
+            Some(read_basis_section(r)?)
+        };
+        let skel = read_skel_section(r)?;
+        let col_skel = if symmetric {
+            None
+        } else {
+            Some(read_skel_section(r)?)
+        };
+        let layout = if symmetric {
+            StoreLayout::Symmetric
+        } else {
+            StoreLayout::Ordered
+        };
+        let coupling = read_block_store(r, layout)?;
+        let dense = read_block_store(r, layout)?;
+        let col = match (col_basis, col_skel) {
+            (Some(basis), Some(skel)) => Some(BasisSide { basis, skel }),
+            _ => None,
+        };
+        let h2 = H2Matrix {
+            tree,
+            partition,
+            basis,
+            skel,
+            col,
+            coupling,
+            dense,
+        };
+        h2.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Ok(h2)
     }
 
     /// Serialize into an in-memory buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
-        self.write_to(&mut buf).expect("in-memory write cannot fail");
+        self.write_to(&mut buf)
+            .expect("in-memory write cannot fail");
         buf
     }
 
     /// Deserialize from an in-memory buffer.
     pub fn from_bytes(bytes: &[u8]) -> io::Result<H2Matrix> {
-        let mut cursor = bytes;
-        Self::read_from(&mut cursor)
-    }
-}
-
-// ------------------------------------------------------ unsym matrix
-
-const MAGIC_UNSYM: &[u8; 4] = b"H2SU";
-
-fn write_ordered_store(
-    w: &mut impl Write,
-    s: &crate::unsym::OrderedBlockStore,
-) -> io::Result<()> {
-    write_usize(w, s.pairs.len())?;
-    for (i, &(a, b)) in s.pairs.iter().enumerate() {
-        write_usize(w, a)?;
-        write_usize(w, b)?;
-        write_mat(w, &s.blocks[i])?;
-    }
-    Ok(())
-}
-
-fn read_ordered_store(r: &mut impl Read) -> io::Result<crate::unsym::OrderedBlockStore> {
-    let n = read_usize(r)?;
-    let mut s = crate::unsym::OrderedBlockStore::new();
-    for _ in 0..n {
-        let a = read_usize(r)?;
-        let b = read_usize(r)?;
-        let m = read_mat(r)?;
-        s.insert(a, b, m);
-    }
-    Ok(s)
-}
-
-impl crate::unsym::H2MatrixUnsym {
-    /// Serialize the unsymmetric matrix (including tree and partition).
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(MAGIC_UNSYM)?;
-        write_u64(w, VERSION)?;
-        write_tree(w, &self.tree)?;
-        write_partition(w, &self.partition)?;
-        for basis in [&self.row_basis, &self.col_basis] {
-            write_usize(w, basis.len())?;
-            for b in basis {
-                write_mat(w, b)?;
-            }
-        }
-        for skels in [&self.row_skel, &self.col_skel] {
-            write_usize(w, skels.len())?;
-            for s in skels {
-                write_usize_slice(w, s)?;
-            }
-        }
-        write_ordered_store(w, &self.coupling)?;
-        write_ordered_store(w, &self.dense)?;
-        Ok(())
-    }
-
-    /// Deserialize a matrix written by
-    /// [`write_to`](crate::unsym::H2MatrixUnsym::write_to); validated before
-    /// being returned.
-    pub fn read_from(r: &mut impl Read) -> io::Result<crate::unsym::H2MatrixUnsym> {
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC_UNSYM {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an unsym h2sketch file"));
-        }
-        let version = read_u64(r)?;
-        if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported format version {version}"),
-            ));
-        }
-        let tree = Arc::new(read_tree(r)?);
-        let partition = Arc::new(read_partition(r)?);
-        let mut bases = Vec::with_capacity(2);
-        for _ in 0..2 {
-            let nb = read_usize(r)?;
-            let mut basis = Vec::with_capacity(nb);
-            for _ in 0..nb {
-                basis.push(read_mat(r)?);
-            }
-            bases.push(basis);
-        }
-        let col_basis = bases.pop().unwrap();
-        let row_basis = bases.pop().unwrap();
-        let mut skels = Vec::with_capacity(2);
-        for _ in 0..2 {
-            let ns = read_usize(r)?;
-            let mut sk = Vec::with_capacity(ns);
-            for _ in 0..ns {
-                sk.push(read_usize_vec(r)?);
-            }
-            skels.push(sk);
-        }
-        let col_skel = skels.pop().unwrap();
-        let row_skel = skels.pop().unwrap();
-        let coupling = read_ordered_store(r)?;
-        let dense = read_ordered_store(r)?;
-        let h2 = crate::unsym::H2MatrixUnsym {
-            tree,
-            partition,
-            row_basis,
-            col_basis,
-            row_skel,
-            col_skel,
-            coupling,
-            dense,
-        };
-        h2.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        Ok(h2)
-    }
-
-    /// Serialize into an in-memory buffer.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
-        self.write_to(&mut buf).expect("in-memory write cannot fail");
-        buf
-    }
-
-    /// Deserialize from an in-memory buffer.
-    pub fn from_bytes(bytes: &[u8]) -> io::Result<crate::unsym::H2MatrixUnsym> {
         let mut cursor = bytes;
         Self::read_from(&mut cursor)
     }
@@ -443,6 +434,7 @@ mod tests {
         let bytes = h2.to_bytes();
         let back = H2Matrix::from_bytes(&bytes).unwrap();
         back.validate().unwrap();
+        assert!(back.is_symmetric());
         // Bitwise-identical representation: dense materializations agree
         // exactly, as do memory accounting and rank structure.
         let mut d = h2.to_dense();
@@ -499,7 +491,12 @@ mod tests {
         let tree = Arc::new(ClusterTree::build(&pts, 32));
         let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
         let km = KernelMatrix::new(ExponentialKernel { l: 2.0 }, tree.points.clone());
-        let cfg = DirectConfig { tol: 1e-8, n_proxy: 200, max_rank: 128, seed: 9 };
+        let cfg = DirectConfig {
+            tol: 1e-8,
+            n_proxy: 200,
+            max_rank: 128,
+            seed: 9,
+        };
         let h2 = direct_construct(&km, tree, part, &cfg);
         let back = H2Matrix::from_bytes(&h2.to_bytes()).unwrap();
         assert!(matches!(back.partition.rule, Admissibility::Weak));

@@ -1,11 +1,17 @@
 //! # h2-matrix
 //!
-//! The H2 matrix format and its operations:
+//! The side-generic H2 matrix format and its operations:
 //!
-//! * [`H2Matrix`] — nested bases (leaf `U`, stacked transfers `E`),
-//!   symmetric coupling/dense block stores, memory and rank statistics,
-//! * O(N) [matvec](H2Matrix::apply_permuted) (the fast black-box sampler of
-//!   the experiments),
+//! * [`H2Matrix`] — nested bases (leaf `U`, stacked transfers `E`) on a
+//!   *row* side plus an optional independent *column* side `V` (absent for
+//!   symmetric matrices, where `V_t = U_t` aliases the row side), one
+//!   [`BlockStore`] type for coupling/dense blocks in both the
+//!   unordered-symmetric and ordered-unsymmetric keying disciplines, and
+//!   shared memory/rank statistics,
+//! * O(N) [matvec](H2Matrix::apply_permuted) and
+//!   [transpose matvec](H2Matrix::apply_transpose_permuted) through one
+//!   side-swapping implementation (the fast black-box samplers `K·Ω` and
+//!   `Kᵀ·Ψ` of the two sketch streams),
 //! * [entry/sub-block extraction](H2Matrix::extract_block) from the
 //!   compressed representation (the `batchedGen` input of the low-rank
 //!   update experiment),
@@ -13,6 +19,9 @@
 //!   for H2Opus's entry-based construction (bootstraps reference operators),
 //! * [`LowRankUpdate`] — `A + P Qᵀ` operators for the recompression
 //!   experiment.
+//!
+//! [`H2MatrixUnsym`] survives as a type alias: the unsymmetric matrix *is*
+//! an [`H2Matrix`] whose column side is stored.
 
 pub mod direct;
 pub mod entry;
@@ -21,12 +30,14 @@ pub mod io;
 pub mod lowrank;
 pub mod matvec;
 pub mod orthog;
-pub mod unsym;
 
 pub use direct::{direct_construct, fill_blocks, DirectConfig};
-pub use format::{BlockStore, H2Matrix, MemoryBreakdown};
+pub use format::{BasisSide, BlockStore, H2Matrix, MemoryBreakdown, StoreLayout};
 pub use lowrank::{LinOpEntry, LowRankUpdate};
-pub use unsym::{H2MatrixUnsym, OrderedBlockStore};
+
+/// An unsymmetric H2 matrix: the unified [`H2Matrix`] with its column side
+/// stored (`col.is_some()`) and ordered block stores.
+pub type H2MatrixUnsym = H2Matrix;
 
 #[cfg(test)]
 mod tests {
@@ -41,7 +52,11 @@ mod tests {
         leaf: usize,
         eta: f64,
         seed: u64,
-    ) -> (Arc<ClusterTree>, Arc<Partition>, KernelMatrix<ExponentialKernel>) {
+    ) -> (
+        Arc<ClusterTree>,
+        Arc<Partition>,
+        KernelMatrix<ExponentialKernel>,
+    ) {
         let pts = h2_tree::uniform_cube(n, seed);
         let tree = Arc::new(ClusterTree::build(&pts, leaf));
         let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta }));
@@ -52,7 +67,11 @@ mod tests {
     #[test]
     fn direct_construction_approximates_kernel() {
         let (tree, part, km) = setup(600, 32, 0.7, 80);
-        let cfg = DirectConfig { tol: 1e-8, n_proxy: 120, ..Default::default() };
+        let cfg = DirectConfig {
+            tol: 1e-8,
+            n_proxy: 120,
+            ..Default::default()
+        };
         let h2 = direct_construct(&km, tree.clone(), part, &cfg);
         h2.validate().unwrap();
         let dense = Mat::from_fn(600, 600, |i, j| km.entry(i, j));
@@ -70,12 +89,21 @@ mod tests {
         let x = h2_dense::gaussian_mat(500, 3, 82);
         let y_fast = h2.apply_permuted_mat(&x);
         let dense_h2 = h2.to_dense();
-        let y_slow = h2_dense::matmul(h2_dense::Op::NoTrans, h2_dense::Op::NoTrans, dense_h2.rf(), x.rf());
+        let y_slow = h2_dense::matmul(
+            h2_dense::Op::NoTrans,
+            h2_dense::Op::NoTrans,
+            dense_h2.rf(),
+            x.rf(),
+        );
         let mut d = y_fast;
         d.axpy(-1.0, &y_slow);
         // matvec and extraction must agree to machine precision: they read
         // the same representation.
-        assert!(d.norm_max() < 1e-10 * dense_h2.norm_max().max(1.0), "{}", d.norm_max());
+        assert!(
+            d.norm_max() < 1e-10 * dense_h2.norm_max().max(1.0),
+            "{}",
+            d.norm_max()
+        );
         // and the representation approximates the kernel
         let e = relative_error_2(&km, &h2, 20, 83);
         assert!(e < 1e-6, "rel err {e}");
@@ -103,7 +131,11 @@ mod tests {
         let (b, e) = tree.range(first_leaf);
         for i in b..(b + 3).min(e) {
             for j in b..(b + 3).min(e) {
-                assert_eq!(h2.entry(i, j), km.entry(i, j), "diagonal block entries are exact");
+                assert_eq!(
+                    h2.entry(i, j),
+                    km.entry(i, j),
+                    "diagonal block entries are exact"
+                );
             }
         }
     }
@@ -125,7 +157,10 @@ mod tests {
             for j in tb..tb + 3 {
                 let got = h2.entry(i, j);
                 let want = km.entry(i, j);
-                assert!((got - want).abs() < 1e-6, "entry ({i},{j}): {got} vs {want}");
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "entry ({i},{j}): {got} vs {want}"
+                );
             }
         }
     }
@@ -138,7 +173,12 @@ mod tests {
         let tree = Arc::new(ClusterTree::build(&pts, 32));
         let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
         let km = KernelMatrix::new(ExponentialKernel { l: 2.0 }, tree.points.clone());
-        let cfg = DirectConfig { tol: 1e-10, n_proxy: 250, max_rank: 128, seed: 7 };
+        let cfg = DirectConfig {
+            tol: 1e-10,
+            n_proxy: 250,
+            max_rank: 128,
+            seed: 7,
+        };
         let h2 = direct_construct(&km, tree.clone(), part, &cfg);
         h2.validate().unwrap();
         let e = relative_error_2(&km, &h2, 20, 89);
@@ -179,7 +219,15 @@ mod tests {
         // reference: h2*x + p p^T x
         let mut want = h2.apply_permuted_mat(&x);
         let ptx = h2_dense::matmul(h2_dense::Op::Trans, h2_dense::Op::NoTrans, p.rf(), x.rf());
-        h2_dense::gemm(h2_dense::Op::NoTrans, h2_dense::Op::NoTrans, 1.0, p.rf(), ptx.rf(), 1.0, want.rm());
+        h2_dense::gemm(
+            h2_dense::Op::NoTrans,
+            h2_dense::Op::NoTrans,
+            1.0,
+            p.rf(),
+            ptx.rf(),
+            1.0,
+            want.rm(),
+        );
         let mut d = y;
         d.axpy(-1.0, &want);
         assert!(d.norm_max() < 1e-11);
@@ -194,8 +242,14 @@ mod tests {
 
     #[test]
     fn rank_range_reported() {
-        let (tree, part, km) = setup(800, 32, 0.7, 94);
+        // Leaf size 16 keeps the tree deep enough that the eta = 0.7
+        // partition has admissible pairs (leaf 32 at this N is all-dense).
+        let (tree, part, km) = setup(800, 16, 0.7, 94);
         let h2 = direct_construct(&km, tree, part, &DirectConfig::default());
+        assert!(
+            h2.partition.top_far_level(&h2.tree).is_some(),
+            "test geometry must have admissible pairs"
+        );
         let (lo, hi) = h2.rank_range();
         assert!(lo > 0 && hi >= lo && hi <= 256, "rank range ({lo},{hi})");
         let per_level = h2.rank_stats_per_level();
@@ -223,13 +277,20 @@ mod rank_zero_tests {
             tree.points.clone(),
         );
         // A very loose tolerance forces far-field blocks to vanish -> rank 0.
-        let cfg = DirectConfig { tol: 0.5, n_proxy: 64, ..Default::default() };
+        let cfg = DirectConfig {
+            tol: 0.5,
+            n_proxy: 64,
+            ..Default::default()
+        };
         let mut h2 = direct_construct(&km, tree.clone(), part, &cfg);
         // Inject an explicit rank-0 leaf under a based parent to pin the
         // exact failure mode regardless of what the constructor produced.
-        let leaf = tree
-            .level(tree.leaf_level())
-            .find(|&id| tree.nodes[id].parent.map(|p| h2.rank(p) > 0).unwrap_or(false));
+        let leaf = tree.level(tree.leaf_level()).find(|&id| {
+            tree.nodes[id]
+                .parent
+                .map(|p| h2.rank(p) > 0)
+                .unwrap_or(false)
+        });
         if let Some(leaf) = leaf {
             let parent = tree.nodes[leaf].parent.unwrap();
             let (c1, c2) = tree.nodes[parent].children.unwrap();
@@ -249,8 +310,16 @@ mod rank_zero_tests {
             for i in 0..h2.coupling.pairs.len() {
                 let (s, t) = h2.coupling.pairs[i];
                 if s == leaf || t == leaf {
-                    let r = if s == leaf { 0 } else { h2.coupling.blocks[i].rows() };
-                    let c = if t == leaf { 0 } else { h2.coupling.blocks[i].cols() };
+                    let r = if s == leaf {
+                        0
+                    } else {
+                        h2.coupling.blocks[i].rows()
+                    };
+                    let c = if t == leaf {
+                        0
+                    } else {
+                        h2.coupling.blocks[i].cols()
+                    };
                     store.insert(s, t, Mat::zeros(r, c));
                 } else {
                     store.insert(s, t, h2.coupling.blocks[i].clone());

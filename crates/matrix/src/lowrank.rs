@@ -67,7 +67,15 @@ impl EntryAccess for LowRankUpdate<'_> {
         self.base.block(rows, cols, out);
         let pr = self.p.select_rows(rows);
         let qc = self.q.select_rows(cols);
-        gemm(Op::NoTrans, Op::Trans, 1.0, pr.rf(), qc.rf(), 1.0, out.rb_mut());
+        gemm(
+            Op::NoTrans,
+            Op::Trans,
+            1.0,
+            pr.rf(),
+            qc.rf(),
+            1.0,
+            out.rb_mut(),
+        );
     }
 }
 
@@ -122,7 +130,11 @@ mod tests {
         let p = gaussian_mat(n, 2, 75);
         let q = gaussian_mat(n, 2, 76);
         let op = DenseOp::new(a.clone());
-        let upd = LowRankUpdate { base: &op, p: p.clone(), q: q.clone() };
+        let upd = LowRankUpdate {
+            base: &op,
+            p: p.clone(),
+            q: q.clone(),
+        };
         let pqt = matmul(Op::NoTrans, Op::Trans, p.rf(), q.rf());
         let mut want = a;
         want.axpy(1.0, &pqt);

@@ -1,11 +1,18 @@
-//! O(N) H2 matrix-vector and matrix-block products.
+//! O(N) H2 matrix-vector and matrix-block products, side-generic.
 //!
 //! The classical three-pass algorithm: an upward pass compressing the input
-//! through the nested bases (`x̂_τ = U_τ^T x_τ`), coupling products
-//! (`ŷ_s += B_{s,t} x̂_t`), and a downward pass expanding back
-//! (`y_τ += U_τ ŷ_τ`), plus the dense near-field. This is the fast black-box
-//! sampler `Kblk(·)` used by the construction experiments (the paper uses
-//! H2Opus's matvec for the same purpose).
+//! through the nested *input-side* bases (`x̂_τ = V_τᵀ x_τ`), coupling
+//! products (`ŷ_s += B_{s,t} x̂_t`), and a downward pass expanding through
+//! the *output-side* bases (`y_τ += U_τ ŷ_τ`), plus the dense near-field.
+//! This is the fast black-box sampler `Kblk(·)` used by the construction
+//! experiments (the paper uses H2Opus's matvec for the same purpose).
+//!
+//! One implementation serves all four products: `K x` reads input side `V`,
+//! output side `U`; `Kᵀ x` swaps the sides and reads every block through
+//! [`crate::format::BlockStore::get_op`] with the transpose flag — for a
+//! symmetric matrix
+//! both sides alias the same basis tree and the two products coincide
+//! bitwise.
 
 use crate::format::H2Matrix;
 use h2_dense::{gemm, Mat, MatMut, MatRef, Op};
@@ -13,7 +20,18 @@ use rayon::prelude::*;
 
 impl H2Matrix {
     /// `y = K x` for a block of vectors, in tree-permuted coordinates.
-    pub fn apply_permuted(&self, x: MatRef<'_>, mut y: MatMut<'_>) {
+    pub fn apply_permuted(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_impl(x, y, false);
+    }
+
+    /// `y = Kᵀ x`: the basis sides swap and blocks are read transposed
+    /// (`Kᵀ`'s block `(s, t)` is `K(I_t, I_s)ᵀ`). Identical to
+    /// [`H2Matrix::apply_permuted`] for symmetric matrices.
+    pub fn apply_transpose_permuted(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_impl(x, y, true);
+    }
+
+    fn apply_impl(&self, x: MatRef<'_>, mut y: MatMut<'_>, transpose: bool) {
         let n = self.n();
         let d = x.cols();
         assert_eq!(x.rows(), n, "apply: x rows");
@@ -21,28 +39,44 @@ impl H2Matrix {
         assert_eq!(y.cols(), d, "apply: y cols");
         y.fill(0.0);
 
+        // For K:  input side = V (column), output side = U (row).
+        // For Kᵀ: input side = U, output side = V.
+        let (in_basis, out_basis) = if transpose {
+            (&self.basis[..], self.col_basis())
+        } else {
+            (self.col_basis(), &self.basis[..])
+        };
+
         let tree = &self.tree;
         let nnodes = tree.nodes.len();
         let leaf_level = tree.leaf_level();
 
-        // ---- upward pass: x̂_τ ----
+        // ---- upward pass through the input basis: x̂_τ ----
         let mut xhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
         for l in (0..tree.nlevels()).rev() {
             let ids: Vec<usize> = tree.level(l).collect();
             let level_res: Vec<(usize, Mat)> = ids
                 .par_iter()
-                .filter(|&&id| self.has_basis(id))
+                .filter(|&&id| in_basis[id].cols() > 0)
                 .map(|&id| {
-                    let u = &self.basis[id];
-                    let mut out = Mat::zeros(u.cols(), d);
+                    let v = &in_basis[id];
+                    let mut out = Mat::zeros(v.cols(), d);
                     if l == leaf_level {
                         let (b, e) = tree.range(id);
-                        gemm(Op::Trans, Op::NoTrans, 1.0, u.rf(), x.view(b, 0, e - b, d), 0.0, out.rm());
+                        gemm(
+                            Op::Trans,
+                            Op::NoTrans,
+                            1.0,
+                            v.rf(),
+                            x.view(b, 0, e - b, d),
+                            0.0,
+                            out.rm(),
+                        );
                     } else {
                         // Children with rank 0 (empty far field) contribute
                         // zero rows; build the stack shape-correctly.
                         let (c1, c2) = tree.nodes[id].children.unwrap();
-                        let (k1, k2) = (self.rank(c1), self.rank(c2));
+                        let (k1, k2) = (in_basis[c1].cols(), in_basis[c2].cols());
                         let mut stacked = Mat::zeros(k1 + k2, d);
                         if xhat[c1].rows() == k1 && xhat[c1].cols() == d && k1 > 0 {
                             stacked.view_mut(0, 0, k1, d).copy_from(xhat[c1].rf());
@@ -50,7 +84,15 @@ impl H2Matrix {
                         if xhat[c2].rows() == k2 && xhat[c2].cols() == d && k2 > 0 {
                             stacked.view_mut(k1, 0, k2, d).copy_from(xhat[c2].rf());
                         }
-                        gemm(Op::Trans, Op::NoTrans, 1.0, u.rf(), stacked.rf(), 0.0, out.rm());
+                        gemm(
+                            Op::Trans,
+                            Op::NoTrans,
+                            1.0,
+                            v.rf(),
+                            stacked.rf(),
+                            0.0,
+                            out.rm(),
+                        );
                     }
                     (id, out)
                 })
@@ -60,19 +102,23 @@ impl H2Matrix {
             }
         }
 
-        // ---- coupling products: ŷ_s = Σ_t op(B_{s,t}) x̂_t ----
+        // ---- coupling products: ŷ_s = Σ_t op(B) x̂_t ----
         let yhat_res: Vec<(usize, Mat)> = (0..nnodes)
             .into_par_iter()
             .filter(|&s| !self.partition.far_of[s].is_empty())
             .map(|s| {
-                let mut acc = Mat::zeros(self.rank(s), d);
+                let ks = out_basis[s].cols();
+                let mut acc = Mat::zeros(ks, d);
                 for &t in &self.partition.far_of[s] {
                     // Rank-0 partners (far field below tolerance) contribute
                     // nothing; their coupling blocks are zero-dimensional.
-                    if self.rank(t) == 0 || self.rank(s) == 0 {
+                    if ks == 0 || in_basis[t].cols() == 0 {
                         continue;
                     }
-                    let (blk, transposed) = self.coupling.get(s, t).expect("coupling block");
+                    let (blk, transposed) = self
+                        .coupling
+                        .get_op(s, t, transpose)
+                        .expect("coupling block");
                     let op = if transposed { Op::Trans } else { Op::NoTrans };
                     gemm(op, Op::NoTrans, 1.0, blk.rf(), xhat[t].rf(), 1.0, acc.rm());
                 }
@@ -84,7 +130,7 @@ impl H2Matrix {
             yhat[s] = m;
         }
 
-        // ---- downward pass ----
+        // ---- downward pass through the output basis ----
         for l in 0..tree.nlevels() {
             if l == leaf_level {
                 break;
@@ -94,14 +140,24 @@ impl H2Matrix {
                 .par_iter()
                 .filter_map(|&child| {
                     let parent = tree.nodes[child].parent?;
-                    if yhat[parent].rows() == 0 || !self.has_basis(parent) {
+                    if yhat[parent].rows() == 0 || out_basis[parent].cols() == 0 {
                         return None;
                     }
                     let (c1, _c2) = tree.nodes[parent].children.unwrap();
-                    let off = if child == c1 { 0 } else { self.rank(c1) };
-                    let e = self.basis[parent].view(off, 0, self.rank(child), self.rank(parent));
-                    let mut out = Mat::zeros(self.rank(child), d);
-                    gemm(Op::NoTrans, Op::NoTrans, 1.0, e, yhat[parent].rf(), 0.0, out.rm());
+                    let kc = out_basis[child].cols();
+                    let kp = out_basis[parent].cols();
+                    let off = if child == c1 { 0 } else { out_basis[c1].cols() };
+                    let e = out_basis[parent].view(off, 0, kc, kp);
+                    let mut out = Mat::zeros(kc, d);
+                    gemm(
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        1.0,
+                        e,
+                        yhat[parent].rf(),
+                        0.0,
+                        out.rm(),
+                    );
                     Some((child, out))
                 })
                 .collect();
@@ -123,14 +179,31 @@ impl H2Matrix {
                 let (b, e) = tree.range(s);
                 let m = e - b;
                 let mut out = Mat::zeros(m, d);
-                if yhat[s].rows() > 0 && self.has_basis(s) {
-                    gemm(Op::NoTrans, Op::NoTrans, 1.0, self.basis[s].rf(), yhat[s].rf(), 1.0, out.rm());
+                if yhat[s].rows() > 0 && out_basis[s].cols() > 0 {
+                    gemm(
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        1.0,
+                        out_basis[s].rf(),
+                        yhat[s].rf(),
+                        1.0,
+                        out.rm(),
+                    );
                 }
                 for &t in &self.partition.near_of[s] {
-                    let (blk, transposed) = self.dense.get(s, t).expect("dense block");
+                    let (blk, transposed) =
+                        self.dense.get_op(s, t, transpose).expect("dense block");
                     let op = if transposed { Op::Trans } else { Op::NoTrans };
                     let (tb, te) = tree.range(t);
-                    gemm(op, Op::NoTrans, 1.0, blk.rf(), x.view(tb, 0, te - tb, d), 1.0, out.rm());
+                    gemm(
+                        op,
+                        Op::NoTrans,
+                        1.0,
+                        blk.rf(),
+                        x.view(tb, 0, te - tb, d),
+                        1.0,
+                        out.rm(),
+                    );
                 }
                 (b, out)
             })
@@ -144,6 +217,13 @@ impl H2Matrix {
     pub fn apply_permuted_mat(&self, x: &Mat) -> Mat {
         let mut y = Mat::zeros(self.n(), x.cols());
         self.apply_permuted(x.rf(), y.rm());
+        y
+    }
+
+    /// Convenience: allocate and return `Kᵀ x` (permuted coordinates).
+    pub fn apply_transpose_permuted_mat(&self, x: &Mat) -> Mat {
+        let mut y = Mat::zeros(self.n(), x.cols());
+        self.apply_transpose_permuted(x.rf(), y.rm());
         y
     }
 
@@ -170,5 +250,9 @@ impl h2_dense::LinOp for H2Matrix {
     /// workspace.
     fn apply(&self, x: MatRef<'_>, y: MatMut<'_>) {
         self.apply_permuted(x, y);
+    }
+
+    fn apply_transpose(&self, x: MatRef<'_>, y: MatMut<'_>) {
+        self.apply_transpose_permuted(x, y);
     }
 }

@@ -22,7 +22,14 @@ use h2_dense::{gemm, matmul, qr_factor, Mat, Op};
 impl H2Matrix {
     /// Orthogonalize all cluster bases in place. Returns the number of
     /// nodes processed.
+    ///
+    /// Implemented for the symmetric side layout (shared `U = V` bases);
+    /// the unsymmetric extension (independent QR per side) is future work.
     pub fn orthogonalize(&mut self) -> usize {
+        assert!(
+            self.is_symmetric(),
+            "orthogonalize currently supports symmetric H2 matrices only"
+        );
         let tree = self.tree.clone();
         let leaf_level = tree.leaf_level();
         let mut processed = 0;
@@ -40,7 +47,10 @@ impl H2Matrix {
                 for &id in &ids {
                     let (c1, c2) = tree.nodes[id].children.unwrap();
                     let b = &self.basis[id];
-                    let (k1_old, k2_old) = (r_of[c1].as_ref().map(|r| r.cols()), r_of[c2].as_ref().map(|r| r.cols()));
+                    let (k1_old, k2_old) = (
+                        r_of[c1].as_ref().map(|r| r.cols()),
+                        r_of[c2].as_ref().map(|r| r.cols()),
+                    );
                     // Rows of the stacked transfer split by the children's
                     // *old* ranks (cols of their R factors).
                     let k1 = k1_old.unwrap_or(self.rank(c1));
@@ -137,7 +147,10 @@ mod tests {
         let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
         let mut h2 = direct_construct(&km, tree.clone(), part, &DirectConfig::default());
 
-        assert!(h2.basis_orthogonality_error() > 1e-8, "interpolative bases are not orthonormal");
+        assert!(
+            h2.basis_orthogonality_error() > 1e-8,
+            "interpolative bases are not orthonormal"
+        );
         let x = gaussian_mat(1200, 3, 202);
         let before = h2.apply_permuted_mat(&x);
 
@@ -173,6 +186,10 @@ mod tests {
         let after = h2.extract_block(&rows, &cols);
         let mut d = after;
         d.axpy(-1.0, &before);
-        assert!(d.norm_max() < 1e-10, "entry extraction changed by {}", d.norm_max());
+        assert!(
+            d.norm_max() < 1e-10,
+            "entry extraction changed by {}",
+            d.norm_max()
+        );
     }
 }

@@ -32,7 +32,12 @@ impl VarBatch {
             acc += rows[i] * cols[i];
             offsets.push(acc);
         }
-        VarBatch { rows, cols, offsets, buf: vec![0.0; acc] }
+        VarBatch {
+            rows,
+            cols,
+            offsets,
+            buf: vec![0.0; acc],
+        }
     }
 
     /// Batch with the same column count `d` for every entry (the per-level
@@ -66,7 +71,12 @@ impl VarBatch {
     /// Immutable view of entry `i`.
     pub fn mat(&self, i: usize) -> MatRef<'_> {
         let (r, c) = (self.rows[i], self.cols[i]);
-        MatRef::from_parts(r, c, r.max(1), &self.buf[self.offsets[i]..self.offsets[i + 1]])
+        MatRef::from_parts(
+            r,
+            c,
+            r.max(1),
+            &self.buf[self.offsets[i]..self.offsets[i + 1]],
+        )
     }
 
     /// Mutable view of entry `i`.
@@ -117,7 +127,10 @@ impl VarBatch {
         F: Fn(usize, MatRef<'_>) -> R + Sync + Send,
     {
         if parallel {
-            (0..self.count()).into_par_iter().map(|i| f(i, self.mat(i))).collect()
+            (0..self.count())
+                .into_par_iter()
+                .map(|i| f(i, self.mat(i)))
+                .collect()
         } else {
             (0..self.count()).map(|i| f(i, self.mat(i))).collect()
         }

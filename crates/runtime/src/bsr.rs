@@ -50,7 +50,13 @@ impl BsrPattern {
             }
             row_ptr.push(col_idx.len());
         }
-        BsrPattern { nrows, row_ptr, col_idx, slot_of, slots }
+        BsrPattern {
+            nrows,
+            row_ptr,
+            col_idx,
+            slot_of,
+            slots,
+        }
     }
 
     /// Number of block rows.
@@ -111,7 +117,10 @@ pub struct BsrBlock<'a> {
 
 impl<'a> BsrBlock<'a> {
     pub fn plain(mat: &'a Mat) -> Self {
-        BsrBlock { mat, transposed: false }
+        BsrBlock {
+            mat,
+            transposed: false,
+        }
     }
 }
 
@@ -128,7 +137,11 @@ pub fn bsr_gemm(
     y: &mut VarBatch,
     alpha: f64,
 ) {
-    assert_eq!(blocks.len(), pattern.nblocks(), "bsr_gemm: block array mismatch");
+    assert_eq!(
+        blocks.len(),
+        pattern.nblocks(),
+        "bsr_gemm: block array mismatch"
+    );
     assert_eq!(y.count(), pattern.nrows(), "bsr_gemm: y batch mismatch");
     let par = rt.is_parallel();
     for slot in &pattern.slots {
@@ -199,8 +212,11 @@ mod tests {
             }
             let blocks: Vec<BsrBlock<'_>> = owned.iter().map(BsrBlock::plain).collect();
             let xg = gaussian_mat(n, d, 99);
-            let ranges: Vec<(usize, usize)> =
-                starts.iter().zip(sizes.iter()).map(|(&s, &z)| (s, s + z)).collect();
+            let ranges: Vec<(usize, usize)> = starts
+                .iter()
+                .zip(sizes.iter())
+                .map(|(&s, &z)| (s, s + z))
+                .collect();
             let x = gather_rows(&rt, &xg, &ranges);
             let mut y = VarBatch::zeros_uniform_cols(sizes.to_vec(), d);
             bsr_gemm(&rt, &pattern, &blocks, &x, &mut y, -1.0);

@@ -28,8 +28,8 @@ pub mod profile;
 pub mod runtime;
 
 pub use batch::VarBatch;
-pub use multidev::{simulate, DeviceModel, LevelSpec, SimReport};
 pub use bsr::{bsr_gemm, BsrBlock, BsrPattern};
+pub use multidev::{simulate, DeviceModel, LevelSpec, SimReport};
 pub use ops::{
     batched_gen, batched_row_id, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag, rand_mat,
     shrink_rows, stack_children, GenBlock,

@@ -190,8 +190,7 @@ pub fn simulate(
             let dev = owner(i, n, devices);
             for &b in partners {
                 let mb = spec.col_rows.get(b).copied().unwrap_or(0);
-                compute[dev] +=
-                    2.0 * spec.rows[i] as f64 * mb as f64 * d / model.flops_per_sec;
+                compute[dev] += 2.0 * spec.rows[i] as f64 * mb as f64 * d / model.flops_per_sec;
                 let dev_b = owner(b, spec.col_rows.len().max(n), devices);
                 if dev_b != dev && fetched.insert((dev, b)) {
                     comm_bytes += (mb * d_samples * 8) as u64;
@@ -207,8 +206,8 @@ pub fn simulate(
             let k = spec.ranks.get(i).copied().unwrap_or(0) as f64;
             let dev = owner(i, n_id, devices);
             let md = (spec.id_rows[i].min(d_samples)) as f64;
-            compute[dev] += (2.0 * m * d * d + 4.0 * m * d * md + 2.0 * m * k * d)
-                / model.flops_per_sec;
+            compute[dev] +=
+                (2.0 * m * d * d + 4.0 * m * d * md + 2.0 * m * k * d) / model.flops_per_sec;
         }
 
         // Line-24 gather: a merge whose children live on different devices
@@ -229,10 +228,11 @@ pub fn simulate(
         let launches = active * (6 + csp);
 
         let compute_max = compute.iter().cloned().fold(0.0, f64::max);
-        let comm_time = comm_bytes as f64 / model.link_bandwidth
-            + comm_messages as f64 * model.link_latency;
-        let level_makespan =
-            compute_max + comm_time + launches as f64 / active.max(1) as f64 * model.launch_overhead;
+        let comm_time =
+            comm_bytes as f64 / model.link_bandwidth + comm_messages as f64 * model.link_latency;
+        let level_makespan = compute_max
+            + comm_time
+            + launches as f64 / active.max(1) as f64 * model.launch_overhead;
 
         makespan += level_makespan;
         total_comm += comm_bytes;
@@ -247,7 +247,13 @@ pub fn simulate(
         });
     }
 
-    SimReport { devices, levels: out_levels, makespan, total_comm_bytes: total_comm, total_launches }
+    SimReport {
+        devices,
+        levels: out_levels,
+        makespan,
+        total_comm_bytes: total_comm,
+        total_launches,
+    }
 }
 
 #[cfg(test)]
@@ -260,7 +266,9 @@ mod tests {
         let n = 8;
         let leaf = LevelSpec {
             rows: vec![64; n],
-            adj: (0..n).map(|i| vec![i, (i + 1) % n, (i + n - 1) % n]).collect(),
+            adj: (0..n)
+                .map(|i| vec![i, (i + 1) % n, (i + n - 1) % n])
+                .collect(),
             col_rows: vec![64; n],
             gen_blocks: (0..n).map(|_| (64, 64)).collect(),
             id_rows: vec![64; n],
@@ -291,8 +299,9 @@ mod tests {
         // All devices used.
         assert_eq!(owners.iter().cloned().max().unwrap(), d - 1);
         // Balanced within 1.
-        let counts: Vec<usize> =
-            (0..d).map(|dev| owners.iter().filter(|&&o| o == dev).count()).collect();
+        let counts: Vec<usize> = (0..d)
+            .map(|dev| owners.iter().filter(|&&o| o == dev).count())
+            .collect();
         assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
     }
 
@@ -317,7 +326,7 @@ mod tests {
             merges: vec![],
         };
         let m = DeviceModel::default();
-        let r1 = simulate(&[level.clone()], 256, 1, &m);
+        let r1 = simulate(std::slice::from_ref(&level), 256, 1, &m);
         let r4 = simulate(&[level], 256, 4, &m);
         assert!(
             r4.makespan < r1.makespan / 2.0,
@@ -369,7 +378,10 @@ mod tests {
             merges: vec![],
         };
         let rep = simulate(&[level], 64, 4, &DeviceModel::default());
-        assert!(rep.total_launches < 64, "launches must not scale with node count");
+        assert!(
+            rep.total_launches < 64,
+            "launches must not scale with node count"
+        );
     }
 
     #[test]

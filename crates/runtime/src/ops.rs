@@ -25,7 +25,8 @@ pub fn rand_mat(rt: &Runtime, n: usize, d: usize, seed: u64) -> Mat {
     // Split into per-column tasks with deterministic seeds.
     let cols: Vec<&mut [f64]> = y.as_mut_slice().chunks_mut(n.max(1)).collect();
     let run = |(j, col): (usize, &mut [f64])| {
-        let mut rng = SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(j as u64 + 1)));
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(j as u64 + 1)));
         h2_dense::rand::fill_gaussian_slice(col, &mut rng);
     };
     if rt.is_parallel() {
@@ -61,16 +62,24 @@ pub fn gather_rows(rt: &Runtime, src: &Mat, ranges: &[(usize, usize)]) -> VarBat
 pub fn stack_children(rt: &Runtime, child: &VarBatch, children: &[Vec<usize>]) -> VarBatch {
     rt.launch(Kernel::PrefixSum);
     rt.launch(Kernel::Marshal);
-    let d = if child.count() > 0 { child.cols_of(0) } else { 0 };
-    let rows: Vec<usize> =
-        children.iter().map(|cs| cs.iter().map(|&c| child.rows_of(c)).sum()).collect();
+    let d = if child.count() > 0 {
+        child.cols_of(0)
+    } else {
+        0
+    };
+    let rows: Vec<usize> = children
+        .iter()
+        .map(|cs| cs.iter().map(|&c| child.rows_of(c)).sum())
+        .collect();
     let mut out = VarBatch::zeros_uniform_cols(rows, d);
     let par = rt.is_parallel();
     out.for_each_mut(par, |p, mut m| {
         let mut off = 0;
         for &c in &children[p] {
             let cm = child.mat(c);
-            m.rb_mut().into_view(off, 0, cm.rows(), cm.cols()).copy_from(cm);
+            m.rb_mut()
+                .into_view(off, 0, cm.rows(), cm.cols())
+                .copy_from(cm);
             off += cm.rows();
         }
     });
@@ -88,7 +97,9 @@ pub fn qr_min_rdiag(rt: &Runtime, batch: &VarBatch) -> Vec<f64> {
         }
         let mut work = m.to_mat();
         let tau = qr_in_place(&mut work.rm());
-        (0..tau.len()).map(|i| work[(i, i)].abs()).fold(f64::INFINITY, f64::min)
+        (0..tau.len())
+            .map(|i| work[(i, i)].abs())
+            .fold(f64::INFINITY, f64::min)
     })
 }
 
@@ -110,7 +121,11 @@ pub fn shrink_rows(rt: &Runtime, batch: &VarBatch, skels: &[&[usize]]) -> VarBat
     assert_eq!(batch.count(), skels.len());
     rt.launch(Kernel::Shrink);
     rt.launch(Kernel::Transpose);
-    let d = if batch.count() > 0 { batch.cols_of(0) } else { 0 };
+    let d = if batch.count() > 0 {
+        batch.cols_of(0)
+    } else {
+        0
+    };
     let rows: Vec<usize> = skels.iter().map(|s| s.len()).collect();
     let mut out = VarBatch::zeros_uniform_cols(rows, d);
     let par = rt.is_parallel();
@@ -147,14 +162,20 @@ pub fn hcat_batches(rt: &Runtime, a: &VarBatch, b: &VarBatch) -> VarBatch {
     rt.launch(Kernel::PrefixSum);
     rt.launch(Kernel::Marshal);
     let rows: Vec<usize> = (0..a.count()).map(|i| a.rows_of(i)).collect();
-    let cols: Vec<usize> = (0..a.count()).map(|i| a.cols_of(i) + b.cols_of(i)).collect();
+    let cols: Vec<usize> = (0..a.count())
+        .map(|i| a.cols_of(i) + b.cols_of(i))
+        .collect();
     let mut out = VarBatch::zeros(rows, cols);
     let par = rt.is_parallel();
     out.for_each_mut(par, |i, mut m| {
         assert_eq!(a.rows_of(i), b.rows_of(i), "hcat: entry {i} row mismatch");
         let (ca, cb) = (a.cols_of(i), b.cols_of(i));
-        m.rb_mut().into_view(0, 0, a.rows_of(i), ca).copy_from(a.mat(i));
-        m.rb_mut().into_view(0, ca, b.rows_of(i), cb).copy_from(b.mat(i));
+        m.rb_mut()
+            .into_view(0, 0, a.rows_of(i), ca)
+            .copy_from(a.mat(i));
+        m.rb_mut()
+            .into_view(0, ca, b.rows_of(i), cb)
+            .copy_from(b.mat(i));
     });
     out
 }
@@ -171,7 +192,9 @@ pub struct GenBlock {
 /// launch (Algorithm 1 lines 8/41).
 pub fn batched_gen(rt: &Runtime, gen: &dyn EntryAccess, blocks: &[GenBlock]) -> Vec<Mat> {
     rt.launch(Kernel::Gen);
-    rt.map_index(blocks.len(), |i| gen.block_mat(&blocks[i].rows, &blocks[i].cols))
+    rt.map_index(blocks.len(), |i| {
+        gen.block_mat(&blocks[i].rows, &blocks[i].cols)
+    })
 }
 
 #[cfg(test)]
@@ -181,7 +204,10 @@ mod tests {
     use h2_dense::{gaussian_mat, DenseOp};
 
     fn rts() -> [Runtime; 2] {
-        [Runtime::new(Backend::Sequential), Runtime::new(Backend::Parallel)]
+        [
+            Runtime::new(Backend::Sequential),
+            Runtime::new(Backend::Parallel),
+        ]
     }
 
     #[test]
@@ -224,7 +250,10 @@ mod tests {
             b.set(0, full.rf());
             b.set(1, lowrank.rf());
             let mins = qr_min_rdiag(&rt, &b);
-            assert!(mins[0] > 1e-3, "full-rank sample should have large min rdiag");
+            assert!(
+                mins[0] > 1e-3,
+                "full-rank sample should have large min rdiag"
+            );
             assert!(mins[1] < 1e-10, "rank-2 sample must collapse by column 3");
         }
     }
@@ -268,7 +297,7 @@ mod tests {
             let x = gaussian_mat(6, 3, 8);
             let mut b = VarBatch::zeros_uniform_cols(vec![6], 3);
             b.set(0, x.rf());
-            let out = gemm_at_x(&rt, &[u.clone()], &b);
+            let out = gemm_at_x(&rt, std::slice::from_ref(&u), &b);
             let want = h2_dense::matmul(Op::Trans, Op::NoTrans, u.rf(), x.rf());
             let mut d = out.to_mat(0);
             d.axpy(-1.0, &want);
@@ -296,8 +325,14 @@ mod tests {
             let a = Mat::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
             let op = DenseOp::new(a);
             let blocks = vec![
-                GenBlock { rows: vec![0, 1], cols: vec![2, 3] },
-                GenBlock { rows: vec![7], cols: vec![0] },
+                GenBlock {
+                    rows: vec![0, 1],
+                    cols: vec![2, 3],
+                },
+                GenBlock {
+                    rows: vec![7],
+                    cols: vec![0],
+                },
             ];
             let out = batched_gen(&rt, &op, &blocks);
             assert_eq!(out[0][(0, 0)], 2.0);

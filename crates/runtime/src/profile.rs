@@ -169,7 +169,10 @@ impl Profile {
     }
 
     pub fn total_launches(&self) -> usize {
-        self.launches.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.launches
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     pub fn add_phase(&self, p: Phase, d: Duration) {
@@ -215,7 +218,10 @@ impl Profile {
 
     /// Summary of launch counts keyed by kernel name.
     pub fn launch_summary(&self) -> Vec<(&'static str, usize)> {
-        Kernel::ALL.iter().map(|&k| (k.name(), self.launches(k))).collect()
+        Kernel::ALL
+            .iter()
+            .map(|&k| (k.name(), self.launches(k)))
+            .collect()
     }
 }
 

@@ -29,7 +29,10 @@ pub struct Runtime {
 
 impl Runtime {
     pub fn new(backend: Backend) -> Self {
-        Runtime { backend, profile: Profile::new() }
+        Runtime {
+            backend,
+            profile: Profile::new(),
+        }
     }
 
     pub fn sequential() -> Self {

@@ -18,41 +18,35 @@ struct Case {
 }
 
 fn case_strategy() -> impl Strategy<Value = Case> {
-    (2usize..6, 2usize..6, 1usize..5, 0u64..10_000)
-        .prop_flat_map(|(nr, nc, d, seed)| {
-            let row_sizes = proptest::collection::vec(1usize..7, nr..=nr);
-            let col_sizes = proptest::collection::vec(1usize..7, nc..=nc);
-            let adj = proptest::collection::vec(
-                proptest::collection::vec(0usize..nc, 0..nc),
-                nr..=nr,
-            );
-            (row_sizes, col_sizes, adj).prop_flat_map(move |(rs, cs, mut adj)| {
-                // Dedup partners within a row (BSR positions are unique).
-                for a in adj.iter_mut() {
-                    a.sort_unstable();
-                    a.dedup();
+    (2usize..6, 2usize..6, 1usize..5, 0u64..10_000).prop_flat_map(|(nr, nc, d, seed)| {
+        let row_sizes = proptest::collection::vec(1usize..7, nr..=nr);
+        let col_sizes = proptest::collection::vec(1usize..7, nc..=nc);
+        let adj = proptest::collection::vec(proptest::collection::vec(0usize..nc, 0..nc), nr..=nr);
+        (row_sizes, col_sizes, adj).prop_flat_map(move |(rs, cs, mut adj)| {
+            // Dedup partners within a row (BSR positions are unique).
+            for a in adj.iter_mut() {
+                a.sort_unstable();
+                a.dedup();
+            }
+            let flips: Vec<usize> = adj.iter().map(|a| a.len()).collect();
+            let total: usize = flips.iter().sum();
+            proptest::collection::vec(proptest::bool::ANY, total..=total).prop_map(move |bits| {
+                let mut transposed = Vec::new();
+                let mut it = bits.into_iter();
+                for a in &adj {
+                    transposed.push(a.iter().map(|_| it.next().unwrap()).collect());
                 }
-                let flips: Vec<usize> = adj.iter().map(|a| a.len()).collect();
-                let total: usize = flips.iter().sum();
-                proptest::collection::vec(proptest::bool::ANY, total..=total).prop_map(
-                    move |bits| {
-                        let mut transposed = Vec::new();
-                        let mut it = bits.into_iter();
-                        for a in &adj {
-                            transposed.push(a.iter().map(|_| it.next().unwrap()).collect());
-                        }
-                        Case {
-                            row_sizes: rs.clone(),
-                            col_sizes: cs.clone(),
-                            adj: adj.clone(),
-                            transposed,
-                            d,
-                            seed,
-                        }
-                    },
-                )
+                Case {
+                    row_sizes: rs.clone(),
+                    col_sizes: cs.clone(),
+                    adj: adj.clone(),
+                    transposed,
+                    d,
+                    seed,
+                }
             })
         })
+    })
 }
 
 fn run_case(case: &Case, rt: &Runtime) -> (VarBatch, VarBatch) {
@@ -78,7 +72,10 @@ fn run_case(case: &Case, rt: &Runtime) -> (VarBatch, VarBatch) {
     let mut k = 0;
     for (r, partners) in case.adj.iter().enumerate() {
         for (pi, _) in partners.iter().enumerate() {
-            blocks.push(BsrBlock { mat: &mats[k], transposed: case.transposed[r][pi] });
+            blocks.push(BsrBlock {
+                mat: &mats[k],
+                transposed: case.transposed[r][pi],
+            });
             k += 1;
         }
     }
@@ -103,7 +100,11 @@ fn run_case(case: &Case, rt: &Runtime) -> (VarBatch, VarBatch) {
     let mut k = 0;
     for (r, partners) in case.adj.iter().enumerate() {
         for (pi, &c) in partners.iter().enumerate() {
-            let op = if case.transposed[r][pi] { Op::Trans } else { Op::NoTrans };
+            let op = if case.transposed[r][pi] {
+                Op::Trans
+            } else {
+                Op::NoTrans
+            };
             let mut m = want.to_mat(r);
             gemm(op, Op::NoTrans, -1.0, mats[k].rf(), x.mat(c), 1.0, m.rm());
             want.set(r, m.rf());
@@ -173,7 +174,11 @@ fn alpha_linearity() {
     let b0 = gaussian_mat(3, 2, 1);
     let b1 = gaussian_mat(3, 4, 2);
     let b2 = gaussian_mat(2, 4, 3);
-    let blocks = vec![BsrBlock::plain(&b0), BsrBlock::plain(&b1), BsrBlock::plain(&b2)];
+    let blocks = vec![
+        BsrBlock::plain(&b0),
+        BsrBlock::plain(&b1),
+        BsrBlock::plain(&b2),
+    ];
     let mut x = VarBatch::zeros_uniform_cols(vec![2, 4], 3);
     x.set(0, gaussian_mat(2, 3, 4).rf());
     x.set(1, gaussian_mat(4, 3, 5).rf());

@@ -1,0 +1,206 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of criterion its benches use: groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! best-of-N wall-clock timer printed to stdout — enough to compare curve
+//! shapes, not a statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        run_one(&format!("{id}"), samples, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.repr);
+        let mut bencher = Bencher {
+            best: Duration::MAX,
+        };
+        let samples = sample_count(self.sample_size);
+        for _ in 0..samples {
+            f(&mut bencher, input);
+        }
+        report(&label, bencher.best);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{parameter}"),
+        }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    best: Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `f`, keeping the best observation.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        if dt < self.best {
+            self.best = dt;
+        }
+    }
+}
+
+fn sample_count(requested: usize) -> usize {
+    // Best-of-N with a small N: benches here are macro-scale (ms..s), so a
+    // handful of repeats bounds noise without criterion's statistics.
+    requested.clamp(1, 5)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        best: Duration::MAX,
+    };
+    for _ in 0..sample_count(sample_size) {
+        f(&mut bencher);
+    }
+    report(label, bencher.best);
+}
+
+fn report(label: &str, best: Duration) {
+    if best == Duration::MAX {
+        println!("  {label}: no measurement");
+    } else {
+        println!("  {label}: {:.6} s", best.as_secs_f64());
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bench_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        let mut hits = 0usize;
+        g.bench_function("noop", |b| {
+            b.iter(|| hits = hits.wrapping_add(1));
+        });
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4usize, |b, &n| {
+            b.iter(|| n * n);
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline drop-in subset of the `rayon` parallel-iterator API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of rayon it actually uses. Parallel
+//! "iterators" here are eager: every adapter materializes its input, and
+//! `map`/`filter`/`for_each`/... fan the per-item work out over scoped OS
+//! threads in contiguous, order-preserving chunks. Semantics match rayon
+//! for the patterns used in this repository (deterministic order-preserving
+//! `map`+`collect`, side-effecting `for_each` over disjoint targets).
+
+use std::thread;
+
+/// Number of worker threads used for chunked execution.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParVec,
+    };
+}
+
+pub mod iter {
+    pub use crate::prelude::*;
+}
+
+/// An eagerly-materialized "parallel iterator": a vector of items whose
+/// adapters execute their closures across scoped threads.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+/// Apply `f` to every item across scoped threads, preserving order.
+fn run_chunks<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+impl<T: Send> ParVec<T> {
+    pub fn map<R, F>(self, f: F) -> ParVec<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParVec {
+            items: run_chunks(self.items, f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParVec<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let kept = run_chunks(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParVec {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn filter_map<R, F>(self, f: F) -> ParVec<R>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        let kept = run_chunks(self.items, f);
+        ParVec {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn flat_map<R, I, F>(self, f: F) -> ParVec<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R> + Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let parts = run_chunks(self.items, |t| f(t).into_iter().collect::<Vec<R>>());
+        ParVec {
+            items: parts.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn enumerate(self) -> ParVec<(usize, T)> {
+        ParVec {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn zip<U: Send>(self, other: ParVec<U>) -> ParVec<(T, U)> {
+        ParVec {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunks(self.items, f);
+    }
+
+    pub fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(T) -> bool + Sync,
+    {
+        run_chunks(self.items, f).into_iter().any(|b| b)
+    }
+
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(T) -> bool + Sync,
+    {
+        run_chunks(self.items, f).into_iter().all(|b| b)
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn max_by<F>(self, cmp: F) -> Option<T>
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering,
+    {
+        self.items.into_iter().max_by(cmp)
+    }
+
+    pub fn min_by<F>(self, cmp: F) -> Option<T>
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering,
+    {
+        self.items.into_iter().min_by(cmp)
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Owned conversion into a [`ParVec`], mirroring rayon's
+/// `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParVec<I::Item> {
+        ParVec {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Borrowing conversion, mirroring rayon's `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send;
+    fn par_iter(&'data self) -> ParVec<Self::Item>;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+    <&'data I as IntoIterator>::Item: Send,
+{
+    type Item = <&'data I as IntoIterator>::Item;
+    fn par_iter(&'data self) -> ParVec<Self::Item> {
+        ParVec {
+            items: <&'data I as IntoIterator>::into_iter(self).collect(),
+        }
+    }
+}
+
+/// Mutably-borrowing conversion, mirroring rayon's
+/// `IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: Send;
+    fn par_iter_mut(&'data mut self) -> ParVec<Self::Item>;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoIterator,
+    <&'data mut I as IntoIterator>::Item: Send,
+{
+    type Item = <&'data mut I as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> ParVec<Self::Item> {
+        ParVec {
+            items: <&'data mut I as IntoIterator>::into_iter(self).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v[500], 1000);
+        assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn filter_and_enumerate() {
+        let v: Vec<(usize, i32)> = vec![1, -2, 3, -4, 5]
+            .into_par_iter()
+            .enumerate()
+            .filter(|&(_, x)| x > 0)
+            .collect();
+        assert_eq!(v, vec![(0, 1), (2, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn for_each_disjoint_writes() {
+        let mut out = vec![0usize; 64];
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = i * i);
+        assert_eq!(out[7], 49);
+    }
+
+    #[test]
+    fn any_and_zip() {
+        let a = vec![1, 2, 3];
+        let b = vec![30, 20, 10];
+        let pairs: Vec<(i32, i32)> = a.par_iter().map(|&x| x).zip(b.into_par_iter()).collect();
+        assert_eq!(pairs[2], (3, 10));
+        assert!(pairs.par_iter().any(|&(x, _)| x == 2));
+    }
+}

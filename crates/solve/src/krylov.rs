@@ -430,7 +430,11 @@ mod tests {
     fn gmres_with_restart_shorter_than_problem() {
         let (op, b) = unsym_problem(100, 15);
         let res = gmres(&op, &Identity { n: 100 }, &b, 10, 2000, 1e-8);
-        assert!(res.converged, "restarted GMRES residual {}", res.relative_residual);
+        assert!(
+            res.converged,
+            "restarted GMRES residual {}",
+            res.relative_residual
+        );
     }
 
     #[test]

@@ -99,10 +99,7 @@ impl BlockJacobi {
     }
 
     /// Assemble by evaluating diagonal blocks from entry access.
-    pub fn from_entry(
-        gen: &dyn EntryAccess,
-        tree: &ClusterTree,
-    ) -> Result<Self, SingularBlock> {
+    pub fn from_entry(gen: &dyn EntryAccess, tree: &ClusterTree) -> Result<Self, SingularBlock> {
         let leaves: Vec<usize> = tree.level(tree.leaf_level()).collect();
         let ranges: Vec<(usize, usize)> = leaves.iter().map(|&s| tree.range(s)).collect();
         let blocks: Vec<Mat> = ranges
@@ -129,7 +126,11 @@ impl BlockJacobi {
         for f in factors {
             out.push(f?);
         }
-        Ok(BlockJacobi { ranges, factors: out, n })
+        Ok(BlockJacobi {
+            ranges,
+            factors: out,
+            n,
+        })
     }
 }
 
@@ -216,7 +217,10 @@ mod tests {
         let az = h2_dense::matmul(h2_dense::Op::NoTrans, h2_dense::Op::NoTrans, a.rf(), z.rf());
         let mut d = az;
         d.axpy(-1.0, &b);
-        assert!(d.norm_max() < 1e-12, "block-Jacobi must invert its own blocks");
+        assert!(
+            d.norm_max() < 1e-12,
+            "block-Jacobi must invert its own blocks"
+        );
     }
 
     #[test]

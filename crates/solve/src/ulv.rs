@@ -38,6 +38,9 @@ use std::sync::Arc;
 pub enum UlvError {
     /// The H2 matrix was not built over a weak-admissibility partition.
     NotWeakPartition,
+    /// The H2 matrix stores an independent column side; the elimination
+    /// assumes the symmetric layout (`V = U`, `B₂₁ = B₁₂ᵀ`).
+    NotSymmetric,
     /// A rotated pivot block `D̃₂₂` was exactly singular at this node.
     SingularBlock(usize),
     /// The assembled root system was singular.
@@ -49,6 +52,9 @@ impl std::fmt::Display for UlvError {
         match self {
             UlvError::NotWeakPartition => {
                 write!(f, "ULV requires a weak-admissibility (HSS) partition")
+            }
+            UlvError::NotSymmetric => {
+                write!(f, "ULV requires the symmetric side layout (V = U); the unsymmetric LU-flavored elimination is future work")
             }
             UlvError::SingularBlock(id) => {
                 write!(f, "singular rotated pivot block at node {id}")
@@ -92,9 +98,16 @@ pub struct UlvFactor {
 
 impl UlvFactor {
     /// Factor a weak-admissibility H2 matrix. O(N k²).
+    ///
+    /// Requires the symmetric side layout: the elimination reads only the
+    /// row basis and the upper-triangle coupling blocks, assuming
+    /// `B₂₁ = B₁₂ᵀ` — silently wrong for a stored column side.
     pub fn new(h2: &H2Matrix) -> Result<Self, UlvError> {
         if !matches!(h2.partition.rule, Admissibility::Weak) {
             return Err(UlvError::NotWeakPartition);
+        }
+        if !h2.is_symmetric() {
+            return Err(UlvError::NotSymmetric);
         }
         let tree = h2.tree.clone();
         let leaf_level = tree.leaf_level();
@@ -112,7 +125,13 @@ impl UlvFactor {
             let (blk, _) = h2.dense.get(0, 0).expect("root dense block");
             let root_size = blk.rows();
             let root_lu = lu_factor(blk.clone()).ok_or(UlvError::SingularRoot)?;
-            return Ok(UlvFactor { tree, nodes, root_lu, root_size, n: h2.n() });
+            return Ok(UlvFactor {
+                tree,
+                nodes,
+                root_lu,
+                root_size,
+                n: h2.n(),
+            });
         }
 
         for id in tree.level(leaf_level) {
@@ -184,11 +203,27 @@ impl UlvFactor {
                 let mut s = d11;
                 if e > 0 && k > 0 {
                     let x = lu22.solve(&d21);
-                    gemm(Op::NoTrans, Op::NoTrans, -1.0, d12.rf(), x.rf(), 1.0, s.rm());
+                    gemm(
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        -1.0,
+                        d12.rf(),
+                        x.rf(),
+                        1.0,
+                        s.rm(),
+                    );
                 }
                 let r = qr.r();
                 schur[id] = Some(s);
-                nodes[id] = Some(NodeFactor { qr, k, e, lu22, d12, d21, r });
+                nodes[id] = Some(NodeFactor {
+                    qr,
+                    k,
+                    e,
+                    lu22,
+                    d12,
+                    d21,
+                    r,
+                });
             }
 
             // Assemble parents' reduced diagonal blocks.
@@ -221,7 +256,13 @@ impl UlvFactor {
         let root_d = dloc[0].take().expect("root system");
         let root_size = root_d.rows();
         let root_lu = lu_factor(root_d).ok_or(UlvError::SingularRoot)?;
-        Ok(UlvFactor { tree, nodes, root_lu, root_size, n: h2.n() })
+        Ok(UlvFactor {
+            tree,
+            nodes,
+            root_lu,
+            root_size,
+            n: h2.n(),
+        })
     }
 
     /// Number of unknowns.
@@ -266,7 +307,15 @@ impl UlvFactor {
                 let mut b1r = b1;
                 if nf.e > 0 && nf.k > 0 {
                     let z = nf.lu22.solve(&b2);
-                    gemm(Op::NoTrans, Op::NoTrans, -1.0, nf.d12.rf(), z.rf(), 1.0, b1r.rm());
+                    gemm(
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        -1.0,
+                        nf.d12.rf(),
+                        z.rf(),
+                        1.0,
+                        b1r.rm(),
+                    );
                 }
                 b2s[id] = Some(b2);
                 bred[id] = Some(b1r);
@@ -300,14 +349,23 @@ impl UlvFactor {
                 // x₂ = D̃₂₂⁻¹ (b₂ - D̃₂₁ x₁)
                 let mut rhs2 = b2;
                 if nf.e > 0 && nf.k > 0 {
-                    gemm(Op::NoTrans, Op::NoTrans, -1.0, nf.d21.rf(), x1.rf(), 1.0, rhs2.rm());
+                    gemm(
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        -1.0,
+                        nf.d21.rf(),
+                        x1.rf(),
+                        1.0,
+                        rhs2.rm(),
+                    );
                 }
                 let x2 = nf.lu22.solve(&rhs2);
                 let mut xt = x1.vcat(&x2);
                 nf.qr.apply_q(&mut xt.rm());
                 if l == leaf_level {
                     let (lo, hi) = tree.range(id);
-                    x.view_mut(lo, 0, hi - lo, d).copy_from(xt.view(0, 0, hi - lo, d));
+                    x.view_mut(lo, 0, hi - lo, d)
+                        .copy_from(xt.view(0, 0, hi - lo, d));
                 } else {
                     let (c1, c2) = tree.nodes[id].children.unwrap();
                     let k1 = self.nodes[c1].as_ref().unwrap().k;
@@ -354,9 +412,33 @@ mod tests {
         let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
         let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
         let rt = Runtime::parallel();
-        let cfg = SketchConfig { tol, initial_samples: 64, max_rank: 96, ..Default::default() };
+        let cfg = SketchConfig {
+            tol,
+            initial_samples: 64,
+            max_rank: 96,
+            ..Default::default()
+        };
         let (h2, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
         (h2, km)
+    }
+
+    /// The unified `H2Matrix` can carry a column side; ULV must refuse it
+    /// rather than silently assume `V = U` / `B₂₁ = B₁₂ᵀ`.
+    #[test]
+    fn ulv_rejects_unsymmetric_layout() {
+        let n = 256;
+        let pts: Vec<[f64; 3]> = (0..n).map(|i| [i as f64 / n as f64, 0.0, 0.0]).collect();
+        let tree = Arc::new(ClusterTree::build(&pts, 32));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
+        let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            initial_samples: 48,
+            max_rank: 96,
+            ..Default::default()
+        };
+        let (h2, _) = h2_core::sketch_construct_unsym(&km, &km, tree, part, &rt, &cfg);
+        assert!(matches!(UlvFactor::new(&h2), Err(UlvError::NotSymmetric)));
     }
 
     #[test]
@@ -423,9 +505,11 @@ mod tests {
         let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
         let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
         let rt = Runtime::parallel();
-        let (h2, _) =
-            sketch_construct(&km, &km, tree, part, &rt, &SketchConfig::default());
-        assert!(matches!(UlvFactor::new(&h2), Err(UlvError::NotWeakPartition)));
+        let (h2, _) = sketch_construct(&km, &km, tree, part, &rt, &SketchConfig::default());
+        assert!(matches!(
+            UlvFactor::new(&h2),
+            Err(UlvError::NotWeakPartition)
+        ));
     }
 
     #[test]
@@ -435,8 +519,7 @@ mod tests {
         let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
         let km = KernelMatrix::new(ExponentialKernel { l: 5.0 }, tree.points.clone());
         let rt = Runtime::sequential();
-        let (mut h2, _) =
-            sketch_construct(&km, &km, tree, part, &rt, &SketchConfig::default());
+        let (mut h2, _) = sketch_construct(&km, &km, tree, part, &rt, &SketchConfig::default());
         for i in 0..h2.dense.pairs.len() {
             let blk = &mut h2.dense.blocks[i];
             for j in 0..blk.rows() {
@@ -470,7 +553,11 @@ mod tests {
         let op = DenseOp::new(dense);
 
         let rt = Runtime::parallel();
-        let cfg = SketchConfig { tol: 1e-4, initial_samples: 48, ..Default::default() };
+        let cfg = SketchConfig {
+            tol: 1e-4,
+            initial_samples: 48,
+            ..Default::default()
+        };
         let (mut hss, _) = sketch_construct(&op, &op, tree, part, &rt, &cfg);
         let _ = &mut hss;
         let ulv = UlvFactor::new(&hss).unwrap();
@@ -478,7 +565,11 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (0.01 * i as f64).sin()).collect();
         let plain = pcg(&op, &Identity { n }, &b, 400, 1e-10);
         let prec = pcg(&op, &ulv, &b, 400, 1e-10);
-        assert!(prec.converged, "preconditioned CG residual {}", prec.relative_residual);
+        assert!(
+            prec.converged,
+            "preconditioned CG residual {}",
+            prec.relative_residual
+        );
         assert!(
             prec.iterations * 3 < plain.iterations.max(1),
             "ULV precond {} its vs plain {} its",

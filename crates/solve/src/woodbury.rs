@@ -17,12 +17,7 @@ use h2_dense::{lu_factor, matmul, Mat, Op};
 /// `solve_a` must apply `A⁻¹` to a block of vectors. Returns `None` when the
 /// `k × k` capacitance system `I + Qᵀ A⁻¹ P` is singular (the update makes
 /// the operator singular).
-pub fn woodbury_solve(
-    solve_a: &dyn Fn(&Mat) -> Mat,
-    p: &Mat,
-    q: &Mat,
-    b: &Mat,
-) -> Option<Mat> {
+pub fn woodbury_solve(solve_a: &dyn Fn(&Mat) -> Mat, p: &Mat, q: &Mat, b: &Mat) -> Option<Mat> {
     let n = b.rows();
     assert_eq!(p.rows(), n, "woodbury: P rows");
     assert_eq!(q.rows(), n, "woodbury: Q rows");
@@ -46,7 +41,15 @@ pub fn woodbury_solve(
     let qt_aib = matmul(Op::Trans, Op::NoTrans, q.rf(), ai_b.rf());
     let t = lu.solve(&qt_aib);
     let mut x = ai_b;
-    h2_dense::gemm(Op::NoTrans, Op::NoTrans, -1.0, ai_p.rf(), t.rf(), 1.0, x.rm());
+    h2_dense::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        -1.0,
+        ai_p.rf(),
+        t.rf(),
+        1.0,
+        x.rm(),
+    );
     Some(x)
 }
 

@@ -12,7 +12,9 @@ fn spd_system(n: usize, seed: u64) -> (Mat, Vec<f64>) {
     for i in 0..n {
         a[(i, i)] += n as f64;
     }
-    let b: Vec<f64> = (0..n).map(|i| ((seed + i as u64) as f64 * 0.17).sin()).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((seed + i as u64) as f64 * 0.17).sin())
+        .collect();
     (a, b)
 }
 
@@ -21,7 +23,9 @@ fn unsym_system(n: usize, seed: u64) -> (Mat, Vec<f64>) {
     for i in 0..n {
         a[(i, i)] += 4.0 * (n as f64).sqrt();
     }
-    let b: Vec<f64> = (0..n).map(|i| 1.0 + ((seed + i as u64) as f64 * 0.29).cos()).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| 1.0 + ((seed + i as u64) as f64 * 0.29).cos())
+        .collect();
     (a, b)
 }
 
@@ -31,7 +35,10 @@ fn lu_solution(a: &Mat, b: &[f64]) -> Vec<f64> {
 }
 
 fn max_diff(x: &[f64], y: &[f64]) -> f64 {
-    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 proptest! {

@@ -78,11 +78,20 @@ impl ClusterTree {
         let mut nodes: Vec<Cluster> = Vec::new();
         let mut level_ptr = vec![0usize];
         let root_box = BBox::of_points(&pts);
-        nodes.push(Cluster { begin: 0, end: n, bbox: root_box, children: None, parent: None });
+        nodes.push(Cluster {
+            begin: 0,
+            end: n,
+            bbox: root_box,
+            children: None,
+            parent: None,
+        });
         level_ptr.push(nodes.len());
 
         for _l in 0..depth {
-            let (lo, hi) = (level_ptr[level_ptr.len() - 2], level_ptr[level_ptr.len() - 1]);
+            let (lo, hi) = (
+                level_ptr[level_ptr.len() - 2],
+                level_ptr[level_ptr.len() - 1],
+            );
             for id in lo..hi {
                 let (begin, end, bbox) = {
                     let c = &nodes[id];
@@ -123,7 +132,13 @@ impl ClusterTree {
         for (new, &old) in perm.iter().enumerate() {
             iperm[old] = new;
         }
-        ClusterTree { points: pts, perm, iperm, nodes, level_ptr }
+        ClusterTree {
+            points: pts,
+            perm,
+            iperm,
+            nodes,
+            level_ptr,
+        }
     }
 
     /// Number of points.
@@ -180,7 +195,10 @@ impl ClusterTree {
 
     /// Maximum leaf cluster size (≤ the requested leaf size).
     pub fn max_leaf_size(&self) -> usize {
-        self.level(self.leaf_level()).map(|id| self.nodes[id].len()).max().unwrap_or(0)
+        self.level(self.leaf_level())
+            .map(|id| self.nodes[id].len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sanity checks used by tests and debug assertions: contiguous sibling

@@ -21,7 +21,10 @@ pub struct BBox {
 impl BBox {
     /// Empty box ready for [`BBox::expand`].
     pub fn empty() -> Self {
-        BBox { min: [f64::INFINITY; 3], max: [f64::NEG_INFINITY; 3] }
+        BBox {
+            min: [f64::INFINITY; 3],
+            max: [f64::NEG_INFINITY; 3],
+        }
     }
 
     /// Smallest box containing all `points`.
@@ -68,7 +71,9 @@ impl BBox {
     pub fn distance(&self, other: &BBox) -> f64 {
         let mut s = 0.0;
         for d in 0..3 {
-            let gap = (self.min[d] - other.max[d]).max(other.min[d] - self.max[d]).max(0.0);
+            let gap = (self.min[d] - other.max[d])
+                .max(other.min[d] - self.max[d])
+                .max(0.0);
             s += gap * gap;
         }
         s.sqrt()
@@ -95,7 +100,15 @@ pub fn dist(a: &Point, b: &Point) -> f64 {
 /// `n` i.i.d. uniform points in the unit cube (the paper's test geometry).
 pub fn uniform_cube(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()]).collect()
+    (0..n)
+        .map(|_| {
+            [
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ]
+        })
+        .collect()
 }
 
 /// Regular `k x k x k` grid in the unit cube (`n = k^3` points).
@@ -105,7 +118,11 @@ pub fn grid_cube(k: usize) -> Vec<Point> {
     for z in 0..k {
         for y in 0..k {
             for x in 0..k {
-                pts.push([(x as f64 + 0.5) * h, (y as f64 + 0.5) * h, (z as f64 + 0.5) * h]);
+                pts.push([
+                    (x as f64 + 0.5) * h,
+                    (y as f64 + 0.5) * h,
+                    (z as f64 + 0.5) * h,
+                ]);
             }
         }
     }
@@ -153,7 +170,13 @@ pub fn clustered_blobs(n: usize, blobs: usize, spread: f64, seed: u64) -> Vec<Po
     let mut rng = SmallRng::seed_from_u64(seed);
     let blobs = blobs.max(1);
     let centers: Vec<Point> = (0..blobs)
-        .map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()])
+        .map(|_| {
+            [
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ]
+        })
         .collect();
     (0..n)
         .map(|i| {
@@ -174,7 +197,10 @@ pub fn clustered_blobs(n: usize, blobs: usize, spread: f64, seed: u64) -> Vec<Po
 /// `n` points on an annulus `r_in ≤ r ≤ r_out` in the z = 0 plane —
 /// 2-D boundary-style geometry with a hole.
 pub fn annulus(n: usize, r_in: f64, r_out: f64, seed: u64) -> Vec<Point> {
-    assert!(r_in >= 0.0 && r_out > r_in, "annulus radii must satisfy 0 <= r_in < r_out");
+    assert!(
+        r_in >= 0.0 && r_out > r_in,
+        "annulus radii must satisfy 0 <= r_in < r_out"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
@@ -231,27 +257,45 @@ mod tests {
 
     #[test]
     fn bbox_distance_zero_when_overlapping() {
-        let a = BBox { min: [0.0; 3], max: [1.0; 3] };
-        let b = BBox { min: [0.5, 0.5, 0.5], max: [2.0; 3] };
+        let a = BBox {
+            min: [0.0; 3],
+            max: [1.0; 3],
+        };
+        let b = BBox {
+            min: [0.5, 0.5, 0.5],
+            max: [2.0; 3],
+        };
         assert_eq!(a.distance(&b), 0.0);
     }
 
     #[test]
     fn bbox_distance_axis_separated() {
-        let a = BBox { min: [0.0; 3], max: [1.0; 3] };
-        let b = BBox { min: [3.0, 0.0, 0.0], max: [4.0, 1.0, 1.0] };
+        let a = BBox {
+            min: [0.0; 3],
+            max: [1.0; 3],
+        };
+        let b = BBox {
+            min: [3.0, 0.0, 0.0],
+            max: [4.0, 1.0, 1.0],
+        };
         assert!((a.distance(&b) - 2.0).abs() < 1e-15);
     }
 
     #[test]
     fn diameter_of_unit_cube() {
-        let b = BBox { min: [0.0; 3], max: [1.0; 3] };
+        let b = BBox {
+            min: [0.0; 3],
+            max: [1.0; 3],
+        };
         assert!((b.diameter() - 3.0_f64.sqrt()).abs() < 1e-15);
     }
 
     #[test]
     fn widest_axis_detected() {
-        let b = BBox { min: [0.0; 3], max: [1.0, 5.0, 2.0] };
+        let b = BBox {
+            min: [0.0; 3],
+            max: [1.0, 5.0, 2.0],
+        };
         assert_eq!(b.widest_axis(), 1);
     }
 
@@ -286,7 +330,10 @@ mod tests {
     fn annulus_respects_radii() {
         for p in annulus(200, 0.5, 1.0, 6) {
             let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
-            assert!(r >= 0.5 - 1e-12 && r <= 1.0 + 1e-12, "radius {r} outside annulus");
+            assert!(
+                (0.5 - 1e-12..=1.0 + 1e-12).contains(&r),
+                "radius {r} outside annulus"
+            );
             assert_eq!(p[2], 0.0);
         }
     }

@@ -105,18 +105,30 @@ impl Partition {
         for l in &mut inadm_of {
             l.sort_unstable();
         }
-        Partition { rule, far_of, near_of, inadm_of, nlevels: tree.nlevels() }
+        Partition {
+            rule,
+            far_of,
+            near_of,
+            inadm_of,
+            nlevels: tree.nlevels(),
+        }
     }
 
     /// Sparsity constant of level `l`: the maximum number of admissible
     /// blocks in a block row of that level.
     pub fn csp_far(&self, tree: &ClusterTree, l: usize) -> usize {
-        tree.level(l).map(|id| self.far_of[id].len()).max().unwrap_or(0)
+        tree.level(l)
+            .map(|id| self.far_of[id].len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sparsity constant of the leaf-level dense (inadmissible) part.
     pub fn csp_near(&self, tree: &ClusterTree) -> usize {
-        tree.level(tree.leaf_level()).map(|id| self.near_of[id].len()).max().unwrap_or(0)
+        tree.level(tree.leaf_level())
+            .map(|id| self.near_of[id].len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of admissible (coupling) blocks at level `l`.
@@ -126,7 +138,9 @@ impl Partition {
 
     /// Total number of dense leaf blocks.
     pub fn near_count(&self, tree: &ClusterTree) -> usize {
-        tree.level(tree.leaf_level()).map(|id| self.near_of[id].len()).sum()
+        tree.level(tree.leaf_level())
+            .map(|id| self.near_of[id].len())
+            .sum()
     }
 
     /// Highest (smallest-index) level that owns admissible blocks; levels
@@ -211,7 +225,14 @@ impl Partition {
                 } else {
                     (0, 0)
                 };
-                LevelStats { level: l, nodes, far_blocks: far, csp_far: csp, near_blocks: near, csp_near }
+                LevelStats {
+                    level: l,
+                    nodes,
+                    far_blocks: far,
+                    csp_far: csp,
+                    near_blocks: near,
+                    csp_near,
+                }
             })
             .collect()
     }
@@ -292,9 +313,13 @@ mod tests {
             p_large.near_count(&t)
         );
         assert!(p_small.csp_near(&t) >= p_large.csp_near(&t));
-        let blocks =
-            |p: &Partition| p.near_count(&t) + (0..t.nlevels()).map(|l| p.far_count(&t, l)).sum::<usize>();
-        assert!(blocks(&p_small) > blocks(&p_large), "refinement adds blocks in total");
+        let blocks = |p: &Partition| {
+            p.near_count(&t) + (0..t.nlevels()).map(|l| p.far_count(&t, l)).sum::<usize>()
+        };
+        assert!(
+            blocks(&p_small) > blocks(&p_large),
+            "refinement adds blocks in total"
+        );
     }
 
     #[test]
@@ -306,7 +331,11 @@ mod tests {
         let csp_at = |n: usize| {
             let t = tree(n, 64, 15);
             let p = Partition::build(&t, Admissibility::Strong { eta: 0.7 });
-            (0..t.nlevels()).map(|l| p.csp_far(&t, l)).chain([p.csp_near(&t)]).max().unwrap()
+            (0..t.nlevels())
+                .map(|l| p.csp_far(&t, l))
+                .chain([p.csp_near(&t)])
+                .max()
+                .unwrap()
         };
         let c1 = csp_at(8000);
         let c2 = csp_at(32000);
@@ -331,8 +360,7 @@ mod tests {
             for id in t.level(l) {
                 let far = p.far_field_ranges(&t, id);
                 let far_len: usize = far.iter().map(|&(b, e)| e - b).sum();
-                let inadm_len: usize =
-                    p.inadm_of[id].iter().map(|&b| t.nodes[b].len()).sum();
+                let inadm_len: usize = p.inadm_of[id].iter().map(|&b| t.nodes[b].len()).sum();
                 assert_eq!(far_len + inadm_len, 800, "node {id}");
                 // far field must exactly equal the union of F ranges of self
                 // and ancestors

@@ -29,14 +29,22 @@ fn main() {
 
     // Convection-diffusion kernel: exp(-r/l)·(1 + v·(x-y)). The drift v
     // breaks symmetry; smoothness keeps the far field low rank.
-    let kernel = ConvectionKernel { l: 0.2, v: [0.4, -0.25, 0.1] };
+    let kernel = ConvectionKernel {
+        l: 0.2,
+        v: [0.4, -0.25, 0.1],
+    };
     let km = UnsymKernelMatrix::new(kernel, tree.points.clone());
 
     // Both black-box inputs come from the kernel matrix itself here; the
     // sampler must provide K·Ω *and* Kᵀ·Ψ (the second sketch stream drives
     // the column basis).
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, sample_block: 32, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 64,
+        sample_block: 32,
+        ..Default::default()
+    };
     let t0 = std::time::Instant::now();
     let (h2, stats) = sketch_construct_unsym(&km, &km, tree.clone(), partition, &rt, &cfg);
     let dt = t0.elapsed();
@@ -69,6 +77,9 @@ fn main() {
     let rel_t = d.norm_fro() / want.norm_fro();
     println!("transpose product relative error ≈ {rel_t:.3e}");
 
-    assert!(err_fwd < 1e-4 && rel_t < 1e-4, "construction failed its accuracy target");
+    assert!(
+        err_fwd < 1e-4 && rel_t < 1e-4,
+        "construction failed its accuracy target"
+    );
     println!("OK");
 }

@@ -36,7 +36,12 @@ fn main() {
     // H2, strong admissibility (the paper's algorithm).
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol, initial_samples: 96, max_rank: 512, ..Default::default() };
+    let cfg = SketchConfig {
+        tol,
+        initial_samples: 96,
+        max_rank: 512,
+        ..Default::default()
+    };
     let (h2, h2_stats) = sketch_construct(&op, &op, tree.clone(), part, &rt, &cfg);
     let h2_err = relative_error_2(&op, &h2, 15, 31);
     println!(
@@ -48,7 +53,13 @@ fn main() {
 
     // HSS (Algorithm 1 on the weak partition — Martinsson 2011).
     let rt2 = Runtime::parallel();
-    let cfg_hss = SketchConfig { tol, initial_samples: 96, max_rank: 512, max_samples: 4096, ..Default::default() };
+    let cfg_hss = SketchConfig {
+        tol,
+        initial_samples: 96,
+        max_rank: 512,
+        max_samples: 4096,
+        ..Default::default()
+    };
     let (hss, hss_stats) = hss_construct(&op, &op, tree.clone(), &rt2, &cfg_hss);
     let hss_err = relative_error_2(&op, &hss, 15, 32);
     println!(

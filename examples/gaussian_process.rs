@@ -37,10 +37,17 @@ fn main() {
         &kernel,
         tree.clone(),
         partition.clone(),
-        &DirectConfig { tol: 1e-9, ..Default::default() },
+        &DirectConfig {
+            tol: 1e-9,
+            ..Default::default()
+        },
     );
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 128, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 128,
+        ..Default::default()
+    };
     let (h2, stats) = sketch_construct(&reference, &kernel, tree.clone(), partition, &rt, &cfg);
     println!(
         "covariance compressed: {:.1} MiB, {} samples, {:.3}s",

@@ -40,13 +40,17 @@ fn main() {
         &kernel,
         tree.clone(),
         partition.clone(),
-        &DirectConfig { tol: 1e-9, ..Default::default() },
+        &DirectConfig {
+            tol: 1e-9,
+            ..Default::default()
+        },
     );
 
     // Fixed-sample vs adaptive construction (paper Table II comparison).
-    for (label, d0, block, adaptive) in
-        [("fixed d=128", 128usize, 128usize, false), ("adaptive d=32", 64, 32, true)]
-    {
+    for (label, d0, block, adaptive) in [
+        ("fixed d=128", 128usize, 128usize, false),
+        ("adaptive d=32", 64, 32, true),
+    ] {
         let rt = Runtime::parallel();
         let cfg = SketchConfig {
             tol: 1e-6,
@@ -55,8 +59,14 @@ fn main() {
             adaptive,
             ..Default::default()
         };
-        let (h2, stats) =
-            sketch_construct(&sampler, &kernel, tree.clone(), partition.clone(), &rt, &cfg);
+        let (h2, stats) = sketch_construct(
+            &sampler,
+            &kernel,
+            tree.clone(),
+            partition.clone(),
+            &rt,
+            &cfg,
+        );
         let err = relative_error_2(&kernel, &h2, 12, 5);
         println!(
             "{label}: {:.3}s, samples {}, rank range {:?}, rel err {err:.2e}",

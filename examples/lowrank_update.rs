@@ -34,7 +34,10 @@ fn main() {
         &kernel,
         tree.clone(),
         partition.clone(),
-        &DirectConfig { tol: 1e-9, ..Default::default() },
+        &DirectConfig {
+            tol: 1e-9,
+            ..Default::default()
+        },
     );
     println!(
         "base H2: {:.1} MiB, rank range {:?}",
@@ -50,7 +53,12 @@ fn main() {
 
     // Recompress K + P Pᵀ into a fresh H2 matrix with Algorithm 1.
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 128, sample_block: 32, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 128,
+        sample_block: 32,
+        ..Default::default()
+    };
     let (recompressed, stats) =
         sketch_construct(&updated, &updated, tree.clone(), partition, &rt, &cfg);
     println!(
@@ -62,7 +70,10 @@ fn main() {
     );
 
     // Verify against the updated operator by power iteration.
-    let diff = DiffOp { a: &updated, b: &recompressed };
+    let diff = DiffOp {
+        a: &updated,
+        b: &recompressed,
+    };
     let num = estimate_norm_2(&diff, 15, 23);
     let den = estimate_norm_2(&updated, 15, 24);
     println!("relative error ≈ {:.3e} (target 1e-6)", num / den);
@@ -70,10 +81,16 @@ fn main() {
 
     // The update must actually be present: compare against the *base*.
     let drift = {
-        let diff = DiffOp { a: &base, b: &recompressed };
+        let diff = DiffOp {
+            a: &base,
+            b: &recompressed,
+        };
         estimate_norm_2(&diff, 15, 25) / den
     };
     println!("distance to the un-updated base ≈ {drift:.3e} (must be >> error)");
-    assert!(drift > 1e-4, "the low-rank update was lost in recompression");
+    assert!(
+        drift > 1e-4,
+        "the low-rank update was lost in recompression"
+    );
     let _ = updated.nrows();
 }

@@ -14,7 +14,9 @@ fn main() {
     let pts = uniform_cube(256, 51);
     let tree = ClusterTree::build(&pts, 16);
     let part = Partition::build(&tree, Admissibility::Strong { eta: 1.0 });
-    println!("# 256-point partition at eta=1.0 (D=dense leaf, numbers=level of admissible block)\n");
+    println!(
+        "# 256-point partition at eta=1.0 (D=dense leaf, numbers=level of admissible block)\n"
+    );
     render_ascii(&tree, &part);
 
     // --- Csp and block statistics across geometries and eta (Fig. 4) ---

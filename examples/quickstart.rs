@@ -40,12 +40,20 @@ fn main() {
         &kernel,
         tree.clone(),
         partition.clone(),
-        &DirectConfig { tol: 1e-9, ..Default::default() },
+        &DirectConfig {
+            tol: 1e-9,
+            ..Default::default()
+        },
     );
 
     // 4. Adaptive sketching construction (paper Algorithm 1).
     let rt = Runtime::parallel(); // the batched "GPU" execution model
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 128, sample_block: 32, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 128,
+        sample_block: 32,
+        ..Default::default()
+    };
     let (h2, stats) = sketch_construct(&sampler, &kernel, tree.clone(), partition, &rt, &cfg);
 
     // 5. Inspect the result.

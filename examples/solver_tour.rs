@@ -34,7 +34,11 @@ fn main() {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-8, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-8,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
 
     let b: Vec<f64> = (0..n).map(|i| (0.01 * i as f64).sin()).collect();
@@ -60,7 +64,12 @@ fn main() {
     let tree1 = Arc::new(ClusterTree::build(&pts1, 64));
     let part1 = Arc::new(Partition::build(&tree1, Admissibility::Weak));
     let km1 = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree1.points.clone());
-    let cfg1 = SketchConfig { tol: 1e-10, initial_samples: 64, max_rank: 128, ..Default::default() };
+    let cfg1 = SketchConfig {
+        tol: 1e-10,
+        initial_samples: 64,
+        max_rank: 128,
+        ..Default::default()
+    };
     let (mut hss, _) = sketch_construct(&km1, &km1, tree1.clone(), part1.clone(), &rt, &cfg1);
     // Shift the diagonal (K + 2I): comfortably nonsingular SPD system.
     for i in 0..hss.dense.pairs.len() {
@@ -82,9 +91,16 @@ fn main() {
     let mut r = hss.apply_permuted_mat(&x);
     r.axpy(-1.0, &bm);
     println!("\n== ULV direct solve of HSS (N = {n1}) ==");
-    println!("  factor: {:.1} ms, solve: {:.2} ms, root system: {}",
-        t_factor.as_secs_f64() * 1e3, t_solve.as_secs_f64() * 1e3, ulv.root_size());
-    println!("  representation residual: {:.2e}", r.norm_fro() / bm.norm_fro());
+    println!(
+        "  factor: {:.1} ms, solve: {:.2} ms, root system: {}",
+        t_factor.as_secs_f64() * 1e3,
+        t_solve.as_secs_f64() * 1e3,
+        ulv.root_size()
+    );
+    println!(
+        "  representation residual: {:.2e}",
+        r.norm_fro() / bm.norm_fro()
+    );
 
     // ---------------------------------------------------------------
     // 3. Loose ULV as a preconditioner for the exact operator.
@@ -99,7 +115,11 @@ fn main() {
         dense[(i, i)] += 0.1;
     }
     let exact = DenseOp::new(dense);
-    let cfg2 = SketchConfig { tol: 1e-4, initial_samples: 48, ..Default::default() };
+    let cfg2 = SketchConfig {
+        tol: 1e-4,
+        initial_samples: 48,
+        ..Default::default()
+    };
     let (hss2, _) = sketch_construct(&exact, &exact, tree2, part2, &rt, &cfg2);
     let ulv2 = UlvFactor::new(&hss2).expect("ULV");
     let b2: Vec<f64> = (0..n2).map(|i| 1.0 + (0.03 * i as f64).sin()).collect();
@@ -107,8 +127,10 @@ fn main() {
     let it_prec = pcg(&exact, &ulv2, &b2, 1000, 1e-10);
     println!("\n== Loose HSS+ULV as preconditioner (N = {n2}, mildly regularized) ==");
     println!("  plain CG  : {:4} iterations", it_plain.iterations);
-    println!("  ULV-CG    : {:4} iterations, residual {:.2e}",
-        it_prec.iterations, it_prec.relative_residual);
+    println!(
+        "  ULV-CG    : {:4} iterations, residual {:.2e}",
+        it_prec.iterations, it_prec.relative_residual
+    );
 
     // ---------------------------------------------------------------
     // 4. Woodbury solve for a low-rank-updated operator.

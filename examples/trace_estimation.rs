@@ -43,10 +43,17 @@ fn main() {
         &kernel,
         tree.clone(),
         partition.clone(),
-        &DirectConfig { tol: 1e-9, ..Default::default() },
+        &DirectConfig {
+            tol: 1e-9,
+            ..Default::default()
+        },
     );
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 128, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 128,
+        ..Default::default()
+    };
     let (h2, stats) = sketch_construct(&reference, &kernel, tree.clone(), partition, &rt, &cfg);
     println!(
         "custom kernel compressed: {} samples, {:.1} MiB, ranks {:?}",

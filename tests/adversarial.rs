@@ -23,7 +23,11 @@ fn duplicate_points_survive() {
     assert!(part.is_complete(&tree));
     let km = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-5, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-5,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     let e = relative_error_2(&km, &h2, 15, 71);
     assert!(e < 1e-4, "duplicates err {e}");
@@ -42,7 +46,11 @@ fn collinear_points() {
     assert!(part.top_far_level(&tree).is_some());
     let km = KernelMatrix::new(ExponentialKernel { l: 0.1 }, tree.points.clone());
     let rt = Runtime::sequential();
-    let cfg = SketchConfig { tol: 1e-7, initial_samples: 48, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-7,
+        initial_samples: 48,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     let e = relative_error_2(&km, &h2, 15, 72);
     assert!(e < 1e-6, "collinear err {e}");
@@ -61,8 +69,7 @@ fn coincident_cloud() {
     assert!(part.top_far_level(&tree).is_none());
     let km = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
     let rt = Runtime::sequential();
-    let (h2, stats) =
-        sketch_construct(&km, &km, tree.clone(), part, &rt, &SketchConfig::default());
+    let (h2, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &SketchConfig::default());
     assert_eq!(stats.total_samples, 0);
     // Dense-only representation is exact: all entries are diag or k(0)=diag.
     assert_eq!(h2.entry(3, 60), km.entry(3, 60));
@@ -87,7 +94,11 @@ fn nearly_diagonal_operator() {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = KernelMatrix::new(Spike, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 32, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 32,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     // Far field is below tolerance: expect (near-)zero ranks.
     let (_, hi) = h2.rank_range();
@@ -117,7 +128,11 @@ fn indefinite_operator() {
     }
     let km = KernelMatrix::new(Osc, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 96, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 96,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     let e = relative_error_2(&km, &h2, 15, 76);
     assert!(e < 1e-5, "oscillatory err {e}");
@@ -132,7 +147,11 @@ fn zero_operator() {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let op = DenseOp::new(Mat::zeros(n, n));
     let rt = Runtime::sequential();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 16, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 16,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&op, &op, tree.clone(), part, &rt, &cfg);
     let x = h2sketch::dense::gaussian_mat(n, 2, 78);
     let y = h2.apply_permuted_mat(&x);
@@ -162,7 +181,11 @@ fn clustered_blob_geometry() {
     assert!(part.is_complete(&tree));
     let km = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     h2.validate().unwrap();
     let e = relative_error_2(&km, &h2, 15, 73);
@@ -180,7 +203,11 @@ fn anisotropic_geometry() {
     assert!(part.is_complete(&tree));
     let km = KernelMatrix::new(ExponentialKernel { l: 20.0 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     let e = relative_error_2(&km, &h2, 15, 75);
     assert!(e < 1e-5, "anisotropic err {e}");
@@ -195,7 +222,11 @@ fn helix_geometry_small_ranks() {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = KernelMatrix::new(ExponentialKernel { l: 1.0 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     let e = relative_error_2(&km, &h2, 15, 76);
     assert!(e < 1e-5, "helix err {e}");
@@ -234,7 +265,11 @@ fn tiny_leaf_size() {
     assert!(part.is_complete(&tree));
     let km = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-5, initial_samples: 48, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-5,
+        initial_samples: 48,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     h2.validate().unwrap();
     let e = relative_error_2(&km, &h2, 15, 80);
@@ -252,7 +287,12 @@ fn admissibility_extremes() {
         let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta }));
         assert!(part.is_complete(&tree), "eta={eta}");
         let rt = Runtime::parallel();
-        let cfg = SketchConfig { tol: 1e-5, initial_samples: 96, max_rank: 256, ..Default::default() };
+        let cfg = SketchConfig {
+            tol: 1e-5,
+            initial_samples: 96,
+            max_rank: 256,
+            ..Default::default()
+        };
         let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
         h2.validate().unwrap();
         let e = relative_error_2(&km, &h2, 15, 82);
@@ -273,7 +313,11 @@ fn inconsistent_inputs_do_not_panic() {
     let km_a = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
     let km_b = KernelMatrix::new(ExponentialKernel { l: 0.4 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 48, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 48,
+        ..Default::default()
+    };
     // Sampler from km_a, entries from km_b.
     let (h2, _) = sketch_construct(&km_a, &km_b, tree.clone(), part, &rt, &cfg);
     h2.validate().unwrap();

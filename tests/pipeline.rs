@@ -3,7 +3,9 @@
 //! of the paper and both backends.
 
 use h2sketch::dense::{relative_error_2, DenseOp, EntryAccess, LinOp, Mat};
-use h2sketch::kernels::{ExponentialKernel, GaussianKernel, HelmholtzKernel, KernelMatrix, Matern32Kernel};
+use h2sketch::kernels::{
+    ExponentialKernel, GaussianKernel, HelmholtzKernel, KernelMatrix, Matern32Kernel,
+};
 use h2sketch::matrix::{direct_construct, DirectConfig, LowRankUpdate};
 use h2sketch::runtime::{Backend, Runtime};
 use h2sketch::sketch::{sketch_construct, SketchConfig, TolSchedule};
@@ -14,7 +16,10 @@ fn strong_setup(n: usize, leaf: usize, seed: u64) -> (Arc<ClusterTree>, Arc<Part
     let pts = uniform_cube(n, seed);
     let tree = Arc::new(ClusterTree::build(&pts, leaf));
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
-    assert!(part.top_far_level(&tree).is_some(), "partition must have admissible blocks");
+    assert!(
+        part.top_far_level(&tree).is_some(),
+        "partition must have admissible blocks"
+    );
     (tree, part)
 }
 
@@ -24,7 +29,11 @@ fn covariance_pipeline_end_to_end() {
     let (tree, part) = strong_setup(2000, 16, 1);
     let km = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, stats) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     h2.validate().unwrap();
     assert!(stats.total_samples >= 64);
@@ -42,10 +51,17 @@ fn ie_pipeline_with_h2_sampler() {
         &km,
         tree.clone(),
         part.clone(),
-        &DirectConfig { tol: 1e-10, ..Default::default() },
+        &DirectConfig {
+            tol: 1e-10,
+            ..Default::default()
+        },
     );
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 96, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 96,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&reference, &km, tree.clone(), part, &rt, &cfg);
     // Compare against the *kernel*, not the reference: both approximation
     // layers must stay within tolerance.
@@ -62,18 +78,30 @@ fn lowrank_update_pipeline() {
         &km,
         tree.clone(),
         part.clone(),
-        &DirectConfig { tol: 1e-10, ..Default::default() },
+        &DirectConfig {
+            tol: 1e-10,
+            ..Default::default()
+        },
     );
     let mut p = h2sketch::dense::gaussian_mat(1500, 32, 6);
     p.scale(0.02);
     let updated = LowRankUpdate::symmetric(&base, p.clone());
 
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 96, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 96,
+        ..Default::default()
+    };
     let (recompressed, _) = sketch_construct(&updated, &updated, tree.clone(), part, &rt, &cfg);
 
     let mut want = Mat::from_fn(1500, 1500, |i, j| km.entry(i, j));
-    let ppt = h2sketch::dense::matmul(h2sketch::dense::Op::NoTrans, h2sketch::dense::Op::Trans, p.rf(), p.rf());
+    let ppt = h2sketch::dense::matmul(
+        h2sketch::dense::Op::NoTrans,
+        h2sketch::dense::Op::Trans,
+        p.rf(),
+        p.rf(),
+    );
     want.axpy(1.0, &ppt);
     let got = recompressed.to_dense();
     let mut d = got;
@@ -92,7 +120,11 @@ fn frontal_pipeline() {
     let op = DenseOp::new(permuted);
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 1.0 }));
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-8, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-8,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&op, &op, tree.clone(), part, &rt, &cfg);
     let err = relative_error_2(&op, &h2, 20, 7);
     assert!(err < 1e-6, "frontal pipeline err {err}");
@@ -105,7 +137,11 @@ fn all_kernels_compress() {
     let pts = tree.points.clone();
     let run = |op: &dyn LinOp, gen: &dyn EntryAccess| {
         let rt = Runtime::parallel();
-        let cfg = SketchConfig { tol: 1e-5, initial_samples: 64, ..Default::default() };
+        let cfg = SketchConfig {
+            tol: 1e-5,
+            initial_samples: 64,
+            ..Default::default()
+        };
         let (h2, _) = sketch_construct(op, gen, tree.clone(), part.clone(), &rt, &cfg);
         h2
     };
@@ -128,7 +164,11 @@ fn sphere_geometry_pipeline() {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     let err = relative_error_2(&km, &h2, 20, 14);
     assert!(err < 1e-5, "sphere pipeline err {err}");
@@ -158,7 +198,11 @@ fn original_order_matvec() {
     let (tree, part) = strong_setup(1200, 16, 17);
     let km = KernelMatrix::new(ExponentialKernel { l: 0.2 }, tree.points.clone());
     let rt = Runtime::new(Backend::Parallel);
-    let cfg = SketchConfig { tol: 1e-7, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-7,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
 
     // Dense kernel in ORIGINAL ordering.
@@ -216,5 +260,8 @@ fn sample_count_is_constant_in_n() {
     // property. Allow one adaptation block of slack.
     let max = s1.max(s2).max(s3);
     let min = s1.min(s2).min(s3);
-    assert!(max - min <= 16, "sample counts {s1}, {s2}, {s3} must be N-independent");
+    assert!(
+        max - min <= 16,
+        "sample counts {s1}, {s2}, {s3} must be N-independent"
+    );
 }

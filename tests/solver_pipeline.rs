@@ -25,7 +25,11 @@ fn pcg_on_h2_covariance() {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-8, initial_samples: 64, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-8,
+        initial_samples: 64,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
 
     let b: Vec<f64> = (0..n).map(|i| (0.02 * i as f64).sin()).collect();
@@ -43,7 +47,11 @@ fn pcg_on_h2_covariance() {
         r += (kx[(i, 0)] - b[i]).powi(2);
         bn += b[i] * b[i];
     }
-    assert!((r / bn).sqrt() < 1e-5, "exact-system residual {}", (r / bn).sqrt());
+    assert!(
+        (r / bn).sqrt() < 1e-5,
+        "exact-system residual {}",
+        (r / bn).sqrt()
+    );
 }
 
 /// GMRES and BiCGStab solve an unsymmetric compressed system and agree.
@@ -55,7 +63,11 @@ fn unsym_h2_gmres_and_bicgstab() {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-8, initial_samples: 80, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-8,
+        initial_samples: 80,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
 
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (0.05 * i as f64).cos()).collect();
@@ -80,7 +92,11 @@ fn unsym_h2_gmres_and_bicgstab() {
         r += (kx[(i, 0)] - b[i]).powi(2);
         bn += b[i] * b[i];
     }
-    assert!((r / bn).sqrt() < 1e-5, "exact-system residual {}", (r / bn).sqrt());
+    assert!(
+        (r / bn).sqrt() < 1e-5,
+        "exact-system residual {}",
+        (r / bn).sqrt()
+    );
 }
 
 /// The multifrontal use case: compress a Poisson top-separator front with
@@ -97,7 +113,12 @@ fn frontal_hss_ulv_solve() {
     let op = DenseOp::new(permuted.clone());
 
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-10, initial_samples: 64, max_rank: 160, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-10,
+        initial_samples: 64,
+        max_rank: 160,
+        ..Default::default()
+    };
     let (hss, _) = sketch_construct(&op, &op, tree, part, &rt, &cfg);
     let ulv = UlvFactor::new(&hss).expect("frontal matrices are SPD");
 
@@ -120,7 +141,12 @@ fn lowrank_update_woodbury_vs_recompression() {
     let wpart = Arc::new(Partition::build(&tree, Admissibility::Weak));
     let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-10, initial_samples: 64, max_rank: 128, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-10,
+        initial_samples: 64,
+        max_rank: 128,
+        ..Default::default()
+    };
     let (mut hss, _) = sketch_construct(&km, &km, tree.clone(), wpart, &rt, &cfg);
     // Shift: K + 2I.
     for i in 0..hss.dense.pairs.len() {
@@ -142,7 +168,7 @@ fn lowrank_update_woodbury_vs_recompression() {
 
     // Reference: iterate on the updated operator directly.
     let upd = LowRankUpdate::symmetric(&hss, p.clone());
-    let res = pcg(&upd, &Identity { n }, &b.as_slice().to_vec(), 2000, 1e-12);
+    let res = pcg(&upd, &Identity { n }, b.as_slice(), 2000, 1e-12);
     assert!(res.converged);
     let mut dmax = 0.0f64;
     for i in 0..n {
@@ -162,14 +188,23 @@ fn unshifted_covariance_ulv() {
     // Short correlation length keeps the condition number moderate.
     let km = KernelMatrix::new(ExponentialKernel { l: 0.05 }, tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-11, initial_samples: 64, max_rank: 128, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-11,
+        initial_samples: 64,
+        max_rank: 128,
+        ..Default::default()
+    };
     let (hss, _) = sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg);
     let ulv = UlvFactor::new(&hss).expect("SPD kernel HSS");
     let b = gaussian_mat(n, 1, 706);
     let x = ulv.solve(&b);
     let mut r = hss.apply_permuted_mat(&x);
     r.axpy(-1.0, &b);
-    assert!(r.norm_fro() / b.norm_fro() < 1e-9, "residual {}", r.norm_fro() / b.norm_fro());
+    assert!(
+        r.norm_fro() / b.norm_fro() < 1e-9,
+        "residual {}",
+        r.norm_fro() / b.norm_fro()
+    );
 }
 
 /// Unsymmetric H2 persistence: bitwise roundtrip through the binary format.
@@ -181,7 +216,11 @@ fn unsym_io_roundtrip() {
     let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
     let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
     let rt = Runtime::parallel();
-    let cfg = SketchConfig { tol: 1e-6, initial_samples: 48, ..Default::default() };
+    let cfg = SketchConfig {
+        tol: 1e-6,
+        initial_samples: 48,
+        ..Default::default()
+    };
     let (h2, _) = sketch_construct_unsym(&km, &km, tree, part, &rt, &cfg);
 
     let bytes = h2.to_bytes();
@@ -192,7 +231,11 @@ fn unsym_io_roundtrip() {
     let y2 = back.apply_permuted_mat(&x);
     let mut d = y1;
     d.axpy(-1.0, &y2);
-    assert_eq!(d.norm_max(), 0.0, "loaded unsym matvec must be bitwise identical");
+    assert_eq!(
+        d.norm_max(),
+        0.0,
+        "loaded unsym matvec must be bitwise identical"
+    );
     let t1 = h2.apply_transpose_permuted_mat(&x);
     let t2 = back.apply_transpose_permuted_mat(&x);
     let mut dt = t1;
