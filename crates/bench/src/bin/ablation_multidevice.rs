@@ -1,27 +1,35 @@
-//! Multi-device scaling projection (paper §IV.B).
+//! Multi-device scaling: §IV.B simulated *and* executed.
 //!
 //! The paper evaluates on a single A100 and sketches the multi-GPU
 //! extension in §IV.B: per-level batches divide across devices, and only
 //! `batchedBSRGemm` (Ω fetches) and the line-24 child gather communicate.
-//! This harness grounds that discussion quantitatively: it builds a real H2
-//! matrix, extracts its per-level execution structure, and projects
-//! makespan / traffic / efficiency across device counts under an A100-class
-//! device model — and under a weaker compute model where the crossover
-//! happens earlier.
+//! This harness grounds that discussion two ways on one problem:
 //!
-//! Usage: `cargo run --release -p h2-bench --bin ablation_multidevice -- [--n 32768] [--samples 256]`
+//! 1. **Projection** — extract the construction's per-level execution
+//!    structure (`level_specs`) and run the closed-form `DeviceModel`
+//!    simulator across device counts;
+//! 2. **Execution** — run the same construction *for real* on the
+//!    `h2_sched::DeviceFabric` (one worker thread + arena + account per
+//!    virtual device), then compare the measured work/traffic/makespan
+//!    against the projection, and time the sharded matvec.
+//!
+//! Usage: `cargo run --release -p h2_bench --bin ablation_multidevice --
+//!         [--n 32768] [--samples 256] [--skip-real]`
 
 use h2_bench::{build_problem, header, reference_h2, row, App, Args};
 use h2_core::{level_specs, sketch_construct, SketchConfig};
-use h2_runtime::{simulate, DeviceModel, Runtime};
+use h2_runtime::{simulate, DeviceModel, Runtime, TransferKind};
+use h2_sched::{compare_with_simulator, shard_construct, shard_matvec_with_report, DeviceFabric};
 
 fn main() {
     let args = Args::parse();
     let n: usize = args.get("n", 32768);
     let d: usize = args.get("samples", 256);
     let tol: f64 = args.get("tol", 1e-6);
+    let leaf: usize = args.get("leaf", 64);
+    let skip_real = args.flag("skip-real");
 
-    let problem = build_problem(App::Covariance, n, 64, 0.7, 0xD1CE);
+    let problem = build_problem(App::Covariance, n, leaf, 0.7, 0xD1CE);
     let reference = reference_h2(&problem, tol * 1e-2);
     let rt = Runtime::parallel();
     let cfg = SketchConfig {
@@ -38,6 +46,11 @@ fn main() {
         &cfg,
     );
     let specs = level_specs(&h2);
+    assert!(
+        !specs.is_empty(),
+        "partition is all-dense at N={n}, leaf={leaf}: no batched levels to \
+         shard — rerun with a larger --n or smaller --leaf"
+    );
     println!(
         "# Multi-device projection (covariance, N={n}, d={d}, {} processed levels, ranks {:?})\n",
         specs.len(),
@@ -61,7 +74,7 @@ fn main() {
             },
         ),
     ] {
-        println!("## {name}\n");
+        println!("## Simulated: {name}\n");
         header(&[
             "devices",
             "makespan (ms)",
@@ -85,7 +98,82 @@ fn main() {
         println!();
     }
 
+    if !skip_real {
+        // ---- the real sharded executor on the same problem ----
+        // The construction reruns on the fabric per device count (the specs
+        // above describe its final kernel populations); work and traffic
+        // totals must line up with the simulated columns, the makespan
+        // within the documented scheduling band (see h2_sched::exec).
+        let model = DeviceModel::default();
+        println!("## Executed: h2_sched::DeviceFabric (virtual devices, measured)\n");
+        header(&[
+            "devices",
+            "wall (ms)",
+            "busy max/dev (ms)",
+            "Ω-fetch (MiB)",
+            "gather (MiB)",
+            "modeled/sim makespan",
+            "work rel err",
+        ]);
+        for devices in [1usize, 2, 4, 8] {
+            let fabric = DeviceFabric::new(devices);
+            let (h2s, st, report) = shard_construct(
+                &fabric,
+                &reference,
+                &problem.kernel,
+                problem.tree.clone(),
+                problem.partition.clone(),
+                &cfg,
+            );
+            let cmp = compare_with_simulator(&report, &level_specs(&h2s), st.total_samples, &model);
+            let busy_max = report
+                .busy_per_device()
+                .into_iter()
+                .map(|b| b.as_secs_f64())
+                .fold(0.0, f64::max);
+            row(&[
+                devices.to_string(),
+                format!("{:.1}", report.measured_makespan().as_secs_f64() * 1e3),
+                format!("{:.1}", busy_max * 1e3),
+                format!(
+                    "{:.2}",
+                    report.bytes_of_kind(TransferKind::OmegaFetch) as f64 / (1 << 20) as f64
+                ),
+                format!(
+                    "{:.2}",
+                    report.bytes_of_kind(TransferKind::ChildGather) as f64 / (1 << 20) as f64
+                ),
+                format!("{:.2}", cmp.makespan_ratio()),
+                format!("{:.1e}", cmp.flops_rel_err()),
+            ]);
+        }
+        println!();
+
+        println!("## Executed: sharded matvec (16 columns)\n");
+        header(&["devices", "wall (ms)", "comm (MiB)", "partial-sum (MiB)"]);
+        let x = h2_dense::gaussian_mat(n, 16, 0xBEEF);
+        for devices in [1usize, 2, 4, 8] {
+            let fabric = DeviceFabric::new(devices);
+            let t0 = std::time::Instant::now();
+            let (_, rep) = shard_matvec_with_report(&fabric, &h2, &x, false);
+            let wall = t0.elapsed().as_secs_f64();
+            row(&[
+                devices.to_string(),
+                format!("{:.1}", wall * 1e3),
+                format!("{:.2}", rep.total_comm_bytes() as f64 / (1 << 20) as f64),
+                format!(
+                    "{:.2}",
+                    rep.bytes_of_kind(TransferKind::PartialSum) as f64 / (1 << 20) as f64
+                ),
+            ]);
+        }
+        println!();
+    }
+
     println!("Interpretation: the batched construction is compute-bound at the leaves");
     println!("and latency/traffic-bound at the top levels; speedup saturates once the");
     println!("per-device level chunks stop amortizing Ω fetches — the §IV.B tradeoff.");
+    println!("The executed rows validate the projection: identical work and byte");
+    println!("totals, makespan agreeing within the scheduling band; wall times on");
+    println!("CPU worker threads show the decomposition, not A100 throughput.");
 }

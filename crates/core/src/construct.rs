@@ -428,6 +428,11 @@ fn sketch_construct_engine(
             skels_local,
         });
 
+        // Close the device fabric's accounting epoch for this level (no-op
+        // off the sharded backend): per-epoch stats then line up one-to-one
+        // with the `level_specs` the multi-device simulator consumes.
+        rt.shard_epoch(&format!("construct L{l}"));
+
         if l == top {
             break;
         }

@@ -573,6 +573,56 @@ mod unsym_tests {
         assert!(rel < 1e-5, "Kᵀx error {rel}");
     }
 
+    /// Satellite acceptance: `orthogonalize` on the unsymmetric layout —
+    /// per-side QR with the coupled `B ← R_s B R_tᵀ` rescaling must leave
+    /// both products unchanged and orthonormalize both basis trees.
+    #[test]
+    fn orthogonalize_unsym_preserves_both_products() {
+        let (tree, part, km) = convection_problem(1100, 515);
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            tol: 1e-7,
+            initial_samples: 80,
+            ..Default::default()
+        };
+        let (mut h2, _) = sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg);
+        assert!(!h2.is_symmetric());
+        assert!(
+            h2.basis_orthogonality_error() > 1e-8,
+            "interpolative bases start non-orthonormal"
+        );
+        let x = gaussian_mat(1100, 3, 516);
+        let fwd_before = h2.apply_permuted_mat(&x);
+        let adj_before = h2.apply_transpose_permuted_mat(&x);
+
+        let processed = h2.orthogonalize();
+        assert!(processed > 0, "both sides processed");
+        assert!(
+            h2.basis_orthogonality_error() < 1e-12,
+            "both sides orthonormal, err {}",
+            h2.basis_orthogonality_error()
+        );
+        h2.validate().unwrap();
+
+        let fwd_after = h2.apply_permuted_mat(&x);
+        let adj_after = h2.apply_transpose_permuted_mat(&x);
+        let mut df = fwd_after;
+        df.axpy(-1.0, &fwd_before);
+        let mut da = adj_after;
+        da.axpy(-1.0, &adj_before);
+        let scale = fwd_before.norm_max().max(adj_before.norm_max()).max(1.0);
+        assert!(
+            df.norm_max() < 1e-10 * scale,
+            "K x changed by {}",
+            df.norm_max()
+        );
+        assert!(
+            da.norm_max() < 1e-10 * scale,
+            "Kᵀ x changed by {}",
+            da.norm_max()
+        );
+    }
+
     #[test]
     fn forward_and_transpose_are_consistent() {
         // x̂ᵀ(K y) == (Kᵀ x̂)ᵀ y must hold exactly for the *representation*

@@ -8,16 +8,24 @@
 //! sequence `sketch_construct` executes.
 
 use h2_matrix::H2Matrix;
-use h2_runtime::LevelSpec;
+use h2_runtime::{LevelSpec, StreamSpec};
 
 /// Build per-level execution specs for the construction that produced `h2`.
 ///
 /// Returns one spec per processed level, leaf first — the order Algorithm 1
 /// runs them. Returns an empty vector for all-dense (tiny) partitions,
 /// which never launch a batched sketching kernel.
+///
+/// For an unsymmetric matrix (`h2.col.is_some()`) the spec additionally
+/// carries the column stream's populations (`LevelSpec::col_stream`) and
+/// its `gen_blocks` enumerate every *ordered* pair — exactly the kernel
+/// populations the two-stream engine executes, so one spec set feeds both
+/// the [`h2_runtime::simulate`] cost model and the real `h2_sched`
+/// executor in both symmetry regimes.
 pub fn level_specs(h2: &H2Matrix) -> Vec<LevelSpec> {
     let tree = &h2.tree;
     let partition = &h2.partition;
+    let symmetric = h2.is_symmetric();
     let leaf_level = tree.leaf_level();
     let Some(top) = partition.top_far_level(tree) else {
         return Vec::new();
@@ -27,6 +35,7 @@ pub fn level_specs(h2: &H2Matrix) -> Vec<LevelSpec> {
     for l in (top..=leaf_level).rev() {
         let node_ids: Vec<usize> = tree.level(l).collect();
         let mut spec = LevelSpec::default();
+        let mut col = StreamSpec::default();
 
         if l == leaf_level {
             // BSR population = ID population = the leaves.
@@ -42,9 +51,15 @@ pub fn level_specs(h2: &H2Matrix) -> Vec<LevelSpec> {
                 })
                 .collect();
             spec.id_rows = spec.rows.clone();
-            // Dense near blocks are generated at this level (line 8)...
+            col.rows = spec.rows.clone();
+            col.id_rows = spec.rows.clone();
+            // Dense near blocks are generated at this level (line 8):
+            // unordered pairs when symmetric, every ordered pair otherwise.
             for &s in &node_ids {
-                for &t in partition.near_of[s].iter().filter(|&&t| s <= t) {
+                for &t in partition.near_of[s]
+                    .iter()
+                    .filter(|&&t| !symmetric || s <= t)
+                {
                     spec.gen_blocks
                         .push((tree.nodes[s].len(), tree.nodes[t].len()));
                 }
@@ -54,7 +69,10 @@ pub fn level_specs(h2: &H2Matrix) -> Vec<LevelSpec> {
             // coupling blocks generated one iteration earlier (line 27).
             let child_ids: Vec<usize> = tree.level(l + 1).collect();
             spec.rows = child_ids.iter().map(|&id| h2.rank(id)).collect();
-            spec.col_rows = spec.rows.clone();
+            // The row stream's partner inputs `Ω_b` were compressed by the
+            // *column* basis (`Ω ← Vᵀ Ω`), so their row counts are the
+            // column-side ranks — which alias the row side when symmetric.
+            spec.col_rows = child_ids.iter().map(|&id| h2.col_rank(id)).collect();
             spec.adj = child_ids
                 .iter()
                 .map(|&s| {
@@ -79,15 +97,31 @@ pub fn level_specs(h2: &H2Matrix) -> Vec<LevelSpec> {
                     h2.rank(c1) + h2.rank(c2)
                 })
                 .collect();
+            col.rows = child_ids.iter().map(|&id| h2.col_rank(id)).collect();
+            col.id_rows = node_ids
+                .iter()
+                .map(|&p| {
+                    let (c1, c2) = tree.nodes[p].children.unwrap();
+                    h2.col_rank(c1) + h2.col_rank(c2)
+                })
+                .collect();
         }
 
-        // ...and the level's coupling blocks (line 41).
+        // ...and the level's coupling blocks (line 41): `B_{s,t}` has shape
+        // (row rank of s) × (column rank of t).
         for &s in &node_ids {
-            for &t in partition.far_of[s].iter().filter(|&&t| s <= t) {
-                spec.gen_blocks.push((h2.rank(s), h2.rank(t)));
+            for &t in partition.far_of[s]
+                .iter()
+                .filter(|&&t| !symmetric || s <= t)
+            {
+                spec.gen_blocks.push((h2.rank(s), h2.col_rank(t)));
             }
         }
         spec.ranks = node_ids.iter().map(|&id| h2.rank(id)).collect();
+        if !symmetric {
+            col.ranks = node_ids.iter().map(|&id| h2.col_rank(id)).collect();
+            spec.col_stream = Some(col);
+        }
         specs.push(spec);
     }
     specs
@@ -160,6 +194,100 @@ mod tests {
     fn all_dense_partition_has_no_specs() {
         let h2 = built(40, 604);
         assert!(level_specs(&h2).is_empty());
+    }
+
+    fn built_unsym(n: usize, seed: u64) -> H2Matrix {
+        let pts = h2_tree::uniform_cube(n, seed);
+        let tree = Arc::new(ClusterTree::build(&pts, 16));
+        let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+        let km = h2_kernels::UnsymKernelMatrix::new(
+            h2_kernels::ConvectionKernel::default(),
+            tree.points.clone(),
+        );
+        let rt = Runtime::parallel();
+        let cfg = SketchConfig {
+            initial_samples: 48,
+            ..Default::default()
+        };
+        crate::sketch_construct_unsym(&km, &km, tree, part, &rt, &cfg).0
+    }
+
+    #[test]
+    fn symmetric_specs_have_no_col_stream() {
+        let h2 = built(2000, 609);
+        assert!(level_specs(&h2).iter().all(|s| s.col_stream.is_none()));
+    }
+
+    #[test]
+    fn unsym_specs_carry_col_stream_populations() {
+        let h2 = built_unsym(2000, 610);
+        let specs = level_specs(&h2);
+        assert!(!specs.is_empty());
+        for (i, s) in specs.iter().enumerate() {
+            let cs = s.col_stream.as_ref().expect("col stream populated");
+            assert_eq!(cs.rows.len(), s.rows.len(), "BSR populations align");
+            assert_eq!(cs.id_rows.len(), s.id_rows.len(), "ID populations align");
+            assert_eq!(cs.ranks.len(), s.ranks.len());
+            if i == 0 {
+                // Leaf: both streams see the cluster sizes.
+                assert_eq!(cs.rows, s.rows);
+            }
+        }
+    }
+
+    #[test]
+    fn unsym_gen_blocks_enumerate_ordered_pairs() {
+        let h2 = built_unsym(1500, 611);
+        let tree = &h2.tree;
+        let part = &h2.partition;
+        let leaf = tree.leaf_level();
+        // Exact expectation: the leaf spec's gen blocks are all *ordered*
+        // near pairs plus all ordered leaf-level far pairs — the two-stream
+        // engine generates K(I_s, I_t) and K(I_t, I_s) separately.
+        let mut ordered = 0usize;
+        let mut unordered = 0usize;
+        for s in tree.level(leaf) {
+            for &t in part.near_of[s].iter().chain(part.far_of[s].iter()) {
+                ordered += 1;
+                if s <= t {
+                    unordered += 1;
+                }
+            }
+        }
+        let leaf_spec = &level_specs(&h2)[0];
+        assert_eq!(
+            leaf_spec.gen_blocks.len(),
+            ordered,
+            "leaf gen blocks must enumerate every ordered pair"
+        );
+        assert!(
+            ordered > unordered,
+            "test geometry must have off-diagonal pairs"
+        );
+    }
+
+    #[test]
+    fn unsym_simulation_costs_exceed_symmetric_shape() {
+        // Two streams cost more than one on the same structure: zero out the
+        // col stream of a real unsym spec set and the simulated makespan
+        // must drop.
+        let h2 = built_unsym(2000, 612);
+        let specs = level_specs(&h2);
+        let mut row_only = specs.clone();
+        for s in &mut row_only {
+            s.col_stream = None;
+        }
+        let m = DeviceModel::default();
+        let full = simulate(&specs, 48, 2, &m);
+        let half = simulate(&row_only, 48, 2, &m);
+        assert!(
+            full.compute_total() > half.compute_total(),
+            "col stream must add compute"
+        );
+        assert!(
+            full.total_comm_bytes >= half.total_comm_bytes,
+            "col stream cannot reduce traffic"
+        );
     }
 
     #[test]

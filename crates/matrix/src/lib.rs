@@ -34,6 +34,7 @@ pub mod orthog;
 pub use direct::{direct_construct, fill_blocks, DirectConfig};
 pub use format::{BasisSide, BlockStore, H2Matrix, MemoryBreakdown, StoreLayout};
 pub use lowrank::{LinOpEntry, LowRankUpdate};
+pub use matvec::ApplyPhases;
 
 /// An unsymmetric H2 matrix: the unified [`H2Matrix`] with its column side
 /// stored (`col.is_some()`) and ordered block stores.

@@ -10,13 +10,204 @@
 //! One implementation serves all four products: `K x` reads input side `V`,
 //! output side `U`; `Kᵀ x` swaps the sides and reads every block through
 //! [`crate::format::BlockStore::get_op`] with the transpose flag — for a
-//! symmetric matrix
-//! both sides alias the same basis tree and the two products coincide
-//! bitwise.
+//! symmetric matrix both sides alias the same basis tree and the two
+//! products coincide bitwise.
+//!
+//! The per-node work of each pass is factored into [`ApplyPhases`] so that
+//! two executors can drive the same numerics: the in-process rayon path
+//! below ([`H2Matrix::apply_permuted`]) and the device-sharded executor of
+//! the `h2_sched` crate, which runs the same phase kernels level by level
+//! over contiguous node chunks with explicit cross-device transfers.
 
 use crate::format::H2Matrix;
 use h2_dense::{gemm, Mat, MatMut, MatRef, Op};
 use rayon::prelude::*;
+
+/// Side-resolved per-node kernels of the three-pass matvec.
+///
+/// Holds the input/output basis resolution for a forward (`K x`) or
+/// transposed (`Kᵀ x`) product; each method is the body of one batched
+/// kernel of one pass, operating on a single node. The caller owns the
+/// `x̂`/`ŷ` arrays and the scheduling (rayon, sequential, or sharded).
+pub struct ApplyPhases<'a> {
+    h2: &'a H2Matrix,
+    transpose: bool,
+    in_basis: &'a [Mat],
+    out_basis: &'a [Mat],
+}
+
+impl H2Matrix {
+    /// The phase kernels of `K x` (`transpose == false`) or `Kᵀ x`.
+    pub fn apply_phases(&self, transpose: bool) -> ApplyPhases<'_> {
+        // For K:  input side = V (column), output side = U (row).
+        // For Kᵀ: input side = U, output side = V.
+        let (in_basis, out_basis) = if transpose {
+            (&self.basis[..], self.col_basis())
+        } else {
+            (self.col_basis(), &self.basis[..])
+        };
+        ApplyPhases {
+            h2: self,
+            transpose,
+            in_basis,
+            out_basis,
+        }
+    }
+}
+
+impl<'a> ApplyPhases<'a> {
+    /// Bases compressing the input (`V` for `K x`).
+    pub fn in_basis(&self) -> &'a [Mat] {
+        self.in_basis
+    }
+
+    /// Bases expanding the output (`U` for `K x`).
+    pub fn out_basis(&self) -> &'a [Mat] {
+        self.out_basis
+    }
+
+    /// Upsweep kernel for one node: `x̂_id = V_idᵀ ·` (leaf rows of `x`, or
+    /// the stacked child `x̂`s). `None` when the node carries no input
+    /// basis. Children with rank 0 (empty far field) contribute zero rows.
+    pub fn upsweep_node(&self, id: usize, x: MatRef<'_>, xhat: &[Mat]) -> Option<Mat> {
+        let v = &self.in_basis[id];
+        if v.cols() == 0 {
+            return None;
+        }
+        let tree = &self.h2.tree;
+        let d = x.cols();
+        let mut out = Mat::zeros(v.cols(), d);
+        if tree.level_of(id) == tree.leaf_level() {
+            let (b, e) = tree.range(id);
+            gemm(
+                Op::Trans,
+                Op::NoTrans,
+                1.0,
+                v.rf(),
+                x.view(b, 0, e - b, d),
+                0.0,
+                out.rm(),
+            );
+        } else {
+            let (c1, c2) = tree.nodes[id].children.unwrap();
+            let (k1, k2) = (self.in_basis[c1].cols(), self.in_basis[c2].cols());
+            let mut stacked = Mat::zeros(k1 + k2, d);
+            if xhat[c1].rows() == k1 && xhat[c1].cols() == d && k1 > 0 {
+                stacked.view_mut(0, 0, k1, d).copy_from(xhat[c1].rf());
+            }
+            if xhat[c2].rows() == k2 && xhat[c2].cols() == d && k2 > 0 {
+                stacked.view_mut(k1, 0, k2, d).copy_from(xhat[c2].rf());
+            }
+            gemm(
+                Op::Trans,
+                Op::NoTrans,
+                1.0,
+                v.rf(),
+                stacked.rf(),
+                0.0,
+                out.rm(),
+            );
+        }
+        Some(out)
+    }
+
+    /// Coupling kernel for one node: `ŷ_s = Σ_t op(B_{s,t}) x̂_t` over the
+    /// far field of `s`. `None` when `s` has no admissible partners.
+    /// Rank-0 partners contribute nothing (zero-dimensional blocks).
+    pub fn coupling_node(&self, s: usize, xhat: &[Mat], d: usize) -> Option<Mat> {
+        if self.h2.partition.far_of[s].is_empty() {
+            return None;
+        }
+        let ks = self.out_basis[s].cols();
+        let mut acc = Mat::zeros(ks, d);
+        for &t in &self.h2.partition.far_of[s] {
+            if ks == 0 || self.in_basis[t].cols() == 0 {
+                continue;
+            }
+            let (blk, transposed) = self
+                .h2
+                .coupling
+                .get_op(s, t, self.transpose)
+                .expect("coupling block");
+            let op = if transposed { Op::Trans } else { Op::NoTrans };
+            gemm(op, Op::NoTrans, 1.0, blk.rf(), xhat[t].rf(), 1.0, acc.rm());
+        }
+        Some(acc)
+    }
+
+    /// Downsweep kernel for one child: its transfer slice applied to the
+    /// parent's `ŷ` (`E_child ŷ_parent`), to be accumulated into
+    /// `ŷ_child`. `None` when the parent carries nothing.
+    pub fn downsweep_child(&self, child: usize, yhat: &[Mat], d: usize) -> Option<Mat> {
+        let tree = &self.h2.tree;
+        let parent = tree.nodes[child].parent?;
+        if yhat[parent].rows() == 0 || self.out_basis[parent].cols() == 0 {
+            return None;
+        }
+        let (c1, _c2) = tree.nodes[parent].children.unwrap();
+        let kc = self.out_basis[child].cols();
+        let kp = self.out_basis[parent].cols();
+        let off = if child == c1 {
+            0
+        } else {
+            self.out_basis[c1].cols()
+        };
+        let e = self.out_basis[parent].view(off, 0, kc, kp);
+        let mut out = Mat::zeros(kc, d);
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            e,
+            yhat[parent].rf(),
+            0.0,
+            out.rm(),
+        );
+        Some(out)
+    }
+
+    /// Leaf kernel: the output rows owned by leaf `s` — basis expansion of
+    /// `ŷ_s` plus the dense near-field products. Returns
+    /// `(row_start, block)`; leaf row ranges are disjoint, so per-device
+    /// partial outputs assemble without reduction conflicts.
+    pub fn leaf_node(&self, s: usize, x: MatRef<'_>, yhat: &[Mat]) -> (usize, Mat) {
+        let tree = &self.h2.tree;
+        let d = x.cols();
+        let (b, e) = tree.range(s);
+        let m = e - b;
+        let mut out = Mat::zeros(m, d);
+        if yhat[s].rows() > 0 && self.out_basis[s].cols() > 0 {
+            gemm(
+                Op::NoTrans,
+                Op::NoTrans,
+                1.0,
+                self.out_basis[s].rf(),
+                yhat[s].rf(),
+                1.0,
+                out.rm(),
+            );
+        }
+        for &t in &self.h2.partition.near_of[s] {
+            let (blk, transposed) = self
+                .h2
+                .dense
+                .get_op(s, t, self.transpose)
+                .expect("dense block");
+            let op = if transposed { Op::Trans } else { Op::NoTrans };
+            let (tb, te) = tree.range(t);
+            gemm(
+                op,
+                Op::NoTrans,
+                1.0,
+                blk.rf(),
+                x.view(tb, 0, te - tb, d),
+                1.0,
+                out.rm(),
+            );
+        }
+        (b, out)
+    }
+}
 
 impl H2Matrix {
     /// `y = K x` for a block of vectors, in tree-permuted coordinates.
@@ -39,14 +230,7 @@ impl H2Matrix {
         assert_eq!(y.cols(), d, "apply: y cols");
         y.fill(0.0);
 
-        // For K:  input side = V (column), output side = U (row).
-        // For Kᵀ: input side = U, output side = V.
-        let (in_basis, out_basis) = if transpose {
-            (&self.basis[..], self.col_basis())
-        } else {
-            (self.col_basis(), &self.basis[..])
-        };
-
+        let ph = self.apply_phases(transpose);
         let tree = &self.tree;
         let nnodes = tree.nodes.len();
         let leaf_level = tree.leaf_level();
@@ -57,45 +241,7 @@ impl H2Matrix {
             let ids: Vec<usize> = tree.level(l).collect();
             let level_res: Vec<(usize, Mat)> = ids
                 .par_iter()
-                .filter(|&&id| in_basis[id].cols() > 0)
-                .map(|&id| {
-                    let v = &in_basis[id];
-                    let mut out = Mat::zeros(v.cols(), d);
-                    if l == leaf_level {
-                        let (b, e) = tree.range(id);
-                        gemm(
-                            Op::Trans,
-                            Op::NoTrans,
-                            1.0,
-                            v.rf(),
-                            x.view(b, 0, e - b, d),
-                            0.0,
-                            out.rm(),
-                        );
-                    } else {
-                        // Children with rank 0 (empty far field) contribute
-                        // zero rows; build the stack shape-correctly.
-                        let (c1, c2) = tree.nodes[id].children.unwrap();
-                        let (k1, k2) = (in_basis[c1].cols(), in_basis[c2].cols());
-                        let mut stacked = Mat::zeros(k1 + k2, d);
-                        if xhat[c1].rows() == k1 && xhat[c1].cols() == d && k1 > 0 {
-                            stacked.view_mut(0, 0, k1, d).copy_from(xhat[c1].rf());
-                        }
-                        if xhat[c2].rows() == k2 && xhat[c2].cols() == d && k2 > 0 {
-                            stacked.view_mut(k1, 0, k2, d).copy_from(xhat[c2].rf());
-                        }
-                        gemm(
-                            Op::Trans,
-                            Op::NoTrans,
-                            1.0,
-                            v.rf(),
-                            stacked.rf(),
-                            0.0,
-                            out.rm(),
-                        );
-                    }
-                    (id, out)
-                })
+                .filter_map(|&id| ph.upsweep_node(id, x, &xhat).map(|m| (id, m)))
                 .collect();
             for (id, m) in level_res {
                 xhat[id] = m;
@@ -105,25 +251,7 @@ impl H2Matrix {
         // ---- coupling products: ŷ_s = Σ_t op(B) x̂_t ----
         let yhat_res: Vec<(usize, Mat)> = (0..nnodes)
             .into_par_iter()
-            .filter(|&s| !self.partition.far_of[s].is_empty())
-            .map(|s| {
-                let ks = out_basis[s].cols();
-                let mut acc = Mat::zeros(ks, d);
-                for &t in &self.partition.far_of[s] {
-                    // Rank-0 partners (far field below tolerance) contribute
-                    // nothing; their coupling blocks are zero-dimensional.
-                    if ks == 0 || in_basis[t].cols() == 0 {
-                        continue;
-                    }
-                    let (blk, transposed) = self
-                        .coupling
-                        .get_op(s, t, transpose)
-                        .expect("coupling block");
-                    let op = if transposed { Op::Trans } else { Op::NoTrans };
-                    gemm(op, Op::NoTrans, 1.0, blk.rf(), xhat[t].rf(), 1.0, acc.rm());
-                }
-                (s, acc)
-            })
+            .filter_map(|s| ph.coupling_node(s, &xhat, d).map(|m| (s, m)))
             .collect();
         let mut yhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
         for (s, m) in yhat_res {
@@ -138,28 +266,7 @@ impl H2Matrix {
             let ids: Vec<usize> = tree.level(l + 1).collect();
             let contrib: Vec<(usize, Mat)> = ids
                 .par_iter()
-                .filter_map(|&child| {
-                    let parent = tree.nodes[child].parent?;
-                    if yhat[parent].rows() == 0 || out_basis[parent].cols() == 0 {
-                        return None;
-                    }
-                    let (c1, _c2) = tree.nodes[parent].children.unwrap();
-                    let kc = out_basis[child].cols();
-                    let kp = out_basis[parent].cols();
-                    let off = if child == c1 { 0 } else { out_basis[c1].cols() };
-                    let e = out_basis[parent].view(off, 0, kc, kp);
-                    let mut out = Mat::zeros(kc, d);
-                    gemm(
-                        Op::NoTrans,
-                        Op::NoTrans,
-                        1.0,
-                        e,
-                        yhat[parent].rf(),
-                        0.0,
-                        out.rm(),
-                    );
-                    Some((child, out))
-                })
+                .filter_map(|&child| ph.downsweep_child(child, &yhat, d).map(|m| (child, m)))
                 .collect();
             for (child, m) in contrib {
                 if yhat[child].rows() == 0 {
@@ -175,38 +282,7 @@ impl H2Matrix {
         // Disjoint leaf row ranges of y: compute contributions in parallel.
         let leaf_out: Vec<(usize, Mat)> = leaf_ids
             .par_iter()
-            .map(|&s| {
-                let (b, e) = tree.range(s);
-                let m = e - b;
-                let mut out = Mat::zeros(m, d);
-                if yhat[s].rows() > 0 && out_basis[s].cols() > 0 {
-                    gemm(
-                        Op::NoTrans,
-                        Op::NoTrans,
-                        1.0,
-                        out_basis[s].rf(),
-                        yhat[s].rf(),
-                        1.0,
-                        out.rm(),
-                    );
-                }
-                for &t in &self.partition.near_of[s] {
-                    let (blk, transposed) =
-                        self.dense.get_op(s, t, transpose).expect("dense block");
-                    let op = if transposed { Op::Trans } else { Op::NoTrans };
-                    let (tb, te) = tree.range(t);
-                    gemm(
-                        op,
-                        Op::NoTrans,
-                        1.0,
-                        blk.rf(),
-                        x.view(tb, 0, te - tb, d),
-                        1.0,
-                        out.rm(),
-                    );
-                }
-                (b, out)
-            })
+            .map(|&s| ph.leaf_node(s, x, &yhat))
             .collect();
         for (b, m) in leaf_out {
             y.rb_mut().into_view(b, 0, m.rows(), d).copy_from(m.rf());

@@ -12,119 +12,171 @@
 //! * inner: the (already-updated) stacked transfer `[R_1 E_1; R_2 E_2] = QR`
 //!   → store `Q`, push `R` upward likewise.
 //!
-//! Coupling blocks become `B ← R_s B R_tᵀ`. The skeleton index lists keep
-//! their values for bookkeeping but the identity-rows property of the
-//! interpolative basis no longer holds afterwards (documented trade-off).
+//! Both side layouts are supported. For the symmetric layout one QR sweep
+//! rescales coupling blocks as `B ← R_s B R_sᵀ`-style with the shared `R`s;
+//! for the unsymmetric layout each side gets its own QR sweep and the
+//! coupled rescaling is `B_{s,t} ← R^row_s B_{s,t} (R^col_t)ᵀ` — an
+//! admissible block acts as `U_s B_{s,t} V_tᵀ`, so the row `R` multiplies
+//! from the left and the column `R` from the right.
+//!
+//! The skeleton index lists keep their values for bookkeeping but the
+//! identity-rows property of the interpolative basis no longer holds
+//! afterwards (documented trade-off).
 
 use crate::format::H2Matrix;
 use h2_dense::{gemm, matmul, qr_factor, Mat, Op};
+use h2_tree::ClusterTree;
+
+/// Fold the children's `R` factors into this level's stacked transfers and
+/// QR every based node of `ids` on one side. Updates `basis` in place and
+/// records the new `R` factors in `r_of`. Returns the number of nodes
+/// processed.
+fn orthogonalize_side_level(
+    tree: &ClusterTree,
+    basis: &mut [Mat],
+    r_of: &mut [Option<Mat>],
+    ids: &[usize],
+    l: usize,
+    leaf_level: usize,
+) -> usize {
+    // 1. Update this level's stacked bases with the children's R factors
+    //    (no-op at the leaf level).
+    if l < leaf_level {
+        for &id in ids {
+            let (c1, c2) = tree.nodes[id].children.unwrap();
+            let b = &basis[id];
+            // Rows of the stacked transfer split by the children's *old*
+            // ranks (cols of their R factors).
+            let k1 = r_of[c1]
+                .as_ref()
+                .map(|r| r.cols())
+                .unwrap_or(basis[c1].cols());
+            let k2 = r_of[c2]
+                .as_ref()
+                .map(|r| r.cols())
+                .unwrap_or(basis[c2].cols());
+            debug_assert_eq!(k1 + k2, b.rows());
+            let top_rows = r_of[c1].as_ref().map(|r| r.rows()).unwrap_or(k1);
+            let bot_rows = r_of[c2].as_ref().map(|r| r.rows()).unwrap_or(k2);
+            let mut updated = Mat::zeros(top_rows + bot_rows, b.cols());
+            {
+                let e1 = b.view(0, 0, k1, b.cols());
+                let mut dst = updated.view_mut(0, 0, top_rows, b.cols());
+                match &r_of[c1] {
+                    Some(r) => gemm(Op::NoTrans, Op::NoTrans, 1.0, r.rf(), e1, 0.0, dst),
+                    None => dst.copy_from(e1),
+                }
+            }
+            {
+                let e2 = b.view(k1, 0, k2, b.cols());
+                let mut dst = updated.view_mut(top_rows, 0, bot_rows, b.cols());
+                match &r_of[c2] {
+                    Some(r) => gemm(Op::NoTrans, Op::NoTrans, 1.0, r.rf(), e2, 0.0, dst),
+                    None => dst.copy_from(e2),
+                }
+            }
+            basis[id] = updated;
+        }
+    }
+
+    // 2. QR each basis; keep Q, remember R.
+    for &id in ids {
+        let b = std::mem::replace(&mut basis[id], Mat::zeros(0, 0));
+        let f = qr_factor(b);
+        basis[id] = f.q_thin();
+        r_of[id] = Some(f.r());
+    }
+    ids.len()
+}
 
 impl H2Matrix {
-    /// Orthogonalize all cluster bases in place. Returns the number of
-    /// nodes processed.
-    ///
-    /// Implemented for the symmetric side layout (shared `U = V` bases);
-    /// the unsymmetric extension (independent QR per side) is future work.
+    /// Orthogonalize all cluster bases in place, on every stored side.
+    /// Returns the number of (node, side) bases processed.
     pub fn orthogonalize(&mut self) -> usize {
-        assert!(
-            self.is_symmetric(),
-            "orthogonalize currently supports symmetric H2 matrices only"
-        );
         let tree = self.tree.clone();
         let leaf_level = tree.leaf_level();
+        let nnodes = tree.nodes.len();
         let mut processed = 0;
-        // R factors of the current level, indexed by node id.
-        let mut r_of: Vec<Option<Mat>> = vec![None; tree.nodes.len()];
+        // R factors of the current level, indexed by node id, per side.
+        let mut r_row: Vec<Option<Mat>> = vec![None; nnodes];
+        let mut r_col: Vec<Option<Mat>> = if self.is_symmetric() {
+            Vec::new()
+        } else {
+            vec![None; nnodes]
+        };
 
         for l in (0..=leaf_level).rev() {
-            let ids: Vec<usize> = tree.level(l).filter(|&id| self.has_basis(id)).collect();
-            if ids.is_empty() {
-                continue;
-            }
-            // 1. Update this level's stacked bases with the children's R
-            //    factors (no-op at the leaf level).
-            if l < leaf_level {
-                for &id in &ids {
-                    let (c1, c2) = tree.nodes[id].children.unwrap();
-                    let b = &self.basis[id];
-                    let (k1_old, k2_old) = (
-                        r_of[c1].as_ref().map(|r| r.cols()),
-                        r_of[c2].as_ref().map(|r| r.cols()),
-                    );
-                    // Rows of the stacked transfer split by the children's
-                    // *old* ranks (cols of their R factors).
-                    let k1 = k1_old.unwrap_or(self.rank(c1));
-                    let k2 = k2_old.unwrap_or(self.rank(c2));
-                    debug_assert_eq!(k1 + k2, b.rows());
-                    let mut updated = Mat::zeros(
-                        r_of[c1].as_ref().map(|r| r.rows()).unwrap_or(k1)
-                            + r_of[c2].as_ref().map(|r| r.rows()).unwrap_or(k2),
-                        b.cols(),
-                    );
-                    let top_rows = r_of[c1].as_ref().map(|r| r.rows()).unwrap_or(k1);
-                    {
-                        let e1 = b.view(0, 0, k1, b.cols());
-                        let mut dst = updated.view_mut(0, 0, top_rows, b.cols());
-                        match &r_of[c1] {
-                            Some(r) => gemm(Op::NoTrans, Op::NoTrans, 1.0, r.rf(), e1, 0.0, dst),
-                            None => dst.copy_from(e1),
-                        }
-                    }
-                    {
-                        let e2 = b.view(k1, 0, k2, b.cols());
-                        let rows2 = updated.rows() - top_rows;
-                        let mut dst = updated.view_mut(top_rows, 0, rows2, b.cols());
-                        match &r_of[c2] {
-                            Some(r) => gemm(Op::NoTrans, Op::NoTrans, 1.0, r.rf(), e2, 0.0, dst),
-                            None => dst.copy_from(e2),
-                        }
-                    }
-                    self.basis[id] = updated;
-                }
+            let row_ids: Vec<usize> = tree
+                .level(l)
+                .filter(|&id| self.basis[id].cols() > 0)
+                .collect();
+            processed += orthogonalize_side_level(
+                &tree,
+                &mut self.basis,
+                &mut r_row,
+                &row_ids,
+                l,
+                leaf_level,
+            );
+            if let Some(c) = &mut self.col {
+                let col_ids: Vec<usize> =
+                    tree.level(l).filter(|&id| c.basis[id].cols() > 0).collect();
+                processed += orthogonalize_side_level(
+                    &tree,
+                    &mut c.basis,
+                    &mut r_col,
+                    &col_ids,
+                    l,
+                    leaf_level,
+                );
             }
 
-            // 2. QR each basis; keep Q, remember R.
-            for &id in &ids {
-                let b = std::mem::replace(&mut self.basis[id], Mat::zeros(0, 0));
-                let f = qr_factor(b);
-                let q = f.q_thin();
-                let r = f.r();
-                self.basis[id] = q;
-                r_of[id] = Some(r);
-                processed += 1;
-            }
-
-            // 3. Rescale this level's coupling blocks: B ← R_s B R_tᵀ.
-            let level_ids: std::collections::HashSet<usize> = ids.iter().copied().collect();
+            // 3. Rescale this level's coupling blocks:
+            //    B ← R^row_s B (R^col_t)ᵀ (the column side aliases the row
+            //    side when symmetric). Far-field pairs connect same-level
+            //    nodes, so both factors were just computed. Rank-0 endpoints
+            //    have zero-dimensional blocks and no R — nothing to scale.
+            let symmetric = self.is_symmetric();
             for idx in 0..self.coupling.pairs.len() {
                 let (s, t) = self.coupling.pairs[idx];
-                if !level_ids.contains(&s) {
+                if tree.level_of(s) != l {
                     continue;
                 }
-                let rs = r_of[s].as_ref().expect("row R factor");
-                let rt = r_of[t].as_ref().expect("col R factor");
-                let b = &self.coupling.blocks[idx];
-                let rb = matmul(Op::NoTrans, Op::NoTrans, rs.rf(), b.rf());
-                self.coupling.blocks[idx] = matmul(Op::NoTrans, Op::Trans, rb.rf(), rt.rf());
+                let rs = r_row[s].as_ref();
+                let rt = if symmetric {
+                    r_row[t].as_ref()
+                } else {
+                    r_col[t].as_ref()
+                };
+                if let (Some(rs), Some(rt)) = (rs, rt) {
+                    let b = &self.coupling.blocks[idx];
+                    let rb = matmul(Op::NoTrans, Op::NoTrans, rs.rf(), b.rf());
+                    self.coupling.blocks[idx] = matmul(Op::NoTrans, Op::Trans, rb.rf(), rt.rf());
+                }
             }
         }
         processed
     }
 
-    /// Max deviation of `UᵀU` from identity over all *leaf* bases, and of
-    /// the stacked transfers at inner nodes (0 for an orthogonalized
-    /// matrix). Diagnostic used by tests.
+    /// Max deviation of `UᵀU` from identity over all bases of every stored
+    /// side — leaf bases and stacked transfers alike (0 for an
+    /// orthogonalized matrix). Diagnostic used by tests.
     pub fn basis_orthogonality_error(&self) -> f64 {
+        let mut sides: Vec<&[Mat]> = vec![&self.basis];
+        if let Some(c) = &self.col {
+            sides.push(&c.basis);
+        }
         let mut worst = 0.0f64;
-        for id in 0..self.basis.len() {
-            let b = &self.basis[id];
-            if b.cols() == 0 {
-                continue;
+        for basis in sides {
+            for b in basis.iter() {
+                if b.cols() == 0 {
+                    continue;
+                }
+                let g = matmul(Op::Trans, Op::NoTrans, b.rf(), b.rf());
+                let mut d = g;
+                d.axpy(-1.0, &Mat::eye(b.cols()));
+                worst = worst.max(d.norm_max());
             }
-            let g = matmul(Op::Trans, Op::NoTrans, b.rf(), b.rf());
-            let mut d = g;
-            d.axpy(-1.0, &Mat::eye(b.cols()));
-            worst = worst.max(d.norm_max());
         }
         worst
     }

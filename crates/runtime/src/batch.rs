@@ -136,6 +136,20 @@ impl VarBatch {
         }
     }
 
+    /// Split the batch into one mutable matrix view per entry. The views
+    /// alias disjoint sub-slices of the shared buffer, so they can be moved
+    /// to different worker threads — the handle the sharded dispatch path
+    /// uses to give each virtual device its contiguous chunk of entries.
+    pub fn split_mut(&mut self) -> Vec<MatMut<'_>> {
+        let rows = &self.rows;
+        let cols = &self.cols;
+        split_disjoint(&mut self.buf, &self.offsets)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| MatMut::from_parts(rows[i], cols[i], rows[i].max(1), s))
+            .collect()
+    }
+
     /// Zip two batches (same count) and visit `(i, a_i, b_i_mut)`.
     pub fn zip_for_each_mut<F>(&mut self, other: &VarBatch, parallel: bool, f: F)
     where

@@ -12,9 +12,12 @@
 //! that decomposition, and [`bsr_gemm`] issues one launch per slot.
 
 use crate::batch::VarBatch;
+use crate::multidev::{cost, owner};
 use crate::profile::Kernel;
 use crate::runtime::Runtime;
-use h2_dense::{gemm, Mat, Op};
+use crate::shard::{chunk_bounds, ShardJob, Transfer, TransferKind};
+use h2_dense::{gemm, Mat, MatMut, Op};
+use std::collections::HashSet;
 
 /// Sparsity pattern of a level's block-sparse matrix, pre-split into
 /// conflict-free slots.
@@ -143,6 +146,10 @@ pub fn bsr_gemm(
         "bsr_gemm: block array mismatch"
     );
     assert_eq!(y.count(), pattern.nrows(), "bsr_gemm: y batch mismatch");
+    if let Some(disp) = rt.shard_dispatch() {
+        bsr_gemm_sharded(rt, pattern, blocks, x, y, alpha, disp.as_ref());
+        return;
+    }
     let par = rt.is_parallel();
     for slot in &pattern.slots {
         // One batched-GEMM launch per slot (paper §IV.A: "at most Csp
@@ -158,6 +165,83 @@ pub fn bsr_gemm(
             let op = if b.transposed { Op::Trans } else { Op::NoTrans };
             gemm(op, Op::NoTrans, alpha, b.mat.rf(), xb, 1.0, m);
         });
+    }
+}
+
+/// The device-sharded `batchedBSRGemm`: block rows are divided into the
+/// contiguous chunks of §IV.A, each slot launch runs one job per device over
+/// its chunk, and the input block `Ω_b` of every off-device partner is
+/// fetched once per `(device, partner)` pair for the whole call — exactly
+/// the traffic [`crate::multidev::simulate`] models for the level.
+fn bsr_gemm_sharded(
+    rt: &Runtime,
+    pattern: &BsrPattern,
+    blocks: &[BsrBlock<'_>],
+    x: &VarBatch,
+    y: &mut VarBatch,
+    alpha: f64,
+    disp: &dyn crate::shard::ShardDispatch,
+) {
+    let devices = disp.devices();
+    let n = pattern.nrows();
+    let bounds = chunk_bounds(n, devices);
+
+    // Accounting pass: per-device flops (2 m_r m_b d per block) and the
+    // deduplicated Ω fetches, both with the simulator's formulas.
+    let mut flops = vec![0.0f64; devices];
+    let mut fetched: HashSet<(usize, usize)> = HashSet::new();
+    for r in 0..n {
+        let dev = owner(r, n, devices);
+        let (b0, b1) = pattern.row_range(r);
+        for p in b0..b1 {
+            let col = pattern.col_of(p);
+            let (mb, d) = (x.rows_of(col), x.cols_of(col));
+            flops[dev] += cost::bsr_flops(y.rows_of(r), mb, d);
+            let dev_b = owner(col, x.count().max(n), devices);
+            if dev_b != dev && fetched.insert((dev, col)) {
+                let bytes = cost::fetch_bytes(mb, d);
+                disp.push_transfer(Transfer {
+                    src: dev_b,
+                    dst: dev,
+                    bytes,
+                    kind: TransferKind::OmegaFetch,
+                });
+                disp.arena_alloc(dev, bytes as usize);
+            }
+        }
+    }
+    for (dev, fl) in flops.into_iter().enumerate() {
+        if fl > 0.0 {
+            disp.add_flops(dev, fl);
+        }
+    }
+
+    for slot in &pattern.slots {
+        // One launch per device per slot, each over its contiguous chunk.
+        rt.launch(Kernel::BsrGemm);
+        let mut rows = y.split_mut().into_iter();
+        let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+        for dev in 0..devices {
+            let chunk: Vec<MatMut<'_>> =
+                rows.by_ref().take(bounds[dev + 1] - bounds[dev]).collect();
+            if !chunk.is_empty() {
+                disp.add_launches(dev, 1);
+            }
+            let start = bounds[dev];
+            jobs.push(Box::new(move || {
+                for (k, m) in chunk.into_iter().enumerate() {
+                    let p = slot[start + k];
+                    if p == usize::MAX {
+                        continue;
+                    }
+                    let xb = x.mat(pattern.col_of(p));
+                    let b = blocks[p];
+                    let op = if b.transposed { Op::Trans } else { Op::NoTrans };
+                    gemm(op, Op::NoTrans, alpha, b.mat.rf(), xb, 1.0, m);
+                }
+            }));
+        }
+        disp.run(jobs);
     }
 }
 

@@ -26,13 +26,15 @@ pub mod multidev;
 pub mod ops;
 pub mod profile;
 pub mod runtime;
+pub mod shard;
 
 pub use batch::VarBatch;
 pub use bsr::{bsr_gemm, BsrBlock, BsrPattern};
-pub use multidev::{simulate, DeviceModel, LevelSpec, SimReport};
+pub use multidev::{owner, simulate, DeviceModel, LevelSpec, SimReport, StreamSpec};
 pub use ops::{
     batched_gen, batched_row_id, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag, rand_mat,
     shrink_rows, stack_children, GenBlock,
 };
 pub use profile::{Kernel, Phase, Profile, KERNEL_COUNT, PHASE_COUNT};
 pub use runtime::{Backend, Runtime};
+pub use shard::{chunk_bounds, ShardDispatch, ShardJob, Transfer, TransferKind};

@@ -16,6 +16,53 @@
 //! decomposition, and it keeps siblings (merged at line 24) on the same
 //! device except at chunk boundaries.
 
+/// The work/traffic formulas shared by the closed-form simulator and the
+/// sharded executor's accounting ([`crate::ops`], [`crate::bsr`],
+/// `h2_sched`). One definition per kernel, so "measured totals equal
+/// predicted totals" is structural rather than a comment-level promise.
+pub mod cost {
+    /// Convergence-QR flops for an `m × d` sample block (lines 11/29).
+    pub fn qr_flops(m: usize, d: usize) -> f64 {
+        2.0 * m as f64 * d as f64 * d as f64
+    }
+
+    /// Batched row-ID flops for an `m × d` sample block (lines 16/34).
+    pub fn id_flops(m: usize, d: usize) -> f64 {
+        4.0 * m as f64 * d as f64 * m.min(d) as f64
+    }
+
+    /// Upsweep-GEMM flops: compress `m × d` inputs by an `m × k` basis
+    /// (lines 18/36).
+    pub fn upsweep_flops(m: usize, k: usize, d: usize) -> f64 {
+        2.0 * m as f64 * k as f64 * d as f64
+    }
+
+    /// `batchedBSRGemm` flops for one `rows × partner_rows` block against a
+    /// width-`d` sample batch (lines 9/26).
+    pub fn bsr_flops(rows: usize, partner_rows: usize, d: usize) -> f64 {
+        2.0 * rows as f64 * partner_rows as f64 * d as f64
+    }
+
+    /// `batchedGen` entry evaluations of an `r × c` block (flop-equivalents
+    /// are `DeviceModel::entry_cost` per entry).
+    pub fn gen_entries(r: usize, c: usize) -> f64 {
+        (r * c) as f64
+    }
+
+    /// Bytes of one fetched `rows × d` f64 block (an Ω/Ψ partner fetch, or
+    /// one half of a sibling merge).
+    pub fn fetch_bytes(rows: usize, d: usize) -> u64 {
+        (rows * d * 8) as u64
+    }
+
+    /// Bytes of a line-24 boundary sibling merge: the moved child's samples
+    /// *and* inputs — twice [`fetch_bytes`] (the executor records the two
+    /// halves as separate `stack_children` transfers).
+    pub fn merge_bytes(rows: usize, d: usize) -> u64 {
+        2 * fetch_bytes(rows, d)
+    }
+}
+
 /// Hardware parameters of the modeled device fabric.
 #[derive(Clone, Copy, Debug)]
 pub struct DeviceModel {
@@ -68,6 +115,9 @@ pub struct LevelSpec {
     /// of its input-vector block `Ω_b`.
     pub col_rows: Vec<usize>,
     /// `batchedGen` blocks issued at this level: `(rows, cols)` dimensions.
+    /// For an unsymmetric instance this holds every *ordered* pair (the two
+    /// orientations are disjoint entry sets); both streams' generation work
+    /// is therefore covered by this one list.
     pub gen_blocks: Vec<(usize, usize)>,
     /// ID population: per node processed at this level, rows of the stacked
     /// sample block fed to the QR convergence test and the row ID.
@@ -77,6 +127,25 @@ pub struct LevelSpec {
     /// Pairs of BSR-population local indices merged into one ID-population
     /// node (line 24). Empty at the leaf level.
     pub merges: Vec<(usize, usize)>,
+    /// Column-stream populations of the unsymmetric two-stream engine
+    /// (`Z = Kᵀ Ψ`): `None` for the symmetric one-stream instance. The
+    /// stream shares the level's `adj` and `merges` structure (the block
+    /// partition is symmetric as a pattern) but carries its own sizes and
+    /// ranks.
+    pub col_stream: Option<StreamSpec>,
+}
+
+/// Per-side kernel populations of one additional sketch stream at a level
+/// (the column stream of the unsymmetric engine). Structure (`adj`,
+/// `merges`) is shared with the owning [`LevelSpec`].
+#[derive(Clone, Debug, Default)]
+pub struct StreamSpec {
+    /// BSR population: per node, rows of its local `Z`/`Ψ` block.
+    pub rows: Vec<usize>,
+    /// ID population: rows of the stacked sample block per processed node.
+    pub id_rows: Vec<usize>,
+    /// Post-ID column rank per ID-population node.
+    pub ranks: Vec<usize>,
 }
 
 /// Cost breakdown of one level at a given device count.
@@ -123,6 +192,73 @@ impl SimReport {
     }
 }
 
+/// Per-stream cost accumulation for one level: the BSR subtraction with its
+/// deduplicated off-device Ω fetches, the node-local QR/ID/upsweep chain
+/// over the ID population (the upsweep GEMM is skipped at the topmost
+/// level, which has no parent), and the line-24 boundary sibling merges.
+#[allow(clippy::too_many_arguments)]
+fn stream_cost(
+    rows: &[usize],
+    adj: &[Vec<usize>],
+    col_rows: &[usize],
+    id_rows: &[usize],
+    ranks: &[usize],
+    merges: &[(usize, usize)],
+    d_samples: usize,
+    devices: usize,
+    model: &DeviceModel,
+    is_top: bool,
+    compute: &mut [f64],
+    comm_bytes: &mut u64,
+    comm_messages: &mut usize,
+) {
+    let n = rows.len();
+
+    // batchedBSRGemm: 2·m_s·m_b·d flops per block; fetch Ω_b when the
+    // partner lives on another device (once per (device, partner)).
+    let mut fetched: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for (i, partners) in adj.iter().enumerate() {
+        let dev = owner(i, n, devices);
+        for &b in partners {
+            let mb = col_rows.get(b).copied().unwrap_or(0);
+            compute[dev] += cost::bsr_flops(rows[i], mb, d_samples) / model.flops_per_sec;
+            let dev_b = owner(b, col_rows.len().max(n), devices);
+            if dev_b != dev && fetched.insert((dev, b)) {
+                *comm_bytes += cost::fetch_bytes(mb, d_samples);
+                *comm_messages += 1;
+            }
+        }
+    }
+
+    // Convergence QR + row ID + upsweep GEMM (skipped at the top), all
+    // node-local, over the ID population.
+    let n_id = id_rows.len();
+    for i in 0..n_id {
+        let m = id_rows[i];
+        let k = if is_top {
+            0
+        } else {
+            ranks.get(i).copied().unwrap_or(0)
+        };
+        let dev = owner(i, n_id, devices);
+        compute[dev] += (cost::qr_flops(m, d_samples)
+            + cost::id_flops(m, d_samples)
+            + cost::upsweep_flops(m, k, d_samples))
+            / model.flops_per_sec;
+    }
+
+    // Line-24 gather: a merge whose children live on different devices
+    // moves one child's samples + inputs (rows × d × 2 × 8B).
+    for &(a, b) in merges {
+        let (da, db) = (owner(a, n, devices), owner(b, n, devices));
+        if da != db {
+            let moved = rows.get(b).copied().unwrap_or(0);
+            *comm_bytes += cost::merge_bytes(moved, d_samples);
+            *comm_messages += 1;
+        }
+    }
+}
+
 /// Contiguous-chunk owner of local node `i` among `n` nodes on `d` devices.
 #[inline]
 pub fn owner(i: usize, n: usize, d: usize) -> usize {
@@ -149,6 +285,7 @@ pub fn owner(i: usize, n: usize, d: usize) -> usize {
 ///     id_rows: vec![64; 8],
 ///     ranks: vec![16; 8],
 ///     merges: vec![],
+///     ..Default::default()
 /// };
 /// let rep = simulate(&[leaf], 128, 1, &DeviceModel::default());
 /// assert_eq!(rep.total_comm_bytes, 0); // one device never communicates
@@ -161,15 +298,17 @@ pub fn simulate(
     model: &DeviceModel,
 ) -> SimReport {
     assert!(devices > 0, "at least one device");
-    let d = d_samples as f64;
     let mut out_levels = Vec::with_capacity(levels.len());
     let mut makespan = 0.0;
     let mut total_comm = 0u64;
     let mut total_launches = 0usize;
 
-    for spec in levels {
+    for (lvl, spec) in levels.iter().enumerate() {
+        // The topmost processed level has no parent to sweep into: the
+        // construction skips the shrink/compress GEMM there, so the model
+        // does too.
+        let is_top = lvl + 1 == levels.len();
         let n = spec.rows.len();
-        let n_id = spec.id_rows.len();
         let mut compute = vec![0.0_f64; devices];
         let mut comm_bytes = 0u64;
         let mut comm_messages = 0usize;
@@ -179,53 +318,55 @@ pub fn simulate(
         // nodes; approximate with round-robin over devices.
         for (i, &(r, c)) in spec.gen_blocks.iter().enumerate() {
             let dev = if devices > 1 { i % devices } else { 0 };
-            compute[dev] += (r * c) as f64 * model.entry_cost / model.flops_per_sec;
+            compute[dev] += cost::gen_entries(r, c) * model.entry_cost / model.flops_per_sec;
         }
 
-        // batchedBSRGemm: 2·m_s·m_b·d flops per block; fetch Ω_b when the
-        // partner lives on another device (once per (device, partner)).
-        let mut fetched: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
-        for (i, partners) in spec.adj.iter().enumerate() {
-            let dev = owner(i, n, devices);
-            for &b in partners {
-                let mb = spec.col_rows.get(b).copied().unwrap_or(0);
-                compute[dev] += 2.0 * spec.rows[i] as f64 * mb as f64 * d / model.flops_per_sec;
-                let dev_b = owner(b, spec.col_rows.len().max(n), devices);
-                if dev_b != dev && fetched.insert((dev, b)) {
-                    comm_bytes += (mb * d_samples * 8) as u64;
-                    comm_messages += 1;
-                }
-            }
-        }
+        // Row stream: BSR subtraction, QR/ID/upsweep, boundary merges.
+        stream_cost(
+            &spec.rows,
+            &spec.adj,
+            &spec.col_rows,
+            &spec.id_rows,
+            &spec.ranks,
+            &spec.merges,
+            d_samples,
+            devices,
+            model,
+            is_top,
+            &mut compute,
+            &mut comm_bytes,
+            &mut comm_messages,
+        );
 
-        // Convergence QR (2 m d²) + row ID (4 m d min(m,d)) + upsweep GEMM
-        // (2 m k d), all node-local, over the ID population.
-        for i in 0..n_id {
-            let m = spec.id_rows[i] as f64;
-            let k = spec.ranks.get(i).copied().unwrap_or(0) as f64;
-            let dev = owner(i, n_id, devices);
-            let md = (spec.id_rows[i].min(d_samples)) as f64;
-            compute[dev] +=
-                (2.0 * m * d * d + 4.0 * m * d * md + 2.0 * m * k * d) / model.flops_per_sec;
-        }
-
-        // Line-24 gather: a merge whose children live on different devices
-        // moves one child's samples + inputs (rows × d × 2 × 8B).
-        for &(a, b) in &spec.merges {
-            let (da, db) = (owner(a, n, devices), owner(b, n, devices));
-            if da != db {
-                let moved = spec.rows.get(b).copied().unwrap_or(0);
-                comm_bytes += (moved * d_samples * 2 * 8) as u64;
-                comm_messages += 1;
-            }
+        // Column stream (unsymmetric two-stream engine): same structure,
+        // its own sizes/ranks, its own Ψ traffic. Its partner inputs `Ψ_b`
+        // were compressed by the *row* basis (`Ψ ← Uᵀ Ψ`), so their row
+        // counts are the row-side ranks (`spec.rows`).
+        if let Some(cs) = &spec.col_stream {
+            stream_cost(
+                &cs.rows,
+                &spec.adj,
+                &spec.rows,
+                &cs.id_rows,
+                &cs.ranks,
+                &spec.merges,
+                d_samples,
+                devices,
+                model,
+                is_top,
+                &mut compute,
+                &mut comm_bytes,
+                &mut comm_messages,
+            );
         }
 
         // Launches: each device launches each of the ~6 per-level batched
-        // kernels over its chunk, plus one BSR launch per Csp slot (§IV.A).
+        // kernels over its chunk, plus one BSR launch per Csp slot (§IV.A),
+        // once per stream.
         let csp = spec.adj.iter().map(|a| a.len()).max().unwrap_or(0);
+        let nstreams = 1 + spec.col_stream.is_some() as usize;
         let active = devices.min(n.max(1));
-        let launches = active * (6 + csp);
+        let launches = active * (6 + csp) * nstreams;
 
         let compute_max = compute.iter().cloned().fold(0.0, f64::max);
         let comm_time =
@@ -274,6 +415,7 @@ mod tests {
             id_rows: vec![64; n],
             ranks: vec![16; n],
             merges: vec![],
+            ..Default::default()
         };
         // Inner level: BSR over the 8 children (rank 16 each), merged in
         // sibling pairs into 4 ID nodes of 32 stacked rows.
@@ -285,6 +427,7 @@ mod tests {
             id_rows: vec![32; 4],
             ranks: vec![12; 4],
             merges: (0..n / 2).map(|p| (2 * p, 2 * p + 1)).collect(),
+            ..Default::default()
         };
         vec![leaf, inner]
     }
@@ -324,6 +467,7 @@ mod tests {
             id_rows: vec![256; n],
             ranks: vec![32; n],
             merges: vec![],
+            ..Default::default()
         };
         let m = DeviceModel::default();
         let r1 = simulate(std::slice::from_ref(&level), 256, 1, &m);
@@ -376,6 +520,7 @@ mod tests {
             id_rows: vec![64; n],
             ranks: vec![8; n],
             merges: vec![],
+            ..Default::default()
         };
         let rep = simulate(&[level], 64, 4, &DeviceModel::default());
         assert!(
@@ -403,6 +548,7 @@ mod tests {
             id_rows: vec![8],
             ranks: vec![2],
             merges: vec![(0, 1)],
+            ..Default::default()
         };
         let m = DeviceModel::default();
         let rep = simulate(&[level], 16, 8, &m);

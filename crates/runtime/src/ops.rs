@@ -6,13 +6,94 @@
 //! work on the runtime's backend.
 
 use crate::batch::VarBatch;
+use crate::multidev::{cost, owner};
 use crate::profile::Kernel;
 use crate::runtime::Runtime;
+use crate::shard::{chunk_bounds, ShardJob, Transfer, TransferKind};
 use h2_dense::cpqr::{row_id, RowId, Truncation};
 use h2_dense::qr::qr_in_place;
-use h2_dense::{gemm, EntryAccess, Mat, Op};
+use h2_dense::{gemm, EntryAccess, Mat, MatMut, MatRef, Op};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Run a per-entry mutation over `out` on the runtime's backend.
+///
+/// On the sharded backend entries are split into contiguous per-device
+/// chunks (the §IV.A decomposition, [`chunk_bounds`]); each device's chunk
+/// runs as one job on its worker thread, its output bytes are charged to the
+/// device arena, and `flops_of(i)` is credited to entry `i`'s owner with the
+/// *simulator's* formulas — which is what makes the executor's measured work
+/// totals directly comparable to [`crate::multidev::simulate`] predictions.
+pub(crate) fn batch_for_each_mut<F, C>(rt: &Runtime, out: &mut VarBatch, flops_of: C, f: F)
+where
+    F: Fn(usize, MatMut<'_>) + Sync + Send,
+    C: Fn(usize) -> f64,
+{
+    let Some(disp) = rt.shard_dispatch() else {
+        out.for_each_mut(rt.is_parallel(), f);
+        return;
+    };
+    let devices = disp.devices();
+    let n = out.count();
+    let bounds = chunk_bounds(n, devices);
+    for dev in 0..devices {
+        let (b, e) = (bounds[dev], bounds[dev + 1]);
+        if e == b {
+            continue;
+        }
+        let bytes: usize = (b..e).map(|i| out.rows_of(i) * out.cols_of(i) * 8).sum();
+        disp.arena_alloc(dev, bytes);
+        let fl: f64 = (b..e).map(&flops_of).sum();
+        if fl > 0.0 {
+            disp.add_flops(dev, fl);
+        }
+        disp.add_launches(dev, 1);
+    }
+    let f = &f;
+    let mut entries = out.split_mut().into_iter();
+    let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+    for dev in 0..devices {
+        let chunk: Vec<MatMut<'_>> = entries
+            .by_ref()
+            .take(bounds[dev + 1] - bounds[dev])
+            .collect();
+        let start = bounds[dev];
+        jobs.push(Box::new(move || {
+            for (k, m) in chunk.into_iter().enumerate() {
+                f(start + k, m);
+            }
+        }));
+    }
+    disp.run(jobs);
+}
+
+/// Per-entry map over a batch on the runtime's backend, with sharded-mode
+/// work accounting like [`batch_for_each_mut`].
+fn batch_map<R, F, C>(rt: &Runtime, batch: &VarBatch, flops_of: C, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, MatRef<'_>) -> R + Sync + Send,
+    C: Fn(usize) -> f64,
+{
+    let Some(disp) = rt.shard_dispatch() else {
+        return batch.map(rt.is_parallel(), f);
+    };
+    let devices = disp.devices();
+    let bounds = chunk_bounds(batch.count(), devices);
+    for dev in 0..devices {
+        let (b, e) = (bounds[dev], bounds[dev + 1]);
+        if e == b {
+            continue;
+        }
+        let fl: f64 = (b..e).map(&flops_of).sum();
+        if fl > 0.0 {
+            disp.add_flops(dev, fl);
+        }
+        disp.add_launches(dev, 1);
+    }
+    // map_index shards with the same chunk bounds.
+    rt.map_index(batch.count(), |i| f(i, batch.mat(i)))
+}
 
 /// `batchedRand`: generate a global `n x d` standard-normal block.
 ///
@@ -29,7 +110,24 @@ pub fn rand_mat(rt: &Runtime, n: usize, d: usize, seed: u64) -> Mat {
             SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(j as u64 + 1)));
         h2_dense::rand::fill_gaussian_slice(col, &mut rng);
     };
-    if rt.is_parallel() {
+    if let Some(disp) = rt.shard_dispatch() {
+        // Shard columns in contiguous chunks; per-column seeds keep the
+        // result identical to the other backends whatever the chunking.
+        let devices = disp.devices();
+        let bounds = chunk_bounds(cols.len(), devices);
+        let run = &run;
+        let mut iter = cols.into_iter().enumerate();
+        let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+        for dev in 0..devices {
+            let chunk: Vec<(usize, &mut [f64])> =
+                iter.by_ref().take(bounds[dev + 1] - bounds[dev]).collect();
+            if !chunk.is_empty() {
+                disp.add_launches(dev, 1);
+            }
+            jobs.push(Box::new(move || chunk.into_iter().for_each(run)));
+        }
+        disp.run(jobs);
+    } else if rt.is_parallel() {
         use rayon::prelude::*;
         cols.into_par_iter().enumerate().for_each(run);
     } else {
@@ -48,11 +146,15 @@ pub fn gather_rows(rt: &Runtime, src: &Mat, ranges: &[(usize, usize)]) -> VarBat
     let rows: Vec<usize> = ranges.iter().map(|&(b, e)| e - b).collect();
     let d = src.cols();
     let mut out = VarBatch::zeros_uniform_cols(rows, d);
-    let par = rt.is_parallel();
-    out.for_each_mut(par, |i, mut m| {
-        let (b, _e) = ranges[i];
-        m.copy_from(src.view(b, 0, m.rows(), d));
-    });
+    batch_for_each_mut(
+        rt,
+        &mut out,
+        |_| 0.0,
+        |i, mut m| {
+            let (b, _e) = ranges[i];
+            m.copy_from(src.view(b, 0, m.rows(), d));
+        },
+    );
     out
 }
 
@@ -72,17 +174,43 @@ pub fn stack_children(rt: &Runtime, child: &VarBatch, children: &[Vec<usize>]) -
         .map(|cs| cs.iter().map(|&c| child.rows_of(c)).sum())
         .collect();
     let mut out = VarBatch::zeros_uniform_cols(rows, d);
-    let par = rt.is_parallel();
-    out.for_each_mut(par, |p, mut m| {
-        let mut off = 0;
-        for &c in &children[p] {
-            let cm = child.mat(c);
-            m.rb_mut()
-                .into_view(off, 0, cm.rows(), cm.cols())
-                .copy_from(cm);
-            off += cm.rows();
+    if let Some(disp) = rt.shard_dispatch() {
+        // Line-24 boundary gathers: a child owned by a different device than
+        // its parent is copied over (the simulator's sibling-merge traffic).
+        let devices = disp.devices();
+        let (np, nc) = (children.len(), child.count());
+        for (p, cs) in children.iter().enumerate() {
+            let dp = owner(p, np, devices);
+            for &c in cs {
+                let dc = owner(c, nc, devices);
+                if dc != dp {
+                    let bytes = cost::fetch_bytes(child.rows_of(c), d);
+                    disp.push_transfer(Transfer {
+                        src: dc,
+                        dst: dp,
+                        bytes,
+                        kind: TransferKind::ChildGather,
+                    });
+                    disp.arena_alloc(dp, bytes as usize);
+                }
+            }
         }
-    });
+    }
+    batch_for_each_mut(
+        rt,
+        &mut out,
+        |_| 0.0,
+        |p, mut m| {
+            let mut off = 0;
+            for &c in &children[p] {
+                let cm = child.mat(c);
+                m.rb_mut()
+                    .into_view(off, 0, cm.rows(), cm.cols())
+                    .copy_from(cm);
+                off += cm.rows();
+            }
+        },
+    );
     out
 }
 
@@ -91,7 +219,9 @@ pub fn stack_children(rt: &Runtime, child: &VarBatch, children: &[Vec<usize>]) -
 /// rows or columns report `0.0` (trivially converged).
 pub fn qr_min_rdiag(rt: &Runtime, batch: &VarBatch) -> Vec<f64> {
     rt.launch(Kernel::Qr);
-    batch.map(rt.is_parallel(), |_, m| {
+    // The shared convergence-QR cost formula.
+    let flops = |i: usize| cost::qr_flops(batch.rows_of(i), batch.cols_of(i));
+    batch_map(rt, batch, flops, |_, m| {
         if m.rows() == 0 || m.cols() == 0 {
             return 0.0;
         }
@@ -111,7 +241,9 @@ pub fn qr_min_rdiag(rt: &Runtime, batch: &VarBatch) -> Vec<f64> {
 pub fn batched_row_id(rt: &Runtime, batch: &VarBatch, rule: Truncation) -> Vec<RowId> {
     rt.launch(Kernel::Transpose);
     rt.launch(Kernel::Id);
-    batch.map(rt.is_parallel(), |_, m| row_id(&m.to_mat(), rule))
+    // The shared batched-ID cost formula.
+    let flops = |i: usize| cost::id_flops(batch.rows_of(i), batch.cols_of(i));
+    batch_map(rt, batch, flops, |_, m| row_id(&m.to_mat(), rule))
 }
 
 /// `batchedShrink`: gather skeleton rows, `Y^{l+1}_τ = Y^loc_τ(J_τ, :)`
@@ -128,15 +260,19 @@ pub fn shrink_rows(rt: &Runtime, batch: &VarBatch, skels: &[&[usize]]) -> VarBat
     };
     let rows: Vec<usize> = skels.iter().map(|s| s.len()).collect();
     let mut out = VarBatch::zeros_uniform_cols(rows, d);
-    let par = rt.is_parallel();
-    out.for_each_mut(par, |i, mut m| {
-        let src = batch.mat(i);
-        for (r, &j) in skels[i].iter().enumerate() {
-            for c in 0..d {
-                *m.at_mut(r, c) = src.at(j, c);
+    batch_for_each_mut(
+        rt,
+        &mut out,
+        |_| 0.0,
+        |i, mut m| {
+            let src = batch.mat(i);
+            for (r, &j) in skels[i].iter().enumerate() {
+                for c in 0..d {
+                    *m.at_mut(r, c) = src.at(j, c);
+                }
             }
-        }
-    });
+        },
+    );
     out
 }
 
@@ -148,8 +284,9 @@ pub fn gemm_at_x(rt: &Runtime, a: &[Mat], x: &VarBatch) -> VarBatch {
     let d = if x.count() > 0 { x.cols_of(0) } else { 0 };
     let rows: Vec<usize> = a.iter().map(|m| m.cols()).collect();
     let mut out = VarBatch::zeros_uniform_cols(rows, d);
-    let par = rt.is_parallel();
-    out.for_each_mut(par, |i, m| {
+    // The shared upsweep-GEMM cost formula.
+    let flops = |i: usize| cost::upsweep_flops(a[i].rows(), a[i].cols(), d);
+    batch_for_each_mut(rt, &mut out, flops, |i, m| {
         gemm(Op::Trans, Op::NoTrans, 1.0, a[i].rf(), x.mat(i), 0.0, m);
     });
     out
@@ -166,17 +303,21 @@ pub fn hcat_batches(rt: &Runtime, a: &VarBatch, b: &VarBatch) -> VarBatch {
         .map(|i| a.cols_of(i) + b.cols_of(i))
         .collect();
     let mut out = VarBatch::zeros(rows, cols);
-    let par = rt.is_parallel();
-    out.for_each_mut(par, |i, mut m| {
-        assert_eq!(a.rows_of(i), b.rows_of(i), "hcat: entry {i} row mismatch");
-        let (ca, cb) = (a.cols_of(i), b.cols_of(i));
-        m.rb_mut()
-            .into_view(0, 0, a.rows_of(i), ca)
-            .copy_from(a.mat(i));
-        m.rb_mut()
-            .into_view(0, ca, b.rows_of(i), cb)
-            .copy_from(b.mat(i));
-    });
+    batch_for_each_mut(
+        rt,
+        &mut out,
+        |_| 0.0,
+        |i, mut m| {
+            assert_eq!(a.rows_of(i), b.rows_of(i), "hcat: entry {i} row mismatch");
+            let (ca, cb) = (a.cols_of(i), b.cols_of(i));
+            m.rb_mut()
+                .into_view(0, 0, a.rows_of(i), ca)
+                .copy_from(a.mat(i));
+            m.rb_mut()
+                .into_view(0, ca, b.rows_of(i), cb)
+                .copy_from(b.mat(i));
+        },
+    );
     out
 }
 
@@ -192,9 +333,43 @@ pub struct GenBlock {
 /// launch (Algorithm 1 lines 8/41).
 pub fn batched_gen(rt: &Runtime, gen: &dyn EntryAccess, blocks: &[GenBlock]) -> Vec<Mat> {
     rt.launch(Kernel::Gen);
-    rt.map_index(blocks.len(), |i| {
-        gen.block_mat(&blocks[i].rows, &blocks[i].cols)
-    })
+    let Some(disp) = rt.shard_dispatch() else {
+        return rt.map_index(blocks.len(), |i| {
+            gen.block_mat(&blocks[i].rows, &blocks[i].cols)
+        });
+    };
+    // Generator blocks are distributed round-robin like the simulator (the
+    // generator itself is device-resident, §IV.A — no communication).
+    let devices = disp.devices();
+    for (i, b) in blocks.iter().enumerate() {
+        let dev = i % devices;
+        disp.add_gen_entries(dev, cost::gen_entries(b.rows.len(), b.cols.len()));
+        disp.arena_alloc(dev, b.rows.len() * b.cols.len() * 8);
+    }
+    let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
+    {
+        let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+        for (dev, slot) in results.iter_mut().enumerate() {
+            if dev < blocks.len() {
+                disp.add_launches(dev, 1);
+            }
+            jobs.push(Box::new(move || {
+                let mut i = dev;
+                while i < blocks.len() {
+                    slot.push((i, gen.block_mat(&blocks[i].rows, &blocks[i].cols)));
+                    i += devices;
+                }
+            }));
+        }
+        disp.run(jobs);
+    }
+    let mut out: Vec<Option<Mat>> = (0..blocks.len()).map(|_| None).collect();
+    for (i, m) in results.into_iter().flatten() {
+        out[i] = Some(m);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every block generated"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 //! entries play the role of thread blocks).
 
 use crate::profile::{Kernel, Phase, Profile};
+use crate::shard::{chunk_bounds, ShardDispatch, ShardJob};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Execution backend for batched kernels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,19 +21,29 @@ pub enum Backend {
     Sequential,
     /// Entries processed by the rayon pool (paper's GPU batched execution).
     Parallel,
+    /// Entries sharded in contiguous chunks across the virtual devices of a
+    /// [`ShardDispatch`] fabric (the §IV.B multi-GPU decomposition). Use
+    /// [`Runtime::sharded`] — this backend needs a dispatcher.
+    Sharded,
 }
 
 /// Shared handle passed to every batched operation.
 pub struct Runtime {
     backend: Backend,
     profile: Profile,
+    shard: Option<Arc<dyn ShardDispatch>>,
 }
 
 impl Runtime {
     pub fn new(backend: Backend) -> Self {
+        assert!(
+            backend != Backend::Sharded,
+            "Backend::Sharded needs a device fabric; use Runtime::sharded"
+        );
         Runtime {
             backend,
             profile: Profile::new(),
+            shard: None,
         }
     }
 
@@ -43,12 +55,36 @@ impl Runtime {
         Runtime::new(Backend::Parallel)
     }
 
+    /// A runtime executing every batched kernel sharded across the virtual
+    /// devices of `dispatch` (implemented by `h2_sched::DeviceFabric`).
+    pub fn sharded(dispatch: Arc<dyn ShardDispatch>) -> Self {
+        Runtime {
+            backend: Backend::Sharded,
+            profile: Profile::new(),
+            shard: Some(dispatch),
+        }
+    }
+
     pub fn backend(&self) -> Backend {
         self.backend
     }
 
     pub fn is_parallel(&self) -> bool {
         self.backend == Backend::Parallel
+    }
+
+    /// The device fabric of a sharded runtime (`None` otherwise).
+    pub fn shard_dispatch(&self) -> Option<&Arc<dyn ShardDispatch>> {
+        self.shard.as_ref()
+    }
+
+    /// Close the fabric's current accounting epoch (no-op unless sharded).
+    /// The construction level loop calls this once per processed level so
+    /// per-epoch stats line up with the simulator's per-level costs.
+    pub fn shard_epoch(&self, label: &str) {
+        if let Some(d) = &self.shard {
+            d.epoch(label);
+        }
     }
 
     pub fn profile(&self) -> &Profile {
@@ -78,6 +114,18 @@ impl Runtime {
         match self.backend {
             Backend::Sequential => (0..n).for_each(f),
             Backend::Parallel => (0..n).into_par_iter().for_each(f),
+            Backend::Sharded => {
+                let disp = self.shard.as_ref().expect("sharded runtime has a fabric");
+                let bounds = chunk_bounds(n, disp.devices());
+                let f = &f;
+                let jobs: Vec<ShardJob<'_>> = (0..disp.devices())
+                    .map(|dev| {
+                        let (b, e) = (bounds[dev], bounds[dev + 1]);
+                        Box::new(move || (b..e).for_each(f)) as ShardJob<'_>
+                    })
+                    .collect();
+                disp.run(jobs);
+            }
         }
     }
 
@@ -90,6 +138,31 @@ impl Runtime {
         match self.backend {
             Backend::Sequential => (0..n).map(f).collect(),
             Backend::Parallel => (0..n).into_par_iter().map(f).collect(),
+            Backend::Sharded => {
+                let disp = self.shard.as_ref().expect("sharded runtime has a fabric");
+                let bounds = chunk_bounds(n, disp.devices());
+                let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+                {
+                    let f = &f;
+                    let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(disp.devices());
+                    let mut rest: &mut [Option<R>] = &mut out;
+                    for dev in 0..disp.devices() {
+                        let len = bounds[dev + 1] - bounds[dev];
+                        let (head, tail) = rest.split_at_mut(len);
+                        rest = tail;
+                        let start = bounds[dev];
+                        jobs.push(Box::new(move || {
+                            for (k, slot) in head.iter_mut().enumerate() {
+                                *slot = Some(f(start + k));
+                            }
+                        }));
+                    }
+                    disp.run(jobs);
+                }
+                out.into_iter()
+                    .map(|o| o.expect("every chunk filled its slots"))
+                    .collect()
+            }
         }
     }
 }

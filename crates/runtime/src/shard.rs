@@ -1,0 +1,145 @@
+//! Device-sharding plumbing: the dispatch interface the batched kernels use
+//! when the runtime executes on a [`crate::Backend::Sharded`] backend, plus
+//! the explicit cross-device [`Transfer`] records of §IV.B.
+//!
+//! The paper's multi-GPU extension divides each level's batches across
+//! devices in contiguous node chunks (§IV.A level-contiguous storage makes
+//! that the natural decomposition) and communicates only at two points: the
+//! `batchedBSRGemm` fetch of off-device partner inputs `Ω_b`, and the
+//! line-24 child stacking when a sibling pair straddles a chunk boundary.
+//! This module defines:
+//!
+//! * [`ShardDispatch`] — the object-safe interface a device fabric
+//!   implements (the real fabric of worker threads lives in the `h2_sched`
+//!   crate; this crate only needs to *drive* it). The batched kernels in
+//!   [`crate::ops`] and [`crate::bsr`] shard their per-entry work through
+//!   it and account modeled work/traffic with the *same formulas* as the
+//!   [`crate::multidev`] simulator, which is what makes measured and
+//!   simulated totals directly comparable;
+//! * [`Transfer`] — one explicit cross-device copy (what a real multi-GPU
+//!   build would issue as a peer-to-peer `cudaMemcpyAsync`);
+//! * [`chunk_bounds`] — the contiguous chunk decomposition consistent with
+//!   [`crate::multidev::owner`].
+
+use std::sync::Arc;
+
+/// Why a cross-device copy happened (the §IV.B communication taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferKind {
+    /// `batchedBSRGemm` fetching the input block `Ω_b` (or `Ψ_b` for the
+    /// column stream) of an off-device partner.
+    OmegaFetch,
+    /// Line-24 child stacking across a chunk boundary (one sibling's
+    /// samples/inputs gathered onto the parent's device).
+    ChildGather,
+    /// Matvec downsweep/reduction traffic: a device reading a parent's
+    /// `ŷ` partial sum owned by another device.
+    PartialSum,
+}
+
+impl TransferKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TransferKind::OmegaFetch => "omega-fetch",
+            TransferKind::ChildGather => "child-gather",
+            TransferKind::PartialSum => "partial-sum",
+        }
+    }
+}
+
+/// One explicit cross-device copy.
+#[derive(Clone, Copy, Debug)]
+pub struct Transfer {
+    /// Device the data is resident on.
+    pub src: usize,
+    /// Device that needs it.
+    pub dst: usize,
+    pub bytes: u64,
+    pub kind: TransferKind,
+}
+
+/// A unit of work bound for one virtual device's worker thread. Borrows are
+/// allowed because [`ShardDispatch::run`] blocks until every job completes.
+pub type ShardJob<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// The interface of a device fabric: N virtual devices, each with a worker
+/// thread, a memory arena and a work/traffic account. Implemented by
+/// `h2_sched::DeviceFabric`; consumed by the batched kernels.
+pub trait ShardDispatch: Send + Sync {
+    /// Number of virtual devices.
+    fn devices(&self) -> usize;
+
+    /// Execute `jobs[d]` on device `d`'s worker thread (at most
+    /// [`ShardDispatch::devices`] jobs) and block until all complete.
+    fn run<'a>(&self, jobs: Vec<ShardJob<'a>>);
+
+    /// Enqueue an explicit cross-device transfer on the fabric's queue.
+    fn push_transfer(&self, t: Transfer);
+
+    /// Attribute `flops` of modeled batched-kernel work to device `dev`
+    /// (the simulator's flop formulas, so totals are comparable).
+    fn add_flops(&self, dev: usize, flops: f64);
+
+    /// Attribute `entries` of `batchedGen` entry evaluations to device
+    /// `dev` (converted to flop-equivalents by `DeviceModel::entry_cost`).
+    fn add_gen_entries(&self, dev: usize, entries: f64);
+
+    /// Record `n` kernel launches on device `dev`.
+    fn add_launches(&self, dev: usize, n: usize);
+
+    /// Charge `bytes` of workspace to device `dev`'s arena (freed at the
+    /// next epoch boundary, mirroring the per-level single allocation).
+    fn arena_alloc(&self, dev: usize, bytes: usize);
+
+    /// Close the current accounting epoch (one construction level / matvec
+    /// phase) under `label`, snapshotting per-device counters.
+    fn epoch(&self, label: &str);
+}
+
+/// Contiguous per-device chunk bounds for `n` items over `devices` devices:
+/// device `d` owns items `bounds[d]..bounds[d + 1]`. Consistent with
+/// [`crate::multidev::owner`]: `owner(i, n, devices) == d` exactly for `i`
+/// in that range.
+pub fn chunk_bounds(n: usize, devices: usize) -> Vec<usize> {
+    let d = devices.max(1);
+    if n == 0 {
+        return vec![0; d + 1];
+    }
+    if d == 1 {
+        return vec![0, n];
+    }
+    (0..=d).map(|dev| (dev * n).div_ceil(d)).collect()
+}
+
+/// Shorthand used by the kernels: the dispatcher when the runtime is
+/// sharded.
+pub type SharedDispatch = Arc<dyn ShardDispatch>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multidev::owner;
+
+    #[test]
+    fn chunk_bounds_agree_with_owner() {
+        for &(n, d) in &[(10usize, 3usize), (7, 7), (2, 7), (0, 4), (16, 1), (5, 8)] {
+            let b = chunk_bounds(n, d);
+            assert_eq!(b.len(), d + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(b[d], n);
+            for dev in 0..d {
+                assert!(b[dev] <= b[dev + 1], "bounds must be monotone");
+                for i in b[dev]..b[dev + 1] {
+                    assert_eq!(owner(i, n, d), dev, "item {i} of {n} on {d} devices");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_balanced_within_one() {
+        let b = chunk_bounds(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|d| b[d + 1] - b[d]).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Sharded construction drivers and the simulator cross-validation.
+//!
+//! [`shard_construct`] / [`shard_construct_unsym`] run Algorithm 1 on a
+//! [`DeviceFabric`]-backed [`Runtime`]: every batched kernel of the level
+//! loop (both sketch streams of the unsymmetric engine) executes its
+//! contiguous per-device chunks on the fabric's worker threads, with the
+//! `Ω_b` fetches and boundary sibling merges of §IV.B recorded on the
+//! explicit transfer queue. The construction's level markers close one
+//! accounting epoch per processed level, so the returned [`ExecReport`]
+//! lines up one-to-one with the `LevelSpec`s of
+//! [`h2_core::level_specs`] — [`compare_with_simulator`] checks that the
+//! executor moved exactly the work and bytes the closed-form
+//! [`h2_runtime::simulate`] model predicts.
+
+use crate::fabric::{DeviceFabric, ExecReport};
+use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig, SketchStats};
+use h2_dense::{EntryAccess, LinOp};
+use h2_matrix::H2Matrix;
+use h2_runtime::{simulate, DeviceModel, LevelSpec, Runtime, ShardDispatch};
+use h2_tree::{ClusterTree, Partition};
+use std::sync::Arc;
+
+/// A [`Runtime`] whose batched kernels execute sharded on `fabric`.
+pub fn sharded_runtime(fabric: &Arc<DeviceFabric>) -> Runtime {
+    Runtime::sharded(fabric.clone() as Arc<dyn ShardDispatch>)
+}
+
+/// Symmetric sketching construction executed on the device fabric.
+/// Resets the fabric, runs, and returns the result together with the
+/// fabric's execution report (one epoch per processed level).
+pub fn shard_construct(
+    fabric: &Arc<DeviceFabric>,
+    sampler: &dyn LinOp,
+    gen: &dyn EntryAccess,
+    tree: Arc<ClusterTree>,
+    partition: Arc<Partition>,
+    cfg: &SketchConfig,
+) -> (H2Matrix, SketchStats, ExecReport) {
+    fabric.reset();
+    let rt = sharded_runtime(fabric);
+    let (h2, stats) = sketch_construct(sampler, gen, tree, partition, &rt, cfg);
+    (h2, stats, fabric.report("construct tail"))
+}
+
+/// Unsymmetric (two-stream) sketching construction executed on the device
+/// fabric. Both the `Y = K Ω` and `Z = Kᵀ Ψ` streams shard.
+pub fn shard_construct_unsym(
+    fabric: &Arc<DeviceFabric>,
+    sampler: &dyn LinOp,
+    gen: &dyn EntryAccess,
+    tree: Arc<ClusterTree>,
+    partition: Arc<Partition>,
+    cfg: &SketchConfig,
+) -> (H2Matrix, SketchStats, ExecReport) {
+    fabric.reset();
+    let rt = sharded_runtime(fabric);
+    let (h2, stats) = sketch_construct_unsym(sampler, gen, tree, partition, &rt, cfg);
+    (h2, stats, fabric.report("construct tail"))
+}
+
+/// Measured-vs-simulated comparison of one construction run on the same
+/// [`LevelSpec`]s.
+///
+/// With a non-adaptive pass (no extra sampling rounds, which is the regime
+/// `level_specs` describes) the executor performs *exactly* the kernel
+/// populations of the specs, so the modeled work and traffic totals agree
+/// to rounding. The makespans agree only up to scheduling detail — the
+/// simulator round-robins generator blocks over one concatenated per-level
+/// list and charges `active·(6 + Csp)` launches, while the executor issues
+/// its real launch pattern — so [`SimComparison::makespan_ratio`] is
+/// checked against a documented factor (3x in the acceptance tests)
+/// rather than equality.
+#[derive(Clone, Debug)]
+pub struct SimComparison {
+    /// Executor work total, in flop-equivalents under the model.
+    pub measured_flop_equiv: f64,
+    /// Simulator work total (compute seconds × flop rate).
+    pub predicted_flop_equiv: f64,
+    /// Executor bytes on the transfer queue.
+    pub measured_bytes: u64,
+    /// Simulator cross-device traffic.
+    pub predicted_bytes: u64,
+    /// Executor counts projected through the model (see
+    /// [`ExecReport::modeled_makespan`]).
+    pub measured_makespan: f64,
+    /// Simulator makespan.
+    pub predicted_makespan: f64,
+}
+
+impl SimComparison {
+    /// Relative flop-equivalent discrepancy.
+    pub fn flops_rel_err(&self) -> f64 {
+        let scale = self.predicted_flop_equiv.max(1.0);
+        (self.measured_flop_equiv - self.predicted_flop_equiv).abs() / scale
+    }
+
+    /// Whether byte totals agree exactly.
+    pub fn bytes_match(&self) -> bool {
+        self.measured_bytes == self.predicted_bytes
+    }
+
+    /// `measured / predicted` makespan ratio (1.0 = perfect agreement).
+    pub fn makespan_ratio(&self) -> f64 {
+        if self.predicted_makespan == 0.0 {
+            return 1.0;
+        }
+        self.measured_makespan / self.predicted_makespan
+    }
+}
+
+/// Compare an execution report against the simulator's prediction for the
+/// same level specs, sample width and device count.
+pub fn compare_with_simulator(
+    report: &ExecReport,
+    specs: &[LevelSpec],
+    d_samples: usize,
+    model: &DeviceModel,
+) -> SimComparison {
+    let sim = simulate(specs, d_samples, report.devices, model);
+    SimComparison {
+        measured_flop_equiv: report.flop_equiv(model.entry_cost),
+        predicted_flop_equiv: sim.compute_total() * model.flops_per_sec,
+        measured_bytes: report.total_comm_bytes(),
+        predicted_bytes: sim.total_comm_bytes,
+        measured_makespan: report.modeled_makespan(model),
+        predicted_makespan: sim.makespan,
+    }
+}

@@ -1,0 +1,571 @@
+//! The device fabric: N virtual devices, each a worker thread with a
+//! memory arena and a work/traffic account, plus the explicit transfer
+//! queue and per-epoch accounting.
+//!
+//! Paper mapping:
+//!
+//! * one **virtual device** = one GPU of §IV.B — a dedicated worker thread
+//!   (kernel stream) that executes the contiguous node chunk assigned to
+//!   the device at every level;
+//! * the **arena** mirrors §IV.A's per-level single workspace allocation
+//!   (prefix sum + one `cudaMalloc`): batched kernels charge their chunk's
+//!   output bytes plus any fetched remote blocks, and the arena resets at
+//!   the next epoch (level) boundary;
+//! * the **transfer queue** holds the only two communication patterns of
+//!   §IV.B (`Ω_b` partner fetches in `batchedBSRGemm`, boundary sibling
+//!   merges at line 24) plus the matvec's partial-sum reads;
+//! * an **epoch** is one processed level (or matvec phase): the per-epoch
+//!   per-device stats line up one-to-one with the per-level costs of the
+//!   [`h2_runtime::multidev`] simulator, which is what
+//!   [`crate::SimComparison`] validates.
+
+use h2_runtime::{DeviceModel, ShardDispatch, ShardJob, Transfer, TransferKind};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Snapshot of one device's counters over one epoch.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceEpochStats {
+    /// Modeled batched-kernel flops (the simulator's formulas).
+    pub flops: f64,
+    /// `batchedGen` entry evaluations (flop-equivalents are
+    /// `entry_cost × gen_entries`).
+    pub gen_entries: f64,
+    /// Kernel launches issued by this device.
+    pub launches: usize,
+    /// Measured wall-clock the worker spent executing jobs.
+    pub busy: Duration,
+    /// Peak arena bytes held during the epoch.
+    pub arena_peak: usize,
+}
+
+/// One closed accounting epoch (a construction level or matvec phase).
+#[derive(Clone, Debug)]
+pub struct Epoch {
+    pub label: String,
+    pub per_device: Vec<DeviceEpochStats>,
+    /// Cross-device bytes moved during the epoch.
+    pub comm_bytes: u64,
+    /// Number of cross-device messages.
+    pub comm_messages: usize,
+}
+
+#[derive(Default)]
+struct Account {
+    flops: f64,
+    gen_entries: f64,
+    launches: usize,
+    busy_nanos: u64,
+}
+
+/// Bump-style arena accounting: `live` grows with every charge and resets
+/// at epoch boundaries (per-level workspace discipline).
+#[derive(Default)]
+struct Arena {
+    live: usize,
+    peak_epoch: usize,
+    peak_total: usize,
+    allocated_total: usize,
+}
+
+struct Shared {
+    devices: usize,
+    accounts: Vec<Mutex<Account>>,
+    arenas: Vec<Mutex<Arena>>,
+    /// Transfer queue entries tagged with the epoch they occurred in.
+    transfers: Mutex<Vec<(usize, Transfer)>>,
+    epochs: Mutex<Vec<Epoch>>,
+}
+
+enum Cmd {
+    Job(Box<dyn FnOnce() + Send + 'static>),
+    Stop,
+}
+
+struct Worker {
+    tx: Sender<Cmd>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fabric of `N` virtual devices. Create with [`DeviceFabric::new`],
+/// hand the `Arc` to [`h2_runtime::Runtime::sharded`] (it implements
+/// [`ShardDispatch`]), run work, then collect an [`ExecReport`].
+pub struct DeviceFabric {
+    shared: Arc<Shared>,
+    workers: Vec<Worker>,
+}
+
+impl DeviceFabric {
+    /// Spin up `devices` worker threads (one per virtual device).
+    pub fn new(devices: usize) -> Arc<Self> {
+        assert!(devices > 0, "at least one device");
+        let shared = Arc::new(Shared {
+            devices,
+            accounts: (0..devices)
+                .map(|_| Mutex::new(Account::default()))
+                .collect(),
+            arenas: (0..devices).map(|_| Mutex::new(Arena::default())).collect(),
+            transfers: Mutex::new(Vec::new()),
+            epochs: Mutex::new(Vec::new()),
+        });
+        let workers = (0..devices)
+            .map(|dev| {
+                let (tx, rx) = channel::<Cmd>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("h2-device-{dev}"))
+                    .spawn(move || {
+                        while let Ok(cmd) = rx.recv() {
+                            match cmd {
+                                Cmd::Job(job) => job(),
+                                Cmd::Stop => break,
+                            }
+                        }
+                    })
+                    .expect("spawn device worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Arc::new(DeviceFabric { shared, workers })
+    }
+
+    pub fn devices(&self) -> usize {
+        self.shared.devices
+    }
+
+    /// Execute `jobs[d]` on device `d`'s worker thread and block until all
+    /// complete. Job wall time is credited to each device's busy counter.
+    pub fn run_jobs<'a>(&self, jobs: Vec<ShardJob<'a>>) {
+        assert!(jobs.len() <= self.shared.devices, "more jobs than devices");
+        let njobs = jobs.len();
+        let (done_tx, done_rx) = channel::<()>();
+        for (dev, job) in jobs.into_iter().enumerate() {
+            let shared = self.shared.clone();
+            let done = done_tx.clone();
+            let wrapped: ShardJob<'a> = Box::new(move || {
+                let t0 = Instant::now();
+                job();
+                let dt = t0.elapsed().as_nanos() as u64;
+                shared.accounts[dev].lock().unwrap().busy_nanos += dt;
+                let _ = done.send(());
+            });
+            // SAFETY: this thread blocks on `done_rx` below until every job
+            // has signalled completion, so all borrows captured by `job`
+            // strictly outlive its execution on the worker thread. This is
+            // the standard scoped-threadpool lifetime erasure.
+            let wrapped: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { std::mem::transmute(wrapped) };
+            self.workers[dev]
+                .tx
+                .send(Cmd::Job(wrapped))
+                .expect("device worker alive");
+        }
+        // Drop the original sender so a panicking job (which unwinds past
+        // its `done.send`) closes the channel instead of deadlocking us:
+        // `recv` then errors and the panic propagates to the caller.
+        drop(done_tx);
+        for _ in 0..njobs {
+            done_rx
+                .recv()
+                .expect("a device job panicked on its worker thread");
+        }
+    }
+
+    /// Record a cross-device transfer on the explicit queue.
+    pub fn record_transfer(&self, t: Transfer) {
+        let epoch = self.shared.epochs.lock().unwrap().len();
+        self.shared.transfers.lock().unwrap().push((epoch, t));
+    }
+
+    pub fn record_flops(&self, dev: usize, flops: f64) {
+        self.shared.accounts[dev].lock().unwrap().flops += flops;
+    }
+
+    pub fn record_gen_entries(&self, dev: usize, entries: f64) {
+        self.shared.accounts[dev].lock().unwrap().gen_entries += entries;
+    }
+
+    pub fn record_launches(&self, dev: usize, n: usize) {
+        self.shared.accounts[dev].lock().unwrap().launches += n;
+    }
+
+    /// Charge workspace bytes to a device arena.
+    pub fn arena_charge(&self, dev: usize, bytes: usize) {
+        let mut a = self.shared.arenas[dev].lock().unwrap();
+        a.live += bytes;
+        a.allocated_total += bytes;
+        a.peak_epoch = a.peak_epoch.max(a.live);
+        a.peak_total = a.peak_total.max(a.live);
+    }
+
+    /// Close the current epoch: snapshot and reset per-device counters,
+    /// release the arenas (per-level workspace), aggregate the epoch's
+    /// transfer traffic.
+    pub fn close_epoch(&self, label: &str) {
+        let mut epochs = self.shared.epochs.lock().unwrap();
+        let idx = epochs.len();
+        let per_device: Vec<DeviceEpochStats> = (0..self.shared.devices)
+            .map(|dev| {
+                let mut a = self.shared.accounts[dev].lock().unwrap();
+                let mut ar = self.shared.arenas[dev].lock().unwrap();
+                let stats = DeviceEpochStats {
+                    flops: a.flops,
+                    gen_entries: a.gen_entries,
+                    launches: a.launches,
+                    busy: Duration::from_nanos(a.busy_nanos),
+                    arena_peak: ar.peak_epoch,
+                };
+                *a = Account::default();
+                ar.live = 0;
+                ar.peak_epoch = 0;
+                stats
+            })
+            .collect();
+        let transfers = self.shared.transfers.lock().unwrap();
+        let (mut bytes, mut msgs) = (0u64, 0usize);
+        for (e, t) in transfers.iter() {
+            if *e == idx {
+                bytes += t.bytes;
+                msgs += 1;
+            }
+        }
+        epochs.push(Epoch {
+            label: label.to_string(),
+            per_device,
+            comm_bytes: bytes,
+            comm_messages: msgs,
+        });
+    }
+
+    /// Whether any counter has accumulated since the last epoch boundary.
+    fn has_open_work(&self) -> bool {
+        let idx = self.shared.epochs.lock().unwrap().len();
+        if self
+            .shared
+            .transfers
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|(e, _)| *e == idx)
+        {
+            return true;
+        }
+        (0..self.shared.devices).any(|dev| {
+            let a = self.shared.accounts[dev].lock().unwrap();
+            a.flops > 0.0 || a.gen_entries > 0.0 || a.launches > 0 || a.busy_nanos > 0
+        })
+    }
+
+    /// Collect everything recorded so far into a report, closing a trailing
+    /// epoch under `tail_label` if work is pending.
+    pub fn report(&self, tail_label: &str) -> ExecReport {
+        if self.has_open_work() {
+            self.close_epoch(tail_label);
+        }
+        let epochs = self.shared.epochs.lock().unwrap().clone();
+        let transfers = self.shared.transfers.lock().unwrap().clone();
+        let arena_peaks = (0..self.shared.devices)
+            .map(|dev| self.shared.arenas[dev].lock().unwrap().peak_total)
+            .collect();
+        ExecReport {
+            devices: self.shared.devices,
+            epochs,
+            transfers,
+            arena_peaks,
+        }
+    }
+
+    /// Clear all accounting (reuse the fabric for another run).
+    pub fn reset(&self) {
+        for dev in 0..self.shared.devices {
+            *self.shared.accounts[dev].lock().unwrap() = Account::default();
+            *self.shared.arenas[dev].lock().unwrap() = Arena::default();
+        }
+        self.shared.transfers.lock().unwrap().clear();
+        self.shared.epochs.lock().unwrap().clear();
+    }
+}
+
+impl Drop for DeviceFabric {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(Cmd::Stop);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl ShardDispatch for DeviceFabric {
+    fn devices(&self) -> usize {
+        DeviceFabric::devices(self)
+    }
+
+    fn run<'a>(&self, jobs: Vec<ShardJob<'a>>) {
+        self.run_jobs(jobs)
+    }
+
+    fn push_transfer(&self, t: Transfer) {
+        self.record_transfer(t)
+    }
+
+    fn add_flops(&self, dev: usize, flops: f64) {
+        self.record_flops(dev, flops)
+    }
+
+    fn add_gen_entries(&self, dev: usize, entries: f64) {
+        self.record_gen_entries(dev, entries)
+    }
+
+    fn add_launches(&self, dev: usize, n: usize) {
+        self.record_launches(dev, n)
+    }
+
+    fn arena_alloc(&self, dev: usize, bytes: usize) {
+        self.arena_charge(dev, bytes)
+    }
+
+    fn epoch(&self, label: &str) {
+        self.close_epoch(label)
+    }
+}
+
+/// Everything a sharded run recorded: per-epoch per-device timing and
+/// modeled work, the full transfer queue, arena peaks. The measured totals
+/// are validated against [`h2_runtime::simulate`] by
+/// [`crate::compare_with_simulator`].
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    pub devices: usize,
+    pub epochs: Vec<Epoch>,
+    /// `(epoch index, transfer)` in queue order.
+    pub transfers: Vec<(usize, Transfer)>,
+    /// Per-device peak arena bytes over the whole run.
+    pub arena_peaks: Vec<usize>,
+}
+
+impl ExecReport {
+    /// Modeled batched-kernel flops summed over devices and epochs
+    /// (excluding `batchedGen` entries).
+    pub fn total_flops(&self) -> f64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.per_device.iter())
+            .map(|d| d.flops)
+            .sum()
+    }
+
+    pub fn total_gen_entries(&self) -> f64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.per_device.iter())
+            .map(|d| d.gen_entries)
+            .sum()
+    }
+
+    /// Total work in flop-equivalents under a device model's per-entry
+    /// generation cost — the simulator's compute currency.
+    pub fn flop_equiv(&self, entry_cost: f64) -> f64 {
+        self.total_flops() + entry_cost * self.total_gen_entries()
+    }
+
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.transfers.iter().map(|(_, t)| t.bytes).sum()
+    }
+
+    pub fn total_comm_messages(&self) -> usize {
+        self.transfers.len()
+    }
+
+    pub fn total_launches(&self) -> usize {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.per_device.iter())
+            .map(|d| d.launches)
+            .sum()
+    }
+
+    /// Bytes moved for one transfer kind.
+    pub fn bytes_of_kind(&self, kind: TransferKind) -> u64 {
+        self.transfers
+            .iter()
+            .filter(|(_, t)| t.kind == kind)
+            .map(|(_, t)| t.bytes)
+            .sum()
+    }
+
+    /// Measured wall-clock makespan: epochs are sequential, devices within
+    /// an epoch run concurrently, so the makespan is the sum over epochs of
+    /// the busiest device.
+    pub fn measured_makespan(&self) -> Duration {
+        self.epochs
+            .iter()
+            .map(|e| {
+                e.per_device
+                    .iter()
+                    .map(|d| d.busy)
+                    .max()
+                    .unwrap_or_default()
+            })
+            .sum()
+    }
+
+    /// Total measured busy time per device across all epochs.
+    pub fn busy_per_device(&self) -> Vec<Duration> {
+        let mut out = vec![Duration::default(); self.devices];
+        for e in &self.epochs {
+            for (dev, d) in e.per_device.iter().enumerate() {
+                out[dev] += d.busy;
+            }
+        }
+        out
+    }
+
+    /// Project the *measured* counts through a [`DeviceModel`] exactly the
+    /// way the simulator projects a `LevelSpec`: per epoch, the busiest
+    /// device's modeled compute time plus serialized communication plus
+    /// per-device launch overhead; epochs are sequential.
+    pub fn modeled_makespan(&self, model: &DeviceModel) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| {
+                let compute_max = e
+                    .per_device
+                    .iter()
+                    .map(|d| (d.flops + model.entry_cost * d.gen_entries) / model.flops_per_sec)
+                    .fold(0.0, f64::max);
+                let comm = e.comm_bytes as f64 / model.link_bandwidth
+                    + e.comm_messages as f64 * model.link_latency;
+                let launches_max = e.per_device.iter().map(|d| d.launches).max().unwrap_or(0);
+                compute_max + comm + launches_max as f64 * model.launch_overhead
+            })
+            .sum()
+    }
+
+    /// Modeled total compute seconds (device-invariant work currency).
+    pub fn modeled_compute_total(&self, model: &DeviceModel) -> f64 {
+        self.flop_equiv(model.entry_cost) / model.flops_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_on_distinct_worker_threads() {
+        let fabric = DeviceFabric::new(3);
+        let names = Mutex::new(Vec::new());
+        let jobs: Vec<ShardJob<'_>> = (0..3)
+            .map(|_| {
+                Box::new(|| {
+                    names
+                        .lock()
+                        .unwrap()
+                        .push(std::thread::current().name().unwrap_or("?").to_string());
+                }) as ShardJob<'_>
+            })
+            .collect();
+        fabric.run_jobs(jobs);
+        let mut got = names.into_inner().unwrap();
+        got.sort();
+        assert_eq!(got, vec!["h2-device-0", "h2-device-1", "h2-device-2"]);
+    }
+
+    #[test]
+    fn run_blocks_until_all_jobs_complete() {
+        let fabric = DeviceFabric::new(4);
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<ShardJob<'_>> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as ShardJob<'_>
+            })
+            .collect();
+        fabric.run_jobs(jobs);
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panicking_job_propagates_instead_of_hanging() {
+        let fabric = DeviceFabric::new(2);
+        let jobs: Vec<ShardJob<'_>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("injected device fault")),
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fabric.run_jobs(jobs);
+        }));
+        assert!(result.is_err(), "the worker panic must reach the caller");
+    }
+
+    #[test]
+    fn epochs_snapshot_and_reset_counters() {
+        let fabric = DeviceFabric::new(2);
+        fabric.record_flops(0, 100.0);
+        fabric.record_gen_entries(1, 7.0);
+        fabric.record_launches(0, 3);
+        fabric.arena_charge(0, 64);
+        fabric.record_transfer(Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 128,
+            kind: TransferKind::OmegaFetch,
+        });
+        fabric.close_epoch("e0");
+        fabric.record_flops(0, 1.0);
+        let rep = fabric.report("tail");
+        assert_eq!(rep.epochs.len(), 2);
+        assert_eq!(rep.epochs[0].per_device[0].flops, 100.0);
+        assert_eq!(rep.epochs[0].per_device[1].gen_entries, 7.0);
+        assert_eq!(rep.epochs[0].per_device[0].launches, 3);
+        assert_eq!(rep.epochs[0].per_device[0].arena_peak, 64);
+        assert_eq!(rep.epochs[0].comm_bytes, 128);
+        assert_eq!(rep.epochs[0].comm_messages, 1);
+        assert_eq!(rep.epochs[1].label, "tail");
+        assert_eq!(rep.epochs[1].per_device[0].flops, 1.0);
+        assert_eq!(rep.total_flops(), 101.0);
+        assert_eq!(rep.total_comm_bytes(), 128);
+        assert_eq!(rep.bytes_of_kind(TransferKind::OmegaFetch), 128);
+        assert_eq!(rep.bytes_of_kind(TransferKind::ChildGather), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let fabric = DeviceFabric::new(2);
+        fabric.record_flops(0, 5.0);
+        fabric.close_epoch("x");
+        fabric.reset();
+        let rep = fabric.report("tail");
+        assert!(rep.epochs.is_empty());
+        assert_eq!(rep.total_flops(), 0.0);
+    }
+
+    #[test]
+    fn modeled_makespan_tracks_busiest_device() {
+        let fabric = DeviceFabric::new(2);
+        fabric.record_flops(0, 2.0e10);
+        fabric.record_flops(1, 1.0e10);
+        fabric.close_epoch("lvl");
+        let rep = fabric.report("tail");
+        let model = DeviceModel {
+            flops_per_sec: 1.0e10,
+            link_bandwidth: 1.0e12,
+            link_latency: 0.0,
+            launch_overhead: 0.0,
+            entry_cost: 20.0,
+        };
+        assert!((rep.modeled_makespan(&model) - 2.0).abs() < 1e-12);
+        assert!((rep.modeled_compute_total(&model) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,291 @@
+//! Device-sharded H2 matvec: the three-pass algorithm executed level by
+//! level over contiguous node chunks on the fabric, with per-device partial
+//! outputs and explicit transfers.
+//!
+//! Phase mapping (§IV.A chunking, §IV.B communication):
+//!
+//! * **upsweep** — each level's nodes shard by [`h2_runtime::owner`]; a
+//!   parent whose second child lives across a chunk boundary reads that
+//!   child's `x̂` through a [`TransferKind::ChildGather`] (the matvec
+//!   analogue of the line-24 sibling merge);
+//! * **coupling** — rows shard per level; reading the `x̂_t` of an
+//!   off-device partner is a [`TransferKind::OmegaFetch`], deduplicated per
+//!   `(device, partner)` per level exactly like the construction's `Ω_b`
+//!   fetches;
+//! * **downsweep** — children shard per level; a child on a different
+//!   device than its parent reads the parent's `ŷ` partial sum
+//!   ([`TransferKind::PartialSum`]);
+//! * **leaves** — leaf row ranges are disjoint, so the per-device partial
+//!   outputs assemble into `y` without a reduction.
+//!
+//! The global input `x` (and the stored blocks) are treated as
+//! device-resident, consistent with the simulator treating the generator
+//! and initial sample scatter as free — only `x̂`/`ŷ` movement counts.
+
+use crate::fabric::{DeviceFabric, ExecReport};
+use h2_dense::Mat;
+use h2_matrix::H2Matrix;
+use h2_runtime::multidev::cost;
+use h2_runtime::{chunk_bounds, owner, ShardJob, Transfer, TransferKind};
+use std::collections::HashSet;
+
+/// `y = K x` (or `Kᵀ x`) executed sharded on the fabric, in tree-permuted
+/// coordinates. Numerically identical to [`H2Matrix::apply_permuted`] /
+/// `apply_transpose_permuted` — the same [`h2_matrix::ApplyPhases`] kernels
+/// run, only the scheduling differs.
+pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bool) -> Mat {
+    let n = h2.n();
+    assert_eq!(x.rows(), n, "shard_matvec: x rows");
+    let d = x.cols();
+    let devices = fabric.devices();
+    let ph = h2.apply_phases(transpose);
+    let in_basis = ph.in_basis();
+    let out_basis = ph.out_basis();
+    let tree = &h2.tree;
+    let nnodes = tree.nodes.len();
+    let leaf_level = tree.leaf_level();
+
+    // ---- upward pass: x̂_τ, leaf level first ----
+    let mut xhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+    for l in (0..tree.nlevels()).rev() {
+        let ids: Vec<usize> = tree.level(l).collect();
+        let nl = ids.len();
+        let bounds = chunk_bounds(nl, devices);
+        let mut any = false;
+        for (local, &id) in ids.iter().enumerate() {
+            let v = &in_basis[id];
+            if v.cols() == 0 {
+                continue;
+            }
+            any = true;
+            let dev = owner(local, nl, devices);
+            fabric.record_flops(dev, cost::upsweep_flops(v.rows(), v.cols(), d));
+            fabric.arena_charge(dev, v.cols() * d * 8);
+            if l < leaf_level {
+                let (c1, c2) = tree.nodes[id].children.unwrap();
+                let ncl = tree.level_len(l + 1);
+                for c in [c1, c2] {
+                    let cdev = owner(tree.local_index(c), ncl, devices);
+                    if cdev != dev && in_basis[c].cols() > 0 {
+                        fabric.record_transfer(Transfer {
+                            src: cdev,
+                            dst: dev,
+                            bytes: cost::fetch_bytes(in_basis[c].cols(), d),
+                            kind: TransferKind::ChildGather,
+                        });
+                    }
+                }
+            }
+        }
+        if !any {
+            continue;
+        }
+        let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
+        {
+            let (xhat_ref, ids_ref, ph_ref) = (&xhat, &ids, &ph);
+            let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+            for (dev, slot) in results.iter_mut().enumerate() {
+                let (b, e) = (bounds[dev], bounds[dev + 1]);
+                if e > b {
+                    fabric.record_launches(dev, 1);
+                }
+                jobs.push(Box::new(move || {
+                    for local in b..e {
+                        let id = ids_ref[local];
+                        if let Some(m) = ph_ref.upsweep_node(id, x.rf(), xhat_ref) {
+                            slot.push((id, m));
+                        }
+                    }
+                }));
+            }
+            fabric.run_jobs(jobs);
+        }
+        for (id, m) in results.into_iter().flatten() {
+            xhat[id] = m;
+        }
+        fabric.close_epoch(&format!("matvec upsweep L{l}"));
+    }
+
+    // ---- coupling products per level: ŷ_s = Σ_t op(B) x̂_t ----
+    let mut yhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+    for l in 0..tree.nlevels() {
+        let ids: Vec<usize> = tree.level(l).collect();
+        let nl = ids.len();
+        let bounds = chunk_bounds(nl, devices);
+        let mut any = false;
+        let mut fetched: HashSet<(usize, usize)> = HashSet::new();
+        for (local, &s) in ids.iter().enumerate() {
+            if h2.partition.far_of[s].is_empty() {
+                continue;
+            }
+            any = true;
+            let dev = owner(local, nl, devices);
+            let ks = out_basis[s].cols();
+            fabric.arena_charge(dev, ks * d * 8);
+            for &t in &h2.partition.far_of[s] {
+                let kt = in_basis[t].cols();
+                if ks == 0 || kt == 0 {
+                    continue;
+                }
+                fabric.record_flops(dev, cost::bsr_flops(ks, kt, d));
+                let tdev = owner(tree.local_index(t), nl, devices);
+                if tdev != dev && fetched.insert((dev, t)) {
+                    let bytes = cost::fetch_bytes(kt, d);
+                    fabric.record_transfer(Transfer {
+                        src: tdev,
+                        dst: dev,
+                        bytes,
+                        kind: TransferKind::OmegaFetch,
+                    });
+                    fabric.arena_charge(dev, bytes as usize);
+                }
+            }
+        }
+        if !any {
+            continue;
+        }
+        let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
+        {
+            let (xhat_ref, ids_ref, ph_ref) = (&xhat, &ids, &ph);
+            let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+            for (dev, slot) in results.iter_mut().enumerate() {
+                let (b, e) = (bounds[dev], bounds[dev + 1]);
+                if e > b {
+                    fabric.record_launches(dev, 1);
+                }
+                jobs.push(Box::new(move || {
+                    for local in b..e {
+                        let s = ids_ref[local];
+                        if let Some(m) = ph_ref.coupling_node(s, xhat_ref, d) {
+                            slot.push((s, m));
+                        }
+                    }
+                }));
+            }
+            fabric.run_jobs(jobs);
+        }
+        for (s, m) in results.into_iter().flatten() {
+            yhat[s] = m;
+        }
+        fabric.close_epoch(&format!("matvec coupling L{l}"));
+    }
+
+    // ---- downward pass: children read the parent's ŷ partial sum ----
+    for l in 0..leaf_level {
+        let ids: Vec<usize> = tree.level(l + 1).collect();
+        let nl = ids.len();
+        let np = tree.level_len(l);
+        let bounds = chunk_bounds(nl, devices);
+        let mut any = false;
+        for (local, &child) in ids.iter().enumerate() {
+            let Some(parent) = tree.nodes[child].parent else {
+                continue;
+            };
+            if yhat[parent].rows() == 0
+                || out_basis[parent].cols() == 0
+                || out_basis[child].cols() == 0
+            {
+                continue;
+            }
+            any = true;
+            let dev = owner(local, nl, devices);
+            let kp = out_basis[parent].cols();
+            fabric.record_flops(dev, cost::upsweep_flops(out_basis[child].cols(), kp, d));
+            let pdev = owner(tree.local_index(parent), np, devices);
+            if pdev != dev {
+                fabric.record_transfer(Transfer {
+                    src: pdev,
+                    dst: dev,
+                    bytes: cost::fetch_bytes(kp, d),
+                    kind: TransferKind::PartialSum,
+                });
+            }
+        }
+        if !any {
+            continue;
+        }
+        let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
+        {
+            let (yhat_ref, ids_ref, ph_ref) = (&yhat, &ids, &ph);
+            let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+            for (dev, slot) in results.iter_mut().enumerate() {
+                let (b, e) = (bounds[dev], bounds[dev + 1]);
+                if e > b {
+                    fabric.record_launches(dev, 1);
+                }
+                jobs.push(Box::new(move || {
+                    for local in b..e {
+                        let child = ids_ref[local];
+                        if let Some(m) = ph_ref.downsweep_child(child, yhat_ref, d) {
+                            slot.push((child, m));
+                        }
+                    }
+                }));
+            }
+            fabric.run_jobs(jobs);
+        }
+        for (child, m) in results.into_iter().flatten() {
+            if yhat[child].rows() == 0 {
+                yhat[child] = m;
+            } else {
+                yhat[child].axpy(1.0, &m);
+            }
+        }
+        fabric.close_epoch(&format!("matvec downsweep L{}", l + 1));
+    }
+
+    // ---- leaf expansion + dense near field: disjoint per-device partial
+    // outputs, assembled without reduction ----
+    let ids: Vec<usize> = tree.level(leaf_level).collect();
+    let nl = ids.len();
+    let bounds = chunk_bounds(nl, devices);
+    for (local, &s) in ids.iter().enumerate() {
+        let dev = owner(local, nl, devices);
+        let (b, e) = tree.range(s);
+        fabric.arena_charge(dev, (e - b) * d * 8);
+        if yhat[s].rows() > 0 && out_basis[s].cols() > 0 {
+            fabric.record_flops(dev, cost::upsweep_flops(e - b, out_basis[s].cols(), d));
+        }
+        for &t in &h2.partition.near_of[s] {
+            let (tb, te) = tree.range(t);
+            fabric.record_flops(dev, cost::bsr_flops(e - b, te - tb, d));
+        }
+    }
+    let mut y = Mat::zeros(n, d);
+    let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
+    {
+        let (yhat_ref, ids_ref, ph_ref) = (&yhat, &ids, &ph);
+        let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+        for (dev, slot) in results.iter_mut().enumerate() {
+            let (b, e) = (bounds[dev], bounds[dev + 1]);
+            if e > b {
+                fabric.record_launches(dev, 1);
+            }
+            jobs.push(Box::new(move || {
+                for local in b..e {
+                    let s = ids_ref[local];
+                    slot.push(ph_ref.leaf_node(s, x.rf(), yhat_ref));
+                }
+            }));
+        }
+        fabric.run_jobs(jobs);
+    }
+    for (b, m) in results.into_iter().flatten() {
+        y.view_mut(b, 0, m.rows(), d).copy_from(m.rf());
+    }
+    fabric.close_epoch("matvec leaves");
+    y
+}
+
+/// [`shard_matvec`] with a fresh accounting scope: resets the fabric, runs,
+/// and returns the result together with the execution report.
+pub fn shard_matvec_with_report(
+    fabric: &DeviceFabric,
+    h2: &H2Matrix,
+    x: &Mat,
+    transpose: bool,
+) -> (Mat, ExecReport) {
+    fabric.reset();
+    let y = shard_matvec(fabric, h2, x, transpose);
+    (y, fabric.report("matvec tail"))
+}

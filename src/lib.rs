@@ -6,5 +6,6 @@ pub use h2_frontal as frontal;
 pub use h2_kernels as kernels;
 pub use h2_matrix as matrix;
 pub use h2_runtime as runtime;
+pub use h2_sched as sched;
 pub use h2_solve as solve;
 pub use h2_tree as tree;
