@@ -4,6 +4,9 @@
 //! Phases match the paper's categories: sampling (`Kblk`), BSR product,
 //! entry generation, convergence test (batched QR), ID, upsweep, random
 //! generation, and miscellaneous (marshaling + workspace allocation).
+//! A second table reports the kernel structure underneath the phases —
+//! launch counts per batched kernel plus the blocked-GEMM packing passes
+//! (`gemmPack` launches / staged MiB) and `gemv` calls of the dense layer.
 //!
 //! Usage: `--sizes 8192,16384,32768 [--leaf 64] [--tol 1e-6]`
 
@@ -21,6 +24,7 @@ fn main() {
 
     for (backend, label) in [(Backend::Sequential, "CPU"), (Backend::Parallel, "GPU-sim")] {
         println!("## {label}\n");
+        let mut kernel_rows: Vec<(usize, h2_core::SketchStats)> = Vec::new();
         header(&[
             "N",
             "sampling %",
@@ -71,6 +75,38 @@ fn main() {
                 pct("rand"),
                 pct("misc"),
                 format!("{total:.3}"),
+            ]);
+            kernel_rows.push((n, stats));
+        }
+        // The launch structure underneath the phases: the batched kernels
+        // of §IV.B plus the dense layer's packing and gemv activity.
+        println!("\n### Kernel structure ({label})\n");
+        header(&[
+            "N",
+            "batchedGemm",
+            "batchedBSRGemm",
+            "gemmPack",
+            "pack MiB",
+            "gemv",
+            "total launches",
+        ]);
+        for (n, stats) in &kernel_rows {
+            let count = |name: &str| {
+                stats
+                    .launches
+                    .iter()
+                    .find(|(k, _)| *k == name)
+                    .map(|(_, c)| *c)
+                    .unwrap_or(0)
+            };
+            row(&[
+                n.to_string(),
+                count("batchedGemm").to_string(),
+                count("batchedBSRGemm").to_string(),
+                count("gemmPack").to_string(),
+                format!("{:.1}", h2_bench::mib(stats.pack_bytes as usize)),
+                count("gemv").to_string(),
+                stats.total_launches().to_string(),
             ]);
         }
         println!();

@@ -1,0 +1,233 @@
+//! Kernel-level performance baseline: the numbers every later perf PR is
+//! judged against.
+//!
+//! Measures, and emits as `BENCH_kernels.json`:
+//!
+//! * single-matrix GEMM GFLOP/s for square sizes 32–1024 across all four
+//!   transpose combinations, for both the packed blocked kernel (the
+//!   `gemm` dispatch path) and the retained naive axpy/dot reference
+//!   (`gemm_naive`) — the packed/naive ratio is the headline speedup and
+//!   the small sizes document the crossover behavior;
+//! * the batched sketch-apply (`gemm_at_x` over a skewed `VarBatch`, the
+//!   upsweep workload `Ω^{l+1} = Uᵀ Ω^l`) on the parallel runtime;
+//! * a full sketching construction plus matvecs wall clock (covariance
+//!   kernel, the Fig. 5 configuration scaled down).
+//!
+//! Usage: `kernels [--sizes 32,64,...] [--n 4096] [--matvecs 32]
+//! [--out BENCH_kernels.json] [--smoke]`
+//!
+//! `--smoke` shrinks sizes and repetitions for CI.
+
+use h2_bench::{build_problem, reference_h2, App, Args};
+use h2_core::{sketch_construct, SketchConfig};
+use h2_dense::{gaussian_mat, gemm, gemm_naive, Mat, Op};
+use h2_runtime::{gemm_at_x, Runtime, VarBatch};
+use std::time::Instant;
+
+/// Time `f` with enough repetitions to pass `min_secs` of wall clock,
+/// returning seconds per repetition.
+fn time_per_rep(min_secs: f64, mut f: impl FnMut()) -> f64 {
+    // Warm-up run (page in buffers, settle the feature dispatch).
+    f();
+    let mut reps = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= min_secs {
+            return dt / reps as f64;
+        }
+        let grow = (min_secs / dt.max(1e-9) * 1.25).ceil() as usize;
+        reps = (reps * grow.max(2)).min(1 << 20);
+    }
+}
+
+fn op_name(t: Op) -> &'static str {
+    match t {
+        Op::NoTrans => "N",
+        Op::Trans => "T",
+    }
+}
+
+struct GemmPoint {
+    n: usize,
+    ta: Op,
+    tb: Op,
+    naive_gflops: f64,
+    packed_gflops: f64,
+}
+
+fn bench_gemm(sizes: &[usize], min_secs: f64) -> Vec<GemmPoint> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        for ta in [Op::NoTrans, Op::Trans] {
+            for tb in [Op::NoTrans, Op::Trans] {
+                let a = gaussian_mat(n, n, 1);
+                let b = gaussian_mat(n, n, 2);
+                let mut c = Mat::zeros(n, n);
+                let flops = 2.0 * (n as f64).powi(3);
+                let t_naive = time_per_rep(min_secs, || {
+                    gemm_naive(ta, tb, 1.0, a.rf(), b.rf(), 0.0, c.rm());
+                });
+                let t_packed = time_per_rep(min_secs, || {
+                    gemm(ta, tb, 1.0, a.rf(), b.rf(), 0.0, c.rm());
+                });
+                out.push(GemmPoint {
+                    n,
+                    ta,
+                    tb,
+                    naive_gflops: flops / t_naive / 1e9,
+                    packed_gflops: flops / t_packed / 1e9,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The batched upsweep shape: many variable-size entries, sizes skewed the
+/// way a construction level is (a few big blocks, a long tail of small
+/// ones).
+fn bench_batched_apply(entries: usize, d: usize, min_secs: f64) -> (f64, f64) {
+    let rows: Vec<usize> = (0..entries)
+        .map(|i| {
+            // Deterministic skew: sizes cycle 16..=256 with a heavy head.
+            let base = 16 + (i * 37) % 113;
+            if i % 29 == 0 {
+                base + 160
+            } else {
+                base
+            }
+        })
+        .collect();
+    let bases: Vec<Mat> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| gaussian_mat(m, (m / 2).max(8), 100 + i as u64))
+        .collect();
+    let mut x = VarBatch::zeros_uniform_cols(rows.clone(), d);
+    x.for_each_mut(false, |i, mut m| {
+        let g = gaussian_mat(m.rows(), d, 500 + i as u64);
+        m.copy_from(g.rf());
+    });
+    let flops: f64 = bases
+        .iter()
+        .map(|u| 2.0 * u.rows() as f64 * u.cols() as f64 * d as f64)
+        .sum();
+    let rt = Runtime::parallel();
+    let secs = time_per_rep(min_secs, || {
+        let out = gemm_at_x(&rt, &bases, &x);
+        std::hint::black_box(out.total_len());
+    });
+    (flops / secs / 1e9, secs)
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let default_sizes: &[usize] = if smoke {
+        &[32, 64, 128, 256]
+    } else {
+        &[32, 48, 64, 96, 128, 256, 512, 1024]
+    };
+    let sizes = args.sizes("sizes", default_sizes);
+    let min_secs: f64 = args.get("min-secs", if smoke { 0.02 } else { 0.25 });
+    let n_construct: usize = args.get("n", if smoke { 1500 } else { 4096 });
+    let matvecs: usize = args.get("matvecs", 32);
+    let out_path: String = args.get("out", "BENCH_kernels.json".to_string());
+
+    println!("# Kernel baseline (sizes {sizes:?}, min_secs {min_secs})\n");
+
+    // --- single-matrix GEMM ---
+    let gemm_points = bench_gemm(&sizes, min_secs);
+    h2_bench::header(&["n", "ta", "tb", "naive GF/s", "packed GF/s", "speedup"]);
+    for p in &gemm_points {
+        h2_bench::row(&[
+            p.n.to_string(),
+            op_name(p.ta).to_string(),
+            op_name(p.tb).to_string(),
+            format!("{:.2}", p.naive_gflops),
+            format!("{:.2}", p.packed_gflops),
+            format!("{:.2}x", p.packed_gflops / p.naive_gflops),
+        ]);
+    }
+
+    // --- batched sketch apply ---
+    let (batch_entries, batch_d) = if smoke { (128, 32) } else { (512, 64) };
+    let (batched_gflops, batched_secs) = bench_batched_apply(batch_entries, batch_d, min_secs);
+    println!(
+        "\nbatched sketch apply ({batch_entries} skewed entries, d={batch_d}): \
+         {batched_gflops:.2} GF/s ({batched_secs:.4} s/apply)"
+    );
+
+    // --- full construct + matvec wall clock ---
+    // Smoke sizes need a deeper tree (smaller leaves) to have a far field
+    // worth sketching at all.
+    let leaf = if n_construct < 3000 { 16 } else { 64 };
+    let problem = build_problem(App::Covariance, n_construct, leaf, 0.7, 0xBE);
+    let reference = reference_h2(&problem, 1e-8);
+    let rt = Runtime::parallel();
+    let cfg = SketchConfig {
+        initial_samples: 128,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let (h2, stats) = sketch_construct(
+        &reference,
+        &problem.kernel,
+        problem.tree.clone(),
+        problem.partition.clone(),
+        &rt,
+        &cfg,
+    );
+    let construct_secs = t0.elapsed().as_secs_f64();
+    let x = gaussian_mat(n_construct, 1, 7);
+    let t0 = Instant::now();
+    for _ in 0..matvecs {
+        std::hint::black_box(h2.apply_permuted_mat(&x));
+    }
+    let matvec_secs = t0.elapsed().as_secs_f64() / matvecs.max(1) as f64;
+    println!(
+        "construct (N={n_construct}, samples={}): {construct_secs:.3} s; \
+         matvec: {matvec_secs:.5} s",
+        stats.total_samples
+    );
+
+    // --- JSON emission (hand-rolled; no serde in the offline workspace) ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"sizes\": {sizes:?}, \"min_secs\": {min_secs}, \
+         \"smoke\": {smoke}, \"threads\": {}}},\n",
+        rayon::current_num_threads()
+    ));
+    json.push_str("  \"gemm\": [\n");
+    for (i, p) in gemm_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"ta\": \"{}\", \"tb\": \"{}\", \
+             \"naive_gflops\": {:.3}, \"packed_gflops\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            p.n,
+            op_name(p.ta),
+            op_name(p.tb),
+            p.naive_gflops,
+            p.packed_gflops,
+            p.packed_gflops / p.naive_gflops,
+            if i + 1 < gemm_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"batched_apply\": {{\"entries\": {batch_entries}, \"d\": {batch_d}, \
+         \"gflops\": {batched_gflops:.3}, \"secs_per_apply\": {batched_secs:.6}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"construct_matvec\": {{\"n\": {n_construct}, \"samples\": {}, \
+         \"construct_secs\": {construct_secs:.4}, \"matvec_secs\": {matvec_secs:.6}}}\n",
+        stats.total_samples
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

@@ -1,6 +1,6 @@
 //! Configuration and statistics for the sketching construction.
 
-use h2_runtime::{Phase, Profile};
+use h2_runtime::{Kernel, Phase, Profile};
 use std::time::Duration;
 
 /// Per-level tolerance schedule for the interpolative decompositions
@@ -106,8 +106,13 @@ pub struct SketchStats {
     pub elapsed: Duration,
     /// Per-phase timing snapshot (Fig. 7).
     pub phase_seconds: Vec<(&'static str, f64)>,
-    /// Kernel-launch counts (§IV.B analysis).
+    /// Batched-kernel launch counts (§IV.B analysis). The dense layer's
+    /// per-call counters (`gemv`, `gemmPack`) ride along in the summary but
+    /// are excluded from [`SketchStats::total_launches`] — they count CPU
+    /// kernel invocations, not batched device launches.
     pub launches: Vec<(&'static str, usize)>,
+    /// Bytes staged through the blocked-GEMM packing buffers.
+    pub pack_bytes: u64,
 }
 
 impl SketchStats {
@@ -118,6 +123,7 @@ impl SketchStats {
             .map(|&p| (p.name(), profile.phase_time(p).as_secs_f64()))
             .collect();
         self.launches = profile.launch_summary();
+        self.pack_bytes = profile.pack_bytes();
     }
 
     /// Total phase-attributed seconds.
@@ -125,9 +131,20 @@ impl SketchStats {
         self.phase_seconds.iter().map(|(_, s)| s).sum()
     }
 
-    /// Total kernel launches.
+    /// Total batched device launches (the O(L·Csp) budget of §IV.B). The
+    /// dense layer's per-call counters are excluded via
+    /// [`Kernel::device_launch`] — the same predicate
+    /// `Profile::total_launches` uses, so the two totals cannot drift.
     pub fn total_launches(&self) -> usize {
-        self.launches.iter().map(|(_, n)| n).sum()
+        self.launches
+            .iter()
+            .filter(|(name, _)| {
+                Kernel::ALL
+                    .iter()
+                    .any(|k| k.device_launch() && k.name() == *name)
+            })
+            .map(|(_, n)| n)
+            .sum()
     }
 }
 

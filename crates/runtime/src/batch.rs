@@ -9,6 +9,45 @@
 use h2_dense::{Mat, MatMut, MatRef};
 use rayon::prelude::*;
 
+/// Contiguous chunk bounds over `n` batch entries such that every chunk
+/// carries roughly the same total `cost` — the cost-aware analogue of
+/// [`crate::shard::chunk_bounds`], used by every threaded and sharded batch
+/// path to size its *execution* chunks by estimated flops instead of entry
+/// count. A prefix sum over the per-entry costs is cut at the `parts`
+/// equal-cost quantiles, so a handful of huge top-level blocks no longer
+/// land in one chunk with a thousand leaves in another.
+///
+/// Degenerate inputs fall back to count-based chunking (all-zero costs) and
+/// the result always satisfies `bounds[0] == 0`, `bounds[parts] == n`,
+/// monotone — the same contract as `chunk_bounds`.
+pub fn cost_chunk_bounds<C: Fn(usize) -> f64>(n: usize, parts: usize, cost: C) -> Vec<usize> {
+    let parts = parts.max(1);
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0f64);
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        let c = cost(i);
+        acc += if c.is_finite() && c > 0.0 { c } else { 0.0 };
+        prefix.push(acc);
+    }
+    if acc <= 0.0 {
+        return crate::shard::chunk_bounds(n, parts);
+    }
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0usize);
+    let mut lo = 0usize;
+    for d in 1..parts {
+        let target = acc * d as f64 / parts as f64;
+        // First i with prefix[i] >= target, kept monotone w.r.t. prior cuts.
+        let i = lo + prefix[lo..].partition_point(|&v| v < target);
+        let i = i.min(n);
+        bounds.push(i);
+        lo = i;
+    }
+    bounds.push(n);
+    bounds
+}
+
 /// A batch of variable-size column-major matrices in one allocation.
 pub struct VarBatch {
     rows: Vec<usize>,
@@ -136,6 +175,43 @@ impl VarBatch {
         }
     }
 
+    /// Cost-aware variant of [`VarBatch::for_each_mut`]: entries are
+    /// grouped into contiguous chunks of roughly equal total `cost`
+    /// ([`cost_chunk_bounds`], ~4 chunks per thread so the work-stealing
+    /// pool can balance the residual skew), and each chunk runs as one
+    /// parallel task. Entry visit order within a chunk is ascending, so
+    /// side effects on disjoint targets behave exactly like `for_each_mut`.
+    pub fn for_each_mut_costed<F, C>(&mut self, parallel: bool, cost: C, f: F)
+    where
+        F: Fn(usize, MatMut<'_>) + Sync + Send,
+        C: Fn(usize) -> f64,
+    {
+        if !parallel || self.count() < 2 {
+            self.for_each_mut(false, f);
+            return;
+        }
+        let n = self.count();
+        let parts = (rayon::current_num_threads() * 4).min(n);
+        let bounds = cost_chunk_bounds(n, parts, cost);
+        let rows = &self.rows;
+        let cols = &self.cols;
+        let mut slices = split_disjoint(&mut self.buf, &self.offsets).into_iter();
+        let mut chunks: Vec<(usize, Vec<&mut [f64]>)> = Vec::with_capacity(parts);
+        for d in 0..parts {
+            let (b, e) = (bounds[d], bounds[d + 1]);
+            if e > b {
+                chunks.push((b, slices.by_ref().take(e - b).collect()));
+            }
+        }
+        let f = &f;
+        chunks.into_par_iter().for_each(move |(start, chunk)| {
+            for (k, s) in chunk.into_iter().enumerate() {
+                let i = start + k;
+                f(i, MatMut::from_parts(rows[i], cols[i], rows[i].max(1), s));
+            }
+        });
+    }
+
     /// Split the batch into one mutable matrix view per entry. The views
     /// alias disjoint sub-slices of the shared buffer, so they can be moved
     /// to different worker threads — the handle the sharded dispatch path
@@ -234,6 +310,51 @@ mod tests {
         b.for_each_mut(true, |_, mut m| m.fill(7.0));
         assert_eq!(b.mat(0).rows(), 0);
         assert_eq!(b.mat(1).at(0, 0), 7.0);
+    }
+
+    #[test]
+    fn cost_bounds_cover_and_balance() {
+        // Uniform costs reduce to near-count chunking.
+        let b = cost_chunk_bounds(12, 3, |_| 1.0);
+        assert_eq!(b, vec![0, 4, 8, 12]);
+        // One huge entry gets a chunk of its own.
+        let costs = [1.0, 1.0, 100.0, 1.0, 1.0, 1.0];
+        let b = cost_chunk_bounds(6, 3, |i| costs[i]);
+        assert_eq!(b[0], 0);
+        assert_eq!(b[3], 6);
+        for d in 0..3 {
+            assert!(b[d] <= b[d + 1]);
+        }
+        // The chunk holding entry 2 must be narrow: the huge entry is not
+        // bundled with the whole tail.
+        let owner = (0..3).find(|&d| b[d] <= 2 && 2 < b[d + 1]).unwrap();
+        assert!(
+            b[owner + 1] - b[owner] <= 3,
+            "huge entry bundled into chunk {:?}",
+            &b
+        );
+    }
+
+    #[test]
+    fn cost_bounds_zero_costs_fall_back_to_count() {
+        let b = cost_chunk_bounds(10, 3, |_| 0.0);
+        assert_eq!(b, crate::shard::chunk_bounds(10, 3));
+        let b = cost_chunk_bounds(0, 4, |_| 1.0);
+        assert_eq!(*b.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn costed_for_each_visits_every_entry() {
+        let rows: Vec<usize> = (0..97).map(|i| 1 + (i * 13) % 40).collect();
+        let mut b = VarBatch::zeros_uniform_cols(rows.clone(), 2);
+        b.for_each_mut_costed(
+            true,
+            |i| (rows[i] * 2) as f64,
+            |i, mut m| m.fill(i as f64 + 1.0),
+        );
+        for i in 0..97 {
+            assert_eq!(b.mat(i).at(rows[i] - 1, 1), i as f64 + 1.0);
+        }
     }
 
     #[test]

@@ -151,11 +151,28 @@ pub fn bsr_gemm(
         return;
     }
     let par = rt.is_parallel();
+    // Only the parallel path reads the cost closure (for_each_mut_costed
+    // falls through to the plain serial loop otherwise).
+    let y_rows: Vec<usize> = if par {
+        (0..y.count()).map(|r| y.rows_of(r)).collect()
+    } else {
+        Vec::new()
+    };
     for slot in &pattern.slots {
         // One batched-GEMM launch per slot (paper §IV.A: "at most Csp
         // kernels ... only one block from each row in each launch").
         rt.launch(Kernel::BsrGemm);
-        y.for_each_mut(par, |row, m| {
+        // Chunk rows by this slot's modeled flops: idle rows are free, and
+        // the few huge coupling blocks stop pinning one chunk.
+        let slot_cost = |row: usize| {
+            let p = slot[row];
+            if p == usize::MAX {
+                return 0.0;
+            }
+            let col = pattern.col_of(p);
+            cost::bsr_flops(y_rows[row], x.rows_of(col), x.cols_of(col))
+        };
+        y.for_each_mut_costed(par, slot_cost, |row, m| {
             let p = slot[row];
             if p == usize::MAX {
                 return;
@@ -187,8 +204,12 @@ fn bsr_gemm_sharded(
     let bounds = chunk_bounds(n, devices);
 
     // Accounting pass: per-device flops (2 m_r m_b d per block) and the
-    // deduplicated Ω fetches, both with the simulator's formulas.
+    // deduplicated Ω fetches, both with the simulator's formulas and
+    // owner-attributed (the simulator's §IV.A chunks), independent of how
+    // execution is chunked below. The per-row totals double as the
+    // execution cost estimate.
     let mut flops = vec![0.0f64; devices];
+    let mut row_flops = vec![0.0f64; n];
     let mut fetched: HashSet<(usize, usize)> = HashSet::new();
     for r in 0..n {
         let dev = owner(r, n, devices);
@@ -196,7 +217,9 @@ fn bsr_gemm_sharded(
         for p in b0..b1 {
             let col = pattern.col_of(p);
             let (mb, d) = (x.rows_of(col), x.cols_of(col));
-            flops[dev] += cost::bsr_flops(y.rows_of(r), mb, d);
+            let fl = cost::bsr_flops(y.rows_of(r), mb, d);
+            flops[dev] += fl;
+            row_flops[r] += fl;
             let dev_b = owner(col, x.count().max(n), devices);
             if dev_b != dev && fetched.insert((dev, col)) {
                 let bytes = cost::fetch_bytes(mb, d);
@@ -216,18 +239,24 @@ fn bsr_gemm_sharded(
         }
     }
 
+    // Execution chunking: contiguous row runs of ~equal modeled flops,
+    // shared by every slot launch of the call.
+    let exec_bounds = crate::batch::cost_chunk_bounds(n, devices, |r| row_flops[r]);
     for slot in &pattern.slots {
         // One launch per device per slot, each over its contiguous chunk.
         rt.launch(Kernel::BsrGemm);
         let mut rows = y.split_mut().into_iter();
         let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
         for dev in 0..devices {
-            let chunk: Vec<MatMut<'_>> =
-                rows.by_ref().take(bounds[dev + 1] - bounds[dev]).collect();
-            if !chunk.is_empty() {
+            let chunk: Vec<MatMut<'_>> = rows
+                .by_ref()
+                .take(exec_bounds[dev + 1] - exec_bounds[dev])
+                .collect();
+            // Launch accounting keeps the simulator's owner chunks.
+            if bounds[dev + 1] > bounds[dev] {
                 disp.add_launches(dev, 1);
             }
-            let start = bounds[dev];
+            let start = exec_bounds[dev];
             jobs.push(Box::new(move || {
                 for (k, m) in chunk.into_iter().enumerate() {
                     let p = slot[start + k];

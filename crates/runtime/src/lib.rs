@@ -28,7 +28,7 @@ pub mod profile;
 pub mod runtime;
 pub mod shard;
 
-pub use batch::VarBatch;
+pub use batch::{cost_chunk_bounds, VarBatch};
 pub use bsr::{bsr_gemm, BsrBlock, BsrPattern};
 pub use multidev::{owner, simulate, DeviceModel, LevelSpec, SimReport, StreamSpec};
 pub use ops::{

@@ -5,7 +5,7 @@
 //! implementation would issue, marshals its operands, and runs the per-entry
 //! work on the runtime's backend.
 
-use crate::batch::VarBatch;
+use crate::batch::{cost_chunk_bounds, VarBatch};
 use crate::multidev::{cost, owner};
 use crate::profile::Kernel;
 use crate::runtime::Runtime;
@@ -16,21 +16,40 @@ use h2_dense::{gemm, EntryAccess, Mat, MatMut, MatRef, Op};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// Execution-cost estimate for chunking entry `i`: the kernel's modeled
+/// flops when it has any, otherwise the entry's scalar footprint (the
+/// bandwidth proxy for marshaling kernels, whose flop formula is zero).
+fn exec_cost(flops: f64, elems: usize) -> f64 {
+    flops.max(elems as f64)
+}
+
 /// Run a per-entry mutation over `out` on the runtime's backend.
 ///
-/// On the sharded backend entries are split into contiguous per-device
-/// chunks (the §IV.A decomposition, [`chunk_bounds`]); each device's chunk
-/// runs as one job on its worker thread, its output bytes are charged to the
-/// device arena, and `flops_of(i)` is credited to entry `i`'s owner with the
-/// *simulator's* formulas — which is what makes the executor's measured work
-/// totals directly comparable to [`crate::multidev::simulate`] predictions.
+/// Work *accounting* on the sharded backend follows the §IV.A contiguous
+/// chunk decomposition ([`chunk_bounds`]): each entry's output bytes and
+/// `flops_of(i)` are charged to its [`crate::multidev::owner`] device with
+/// the *simulator's* formulas — which is what keeps the executor's measured
+/// totals bit-identical to [`crate::multidev::simulate`] predictions. Work
+/// *execution* is chunked separately and cost-aware: contiguous runs of
+/// roughly equal estimated cost ([`crate::batch::cost_chunk_bounds`]) go to
+/// the worker threads, so one device is no longer stuck with the handful of
+/// huge top-level entries while the rest idle over leaves. On the threaded
+/// backend the same cost chunking feeds the work-stealing pool.
 pub(crate) fn batch_for_each_mut<F, C>(rt: &Runtime, out: &mut VarBatch, flops_of: C, f: F)
 where
     F: Fn(usize, MatMut<'_>) + Sync + Send,
     C: Fn(usize) -> f64,
 {
     let Some(disp) = rt.shard_dispatch() else {
-        out.for_each_mut(rt.is_parallel(), f);
+        if !rt.is_parallel() || out.count() < 2 {
+            // Sequential (or trivial) path: no chunking, no cost vector.
+            out.for_each_mut(false, f);
+            return;
+        }
+        let costs: Vec<f64> = (0..out.count())
+            .map(|i| exec_cost(flops_of(i), out.rows_of(i) * out.cols_of(i)))
+            .collect();
+        out.for_each_mut_costed(true, |i| costs[i], f);
         return;
     };
     let devices = disp.devices();
@@ -49,15 +68,18 @@ where
         }
         disp.add_launches(dev, 1);
     }
+    let exec_bounds = cost_chunk_bounds(n, devices, |i| {
+        exec_cost(flops_of(i), out.rows_of(i) * out.cols_of(i))
+    });
     let f = &f;
     let mut entries = out.split_mut().into_iter();
     let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
     for dev in 0..devices {
         let chunk: Vec<MatMut<'_>> = entries
             .by_ref()
-            .take(bounds[dev + 1] - bounds[dev])
+            .take(exec_bounds[dev + 1] - exec_bounds[dev])
             .collect();
-        let start = bounds[dev];
+        let start = exec_bounds[dev];
         jobs.push(Box::new(move || {
             for (k, m) in chunk.into_iter().enumerate() {
                 f(start + k, m);
@@ -68,15 +90,18 @@ where
 }
 
 /// Per-entry map over a batch on the runtime's backend, with sharded-mode
-/// work accounting like [`batch_for_each_mut`].
+/// work accounting like [`batch_for_each_mut`] (owner-attributed, the
+/// simulator's chunks) and cost-aware execution chunking on the parallel
+/// and sharded backends.
 fn batch_map<R, F, C>(rt: &Runtime, batch: &VarBatch, flops_of: C, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize, MatRef<'_>) -> R + Sync + Send,
     C: Fn(usize) -> f64,
 {
+    let cost = |i: usize| exec_cost(flops_of(i), batch.rows_of(i) * batch.cols_of(i));
     let Some(disp) = rt.shard_dispatch() else {
-        return batch.map(rt.is_parallel(), f);
+        return rt.map_index_costed(batch.count(), cost, |i| f(i, batch.mat(i)));
     };
     let devices = disp.devices();
     let bounds = chunk_bounds(batch.count(), devices);
@@ -91,8 +116,9 @@ where
         }
         disp.add_launches(dev, 1);
     }
-    // map_index shards with the same chunk bounds.
-    rt.map_index(batch.count(), |i| f(i, batch.mat(i)))
+    // map_index_costed shards its jobs over equal-cost chunks; the owner
+    // accounting above is untouched by the execution chunking.
+    rt.map_index_costed(batch.count(), cost, |i| f(i, batch.mat(i)))
 }
 
 /// `batchedRand`: generate a global `n x d` standard-normal block.

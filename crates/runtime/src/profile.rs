@@ -33,9 +33,15 @@ pub enum Kernel {
     Marshal,
     /// Parallel prefix sum for workspace sizing.
     PrefixSum,
+    /// Dense matrix-vector products (solver inner products, samplers).
+    Gemv,
+    /// Blocked-GEMM packing passes (A/B panel staging of the microkernel;
+    /// the byte traffic is tracked separately via
+    /// [`Profile::pack_bytes`]).
+    Pack,
 }
 
-pub const KERNEL_COUNT: usize = 10;
+pub const KERNEL_COUNT: usize = 12;
 
 impl Kernel {
     pub const ALL: [Kernel; KERNEL_COUNT] = [
@@ -49,6 +55,8 @@ impl Kernel {
         Kernel::Shrink,
         Kernel::Marshal,
         Kernel::PrefixSum,
+        Kernel::Gemv,
+        Kernel::Pack,
     ];
 
     fn index(self) -> usize {
@@ -63,7 +71,17 @@ impl Kernel {
             Kernel::Shrink => 7,
             Kernel::Marshal => 8,
             Kernel::PrefixSum => 9,
+            Kernel::Gemv => 10,
+            Kernel::Pack => 11,
         }
+    }
+
+    /// Whether this kernel is a batched *device launch* (the unit of the
+    /// §IV.B O(L·Csp) analysis). [`Kernel::Gemv`] and [`Kernel::Pack`]
+    /// count individual dense-layer calls instead — useful for the Fig. 7
+    /// structure, meaningless against the launch budget.
+    pub fn device_launch(self) -> bool {
+        !matches!(self, Kernel::Gemv | Kernel::Pack)
     }
 
     pub fn name(self) -> &'static str {
@@ -78,6 +96,8 @@ impl Kernel {
             Kernel::Shrink => "batchedShrink",
             Kernel::Marshal => "marshal",
             Kernel::PrefixSum => "prefixSum",
+            Kernel::Gemv => "gemv",
+            Kernel::Pack => "gemmPack",
         }
     }
 }
@@ -144,16 +164,55 @@ impl Phase {
     }
 }
 
-/// Thread-safe accumulator for launches and phase times.
+/// Thread-safe accumulator for launches, phase times and packing traffic.
 #[derive(Default)]
 pub struct Profile {
     launches: [AtomicUsize; KERNEL_COUNT],
     phase_nanos: [AtomicU64; PHASE_COUNT],
+    /// Bytes staged through the blocked-GEMM packing buffers (the
+    /// [`Kernel::Pack`] traffic; launches count invocations, this counts
+    /// the moved data).
+    pack_bytes: AtomicU64,
 }
 
 impl Profile {
     pub fn new() -> Self {
+        // Discard whatever the process-wide dense counters accumulated
+        // before this profile existed (e.g. a dense reference build ahead
+        // of the profiled construction) so the first drain only sees work
+        // performed during this profile's lifetime.
+        let _ = h2_dense::gemm::stats::take();
         Self::default()
+    }
+
+    /// Credit `bytes` of blocked-GEMM packing traffic.
+    pub fn record_pack_bytes(&self, bytes: u64) {
+        self.pack_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total bytes staged through packing buffers.
+    pub fn pack_bytes(&self) -> u64 {
+        self.pack_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Drain the process-wide dense-kernel counters
+    /// ([`h2_dense::gemm::stats`]) into this profile: packed-GEMM
+    /// invocations become [`Kernel::Pack`] launches, `gemv` calls become
+    /// [`Kernel::Gemv`] launches, and the staged bytes accumulate in
+    /// [`Profile::pack_bytes`]. Called at every phase boundary by
+    /// `Runtime::phase`, so the Fig. 7 breakdown sees the blocked kernel
+    /// structure without the dense crate knowing about profiles.
+    pub fn drain_dense_stats(&self) {
+        let s = h2_dense::gemm::stats::take();
+        if s.pack_calls > 0 {
+            self.launches[Kernel::Pack.index()].fetch_add(s.pack_calls as usize, Ordering::Relaxed);
+        }
+        if s.gemv_calls > 0 {
+            self.launches[Kernel::Gemv.index()].fetch_add(s.gemv_calls as usize, Ordering::Relaxed);
+        }
+        if s.pack_bytes > 0 {
+            self.record_pack_bytes(s.pack_bytes);
+        }
     }
 
     pub fn record_launch(&self, k: Kernel) {
@@ -168,10 +227,15 @@ impl Profile {
         self.launches[k.index()].load(Ordering::Relaxed)
     }
 
+    /// Total *batched device* launches — the §IV.B O(L·Csp) currency.
+    /// [`Kernel::Gemv`] and [`Kernel::Pack`] are per-call counters of the
+    /// dense layer (one per CPU kernel invocation, so O(batch entries), not
+    /// O(levels)) and are deliberately excluded.
     pub fn total_launches(&self) -> usize {
-        self.launches
+        Kernel::ALL
             .iter()
-            .map(|a| a.load(Ordering::Relaxed))
+            .filter(|k| k.device_launch())
+            .map(|&k| self.launches(k))
             .sum()
     }
 
@@ -202,6 +266,9 @@ impl Profile {
         for a in &self.phase_nanos {
             a.store(0, Ordering::Relaxed);
         }
+        self.pack_bytes.store(0, Ordering::Relaxed);
+        // Pending dense-layer counts belong to the discarded measurements.
+        let _ = h2_dense::gemm::stats::take();
     }
 
     /// Per-phase percentages of the total (Fig. 7 rows).

@@ -100,9 +100,14 @@ impl Runtime {
         self.profile.record_launches(k, n);
     }
 
-    /// Time a phase of the construction.
+    /// Time a phase of the construction. Each phase boundary also drains
+    /// the dense layer's packing/gemv counters into the profile, so the
+    /// blocked-GEMM structure shows up in the launch accounting without the
+    /// dense crate depending on this one.
     pub fn phase<R>(&self, p: Phase, f: impl FnOnce() -> R) -> R {
-        self.profile.time(p, f)
+        let r = self.profile.time(p, f);
+        self.profile.drain_dense_stats();
+        r
     }
 
     /// Run an indexed loop on the chosen backend (generic batched "kernel
@@ -129,6 +134,75 @@ impl Runtime {
         }
     }
 
+    /// Cost-aware indexed map: like [`Runtime::map_index`], but the
+    /// parallel and sharded backends cut the index range into contiguous
+    /// chunks of ~equal estimated `cost` ([`crate::batch::cost_chunk_bounds`])
+    /// instead of equal count, so skewed per-entry work (top-level blocks
+    /// vs. leaves) stops serializing behind the biggest chunk. Results come
+    /// back in index order on every backend.
+    pub fn map_index_costed<R, F, C>(&self, n: usize, cost: C, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync + Send,
+        C: Fn(usize) -> f64,
+    {
+        match self.backend {
+            Backend::Sequential => (0..n).map(f).collect(),
+            Backend::Parallel => {
+                let parts = (rayon::current_num_threads() * 4).min(n.max(1));
+                let bounds = crate::batch::cost_chunk_bounds(n, parts, cost);
+                let chunks: Vec<(usize, usize)> = (0..parts)
+                    .map(|d| (bounds[d], bounds[d + 1]))
+                    .filter(|&(b, e)| e > b)
+                    .collect();
+                let f = &f;
+                chunks
+                    .into_par_iter()
+                    .map(|(b, e)| (b..e).map(f).collect::<Vec<R>>())
+                    .collect::<Vec<Vec<R>>>()
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
+            Backend::Sharded => {
+                let disp = self.shard.as_ref().expect("sharded runtime has a fabric");
+                let bounds = crate::batch::cost_chunk_bounds(n, disp.devices(), cost);
+                self.map_with_bounds(n, &bounds, f)
+            }
+        }
+    }
+
+    /// Sharded slot-filling map over explicit chunk bounds (shared by
+    /// [`Runtime::map_index`] and [`Runtime::map_index_costed`]).
+    fn map_with_bounds<R, F>(&self, n: usize, bounds: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync + Send,
+    {
+        let disp = self.shard.as_ref().expect("sharded runtime has a fabric");
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        {
+            let f = &f;
+            let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(disp.devices());
+            let mut rest: &mut [Option<R>] = &mut out;
+            for dev in 0..disp.devices() {
+                let len = bounds[dev + 1] - bounds[dev];
+                let (head, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let start = bounds[dev];
+                jobs.push(Box::new(move || {
+                    for (k, slot) in head.iter_mut().enumerate() {
+                        *slot = Some(f(start + k));
+                    }
+                }));
+            }
+            disp.run(jobs);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every chunk filled its slots"))
+            .collect()
+    }
+
     /// Indexed map on the chosen backend, preserving order.
     pub fn map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
@@ -141,27 +215,7 @@ impl Runtime {
             Backend::Sharded => {
                 let disp = self.shard.as_ref().expect("sharded runtime has a fabric");
                 let bounds = chunk_bounds(n, disp.devices());
-                let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-                {
-                    let f = &f;
-                    let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(disp.devices());
-                    let mut rest: &mut [Option<R>] = &mut out;
-                    for dev in 0..disp.devices() {
-                        let len = bounds[dev + 1] - bounds[dev];
-                        let (head, tail) = rest.split_at_mut(len);
-                        rest = tail;
-                        let start = bounds[dev];
-                        jobs.push(Box::new(move || {
-                            for (k, slot) in head.iter_mut().enumerate() {
-                                *slot = Some(f(start + k));
-                            }
-                        }));
-                    }
-                    disp.run(jobs);
-                }
-                out.into_iter()
-                    .map(|o| o.expect("every chunk filled its slots"))
-                    .collect()
+                self.map_with_bounds(n, &bounds, f)
             }
         }
     }

@@ -2,15 +2,28 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! workspace vendors the small slice of rayon it actually uses. Parallel
-//! "iterators" here are eager: every adapter materializes its input, and
-//! `map`/`filter`/`for_each`/... fan the per-item work out over scoped OS
-//! threads in contiguous, order-preserving chunks. Semantics match rayon
-//! for the patterns used in this repository (deterministic order-preserving
-//! `map`+`collect`, side-effecting `for_each` over disjoint targets).
+//! "iterators" here are eager: every adapter materializes its input and fans
+//! the per-item work out as indexed tasks on a process-wide **work-stealing
+//! deque pool** (see [`pool`]). Results are written into pre-assigned slots,
+//! so `map`/`collect` ordering is deterministic and identical to the
+//! sequential execution — only the schedule is dynamic. Semantics match
+//! rayon for the patterns used in this repository (deterministic
+//! order-preserving `map`+`collect`, side-effecting `for_each` over disjoint
+//! targets, panic propagation to the caller).
+//!
+//! The pool replaces the previous eager scoped-thread fan-out (which split
+//! items into one contiguous chunk per thread and then waited for the
+//! slowest chunk): each worker owns a deque, tasks are dealt round-robin,
+//! idle workers *steal half* of the busiest visible deque, and the
+//! submitting thread participates in execution while it waits. Skewed
+//! per-item costs (a few huge batch entries among thousands of small ones —
+//! the typical H2 level workload) therefore no longer serialize behind the
+//! largest chunk.
 
 use std::thread;
 
-/// Number of worker threads used for chunked execution.
+/// Number of worker threads used for parallel execution (pool workers plus
+/// the participating submitter).
 pub fn current_num_threads() -> usize {
     thread::available_parallelism()
         .map(|n| n.get())
@@ -27,13 +40,222 @@ pub mod iter {
     pub use crate::prelude::*;
 }
 
+/// The work-stealing deque pool backing every parallel adapter.
+pub mod pool {
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+    use std::thread;
+
+    /// A type-erased unit of work. Jobs submitted through [`run_tasks`]
+    /// borrow the submitter's stack; the lifetime is erased because the
+    /// submitter blocks until its whole batch has completed (the same
+    /// scoped-pool erasure `h2_sched::DeviceFabric` uses).
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    /// Completion state of one submitted batch.
+    struct Batch {
+        remaining: AtomicUsize,
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+        /// Parking spot for the submitter during the batch tail: the last
+        /// job's decrement notifies, and a short timed wait doubles as the
+        /// poll for newly stealable work from other batches.
+        done_lock: Mutex<()>,
+        done: Condvar,
+    }
+
+    struct Shared {
+        /// One deque per worker thread. Owners pop from the front; thieves
+        /// steal half from the back.
+        deques: Vec<Mutex<VecDeque<Job>>>,
+        /// Approximate count of queued (not yet started) jobs; workers only
+        /// sleep when it reads zero.
+        queued: AtomicUsize,
+        /// Sleep/wake plumbing for idle workers.
+        idle: Mutex<()>,
+        wake: Condvar,
+    }
+
+    impl Shared {
+        /// Pop from our own deque, or steal half of another worker's.
+        /// `home` is `None` for the submitting thread (it owns no deque and
+        /// only steals single jobs).
+        fn next_job(&self, home: Option<usize>) -> Option<Job> {
+            if let Some(w) = home {
+                if let Some(job) = self.deques[w].lock().unwrap().pop_front() {
+                    self.queued.fetch_sub(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+            }
+            let n = self.deques.len();
+            let start = home.map(|w| w + 1).unwrap_or(0);
+            for off in 0..n {
+                let v = (start + off) % n;
+                if Some(v) == home {
+                    continue;
+                }
+                let mut stolen = {
+                    let mut victim = self.deques[v].lock().unwrap();
+                    let len = victim.len();
+                    if len == 0 {
+                        continue;
+                    }
+                    // Steal the back half (at least one job), leaving the
+                    // front for the owner — the deque discipline that keeps
+                    // contention low and locality with the owner.
+                    let take = if home.is_some() { len - len / 2 } else { 1 };
+                    victim.split_off(len - take)
+                };
+                self.queued.fetch_sub(stolen.len(), Ordering::Relaxed);
+                let job = stolen.pop_front().expect("stole at least one job");
+                if let Some(w) = home.filter(|_| !stolen.is_empty()) {
+                    self.queued.fetch_add(stolen.len(), Ordering::Relaxed);
+                    self.deques[w].lock().unwrap().extend(stolen);
+                    // The surplus is visible to other thieves again.
+                    self.notify();
+                }
+                return Some(job);
+            }
+            None
+        }
+
+        /// Wake sleeping workers. Taking the idle lock orders the wakeup
+        /// against a worker's `queued == 0` check, so no wakeup is lost
+        /// (the timed wait is only a backstop).
+        fn notify(&self) {
+            let _guard = self.idle.lock().unwrap();
+            self.wake.notify_all();
+        }
+    }
+
+    fn worker_loop(shared: Arc<Shared>, w: usize) {
+        loop {
+            if let Some(job) = shared.next_job(Some(w)) {
+                // Jobs are pre-wrapped in catch_unwind by run_tasks; a raw
+                // panic here would kill the worker, so keep the invariant.
+                job();
+                continue;
+            }
+            let guard = shared.idle.lock().unwrap();
+            if shared.queued.load(Ordering::Relaxed) == 0 {
+                // Timed wait so a lost wakeup can never strand the pool.
+                let _ = shared
+                    .wake
+                    .wait_timeout(guard, std::time::Duration::from_millis(50));
+            }
+        }
+    }
+
+    fn shared() -> &'static Arc<Shared> {
+        static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers = super::current_num_threads().saturating_sub(1).max(1);
+            let shared = Arc::new(Shared {
+                deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+                queued: AtomicUsize::new(0),
+                idle: Mutex::new(()),
+                wake: Condvar::new(),
+            });
+            for w in 0..workers {
+                let s = shared.clone();
+                thread::Builder::new()
+                    .name(format!("h2-steal-{w}"))
+                    .spawn(move || worker_loop(s, w))
+                    .expect("spawn pool worker");
+            }
+            shared
+        })
+    }
+
+    /// Execute `tasks` on the pool and block until all complete. The caller
+    /// participates (executes queued jobs) while waiting, which both speeds
+    /// up the tail and makes nested `run_tasks` calls from inside a task
+    /// deadlock-free. Panics from any task are re-raised on the caller.
+    pub fn run_tasks<'a>(tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let shared = shared();
+        let batch = Arc::new(Batch {
+            remaining: AtomicUsize::new(tasks.len()),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        });
+        let n = tasks.len();
+        {
+            let mut wrapped: Vec<Job> = Vec::with_capacity(n);
+            for task in tasks {
+                let b = batch.clone();
+                let job: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                        *b.panic.lock().unwrap() = Some(payload);
+                    }
+                    // Decrement only after the task closure (and its
+                    // borrows) has been consumed — the submitter's wait on
+                    // `remaining` is what makes the lifetime erasure sound.
+                    if b.remaining.fetch_sub(1, Ordering::Release) == 1 {
+                        // Last job: wake the parked submitter. Taking the
+                        // lock orders this against its remaining-check.
+                        let _guard = b.done_lock.lock().unwrap();
+                        b.done.notify_all();
+                    }
+                });
+                // SAFETY: the submitter blocks below until `remaining`
+                // reaches zero, i.e. until every job has run and dropped its
+                // captured borrows, so no borrow outlives `'a`.
+                let job: Job = unsafe { std::mem::transmute(job) };
+                wrapped.push(job);
+            }
+            // Deal jobs round-robin across worker deques. The count is
+            // raised *before* the pushes: a worker popping in between then
+            // sees a transiently high count (harmless extra scan) instead
+            // of underflowing it to usize::MAX and defeating the idle
+            // sleep check.
+            shared.queued.fetch_add(n, Ordering::Relaxed);
+            let deques = shared.deques.len();
+            for (i, job) in wrapped.into_iter().enumerate() {
+                shared.deques[i % deques].lock().unwrap().push_back(job);
+            }
+            shared.notify();
+        }
+        // Participate until our batch is done. We may execute jobs of other
+        // concurrent batches — their submitters are blocked alive, so their
+        // borrows are valid too. With nothing to steal, park on the batch's
+        // condvar instead of spinning; the short timeout doubles as the
+        // poll for work that later lands in the deques.
+        while batch.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = shared.next_job(None) {
+                job();
+            } else {
+                let guard = batch.done_lock.lock().unwrap();
+                if batch.remaining.load(Ordering::Acquire) > 0 {
+                    let _ = batch
+                        .done
+                        .wait_timeout(guard, std::time::Duration::from_millis(1));
+                }
+            }
+        }
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
 /// An eagerly-materialized "parallel iterator": a vector of items whose
-/// adapters execute their closures across scoped threads.
+/// adapters execute their closures as work-stealing pool tasks.
 pub struct ParVec<T> {
     items: Vec<T>,
 }
 
-/// Apply `f` to every item across scoped threads, preserving order.
+/// How many tasks to create per hardware thread: more tasks than workers is
+/// what gives the stealing room to balance skewed per-item costs, while
+/// keeping per-task overhead negligible for the fine-grained maps.
+const TASKS_PER_THREAD: usize = 4;
+
+/// Apply `f` to every item as pool tasks, preserving order.
 fn run_chunks<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -41,35 +263,36 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = current_num_threads().min(n);
+    let threads = current_num_threads();
     if threads <= 1 || n < 2 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<T> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-    let f = &f;
-    thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
+    let ntasks = (threads * TASKS_PER_THREAD).min(n);
+    let chunk = n.div_ceil(ntasks);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        let f = &f;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ntasks);
+        let mut slots: &mut [Option<R>] = &mut out;
+        let mut it = items.into_iter();
+        loop {
+            let c: Vec<T> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
             }
+            let (head, tail) = slots.split_at_mut(c.len());
+            slots = tail;
+            tasks.push(Box::new(move || {
+                for (slot, item) in head.iter_mut().zip(c) {
+                    *slot = Some(f(item));
+                }
+            }));
         }
-        out
-    })
+        pool::run_tasks(tasks);
+    }
+    out.into_iter()
+        .map(|o| o.expect("pool task filled its slots"))
+        .collect()
 }
 
 impl<T: Send> ParVec<T> {
@@ -249,6 +472,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn map_preserves_order() {
@@ -283,5 +508,63 @@ mod tests {
         let pairs: Vec<(i32, i32)> = a.par_iter().map(|&x| x).zip(b.into_par_iter()).collect();
         assert_eq!(pairs[2], (3, 10));
         assert!(pairs.par_iter().any(|&(x, _)| x == 2));
+    }
+
+    #[test]
+    fn skewed_items_still_all_run() {
+        // One item is 1000x heavier than the rest; with stealing the total
+        // still completes and every item runs exactly once.
+        let hits = AtomicUsize::new(0);
+        (0..256usize).into_par_iter().for_each(|i| {
+            let reps = if i == 0 { 100_000 } else { 100 };
+            let mut acc = 0u64;
+            for k in 0..reps {
+                acc = acc.wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let v: Vec<usize> = (0..16usize)
+            .into_par_iter()
+            .map(|i| (0..32usize).into_par_iter().map(|j| i * j).sum::<usize>())
+            .collect();
+        assert_eq!(v[2], 2 * (31 * 32) / 2);
+        assert_eq!(v.len(), 16);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 33 {
+                    panic!("injected task fault");
+                }
+            });
+        });
+        assert!(result.is_err(), "a task panic must reach the submitter");
+        // The pool must remain usable afterwards.
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v[99], 100);
+    }
+
+    #[test]
+    fn concurrent_batches_from_many_threads() {
+        let total = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let total = &total;
+                s.spawn(move || {
+                    let sum: usize = (0..500usize).into_par_iter().map(|i| i + t).sum();
+                    *total.lock().unwrap() += sum;
+                });
+            }
+        });
+        let want: usize = (0..4).map(|t| (0..500).map(|i| i + t).sum::<usize>()).sum();
+        assert_eq!(total.into_inner().unwrap(), want);
     }
 }
