@@ -14,11 +14,16 @@
 //!    against the projection, and time the sharded matvec.
 //!
 //! Usage: `cargo run --release -p h2_bench --bin ablation_multidevice --
-//!         [--n 32768] [--samples 256] [--skip-real]`
+//!         [--n 32768] [--samples 256] [--skip-real] [--pipeline on|off|both]`
+//!
+//! `--pipeline` selects the fabric schedule for the executed section:
+//! `off` = synchronous fork-join, `on` = pipelined (ordered queues +
+//! prefetched transfers), `both` (default) = run the two back to back so
+//! both curves land in one run.
 
 use h2_bench::{build_problem, header, reference_h2, row, App, Args};
 use h2_core::{level_specs, sketch_construct, SketchConfig};
-use h2_runtime::{simulate, DeviceModel, Runtime, TransferKind};
+use h2_runtime::{simulate, DeviceModel, PipelineMode, Runtime, TransferKind};
 use h2_sched::{compare_with_simulator, shard_construct, shard_matvec_with_report, DeviceFabric};
 
 fn main() {
@@ -28,6 +33,13 @@ fn main() {
     let tol: f64 = args.get("tol", 1e-6);
     let leaf: usize = args.get("leaf", 64);
     let skip_real = args.flag("skip-real");
+    let pipeline: String = args.get("pipeline", "both".to_string());
+    let exec_modes: Vec<PipelineMode> = match pipeline.as_str() {
+        "off" => vec![PipelineMode::Synchronous],
+        "on" => vec![PipelineMode::Pipelined],
+        "both" => vec![PipelineMode::Synchronous, PipelineMode::Pipelined],
+        other => panic!("--pipeline must be on|off|both, got {other}"),
+    };
 
     let problem = build_problem(App::Covariance, n, leaf, 0.7, 0xD1CE);
     let reference = reference_h2(&problem, tol * 1e-2);
@@ -105,69 +117,78 @@ fn main() {
         // totals must line up with the simulated columns, the makespan
         // within the documented scheduling band (see h2_sched::exec).
         let model = DeviceModel::default();
-        println!("## Executed: h2_sched::DeviceFabric (virtual devices, measured)\n");
-        header(&[
-            "devices",
-            "wall (ms)",
-            "busy max/dev (ms)",
-            "Ω-fetch (MiB)",
-            "gather (MiB)",
-            "modeled/sim makespan",
-            "work rel err",
-        ]);
-        for devices in [1usize, 2, 4, 8] {
-            let fabric = DeviceFabric::new(devices);
-            let (h2s, st, report) = shard_construct(
-                &fabric,
-                &reference,
-                &problem.kernel,
-                problem.tree.clone(),
-                problem.partition.clone(),
-                &cfg,
-            );
-            let cmp = compare_with_simulator(&report, &level_specs(&h2s), st.total_samples, &model);
-            let busy_max = report
-                .busy_per_device()
-                .into_iter()
-                .map(|b| b.as_secs_f64())
-                .fold(0.0, f64::max);
-            row(&[
-                devices.to_string(),
-                format!("{:.1}", report.measured_makespan().as_secs_f64() * 1e3),
-                format!("{:.1}", busy_max * 1e3),
-                format!(
-                    "{:.2}",
-                    report.bytes_of_kind(TransferKind::OmegaFetch) as f64 / (1 << 20) as f64
-                ),
-                format!(
-                    "{:.2}",
-                    report.bytes_of_kind(TransferKind::ChildGather) as f64 / (1 << 20) as f64
-                ),
-                format!("{:.2}", cmp.makespan_ratio()),
-                format!("{:.1e}", cmp.flops_rel_err()),
+        for &mode in &exec_modes {
+            let mode_name = match mode {
+                PipelineMode::Synchronous => "synchronous",
+                PipelineMode::Pipelined => "pipelined",
+            };
+            println!("## Executed: h2_sched::DeviceFabric ({mode_name}, measured)\n");
+            header(&[
+                "devices",
+                "wall (ms)",
+                "busy max/dev (ms)",
+                "Ω-fetch (MiB)",
+                "gather (MiB)",
+                "modeled/sim makespan",
+                "work rel err",
             ]);
-        }
-        println!();
+            for devices in [1usize, 2, 4, 8] {
+                let fabric =
+                    DeviceFabric::with_config(devices, mode, h2_sched::LinkModel::default());
+                let (h2s, st, report) = shard_construct(
+                    &fabric,
+                    &reference,
+                    &problem.kernel,
+                    problem.tree.clone(),
+                    problem.partition.clone(),
+                    &cfg,
+                );
+                let cmp =
+                    compare_with_simulator(&report, &level_specs(&h2s), st.total_samples, &model);
+                let busy_max = report
+                    .busy_per_device()
+                    .into_iter()
+                    .map(|b| b.as_secs_f64())
+                    .fold(0.0, f64::max);
+                row(&[
+                    devices.to_string(),
+                    format!("{:.1}", report.measured_makespan().as_secs_f64() * 1e3),
+                    format!("{:.1}", busy_max * 1e3),
+                    format!(
+                        "{:.2}",
+                        report.bytes_of_kind(TransferKind::OmegaFetch) as f64 / (1 << 20) as f64
+                    ),
+                    format!(
+                        "{:.2}",
+                        report.bytes_of_kind(TransferKind::ChildGather) as f64 / (1 << 20) as f64
+                    ),
+                    format!("{:.2}", cmp.makespan_ratio()),
+                    format!("{:.1e}", cmp.flops_rel_err()),
+                ]);
+            }
+            println!();
 
-        println!("## Executed: sharded matvec (16 columns)\n");
-        header(&["devices", "wall (ms)", "comm (MiB)", "partial-sum (MiB)"]);
-        let x = h2_dense::gaussian_mat(n, 16, 0xBEEF);
-        for devices in [1usize, 2, 4, 8] {
-            let fabric = DeviceFabric::new(devices);
-            let t0 = std::time::Instant::now();
-            let (_, rep) = shard_matvec_with_report(&fabric, &h2, &x, false);
-            let wall = t0.elapsed().as_secs_f64();
-            row(&[
-                devices.to_string(),
-                format!("{:.1}", wall * 1e3),
-                format!("{:.2}", rep.total_comm_bytes() as f64 / (1 << 20) as f64),
-                format!(
-                    "{:.2}",
-                    rep.bytes_of_kind(TransferKind::PartialSum) as f64 / (1 << 20) as f64
-                ),
-            ]);
+            println!("## Executed: sharded matvec ({mode_name}, 16 columns)\n");
+            header(&["devices", "wall (ms)", "comm (MiB)", "partial-sum (MiB)"]);
+            let x = h2_dense::gaussian_mat(n, 16, 0xBEEF);
+            for devices in [1usize, 2, 4, 8] {
+                let fabric =
+                    DeviceFabric::with_config(devices, mode, h2_sched::LinkModel::default());
+                let t0 = std::time::Instant::now();
+                let (_, rep) = shard_matvec_with_report(&fabric, &h2, &x, false);
+                let wall = t0.elapsed().as_secs_f64();
+                row(&[
+                    devices.to_string(),
+                    format!("{:.1}", wall * 1e3),
+                    format!("{:.2}", rep.total_comm_bytes() as f64 / (1 << 20) as f64),
+                    format!(
+                        "{:.2}",
+                        rep.bytes_of_kind(TransferKind::PartialSum) as f64 / (1 << 20) as f64
+                    ),
+                ]);
+            }
+            println!();
         }
-        println!();
     }
 
     println!("Interpretation: the batched construction is compute-bound at the leaves");

@@ -20,7 +20,7 @@
 
 use h2_bench::{build_problem, reference_h2, App, Args};
 use h2_core::{sketch_construct, SketchConfig};
-use h2_dense::{gaussian_mat, gemm, gemm_naive, Mat, Op};
+use h2_dense::{gaussian_mat, gemm, gemm_naive, par_gemm, Mat, Op};
 use h2_runtime::{gemm_at_x, Runtime, VarBatch};
 use std::time::Instant;
 
@@ -83,6 +83,37 @@ fn bench_gemm(sizes: &[usize], min_secs: f64) -> Vec<GemmPoint> {
                 });
             }
         }
+    }
+    out
+}
+
+struct ParGemmPoint {
+    n: usize,
+    serial_gflops: f64,
+    par_gflops: f64,
+}
+
+/// Threaded single-product GEMM: the shared-B row-band `par_gemm` against
+/// the serial packed kernel at the same square sizes (NN orientation — the
+/// other combos are normalized away by packing).
+fn bench_par_gemm(sizes: &[usize], min_secs: f64) -> Vec<ParGemmPoint> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let a = gaussian_mat(n, n, 5);
+        let b = gaussian_mat(n, n, 6);
+        let mut c = Mat::zeros(n, n);
+        let flops = 2.0 * (n as f64).powi(3);
+        let t_serial = time_per_rep(min_secs, || {
+            gemm(Op::NoTrans, Op::NoTrans, 1.0, a.rf(), b.rf(), 0.0, c.rm());
+        });
+        let t_par = time_per_rep(min_secs, || {
+            par_gemm(Op::NoTrans, Op::NoTrans, 1.0, a.rf(), b.rf(), 0.0, c.rm());
+        });
+        out.push(ParGemmPoint {
+            n,
+            serial_gflops: flops / t_serial / 1e9,
+            par_gflops: flops / t_par / 1e9,
+        });
     }
     out
 }
@@ -154,6 +185,21 @@ fn main() {
         ]);
     }
 
+    // --- threaded single-product GEMM (shared-B row bands) ---
+    let par_points = bench_par_gemm(&sizes, min_secs);
+    println!("\n## par_gemm (shared packed-B panels, {} threads)\n", {
+        rayon::current_num_threads()
+    });
+    h2_bench::header(&["n", "serial GF/s", "par GF/s", "speedup"]);
+    for p in &par_points {
+        h2_bench::row(&[
+            p.n.to_string(),
+            format!("{:.2}", p.serial_gflops),
+            format!("{:.2}", p.par_gflops),
+            format!("{:.2}x", p.par_gflops / p.serial_gflops),
+        ]);
+    }
+
     // --- batched sketch apply ---
     let (batch_entries, batch_d) = if smoke { (128, 32) } else { (512, 64) };
     let (batched_gflops, batched_secs) = bench_batched_apply(batch_entries, batch_d, min_secs);
@@ -215,6 +261,19 @@ fn main() {
             p.packed_gflops,
             p.packed_gflops / p.naive_gflops,
             if i + 1 < gemm_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"par_gemm\": [\n");
+    for (i, p) in par_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"serial_gflops\": {:.3}, \"par_gflops\": {:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            p.n,
+            p.serial_gflops,
+            p.par_gflops,
+            p.par_gflops / p.serial_gflops,
+            if i + 1 < par_points.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

@@ -46,9 +46,9 @@ use h2_dense::cpqr::Truncation;
 use h2_dense::{estimate_norm_2, EntryAccess, LinOp, Mat};
 use h2_matrix::H2Matrix;
 use h2_runtime::{
-    batched_gen, batched_row_id, bsr_gemm, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag,
-    rand_mat, shrink_rows, stack_children, BsrBlock, BsrPattern, GenBlock, Phase, Runtime,
-    VarBatch,
+    batched_gen, batched_row_id, bsr_gemm_stream, gather_rows, gemm_at_x, hcat_batches,
+    hint_bsr_fetches, qr_min_rdiag, rand_mat, shrink_rows, stack_children, BsrBlock, BsrPattern,
+    GenBlock, Phase, Runtime, VarBatch,
 };
 use h2_tree::{ClusterTree, Partition};
 use std::sync::Arc;
@@ -76,6 +76,14 @@ impl Side {
         match self {
             Side::Row => 0,
             Side::Col => 0xA5A5_5A5A,
+        }
+    }
+
+    /// Stream tag keying the pipelined fabric's prefetch hints.
+    fn stream_tag(self) -> u8 {
+        match self {
+            Side::Row => 0,
+            Side::Col => 1,
         }
     }
 }
@@ -371,6 +379,39 @@ fn sketch_construct_engine(
             skels_local.push(side_skels);
         }
 
+        // ---- prefetch the next level's Ω/Ψ fetches (pipelined fabric) ----
+        // Everything the next processed level's `batchedBSRGemm` will fetch
+        // is determined right here: its BSR rows are this level's nodes
+        // (far-field adjacency), and the partner block heights are the
+        // opposite side's just-computed ranks (`Ω ← VᵀΩ`, `Ψ ← UᵀΨ`). Emit
+        // the descriptors now so the virtual copies run behind the coupling
+        // generation and upsweep below instead of stalling the next level.
+        if l > top && rt.shard_is_pipelined() {
+            let d_cur = if locals[0].0.count() > 0 {
+                locals[0].0.cols_of(0)
+            } else {
+                0
+            };
+            if d_cur > 0 {
+                let adj: Vec<Vec<usize>> = node_ids
+                    .iter()
+                    .map(|&s| {
+                        partition.far_of[s]
+                            .iter()
+                            .map(|&t| tree.local_index(t))
+                            .collect()
+                    })
+                    .collect();
+                for &side in sides {
+                    let x_rows: Vec<usize> = {
+                        let b = input_basis(&h2, side);
+                        node_ids.iter().map(|&id| b[id].cols()).collect()
+                    };
+                    hint_bsr_fetches(rt, side.stream_tag(), &adj, &x_rows, d_cur);
+                }
+            }
+        }
+
         // ---- coupling blocks at this level (batchedGen, line 41):
         // B_{s,t} = K(Ĩ^r_s, Ĩ^c_t) ----
         rt.phase(Phase::EntryGen, || {
@@ -605,7 +646,15 @@ fn advance_level(
 ) -> (VarBatch, VarBatch) {
     rt.phase(Phase::BsrGemm, || {
         let blocks = resolve_blocks(h2, &structure.pairs, structure.source, side);
-        bsr_gemm(rt, &structure.pattern, &blocks, &omega, &mut y, -1.0);
+        bsr_gemm_stream(
+            rt,
+            &structure.pattern,
+            &blocks,
+            &omega,
+            &mut y,
+            -1.0,
+            side.stream_tag(),
+        );
     });
     if structure.children_local.is_empty() {
         (y, omega)

@@ -54,10 +54,11 @@
 //! performance is unchanged by construction.
 //!
 //! Batch-level parallelism lives in `h2-runtime`; [`par_gemm`] parallelizes
-//! the *same* packed kernel over disjoint `NC`-wide column panels of C
-//! (each pool task packs its own panels and runs the identical macro
-//! loops) for the few genuinely large single products (dense samplers,
-//! frontal Schur updates).
+//! the *same* packed kernel for the few genuinely large single products
+//! (dense samplers, frontal Schur updates): tall C splits into `MC`-row
+//! bands that **share each packed `KC × NC` B panel** (packed once, read by
+//! every worker — no per-worker repacking), short-and-wide C falls back to
+//! disjoint column panels where the redundant A packing is cheap.
 
 use crate::mat::{Mat, MatMut, MatRef};
 use rayon::prelude::*;
@@ -496,12 +497,22 @@ pub fn matmul(ta: Op, tb: Op, a: MatRef<'_>, b: MatRef<'_>) -> Mat {
 
 /// Parallel GEMM for large products (`C = alpha op(A) op(B) + beta C`).
 ///
-/// The parallel macro loop of the packed kernel: C is split into disjoint
-/// `NR`-aligned column panels (up to `NC` wide), and each pool task runs the
-/// *same* blocked-packed kernel on its panel against the matching columns
-/// of `op(B)` — there is no separate parallel code path. Used by dense
-/// samplers and the frontal Schur updates where a single product is the
-/// whole workload.
+/// Two decompositions of the same packed kernel, chosen by the shape of C:
+///
+/// * **Tall C (`m ≥ 2·MC`): row bands sharing packed B.** Each `KC × NC`
+///   panel of `op(B)` is packed **once** and every pool task's macro loop
+///   reads it; a task owns one `MC`-row band of C and packs only its own
+///   `op(A)` block. Nothing is packed twice per `jc` sweep — this removes
+///   the per-worker repacking of the previous column-split scheme, where
+///   every task re-packed the *entire* `op(A)` (threads × m × k staged
+///   bytes).
+/// * **Short-and-wide C: disjoint `NR`-aligned column panels.** Each task
+///   runs the full serial kernel on its panel against the matching columns
+///   of `op(B)`. B panels are disjoint by construction and the redundant
+///   per-task A packing is cheap exactly when `m` is small.
+///
+/// Used by dense samplers and the frontal Schur updates where a single
+/// product is the whole workload.
 pub fn par_gemm(
     ta: Op,
     tb: Op,
@@ -513,9 +524,27 @@ pub fn par_gemm(
 ) {
     let n = c.cols();
     let m = c.rows();
-    let work = m.saturating_mul(n).saturating_mul(ta.cols_of(a));
+    let k = ta.cols_of(a);
+    let work = m.saturating_mul(n).saturating_mul(k);
+    // Size guard first: the thread-count query hits the (cached) cgroup
+    // probe, and small products must stay exactly as cheap as `gemm`.
+    if work < 1 << 18 {
+        gemm(ta, tb, alpha, a, b, beta, c);
+        return;
+    }
     let threads = rayon::current_num_threads().max(1);
-    if work < 1 << 18 || n < 2 * NR || threads == 1 {
+    if threads == 1 {
+        gemm(ta, tb, alpha, a, b, beta, c);
+        return;
+    }
+    // Shared-B row bands only make sense on the packed kernel; large
+    // sub-crossover shapes (e.g. skinny-k rank updates) keep the parallel
+    // column split, whose panel tasks run the naive kernel concurrently.
+    if m >= 2 * MC && use_packed(m, n, k) {
+        par_gemm_shared_b(ta, tb, alpha, a, b, beta, c);
+        return;
+    }
+    if n < 2 * NR {
         gemm(ta, tb, alpha, a, b, beta, c);
         return;
     }
@@ -547,6 +576,89 @@ pub fn par_gemm(
         };
         gemm(ta, tb, alpha, a, bj, beta, cj);
     });
+}
+
+/// Base pointer of C handed to the row-band tasks; bands write provably
+/// disjoint row ranges of every column, which column-major slices cannot
+/// express as disjoint subslices.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+// SAFETY: every task writes only its own `MC`-row band (disjoint row
+// ranges), so concurrent access never aliases an element.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// The shared-B parallel macro loop: `jc`/`pc` sweeps are serial, each
+/// `KC × NC` B panel is packed once, and the `MC`-row bands of C run on the
+/// pool — each band packing only its own A block and accumulating straight
+/// into its rows of C.
+fn par_gemm_shared_b(
+    ta: Op,
+    tb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let (m, n, k) = check_and_scale(ta, tb, a, b, beta, &mut c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let (cptr, ld) = c.raw_parts_mut();
+    let cptr = SendPtr(cptr);
+    let nbands = m.div_ceil(MC);
+    let mut bpack: Vec<f64> = Vec::new();
+    let mut packed_bytes = 0u64;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(tb, b, pc, jc, kc, nc, &mut bpack);
+            packed_bytes += (bpack.len() * 8) as u64;
+            let bref: &[f64] = &bpack;
+            (0..nbands)
+                .collect::<Vec<usize>>()
+                .into_par_iter()
+                .for_each(|band| {
+                    // Bind the wrapper so the closure captures `SendPtr`
+                    // (Send + Sync), not the raw pointer field.
+                    let cp = cptr;
+                    let ic = band * MC;
+                    let mc = MC.min(m - ic);
+                    let mut apack: Vec<f64> = Vec::new();
+                    pack_a(ta, a, ic, pc, mc, kc, &mut apack);
+                    for jr in (0..nc).step_by(NR) {
+                        let nr = NR.min(nc - jr);
+                        let bp = &bref[(jr / NR) * NR * kc..][..NR * kc];
+                        for ir in (0..mc).step_by(MR) {
+                            let mr = MR.min(mc - ir);
+                            let ap = &apack[(ir / MR) * MR * kc..][..MR * kc];
+                            let acc = microkernel(ap, bp);
+                            for j in 0..nr {
+                                // SAFETY: this band owns rows ic..ic+mc of
+                                // every column; tiles of one band are
+                                // visited serially.
+                                let col = unsafe { cp.0.add((jc + jr + j) * ld + ic + ir) };
+                                let accj = &acc[j];
+                                for (i, &v) in accj.iter().take(mr).enumerate() {
+                                    unsafe { *col.add(i) += alpha * v };
+                                }
+                            }
+                        }
+                    }
+                });
+            // A bands are packed exactly once per (jc, pc) block across all
+            // tasks — count their staging traffic analytically.
+            packed_bytes += (0..nbands)
+                .map(|band| {
+                    let mc = MC.min(m - band * MC);
+                    (mc.div_ceil(MR) * MR * kc * 8) as u64
+                })
+                .sum::<u64>();
+        }
+    }
+    stats::add_pack(1, packed_bytes);
 }
 
 /// Matrix-vector product `y = alpha * op(A) * x + beta * y`.
@@ -743,6 +855,62 @@ mod tests {
         let mut diff = c1;
         diff.axpy(-1.0, &c2);
         assert!(diff.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn par_gemm_shared_b_matches_gemm_all_combos() {
+        // m >= 2*MC routes through the shared-B row-band path; edge sizes
+        // exercise partial bands/tiles, alpha/beta the fused write-out.
+        let (m, k, n) = (2 * super::MC + 37, 83, 57);
+        for ta in [Op::NoTrans, Op::Trans] {
+            for tb in [Op::NoTrans, Op::Trans] {
+                let a = match ta {
+                    Op::NoTrans => gaussian_mat(m, k, 41),
+                    Op::Trans => gaussian_mat(k, m, 41),
+                };
+                let b = match tb {
+                    Op::NoTrans => gaussian_mat(k, n, 42),
+                    Op::Trans => gaussian_mat(n, k, 42),
+                };
+                let mut c1 = gaussian_mat(m, n, 43);
+                let mut c2 = c1.clone();
+                gemm(ta, tb, 1.5, a.rf(), b.rf(), -0.5, c1.rm());
+                par_gemm(ta, tb, 1.5, a.rf(), b.rf(), -0.5, c2.rm());
+                let mut diff = c1;
+                diff.axpy(-1.0, &c2);
+                let scale = c2.norm_max().max(1.0);
+                assert!(
+                    diff.norm_max() / scale < 1e-13,
+                    "shared-B mismatch for {ta:?},{tb:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_gemm_shared_b_on_strided_views() {
+        // Sub-views force ld > rows through the row-band raw-pointer writes.
+        let parent_a = gaussian_mat(400, 200, 51);
+        let parent_b = gaussian_mat(200, 100, 52);
+        let mut parent_c = gaussian_mat(400, 100, 53);
+        let (m, k, n) = (300, 150, 64);
+        let av = parent_a.view(9, 11, m, k);
+        let bv = parent_b.view(3, 5, k, n);
+        let mut c2 = parent_c.view(7, 13, m, n).to_mat();
+        par_gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            2.0,
+            av,
+            bv,
+            1.0,
+            parent_c.view_mut(7, 13, m, n),
+        );
+        gemm(Op::NoTrans, Op::NoTrans, 2.0, av, bv, 1.0, c2.rm());
+        let got = parent_c.view(7, 13, m, n).to_mat();
+        let mut diff = got;
+        diff.axpy(-1.0, &c2);
+        assert!(diff.norm_max() < 1e-12 * c2.norm_max().max(1.0));
     }
 
     #[test]

@@ -433,6 +433,14 @@ impl<'a> MatMut<'a> {
         }
     }
 
+    /// Base pointer and leading dimension of the backing storage, for
+    /// kernel-internal writes to provably disjoint tiles (the parallel GEMM
+    /// splits C into row bands that column-major slices cannot express as
+    /// disjoint subslices). Entry `(i, j)` lives at `ptr + i + j * ld`.
+    pub fn raw_parts_mut(&mut self) -> (*mut f64, usize) {
+        (self.data.as_mut_ptr(), self.ld)
+    }
+
     /// Mutable re-borrow (for passing to functions without consuming).
     pub fn rb_mut(&mut self) -> MatMut<'_> {
         MatMut {

@@ -15,7 +15,7 @@ use crate::batch::VarBatch;
 use crate::multidev::{cost, owner};
 use crate::profile::Kernel;
 use crate::runtime::Runtime;
-use crate::shard::{chunk_bounds, ShardJob, Transfer, TransferKind};
+use crate::shard::{chunk_bounds, FetchPlanner, PipelineMode, ShardJob, Transfer, TransferKind};
 use h2_dense::{gemm, Mat, MatMut, Op};
 use std::collections::HashSet;
 
@@ -140,6 +140,21 @@ pub fn bsr_gemm(
     y: &mut VarBatch,
     alpha: f64,
 ) {
+    bsr_gemm_stream(rt, pattern, blocks, x, y, alpha, 0)
+}
+
+/// [`bsr_gemm`] with an explicit sketch-stream tag (0 = row `Ω`, 1 = column
+/// `Ψ`). The tag keys the pipelined fabric's early prefetch hints, so the
+/// two streams of the unsymmetric engine never claim each other's fetches.
+pub fn bsr_gemm_stream(
+    rt: &Runtime,
+    pattern: &BsrPattern,
+    blocks: &[BsrBlock<'_>],
+    x: &VarBatch,
+    y: &mut VarBatch,
+    alpha: f64,
+    stream: u8,
+) {
     assert_eq!(
         blocks.len(),
         pattern.nblocks(),
@@ -147,7 +162,11 @@ pub fn bsr_gemm(
     );
     assert_eq!(y.count(), pattern.nrows(), "bsr_gemm: y batch mismatch");
     if let Some(disp) = rt.shard_dispatch() {
-        bsr_gemm_sharded(rt, pattern, blocks, x, y, alpha, disp.as_ref());
+        if disp.mode() == PipelineMode::Pipelined {
+            bsr_gemm_pipelined(rt, pattern, blocks, x, y, alpha, stream, disp.as_ref());
+        } else {
+            bsr_gemm_sharded(rt, pattern, blocks, x, y, alpha, disp.as_ref());
+        }
         return;
     }
     let par = rt.is_parallel();
@@ -271,6 +290,130 @@ fn bsr_gemm_sharded(
             }));
         }
         disp.run(jobs);
+    }
+}
+
+/// The pipelined `batchedBSRGemm`: identical arithmetic and accounting to
+/// [`bsr_gemm_sharded`], different schedule. The `Ω_b` fetch descriptors are
+/// planned first (via the shared [`FetchPlanner`], so the byte totals stay
+/// the simulator's) and either **claimed** from the construction's early
+/// prefetch hints or issued as fresh prefetches on the copy engine; each
+/// device then receives **one** queued job chaining all `Csp` slot launches
+/// in slot order — per-row accumulation order is exactly the synchronous
+/// path's, so results are bit-identical, but the `Csp − 1` global joins
+/// between slots are gone and the owner-attributed work accounting runs on
+/// the issuing thread while the devices compute.
+#[allow(clippy::too_many_arguments)]
+fn bsr_gemm_pipelined(
+    rt: &Runtime,
+    pattern: &BsrPattern,
+    blocks: &[BsrBlock<'_>],
+    x: &VarBatch,
+    y: &mut VarBatch,
+    alpha: f64,
+    stream: u8,
+    disp: &dyn crate::shard::ShardDispatch,
+) {
+    let devices = disp.devices();
+    let n = pattern.nrows();
+    let bounds = chunk_bounds(n, devices);
+
+    // Plan the deduplicated fetches and the per-row flop estimate in one
+    // cheap pass, then issue/claim the prefetch tickets before any compute
+    // is enqueued.
+    let mut planner = FetchPlanner::new(stream, n, x.count(), devices);
+    let mut row_flops = vec![0.0f64; n];
+    for r in 0..n {
+        let (b0, b1) = pattern.row_range(r);
+        for p in b0..b1 {
+            let col = pattern.col_of(p);
+            let (mb, d) = (x.rows_of(col), x.cols_of(col));
+            row_flops[r] += cost::bsr_flops(y.rows_of(r), mb, d);
+            planner.visit(r, col, mb, d);
+        }
+    }
+    // Tickets are grouped by destination device so a device whose chunk
+    // needs no remote partner never stalls behind another device's fetch.
+    // (Execution chunks are cost-balanced approximations of the owner
+    // chunks the destinations refer to — gating is a timing model, the
+    // data never moves, so the approximation cannot affect results.)
+    let mut tickets_by_dev: Vec<Vec<u64>> = vec![Vec::new(); devices];
+    for (key, t) in planner.into_plan() {
+        let tk = disp.claim_or_fetch(key, t);
+        if tk != 0 {
+            tickets_by_dev[key.dst].push(tk);
+        }
+    }
+    disp.cancel_hints(stream);
+
+    // One queued job per device, chaining every slot over its contiguous
+    // cost-balanced chunk, gated on its own fetch tickets.
+    let exec_bounds = crate::batch::cost_chunk_bounds(n, devices, |r| row_flops[r]);
+    let mut rows = y.split_mut().into_iter();
+    for dev in 0..devices {
+        let mut chunk: Vec<MatMut<'_>> = rows
+            .by_ref()
+            .take(exec_bounds[dev + 1] - exec_bounds[dev])
+            .collect();
+        let start = exec_bounds[dev];
+        let job: ShardJob<'_> = Box::new(move || {
+            for slot in &pattern.slots {
+                for (k, m) in chunk.iter_mut().enumerate() {
+                    let p = slot[start + k];
+                    if p == usize::MAX {
+                        continue;
+                    }
+                    let xb = x.mat(pattern.col_of(p));
+                    let b = blocks[p];
+                    let op = if b.transposed { Op::Trans } else { Op::NoTrans };
+                    gemm(op, Op::NoTrans, alpha, b.mat.rf(), xb, 1.0, m.rb_mut());
+                }
+            }
+        });
+        // SAFETY: flushed below, before `y`/`x`/`blocks` borrows end.
+        unsafe { disp.enqueue(dev, &tickets_by_dev[dev], job) };
+    }
+
+    // Owner-attributed accounting (the simulator's chunks and formulas),
+    // overlapped with the queued compute.
+    rt.launches(Kernel::BsrGemm, pattern.csp());
+    for dev in 0..devices {
+        let (b, e) = (bounds[dev], bounds[dev + 1]);
+        if e == b {
+            continue;
+        }
+        let fl: f64 = row_flops[b..e].iter().sum();
+        if fl > 0.0 {
+            disp.add_flops(dev, fl);
+        }
+        disp.add_launches(dev, pattern.csp());
+    }
+    disp.flush();
+}
+
+/// Early prefetch hint for the *next* level's `batchedBSRGemm`: the
+/// construction engine calls this as soon as the current level's IDs fix
+/// the partner block sizes, so the `Ω_b`/`Ψ_b` copies run on the fabric's
+/// copy engine behind the current level's `batchedGen`/upsweep compute.
+/// Drives the same [`FetchPlanner`] as the kernel itself, so the hinted
+/// descriptors match the claims exactly (byte totals unchanged). No-op off
+/// the pipelined sharded backend.
+pub fn hint_bsr_fetches(rt: &Runtime, stream: u8, adj: &[Vec<usize>], x_rows: &[usize], d: usize) {
+    let Some(disp) = rt.shard_dispatch() else {
+        return;
+    };
+    if disp.mode() != PipelineMode::Pipelined {
+        return;
+    }
+    let n = adj.len();
+    let mut planner = FetchPlanner::new(stream, n, x_rows.len(), disp.devices());
+    for (r, partners) in adj.iter().enumerate() {
+        for &b in partners {
+            planner.visit(r, b, x_rows[b], d);
+        }
+    }
+    for (key, t) in planner.into_plan() {
+        disp.hint_prefetch(key, t);
     }
 }
 

@@ -29,7 +29,7 @@ pub mod runtime;
 pub mod shard;
 
 pub use batch::{cost_chunk_bounds, VarBatch};
-pub use bsr::{bsr_gemm, BsrBlock, BsrPattern};
+pub use bsr::{bsr_gemm, bsr_gemm_stream, hint_bsr_fetches, BsrBlock, BsrPattern};
 pub use multidev::{owner, simulate, DeviceModel, LevelSpec, SimReport, StreamSpec};
 pub use ops::{
     batched_gen, batched_row_id, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag, rand_mat,
@@ -37,4 +37,7 @@ pub use ops::{
 };
 pub use profile::{Kernel, Phase, Profile, KERNEL_COUNT, PHASE_COUNT};
 pub use runtime::{Backend, Runtime};
-pub use shard::{chunk_bounds, ShardDispatch, ShardJob, Transfer, TransferKind};
+pub use shard::{
+    chunk_bounds, FetchKey, FetchPlanner, PipelineMode, ShardDispatch, ShardJob, Transfer,
+    TransferKind,
+};

@@ -40,6 +40,23 @@ where
     F: Fn(usize, MatMut<'_>) + Sync + Send,
     C: Fn(usize) -> f64,
 {
+    batch_for_each_mut_deps(rt, out, &[], flops_of, f)
+}
+
+/// [`batch_for_each_mut`] with prefetch-ticket dependencies: on a pipelined
+/// sharded backend the per-device jobs are gated on `deps` (transfers
+/// issued ahead of this kernel), so a marshaling job stalls only if its
+/// inputs' virtual copies have not landed yet.
+pub(crate) fn batch_for_each_mut_deps<F, C>(
+    rt: &Runtime,
+    out: &mut VarBatch,
+    deps: &[u64],
+    flops_of: C,
+    f: F,
+) where
+    F: Fn(usize, MatMut<'_>) + Sync + Send,
+    C: Fn(usize) -> f64,
+{
     let Some(disp) = rt.shard_dispatch() else {
         if !rt.is_parallel() || out.count() < 2 {
             // Sequential (or trivial) path: no chunking, no cost vector.
@@ -73,20 +90,21 @@ where
     });
     let f = &f;
     let mut entries = out.split_mut().into_iter();
-    let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
     for dev in 0..devices {
         let chunk: Vec<MatMut<'_>> = entries
             .by_ref()
             .take(exec_bounds[dev + 1] - exec_bounds[dev])
             .collect();
         let start = exec_bounds[dev];
-        jobs.push(Box::new(move || {
+        let job: ShardJob<'_> = Box::new(move || {
             for (k, m) in chunk.into_iter().enumerate() {
                 f(start + k, m);
             }
-        }));
+        });
+        // SAFETY: the flush below runs before the borrows of `out`/`f` end.
+        unsafe { disp.enqueue(dev, deps, job) };
     }
-    disp.run(jobs);
+    disp.flush();
 }
 
 /// Per-entry map over a batch on the runtime's backend, with sharded-mode
@@ -200,9 +218,13 @@ pub fn stack_children(rt: &Runtime, child: &VarBatch, children: &[Vec<usize>]) -
         .map(|cs| cs.iter().map(|&c| child.rows_of(c)).sum())
         .collect();
     let mut out = VarBatch::zeros_uniform_cols(rows, d);
+    let mut deps: Vec<u64> = Vec::new();
     if let Some(disp) = rt.shard_dispatch() {
         // Line-24 boundary gathers: a child owned by a different device than
         // its parent is copied over (the simulator's sibling-merge traffic).
+        // On the pipelined fabric these become prefetch descriptors issued
+        // ahead of the stacking jobs, which are then gated on the tickets.
+        let pipelined = disp.mode() == crate::shard::PipelineMode::Pipelined;
         let devices = disp.devices();
         let (np, nc) = (children.len(), child.count());
         for (p, cs) in children.iter().enumerate() {
@@ -211,20 +233,29 @@ pub fn stack_children(rt: &Runtime, child: &VarBatch, children: &[Vec<usize>]) -
                 let dc = owner(c, nc, devices);
                 if dc != dp {
                     let bytes = cost::fetch_bytes(child.rows_of(c), d);
-                    disp.push_transfer(Transfer {
+                    let t = Transfer {
                         src: dc,
                         dst: dp,
                         bytes,
                         kind: TransferKind::ChildGather,
-                    });
+                    };
+                    if pipelined {
+                        let ticket = disp.prefetch(t);
+                        if ticket != 0 {
+                            deps.push(ticket);
+                        }
+                    } else {
+                        disp.push_transfer(t);
+                    }
                     disp.arena_alloc(dp, bytes as usize);
                 }
             }
         }
     }
-    batch_for_each_mut(
+    batch_for_each_mut_deps(
         rt,
         &mut out,
+        &deps,
         |_| 0.0,
         |p, mut m| {
             let mut off = 0;

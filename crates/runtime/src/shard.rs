@@ -20,8 +20,51 @@
 //!   build would issue as a peer-to-peer `cudaMemcpyAsync`);
 //! * [`chunk_bounds`] — the contiguous chunk decomposition consistent with
 //!   [`crate::multidev::owner`].
+//!
+//! ## Pipelined dispatch
+//!
+//! A dispatcher may run in one of two [`PipelineMode`]s. In
+//! [`PipelineMode::Synchronous`] every batched kernel is fork-join:
+//! [`ShardDispatch::run`] blocks until all per-device jobs complete, and
+//! [`ShardDispatch::push_transfer`] services the copy inline (the transfer
+//! is *exposed* on the critical path). In [`PipelineMode::Pipelined`] the
+//! kernels instead use the ordered per-device queues directly:
+//!
+//! * [`ShardDispatch::prefetch`] issues a transfer descriptor *ahead* of the
+//!   compute that consumes it and returns a ticket; the copy proceeds
+//!   asynchronously (a virtual copy engine / DMA stream);
+//! * [`ShardDispatch::enqueue`] submits a job to one device's ordered queue
+//!   without blocking, gated on a set of prefetch tickets — the device
+//!   stalls only if the copy has not landed by the time the job reaches the
+//!   head of its queue;
+//! * [`ShardDispatch::flush`] is the explicit barrier, issued once per
+//!   kernel call (or once per overlapped phase group) instead of once per
+//!   launch.
+//!
+//! The construction level loop additionally *hints* the next level's
+//! `Ω_b`-fetch descriptors as soon as the current level's IDs fix the block
+//! sizes ([`ShardDispatch::hint_prefetch`]); `batchedBSRGemm` claims the
+//! hinted tickets with [`ShardDispatch::claim_or_fetch`], so the copies run
+//! behind the current level's `batchedGen`/ID compute. Hints and claims are
+//! keyed by [`FetchKey`] and deduplicated per `(device, partner)` by
+//! [`FetchPlanner`] — the *same* planner both sides drive, which is what
+//! keeps the recorded byte totals exactly equal to the
+//! [`crate::multidev::simulate`] prediction whether or not a descriptor was
+//! prefetched early.
 
+use crate::multidev::{cost, owner};
+use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Execution discipline of a [`ShardDispatch`] fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Fork-join per batched kernel; transfers serviced inline (exposed).
+    Synchronous,
+    /// Ordered per-device queues with asynchronous prefetched transfers;
+    /// barriers only at [`ShardDispatch::flush`] points.
+    Pipelined,
+}
 
 /// Why a cross-device copy happened (the §IV.B communication taxonomy).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,8 +102,86 @@ pub struct Transfer {
 }
 
 /// A unit of work bound for one virtual device's worker thread. Borrows are
-/// allowed because [`ShardDispatch::run`] blocks until every job completes.
+/// allowed because [`ShardDispatch::run`] blocks until every job completes
+/// (and every [`ShardDispatch::enqueue`] is flushed before its borrows end —
+/// the `unsafe` contract of that method).
 pub type ShardJob<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// Identity of one deduplicated partner fetch, shared between the
+/// construction's early *hint* and `batchedBSRGemm`'s *claim*. Including the
+/// byte count makes a stale hint (e.g. after an adaptive sampling round
+/// changed the block width) miss instead of mis-matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FetchKey {
+    /// Sketch stream the fetch serves (0 = row `Ω`, 1 = column `Ψ`).
+    pub stream: u8,
+    /// Destination device.
+    pub dst: usize,
+    /// Local index of the fetched partner in the level's column population.
+    pub partner: usize,
+    /// Size of the fetched block.
+    pub bytes: u64,
+}
+
+/// Deduplicated `(device, partner)` fetch planning for one `batchedBSRGemm`
+/// call — the single source of the Ω/Ψ transfer descriptors, driven
+/// identically by the kernel itself and by the construction's early
+/// prefetch hint, with the simulator's own owner mapping and byte formula.
+pub struct FetchPlanner {
+    stream: u8,
+    n_rows: usize,
+    n_partners: usize,
+    devices: usize,
+    seen: HashSet<(usize, usize)>,
+    plan: Vec<(FetchKey, Transfer)>,
+}
+
+impl FetchPlanner {
+    pub fn new(stream: u8, n_rows: usize, n_partners: usize, devices: usize) -> Self {
+        FetchPlanner {
+            stream,
+            n_rows,
+            n_partners,
+            devices,
+            seen: HashSet::new(),
+            plan: Vec::new(),
+        }
+    }
+
+    /// Owner device of BSR row `row` (the simulator's contiguous chunks).
+    pub fn owner_of_row(&self, row: usize) -> usize {
+        owner(row, self.n_rows, self.devices)
+    }
+
+    /// Visit one `(row, partner)` block: records a fetch descriptor the
+    /// first time an off-device partner is needed by a device.
+    pub fn visit(&mut self, row: usize, partner: usize, partner_rows: usize, partner_cols: usize) {
+        let dev = self.owner_of_row(row);
+        let dev_b = owner(partner, self.n_partners.max(self.n_rows), self.devices);
+        if dev_b != dev && self.seen.insert((dev, partner)) {
+            let bytes = cost::fetch_bytes(partner_rows, partner_cols);
+            self.plan.push((
+                FetchKey {
+                    stream: self.stream,
+                    dst: dev,
+                    partner,
+                    bytes,
+                },
+                Transfer {
+                    src: dev_b,
+                    dst: dev,
+                    bytes,
+                    kind: TransferKind::OmegaFetch,
+                },
+            ));
+        }
+    }
+
+    /// The deduplicated fetch plan, in first-need order.
+    pub fn into_plan(self) -> Vec<(FetchKey, Transfer)> {
+        self.plan
+    }
+}
 
 /// The interface of a device fabric: N virtual devices, each with a worker
 /// thread, a memory arena and a work/traffic account. Implemented by
@@ -94,6 +215,69 @@ pub trait ShardDispatch: Send + Sync {
     /// Close the current accounting epoch (one construction level / matvec
     /// phase) under `label`, snapshotting per-device counters.
     fn epoch(&self, label: &str);
+
+    // ---- pipelined dispatch (defaults degrade to the synchronous path,
+    // so a fork-join-only fabric keeps working unchanged) ----
+
+    /// The fabric's execution discipline.
+    fn mode(&self) -> PipelineMode {
+        PipelineMode::Synchronous
+    }
+
+    /// Issue a transfer descriptor ahead of the compute consuming it and
+    /// return a completion ticket for [`ShardDispatch::enqueue`] deps
+    /// (0 = already complete). The synchronous default services it inline.
+    fn prefetch(&self, t: Transfer) -> u64 {
+        self.push_transfer(t);
+        0
+    }
+
+    /// Submit `job` to device `dev`'s ordered queue without blocking, gated
+    /// on the prefetch tickets in `deps`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must call [`ShardDispatch::flush`] before any borrow
+    /// captured by `job` ends — the fabric erases the job's lifetime to move
+    /// it onto the worker thread. Every batched kernel upholds this by
+    /// flushing before it returns (or before the borrowed buffers of an
+    /// overlapped phase group go out of scope).
+    ///
+    /// The synchronous default runs the job inline on the calling thread,
+    /// which trivially satisfies the contract.
+    unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) {
+        let _ = (dev, deps);
+        job();
+    }
+
+    /// Barrier: block until every enqueued job has completed (and propagate
+    /// any worker panic).
+    fn flush(&self) {}
+
+    /// Early prefetch hint: start the copy for `key` now (tagged to the
+    /// issuing epoch, charged to the destination's *standby* arena bank) so
+    /// a later [`ShardDispatch::claim_or_fetch`] with the same key finds it
+    /// done. No-op by default.
+    fn hint_prefetch(&self, key: FetchKey, t: Transfer) {
+        let _ = (key, t);
+    }
+
+    /// Claim a previously hinted prefetch, or — on a miss — record the
+    /// transfer and charge the destination arena as a fresh fetch. Returns
+    /// the completion ticket (0 = complete).
+    fn claim_or_fetch(&self, key: FetchKey, t: Transfer) -> u64 {
+        let _ = key;
+        self.push_transfer(t);
+        self.arena_alloc(t.dst, t.bytes as usize);
+        0
+    }
+
+    /// Drop all unclaimed hints of `stream`, removing their transfer
+    /// records so a stale hint (adaptive round changed the sample width)
+    /// can never double-count bytes. No-op by default.
+    fn cancel_hints(&self, stream: u8) {
+        let _ = stream;
+    }
 }
 
 /// Contiguous per-device chunk bounds for `n` items over `devices` devices:

@@ -1,34 +1,111 @@
-//! The device fabric: N virtual devices, each a worker thread with a
-//! memory arena and a work/traffic account, plus the explicit transfer
-//! queue and per-epoch accounting.
+//! The device fabric: N virtual devices, each a **persistent worker thread
+//! with an ordered job queue**, a double-buffered memory arena and a
+//! work/traffic account, plus the explicit transfer queue with an
+//! asynchronous prefetch stage and per-epoch accounting.
 //!
 //! Paper mapping:
 //!
 //! * one **virtual device** = one GPU of §IV.B — a dedicated worker thread
 //!   (kernel stream) that executes the contiguous node chunk assigned to
-//!   the device at every level;
+//!   the device at every level, in queue order;
 //! * the **arena** mirrors §IV.A's per-level single workspace allocation
-//!   (prefix sum + one `cudaMalloc`): batched kernels charge their chunk's
-//!   output bytes plus any fetched remote blocks, and the arena resets at
-//!   the next epoch (level) boundary;
+//!   (prefix sum + one `cudaMalloc`), *double-buffered*: charges land in
+//!   the current bank, prefetch-stage charges for the next level land in
+//!   the standby bank, and the banks rotate at the epoch boundary — so the
+//!   peak reflects two live level workspaces exactly when marshaling for
+//!   level *l+1* overlaps level *l*'s compute;
 //! * the **transfer queue** holds the only two communication patterns of
 //!   §IV.B (`Ω_b` partner fetches in `batchedBSRGemm`, boundary sibling
-//!   merges at line 24) plus the matvec's partial-sum reads;
+//!   merges at line 24) plus the matvec's partial-sum reads. In
+//!   [`PipelineMode::Pipelined`] transfers are issued as *prefetches* on a
+//!   virtual copy engine and compute jobs are gated on their tickets; in
+//!   [`PipelineMode::Synchronous`] they are serviced inline (exposed);
 //! * an **epoch** is one processed level (or matvec phase): the per-epoch
 //!   per-device stats line up one-to-one with the per-level costs of the
 //!   [`h2_runtime::multidev`] simulator, which is what
 //!   [`crate::SimComparison`] validates.
+//!
+//! ## Issue-epoch accounting
+//!
+//! Transfers and modeled flops are tagged with the epoch that **issued**
+//! them, under a single lock (epoch index and record push are one critical
+//! section, so a concurrent `close_epoch` can never mis-attribute a
+//! record). Under overlap this means a prefetch for level *l+1* issued
+//! during level *l*'s compute is charged to epoch *l* — totals across
+//! epochs are invariant, which is what the simulator cross-check asserts.
+//! Measured *busy* time is snapshotted at close time, so a job still
+//! draining when an overlapped phase group closes its epoch lands in the
+//! following epoch; [`DeviceEpochStats`] therefore reports, per device:
+//!
+//! * `busy` — wall time executing jobs,
+//! * `stall` — wall time a worker (or, synchronously, the issuing thread)
+//!   waited on an unfinished transfer: the *exposed* communication,
+//! * `overlapped` — in-flight prefetch time that did **not** expose as a
+//!   stall: the communication hidden behind compute,
+//! * `idle` — the rest of the epoch's wall span.
 
-use h2_runtime::{DeviceModel, ShardDispatch, ShardJob, Transfer, TransferKind};
+use h2_runtime::{
+    DeviceModel, FetchKey, PipelineMode, ShardDispatch, ShardJob, Transfer, TransferKind,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The virtual inter-device link the fabric emulates when servicing
+/// transfers. The default link is free (zero service time), which keeps
+/// unit-test runs instant; benches set a CPU-scale link so exposed vs.
+/// hidden communication shows up in measured wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkModel {
+    /// Bytes per second (`f64::INFINITY` = free link).
+    pub bandwidth: f64,
+    /// Per-message latency in seconds.
+    pub latency: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            bandwidth: f64::INFINITY,
+            latency: 0.0,
+        }
+    }
+}
+
+impl LinkModel {
+    /// A link whose compute:bandwidth ratio roughly matches
+    /// [`DeviceModel`]'s A100-flavored defaults scaled to CPU worker
+    /// throughput — transfers take visible but non-dominant wall time.
+    pub fn cpu_scale() -> Self {
+        LinkModel {
+            bandwidth: 2.0e8,
+            latency: 2.0e-5,
+        }
+    }
+
+    /// Service time of one transfer on this link.
+    pub fn service(&self, t: &Transfer) -> Duration {
+        let secs = t.bytes as f64 / self.bandwidth + self.latency;
+        if secs <= 0.0 || !secs.is_finite() {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(secs)
+        }
+    }
+}
+
+/// Injected per-transfer extra delay (stress tests randomize prefetch
+/// completion order through this hook).
+pub type TransferDelay = Arc<dyn Fn(&Transfer) -> Duration + Send + Sync>;
 
 /// Snapshot of one device's counters over one epoch.
 #[derive(Clone, Debug, Default)]
 pub struct DeviceEpochStats {
-    /// Modeled batched-kernel flops (the simulator's formulas).
+    /// Modeled batched-kernel flops (the simulator's formulas), tagged by
+    /// issuing epoch.
     pub flops: f64,
     /// `batchedGen` entry evaluations (flop-equivalents are
     /// `entry_cost × gen_entries`).
@@ -37,7 +114,15 @@ pub struct DeviceEpochStats {
     pub launches: usize,
     /// Measured wall-clock the worker spent executing jobs.
     pub busy: Duration,
-    /// Peak arena bytes held during the epoch.
+    /// Exposed communication: wall-clock spent waiting on unfinished
+    /// transfers (worker dep-stalls, or inline waits in synchronous mode).
+    pub stall: Duration,
+    /// Hidden communication: in-flight prefetch time that did not expose
+    /// as a stall.
+    pub overlapped: Duration,
+    /// Wall-clock of the epoch window not spent busy or stalled.
+    pub idle: Duration,
+    /// Peak arena bytes held during the epoch (both banks combined).
     pub arena_peak: usize,
 }
 
@@ -46,10 +131,12 @@ pub struct DeviceEpochStats {
 pub struct Epoch {
     pub label: String,
     pub per_device: Vec<DeviceEpochStats>,
-    /// Cross-device bytes moved during the epoch.
+    /// Cross-device bytes issued during the epoch.
     pub comm_bytes: u64,
-    /// Number of cross-device messages.
+    /// Number of cross-device messages issued during the epoch.
     pub comm_messages: usize,
+    /// Wall-clock span of the epoch window (close-to-close).
+    pub span: Duration,
 }
 
 #[derive(Default)]
@@ -58,67 +145,308 @@ struct Account {
     gen_entries: f64,
     launches: usize,
     busy_nanos: u64,
+    stall_nanos: u64,
 }
 
-/// Bump-style arena accounting: `live` grows with every charge and resets
-/// at epoch boundaries (per-level workspace discipline).
+/// Double-buffered bump-arena accounting: `cur` is the open level's
+/// workspace, `ahead` collects prefetch-stage charges for the next level;
+/// `close_epoch` rotates `ahead` into `cur` (per-level workspace discipline
+/// with one level of overlap).
 #[derive(Default)]
 struct Arena {
-    live: usize,
+    cur: usize,
+    ahead: usize,
     peak_epoch: usize,
     peak_total: usize,
     allocated_total: usize,
 }
 
+impl Arena {
+    fn bump_peaks(&mut self) {
+        let live = self.cur + self.ahead;
+        self.peak_epoch = self.peak_epoch.max(live);
+        self.peak_total = self.peak_total.max(live);
+    }
+}
+
+/// One recorded transfer: the queue entry plus its issue epoch and modeled
+/// flight time (service on the virtual link + any injected delay).
+#[derive(Clone, Debug)]
+struct TransferRecord {
+    /// Prefetch ticket (0 for synchronously serviced transfers).
+    ticket: u64,
+    epoch: usize,
+    t: Transfer,
+    flight_nanos: u64,
+    prefetched: bool,
+}
+
+/// Epoch index, transfer records and the epoch wall-clock window — one
+/// mutex, so issue-epoch tagging is race-free by construction.
+struct EpochLog {
+    epochs: Vec<Epoch>,
+    records: Vec<TransferRecord>,
+    window_start: Instant,
+    run_start: Instant,
+}
+
+/// Prefetch-ticket completion board. `gen` invalidates tickets across
+/// `reset` so a straggling virtual copy can never complete into a new run.
+struct TicketState {
+    gen: u64,
+    done: Vec<bool>,
+    inflight: usize,
+}
+
+struct TicketBoard {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+/// Per-worker completion progress (submitted counts live on the worker
+/// handle; `done` is bumped by the worker thread and awaited by `flush`).
+struct Progress {
+    done: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// Pending virtual copies, ordered by completion deadline. One engine
+/// thread services the whole queue — completion *order* still follows the
+/// per-transfer deadlines (issue time + service + injected delay), so
+/// delayed copies land out of issue order exactly as a real copy engine's
+/// streams would.
+struct CopyQueue {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Instant, u64, u64)>>,
+    shutdown: bool,
+}
+
 struct Shared {
     devices: usize,
+    mode: PipelineMode,
+    link: Mutex<LinkModel>,
+    delay: Mutex<Option<TransferDelay>>,
     accounts: Vec<Mutex<Account>>,
     arenas: Vec<Mutex<Arena>>,
-    /// Transfer queue entries tagged with the epoch they occurred in.
-    transfers: Mutex<Vec<(usize, Transfer)>>,
-    epochs: Mutex<Vec<Epoch>>,
+    log: Mutex<EpochLog>,
+    tickets: TicketBoard,
+    progress: Vec<Progress>,
+    hints: Mutex<HashMap<FetchKey, u64>>,
+    panicked: Mutex<Option<String>>,
+    copy: Mutex<CopyQueue>,
+    copy_cv: Condvar,
+}
+
+impl Shared {
+    /// Append a transfer record under the single log lock (issue-epoch
+    /// tagging is atomic with the epoch index read).
+    fn log_transfer(&self, ticket: u64, t: Transfer, flight: Duration, prefetched: bool) {
+        let mut log = self.log.lock().unwrap();
+        let epoch = log.epochs.len();
+        log.records.push(TransferRecord {
+            ticket,
+            epoch,
+            t,
+            flight_nanos: flight.as_nanos() as u64,
+            prefetched,
+        });
+    }
+
+    /// Allocate a prefetch ticket; `complete` pre-marks it done.
+    fn alloc_ticket(&self, complete: bool) -> u64 {
+        let mut st = self.tickets.state.lock().unwrap();
+        st.done.push(complete);
+        if !complete {
+            st.inflight += 1;
+        }
+        st.done.len() as u64
+    }
+
+    fn complete_ticket(&self, gen: u64, ticket: u64) {
+        let mut st = self.tickets.state.lock().unwrap();
+        if st.gen == gen {
+            st.done[ticket as usize - 1] = true;
+            st.inflight -= 1;
+            self.tickets.cv.notify_all();
+        }
+    }
+
+    /// Block until every ticket in `deps` has completed; returns the wall
+    /// time spent waiting (the exposed portion of the communication).
+    fn wait_tickets(&self, deps: &[u64]) -> Duration {
+        if deps.iter().all(|&d| d == 0) {
+            return Duration::ZERO;
+        }
+        let t0 = Instant::now();
+        let mut st = self.tickets.state.lock().unwrap();
+        let gen = st.gen;
+        loop {
+            if st.gen != gen
+                || deps
+                    .iter()
+                    .all(|&d| d == 0 || st.done.get(d as usize - 1).copied().unwrap_or(true))
+            {
+                return t0.elapsed();
+            }
+            st = self.tickets.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Sub-millisecond-accurate wait used to emulate link service time.
+fn virtual_wait(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if d >= Duration::from_micros(200) {
+        std::thread::sleep(d);
+        return;
+    }
+    let t0 = Instant::now();
+    while t0.elapsed() < d {
+        std::hint::spin_loop();
+        std::thread::yield_now();
+    }
 }
 
 enum Cmd {
-    Job(Box<dyn FnOnce() + Send + 'static>),
+    Job {
+        deps: Vec<u64>,
+        run: Box<dyn FnOnce() + Send + 'static>,
+    },
     Stop,
 }
 
 struct Worker {
     tx: Sender<Cmd>,
+    submitted: AtomicU64,
     handle: Option<JoinHandle<()>>,
 }
 
-/// A fabric of `N` virtual devices. Create with [`DeviceFabric::new`],
-/// hand the `Arc` to [`h2_runtime::Runtime::sharded`] (it implements
-/// [`ShardDispatch`]), run work, then collect an [`ExecReport`].
+/// A fabric of `N` virtual devices. Create with [`DeviceFabric::new`]
+/// (fork-join execution) or [`DeviceFabric::pipelined`] (ordered queues,
+/// prefetched transfers, double-buffered arenas), hand the `Arc` to
+/// [`h2_runtime::Runtime::sharded`] (it implements [`ShardDispatch`]), run
+/// work, then collect an [`ExecReport`].
 pub struct DeviceFabric {
     shared: Arc<Shared>,
     workers: Vec<Worker>,
+    copy_engine: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl DeviceFabric {
-    /// Spin up `devices` worker threads (one per virtual device).
+    /// Spin up `devices` worker threads in synchronous (fork-join) mode.
     pub fn new(devices: usize) -> Arc<Self> {
+        Self::with_config(devices, PipelineMode::Synchronous, LinkModel::default())
+    }
+
+    /// Spin up `devices` worker threads in pipelined mode.
+    pub fn pipelined(devices: usize) -> Arc<Self> {
+        Self::with_config(devices, PipelineMode::Pipelined, LinkModel::default())
+    }
+
+    /// Full-control constructor: execution mode plus the virtual link the
+    /// transfer stage emulates.
+    pub fn with_config(devices: usize, mode: PipelineMode, link: LinkModel) -> Arc<Self> {
         assert!(devices > 0, "at least one device");
+        let now = Instant::now();
         let shared = Arc::new(Shared {
             devices,
+            mode,
+            link: Mutex::new(link),
+            delay: Mutex::new(None),
             accounts: (0..devices)
                 .map(|_| Mutex::new(Account::default()))
                 .collect(),
             arenas: (0..devices).map(|_| Mutex::new(Arena::default())).collect(),
-            transfers: Mutex::new(Vec::new()),
-            epochs: Mutex::new(Vec::new()),
+            log: Mutex::new(EpochLog {
+                epochs: Vec::new(),
+                records: Vec::new(),
+                window_start: now,
+                run_start: now,
+            }),
+            tickets: TicketBoard {
+                state: Mutex::new(TicketState {
+                    gen: 0,
+                    done: Vec::new(),
+                    inflight: 0,
+                }),
+                cv: Condvar::new(),
+            },
+            progress: (0..devices)
+                .map(|_| Progress {
+                    done: Mutex::new(0),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            hints: Mutex::new(HashMap::new()),
+            panicked: Mutex::new(None),
+            copy: Mutex::new(CopyQueue {
+                heap: std::collections::BinaryHeap::new(),
+                shutdown: false,
+            }),
+            copy_cv: Condvar::new(),
         });
+        // The virtual copy engine: one thread servicing every prefetch by
+        // completion deadline (no per-transfer thread spawns).
+        let copy_engine = {
+            let sh = shared.clone();
+            std::thread::Builder::new()
+                .name("h2-copy-engine".to_string())
+                .spawn(move || loop {
+                    let q = sh.copy.lock().unwrap();
+                    let head = q.heap.peek().copied();
+                    match head {
+                        None => {
+                            if q.shutdown {
+                                return;
+                            }
+                            drop(sh.copy_cv.wait(q).unwrap());
+                        }
+                        Some(std::cmp::Reverse((deadline, gen, ticket))) => {
+                            let now = Instant::now();
+                            if deadline <= now {
+                                let mut q = q;
+                                q.heap.pop();
+                                drop(q);
+                                sh.complete_ticket(gen, ticket);
+                            } else {
+                                drop(sh.copy_cv.wait_timeout(q, deadline - now).unwrap().0);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn copy engine")
+        };
         let workers = (0..devices)
             .map(|dev| {
                 let (tx, rx) = channel::<Cmd>();
+                let sh = shared.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("h2-device-{dev}"))
                     .spawn(move || {
                         while let Ok(cmd) = rx.recv() {
                             match cmd {
-                                Cmd::Job(job) => job(),
+                                Cmd::Job { deps, run } => {
+                                    let stall = sh.wait_tickets(&deps);
+                                    let t0 = Instant::now();
+                                    let result =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                                    let busy = t0.elapsed();
+                                    {
+                                        let mut a = sh.accounts[dev].lock().unwrap();
+                                        a.busy_nanos += busy.as_nanos() as u64;
+                                        a.stall_nanos += stall.as_nanos() as u64;
+                                    }
+                                    if result.is_err() {
+                                        let mut p = sh.panicked.lock().unwrap();
+                                        if p.is_none() {
+                                            *p = Some(format!("device {dev} job panicked"));
+                                        }
+                                    }
+                                    let mut done = sh.progress[dev].done.lock().unwrap();
+                                    *done += 1;
+                                    sh.progress[dev].cv.notify_all();
+                                }
                                 Cmd::Stop => break,
                             }
                         }
@@ -126,59 +454,205 @@ impl DeviceFabric {
                     .expect("spawn device worker");
                 Worker {
                     tx,
+                    submitted: AtomicU64::new(0),
                     handle: Some(handle),
                 }
             })
             .collect();
-        Arc::new(DeviceFabric { shared, workers })
+        Arc::new(DeviceFabric {
+            shared,
+            workers,
+            copy_engine: Mutex::new(Some(copy_engine)),
+        })
     }
 
     pub fn devices(&self) -> usize {
         self.shared.devices
     }
 
-    /// Execute `jobs[d]` on device `d`'s worker thread and block until all
-    /// complete. Job wall time is credited to each device's busy counter.
-    pub fn run_jobs<'a>(&self, jobs: Vec<ShardJob<'a>>) {
-        assert!(jobs.len() <= self.shared.devices, "more jobs than devices");
-        let njobs = jobs.len();
-        let (done_tx, done_rx) = channel::<()>();
-        for (dev, job) in jobs.into_iter().enumerate() {
-            let shared = self.shared.clone();
-            let done = done_tx.clone();
-            let wrapped: ShardJob<'a> = Box::new(move || {
-                let t0 = Instant::now();
-                job();
-                let dt = t0.elapsed().as_nanos() as u64;
-                shared.accounts[dev].lock().unwrap().busy_nanos += dt;
-                let _ = done.send(());
-            });
-            // SAFETY: this thread blocks on `done_rx` below until every job
-            // has signalled completion, so all borrows captured by `job`
-            // strictly outlive its execution on the worker thread. This is
-            // the standard scoped-threadpool lifetime erasure.
-            let wrapped: Box<dyn FnOnce() + Send + 'static> =
-                unsafe { std::mem::transmute(wrapped) };
-            self.workers[dev]
-                .tx
-                .send(Cmd::Job(wrapped))
-                .expect("device worker alive");
+    pub fn mode(&self) -> PipelineMode {
+        self.shared.mode
+    }
+
+    /// Replace the virtual link model (affects subsequent transfers).
+    pub fn set_link(&self, link: LinkModel) {
+        *self.shared.link.lock().unwrap() = link;
+    }
+
+    /// Install (or clear) the injected per-transfer delay hook used by the
+    /// prefetch-ordering stress tests.
+    pub fn set_transfer_delay(&self, hook: Option<TransferDelay>) {
+        *self.shared.delay.lock().unwrap() = hook;
+    }
+
+    /// Submit `job` to device `dev`'s ordered queue without blocking. The
+    /// worker runs queue entries in FIFO order, waiting on the prefetch
+    /// tickets in `deps` first (wait time is accounted as stall).
+    ///
+    /// # Safety
+    ///
+    /// Every borrow captured by `job` must outlive its execution on the
+    /// worker thread: the caller must call [`DeviceFabric::flush`] before
+    /// the borrowed data is dropped or mutably re-aliased. This is the
+    /// standard scoped-threadpool lifetime erasure, with the scope-end
+    /// moved to the explicit flush.
+    pub unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) {
+        let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        self.workers[dev].submitted.fetch_add(1, Ordering::SeqCst);
+        self.workers[dev]
+            .tx
+            .send(Cmd::Job {
+                deps: deps.to_vec(),
+                run,
+            })
+            .expect("device worker alive");
+    }
+
+    /// Barrier: wait until every enqueued job has run, then propagate any
+    /// worker panic. Deliberately does **not** wait for in-flight virtual
+    /// copies — a compute-stream sync must not serialize against the copy
+    /// engine, or early-issued prefetches would lose their overlap; only
+    /// [`DeviceFabric::report`] and [`DeviceFabric::reset`] drain those.
+    pub fn flush(&self) {
+        for (dev, w) in self.workers.iter().enumerate() {
+            let target = w.submitted.load(Ordering::SeqCst);
+            let mut done = self.shared.progress[dev].done.lock().unwrap();
+            while *done < target {
+                done = self.shared.progress[dev].cv.wait(done).unwrap();
+            }
         }
-        // Drop the original sender so a panicking job (which unwinds past
-        // its `done.send`) closes the channel instead of deadlocking us:
-        // `recv` then errors and the panic propagates to the caller.
-        drop(done_tx);
-        for _ in 0..njobs {
-            done_rx
-                .recv()
-                .expect("a device job panicked on its worker thread");
+        if let Some(msg) = self.shared.panicked.lock().unwrap().take() {
+            panic!("a device job panicked on its worker thread: {msg}");
         }
     }
 
-    /// Record a cross-device transfer on the explicit queue.
+    /// Wait for every in-flight virtual copy to land.
+    fn drain_copies(&self) {
+        let mut st = self.shared.tickets.state.lock().unwrap();
+        while st.inflight > 0 {
+            st = self.shared.tickets.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Execute `jobs[d]` on device `d`'s worker thread and block until all
+    /// complete (the fork-join entry point; [`DeviceFabric::enqueue`] +
+    /// [`DeviceFabric::flush`] is the pipelined one). Job wall time is
+    /// credited to each device's busy counter.
+    pub fn run_jobs<'a>(&self, jobs: Vec<ShardJob<'a>>) {
+        assert!(jobs.len() <= self.shared.devices, "more jobs than devices");
+        for (dev, job) in jobs.into_iter().enumerate() {
+            // SAFETY: the flush below blocks until every job has completed,
+            // so all borrows strictly outlive their execution.
+            unsafe { self.enqueue(dev, &[], job) };
+        }
+        self.flush();
+    }
+
+    /// Issue a transfer as an asynchronous prefetch on the virtual copy
+    /// engine and return its completion ticket. The record is tagged with
+    /// the issuing epoch; the flight time is the link service time plus any
+    /// injected delay.
+    pub fn prefetch_transfer(&self, t: Transfer) -> u64 {
+        let service = self.service_time(&t);
+        let ticket = self.shared.alloc_ticket(service.is_zero());
+        self.shared.log_transfer(ticket, t, service, true);
+        if !service.is_zero() {
+            let gen = self.shared.tickets.state.lock().unwrap().gen;
+            let deadline = Instant::now() + service;
+            self.shared
+                .copy
+                .lock()
+                .unwrap()
+                .heap
+                .push(std::cmp::Reverse((deadline, gen, ticket)));
+            self.shared.copy_cv.notify_all();
+        }
+        ticket
+    }
+
+    /// Record a cross-device transfer on the explicit queue and service it
+    /// inline (synchronous semantics: the copy is exposed; the wait is
+    /// charged to the destination device as stall).
     pub fn record_transfer(&self, t: Transfer) {
-        let epoch = self.shared.epochs.lock().unwrap().len();
-        self.shared.transfers.lock().unwrap().push((epoch, t));
+        let service = self.service_time(&t);
+        self.shared.log_transfer(0, t, service, false);
+        if !service.is_zero() {
+            virtual_wait(service);
+            self.shared.accounts[t.dst].lock().unwrap().stall_nanos += service.as_nanos() as u64;
+        }
+    }
+
+    fn service_time(&self, t: &Transfer) -> Duration {
+        let base = self.shared.link.lock().unwrap().service(t);
+        let extra = self
+            .shared
+            .delay
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|h| h(t))
+            .unwrap_or(Duration::ZERO);
+        base + extra
+    }
+
+    /// Early prefetch of a keyed `Ω`/`Ψ` fetch descriptor: starts the copy
+    /// now, charges the destination's *standby* arena bank (it is the next
+    /// level's workspace), and parks the ticket for a later
+    /// [`DeviceFabric::claim_or_fetch`] with the same key.
+    pub fn hint_prefetch(&self, key: FetchKey, t: Transfer) {
+        let ticket = self.prefetch_transfer(t);
+        {
+            let mut a = self.shared.arenas[t.dst].lock().unwrap();
+            a.ahead += t.bytes as usize;
+            a.allocated_total += t.bytes as usize;
+            a.bump_peaks();
+        }
+        self.shared.hints.lock().unwrap().insert(key, ticket);
+    }
+
+    /// Claim a hinted prefetch (already recorded and arena-charged), or
+    /// issue a fresh one on a miss.
+    pub fn claim_or_fetch(&self, key: FetchKey, t: Transfer) -> u64 {
+        if let Some(ticket) = self.shared.hints.lock().unwrap().remove(&key) {
+            return ticket;
+        }
+        let ticket = self.prefetch_transfer(t);
+        self.arena_charge(t.dst, t.bytes as usize);
+        ticket
+    }
+
+    /// Drop unclaimed hints of one stream, removing their transfer records
+    /// (and best-effort un-charging the standby banks) so a stale hint
+    /// never double-counts bytes against the simulator.
+    pub fn cancel_hints(&self, stream: u8) {
+        let stale: Vec<(FetchKey, u64)> = {
+            let mut hints = self.shared.hints.lock().unwrap();
+            let keys: Vec<FetchKey> = hints
+                .keys()
+                .filter(|k| k.stream == stream)
+                .copied()
+                .collect();
+            keys.into_iter()
+                .map(|k| {
+                    let t = hints.remove(&k).unwrap();
+                    (k, t)
+                })
+                .collect()
+        };
+        if stale.is_empty() {
+            return;
+        }
+        let tickets: Vec<u64> = stale.iter().map(|&(_, t)| t).collect();
+        self.shared
+            .log
+            .lock()
+            .unwrap()
+            .records
+            .retain(|r| r.ticket == 0 || !tickets.contains(&r.ticket));
+        for (k, _) in &stale {
+            let mut a = self.shared.arenas[k.dst].lock().unwrap();
+            a.ahead = a.ahead.saturating_sub(k.bytes as usize);
+        }
     }
 
     pub fn record_flops(&self, dev: usize, flops: f64) {
@@ -193,100 +667,144 @@ impl DeviceFabric {
         self.shared.accounts[dev].lock().unwrap().launches += n;
     }
 
-    /// Charge workspace bytes to a device arena.
+    /// Charge workspace bytes to a device arena's current bank.
     pub fn arena_charge(&self, dev: usize, bytes: usize) {
         let mut a = self.shared.arenas[dev].lock().unwrap();
-        a.live += bytes;
+        a.cur += bytes;
         a.allocated_total += bytes;
-        a.peak_epoch = a.peak_epoch.max(a.live);
-        a.peak_total = a.peak_total.max(a.live);
+        a.bump_peaks();
+    }
+
+    /// Charge workspace bytes to a device arena's *standby* bank (the next
+    /// epoch's workspace, populated by the prefetch stage while the current
+    /// level computes). Rotated into the current bank at the next epoch
+    /// boundary.
+    pub fn arena_charge_ahead(&self, dev: usize, bytes: usize) {
+        let mut a = self.shared.arenas[dev].lock().unwrap();
+        a.ahead += bytes;
+        a.allocated_total += bytes;
+        a.bump_peaks();
     }
 
     /// Close the current epoch: snapshot and reset per-device counters,
-    /// release the arenas (per-level workspace), aggregate the epoch's
-    /// transfer traffic.
+    /// release the current arena banks and rotate the standby banks in
+    /// (double-buffered per-level workspace), and aggregate the epoch's
+    /// issued transfer traffic.
     pub fn close_epoch(&self, label: &str) {
-        let mut epochs = self.shared.epochs.lock().unwrap();
-        let idx = epochs.len();
+        let mut log = self.shared.log.lock().unwrap();
+        let idx = log.epochs.len();
+        let span = log.window_start.elapsed();
+        log.window_start = Instant::now();
+        let (mut bytes, mut msgs) = (0u64, 0usize);
+        let mut flight = vec![0u64; self.shared.devices];
+        for r in log.records.iter().filter(|r| r.epoch == idx) {
+            bytes += r.t.bytes;
+            msgs += 1;
+            if r.prefetched {
+                flight[r.t.dst] += r.flight_nanos;
+            }
+        }
         let per_device: Vec<DeviceEpochStats> = (0..self.shared.devices)
             .map(|dev| {
                 let mut a = self.shared.accounts[dev].lock().unwrap();
                 let mut ar = self.shared.arenas[dev].lock().unwrap();
+                let busy = Duration::from_nanos(a.busy_nanos);
+                let stall = Duration::from_nanos(a.stall_nanos);
                 let stats = DeviceEpochStats {
                     flops: a.flops,
                     gen_entries: a.gen_entries,
                     launches: a.launches,
-                    busy: Duration::from_nanos(a.busy_nanos),
+                    busy,
+                    stall,
+                    overlapped: Duration::from_nanos(flight[dev].saturating_sub(a.stall_nanos)),
+                    idle: span.saturating_sub(busy + stall),
                     arena_peak: ar.peak_epoch,
                 };
                 *a = Account::default();
-                ar.live = 0;
-                ar.peak_epoch = 0;
+                ar.cur = ar.ahead;
+                ar.ahead = 0;
+                ar.peak_epoch = ar.cur;
                 stats
             })
             .collect();
-        let transfers = self.shared.transfers.lock().unwrap();
-        let (mut bytes, mut msgs) = (0u64, 0usize);
-        for (e, t) in transfers.iter() {
-            if *e == idx {
-                bytes += t.bytes;
-                msgs += 1;
-            }
-        }
-        epochs.push(Epoch {
+        log.epochs.push(Epoch {
             label: label.to_string(),
             per_device,
             comm_bytes: bytes,
             comm_messages: msgs,
+            span,
         });
     }
 
     /// Whether any counter has accumulated since the last epoch boundary.
     fn has_open_work(&self) -> bool {
-        let idx = self.shared.epochs.lock().unwrap().len();
-        if self
-            .shared
-            .transfers
-            .lock()
-            .unwrap()
-            .iter()
-            .any(|(e, _)| *e == idx)
         {
-            return true;
+            let log = self.shared.log.lock().unwrap();
+            let idx = log.epochs.len();
+            if log.records.iter().any(|r| r.epoch == idx) {
+                return true;
+            }
         }
         (0..self.shared.devices).any(|dev| {
             let a = self.shared.accounts[dev].lock().unwrap();
-            a.flops > 0.0 || a.gen_entries > 0.0 || a.launches > 0 || a.busy_nanos > 0
+            a.flops > 0.0
+                || a.gen_entries > 0.0
+                || a.launches > 0
+                || a.busy_nanos > 0
+                || a.stall_nanos > 0
         })
     }
 
     /// Collect everything recorded so far into a report, closing a trailing
-    /// epoch under `tail_label` if work is pending.
+    /// epoch under `tail_label` if work is pending. Flushes first so no job
+    /// or copy is still in flight.
     pub fn report(&self, tail_label: &str) -> ExecReport {
+        self.flush();
+        self.drain_copies();
         if self.has_open_work() {
             self.close_epoch(tail_label);
         }
-        let epochs = self.shared.epochs.lock().unwrap().clone();
-        let transfers = self.shared.transfers.lock().unwrap().clone();
+        let log = self.shared.log.lock().unwrap();
+        let epochs = log.epochs.clone();
+        let transfers = log.records.iter().map(|r| (r.epoch, r.t)).collect();
+        let wall = log.run_start.elapsed();
+        drop(log);
         let arena_peaks = (0..self.shared.devices)
             .map(|dev| self.shared.arenas[dev].lock().unwrap().peak_total)
             .collect();
         ExecReport {
             devices: self.shared.devices,
+            mode: self.shared.mode,
             epochs,
             transfers,
             arena_peaks,
+            wall,
         }
     }
 
-    /// Clear all accounting (reuse the fabric for another run).
+    /// Clear all accounting (reuse the fabric for another run). Flushes and
+    /// invalidates outstanding prefetch tickets first.
     pub fn reset(&self) {
+        self.flush();
+        self.drain_copies();
         for dev in 0..self.shared.devices {
             *self.shared.accounts[dev].lock().unwrap() = Account::default();
             *self.shared.arenas[dev].lock().unwrap() = Arena::default();
+            self.workers[dev].submitted.store(0, Ordering::SeqCst);
+            *self.shared.progress[dev].done.lock().unwrap() = 0;
         }
-        self.shared.transfers.lock().unwrap().clear();
-        self.shared.epochs.lock().unwrap().clear();
+        {
+            let mut st = self.shared.tickets.state.lock().unwrap();
+            st.gen += 1;
+            st.done.clear();
+            st.inflight = 0;
+        }
+        self.shared.hints.lock().unwrap().clear();
+        let mut log = self.shared.log.lock().unwrap();
+        log.epochs.clear();
+        log.records.clear();
+        log.window_start = Instant::now();
+        log.run_start = log.window_start;
     }
 }
 
@@ -299,6 +817,11 @@ impl Drop for DeviceFabric {
             if let Some(h) = w.handle.take() {
                 let _ = h.join();
             }
+        }
+        self.shared.copy.lock().unwrap().shutdown = true;
+        self.shared.copy_cv.notify_all();
+        if let Some(h) = self.copy_engine.lock().unwrap().take() {
+            let _ = h.join();
         }
     }
 }
@@ -335,20 +858,53 @@ impl ShardDispatch for DeviceFabric {
     fn epoch(&self, label: &str) {
         self.close_epoch(label)
     }
+
+    fn mode(&self) -> PipelineMode {
+        DeviceFabric::mode(self)
+    }
+
+    fn prefetch(&self, t: Transfer) -> u64 {
+        self.prefetch_transfer(t)
+    }
+
+    unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) {
+        // SAFETY: forwarded contract — the caller flushes before borrows end.
+        unsafe { DeviceFabric::enqueue(self, dev, deps, job) }
+    }
+
+    fn flush(&self) {
+        DeviceFabric::flush(self)
+    }
+
+    fn hint_prefetch(&self, key: FetchKey, t: Transfer) {
+        DeviceFabric::hint_prefetch(self, key, t)
+    }
+
+    fn claim_or_fetch(&self, key: FetchKey, t: Transfer) -> u64 {
+        DeviceFabric::claim_or_fetch(self, key, t)
+    }
+
+    fn cancel_hints(&self, stream: u8) {
+        DeviceFabric::cancel_hints(self, stream)
+    }
 }
 
 /// Everything a sharded run recorded: per-epoch per-device timing and
-/// modeled work, the full transfer queue, arena peaks. The measured totals
-/// are validated against [`h2_runtime::simulate`] by
+/// modeled work, the full transfer queue, arena peaks, mode and wall time.
+/// The measured totals are validated against [`h2_runtime::simulate`] by
 /// [`crate::compare_with_simulator`].
 #[derive(Clone, Debug)]
 pub struct ExecReport {
     pub devices: usize,
+    /// Execution discipline the run used (affects the makespan projection).
+    pub mode: PipelineMode,
     pub epochs: Vec<Epoch>,
-    /// `(epoch index, transfer)` in queue order.
+    /// `(issuing epoch index, transfer)` in queue order.
     pub transfers: Vec<(usize, Transfer)>,
-    /// Per-device peak arena bytes over the whole run.
+    /// Per-device peak arena bytes over the whole run (both banks).
     pub arena_peaks: Vec<usize>,
+    /// Wall-clock of the whole accounting scope (reset to report).
+    pub wall: Duration,
 }
 
 impl ExecReport {
@@ -401,16 +957,16 @@ impl ExecReport {
             .sum()
     }
 
-    /// Measured wall-clock makespan: epochs are sequential, devices within
-    /// an epoch run concurrently, so the makespan is the sum over epochs of
-    /// the busiest device.
+    /// Measured makespan under the epoch schedule: epochs are sequential,
+    /// devices within an epoch run concurrently, so the makespan is the sum
+    /// over epochs of the busiest device's busy + exposed-stall time.
     pub fn measured_makespan(&self) -> Duration {
         self.epochs
             .iter()
             .map(|e| {
                 e.per_device
                     .iter()
-                    .map(|d| d.busy)
+                    .map(|d| d.busy + d.stall)
                     .max()
                     .unwrap_or_default()
             })
@@ -428,10 +984,42 @@ impl ExecReport {
         out
     }
 
-    /// Project the *measured* counts through a [`DeviceModel`] exactly the
-    /// way the simulator projects a `LevelSpec`: per epoch, the busiest
-    /// device's modeled compute time plus serialized communication plus
-    /// per-device launch overhead; epochs are sequential.
+    /// Total exposed transfer-wait time across devices and epochs.
+    pub fn stall_total(&self) -> Duration {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.per_device.iter())
+            .map(|d| d.stall)
+            .sum()
+    }
+
+    /// Total hidden (overlapped) transfer flight time.
+    pub fn overlapped_total(&self) -> Duration {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.per_device.iter())
+            .map(|d| d.overlapped)
+            .sum()
+    }
+
+    /// Total idle time across devices and epochs.
+    pub fn idle_total(&self) -> Duration {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.per_device.iter())
+            .map(|d| d.idle)
+            .sum()
+    }
+
+    /// Project the *measured* counts through a [`DeviceModel`] the way the
+    /// simulator projects a `LevelSpec`, honoring the run's execution
+    /// discipline. Per epoch: the busiest device's modeled compute time,
+    /// communication, and per-device launch overhead — with communication
+    /// **serialized after compute** for a synchronous run (every copy was
+    /// exposed) but **overlapped with compute** for a pipelined run
+    /// (transfers were issued ahead on the copy engine, so only the excess
+    /// over the epoch's compute can extend the critical path). Epochs are
+    /// sequential.
     pub fn modeled_makespan(&self, model: &DeviceModel) -> f64 {
         self.epochs
             .iter()
@@ -444,7 +1032,11 @@ impl ExecReport {
                 let comm = e.comm_bytes as f64 / model.link_bandwidth
                     + e.comm_messages as f64 * model.link_latency;
                 let launches_max = e.per_device.iter().map(|d| d.launches).max().unwrap_or(0);
-                compute_max + comm + launches_max as f64 * model.launch_overhead
+                let body = match self.mode {
+                    PipelineMode::Synchronous => compute_max + comm,
+                    PipelineMode::Pipelined => compute_max.max(comm),
+                };
+                body + launches_max as f64 * model.launch_overhead
             })
             .sum()
     }
@@ -510,6 +1102,66 @@ mod tests {
     }
 
     #[test]
+    fn queue_preserves_per_device_order() {
+        let fabric = DeviceFabric::pipelined(2);
+        let seq = Mutex::new(Vec::new());
+        let seq_ref = &seq;
+        for i in 0..8 {
+            // SAFETY: flushed below before `seq` is read or dropped.
+            unsafe {
+                fabric.enqueue(
+                    i % 2,
+                    &[],
+                    Box::new(move || seq_ref.lock().unwrap().push(i)) as ShardJob<'_>,
+                );
+            }
+        }
+        fabric.flush();
+        let got = seq.into_inner().unwrap();
+        let dev0: Vec<usize> = got.iter().copied().filter(|i| i % 2 == 0).collect();
+        let dev1: Vec<usize> = got.iter().copied().filter(|i| i % 2 == 1).collect();
+        assert_eq!(dev0, vec![0, 2, 4, 6], "device 0 must run in FIFO order");
+        assert_eq!(dev1, vec![1, 3, 5, 7], "device 1 must run in FIFO order");
+    }
+
+    #[test]
+    fn prefetch_tickets_gate_dependent_jobs() {
+        let fabric = DeviceFabric::pipelined(1);
+        fabric.set_transfer_delay(Some(Arc::new(|_| Duration::from_millis(20))));
+        let t = Transfer {
+            src: 0,
+            dst: 0,
+            bytes: 64,
+            kind: TransferKind::OmegaFetch,
+        };
+        let ticket = fabric.prefetch_transfer(t);
+        assert_ne!(ticket, 0);
+        let seen = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        // SAFETY: flushed below.
+        unsafe {
+            fabric.enqueue(
+                0,
+                &[ticket],
+                Box::new(|| {
+                    seen.store(1, Ordering::SeqCst);
+                }) as ShardJob<'_>,
+            );
+        }
+        fabric.flush();
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(15),
+            "the job must have waited for the delayed copy"
+        );
+        let rep = fabric.report("tail");
+        assert!(
+            rep.stall_total() >= Duration::from_millis(10),
+            "the exposed wait must be accounted as stall"
+        );
+    }
+
+    #[test]
     fn epochs_snapshot_and_reset_counters() {
         let fabric = DeviceFabric::new(2);
         fabric.record_flops(0, 100.0);
@@ -541,6 +1193,67 @@ mod tests {
     }
 
     #[test]
+    fn double_buffered_arena_rotates_at_epoch_boundary() {
+        let fabric = DeviceFabric::new(1);
+        fabric.arena_charge(0, 100);
+        fabric.arena_charge_ahead(0, 40);
+        fabric.record_flops(0, 1.0);
+        fabric.close_epoch("lvl0");
+        // The standby bank became the current bank: charging on top of it
+        // peaks at 40 + 60, and the epoch-0 peak saw both banks (140).
+        fabric.arena_charge(0, 60);
+        fabric.record_flops(0, 1.0);
+        let rep = fabric.report("lvl1");
+        assert_eq!(rep.epochs[0].per_device[0].arena_peak, 140);
+        assert_eq!(rep.epochs[1].per_device[0].arena_peak, 100);
+        assert_eq!(rep.arena_peaks[0], 140);
+    }
+
+    #[test]
+    fn hint_claim_and_cancel_keep_byte_totals_exact() {
+        let fabric = DeviceFabric::pipelined(2);
+        let key = FetchKey {
+            stream: 0,
+            dst: 1,
+            partner: 3,
+            bytes: 256,
+        };
+        let t = Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 256,
+            kind: TransferKind::OmegaFetch,
+        };
+        fabric.hint_prefetch(key, t);
+        // Claim consumes the hint without recording a second transfer.
+        let ticket = fabric.claim_or_fetch(key, t);
+        assert_ne!(ticket, 0);
+        fabric.record_flops(0, 1.0);
+        let rep = fabric.report("tail");
+        assert_eq!(rep.total_comm_bytes(), 256, "claimed hint counts once");
+        // A stale hint is cancelled and leaves no bytes behind.
+        fabric.reset();
+        fabric.hint_prefetch(
+            FetchKey {
+                stream: 1,
+                dst: 0,
+                partner: 0,
+                bytes: 64,
+            },
+            Transfer {
+                src: 1,
+                dst: 0,
+                bytes: 64,
+                kind: TransferKind::OmegaFetch,
+            },
+        );
+        fabric.cancel_hints(1);
+        fabric.record_flops(0, 1.0);
+        let rep = fabric.report("tail");
+        assert_eq!(rep.total_comm_bytes(), 0, "cancelled hint leaves nothing");
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let fabric = DeviceFabric::new(2);
         fabric.record_flops(0, 5.0);
@@ -567,5 +1280,37 @@ mod tests {
         };
         assert!((rep.modeled_makespan(&model) - 2.0).abs() < 1e-12);
         assert!((rep.modeled_compute_total(&model) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_projection_overlaps_comm_with_compute() {
+        let model = DeviceModel {
+            flops_per_sec: 1.0e10,
+            link_bandwidth: 1.0e9,
+            link_latency: 0.0,
+            launch_overhead: 0.0,
+            entry_cost: 20.0,
+        };
+        let mk = |fabric: Arc<DeviceFabric>| {
+            fabric.record_flops(0, 1.0e10); // 1 s of compute
+            let t = Transfer {
+                src: 1,
+                dst: 0,
+                bytes: 5e8 as u64, // 0.5 s on the modeled link
+                kind: TransferKind::OmegaFetch,
+            };
+            match fabric.mode() {
+                PipelineMode::Synchronous => fabric.record_transfer(t),
+                PipelineMode::Pipelined => {
+                    fabric.prefetch_transfer(t);
+                }
+            }
+            fabric.close_epoch("lvl");
+            fabric.report("tail").modeled_makespan(&model)
+        };
+        let sync = mk(DeviceFabric::new(2));
+        let pipe = mk(DeviceFabric::pipelined(2));
+        assert!((sync - 1.5).abs() < 1e-12, "serialized: 1 s + 0.5 s");
+        assert!((pipe - 1.0).abs() < 1e-12, "overlapped: max(1 s, 0.5 s)");
     }
 }

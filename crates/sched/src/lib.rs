@@ -44,6 +44,40 @@
 //! identical per-entry arithmetic regardless of the device count, so a
 //! 7-device construction equals the single-device one exactly — the
 //! property the equivalence tests in `tests/equivalence.rs` pin down.
+//!
+//! ## Pipelined execution
+//!
+//! [`DeviceFabric::pipelined`] switches the fabric from fork-join-per-batch
+//! to an overlapped schedule built from three pieces:
+//!
+//! 1. **Ordered per-device queues** — [`DeviceFabric::enqueue`] submits a
+//!    job without blocking and [`DeviceFabric::flush`] is the only barrier.
+//!    `batchedBSRGemm` chains all `Csp` slot launches per device in one
+//!    queued job (per-row accumulation order unchanged ⇒ bit-identical
+//!    results, `Csp − 1` global joins removed), and the matvec's coupling
+//!    phase runs every level in one flush scope, so a device finishing a
+//!    narrow level immediately starts the next instead of idling at a
+//!    per-level join.
+//! 2. **Asynchronous prefetch stage** — transfers are issued as
+//!    descriptors on a virtual copy engine ([`DeviceFabric::prefetch_transfer`])
+//!    and compute jobs are gated on completion tickets; the construction
+//!    level loop *hints* the next level's `Ω_b`/`Ψ_b` fetches as soon as
+//!    the current level's IDs fix the block sizes, so the copies run behind
+//!    `batchedGen`/upsweep compute. Synchronous mode services the same
+//!    descriptors inline (exposed).
+//! 3. **Double-buffered arenas** — prefetch-stage charges land in a standby
+//!    bank that rotates in at the epoch boundary, modeling level *l+1*'s
+//!    workspace being marshaled while level *l*'s is still live.
+//!
+//! Accounting is **issue-epoch tagged** (transfers and flops are charged to
+//! the epoch that issued them, under a single lock), per-device stats grow
+//! busy/stall/overlapped/idle durations, and
+//! [`ExecReport::modeled_makespan`] projects the measured counters with
+//! communication overlapped against compute for pipelined runs — which is
+//! what tightens the simulator band from 3x to 2x. The pipeline tests in
+//! `tests/pipeline.rs` assert bit-identical outputs against the synchronous
+//! schedule in both symmetry regimes, including under an injected
+//! transfer-delay hook that randomizes prefetch completion order.
 
 pub mod exec;
 pub mod fabric;
@@ -52,6 +86,6 @@ pub mod matvec;
 pub use exec::{
     compare_with_simulator, shard_construct, shard_construct_unsym, sharded_runtime, SimComparison,
 };
-pub use fabric::{DeviceEpochStats, DeviceFabric, Epoch, ExecReport};
-pub use h2_runtime::{Transfer, TransferKind};
+pub use fabric::{DeviceEpochStats, DeviceFabric, Epoch, ExecReport, LinkModel, TransferDelay};
+pub use h2_runtime::{PipelineMode, Transfer, TransferKind};
 pub use matvec::{shard_matvec, shard_matvec_with_report};

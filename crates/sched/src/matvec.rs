@@ -18,6 +18,30 @@
 //! * **leaves** — leaf row ranges are disjoint, so the per-device partial
 //!   outputs assemble into `y` without a reduction.
 //!
+//! ## Pipelined schedule
+//!
+//! On a [`h2_runtime::PipelineMode::Pipelined`] fabric the same arithmetic
+//! runs under an overlapped schedule:
+//!
+//! * upsweep child-gather descriptors are **issued one level ahead** (their
+//!   predicate depends only on basis shapes), so the virtual copies for
+//!   level *l* run behind level *l+1*'s compute; the level-*l* jobs are
+//!   gated on the tickets instead of a synchronous service;
+//! * the **coupling products of all levels run in one flush scope**: every
+//!   level's `x̂_t` fetches are prefetched up front, per-device jobs for
+//!   every level are enqueued on the ordered queues, and a single barrier
+//!   closes the phase — a device that finishes level *l* immediately starts
+//!   level *l+1* instead of idling at a per-level join. The phase closes as
+//!   one epoch, so the makespan projection sees `max_dev Σ_levels` instead
+//!   of `Σ_levels max_dev`;
+//! * downsweep partial-sum descriptors are data-dependent (a parent's `ŷ`
+//!   may be empty), so they are issued at their own level — still as
+//!   prefetches the level's jobs are gated on.
+//!
+//! Per-device queue order plus per-level job granularity keeps the
+//! floating-point accumulation order identical to the synchronous schedule,
+//! so outputs are bit-identical — the property the pipeline tests assert.
+//!
 //! The global input `x` (and the stored blocks) are treated as
 //! device-resident, consistent with the simulator treating the generator
 //! and initial sample scatter as free — only `x̂`/`ŷ` movement counts.
@@ -26,18 +50,21 @@ use crate::fabric::{DeviceFabric, ExecReport};
 use h2_dense::Mat;
 use h2_matrix::H2Matrix;
 use h2_runtime::multidev::cost;
-use h2_runtime::{chunk_bounds, owner, ShardJob, Transfer, TransferKind};
+use h2_runtime::{chunk_bounds, owner, PipelineMode, ShardJob, Transfer, TransferKind};
 use std::collections::HashSet;
 
 /// `y = K x` (or `Kᵀ x`) executed sharded on the fabric, in tree-permuted
 /// coordinates. Numerically identical to [`H2Matrix::apply_permuted`] /
 /// `apply_transpose_permuted` — the same [`h2_matrix::ApplyPhases`] kernels
-/// run, only the scheduling differs.
+/// run, only the scheduling differs (synchronous fork-join or the
+/// pipelined overlap described in the module docs, depending on the
+/// fabric's mode).
 pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bool) -> Mat {
     let n = h2.n();
     assert_eq!(x.rows(), n, "shard_matvec: x rows");
     let d = x.cols();
     let devices = fabric.devices();
+    let pipelined = fabric.mode() == PipelineMode::Pipelined;
     let ph = h2.apply_phases(transpose);
     let in_basis = ph.in_basis();
     let out_basis = ph.out_basis();
@@ -45,8 +72,55 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
     let nnodes = tree.nodes.len();
     let leaf_level = tree.leaf_level();
 
+    // Child-gather descriptors of one upsweep level (predicate is basis
+    // shapes only, so these can be issued a level ahead).
+    let upsweep_transfers = |l: usize| -> Vec<Transfer> {
+        let mut out = Vec::new();
+        if l >= leaf_level {
+            return out;
+        }
+        let ids: Vec<usize> = tree.level(l).collect();
+        let nl = ids.len();
+        let ncl = tree.level_len(l + 1);
+        for (local, &id) in ids.iter().enumerate() {
+            if in_basis[id].cols() == 0 {
+                continue;
+            }
+            let dev = owner(local, nl, devices);
+            let (c1, c2) = tree.nodes[id].children.unwrap();
+            for c in [c1, c2] {
+                let cdev = owner(tree.local_index(c), ncl, devices);
+                if cdev != dev && in_basis[c].cols() > 0 {
+                    out.push(Transfer {
+                        src: cdev,
+                        dst: dev,
+                        bytes: cost::fetch_bytes(in_basis[c].cols(), d),
+                        kind: TransferKind::ChildGather,
+                    });
+                }
+            }
+        }
+        out
+    };
+
+    // Issue a transfer list as prefetches, grouping the tickets by
+    // destination device so only the consuming device's queue gates on
+    // each copy.
+    let prefetch_by_dev = |ts: Vec<Transfer>| -> Vec<Vec<u64>> {
+        let mut by = vec![Vec::new(); devices];
+        for t in ts {
+            let tk = fabric.prefetch_transfer(t);
+            if tk != 0 {
+                by[t.dst].push(tk);
+            }
+        }
+        by
+    };
+
     // ---- upward pass: x̂_τ, leaf level first ----
     let mut xhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+    // Tickets pre-issued for the next level's gathers (pipelined only).
+    let mut ahead: Option<(usize, Vec<Vec<u64>>)> = None;
     for l in (0..tree.nlevels()).rev() {
         let ids: Vec<usize> = tree.level(l).collect();
         let nl = ids.len();
@@ -61,44 +135,45 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
             let dev = owner(local, nl, devices);
             fabric.record_flops(dev, cost::upsweep_flops(v.rows(), v.cols(), d));
             fabric.arena_charge(dev, v.cols() * d * 8);
-            if l < leaf_level {
-                let (c1, c2) = tree.nodes[id].children.unwrap();
-                let ncl = tree.level_len(l + 1);
-                for c in [c1, c2] {
-                    let cdev = owner(tree.local_index(c), ncl, devices);
-                    if cdev != dev && in_basis[c].cols() > 0 {
-                        fabric.record_transfer(Transfer {
-                            src: cdev,
-                            dst: dev,
-                            bytes: cost::fetch_bytes(in_basis[c].cols(), d),
-                            kind: TransferKind::ChildGather,
-                        });
-                    }
-                }
-            }
         }
+        let tickets: Vec<Vec<u64>> = if pipelined {
+            match ahead.take() {
+                Some((al, tk)) if al == l => tk,
+                _ => prefetch_by_dev(upsweep_transfers(l)),
+            }
+        } else {
+            for t in upsweep_transfers(l) {
+                fabric.record_transfer(t);
+            }
+            vec![Vec::new(); devices]
+        };
         if !any {
             continue;
         }
         let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
         {
             let (xhat_ref, ids_ref, ph_ref) = (&xhat, &ids, &ph);
-            let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
             for (dev, slot) in results.iter_mut().enumerate() {
                 let (b, e) = (bounds[dev], bounds[dev + 1]);
                 if e > b {
                     fabric.record_launches(dev, 1);
                 }
-                jobs.push(Box::new(move || {
+                let job: ShardJob<'_> = Box::new(move || {
                     for local in b..e {
                         let id = ids_ref[local];
                         if let Some(m) = ph_ref.upsweep_node(id, x.rf(), xhat_ref) {
                             slot.push((id, m));
                         }
                     }
-                }));
+                });
+                // SAFETY: flushed below before `results`/`xhat` borrows end.
+                unsafe { fabric.enqueue(dev, &tickets[dev], job) };
             }
-            fabric.run_jobs(jobs);
+            // Issue the next level's gathers while this level computes.
+            if pipelined && l > 0 {
+                ahead = Some((l - 1, prefetch_by_dev(upsweep_transfers(l - 1))));
+            }
+            fabric.flush();
         }
         for (id, m) in results.into_iter().flatten() {
             xhat[id] = m;
@@ -108,66 +183,177 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
 
     // ---- coupling products per level: ŷ_s = Σ_t op(B) x̂_t ----
     let mut yhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
-    for l in 0..tree.nlevels() {
-        let ids: Vec<usize> = tree.level(l).collect();
-        let nl = ids.len();
-        let bounds = chunk_bounds(nl, devices);
-        let mut any = false;
-        let mut fetched: HashSet<(usize, usize)> = HashSet::new();
-        for (local, &s) in ids.iter().enumerate() {
-            if h2.partition.far_of[s].is_empty() {
-                continue;
-            }
-            any = true;
-            let dev = owner(local, nl, devices);
-            let ks = out_basis[s].cols();
-            fabric.arena_charge(dev, ks * d * 8);
-            for &t in &h2.partition.far_of[s] {
-                let kt = in_basis[t].cols();
-                if ks == 0 || kt == 0 {
+    if pipelined {
+        // All levels in one flush scope: prefetch every level's fetches up
+        // front, enqueue every level's per-device jobs on the ordered
+        // queues, barrier once. Levels only read the completed `xhat`, and
+        // each level's output nodes are disjoint, so per-device FIFO order
+        // reproduces the synchronous arithmetic exactly.
+        struct LevelPlan {
+            ids: Vec<usize>,
+            bounds: Vec<usize>,
+            /// Fetch tickets grouped by destination device.
+            tickets: Vec<Vec<u64>>,
+            /// Per-device workspace bytes of this level (outputs + fetches).
+            arena: Vec<usize>,
+        }
+        let mut plans: Vec<LevelPlan> = Vec::new();
+        for l in 0..tree.nlevels() {
+            let ids: Vec<usize> = tree.level(l).collect();
+            let nl = ids.len();
+            let bounds = chunk_bounds(nl, devices);
+            let mut any = false;
+            let mut fetched: HashSet<(usize, usize)> = HashSet::new();
+            let mut tickets: Vec<Vec<u64>> = vec![Vec::new(); devices];
+            let mut arena = vec![0usize; devices];
+            for (local, &s) in ids.iter().enumerate() {
+                if h2.partition.far_of[s].is_empty() {
                     continue;
                 }
-                fabric.record_flops(dev, cost::bsr_flops(ks, kt, d));
-                let tdev = owner(tree.local_index(t), nl, devices);
-                if tdev != dev && fetched.insert((dev, t)) {
-                    let bytes = cost::fetch_bytes(kt, d);
-                    fabric.record_transfer(Transfer {
-                        src: tdev,
-                        dst: dev,
-                        bytes,
-                        kind: TransferKind::OmegaFetch,
-                    });
-                    fabric.arena_charge(dev, bytes as usize);
-                }
-            }
-        }
-        if !any {
-            continue;
-        }
-        let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
-        {
-            let (xhat_ref, ids_ref, ph_ref) = (&xhat, &ids, &ph);
-            let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
-            for (dev, slot) in results.iter_mut().enumerate() {
-                let (b, e) = (bounds[dev], bounds[dev + 1]);
-                if e > b {
-                    fabric.record_launches(dev, 1);
-                }
-                jobs.push(Box::new(move || {
-                    for local in b..e {
-                        let s = ids_ref[local];
-                        if let Some(m) = ph_ref.coupling_node(s, xhat_ref, d) {
-                            slot.push((s, m));
-                        }
+                any = true;
+                let dev = owner(local, nl, devices);
+                let ks = out_basis[s].cols();
+                arena[dev] += ks * d * 8;
+                for &t in &h2.partition.far_of[s] {
+                    let kt = in_basis[t].cols();
+                    if ks == 0 || kt == 0 {
+                        continue;
                     }
-                }));
+                    fabric.record_flops(dev, cost::bsr_flops(ks, kt, d));
+                    let tdev = owner(tree.local_index(t), nl, devices);
+                    if tdev != dev && fetched.insert((dev, t)) {
+                        let bytes = cost::fetch_bytes(kt, d);
+                        let tk = fabric.prefetch_transfer(Transfer {
+                            src: tdev,
+                            dst: dev,
+                            bytes,
+                            kind: TransferKind::OmegaFetch,
+                        });
+                        if tk != 0 {
+                            tickets[dev].push(tk);
+                        }
+                        arena[dev] += bytes as usize;
+                    }
+                }
             }
-            fabric.run_jobs(jobs);
+            if any {
+                plans.push(LevelPlan {
+                    ids,
+                    bounds,
+                    tickets,
+                    arena,
+                });
+            }
         }
-        for (s, m) in results.into_iter().flatten() {
-            yhat[s] = m;
+        // Double-buffered workspace discipline across the merged phase: a
+        // device's level-l workspace is dead once its level-l job drains,
+        // while level l+1's is already marshaled — so the live peak per
+        // device is the largest *adjacent pair* of level workspaces, not
+        // the sum over all levels.
+        for dev in 0..devices {
+            let peak = (0..plans.len())
+                .map(|i| plans[i].arena[dev] + plans.get(i + 1).map(|p| p.arena[dev]).unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            if peak > 0 {
+                fabric.arena_charge(dev, peak);
+            }
         }
-        fabric.close_epoch(&format!("matvec coupling L{l}"));
+        let mut results: Vec<Vec<Vec<(usize, Mat)>>> = plans
+            .iter()
+            .map(|_| (0..devices).map(|_| Vec::new()).collect())
+            .collect();
+        {
+            let (xhat_ref, ph_ref) = (&xhat, &ph);
+            for (plan, res) in plans.iter().zip(results.iter_mut()) {
+                for (dev, slot) in res.iter_mut().enumerate() {
+                    let (b, e) = (plan.bounds[dev], plan.bounds[dev + 1]);
+                    if e > b {
+                        fabric.record_launches(dev, 1);
+                    }
+                    let ids_ref = &plan.ids;
+                    let job: ShardJob<'_> = Box::new(move || {
+                        for local in b..e {
+                            let s = ids_ref[local];
+                            if let Some(m) = ph_ref.coupling_node(s, xhat_ref, d) {
+                                slot.push((s, m));
+                            }
+                        }
+                    });
+                    // SAFETY: flushed below before `results`/`plans` drop.
+                    unsafe { fabric.enqueue(dev, &plan.tickets[dev], job) };
+                }
+            }
+            fabric.flush();
+        }
+        for res in results {
+            for (s, m) in res.into_iter().flatten() {
+                yhat[s] = m;
+            }
+        }
+        fabric.close_epoch("matvec coupling (overlapped)");
+    } else {
+        for l in 0..tree.nlevels() {
+            let ids: Vec<usize> = tree.level(l).collect();
+            let nl = ids.len();
+            let bounds = chunk_bounds(nl, devices);
+            let mut any = false;
+            let mut fetched: HashSet<(usize, usize)> = HashSet::new();
+            for (local, &s) in ids.iter().enumerate() {
+                if h2.partition.far_of[s].is_empty() {
+                    continue;
+                }
+                any = true;
+                let dev = owner(local, nl, devices);
+                let ks = out_basis[s].cols();
+                fabric.arena_charge(dev, ks * d * 8);
+                for &t in &h2.partition.far_of[s] {
+                    let kt = in_basis[t].cols();
+                    if ks == 0 || kt == 0 {
+                        continue;
+                    }
+                    fabric.record_flops(dev, cost::bsr_flops(ks, kt, d));
+                    let tdev = owner(tree.local_index(t), nl, devices);
+                    if tdev != dev && fetched.insert((dev, t)) {
+                        let bytes = cost::fetch_bytes(kt, d);
+                        fabric.record_transfer(Transfer {
+                            src: tdev,
+                            dst: dev,
+                            bytes,
+                            kind: TransferKind::OmegaFetch,
+                        });
+                        fabric.arena_charge(dev, bytes as usize);
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
+            {
+                let (xhat_ref, ids_ref, ph_ref) = (&xhat, &ids, &ph);
+                let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
+                for (dev, slot) in results.iter_mut().enumerate() {
+                    let (b, e) = (bounds[dev], bounds[dev + 1]);
+                    if e > b {
+                        fabric.record_launches(dev, 1);
+                    }
+                    jobs.push(Box::new(move || {
+                        for local in b..e {
+                            let s = ids_ref[local];
+                            if let Some(m) = ph_ref.coupling_node(s, xhat_ref, d) {
+                                slot.push((s, m));
+                            }
+                        }
+                    }));
+                }
+                fabric.run_jobs(jobs);
+            }
+            for (s, m) in results.into_iter().flatten() {
+                yhat[s] = m;
+            }
+            fabric.close_epoch(&format!("matvec coupling L{l}"));
+        }
     }
 
     // ---- downward pass: children read the parent's ŷ partial sum ----
@@ -177,6 +363,7 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
         let np = tree.level_len(l);
         let bounds = chunk_bounds(nl, devices);
         let mut any = false;
+        let mut tickets: Vec<Vec<u64>> = vec![Vec::new(); devices];
         for (local, &child) in ids.iter().enumerate() {
             let Some(parent) = tree.nodes[child].parent else {
                 continue;
@@ -193,12 +380,23 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
             fabric.record_flops(dev, cost::upsweep_flops(out_basis[child].cols(), kp, d));
             let pdev = owner(tree.local_index(parent), np, devices);
             if pdev != dev {
-                fabric.record_transfer(Transfer {
+                let t = Transfer {
                     src: pdev,
                     dst: dev,
                     bytes: cost::fetch_bytes(kp, d),
                     kind: TransferKind::PartialSum,
-                });
+                };
+                if pipelined {
+                    // Data-dependent predicate (the parent's partial sum
+                    // must exist), so issue at this level — still an async
+                    // prefetch the consuming device's jobs are gated on.
+                    let tk = fabric.prefetch_transfer(t);
+                    if tk != 0 {
+                        tickets[dev].push(tk);
+                    }
+                } else {
+                    fabric.record_transfer(t);
+                }
             }
         }
         if !any {
@@ -207,22 +405,23 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
         let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
         {
             let (yhat_ref, ids_ref, ph_ref) = (&yhat, &ids, &ph);
-            let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(devices);
             for (dev, slot) in results.iter_mut().enumerate() {
                 let (b, e) = (bounds[dev], bounds[dev + 1]);
                 if e > b {
                     fabric.record_launches(dev, 1);
                 }
-                jobs.push(Box::new(move || {
+                let job: ShardJob<'_> = Box::new(move || {
                     for local in b..e {
                         let child = ids_ref[local];
                         if let Some(m) = ph_ref.downsweep_child(child, yhat_ref, d) {
                             slot.push((child, m));
                         }
                     }
-                }));
+                });
+                // SAFETY: flushed below before `results`/`yhat` borrows end.
+                unsafe { fabric.enqueue(dev, &tickets[dev], job) };
             }
-            fabric.run_jobs(jobs);
+            fabric.flush();
         }
         for (child, m) in results.into_iter().flatten() {
             if yhat[child].rows() == 0 {

@@ -23,11 +23,22 @@
 use std::thread;
 
 /// Number of worker threads used for parallel execution (pool workers plus
-/// the participating submitter).
+/// the participating submitter). Cached: `available_parallelism` parses
+/// cgroup limits on Linux, which is far too slow for hot-path callers that
+/// consult the thread count before deciding whether to parallelize.
 pub fn current_num_threads() -> usize {
-    thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    match CACHED.load(Ordering::Relaxed) {
+        0 => {
+            let n = thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            CACHED.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
 }
 
 pub mod prelude {
