@@ -1,0 +1,370 @@
+//! Solver-stack benchmark: ULV factor + solve in both side layouts,
+//! batched vs per-node elimination, ULV-preconditioned Krylov iteration
+//! counts, and the fabric-sharded solve sweep at D ∈ {1, 2, 4} — emitting
+//! `BENCH_solve.json`.
+//!
+//! Reported:
+//!
+//! * **factor/solve** — wall clock of the batched per-level elimination
+//!   vs the retained per-node reference (same arithmetic, different
+//!   schedule; on this container both run the same cores, so parity is
+//!   the expected outcome and the *multi-device* claims below are made in
+//!   modeled makespan, never wall clock), plus the residual on the
+//!   compressed operator and the root-system size;
+//! * **Krylov** — iteration counts of PCG (symmetric) and GMRES
+//!   (unsymmetric, through the fabric-sharded [`FabricOp`] matvec) with
+//!   and without the ULV sweep as preconditioner;
+//! * **sharded sweep** — modeled-makespan curves of the fabric solve at
+//!   D ∈ {1, 2, 4} under the weak-compute and A100-class device models,
+//!   with the transfer byte totals **asserted equal** to the
+//!   [`h2_runtime::simulate_solve`] prediction (the CI smoke run keeps
+//!   this wired).
+//!
+//! Usage: `solvers_fabric [--n 4096] [--n-unsym 2048] [--leaf 32]
+//! [--rhs 64] [--out BENCH_solve.json] [--smoke]`
+
+use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig};
+use h2_dense::gaussian_mat;
+use h2_kernels::{ConvectionKernel, ExponentialKernel, KernelMatrix, UnsymKernelMatrix};
+use h2_matrix::H2Matrix;
+use h2_runtime::{simulate_solve, DeviceModel, Runtime};
+use h2_sched::{
+    compare_solve_with_simulator, shard_ulv_solve_with_report, DeviceFabric, FabricOp,
+    UlvFabricPrecond,
+};
+use h2_solve::{gmres, pcg, Identity, UlvFactor};
+use h2_tree::{Admissibility, ClusterTree, Partition};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn line_points(n: usize) -> Vec<[f64; 3]> {
+    (0..n).map(|i| [i as f64 / n as f64, 0.0, 0.0]).collect()
+}
+
+fn shift_diag(h2: &mut H2Matrix, sigma: f64) {
+    for i in 0..h2.dense.pairs.len() {
+        let (s, t) = h2.dense.pairs[i];
+        if s == t {
+            let blk = &mut h2.dense.blocks[i];
+            for j in 0..blk.rows() {
+                blk[(j, j)] += sigma;
+            }
+        }
+    }
+}
+
+fn models() -> (DeviceModel, DeviceModel) {
+    let a100 = DeviceModel::default();
+    let weak = DeviceModel {
+        flops_per_sec: 5.0e11,
+        ..DeviceModel::default()
+    };
+    (a100, weak)
+}
+
+struct FactorRow {
+    regime: &'static str,
+    n: usize,
+    batched_ms: f64,
+    per_node_ms: f64,
+    solve_ms: f64,
+    residual: f64,
+    root_size: usize,
+    schedule_gap: f64,
+}
+
+struct KrylovRow {
+    regime: &'static str,
+    method: &'static str,
+    plain_iters: usize,
+    precond_iters: usize,
+    precond_residual: f64,
+}
+
+struct SweepRow {
+    regime: &'static str,
+    devices: usize,
+    makespan_weak: f64,
+    makespan_a100: f64,
+    sim_makespan_weak: f64,
+    comm_bytes: u64,
+    bytes_equal: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_regime(
+    regime: &'static str,
+    n: usize,
+    leaf: usize,
+    rhs: usize,
+    factor_rows: &mut Vec<FactorRow>,
+    krylov_rows: &mut Vec<KrylovRow>,
+    sweep_rows: &mut Vec<SweepRow>,
+) {
+    let pts = line_points(n);
+    let tree = Arc::new(ClusterTree::build(&pts, leaf));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
+    let rt = Runtime::parallel();
+    let sym = regime == "sym";
+    let cfg = SketchConfig {
+        tol: 1e-9,
+        initial_samples: 64,
+        max_rank: 96,
+        ..Default::default()
+    };
+    let mut h2 = if sym {
+        let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
+        sketch_construct(&km, &km, tree.clone(), part, &rt, &cfg).0
+    } else {
+        let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
+        sketch_construct_unsym(&km, &km, tree.clone(), part, &rt, &cfg).0
+    };
+    shift_diag(&mut h2, 3.0);
+
+    // ---- factor: batched vs per-node elimination ----
+    let t0 = Instant::now();
+    let ulv = UlvFactor::new(&h2).expect("batched ULV");
+    let batched_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let reference = UlvFactor::new_per_node(&h2).expect("per-node ULV");
+    let per_node_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let b = gaussian_mat(n, rhs, 0x50F7);
+    let t0 = Instant::now();
+    let x = ulv.solve(&b);
+    let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut r = h2.apply_permuted_mat(&x);
+    r.axpy(-1.0, &b);
+    let residual = r.norm_fro() / b.norm_fro();
+    assert!(residual < 1e-10, "{regime}: ULV residual {residual}");
+    let xr = reference.solve(&b);
+    let mut d = x.clone();
+    d.axpy(-1.0, &xr);
+    let schedule_gap = d.norm_fro() / xr.norm_fro().max(1e-300);
+    assert!(
+        schedule_gap <= 1e-13,
+        "{regime}: batched vs per-node gap {schedule_gap}"
+    );
+    factor_rows.push(FactorRow {
+        regime,
+        n,
+        batched_ms,
+        per_node_ms,
+        solve_ms,
+        residual,
+        root_size: ulv.root_size(),
+        schedule_gap,
+    });
+
+    // ---- Krylov: iteration counts with/without the ULV sweep ----
+    let bvec: Vec<f64> = (0..n).map(|i| 1.0 + (0.013 * i as f64).sin()).collect();
+    let sweep_fabric = DeviceFabric::new(2);
+    let prec = UlvFabricPrecond::new(&sweep_fabric, &ulv);
+    let (method, plain, fast) = if sym {
+        let plain = pcg(&h2, &Identity { n }, &bvec, 600, 1e-10);
+        let fast = pcg(&h2, &prec, &bvec, 600, 1e-10);
+        ("pcg", plain, fast)
+    } else {
+        // Matvecs through the fabric-sharded operator.
+        let matvec_fabric = DeviceFabric::new(2);
+        let op = FabricOp::new(&matvec_fabric, &h2);
+        let plain = gmres(&op, &Identity { n }, &bvec, 40, 600, 1e-10);
+        let fast = gmres(&op, &prec, &bvec, 40, 600, 1e-10);
+        ("gmres", plain, fast)
+    };
+    assert!(fast.converged, "{regime}: preconditioned {method} stalled");
+    krylov_rows.push(KrylovRow {
+        regime,
+        method,
+        plain_iters: plain.iterations,
+        precond_iters: fast.iterations,
+        precond_residual: fast.relative_residual,
+    });
+
+    // ---- fabric-sharded sweep: modeled makespan at D ∈ {1, 2, 4} ----
+    let (a100, weak) = models();
+    let spec = ulv.solve_spec(rhs);
+    for devices in [1usize, 2, 4] {
+        let fabric = DeviceFabric::new(devices);
+        let (_, report) = shard_ulv_solve_with_report(&fabric, &ulv, &b);
+        let cmp = compare_solve_with_simulator(&report, &spec, &weak);
+        assert!(
+            cmp.bytes_match(),
+            "{regime} D={devices}: sweep bytes {} vs simulator {}",
+            cmp.measured_bytes,
+            cmp.predicted_bytes
+        );
+        sweep_rows.push(SweepRow {
+            regime,
+            devices,
+            makespan_weak: report.modeled_makespan(&weak),
+            makespan_a100: report.modeled_makespan(&a100),
+            sim_makespan_weak: simulate_solve(&spec, devices, &weak).makespan,
+            comm_bytes: report.total_comm_bytes(),
+            bytes_equal: cmp.bytes_match(),
+        });
+    }
+}
+
+fn main() {
+    let args = h2_bench::Args::parse();
+    let smoke = args.flag("smoke");
+    let n: usize = args.get("n", if smoke { 1024 } else { 4096 });
+    let n_unsym: usize = args.get("n-unsym", if smoke { 768 } else { 2048 });
+    let leaf: usize = args.get("leaf", 32);
+    // Wide right-hand-side blocks push the sweep toward the compute-bound
+    // regime where sharding pays; narrow blocks stay latency-bound (the
+    // §IV.B "don't multi-GPU small problems" tradeoff shows in the curve).
+    let rhs: usize = args.get("rhs", if smoke { 8 } else { 64 });
+    let out_path: String = args.get("out", "BENCH_solve.json".to_string());
+
+    println!(
+        "# Solver stack: ULV (batched per-level elimination) + fabric-sharded sweeps\n\
+         # (multi-device numbers are modeled makespan under the weak-compute /\n\
+         # A100-class device models — this container is single-core, so wall\n\
+         # clock is only reported for the schedule comparison on one machine)\n"
+    );
+
+    let mut factor_rows = Vec::new();
+    let mut krylov_rows = Vec::new();
+    let mut sweep_rows = Vec::new();
+    run_regime(
+        "sym",
+        n,
+        leaf,
+        rhs,
+        &mut factor_rows,
+        &mut krylov_rows,
+        &mut sweep_rows,
+    );
+    run_regime(
+        "unsym",
+        n_unsym,
+        leaf,
+        rhs,
+        &mut factor_rows,
+        &mut krylov_rows,
+        &mut sweep_rows,
+    );
+
+    println!("## ULV factor + solve\n");
+    h2_bench::header(&[
+        "regime",
+        "N",
+        "batched factor (ms)",
+        "per-node factor (ms)",
+        "solve (ms)",
+        "residual",
+        "root",
+        "schedule gap",
+    ]);
+    for r in &factor_rows {
+        h2_bench::row(&[
+            r.regime.to_string(),
+            r.n.to_string(),
+            format!("{:.1}", r.batched_ms),
+            format!("{:.1}", r.per_node_ms),
+            format!("{:.1}", r.solve_ms),
+            format!("{:.2e}", r.residual),
+            r.root_size.to_string(),
+            format!("{:.1e}", r.schedule_gap),
+        ]);
+    }
+
+    println!("\n## Preconditioned Krylov (ULV sweep as M⁻¹)\n");
+    h2_bench::header(&[
+        "regime",
+        "method",
+        "plain iters",
+        "ULV-precond iters",
+        "residual",
+    ]);
+    for r in &krylov_rows {
+        h2_bench::row(&[
+            r.regime.to_string(),
+            r.method.to_string(),
+            r.plain_iters.to_string(),
+            r.precond_iters.to_string(),
+            format!("{:.2e}", r.precond_residual),
+        ]);
+    }
+
+    println!("\n## Fabric-sharded solve sweep (modeled makespan, bytes == simulator)\n");
+    h2_bench::header(&[
+        "regime",
+        "D",
+        "weak (ms)",
+        "A100 (ms)",
+        "sim weak (ms)",
+        "comm (KiB)",
+        "bytes ==",
+    ]);
+    for r in &sweep_rows {
+        h2_bench::row(&[
+            r.regime.to_string(),
+            r.devices.to_string(),
+            format!("{:.3}", r.makespan_weak * 1e3),
+            format!("{:.3}", r.makespan_a100 * 1e3),
+            format!("{:.3}", r.sim_makespan_weak * 1e3),
+            format!("{:.1}", r.comm_bytes as f64 / 1024.0),
+            r.bytes_equal.to_string(),
+        ]);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"n\": {n}, \"n_unsym\": {n_unsym}, \"leaf\": {leaf}, \
+         \"rhs\": {rhs}, \"smoke\": {smoke}, \
+         \"makespan_models\": [\"weak_compute_0.5TFs\", \"a100_10TFs\"]}},\n"
+    ));
+    json.push_str("  \"factor\": [\n");
+    for (i, r) in factor_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"n\": {}, \"batched_factor_ms\": {:.3}, \
+             \"per_node_factor_ms\": {:.3}, \"solve_ms\": {:.3}, \
+             \"residual\": {:.3e}, \"root_size\": {}, \"schedule_gap\": {:.3e}}}{}\n",
+            r.regime,
+            r.n,
+            r.batched_ms,
+            r.per_node_ms,
+            r.solve_ms,
+            r.residual,
+            r.root_size,
+            r.schedule_gap,
+            if i + 1 < factor_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"krylov\": [\n");
+    for (i, r) in krylov_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"method\": \"{}\", \"plain_iters\": {}, \
+             \"precond_iters\": {}, \"precond_residual\": {:.3e}}}{}\n",
+            r.regime,
+            r.method,
+            r.plain_iters,
+            r.precond_iters,
+            r.precond_residual,
+            if i + 1 < krylov_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"sharded_sweep\": [\n");
+    for (i, r) in sweep_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"devices\": {}, \"makespan_weak\": {:.6e}, \
+             \"makespan_a100\": {:.6e}, \"sim_makespan_weak\": {:.6e}, \
+             \"comm_bytes\": {}, \"bytes_equal\": {}}}{}\n",
+            r.regime,
+            r.devices,
+            r.makespan_weak,
+            r.makespan_a100,
+            r.sim_makespan_weak,
+            r.comm_bytes,
+            r.bytes_equal,
+            if i + 1 < sweep_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

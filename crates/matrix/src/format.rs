@@ -249,6 +249,28 @@ impl H2Matrix {
         }
     }
 
+    /// Row-side basis (leaf) or stacked transfer (inner) of one node.
+    pub fn row_basis_of(&self, node: usize) -> &Mat {
+        &self.basis[node]
+    }
+
+    /// Column-side basis/transfer of one node (the row side itself when
+    /// symmetric) — the per-node accessor the two-sided solver paths use.
+    pub fn col_basis_of(&self, node: usize) -> &Mat {
+        match &self.col {
+            Some(c) => &c.basis[node],
+            None => &self.basis[node],
+        }
+    }
+
+    /// The *independently stored* column basis of one node; `None` when the
+    /// column side aliases the row side (symmetric layout). Callers that
+    /// can share work between aliased sides (e.g. one QR instead of two in
+    /// the ULV rotation) branch on this.
+    pub fn col_basis_distinct(&self, node: usize) -> Option<&Mat> {
+        self.col.as_ref().map(|c| &c.basis[node])
+    }
+
     /// Row rank of node `τ` (0 when it has no basis). For symmetric
     /// matrices this is *the* rank.
     pub fn rank(&self, node: usize) -> usize {

@@ -18,7 +18,10 @@
 //!   (`batchedRand`, `batchedGen`, `batchedID`, `batchedShrink`,
 //!   `batchedGemm`, marshaling gathers),
 //! * [`bsr`] — the `batchedBSRGemm` with the paper's `Csp`-slot
-//!   conflict-free decomposition.
+//!   conflict-free decomposition,
+//! * [`solve_ops`] — the batched *solver* primitives (variable-size QR/LU,
+//!   triangular and LU solves, Q application) the per-level ULV elimination
+//!   is built from, accounted with the same simulator formulas.
 
 pub mod batch;
 pub mod bsr;
@@ -27,10 +30,14 @@ pub mod ops;
 pub mod profile;
 pub mod runtime;
 pub mod shard;
+pub mod solve_ops;
 
 pub use batch::{cost_chunk_bounds, VarBatch};
 pub use bsr::{bsr_gemm, bsr_gemm_stream, hint_bsr_fetches, BsrBlock, BsrPattern};
-pub use multidev::{owner, simulate, DeviceModel, LevelSpec, SimReport, StreamSpec};
+pub use multidev::{
+    owner, simulate, simulate_solve, DeviceModel, LevelSpec, SimReport, SolveLevel, SolveSpec,
+    StreamSpec,
+};
 pub use ops::{
     batched_gen, batched_row_id, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag, rand_mat,
     shrink_rows, stack_children, GenBlock,
@@ -40,4 +47,7 @@ pub use runtime::{Backend, Runtime};
 pub use shard::{
     chunk_bounds, FetchKey, FetchPlanner, PipelineMode, ShardDispatch, ShardJob, Transfer,
     TransferKind,
+};
+pub use solve_ops::{
+    batched_apply_qt, batched_lu, batched_lu_solve, batched_qr, batched_transpose, batched_trsm,
 };

@@ -61,6 +61,36 @@ pub mod cost {
     pub fn merge_bytes(rows: usize, d: usize) -> u64 {
         2 * fetch_bytes(rows, d)
     }
+
+    // ---- solver-sweep formulas (batched ULV elimination and the
+    // triangular solve sweeps; shared by `simulate_solve`, the batched
+    // primitives in `crate::solve_ops`, and `h2_sched`'s sharded sweep) ----
+
+    /// LU factorization flops of an `n × n` pivot block (`2n³/3`).
+    pub fn lu_flops(n: usize) -> f64 {
+        2.0 / 3.0 * (n as f64).powi(3)
+    }
+
+    /// Triangular-solve flops: one `n × n` triangle against `d` columns.
+    pub fn trsm_flops(n: usize, d: usize) -> f64 {
+        (n * n * d) as f64
+    }
+
+    /// LU solve flops (row pivots are free; two triangular solves).
+    pub fn lu_solve_flops(n: usize, d: usize) -> f64 {
+        2.0 * trsm_flops(n, d)
+    }
+
+    /// Flops of applying `t` Householder reflectors (length ≤ `m`) to an
+    /// `m × d` block — the ULV rotation `Qᵀ B` / un-rotation `Q B`.
+    pub fn qr_apply_flops(m: usize, t: usize, d: usize) -> f64 {
+        4.0 * (m * t * d) as f64
+    }
+
+    /// Plain GEMM flops, `(m × k) · (k × n)`.
+    pub fn gemm_flops(m: usize, k: usize, n: usize) -> f64 {
+        2.0 * (m * k * n) as f64
+    }
 }
 
 /// Hardware parameters of the modeled device fabric.
@@ -397,6 +427,160 @@ pub fn simulate(
     }
 }
 
+/// One elimination level of a ULV solve sweep, in the form the solver
+/// simulator consumes (extracted from a factorization by
+/// `h2_solve::UlvFactor::solve_spec`). Nodes are listed in tree level
+/// order, the same order the sharded executor chunks by
+/// [`owner`]/[`crate::chunk_bounds`].
+#[derive(Clone, Debug, Default)]
+pub struct SolveLevel {
+    /// Per node: reduced diagonal block size `m` (= retained + eliminated).
+    pub m: Vec<usize>,
+    /// Per node: retained (skeleton) size `k`; the forward sweep passes a
+    /// `k × nrhs` block up, the backward sweep distributes one back down.
+    pub k: Vec<usize>,
+    /// Per node: row-side Householder reflector count (the forward-sweep
+    /// rotation cost `Qᵀ b`).
+    pub t_row: Vec<usize>,
+    /// Per node: column-side reflector count (the backward-sweep
+    /// un-rotation cost `P x̃`).
+    pub t_col: Vec<usize>,
+    /// Per parent at the level above, in *its* level order: the local
+    /// indices of the two children whose retained blocks it stacks.
+    pub merges: Vec<(usize, usize)>,
+}
+
+/// Level structure of a ULV triangular solve sweep (leaf level first, root
+/// excluded), plus the dense root system and right-hand-side width.
+#[derive(Clone, Debug, Default)]
+pub struct SolveSpec {
+    pub levels: Vec<SolveLevel>,
+    pub root_size: usize,
+    pub nrhs: usize,
+}
+
+/// Simulate the ULV solve sweep (forward eliminate, root solve, backward
+/// substitute) on `devices` devices — the solver analogue of [`simulate`].
+///
+/// Per forward level, each node costs the rotation `Qᵀ b`
+/// ([`cost::qr_apply_flops`]), the pivot-block solve
+/// ([`cost::lu_solve_flops`] on the `m − k` eliminated rows) and the
+/// retained-block update ([`cost::gemm_flops`]); the pass-up moves a
+/// child's `k × nrhs` block to its parent's device when the contiguous
+/// chunk decompositions of the two levels split the pair. The backward
+/// levels mirror this with the partial-solution distribution in the
+/// opposite direction; the root is one dense LU solve on device 0. The
+/// sharded executor (`h2_sched::shard_ulv_solve`) records exactly these
+/// transfers and flop formulas, so measured byte totals must equal this
+/// model's — the solver extension of the construction/matvec equivalence.
+pub fn simulate_solve(spec: &SolveSpec, devices: usize, model: &DeviceModel) -> SimReport {
+    assert!(devices > 0, "at least one device");
+    let d = spec.nrhs;
+    let mut out_levels: Vec<LevelCost> = Vec::new();
+    let push_level = |compute: Vec<f64>,
+                      comm_bytes: u64,
+                      comm_messages: usize,
+                      launches: usize,
+                      out: &mut Vec<LevelCost>| {
+        let active = compute.iter().filter(|&&c| c > 0.0).count().max(1);
+        let compute_max = compute.iter().cloned().fold(0.0, f64::max);
+        let comm_time =
+            comm_bytes as f64 / model.link_bandwidth + comm_messages as f64 * model.link_latency;
+        let makespan =
+            compute_max + comm_time + launches as f64 / active as f64 * model.launch_overhead;
+        out.push(LevelCost {
+            makespan,
+            compute_total: compute.iter().sum(),
+            compute_per_device: compute,
+            comm_bytes,
+            comm_messages,
+            launches,
+        });
+    };
+
+    // Pass-up / distribution traffic of one level: a child whose owner
+    // differs from its parent's moves its retained k × nrhs block.
+    let level_comm = |li: usize| -> (u64, usize) {
+        let lvl = &spec.levels[li];
+        let nl = lvl.m.len();
+        let np = lvl.merges.len();
+        let (mut bytes, mut msgs) = (0u64, 0usize);
+        for (j, &(a, b)) in lvl.merges.iter().enumerate() {
+            let dev_p = owner(j, np, devices);
+            for c in [a, b] {
+                let kc = lvl.k.get(c).copied().unwrap_or(0);
+                if kc > 0 && owner(c, nl, devices) != dev_p {
+                    bytes += cost::fetch_bytes(kc, d);
+                    msgs += 1;
+                }
+            }
+        }
+        (bytes, msgs)
+    };
+
+    // ---- forward sweep, leaf level first ----
+    for (li, lvl) in spec.levels.iter().enumerate() {
+        let nl = lvl.m.len();
+        let mut compute = vec![0.0_f64; devices];
+        for i in 0..nl {
+            let (m, k) = (lvl.m[i], lvl.k[i]);
+            let e = m - k;
+            compute[owner(i, nl, devices)] += (cost::qr_apply_flops(m, lvl.t_row[i], d)
+                + cost::lu_solve_flops(e, d)
+                + cost::gemm_flops(k, e, d))
+                / model.flops_per_sec;
+        }
+        let (bytes, msgs) = level_comm(li);
+        push_level(
+            compute,
+            bytes,
+            msgs,
+            devices.min(nl.max(1)),
+            &mut out_levels,
+        );
+    }
+
+    // ---- root solve on device 0 ----
+    {
+        let mut compute = vec![0.0_f64; devices];
+        compute[0] = cost::lu_solve_flops(spec.root_size, d) / model.flops_per_sec;
+        push_level(compute, 0, 0, 1, &mut out_levels);
+    }
+
+    // ---- backward sweep, root level first ----
+    for (li, lvl) in spec.levels.iter().enumerate().rev() {
+        let nl = lvl.m.len();
+        let mut compute = vec![0.0_f64; devices];
+        for i in 0..nl {
+            let (m, k) = (lvl.m[i], lvl.k[i]);
+            let e = m - k;
+            compute[owner(i, nl, devices)] += (cost::gemm_flops(e, k, d)
+                + cost::lu_solve_flops(e, d)
+                + cost::qr_apply_flops(m, lvl.t_col[i], d))
+                / model.flops_per_sec;
+        }
+        let (bytes, msgs) = level_comm(li);
+        push_level(
+            compute,
+            bytes,
+            msgs,
+            devices.min(nl.max(1)),
+            &mut out_levels,
+        );
+    }
+
+    let makespan = out_levels.iter().map(|l| l.makespan).sum();
+    let total_comm_bytes = out_levels.iter().map(|l| l.comm_bytes).sum();
+    let total_launches = out_levels.iter().map(|l| l.launches).sum();
+    SimReport {
+        devices,
+        levels: out_levels,
+        makespan,
+        total_comm_bytes,
+        total_launches,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +718,73 @@ mod tests {
         let rep = simulate(&[], 64, 4, &DeviceModel::default());
         assert_eq!(rep.makespan, 0.0);
         assert_eq!(rep.total_comm_bytes, 0);
+    }
+
+    fn toy_solve_spec() -> SolveSpec {
+        // 8 leaves of 64 rows retaining 16, merged pairwise into 4 nodes of
+        // 32 retaining 8, merged into 2 of 16 retaining 4; root 8.
+        SolveSpec {
+            levels: vec![
+                SolveLevel {
+                    m: vec![16; 2],
+                    k: vec![4; 2],
+                    t_row: vec![16; 2],
+                    t_col: vec![16; 2],
+                    merges: vec![(0, 1)],
+                },
+                SolveLevel {
+                    m: vec![32; 4],
+                    k: vec![8; 4],
+                    t_row: vec![32; 4],
+                    t_col: vec![32; 4],
+                    merges: vec![(0, 1), (2, 3)],
+                },
+                SolveLevel {
+                    m: vec![64; 8],
+                    k: vec![16; 8],
+                    t_row: vec![64; 8],
+                    t_col: vec![64; 8],
+                    merges: vec![(0, 1), (2, 3), (4, 5), (6, 7)],
+                },
+            ]
+            .into_iter()
+            .rev()
+            .collect(),
+            root_size: 8,
+            nrhs: 4,
+        }
+    }
+
+    #[test]
+    fn solve_sim_single_device_no_comm_and_work_conserved() {
+        let spec = toy_solve_spec();
+        let m = DeviceModel::default();
+        let r1 = simulate_solve(&spec, 1, &m);
+        assert_eq!(r1.total_comm_bytes, 0);
+        assert!(r1.makespan > 0.0);
+        // Forward levels + root + backward levels.
+        assert_eq!(r1.levels.len(), 2 * spec.levels.len() + 1);
+        let r4 = simulate_solve(&spec, 4, &m);
+        assert!(
+            (r1.compute_total() - r4.compute_total()).abs() < 1e-12 * r1.compute_total(),
+            "solve work is conserved across device counts"
+        );
+    }
+
+    #[test]
+    fn solve_sim_comm_grows_with_devices() {
+        let spec = toy_solve_spec();
+        let m = DeviceModel::default();
+        let c2 = simulate_solve(&spec, 2, &m).total_comm_bytes;
+        let c8 = simulate_solve(&spec, 8, &m).total_comm_bytes;
+        assert!(c2 > 0, "split sibling pairs must move retained blocks");
+        assert!(c8 >= c2);
+        // Forward and backward sweeps mirror each other's traffic.
+        let r = simulate_solve(&spec, 4, &m);
+        let nf = spec.levels.len();
+        let fwd: u64 = r.levels[..nf].iter().map(|l| l.comm_bytes).sum();
+        let bwd: u64 = r.levels[nf + 1..].iter().map(|l| l.comm_bytes).sum();
+        assert_eq!(fwd, bwd);
     }
 
     #[test]

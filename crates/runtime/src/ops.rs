@@ -111,7 +111,7 @@ pub(crate) fn batch_for_each_mut_deps<F, C>(
 /// work accounting like [`batch_for_each_mut`] (owner-attributed, the
 /// simulator's chunks) and cost-aware execution chunking on the parallel
 /// and sharded backends.
-fn batch_map<R, F, C>(rt: &Runtime, batch: &VarBatch, flops_of: C, f: F) -> Vec<R>
+pub(crate) fn batch_map<R, F, C>(rt: &Runtime, batch: &VarBatch, flops_of: C, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize, MatRef<'_>) -> R + Sync + Send,

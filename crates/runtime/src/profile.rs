@@ -39,9 +39,13 @@ pub enum Kernel {
     /// the byte traffic is tracked separately via
     /// [`Profile::pack_bytes`]).
     Pack,
+    /// Batched LU factorization (ULV pivot blocks, `batchedGETRF`).
+    Lu,
+    /// Batched triangular solve (`batchedTRSM`; an LU solve records two).
+    Trsm,
 }
 
-pub const KERNEL_COUNT: usize = 12;
+pub const KERNEL_COUNT: usize = 14;
 
 impl Kernel {
     pub const ALL: [Kernel; KERNEL_COUNT] = [
@@ -57,6 +61,8 @@ impl Kernel {
         Kernel::PrefixSum,
         Kernel::Gemv,
         Kernel::Pack,
+        Kernel::Lu,
+        Kernel::Trsm,
     ];
 
     fn index(self) -> usize {
@@ -73,6 +79,8 @@ impl Kernel {
             Kernel::PrefixSum => 9,
             Kernel::Gemv => 10,
             Kernel::Pack => 11,
+            Kernel::Lu => 12,
+            Kernel::Trsm => 13,
         }
     }
 
@@ -98,6 +106,8 @@ impl Kernel {
             Kernel::PrefixSum => "prefixSum",
             Kernel::Gemv => "gemv",
             Kernel::Pack => "gemmPack",
+            Kernel::Lu => "batchedGETRF",
+            Kernel::Trsm => "batchedTRSM",
         }
     }
 }

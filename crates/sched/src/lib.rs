@@ -33,6 +33,13 @@
 //!   `h2_matrix`'s matvec with per-device partial sums, built on the same
 //!   [`h2_matrix::ApplyPhases`] kernels as the in-process path (identical
 //!   numerics, different scheduling).
+//! * [`shard_ulv_solve`] — the ULV forward/backward triangular sweeps on
+//!   the fabric (upsweep-ordered eliminate, downsweep-ordered substitute)
+//!   over the same `h2_solve::UlvSweep` node kernels, with byte totals
+//!   validated against [`h2_runtime::simulate_solve`] by
+//!   [`compare_solve_with_simulator`]; [`FabricOp`] and
+//!   [`UlvFabricPrecond`] plug the sharded matvec and sweep into the
+//!   Krylov methods as a `LinOp`/`Preconditioner` pair.
 //! * [`compare_with_simulator`] — cross-validation: on a non-adaptive pass
 //!   the executor performs exactly the kernel populations of
 //!   [`h2_core::level_specs`], so its flop and byte totals must equal the
@@ -82,6 +89,7 @@
 pub mod exec;
 pub mod fabric;
 pub mod matvec;
+pub mod solve;
 
 pub use exec::{
     compare_with_simulator, shard_construct, shard_construct_unsym, sharded_runtime, SimComparison,
@@ -89,3 +97,7 @@ pub use exec::{
 pub use fabric::{DeviceEpochStats, DeviceFabric, Epoch, ExecReport, LinkModel, TransferDelay};
 pub use h2_runtime::{PipelineMode, Transfer, TransferKind};
 pub use matvec::{shard_matvec, shard_matvec_with_report};
+pub use solve::{
+    compare_solve_with_simulator, shard_ulv_solve, shard_ulv_solve_with_report, FabricOp,
+    UlvFabricPrecond,
+};

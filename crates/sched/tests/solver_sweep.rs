@@ -1,0 +1,240 @@
+//! Solver-sweep acceptance tests: the fabric-sharded ULV solve must
+//! reproduce the in-process solve exactly for device counts 1, 2, 3 and 7
+//! in both side layouts and both pipeline modes, and its transfer byte
+//! totals must *equal* the `simulate_solve` prediction on the
+//! factorization's own `SolveSpec` — the solver arm of the
+//! simulator-equivalence suite (asserted in CI like construction/matvec).
+
+use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig};
+use h2_dense::gaussian_mat;
+use h2_kernels::{ConvectionKernel, ExponentialKernel, KernelMatrix, UnsymKernelMatrix};
+use h2_matrix::H2Matrix;
+use h2_runtime::{DeviceModel, PipelineMode, Runtime, TransferKind};
+use h2_sched::{
+    compare_solve_with_simulator, shard_ulv_solve, shard_ulv_solve_with_report, DeviceFabric,
+    FabricOp, LinkModel, UlvFabricPrecond,
+};
+use h2_solve::{gmres, pcg, Identity, UlvFactor};
+use h2_tree::{Admissibility, ClusterTree, Partition};
+use std::sync::Arc;
+
+const DEVICE_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+fn line_points(n: usize) -> Vec<[f64; 3]> {
+    (0..n).map(|i| [i as f64 / n as f64, 0.0, 0.0]).collect()
+}
+
+fn shift_diag(h2: &mut H2Matrix, sigma: f64) {
+    for i in 0..h2.dense.pairs.len() {
+        let (s, t) = h2.dense.pairs[i];
+        if s == t {
+            let blk = &mut h2.dense.blocks[i];
+            for j in 0..blk.rows() {
+                blk[(j, j)] += sigma;
+            }
+        }
+    }
+}
+
+/// Shifted symmetric HSS over a weak 1-D partition.
+fn sym_hss(n: usize, leaf: usize) -> H2Matrix {
+    let pts = line_points(n);
+    let tree = Arc::new(ClusterTree::build(&pts, leaf));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
+    let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
+    let rt = Runtime::parallel();
+    let cfg = SketchConfig {
+        tol: 1e-9,
+        initial_samples: 64,
+        max_rank: 96,
+        ..Default::default()
+    };
+    let (mut h2, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
+    shift_diag(&mut h2, 2.0);
+    h2
+}
+
+/// Shifted unsymmetric (two-stream) HSS with a convection kernel.
+fn unsym_hss(n: usize, leaf: usize) -> H2Matrix {
+    let pts = line_points(n);
+    let tree = Arc::new(ClusterTree::build(&pts, leaf));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
+    let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
+    let rt = Runtime::parallel();
+    let cfg = SketchConfig {
+        tol: 1e-10,
+        initial_samples: 64,
+        max_rank: 96,
+        ..Default::default()
+    };
+    let (mut h2, _) = sketch_construct_unsym(&km, &km, tree, part, &rt, &cfg);
+    shift_diag(&mut h2, 3.0);
+    h2
+}
+
+fn assert_bitwise_equal(got: &h2_dense::Mat, want: &h2_dense::Mat, what: &str) {
+    assert_eq!(got.rows(), want.rows());
+    assert_eq!(got.cols(), want.cols());
+    let mut d = got.clone();
+    d.axpy(-1.0, want);
+    assert_eq!(d.norm_max(), 0.0, "{what}: sharded sweep diverged");
+}
+
+#[test]
+fn sharded_sweep_matches_inprocess_sym_and_unsym() {
+    let sym = sym_hss(640, 32);
+    let unsym = unsym_hss(512, 32);
+    for (h2, n, tag) in [(&sym, 640usize, "sym"), (&unsym, 512usize, "unsym")] {
+        let ulv = UlvFactor::new(h2).unwrap();
+        let b = gaussian_mat(n, 3, 71);
+        let want = ulv.solve(&b);
+        for devices in DEVICE_COUNTS {
+            let fabric = DeviceFabric::new(devices);
+            let got = shard_ulv_solve(&fabric, &ulv, &b);
+            assert_bitwise_equal(&got, &want, &format!("{tag} D={devices}"));
+        }
+    }
+}
+
+#[test]
+fn sharded_sweep_bytes_equal_simulator() {
+    let sym = sym_hss(640, 32);
+    let unsym = unsym_hss(512, 32);
+    let model = DeviceModel::default();
+    for (h2, n, tag) in [(&sym, 640usize, "sym"), (&unsym, 512usize, "unsym")] {
+        let ulv = UlvFactor::new(h2).unwrap();
+        let b = gaussian_mat(n, 4, 72);
+        let spec = ulv.solve_spec(4);
+        for devices in DEVICE_COUNTS {
+            let fabric = DeviceFabric::new(devices);
+            let (_, report) = shard_ulv_solve_with_report(&fabric, &ulv, &b);
+            let cmp = compare_solve_with_simulator(&report, &spec, &model);
+            assert!(
+                cmp.bytes_match(),
+                "{tag} D={devices}: solve traffic diverges: measured {} vs predicted {}",
+                cmp.measured_bytes,
+                cmp.predicted_bytes
+            );
+            assert!(
+                cmp.flops_rel_err() < 1e-9,
+                "{tag} D={devices}: solve work diverges ({:.3e} rel)",
+                cmp.flops_rel_err()
+            );
+            let ratio = cmp.makespan_ratio();
+            assert!(
+                (1.0 / 3.0..=3.0).contains(&ratio),
+                "{tag} D={devices}: makespan ratio {ratio} outside the 3x band"
+            );
+            if devices == 1 {
+                assert_eq!(
+                    report.total_comm_bytes(),
+                    0,
+                    "one device never communicates"
+                );
+            } else {
+                assert!(
+                    report.bytes_of_kind(TransferKind::ChildGather) > 0,
+                    "{tag} D={devices}: forward pass-up must move retained blocks"
+                );
+                assert!(
+                    report.bytes_of_kind(TransferKind::PartialSum) > 0,
+                    "{tag} D={devices}: backward distribution must move solutions"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_sweep_is_bit_identical_and_bytes_equal() {
+    let h2 = sym_hss(640, 32);
+    let ulv = UlvFactor::new(&h2).unwrap();
+    let b = gaussian_mat(640, 2, 73);
+    let want = ulv.solve(&b);
+    let model = DeviceModel::default();
+    let spec = ulv.solve_spec(2);
+    for devices in [2usize, 7] {
+        let fabric =
+            DeviceFabric::with_config(devices, PipelineMode::Pipelined, LinkModel::default());
+        let (got, report) = shard_ulv_solve_with_report(&fabric, &ulv, &b);
+        assert_bitwise_equal(&got, &want, &format!("pipelined D={devices}"));
+        let cmp = compare_solve_with_simulator(&report, &spec, &model);
+        assert!(
+            cmp.bytes_match(),
+            "pipelined D={devices}: bytes {} vs {}",
+            cmp.measured_bytes,
+            cmp.predicted_bytes
+        );
+    }
+}
+
+#[test]
+fn zero_node_devices_are_harmless_in_sweeps() {
+    // Narrow upper levels on 7 devices: most chunks are empty there.
+    let h2 = sym_hss(300, 16);
+    let tree = &h2.tree;
+    assert!(
+        (0..=tree.leaf_level()).any(|l| tree.level_len(l) < 7),
+        "test geometry must have a level narrower than the device count"
+    );
+    let ulv = UlvFactor::new(&h2).unwrap();
+    let b = gaussian_mat(300, 2, 74);
+    let want = ulv.solve(&b);
+    let fabric = DeviceFabric::new(7);
+    let got = shard_ulv_solve(&fabric, &ulv, &b);
+    assert_bitwise_equal(&got, &want, "zero-node D=7");
+}
+
+#[test]
+fn fabric_op_routes_krylov_matvecs_and_sweep_preconditions() {
+    // GMRES on the fabric-sharded operator with the fabric-sharded ULV
+    // sweep as preconditioner: the full solver stack on the fabric.
+    let h2 = unsym_hss(512, 32);
+    let ulv = UlvFactor::new(&h2).unwrap();
+    let matvec_fabric = DeviceFabric::new(3);
+    let sweep_fabric = DeviceFabric::new(2);
+    let op = FabricOp::new(&matvec_fabric, &h2);
+    let prec = UlvFabricPrecond::new(&sweep_fabric, &ulv);
+    let b: Vec<f64> = (0..512).map(|i| (0.02 * i as f64).cos()).collect();
+    let res = gmres(&op, &prec, &b, 30, 200, 1e-10);
+    assert!(
+        res.converged,
+        "fabric GMRES residual {}",
+        res.relative_residual
+    );
+    assert!(
+        res.iterations <= 3,
+        "exact-inverse preconditioning must converge almost immediately ({} its)",
+        res.iterations
+    );
+    // The matvec fabric actually moved coupling traffic.
+    let report = matvec_fabric.report("krylov tail");
+    assert!(report.bytes_of_kind(TransferKind::OmegaFetch) > 0);
+
+    // And a plain identity-preconditioned run agrees with the in-process
+    // operator's solution.
+    let res_plain = gmres(&h2, &Identity { n: 512 }, &b, 30, 400, 1e-10);
+    let mut d = 0.0f64;
+    for i in 0..512 {
+        d = d.max((res.x[i] - res_plain.x[i]).abs());
+    }
+    assert!(d < 1e-6, "fabric and in-process solutions disagree by {d}");
+}
+
+#[test]
+fn sweep_preconditioner_in_pcg_on_symmetric_operator() {
+    let h2 = sym_hss(512, 32);
+    let ulv = UlvFactor::new(&h2).unwrap();
+    let fabric = DeviceFabric::new(2);
+    let prec = UlvFabricPrecond::new(&fabric, &ulv);
+    let b: Vec<f64> = (0..512).map(|i| (0.01 * i as f64).sin()).collect();
+    let plain = pcg(&h2, &Identity { n: 512 }, &b, 400, 1e-10);
+    let fast = pcg(&h2, &prec, &b, 400, 1e-10);
+    assert!(fast.converged);
+    assert!(
+        fast.iterations < plain.iterations.max(2),
+        "sweep precond {} its vs plain {}",
+        fast.iterations,
+        plain.iterations
+    );
+}

@@ -1,13 +1,23 @@
 //! Preconditioned Krylov methods on abstract operators.
 //!
 //! All methods take the operator as an [`h2_dense::LinOp`] — a compressed H2
-//! matrix, a kernel matrix, or any other black box — and a
-//! [`Preconditioner`]. Residual histories are returned so convergence
-//! behaviour (e.g. preconditioner quality) can be asserted in tests and
-//! reported by the benchmark harness.
+//! matrix, a kernel matrix, a fabric-sharded operator, or any other black
+//! box — and a [`Preconditioner`]. Residual histories are returned so
+//! convergence behaviour (e.g. preconditioner quality) can be asserted in
+//! tests and reported by the benchmark harness.
+//!
+//! Every method threads a [`KrylovWorkspace`] through its iteration: the
+//! `*_with` variants reuse a caller-owned workspace across solves (no
+//! per-iteration vector allocation — operator and preconditioner
+//! applications write into preallocated buffers through zero-copy
+//! [`h2_dense::MatRef`] views), and the plain entry points allocate one
+//! workspace per call. The GMRES Krylov basis lives in the workspace as one
+//! `n × (restart+1)` block, so a fabric-backed operator
+//! (`h2_sched::FabricOp`) shards each basis-vector product over its
+//! devices — the ROADMAP's per-device Krylov decomposition.
 
 use crate::precond::Preconditioner;
-use h2_dense::{LinOp, Mat};
+use h2_dense::{LinOp, Mat, MatMut, MatRef};
 
 /// Result of a preconditioned iterative solve.
 #[derive(Clone, Debug)]
@@ -21,17 +31,92 @@ pub struct IterResult {
     pub history: Vec<f64>,
 }
 
-fn apply_op(a: &dyn LinOp, v: &[f64]) -> Vec<f64> {
-    let n = v.len();
-    let vm = Mat::from_vec(n, 1, v.to_vec());
-    let mut out = Mat::zeros(a.nrows(), 1);
-    a.apply(vm.rf(), out.rm());
-    out.as_slice().to_vec()
+/// Preallocated iteration state shared by all four iterative methods
+/// (PCG, GMRES, BiCGStab, CGS). Reusing one workspace across solves —
+/// e.g. across the right-hand sides of a multi-solve, or across outer
+/// Newton steps — eliminates the per-iteration `Vec` churn the methods
+/// previously paid for every operator and preconditioner application.
+pub struct KrylovWorkspace {
+    n: usize,
+    /// General-purpose n-vectors (apply targets, directions, residuals).
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    q: Vec<f64>,
+    s: Vec<f64>,
+    t: Vec<f64>,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    w: Vec<f64>,
+    /// GMRES Krylov basis, one `n × (restart+1)` block.
+    basis: Mat,
+    /// GMRES Hessenberg, `(restart+1) × restart`.
+    hess: Mat,
+    cs: Vec<f64>,
+    sn: Vec<f64>,
+    g: Vec<f64>,
 }
 
-fn apply_prec(m: &dyn Preconditioner, v: &[f64]) -> Vec<f64> {
-    let vm = Mat::from_vec(v.len(), 1, v.to_vec());
-    m.apply_inv(&vm).as_slice().to_vec()
+impl KrylovWorkspace {
+    pub fn new(n: usize) -> Self {
+        KrylovWorkspace {
+            n,
+            r: vec![0.0; n],
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            q: vec![0.0; n],
+            s: vec![0.0; n],
+            t: vec![0.0; n],
+            u: vec![0.0; n],
+            v: vec![0.0; n],
+            w: vec![0.0; n],
+            basis: Mat::zeros(0, 0),
+            hess: Mat::zeros(0, 0),
+            cs: Vec::new(),
+            sn: Vec::new(),
+            g: Vec::new(),
+        }
+    }
+
+    /// Problem size the workspace is sized for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.n != n {
+            *self = KrylovWorkspace::new(n);
+        }
+    }
+
+    /// Size the GMRES blocks for a restart length (no-op once sized).
+    fn ensure_gmres(&mut self, restart: usize) {
+        if self.basis.rows() != self.n || self.basis.cols() < restart + 1 {
+            self.basis = Mat::zeros(self.n, restart + 1);
+            self.hess = Mat::zeros(restart + 1, restart);
+        }
+        self.cs.resize(restart, 0.0);
+        self.sn.resize(restart, 0.0);
+        self.g.resize(restart + 1, 0.0);
+    }
+}
+
+/// `out = A v` without allocating: both sides are viewed as `n × 1` blocks.
+fn apply_op_into(a: &dyn LinOp, v: &[f64], out: &mut [f64]) {
+    let (n, m) = (v.len(), out.len());
+    a.apply(
+        MatRef::from_parts(n, 1, n.max(1), v),
+        MatMut::from_parts(m, 1, m.max(1), out),
+    );
+}
+
+/// `out = M⁻¹ v` through the preconditioner's into-buffer application.
+fn apply_prec_into(m: &dyn Preconditioner, v: &[f64], out: &mut [f64]) {
+    let n = v.len();
+    m.apply_inv_into(
+        MatRef::from_parts(n, 1, n.max(1), v),
+        MatMut::from_parts(out.len(), 1, out.len().max(1), out),
+    );
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -42,11 +127,12 @@ fn norm(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
-fn true_residual(a: &dyn LinOp, x: &[f64], b: &[f64]) -> f64 {
-    let ax = apply_op(a, x);
+/// True relative residual, computed into the workspace's scratch.
+fn true_residual(a: &dyn LinOp, x: &[f64], b: &[f64], scratch: &mut [f64]) -> f64 {
+    apply_op_into(a, x, scratch);
     let mut s = 0.0;
     for i in 0..b.len() {
-        let d = b[i] - ax[i];
+        let d = b[i] - scratch[i];
         s += d * d;
     }
     s.sqrt() / norm(b).max(f64::MIN_POSITIVE)
@@ -71,28 +157,42 @@ pub fn pcg(
     max_iters: usize,
     rtol: f64,
 ) -> IterResult {
+    pcg_with(a, m, b, max_iters, rtol, &mut KrylovWorkspace::new(b.len()))
+}
+
+/// [`pcg`] reusing a caller-owned workspace.
+pub fn pcg_with(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    max_iters: usize,
+    rtol: f64,
+    ws: &mut KrylovWorkspace,
+) -> IterResult {
     let n = b.len();
     assert_eq!(a.nrows(), n, "pcg: dimension mismatch");
     assert_eq!(m.n(), n, "pcg: preconditioner dimension mismatch");
+    ws.ensure(n);
     let b_norm = norm(b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut z = apply_prec(m, &r);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
+    let KrylovWorkspace { r, z, p, q: ap, .. } = ws;
+    r.copy_from_slice(b);
+    apply_prec_into(m, r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
     let mut history = Vec::new();
     let mut iterations = 0;
 
     for _ in 0..max_iters {
-        let rn = norm(&r) / b_norm;
+        let rn = norm(r) / b_norm;
         history.push(rn);
         if rn <= rtol {
             break;
         }
         iterations += 1;
-        let ap = apply_op(a, &p);
-        let denom = dot(&p, &ap);
+        apply_op_into(a, p, ap);
+        let denom = dot(p, ap);
         if denom <= 0.0 {
             break; // not SPD (numerically): bail with best effort
         }
@@ -101,8 +201,8 @@ pub fn pcg(
             x[i] += alpha * p[i];
             r[i] -= alpha * ap[i];
         }
-        z = apply_prec(m, &r);
-        let rz_new = dot(&r, &z);
+        apply_prec_into(m, r, z);
+        let rz_new = dot(r, z);
         let beta = rz_new / rz;
         for i in 0..n {
             p[i] = z[i] + beta * p[i];
@@ -110,7 +210,7 @@ pub fn pcg(
         rz = rz_new;
     }
 
-    let relative_residual = true_residual(a, &x, b);
+    let relative_residual = true_residual(a, &x, b, ap);
     IterResult {
         x,
         iterations,
@@ -130,70 +230,106 @@ pub fn gmres(
     max_iters: usize,
     rtol: f64,
 ) -> IterResult {
+    gmres_with(
+        a,
+        m,
+        b,
+        restart,
+        max_iters,
+        rtol,
+        &mut KrylovWorkspace::new(b.len()),
+    )
+}
+
+/// [`gmres`] reusing a caller-owned workspace (the Krylov basis block is
+/// allocated once and persists across restarts and calls).
+pub fn gmres_with(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    restart: usize,
+    max_iters: usize,
+    rtol: f64,
+    ws: &mut KrylovWorkspace,
+) -> IterResult {
     let n = b.len();
     assert_eq!(a.nrows(), n, "gmres: dimension mismatch");
     let restart = restart.max(1);
+    ws.ensure(n);
+    ws.ensure_gmres(restart);
     let b_norm = norm(b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
     let mut history = Vec::new();
     let mut iterations = 0;
+    let KrylovWorkspace {
+        r,
+        w,
+        z: mz,
+        u,
+        basis,
+        hess,
+        cs,
+        sn,
+        g,
+        ..
+    } = ws;
 
     'outer: while iterations < max_iters {
         // r = b - A x
-        let ax = apply_op(a, &x);
-        let mut r = vec![0.0; n];
+        apply_op_into(a, &x, r);
         for i in 0..n {
-            r[i] = b[i] - ax[i];
+            r[i] = b[i] - r[i];
         }
-        let beta = norm(&r);
+        let beta = norm(r);
         history.push(beta / b_norm);
         if beta / b_norm <= rtol {
             break;
         }
 
-        // Arnoldi on A M⁻¹.
-        let mut v: Vec<Vec<f64>> = Vec::with_capacity(restart + 1);
-        v.push(r.iter().map(|&t| t / beta).collect());
-        // Hessenberg in column-major (restart+1) x restart.
-        let mut h = Mat::zeros(restart + 1, restart);
-        // Givens rotations and the transformed RHS.
-        let mut cs = vec![0.0; restart];
-        let mut sn = vec![0.0; restart];
-        let mut g = vec![0.0; restart + 1];
+        // Arnoldi on A M⁻¹, basis columns in the workspace block.
+        {
+            let v0 = basis.col_mut(0);
+            for i in 0..n {
+                v0[i] = r[i] / beta;
+            }
+        }
+        g.iter_mut().for_each(|v| *v = 0.0);
         g[0] = beta;
 
         let mut k_used = 0;
+        let mut n_cols = 1;
         for k in 0..restart {
             if iterations >= max_iters {
                 break;
             }
             iterations += 1;
-            let mz = apply_prec(m, &v[k]);
-            let mut w = apply_op(a, &mz);
-            // Modified Gram-Schmidt.
-            for (i, vi) in v.iter().enumerate() {
-                let hik = dot(&w, vi);
-                h[(i, k)] = hik;
+            apply_prec_into(m, basis.col(k), mz);
+            apply_op_into(a, mz, w);
+            // Modified Gram-Schmidt against the stored basis.
+            for i in 0..n_cols {
+                let vi = basis.col(i);
+                let hik = dot(w, vi);
+                hess[(i, k)] = hik;
                 for j in 0..n {
                     w[j] -= hik * vi[j];
                 }
             }
-            let wn = norm(&w);
-            h[(k + 1, k)] = wn;
+            let wn = norm(w);
+            hess[(k + 1, k)] = wn;
 
             // Apply existing Givens rotations to the new column.
             for i in 0..k {
-                let t = cs[i] * h[(i, k)] + sn[i] * h[(i + 1, k)];
-                h[(i + 1, k)] = -sn[i] * h[(i, k)] + cs[i] * h[(i + 1, k)];
-                h[(i, k)] = t;
+                let t = cs[i] * hess[(i, k)] + sn[i] * hess[(i + 1, k)];
+                hess[(i + 1, k)] = -sn[i] * hess[(i, k)] + cs[i] * hess[(i + 1, k)];
+                hess[(i, k)] = t;
             }
-            // New rotation to annihilate h[k+1][k].
-            let (c, s) = givens(h[(k, k)], h[(k + 1, k)]);
+            // New rotation to annihilate hess[k+1][k].
+            let (c, s) = givens(hess[(k, k)], hess[(k + 1, k)]);
             cs[k] = c;
             sn[k] = s;
-            h[(k, k)] = c * h[(k, k)] + s * h[(k + 1, k)];
-            h[(k + 1, k)] = 0.0;
+            hess[(k, k)] = c * hess[(k, k)] + s * hess[(k + 1, k)];
+            hess[(k + 1, k)] = 0.0;
             let t = c * g[k];
             g[k + 1] = -s * g[k];
             g[k] = t;
@@ -204,8 +340,12 @@ pub fn gmres(
             if wn == 0.0 || res_est <= rtol {
                 break;
             }
-            v.push(w.iter().map(|&t| t / wn).collect());
-            if v.len() == restart + 1 {
+            let vk = basis.col_mut(k + 1);
+            for i in 0..n {
+                vk[i] = w[i] / wn;
+            }
+            n_cols = k + 2;
+            if n_cols == restart + 1 {
                 break;
             }
         }
@@ -219,24 +359,25 @@ pub fn gmres(
         for i in (0..k_used).rev() {
             let mut s = g[i];
             for j in (i + 1)..k_used {
-                s -= h[(i, j)] * y[j];
+                s -= hess[(i, j)] * y[j];
             }
-            y[i] = s / h[(i, i)];
+            y[i] = s / hess[(i, i)];
         }
         // x += M⁻¹ (V y)
-        let mut u = vec![0.0; n];
+        u.iter_mut().for_each(|v| *v = 0.0);
         for (j, &yj) in y.iter().enumerate() {
+            let vj = basis.col(j);
             for i in 0..n {
-                u[i] += yj * v[j][i];
+                u[i] += yj * vj[i];
             }
         }
-        let mu = apply_prec(m, &u);
+        apply_prec_into(m, u, mz);
         for i in 0..n {
-            x[i] += mu[i];
+            x[i] += mz[i];
         }
     }
 
-    let relative_residual = true_residual(a, &x, b);
+    let relative_residual = true_residual(a, &x, b, r);
     IterResult {
         x,
         iterations,
@@ -269,29 +410,53 @@ pub fn bicgstab(
     max_iters: usize,
     rtol: f64,
 ) -> IterResult {
+    bicgstab_with(a, m, b, max_iters, rtol, &mut KrylovWorkspace::new(b.len()))
+}
+
+/// [`bicgstab`] reusing a caller-owned workspace.
+pub fn bicgstab_with(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    max_iters: usize,
+    rtol: f64,
+    ws: &mut KrylovWorkspace,
+) -> IterResult {
     let n = b.len();
     assert_eq!(a.nrows(), n, "bicgstab: dimension mismatch");
+    ws.ensure(n);
     let b_norm = norm(b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let r0 = r.clone();
+    let KrylovWorkspace {
+        r,
+        z: r0,
+        v,
+        p,
+        q: phat,
+        s,
+        u: shat,
+        t,
+        ..
+    } = ws;
+    r.copy_from_slice(b);
+    r0.copy_from_slice(b);
     let mut rho = 1.0_f64;
     let mut alpha = 1.0_f64;
     let mut omega = 1.0_f64;
-    let mut v = vec![0.0; n];
-    let mut p = vec![0.0; n];
+    v.iter_mut().for_each(|x| *x = 0.0);
+    p.iter_mut().for_each(|x| *x = 0.0);
     let mut history = Vec::new();
     let mut iterations = 0;
 
     for _ in 0..max_iters {
-        let rn = norm(&r) / b_norm;
+        let rn = norm(r) / b_norm;
         history.push(rn);
         if rn <= rtol {
             break;
         }
         iterations += 1;
-        let rho_new = dot(&r0, &r);
+        let rho_new = dot(r0, r);
         if rho_new == 0.0 {
             break; // breakdown
         }
@@ -299,31 +464,30 @@ pub fn bicgstab(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        let phat = apply_prec(m, &p);
-        v = apply_op(a, &phat);
-        let r0v = dot(&r0, &v);
+        apply_prec_into(m, p, phat);
+        apply_op_into(a, phat, v);
+        let r0v = dot(r0, v);
         if r0v == 0.0 {
             break;
         }
         alpha = rho_new / r0v;
-        let mut s = vec![0.0; n];
         for i in 0..n {
             s[i] = r[i] - alpha * v[i];
         }
-        if norm(&s) / b_norm <= rtol {
+        if norm(s) / b_norm <= rtol {
             for i in 0..n {
                 x[i] += alpha * phat[i];
             }
-            r = s;
+            r.copy_from_slice(s);
             continue;
         }
-        let shat = apply_prec(m, &s);
-        let t = apply_op(a, &shat);
-        let tt = dot(&t, &t);
+        apply_prec_into(m, s, shat);
+        apply_op_into(a, shat, t);
+        let tt = dot(t, t);
         if tt == 0.0 {
             break;
         }
-        omega = dot(&t, &s) / tt;
+        omega = dot(t, s) / tt;
         for i in 0..n {
             x[i] += alpha * phat[i] + omega * shat[i];
             r[i] = s[i] - omega * t[i];
@@ -334,7 +498,101 @@ pub fn bicgstab(
         rho = rho_new;
     }
 
-    let relative_residual = true_residual(a, &x, b);
+    let relative_residual = true_residual(a, &x, b, t);
+    IterResult {
+        x,
+        iterations,
+        relative_residual,
+        converged: relative_residual <= 10.0 * rtol,
+        history,
+    }
+}
+
+/// CGS (conjugate gradient squared) with right preconditioning — the
+/// transpose-free BiCG square, two operator applications per iteration
+/// with no `Aᵀ` and no Krylov basis storage.
+pub fn cgs(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    max_iters: usize,
+    rtol: f64,
+) -> IterResult {
+    cgs_with(a, m, b, max_iters, rtol, &mut KrylovWorkspace::new(b.len()))
+}
+
+/// [`cgs`] reusing a caller-owned workspace.
+pub fn cgs_with(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    max_iters: usize,
+    rtol: f64,
+    ws: &mut KrylovWorkspace,
+) -> IterResult {
+    let n = b.len();
+    assert_eq!(a.nrows(), n, "cgs: dimension mismatch");
+    ws.ensure(n);
+    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+
+    let mut x = vec![0.0; n];
+    let KrylovWorkspace {
+        r,
+        z: r0,
+        p,
+        q,
+        u,
+        v,
+        s: hat,
+        t: av,
+        w: uq,
+        ..
+    } = ws;
+    r.copy_from_slice(b);
+    r0.copy_from_slice(b);
+    p.iter_mut().for_each(|x| *x = 0.0);
+    q.iter_mut().for_each(|x| *x = 0.0);
+    let mut rho = 1.0_f64;
+    let mut history = Vec::new();
+    let mut iterations = 0;
+
+    for it in 0..max_iters {
+        let rn = norm(r) / b_norm;
+        history.push(rn);
+        if rn <= rtol {
+            break;
+        }
+        iterations += 1;
+        let rho_new = dot(r0, r);
+        if rho_new == 0.0 {
+            break; // breakdown
+        }
+        let beta = if it == 0 { 0.0 } else { rho_new / rho };
+        for i in 0..n {
+            u[i] = r[i] + beta * q[i];
+            p[i] = u[i] + beta * (q[i] + beta * p[i]);
+        }
+        apply_prec_into(m, p, hat);
+        apply_op_into(a, hat, v);
+        let sigma = dot(r0, v);
+        if sigma == 0.0 {
+            break;
+        }
+        let alpha = rho_new / sigma;
+        for i in 0..n {
+            q[i] = u[i] - alpha * v[i];
+            uq[i] = u[i] + q[i];
+        }
+        apply_prec_into(m, uq, hat);
+        apply_op_into(a, hat, av);
+        for i in 0..n {
+            x[i] += alpha * hat[i];
+            r[i] -= alpha * av[i];
+        }
+        rho = rho_new;
+    }
+
+    let relative_residual = true_residual(a, &x, b, av);
     IterResult {
         x,
         iterations,
@@ -445,6 +703,20 @@ mod tests {
     }
 
     #[test]
+    fn cgs_converges_on_unsymmetric() {
+        let (op, b) = unsym_problem(90, 19);
+        let res = cgs(&op, &Identity { n: 90 }, &b, 400, 1e-10);
+        assert!(res.converged, "residual {}", res.relative_residual);
+        // And agrees with GMRES on the solution.
+        let g = gmres(&op, &Identity { n: 90 }, &b, 45, 400, 1e-12);
+        let mut d = 0.0_f64;
+        for i in 0..90 {
+            d = d.max((g.x[i] - res.x[i]).abs());
+        }
+        assert!(d < 1e-7, "cgs and gmres disagree by {d}");
+    }
+
+    #[test]
     fn solvers_agree_on_the_solution() {
         let (op, b) = unsym_problem(64, 17);
         let g = gmres(&op, &Identity { n: 64 }, &b, 32, 400, 1e-12);
@@ -454,6 +726,38 @@ mod tests {
             d = d.max((g.x[i] - s.x[i]).abs());
         }
         assert!(d < 1e-8, "gmres and bicgstab disagree by {d}");
+    }
+
+    #[test]
+    fn workspace_reuse_is_identical_to_fresh() {
+        // One workspace threaded through all four methods, twice each:
+        // results must be bitwise identical to fresh-workspace runs.
+        let (op, b) = unsym_problem(70, 18);
+        let (spd, bs) = spd_problem(70, 18);
+        let mut ws = KrylovWorkspace::new(70);
+        for _ in 0..2 {
+            let a1 = pcg_with(&spd, &Identity { n: 70 }, &bs, 200, 1e-10, &mut ws);
+            let a2 = pcg(&spd, &Identity { n: 70 }, &bs, 200, 1e-10);
+            assert_eq!(a1.x, a2.x);
+            let g1 = gmres_with(&op, &Identity { n: 70 }, &b, 20, 300, 1e-10, &mut ws);
+            let g2 = gmres(&op, &Identity { n: 70 }, &b, 20, 300, 1e-10);
+            assert_eq!(g1.x, g2.x);
+            let s1 = bicgstab_with(&op, &Identity { n: 70 }, &b, 300, 1e-10, &mut ws);
+            let s2 = bicgstab(&op, &Identity { n: 70 }, &b, 300, 1e-10);
+            assert_eq!(s1.x, s2.x);
+            let c1 = cgs_with(&op, &Identity { n: 70 }, &b, 300, 1e-10, &mut ws);
+            let c2 = cgs(&op, &Identity { n: 70 }, &b, 300, 1e-10);
+            assert_eq!(c1.x, c2.x);
+        }
+    }
+
+    #[test]
+    fn workspace_resizes_across_problem_sizes() {
+        let mut ws = KrylovWorkspace::new(10);
+        let (op, b) = spd_problem(40, 20);
+        let res = pcg_with(&op, &Identity { n: 40 }, &b, 200, 1e-10, &mut ws);
+        assert!(res.converged);
+        assert_eq!(ws.n(), 40);
     }
 
     #[test]
@@ -493,6 +797,8 @@ mod tests {
         let res = pcg(&op, &Identity { n: 20 }, &b, 50, 1e-10);
         assert!(res.x.iter().all(|&v| v == 0.0));
         let res = gmres(&op, &Identity { n: 20 }, &b, 10, 50, 1e-10);
+        assert!(res.x.iter().all(|&v| v == 0.0));
+        let res = cgs(&op, &Identity { n: 20 }, &b, 50, 1e-10);
         assert!(res.x.iter().all(|&v| v == 0.0));
     }
 }

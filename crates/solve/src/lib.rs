@@ -12,19 +12,21 @@
 //! * [`precond`] — preconditioners assembled from the H2 representation:
 //!   block-Jacobi from the near-field diagonal blocks, and any direct
 //!   factorization wrapped as a preconditioner.
-//! * [`ulv`] — a ULV-style direct factorization for weak-admissibility
-//!   (HSS-pattern) H2 matrices: O(N k²) factor + O(N k) solve, the
-//!   bottom-up elimination that the paper's bottom-up construction is
-//!   designed to feed.
+//! * [`ulv`] — ULV direct factorizations for weak-admissibility
+//!   (HSS-pattern) H2 matrices in both side layouts: the symmetric
+//!   Chandrasekaran–Gu–Pals flavor and the LU-flavored elimination for
+//!   independent row/column bases, with a per-level batched schedule over
+//!   [`h2_runtime::VarBatch`] workspaces (O(N k²) factor + O(N k) solve).
 //! * [`woodbury`] — Sherman–Morrison–Woodbury solves for low-rank-updated
 //!   operators (`A + P Qᵀ`), pairing with [`h2_matrix::LowRankUpdate`].
 
 pub mod krylov;
 pub mod precond;
+mod smallops;
 pub mod ulv;
 pub mod woodbury;
 
-pub use krylov::{bicgstab, gmres, pcg, IterResult};
+pub use krylov::{bicgstab, cgs, gmres, pcg, IterResult, KrylovWorkspace};
 pub use precond::{BlockJacobi, DiagJacobi, Identity, Preconditioner};
-pub use ulv::{UlvError, UlvFactor};
+pub use ulv::{UlvError, UlvFactor, UlvSchedule, UlvSweep};
 pub use woodbury::woodbury_solve;

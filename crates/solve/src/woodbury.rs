@@ -10,13 +10,15 @@
 //! Any solver for `A` works as the inner solve — a [`crate::UlvFactor`], a
 //! converged Krylov iteration, or a dense factorization in tests.
 
-use h2_dense::{lu_factor, matmul, Mat, Op};
+use h2_dense::{gemm, lu_factor, matmul, Mat, Op};
 
 /// Solve `(A + P Qᵀ) X = B` given a solver for `A`.
 ///
 /// `solve_a` must apply `A⁻¹` to a block of vectors. Returns `None` when the
 /// `k × k` capacitance system `I + Qᵀ A⁻¹ P` is singular (the update makes
-/// the operator singular).
+/// the operator singular). The tiny-block products read their operands
+/// through `gemm`'s transpose flags like the ULV elimination — no
+/// materialized transposes, no per-call scratch beyond the capacitance.
 pub fn woodbury_solve(solve_a: &dyn Fn(&Mat) -> Mat, p: &Mat, q: &Mat, b: &Mat) -> Option<Mat> {
     let n = b.rows();
     assert_eq!(p.rows(), n, "woodbury: P rows");
@@ -41,7 +43,7 @@ pub fn woodbury_solve(solve_a: &dyn Fn(&Mat) -> Mat, p: &Mat, q: &Mat, b: &Mat) 
     let qt_aib = matmul(Op::Trans, Op::NoTrans, q.rf(), ai_b.rf());
     let t = lu.solve(&qt_aib);
     let mut x = ai_b;
-    h2_dense::gemm(
+    gemm(
         Op::NoTrans,
         Op::NoTrans,
         -1.0,
@@ -56,7 +58,7 @@ pub fn woodbury_solve(solve_a: &dyn Fn(&Mat) -> Mat, p: &Mat, q: &Mat, b: &Mat) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use h2_dense::gaussian_mat;
+    use h2_dense::{gaussian_mat, matmul};
 
     #[test]
     fn woodbury_matches_dense_solve() {
