@@ -22,20 +22,28 @@
 //! * **busy / stall / overlap / idle** — the per-device breakdown summed
 //!   over devices, attributing where the time went;
 //! * **sim ratio** — pipelined measured makespan over the closed-form
-//!   [`h2_runtime::simulate`] prediction (the tightened 2x band), with the
-//!   byte totals asserted exactly equal when the run was non-adaptive.
+//!   simulator prediction: [`h2_runtime::simulate_prec`] for construction
+//!   (the tightened 2x band, bytes asserted exactly equal when the run was
+//!   non-adaptive) and [`h2_sched::simulate_matvec`] for the matvec (exact
+//!   epoch-for-epoch replay, so the ratio is 1.0 and bytes always match);
+//! * **precision** — with `--precision f32` the fabric wire is demoted and
+//!   block storage is norm-aware-demoted (`SketchConfig::storage`), so
+//!   every transfer ships half the bytes while accumulation stays f64;
+//!   `--precision both` runs f64 and f32 back to back and reports the
+//!   byte ratio plus the comm-bound A100 D >= 4 makespan speedup.
 //!
 //! Usage: `fabric [--n 12288] [--n-unsym 8192] [--samples 128]
-//! [--leaf 32] [--out BENCH_fabric.json] [--smoke]`
+//! [--leaf 32] [--precision f64|f32|both] [--out BENCH_fabric.json]
+//! [--smoke]`
 
 use h2_core::{level_specs, sketch_construct_unsym, SketchConfig};
 use h2_dense::LinOp;
 use h2_kernels::{ConvectionKernel, ExponentialKernel, KernelMatrix, UnsymKernelMatrix};
 use h2_matrix::{direct_construct, DirectConfig};
-use h2_runtime::{DeviceModel, PipelineMode, Runtime};
+use h2_runtime::{DeviceModel, PipelineMode, Precision, Runtime};
 use h2_sched::{
-    compare_with_simulator, shard_construct, shard_construct_unsym, shard_matvec_with_report,
-    DeviceFabric, ExecReport, LinkModel,
+    compare_matvec_with_simulator, compare_with_simulator, shard_construct, shard_construct_unsym,
+    shard_matvec_with_report, DeviceFabric, ExecReport, LinkModel,
 };
 use h2_tree::{Admissibility, ClusterTree, Partition};
 use std::sync::Arc;
@@ -81,9 +89,12 @@ fn mode_row(report: &ExecReport) -> ModeRow {
 struct BenchRow {
     regime: &'static str,
     phase: &'static str,
+    prec: Precision,
     devices: usize,
     sync: ModeRow,
     pipe: ModeRow,
+    /// Pipelined cross-device transfer total at the wire precision.
+    comm_bytes: u64,
     sim_ratio: f64,
     bytes_equal: bool,
 }
@@ -107,8 +118,10 @@ impl BenchRow {
     }
 }
 
-fn fabric_for(devices: usize, mode: PipelineMode) -> Arc<DeviceFabric> {
-    DeviceFabric::with_config(devices, mode, LinkModel::cpu_scale())
+fn fabric_for(devices: usize, mode: PipelineMode, prec: Precision) -> Arc<DeviceFabric> {
+    let fabric = DeviceFabric::with_config(devices, mode, LinkModel::cpu_scale());
+    fabric.set_wire(prec);
+    fabric
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -119,6 +132,7 @@ fn run_regime(
     samples: usize,
     seed: u64,
     device_counts: &[usize],
+    precisions: &[Precision],
     rows: &mut Vec<BenchRow>,
 ) {
     let (_, weak) = models();
@@ -129,10 +143,6 @@ fn run_regime(
         part.top_far_level(&tree).is_some(),
         "{regime}: partition is all-dense at N={n}, leaf={leaf}"
     );
-    let cfg = SketchConfig {
-        initial_samples: samples,
-        ..Default::default()
-    };
     let sym = regime == "sym";
     let km_sym = sym.then(|| KernelMatrix::new(ExponentialKernel::default(), tree.points.clone()));
     let km_unsym =
@@ -164,131 +174,158 @@ fn run_regime(
         Box::new(sketch_construct_unsym(km, km, tree.clone(), part.clone(), &rt, &ref_cfg).0)
     };
 
-    println!("## Construction ({regime}, N={n}, d0={samples})\n");
-    h2_bench::header(&[
-        "D",
-        "sync weak (ms)",
-        "pipe weak (ms)",
-        "speedup",
-        "speedup A100",
-        "pipe stall (ms)",
-        "pipe overlap (ms)",
-        "sim ratio",
-        "bytes ==",
-    ]);
-    let mut h2_for_matvec = None;
-    for &devices in device_counts {
-        let mut reports = Vec::new();
-        let mut h2_last = None;
-        let mut stats_last = None;
-        for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
-            let fabric = fabric_for(devices, mode);
-            let (h2, stats, report) = if let Some(km) = &km_sym {
-                shard_construct(
-                    &fabric,
-                    sampler.as_ref(),
-                    km,
-                    tree.clone(),
-                    part.clone(),
-                    &cfg,
-                )
-            } else {
-                let km = km_unsym.as_ref().unwrap();
-                shard_construct_unsym(
-                    &fabric,
-                    sampler.as_ref(),
-                    km,
-                    tree.clone(),
-                    part.clone(),
-                    &cfg,
-                )
-            };
-            reports.push(report);
-            h2_last = Some(h2);
-            stats_last = Some(stats);
-        }
-        let (sync_rep, pipe_rep) = (&reports[0], &reports[1]);
-        let h2 = h2_last.unwrap();
-        let stats = stats_last.unwrap();
-        let cmp = compare_with_simulator(pipe_rep, &level_specs(&h2), stats.total_samples, &weak);
-        let bytes_equal = cmp.bytes_match();
-        if stats.rounds == 0 {
-            assert!(
+    for &prec in precisions {
+        let cfg = SketchConfig {
+            initial_samples: samples,
+            storage: prec,
+            ..Default::default()
+        };
+        println!(
+            "## Construction ({regime}, N={n}, d0={samples}, {})\n",
+            prec.name()
+        );
+        h2_bench::header(&[
+            "D",
+            "sync weak (ms)",
+            "pipe weak (ms)",
+            "speedup",
+            "speedup A100",
+            "pipe stall (ms)",
+            "pipe overlap (ms)",
+            "sim ratio",
+            "bytes ==",
+        ]);
+        let mut h2_for_matvec = None;
+        for &devices in device_counts {
+            let mut reports = Vec::new();
+            let mut h2_last = None;
+            let mut stats_last = None;
+            for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
+                let fabric = fabric_for(devices, mode, prec);
+                let (h2, stats, report) = if let Some(km) = &km_sym {
+                    shard_construct(
+                        &fabric,
+                        sampler.as_ref(),
+                        km,
+                        tree.clone(),
+                        part.clone(),
+                        &cfg,
+                    )
+                } else {
+                    let km = km_unsym.as_ref().unwrap();
+                    shard_construct_unsym(
+                        &fabric,
+                        sampler.as_ref(),
+                        km,
+                        tree.clone(),
+                        part.clone(),
+                        &cfg,
+                    )
+                };
+                reports.push(report);
+                h2_last = Some(h2);
+                stats_last = Some(stats);
+            }
+            let (sync_rep, pipe_rep) = (&reports[0], &reports[1]);
+            let h2 = h2_last.unwrap();
+            let stats = stats_last.unwrap();
+            let cmp =
+                compare_with_simulator(pipe_rep, &level_specs(&h2), stats.total_samples, &weak);
+            let bytes_equal = cmp.bytes_match();
+            if stats.rounds == 0 {
+                assert!(
+                    bytes_equal,
+                    "{regime} D={devices}: non-adaptive run must match simulator bytes \
+                     ({} vs {})",
+                    cmp.measured_bytes, cmp.predicted_bytes
+                );
+            }
+            let row = BenchRow {
+                regime,
+                phase: "construct",
+                prec,
+                devices,
+                sync: mode_row(sync_rep),
+                pipe: mode_row(pipe_rep),
+                comm_bytes: pipe_rep.total_comm_bytes(),
+                sim_ratio: cmp.makespan_ratio(),
                 bytes_equal,
-                "{regime} D={devices}: non-adaptive run must match simulator bytes \
-                 ({} vs {})",
-                cmp.measured_bytes, cmp.predicted_bytes
-            );
+            };
+            h2_bench::row(&[
+                devices.to_string(),
+                format!("{:.3}", row.sync.makespan_weak * 1e3),
+                format!("{:.3}", row.pipe.makespan_weak * 1e3),
+                format!("{:.2}x", row.speedup()),
+                format!("{:.2}x", row.speedup_a100()),
+                format!("{:.3}", row.pipe.stall * 1e3),
+                format!("{:.3}", row.pipe.overlap * 1e3),
+                format!("{:.2}", row.sim_ratio),
+                row.bytes_equal.to_string(),
+            ]);
+            rows.push(row);
+            if devices == *device_counts.last().unwrap() {
+                h2_for_matvec = Some(h2);
+            }
         }
-        let row = BenchRow {
-            regime,
-            phase: "construct",
-            devices,
-            sync: mode_row(sync_rep),
-            pipe: mode_row(pipe_rep),
-            sim_ratio: cmp.makespan_ratio(),
-            bytes_equal,
-        };
-        h2_bench::row(&[
-            devices.to_string(),
-            format!("{:.3}", row.sync.makespan_weak * 1e3),
-            format!("{:.3}", row.pipe.makespan_weak * 1e3),
-            format!("{:.2}x", row.speedup()),
-            format!("{:.2}x", row.speedup_a100()),
-            format!("{:.3}", row.pipe.stall * 1e3),
-            format!("{:.3}", row.pipe.overlap * 1e3),
-            format!("{:.2}", row.sim_ratio),
-            row.bytes_equal.to_string(),
-        ]);
-        rows.push(row);
-        if devices == *device_counts.last().unwrap() {
-            h2_for_matvec = Some(h2);
-        }
-    }
-    println!();
+        println!();
 
-    let h2 = h2_for_matvec.expect("at least one device count");
-    let x = h2_dense::gaussian_mat(n, 16, seed ^ 0xBEEF);
-    println!("## Matvec ({regime}, 16 columns)\n");
-    h2_bench::header(&[
-        "D",
-        "sync weak (ms)",
-        "pipe weak (ms)",
-        "speedup",
-        "speedup A100",
-        "pipe stall (ms)",
-        "pipe overlap (ms)",
-    ]);
-    for &devices in device_counts {
-        let mut mode_rows = Vec::new();
-        for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
-            let fabric = fabric_for(devices, mode);
-            let (_, report) = shard_matvec_with_report(&fabric, &h2, &x, false);
-            mode_rows.push(mode_row(&report));
-        }
-        let pipe = mode_rows.pop().unwrap();
-        let sync = mode_rows.pop().unwrap();
-        let row = BenchRow {
-            regime,
-            phase: "matvec",
-            devices,
-            sync,
-            pipe,
-            sim_ratio: 0.0,
-            bytes_equal: true,
-        };
-        h2_bench::row(&[
-            devices.to_string(),
-            format!("{:.3}", row.sync.makespan_weak * 1e3),
-            format!("{:.3}", row.pipe.makespan_weak * 1e3),
-            format!("{:.2}x", row.speedup()),
-            format!("{:.2}x", row.speedup_a100()),
-            format!("{:.3}", row.pipe.stall * 1e3),
-            format!("{:.3}", row.pipe.overlap * 1e3),
+        let h2 = h2_for_matvec.expect("at least one device count");
+        let x = h2_dense::gaussian_mat(n, 16, seed ^ 0xBEEF);
+        println!("## Matvec ({regime}, 16 columns, {})\n", prec.name());
+        h2_bench::header(&[
+            "D",
+            "sync weak (ms)",
+            "pipe weak (ms)",
+            "speedup",
+            "speedup A100",
+            "pipe stall (ms)",
+            "pipe overlap (ms)",
+            "sim ratio",
+            "bytes ==",
         ]);
-        rows.push(row);
+        for &devices in device_counts {
+            let mut reports = Vec::new();
+            for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
+                let fabric = fabric_for(devices, mode, prec);
+                let (_, report) = shard_matvec_with_report(&fabric, &h2, &x, false);
+                reports.push(report);
+            }
+            let (sync_rep, pipe_rep) = (&reports[0], &reports[1]);
+            // The matvec simulator replays the executor's epoch structure
+            // exactly, so bytes must always match (no adaptive caveat).
+            let cmp = compare_matvec_with_simulator(pipe_rep, &h2, x.cols(), false, &weak);
+            assert!(
+                cmp.bytes_match(),
+                "{regime} D={devices}: matvec bytes {} vs simulator {}",
+                cmp.measured_bytes,
+                cmp.predicted_bytes
+            );
+            let row = BenchRow {
+                regime,
+                phase: "matvec",
+                prec,
+                devices,
+                sync: mode_row(sync_rep),
+                pipe: mode_row(pipe_rep),
+                comm_bytes: pipe_rep.total_comm_bytes(),
+                sim_ratio: cmp.makespan_ratio(),
+                bytes_equal: cmp.bytes_match(),
+            };
+            h2_bench::row(&[
+                devices.to_string(),
+                format!("{:.3}", row.sync.makespan_weak * 1e3),
+                format!("{:.3}", row.pipe.makespan_weak * 1e3),
+                format!("{:.2}x", row.speedup()),
+                format!("{:.2}x", row.speedup_a100()),
+                format!("{:.3}", row.pipe.stall * 1e3),
+                format!("{:.3}", row.pipe.overlap * 1e3),
+                format!("{:.2}", row.sim_ratio),
+                row.bytes_equal.to_string(),
+            ]);
+            rows.push(row);
+        }
+        println!();
     }
-    println!();
 }
 
 fn main() {
@@ -303,6 +340,12 @@ fn main() {
     let leaf: usize = args.get("leaf", if smoke { 16 } else { 32 });
     let samples: usize = args.get("samples", if smoke { 64 } else { 128 });
     let out_path: String = args.get("out", "BENCH_fabric.json".to_string());
+    let prec_arg: String = args.get("precision", "f64".to_string());
+    let precisions: Vec<Precision> = match prec_arg.as_str() {
+        "both" => vec![Precision::F64, Precision::F32],
+        s => vec![Precision::parse(s)
+            .unwrap_or_else(|| panic!("--precision must be f64, f32, or both (got {s})"))],
+    };
     let device_counts: &[usize] = &[1, 2, 4, 8];
 
     println!(
@@ -310,7 +353,16 @@ fn main() {
          weak-compute 0.5 TF/s headline, A100-class 10 TF/s reference)\n"
     );
     let mut rows: Vec<BenchRow> = Vec::new();
-    run_regime("sym", n, leaf, samples, 0xFAB1, device_counts, &mut rows);
+    run_regime(
+        "sym",
+        n,
+        leaf,
+        samples,
+        0xFAB1,
+        device_counts,
+        &precisions,
+        &mut rows,
+    );
     run_regime(
         "unsym",
         n_unsym,
@@ -318,6 +370,7 @@ fn main() {
         samples,
         0xFAB2,
         device_counts,
+        &precisions,
         &mut rows,
     );
 
@@ -332,20 +385,68 @@ fn main() {
          (acceptance floor 1.25x on the full run)."
     );
 
+    // Mixed-precision headline: pair f64/f32 rows by (regime, phase, D) and
+    // report the worst byte ratio (must be ~half: every wire formula is
+    // linear in the element width) plus the best comm-bound win — the A100
+    // model is the strong-compute regime where transfer time dominates the
+    // pipelined makespan, so halving the bytes shows up directly.
+    let mut byte_ratio_worst = 0.0f64;
+    let mut comm_speedup = 0.0f64;
+    if precisions.len() == 2 {
+        for r64 in rows.iter().filter(|r| r.prec == Precision::F64) {
+            let Some(r32) = rows.iter().find(|r| {
+                r.prec == Precision::F32
+                    && r.regime == r64.regime
+                    && r.phase == r64.phase
+                    && r.devices == r64.devices
+            }) else {
+                continue;
+            };
+            if r64.comm_bytes > 0 {
+                byte_ratio_worst =
+                    byte_ratio_worst.max(r32.comm_bytes as f64 / r64.comm_bytes as f64);
+            }
+            if r64.devices >= 4 && r32.pipe.makespan_a100 > 0.0 {
+                comm_speedup = comm_speedup.max(r64.pipe.makespan_a100 / r32.pipe.makespan_a100);
+            }
+        }
+        assert!(
+            byte_ratio_worst <= 0.55,
+            "f32 wire must cut fabric bytes to ~half (worst ratio {byte_ratio_worst:.3})"
+        );
+        println!(
+            "Mixed precision: worst f32/f64 byte ratio {byte_ratio_worst:.3}; best f32 \
+             pipelined makespan speedup on the A100 model at D >= 4 is {comm_speedup:.2}x."
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
         "  \"config\": {{\"n\": {n}, \"n_unsym\": {n_unsym}, \"leaf\": {leaf}, \
          \"samples\": {samples}, \"smoke\": {smoke}, \"link\": \"cpu_scale\", \
-         \"headline_model\": \"weak_compute_0.5TFs\", \"reference_model\": \"a100_10TFs\"}},\n"
+         \"precisions\": [{}], \
+         \"headline_model\": \"weak_compute_0.5TFs\", \"reference_model\": \"a100_10TFs\"}},\n",
+        precisions
+            .iter()
+            .map(|p| format!("\"{}\"", p.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     json.push_str(&format!(
         "  \"headline_speedup_at_4plus\": {headline:.3},\n"
     ));
+    if precisions.len() == 2 {
+        json.push_str(&format!(
+            "  \"f32_byte_ratio_worst\": {byte_ratio_worst:.6},\n  \
+             \"f32_comm_speedup_a100_at_4plus\": {comm_speedup:.3},\n"
+        ));
+    }
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"phase\": \"{}\", \"devices\": {}, \
+            "    {{\"regime\": \"{}\", \"phase\": \"{}\", \"precision\": \"{}\", \
+             \"devices\": {}, \"comm_bytes\": {}, \
              \"sync\": {{\"makespan_weak\": {:.6e}, \"makespan_a100\": {:.6e}, \
              \"wall\": {:.6e}, \"busy\": {:.6e}, \
              \"stall\": {:.6e}, \"overlap\": {:.6e}, \"idle\": {:.6e}}}, \
@@ -356,7 +457,9 @@ fn main() {
              \"bytes_equal\": {}}}{}\n",
             r.regime,
             r.phase,
+            r.prec.name(),
             r.devices,
+            r.comm_bytes,
             r.sync.makespan_weak,
             r.sync.makespan_a100,
             r.sync.wall,

@@ -17,17 +17,29 @@
 //! * **sharded sweep** — modeled-makespan curves of the fabric solve at
 //!   D ∈ {1, 2, 4} under the weak-compute and A100-class device models,
 //!   with the transfer byte totals **asserted equal** to the
-//!   [`h2_runtime::simulate_solve`] prediction (the CI smoke run keeps
-//!   this wired).
+//!   [`h2_runtime::simulate_solve_prec`] prediction (the CI smoke run
+//!   keeps this wired);
+//! * **precision** — with `--precision f32` the construction stores
+//!   norm-aware-demoted blocks (`SketchConfig::storage`) and the fabric
+//!   wire ships every sweep transfer at half width; `--precision both`
+//!   runs f64 and f32 back to back. The ULV factorization reads the f64
+//!   working copies (exact round-trips of the stored blocks), so the
+//!   residual column stays at machine precision either way. The **wire
+//!   ratio** column compares each row's measured sweep bytes to the same
+//!   factorization modeled at the f64 wire width (asserted ≤ 0.55 for f32
+//!   rows) — f64-run-vs-f32-run byte comparisons would be apples to
+//!   oranges, since demotion error perturbs the adaptively sketched
+//!   operator and with it the retained ranks.
 //!
 //! Usage: `solvers_fabric [--n 4096] [--n-unsym 2048] [--leaf 32]
-//! [--rhs 64] [--out BENCH_solve.json] [--smoke]`
+//! [--rhs 64] [--precision f64|f32|both] [--out BENCH_solve.json]
+//! [--smoke]`
 
 use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig};
 use h2_dense::gaussian_mat;
 use h2_kernels::{ConvectionKernel, ExponentialKernel, KernelMatrix, UnsymKernelMatrix};
 use h2_matrix::H2Matrix;
-use h2_runtime::{simulate_solve, DeviceModel, Runtime};
+use h2_runtime::{simulate_solve_prec, DeviceModel, Precision, Runtime};
 use h2_sched::{
     compare_solve_with_simulator, shard_ulv_solve_with_report, DeviceFabric, FabricOp,
     UlvFabricPrecond,
@@ -49,6 +61,9 @@ fn shift_diag(h2: &mut H2Matrix, sigma: f64) {
             for j in 0..blk.rows() {
                 blk[(j, j)] += sigma;
             }
+            // Keep demoted f32 storage coherent with the shifted working
+            // copy (no-op for f64 blocks).
+            h2.dense.resync_demoted(i);
         }
     }
 }
@@ -64,6 +79,7 @@ fn models() -> (DeviceModel, DeviceModel) {
 
 struct FactorRow {
     regime: &'static str,
+    prec: Precision,
     n: usize,
     batched_ms: f64,
     per_node_ms: f64,
@@ -75,6 +91,7 @@ struct FactorRow {
 
 struct KrylovRow {
     regime: &'static str,
+    prec: Precision,
     method: &'static str,
     plain_iters: usize,
     precond_iters: usize,
@@ -83,17 +100,25 @@ struct KrylovRow {
 
 struct SweepRow {
     regime: &'static str,
+    prec: Precision,
     devices: usize,
     makespan_weak: f64,
     makespan_a100: f64,
     sim_makespan_weak: f64,
     comm_bytes: u64,
+    /// Measured sweep bytes over the *same factorization* modeled at the
+    /// f64 wire width — the wire-format ratio proper. (Cross-run f64-vs-f32
+    /// byte comparisons are not meaningful here: demotion error perturbs
+    /// the adaptively sketched operator, so the two runs factor slightly
+    /// different matrices with different retained ranks.)
+    wire_ratio: f64,
     bytes_equal: bool,
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_regime(
     regime: &'static str,
+    prec: Precision,
     n: usize,
     leaf: usize,
     rhs: usize,
@@ -110,6 +135,7 @@ fn run_regime(
         tol: 1e-9,
         initial_samples: 64,
         max_rank: 96,
+        storage: prec,
         ..Default::default()
     };
     let mut h2 = if sym {
@@ -147,6 +173,7 @@ fn run_regime(
     );
     factor_rows.push(FactorRow {
         regime,
+        prec,
         n,
         batched_ms,
         per_node_ms,
@@ -159,22 +186,25 @@ fn run_regime(
     // ---- Krylov: iteration counts with/without the ULV sweep ----
     let bvec: Vec<f64> = (0..n).map(|i| 1.0 + (0.013 * i as f64).sin()).collect();
     let sweep_fabric = DeviceFabric::new(2);
-    let prec = UlvFabricPrecond::new(&sweep_fabric, &ulv);
+    sweep_fabric.set_wire(prec);
+    let minv = UlvFabricPrecond::new(&sweep_fabric, &ulv);
     let (method, plain, fast) = if sym {
         let plain = pcg(&h2, &Identity { n }, &bvec, 600, 1e-10);
-        let fast = pcg(&h2, &prec, &bvec, 600, 1e-10);
+        let fast = pcg(&h2, &minv, &bvec, 600, 1e-10);
         ("pcg", plain, fast)
     } else {
         // Matvecs through the fabric-sharded operator.
         let matvec_fabric = DeviceFabric::new(2);
+        matvec_fabric.set_wire(prec);
         let op = FabricOp::new(&matvec_fabric, &h2);
         let plain = gmres(&op, &Identity { n }, &bvec, 40, 600, 1e-10);
-        let fast = gmres(&op, &prec, &bvec, 40, 600, 1e-10);
+        let fast = gmres(&op, &minv, &bvec, 40, 600, 1e-10);
         ("gmres", plain, fast)
     };
     assert!(fast.converged, "{regime}: preconditioned {method} stalled");
     krylov_rows.push(KrylovRow {
         regime,
+        prec,
         method,
         plain_iters: plain.iterations,
         precond_iters: fast.iterations,
@@ -186,6 +216,7 @@ fn run_regime(
     let spec = ulv.solve_spec(rhs);
     for devices in [1usize, 2, 4] {
         let fabric = DeviceFabric::new(devices);
+        fabric.set_wire(prec);
         let (_, report) = shard_ulv_solve_with_report(&fabric, &ulv, &b);
         let cmp = compare_solve_with_simulator(&report, &spec, &weak);
         assert!(
@@ -194,13 +225,22 @@ fn run_regime(
             cmp.measured_bytes,
             cmp.predicted_bytes
         );
+        let sim_f64_bytes =
+            simulate_solve_prec(&spec, devices, &weak, Precision::F64).total_comm_bytes;
+        let measured = report.total_comm_bytes();
         sweep_rows.push(SweepRow {
             regime,
+            prec,
             devices,
             makespan_weak: report.modeled_makespan(&weak),
             makespan_a100: report.modeled_makespan(&a100),
-            sim_makespan_weak: simulate_solve(&spec, devices, &weak).makespan,
-            comm_bytes: report.total_comm_bytes(),
+            sim_makespan_weak: simulate_solve_prec(&spec, devices, &weak, prec).makespan,
+            comm_bytes: measured,
+            wire_ratio: if sim_f64_bytes > 0 {
+                measured as f64 / sim_f64_bytes as f64
+            } else {
+                1.0
+            },
             bytes_equal: cmp.bytes_match(),
         });
     }
@@ -217,6 +257,12 @@ fn main() {
     // §IV.B "don't multi-GPU small problems" tradeoff shows in the curve).
     let rhs: usize = args.get("rhs", if smoke { 8 } else { 64 });
     let out_path: String = args.get("out", "BENCH_solve.json".to_string());
+    let prec_arg: String = args.get("precision", "f64".to_string());
+    let precisions: Vec<Precision> = match prec_arg.as_str() {
+        "both" => vec![Precision::F64, Precision::F32],
+        s => vec![Precision::parse(s)
+            .unwrap_or_else(|| panic!("--precision must be f64, f32, or both (got {s})"))],
+    };
 
     println!(
         "# Solver stack: ULV (batched per-level elimination) + fabric-sharded sweeps\n\
@@ -228,28 +274,33 @@ fn main() {
     let mut factor_rows = Vec::new();
     let mut krylov_rows = Vec::new();
     let mut sweep_rows = Vec::new();
-    run_regime(
-        "sym",
-        n,
-        leaf,
-        rhs,
-        &mut factor_rows,
-        &mut krylov_rows,
-        &mut sweep_rows,
-    );
-    run_regime(
-        "unsym",
-        n_unsym,
-        leaf,
-        rhs,
-        &mut factor_rows,
-        &mut krylov_rows,
-        &mut sweep_rows,
-    );
+    for &prec in &precisions {
+        run_regime(
+            "sym",
+            prec,
+            n,
+            leaf,
+            rhs,
+            &mut factor_rows,
+            &mut krylov_rows,
+            &mut sweep_rows,
+        );
+        run_regime(
+            "unsym",
+            prec,
+            n_unsym,
+            leaf,
+            rhs,
+            &mut factor_rows,
+            &mut krylov_rows,
+            &mut sweep_rows,
+        );
+    }
 
     println!("## ULV factor + solve\n");
     h2_bench::header(&[
         "regime",
+        "prec",
         "N",
         "batched factor (ms)",
         "per-node factor (ms)",
@@ -261,6 +312,7 @@ fn main() {
     for r in &factor_rows {
         h2_bench::row(&[
             r.regime.to_string(),
+            r.prec.name().to_string(),
             r.n.to_string(),
             format!("{:.1}", r.batched_ms),
             format!("{:.1}", r.per_node_ms),
@@ -274,6 +326,7 @@ fn main() {
     println!("\n## Preconditioned Krylov (ULV sweep as M⁻¹)\n");
     h2_bench::header(&[
         "regime",
+        "prec",
         "method",
         "plain iters",
         "ULV-precond iters",
@@ -282,6 +335,7 @@ fn main() {
     for r in &krylov_rows {
         h2_bench::row(&[
             r.regime.to_string(),
+            r.prec.name().to_string(),
             r.method.to_string(),
             r.plain_iters.to_string(),
             r.precond_iters.to_string(),
@@ -292,39 +346,75 @@ fn main() {
     println!("\n## Fabric-sharded solve sweep (modeled makespan, bytes == simulator)\n");
     h2_bench::header(&[
         "regime",
+        "prec",
         "D",
         "weak (ms)",
         "A100 (ms)",
         "sim weak (ms)",
         "comm (KiB)",
+        "wire ratio",
         "bytes ==",
     ]);
     for r in &sweep_rows {
         h2_bench::row(&[
             r.regime.to_string(),
+            r.prec.name().to_string(),
             r.devices.to_string(),
             format!("{:.3}", r.makespan_weak * 1e3),
             format!("{:.3}", r.makespan_a100 * 1e3),
             format!("{:.3}", r.sim_makespan_weak * 1e3),
             format!("{:.1}", r.comm_bytes as f64 / 1024.0),
+            format!("{:.3}", r.wire_ratio),
             r.bytes_equal.to_string(),
         ]);
+    }
+
+    // Mixed-precision headline: every f32 sweep row must ship at most ~half
+    // the bytes its *own* factorization would ship at the f64 wire width
+    // (all sweep wire formulas are linear in the element width, so the true
+    // ratio is exactly 0.5 wherever there is any cross-device traffic).
+    let f32_ratio_worst = sweep_rows
+        .iter()
+        .filter(|r| r.prec == Precision::F32 && r.comm_bytes > 0)
+        .map(|r| r.wire_ratio)
+        .fold(0.0f64, f64::max);
+    if f32_ratio_worst > 0.0 {
+        assert!(
+            f32_ratio_worst <= 0.55,
+            "f32 wire must cut sweep bytes to ~half (worst ratio {f32_ratio_worst:.3})"
+        );
+        println!(
+            "\nMixed precision: worst f32 sweep wire ratio vs the f64-width model \
+             is {f32_ratio_worst:.3}."
+        );
     }
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
         "  \"config\": {{\"n\": {n}, \"n_unsym\": {n_unsym}, \"leaf\": {leaf}, \
-         \"rhs\": {rhs}, \"smoke\": {smoke}, \
-         \"makespan_models\": [\"weak_compute_0.5TFs\", \"a100_10TFs\"]}},\n"
+         \"rhs\": {rhs}, \"smoke\": {smoke}, \"precisions\": [{}], \
+         \"makespan_models\": [\"weak_compute_0.5TFs\", \"a100_10TFs\"]}},\n",
+        precisions
+            .iter()
+            .map(|p| format!("\"{}\"", p.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
+    if f32_ratio_worst > 0.0 {
+        json.push_str(&format!(
+            "  \"f32_sweep_wire_ratio_worst\": {f32_ratio_worst:.6},\n"
+        ));
+    }
     json.push_str("  \"factor\": [\n");
     for (i, r) in factor_rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"n\": {}, \"batched_factor_ms\": {:.3}, \
+            "    {{\"regime\": \"{}\", \"precision\": \"{}\", \"n\": {}, \
+             \"batched_factor_ms\": {:.3}, \
              \"per_node_factor_ms\": {:.3}, \"solve_ms\": {:.3}, \
              \"residual\": {:.3e}, \"root_size\": {}, \"schedule_gap\": {:.3e}}}{}\n",
             r.regime,
+            r.prec.name(),
             r.n,
             r.batched_ms,
             r.per_node_ms,
@@ -338,9 +428,11 @@ fn main() {
     json.push_str("  ],\n  \"krylov\": [\n");
     for (i, r) in krylov_rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"method\": \"{}\", \"plain_iters\": {}, \
+            "    {{\"regime\": \"{}\", \"precision\": \"{}\", \"method\": \"{}\", \
+             \"plain_iters\": {}, \
              \"precond_iters\": {}, \"precond_residual\": {:.3e}}}{}\n",
             r.regime,
+            r.prec.name(),
             r.method,
             r.plain_iters,
             r.precond_iters,
@@ -351,15 +443,18 @@ fn main() {
     json.push_str("  ],\n  \"sharded_sweep\": [\n");
     for (i, r) in sweep_rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"devices\": {}, \"makespan_weak\": {:.6e}, \
+            "    {{\"regime\": \"{}\", \"precision\": \"{}\", \"devices\": {}, \
+             \"makespan_weak\": {:.6e}, \
              \"makespan_a100\": {:.6e}, \"sim_makespan_weak\": {:.6e}, \
-             \"comm_bytes\": {}, \"bytes_equal\": {}}}{}\n",
+             \"comm_bytes\": {}, \"wire_ratio\": {:.6}, \"bytes_equal\": {}}}{}\n",
             r.regime,
+            r.prec.name(),
             r.devices,
             r.makespan_weak,
             r.makespan_a100,
             r.sim_makespan_weak,
             r.comm_bytes,
+            r.wire_ratio,
             r.bytes_equal,
             if i + 1 < sweep_rows.len() { "," } else { "" }
         ));

@@ -58,6 +58,13 @@ pub struct SketchConfig {
     pub safety: f64,
     /// RNG seed (all sketching randomness derives from it).
     pub seed: u64,
+    /// Storage precision requested for finished basis/coupling/dense
+    /// blocks. With [`h2_runtime::Precision::F32`] the construction demotes
+    /// each level's blocks as the level completes, under the norm-aware
+    /// rule (`h2_matrix::H2Matrix::demote_level`): a block only narrows
+    /// when the f32 rounding error stays below the construction tolerance.
+    /// Arithmetic is f64 either way.
+    pub storage: h2_runtime::Precision,
 }
 
 impl Default for SketchConfig {
@@ -73,6 +80,7 @@ impl Default for SketchConfig {
             schedule: TolSchedule::Constant,
             safety: 1.0 / 30.0,
             seed: 0xC0FFEE,
+            storage: h2_runtime::Precision::F64,
         }
     }
 }

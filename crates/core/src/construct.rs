@@ -223,6 +223,14 @@ fn sketch_construct_engine(
     stats.norm_estimate = norm_est;
     let eps_abs = cfg.safety * cfg.tol * norm_est.max(f64::MIN_POSITIVE);
 
+    // ---- storage demotion of the finished near-field (norm-aware) ----
+    // Done before the level loop so the leaf-level BSR subtraction reads
+    // exactly the values the stored operator will have: demotion error is
+    // then *part of* the operator being sketched, not an unmodeled drift.
+    if cfg.storage == h2_runtime::Precision::F32 {
+        h2.dense.demote_pending(eps_abs);
+    }
+
     // The column stream samples through `apply_transpose`, whose `LinOp`
     // default silently falls back to `apply` (correct only for symmetric
     // operators). The adjoint identity xᵀ(K y) = (Kᵀ x)ᵀ y holds for every
@@ -434,6 +442,14 @@ fn sketch_construct_engine(
                 h2.coupling.insert(s, t, b);
             }
         });
+
+        // ---- storage demotion as the level completes (norm-aware) ----
+        // Bases and coupling blocks of this level narrow to f32 *before*
+        // the upsweep and the next level's subtraction consume them, so
+        // every later kernel reads the stored representation.
+        if cfg.storage == h2_runtime::Precision::F32 {
+            h2.demote_level(l, eps_abs, norm_est);
+        }
 
         // ---- upsweep to the next level (lines 17-18 / 35-36): shrink each
         // stream's samples to its skeleton rows, compress its inputs by the

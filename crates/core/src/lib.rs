@@ -143,6 +143,46 @@ mod tests {
         assert!(e < 1e-5, "rel err {e}");
     }
 
+    /// The f32 storage tier is tolerance-safe: under the norm-aware rule a
+    /// block only narrows when its rounding error fits inside the
+    /// construction's absolute threshold, so the measured error stays in
+    /// the same band as pure-f64 storage at every tolerance — and at a
+    /// loose tolerance the rule actually fires (blocks, bases and dense
+    /// near-field all carry f32 copies).
+    #[test]
+    fn f32_storage_stays_within_tolerance() {
+        let (tree, part, km) = cov_problem(1500, 16, 0.7, 120);
+        let rt = Runtime::parallel();
+        for (tol, must_demote) in [(1e-4, true), (1e-6, false)] {
+            let cfg = SketchConfig {
+                tol,
+                initial_samples: 64,
+                storage: h2_runtime::Precision::F32,
+                ..Default::default()
+            };
+            let (h2, _) = sketch_construct(&km, &km, tree.clone(), part.clone(), &rt, &cfg);
+            h2.validate().unwrap();
+            let e = relative_error_2(&km, &h2, 20, 121);
+            assert!(e < 10.0 * tol, "rel err {e} vs tol {tol} with f32 storage");
+            if must_demote {
+                assert!(
+                    h2.coupling.demoted_count() > 0,
+                    "loose tolerance must demote coupling blocks"
+                );
+                assert!(
+                    h2.dense.demoted_count() > 0,
+                    "loose tolerance must demote dense blocks"
+                );
+                assert!(
+                    h2.basis_prec.contains(&h2_runtime::Precision::F32),
+                    "loose tolerance must demote bases"
+                );
+                let (_, f32b) = h2.coupling.bytes_by_precision();
+                assert!(f32b > 0, "f32 bytes must show up in the accounting");
+            }
+        }
+    }
+
     /// Sequential and parallel backends are numerically identical.
     #[test]
     fn backends_agree_exactly() {

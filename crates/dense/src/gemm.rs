@@ -61,6 +61,7 @@
 //! disjoint column panels where the redundant A packing is cheap.
 
 use crate::mat::{Mat, MatMut, MatRef};
+use crate::prec::Mat32;
 use rayon::prelude::*;
 
 /// Transpose selector, mirroring the BLAS `trans` argument.
@@ -352,6 +353,52 @@ fn pack_a(ta: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, buf
     }
 }
 
+/// Pack `op(A)` micro-panels from an **f32-stored** matrix, promoting each
+/// element at pack time — the promote-on-pack conversion point of the
+/// mixed-precision path. Produces bitwise the same f64 panel as [`pack_a`]
+/// on `a.promote()` (promotion is exact), so the microkernel downstream is
+/// untouched and the mixed product equals the all-f64 product on the
+/// promoted working copy exactly.
+fn pack_a32(ta: Op, a: &Mat32, ic: usize, pc: usize, mc: usize, kc: usize, buf: &mut Vec<f64>) {
+    let panels = mc.div_ceil(MR);
+    ensure_pack_len(buf, panels * MR * kc);
+    let tail = mc % MR;
+    if tail != 0 {
+        let base = (panels - 1) * MR * kc;
+        for p in 0..kc {
+            buf[base + p * MR + tail..base + p * MR + MR].fill(0.0);
+        }
+    }
+    match ta {
+        Op::NoTrans => {
+            for p in 0..kc {
+                let col = a.col(pc + p);
+                for q in 0..panels {
+                    let i0 = q * MR;
+                    let cnt = MR.min(mc - i0);
+                    let dst = &mut buf[q * MR * kc + p * MR..][..cnt];
+                    for (d, &v) in dst.iter_mut().zip(&col[ic + i0..ic + i0 + cnt]) {
+                        *d = v as f64;
+                    }
+                }
+            }
+        }
+        Op::Trans => {
+            for q in 0..panels {
+                let i0 = q * MR;
+                let cnt = MR.min(mc - i0);
+                for i in 0..cnt {
+                    let col = a.col(ic + i0 + i);
+                    let base = q * MR * kc + i;
+                    for p in 0..kc {
+                        buf[base + p * MR] = col[pc + p] as f64;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Pack `op(B)[pc..pc+kc, jc..jc+nc]` into `NR`-column micro-panels
 /// (`buf[q*NR*kc + p*NR + j]`), zero-padding the last panel to `NR` columns.
 fn pack_b(tb: Op, b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, buf: &mut Vec<f64>) {
@@ -446,9 +493,28 @@ fn microkernel(ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
 
 /// The blocked-packed macro loops over one C target (serial). `beta` has
 /// already been applied; this purely accumulates `alpha * op(A) op(B)`.
-fn packed_accumulate(ta: Op, tb: Op, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+fn packed_accumulate(ta: Op, tb: Op, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
     let m = ta.rows_of(a);
     let k = ta.cols_of(a);
+    packed_macro_loops(tb, alpha, m, k, b, c, |ic, pc, mc, kc, buf| {
+        pack_a(ta, a, ic, pc, mc, kc, buf)
+    });
+}
+
+/// The macro-loop body shared by the all-f64 and mixed-precision packed
+/// kernels: only the pack-A stage differs (where the f32 → f64 promotion
+/// happens), so everything downstream of packing is literally the same code.
+fn packed_macro_loops<PA>(
+    tb: Op,
+    alpha: f64,
+    m: usize,
+    k: usize,
+    b: MatRef<'_>,
+    mut c: MatMut<'_>,
+    pack_a_block: PA,
+) where
+    PA: Fn(usize, usize, usize, usize, &mut Vec<f64>),
+{
     let n = tb.cols_of(b);
     let mut apack: Vec<f64> = Vec::new();
     let mut bpack: Vec<f64> = Vec::new();
@@ -461,7 +527,7 @@ fn packed_accumulate(ta: Op, tb: Op, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, m
             packed_bytes += (bpack.len() * 8) as u64;
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a(ta, a, ic, pc, mc, kc, &mut apack);
+                pack_a_block(ic, pc, mc, kc, &mut apack);
                 packed_bytes += (apack.len() * 8) as u64;
                 for jr in (0..nc).step_by(NR) {
                     let nr = NR.min(nc - jr);
@@ -486,6 +552,54 @@ fn packed_accumulate(ta: Op, tb: Op, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, m
         }
     }
     stats::add_pack(1, packed_bytes);
+}
+
+/// Mixed-precision GEMM: `C = alpha * op(A₃₂) * op(B) + beta * C` with the
+/// `A` operand **stored in f32** and all arithmetic accumulating in f64.
+///
+/// Above the crossover this packs the f32 operand straight into the f64
+/// micro-panels ([`pack_a32`] — promotion happens at the packing stage, so
+/// the register-tiled microkernel is byte-for-byte the all-f64 one); below
+/// it the operand is promoted once and the naive kernel runs. Either way
+/// the result is **bitwise identical** to [`gemm`] on `a.promote()` — the
+/// contract that lets block stores keep a promoted f64 working copy while
+/// shipping and storing the f32 form.
+pub fn gemm_mixed(
+    ta: Op,
+    tb: Op,
+    alpha: f64,
+    a: &Mat32,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let (m, k) = match ta {
+        Op::NoTrans => (a.rows(), a.cols()),
+        Op::Trans => (a.cols(), a.rows()),
+    };
+    let k2 = tb.rows_of(b);
+    let n = tb.cols_of(b);
+    assert_eq!(k, k2, "gemm_mixed: inner dimension mismatch ({k} vs {k2})");
+    assert_eq!(c.rows(), m, "gemm_mixed: C row mismatch");
+    assert_eq!(c.cols(), n, "gemm_mixed: C col mismatch");
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill(0.0);
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if use_packed(m, n, k) {
+        packed_macro_loops(tb, alpha, m, k, b, c, |ic, pc, mc, kc, buf| {
+            pack_a32(ta, a, ic, pc, mc, kc, buf)
+        });
+    } else {
+        let ap = a.promote();
+        naive_accumulate(ta, tb, alpha, ap.rf(), b, c);
+    }
 }
 
 /// Convenience: allocate and return `op(A) * op(B)`.
@@ -788,6 +902,62 @@ mod tests {
             "a 96^3 product must take the packed path"
         );
         assert!(after.pack_bytes > before.pack_bytes);
+    }
+
+    #[test]
+    fn gemm_mixed_bitwise_equals_gemm_on_promoted_copy() {
+        // Both the packed (large) and naive (small) shapes: the mixed path
+        // must equal the all-f64 kernel on the round-trip working copy
+        // exactly, not merely to roundoff — that is the promote-on-pack
+        // contract block stores rely on.
+        for (m, k, n) in [(61, 67, 59), (5, 4, 3), (128, 64, 16)] {
+            for ta in [Op::NoTrans, Op::Trans] {
+                for tb in [Op::NoTrans, Op::Trans] {
+                    let a = match ta {
+                        Op::NoTrans => gaussian_mat(m, k, 17),
+                        Op::Trans => gaussian_mat(k, m, 17),
+                    };
+                    let b = match tb {
+                        Op::NoTrans => gaussian_mat(k, n, 18),
+                        Op::Trans => gaussian_mat(n, k, 18),
+                    };
+                    let a32 = Mat32::demote(a.rf());
+                    let awork = a32.promote();
+                    let mut c1 = gaussian_mat(m, n, 19);
+                    let mut c2 = c1.clone();
+                    gemm_mixed(ta, tb, 1.5, &a32, b.rf(), -0.5, c1.rm());
+                    gemm(ta, tb, 1.5, awork.rf(), b.rf(), -0.5, c2.rm());
+                    assert_eq!(c1, c2, "mixed path diverged for {ta:?},{tb:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_mixed_error_within_f32_eps_bound() {
+        // vs the f64 reference on the *original* A: per entry the demotion
+        // perturbs each of the k products by at most eps32 relative, so
+        // |C_mixed - C_f64| <= eps32 * sum_l |A_il B_lj| <= eps32 * k * max.
+        let (m, k, n) = (48, 96, 32);
+        let a = gaussian_mat(m, k, 27);
+        let b = gaussian_mat(k, n, 28);
+        let a32 = Mat32::demote(a.rf());
+        let mut c1 = Mat::zeros(m, n);
+        let mut c2 = Mat::zeros(m, n);
+        gemm_mixed(Op::NoTrans, Op::NoTrans, 1.0, &a32, b.rf(), 0.0, c1.rm());
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.rf(), b.rf(), 0.0, c2.rm());
+        let amax = a.norm_max();
+        let bmax = b.norm_max();
+        let bound = f32::EPSILON as f64 * k as f64 * amax * bmax;
+        let mut diff = c1;
+        diff.axpy(-1.0, &c2);
+        assert!(
+            diff.norm_max() <= bound,
+            "mixed error {} exceeds eps32*k bound {}",
+            diff.norm_max(),
+            bound
+        );
+        assert!(diff.norm_max() > 0.0, "demotion must actually perturb");
     }
 
     #[test]

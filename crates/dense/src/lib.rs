@@ -15,7 +15,11 @@
 //!   skeletonization step,
 //! * triangular solves, LU, Cholesky, one-sided Jacobi SVD,
 //! * the [`LinOp`](op::LinOp) / [`EntryAccess`](op::EntryAccess) traits — the
-//!   paper's two black-box inputs — plus power-iteration norm estimation.
+//!   paper's two black-box inputs — plus power-iteration norm estimation,
+//! * the storage/wire precision tier ([`prec`]): [`Precision`], the f32
+//!   storage type [`Mat32`] with demote/promote conversion kernels, and the
+//!   mixed-precision [`gemm_mixed`](gemm::gemm_mixed) whose f32 operand is
+//!   promoted at the packing stage while every accumulation stays f64.
 
 pub mod aca;
 pub mod cpqr;
@@ -24,6 +28,7 @@ pub mod krylov;
 pub mod lu;
 pub mod mat;
 pub mod op;
+pub mod prec;
 pub mod qr;
 pub mod rand;
 pub mod svd;
@@ -31,11 +36,12 @@ pub mod tri;
 
 pub use aca::{aca, AcaResult};
 pub use cpqr::{col_id, cpqr_factor, row_id, select_rank, ColId, RowId, Truncation};
-pub use gemm::{gemm, gemm_naive, gemv, matmul, par_gemm, Op};
+pub use gemm::{gemm, gemm_mixed, gemm_naive, gemv, matmul, par_gemm, Op};
 pub use krylov::{cg, hutchinson_trace, power_eig_max, SolveResult};
 pub use lu::{cholesky_in_place, cholesky_solve, lu_factor, LuFactor};
 pub use mat::{Mat, MatMut, MatRef};
 pub use op::{estimate_norm_2, relative_error_2, DenseOp, DiffOp, EntryAccess, LinOp};
+pub use prec::{demote_roundtrip, Mat32, Precision};
 pub use qr::{orthonormalize, qr_factor, qr_in_place, QrFactor};
 pub use rand::{fill_gaussian, gaussian_mat, random_low_rank, standard_normal};
 pub use svd::{spectral_norm, svd, Svd};

@@ -1,0 +1,208 @@
+//! Storage/wire precision tier: f32 block storage with f64 accumulation.
+//!
+//! The paper's fixed-precision compression direction (Boukaram–Turkiyyah–
+//! Keyes, "Hierarchical Matrix Operations on GPUs") stores the small dense
+//! blocks of a hierarchical matrix in reduced precision while keeping all
+//! arithmetic in f64. This module supplies the substrate:
+//!
+//! * [`Precision`] — the storage/wire width selector (`F64`/`F32`) that the
+//!   cost model, the transfer descriptors and the block stores all key on;
+//! * [`Mat32`] — an owning column-major f32 matrix, produced by the
+//!   **demote** conversion kernel ([`Mat32::demote`]) and consumed by the
+//!   **promote** kernel ([`Mat32::promote`]);
+//! * [`demote_roundtrip`] — the f64 working copy whose values are exactly
+//!   f32-representable: `promote(demote(A))`. Arithmetic on the round-trip
+//!   copy is bitwise identical to the promote-on-pack mixed GEMM path, so
+//!   a single stored f32 block serves both the packed and the naive
+//!   consumers without divergence.
+//!
+//! Error model: demotion rounds every entry to the nearest f32, so
+//! `‖A − promote(demote(A))‖_F ≤ ε₃₂ ‖A‖_F` with `ε₃₂ = f32::EPSILON / 2`
+//! per entry (plus underflow at the f32 subnormal floor, irrelevant at the
+//! block norms the demotion rule admits). Block stores use exactly this
+//! bound for their norm-aware demotion decision.
+
+use crate::mat::{Mat, MatRef};
+
+/// Element width of stored blocks and wire transfers.
+///
+/// `F64` is the historical default everywhere; `F32` halves the modeled
+/// bytes of every block shipped over the device fabric and of every block
+/// the norm-aware demotion rule admits into f32 storage. Arithmetic is
+/// always f64 — precision only governs storage and transfer width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    #[default]
+    F64,
+    F32,
+}
+
+impl Precision {
+    /// Bytes per element at this width.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+        }
+    }
+
+    /// Canonical lowercase name (`"f64"` / `"f32"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Parse a `--precision` flag value.
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f64" => Some(Precision::F64),
+            "f32" => Some(Precision::F32),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An owning, column-major, `f32` matrix — the storage form of a demoted
+/// block. Mirrors [`Mat`]'s layout so the promote kernel and the f32 pack
+/// kernels address it identically.
+#[derive(Clone, PartialEq)]
+pub struct Mat32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat32 {
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry `(i, j)`, promoted (exact).
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.rows + i] as f64
+    }
+
+    /// Column-major storage slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Column `j` as a contiguous slice (the pack kernels' access path).
+    pub fn col(&self, j: usize) -> &[f32] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Heap bytes of the storage (4 per element).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Demote conversion kernel: round every entry of `a` to the nearest
+    /// f32 (the `batchedDemote` a GPU implementation would run once per
+    /// level as blocks finalize).
+    pub fn demote(a: MatRef<'_>) -> Mat32 {
+        let (rows, cols) = (a.rows(), a.cols());
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(a.at(i, j) as f32);
+            }
+        }
+        Mat32 { rows, cols, data }
+    }
+
+    /// Promote conversion kernel: widen back to f64 (exact — every f32 is
+    /// representable).
+    pub fn promote(&self) -> Mat {
+        Mat::from_fn(self.rows, self.cols, |i, j| self.at(i, j))
+    }
+}
+
+impl std::fmt::Debug for Mat32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mat32({}x{})", self.rows, self.cols)
+    }
+}
+
+/// The f64 working copy of a demoted block: `promote(demote(a))`. Every
+/// value is exactly f32-representable, so f64 arithmetic on the round-trip
+/// copy is bitwise identical to promoting the stored f32 block on the fly
+/// (the promote-on-pack GEMM path).
+pub fn demote_roundtrip(a: &Mat) -> Mat {
+    Mat32::demote(a.rf()).promote()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand::gaussian_mat;
+
+    #[test]
+    fn precision_bytes_and_parse() {
+        assert_eq!(Precision::F64.bytes(), 8);
+        assert_eq!(Precision::F32.bytes(), 4);
+        assert_eq!(Precision::parse("f32"), Some(Precision::F32));
+        assert_eq!(Precision::parse("f64"), Some(Precision::F64));
+        assert_eq!(Precision::parse("fp16"), None);
+        assert_eq!(Precision::default(), Precision::F64);
+        assert_eq!(Precision::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn roundtrip_error_within_f32_eps() {
+        let a = gaussian_mat(23, 17, 42);
+        let r = demote_roundtrip(&a);
+        let eps = 0.5 * f32::EPSILON as f64;
+        for j in 0..a.cols() {
+            for i in 0..a.rows() {
+                let (x, y) = (a[(i, j)], r[(i, j)]);
+                assert!(
+                    (x - y).abs() <= eps * x.abs() + f32::MIN_POSITIVE as f64,
+                    "entry ({i},{j}): {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_idempotent() {
+        // The working copy is exactly f32-representable: demoting it again
+        // changes nothing (the bitwise-equality contract of the mixed path).
+        let a = gaussian_mat(9, 11, 7);
+        let once = demote_roundtrip(&a);
+        let twice = demote_roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn demote_promote_shapes_and_memory() {
+        let a = gaussian_mat(6, 4, 3);
+        let m32 = Mat32::demote(a.rf());
+        assert_eq!((m32.rows(), m32.cols()), (6, 4));
+        assert_eq!(m32.memory_bytes(), 6 * 4 * 4);
+        assert_eq!(m32.promote().memory_bytes(), 6 * 4 * 8);
+        assert_eq!(m32.at(2, 3), a[(2, 3)] as f32 as f64);
+    }
+}

@@ -26,8 +26,26 @@
 //! one `memory_bytes` accounting); [`BlockStore::get_op`] answers "the block
 //! of `K` or `Kᵀ` at ordered position `(s, t)`" uniformly, which is what the
 //! matvec and the construction's BSR subtraction consume.
+//!
+//! ## Storage precision tier
+//!
+//! Every block carries a storage [`Precision`]. Blocks are inserted f64 and
+//! optionally **demoted** to f32 by the norm-aware rule of
+//! [`BlockStore::demote_pending`]: a block `B` moves to f32 storage only
+//! when the rounding error it introduces — at most `(ε₃₂/2)·‖B‖_F` with
+//! `ε₃₂ = f32::EPSILON` — stays below the construction's absolute tolerance,
+//! so the H2 approximation error bound survives demotion by construction
+//! rather than by hope. A demoted block keeps an f64 *working copy* whose
+//! entries are exactly the stored f32 values round-tripped
+//! ([`h2_dense::demote_roundtrip`]), so every consumer that reads the `Mat`
+//! computes bitwise the same result as the promote-on-pack mixed-precision
+//! GEMM reading the f32 block directly ([`h2_dense::gemm_mixed`] — the
+//! matvec's coupling/near-field path). [`BlockStore::memory_bytes`] counts
+//! demoted blocks at their stored width (4 bytes/element), the footprint a
+//! device-resident build would hold; basis demotion on [`H2Matrix`] follows
+//! the same rule per node via [`H2Matrix::demote_level`].
 
-use h2_dense::Mat;
+use h2_dense::{demote_roundtrip, Mat, Mat32, Precision};
 use h2_tree::{ClusterTree, Partition};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -49,10 +67,18 @@ pub struct BlockStore {
     /// ordered otherwise), in insertion order.
     pub pairs: Vec<(usize, usize)>,
     /// `blocks[i]` is the block of `pairs[i]`, oriented as
-    /// `K(rows(pairs[i].0), cols(pairs[i].1))`.
+    /// `K(rows(pairs[i].0), cols(pairs[i].1))`. For a demoted block this is
+    /// the f64 *working copy* of the stored f32 block (exactly
+    /// f32-representable values — see the module docs).
     pub blocks: Vec<Mat>,
+    /// `blocks32[i]` is the f32 storage of a demoted block, `None` while
+    /// the block is stored f64. Always the same length as `blocks`.
+    pub blocks32: Vec<Option<Mat32>>,
     index: HashMap<(usize, usize), usize>,
     layout: StoreLayout,
+    /// Demotion cursor: blocks below this index have been through
+    /// [`BlockStore::demote_pending`].
+    scanned: usize,
 }
 
 impl Default for BlockStore {
@@ -71,8 +97,10 @@ impl BlockStore {
         BlockStore {
             pairs: Vec::new(),
             blocks: Vec::new(),
+            blocks32: Vec::new(),
             index: HashMap::new(),
             layout: StoreLayout::Symmetric,
+            scanned: 0,
         }
     }
 
@@ -80,8 +108,10 @@ impl BlockStore {
         BlockStore {
             pairs: Vec::new(),
             blocks: Vec::new(),
+            blocks32: Vec::new(),
             index: HashMap::new(),
             layout: StoreLayout::Ordered,
+            scanned: 0,
         }
     }
 
@@ -105,6 +135,76 @@ impl BlockStore {
         assert!(prev.is_none(), "duplicate block ({s},{t})");
         self.pairs.push((s, t));
         self.blocks.push(block);
+        self.blocks32.push(None);
+    }
+
+    /// Norm-aware demotion sweep over blocks inserted since the last sweep
+    /// (the construction calls this as each level's blocks finalize):
+    /// a block `B` is demoted to f32 storage iff the rounding error bound
+    /// `(ε₃₂/2)·‖B‖_F ≤ eps_abs`, i.e. iff demotion provably cannot breach
+    /// the construction tolerance. The f64 entry in `blocks` is replaced by
+    /// the round-tripped working copy. Returns how many blocks demoted.
+    pub fn demote_pending(&mut self, eps_abs: f64) -> usize {
+        let eps32 = 0.5 * f32::EPSILON as f64;
+        let mut demoted = 0;
+        for i in self.scanned..self.blocks.len() {
+            let b = &self.blocks[i];
+            if b.rows() * b.cols() == 0 || eps32 * b.norm_fro() > eps_abs {
+                continue;
+            }
+            let m32 = Mat32::demote(b.rf());
+            self.blocks[i] = m32.promote();
+            self.blocks32[i] = Some(m32);
+            demoted += 1;
+        }
+        self.scanned = self.blocks.len();
+        demoted
+    }
+
+    /// Storage precision of block `i` (insertion order).
+    pub fn precision_of(&self, i: usize) -> Precision {
+        if self.blocks32[i].is_some() {
+            Precision::F32
+        } else {
+            Precision::F64
+        }
+    }
+
+    /// Number of blocks currently held in f32 storage.
+    pub fn demoted_count(&self) -> usize {
+        self.blocks32.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Re-establish the storage contract for block `i` after its working
+    /// copy was mutated in place (e.g. a diagonal shift): a demoted block's
+    /// f64 entry must stay the exact round-trip of its f32 storage, so the
+    /// mutation is re-demoted and the working copy replaced by the new
+    /// round-trip. No-op for blocks stored f64.
+    pub fn resync_demoted(&mut self, i: usize) {
+        if self.blocks32[i].is_some() {
+            let m32 = Mat32::demote(self.blocks[i].rf());
+            self.blocks[i] = m32.promote();
+            self.blocks32[i] = Some(m32);
+        }
+    }
+
+    /// The f32 storage of the block at ordered position `(s, t)` under
+    /// `transpose` (same resolution as [`BlockStore::get_op`]), or `None`
+    /// when the block is stored f64. The promote-on-pack GEMM path of the
+    /// matvec consumes this.
+    pub fn get_op32(&self, s: usize, t: usize, transpose: bool) -> Option<(&Mat32, bool)> {
+        let (key, tr) = match self.layout {
+            StoreLayout::Symmetric => ((s.min(t), s.max(t)), s > t),
+            StoreLayout::Ordered => {
+                if transpose {
+                    ((t, s), true)
+                } else {
+                    ((s, t), false)
+                }
+            }
+        };
+        let &i = self.index.get(&key)?;
+        self.blocks32[i].as_ref().map(|m| (m, tr))
     }
 
     /// Look up the block of `K` at the *ordered* position `(s, t)`. Returns
@@ -149,9 +249,25 @@ impl BlockStore {
         self.blocks.is_empty()
     }
 
-    /// Heap bytes of all blocks (identical accounting in both layouts).
+    /// Stored bytes of all blocks (identical accounting in both layouts):
+    /// demoted blocks count at their f32 width — the footprint a
+    /// device-resident build holds (the f64 working copy is a host-side
+    /// convenience of this reference implementation).
     pub fn memory_bytes(&self) -> usize {
-        self.blocks.iter().map(|b| b.memory_bytes()).sum()
+        let (f64b, f32b) = self.bytes_by_precision();
+        f64b + f32b
+    }
+
+    /// Stored bytes split by precision: `(f64_bytes, f32_bytes)`.
+    pub fn bytes_by_precision(&self) -> (usize, usize) {
+        let mut out = (0usize, 0usize);
+        for (i, b) in self.blocks.iter().enumerate() {
+            match &self.blocks32[i] {
+                Some(m32) => out.1 += m32.memory_bytes(),
+                None => out.0 += b.memory_bytes(),
+            }
+        }
+        out
     }
 }
 
@@ -161,10 +277,13 @@ impl BlockStore {
 pub struct BasisSide {
     /// Per node id: leaf basis (`m x k`) or stacked transfer
     /// `[E_{ν1}; E_{ν2}]` (`(k1+k2) x k`). Empty (0x0) above the top
-    /// admissible level.
+    /// admissible level. For a demoted node this is the round-tripped f64
+    /// working copy of the f32-stored basis.
     pub basis: Vec<Mat>,
     /// Per node id: skeleton (global permuted) indices, length = rank.
     pub skel: Vec<Vec<usize>>,
+    /// Per node id: storage precision of the basis/transfer.
+    pub prec: Vec<Precision>,
 }
 
 impl BasisSide {
@@ -172,6 +291,7 @@ impl BasisSide {
         BasisSide {
             basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
             skel: vec![Vec::new(); nnodes],
+            prec: vec![Precision::F64; nnodes],
         }
     }
 }
@@ -185,6 +305,9 @@ pub struct H2Matrix {
     pub basis: Vec<Mat>,
     /// Row skeleton indices `Ĩ^r_τ` (global permuted), length = row rank.
     pub skel: Vec<Vec<usize>>,
+    /// Per node id: storage precision of the row basis/transfer (demoted
+    /// nodes hold the round-tripped working copy in `basis`).
+    pub basis_prec: Vec<Precision>,
     /// Column side `V` / `Ĩ^c`. `None` means symmetric: the column side
     /// aliases the row side.
     pub col: Option<BasisSide>,
@@ -203,6 +326,7 @@ impl H2Matrix {
             partition,
             basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
             skel: vec![Vec::new(); nnodes],
+            basis_prec: vec![Precision::F64; nnodes],
             col: None,
             coupling: BlockStore::symmetric(),
             dense: BlockStore::symmetric(),
@@ -218,6 +342,7 @@ impl H2Matrix {
             partition,
             basis: (0..nnodes).map(|_| Mat::zeros(0, 0)).collect(),
             skel: vec![Vec::new(); nnodes],
+            basis_prec: vec![Precision::F64; nnodes],
             col: Some(BasisSide::empty(nnodes)),
             coupling: BlockStore::ordered(),
             dense: BlockStore::ordered(),
@@ -292,20 +417,21 @@ impl H2Matrix {
         self.rank(node) > 0
     }
 
-    /// Total heap bytes of the representation (the paper's Fig. 6 metric).
-    /// Bases, skeletons and block stores of every *stored* side are counted
-    /// once — the aliased symmetric column side costs nothing, consistently
-    /// with the shared [`BlockStore::memory_bytes`] accounting.
+    /// Total stored bytes of the representation (the paper's Fig. 6
+    /// metric). Bases, skeletons and block stores of every *stored* side are
+    /// counted once — the aliased symmetric column side costs nothing,
+    /// consistently with the shared [`BlockStore::memory_bytes`] accounting.
+    /// Demoted bases and blocks count at their f32 width.
     pub fn memory_bytes(&self) -> usize {
         let usize_bytes = std::mem::size_of::<usize>();
-        let mut total: usize = self.basis.iter().map(|b| b.memory_bytes()).sum();
+        let mut total = side_basis_bytes(&self.basis, &self.basis_prec);
         total += self
             .skel
             .iter()
             .map(|s| s.len() * usize_bytes)
             .sum::<usize>();
         if let Some(c) = &self.col {
-            total += c.basis.iter().map(|b| b.memory_bytes()).sum::<usize>();
+            total += side_basis_bytes(&c.basis, &c.prec);
             total += c.skel.iter().map(|s| s.len() * usize_bytes).sum::<usize>();
         }
         total + self.coupling.memory_bytes() + self.dense.memory_bytes()
@@ -313,15 +439,49 @@ impl H2Matrix {
 
     /// Memory broken down by component, in bytes.
     pub fn memory_breakdown(&self) -> MemoryBreakdown {
-        let mut basis: usize = self.basis.iter().map(|b| b.memory_bytes()).sum();
+        let mut basis = side_basis_bytes(&self.basis, &self.basis_prec);
         if let Some(c) = &self.col {
-            basis += c.basis.iter().map(|b| b.memory_bytes()).sum::<usize>();
+            basis += side_basis_bytes(&c.basis, &c.prec);
         }
         MemoryBreakdown {
             basis,
             coupling: self.coupling.memory_bytes(),
             dense: self.dense.memory_bytes(),
         }
+    }
+
+    /// Norm-aware demotion of one completed level: round the level's bases
+    /// (both stored sides) to f32 storage when the induced perturbation
+    /// stays below the construction tolerance, then sweep the block stores
+    /// for newly inserted coupling/dense blocks ([`BlockStore::demote_pending`]).
+    ///
+    /// A basis perturbation `ΔU` with `‖ΔU‖_F ≤ (ε₃₂/2)·‖U‖_F` enters the
+    /// approximation error scaled by the operator blocks it multiplies —
+    /// bounded by `norm_scale` (the construction's estimate of `‖K‖₂`) — so
+    /// the node demotes iff `(ε₃₂/2)·‖U‖_F·norm_scale ≤ eps_abs`. Returns
+    /// `(bases_demoted, blocks_demoted)`.
+    pub fn demote_level(&mut self, level: usize, eps_abs: f64, norm_scale: f64) -> (usize, usize) {
+        let eps32 = 0.5 * f32::EPSILON as f64;
+        let ids: Vec<usize> = self.tree.level(level).collect();
+        let mut bases = 0;
+        for &id in &ids {
+            let b = &self.basis[id];
+            if b.cols() > 0 && eps32 * b.norm_fro() * norm_scale.max(1.0) <= eps_abs {
+                self.basis[id] = demote_roundtrip(b);
+                self.basis_prec[id] = Precision::F32;
+                bases += 1;
+            }
+            if let Some(c) = &mut self.col {
+                let b = &c.basis[id];
+                if b.cols() > 0 && eps32 * b.norm_fro() * norm_scale.max(1.0) <= eps_abs {
+                    c.basis[id] = demote_roundtrip(b);
+                    c.prec[id] = Precision::F32;
+                    bases += 1;
+                }
+            }
+        }
+        let blocks = self.coupling.demote_pending(eps_abs) + self.dense.demote_pending(eps_abs);
+        (bases, blocks)
     }
 
     /// `(min, max)` rank over all nodes with a basis, across both sides
@@ -451,6 +611,15 @@ impl H2Matrix {
     }
 }
 
+/// Stored bytes of one basis side: demoted nodes at 4 bytes/element.
+fn side_basis_bytes(basis: &[Mat], prec: &[Precision]) -> usize {
+    basis
+        .iter()
+        .zip(prec)
+        .map(|(b, p)| b.memory_bytes() / 8 * p.bytes())
+        .sum()
+}
+
 /// Bytes per component of an [`H2Matrix`].
 #[derive(Clone, Copy, Debug)]
 pub struct MemoryBreakdown {
@@ -545,5 +714,71 @@ mod tests {
         ord.insert(0, 1, Mat::zeros(10, 10));
         ord.insert(1, 2, Mat::zeros(5, 4));
         assert_eq!(ord.memory_bytes(), sym.memory_bytes());
+    }
+
+    #[test]
+    fn demotion_is_norm_aware() {
+        use h2_dense::gaussian_mat;
+        let mut s = BlockStore::new();
+        // A small-norm block (demotable at eps_abs) and a large-norm one
+        // (kept f64 because f32 rounding would breach the tolerance).
+        let small = gaussian_mat(8, 6, 1);
+        let mut big = gaussian_mat(8, 6, 2);
+        big.scale(1e6);
+        let eps_abs = 0.5 * f32::EPSILON as f64 * (small.norm_fro() * 10.0);
+        assert!(0.5 * f32::EPSILON as f64 * big.norm_fro() > eps_abs);
+        s.insert(0, 1, small.clone());
+        s.insert(1, 2, big.clone());
+        assert_eq!(s.demote_pending(eps_abs), 1);
+        assert_eq!(s.demoted_count(), 1);
+        assert_eq!(s.precision_of(0), Precision::F32);
+        assert_eq!(s.precision_of(1), Precision::F64);
+        // The working copy is the round-trip of the original, and its error
+        // stays below the bound the rule guarantees.
+        let (wc, _) = s.get(0, 1).unwrap();
+        let mut d = wc.clone();
+        d.axpy(-1.0, &small);
+        assert!(d.norm_fro() <= eps_abs, "{} > {eps_abs}", d.norm_fro());
+        assert_eq!(wc, &demote_roundtrip(&small));
+        // Memory counts the demoted block at half width.
+        assert_eq!(s.memory_bytes(), 48 * 4 + 48 * 8);
+        assert_eq!(s.bytes_by_precision(), (48 * 8, 48 * 4));
+        // The sweep is incremental: a block inserted later is picked up by
+        // the next sweep only.
+        s.insert(2, 3, gaussian_mat(4, 4, 3));
+        assert_eq!(s.precision_of(2), Precision::F64);
+        assert_eq!(s.demote_pending(f64::INFINITY), 1);
+        assert_eq!(s.precision_of(2), Precision::F32);
+    }
+
+    #[test]
+    fn get_op32_resolves_like_get_op() {
+        use h2_dense::gaussian_mat;
+        // Symmetric store: (t, s) reads the stored block transposed, and
+        // the transpose flag of get_op is ignored.
+        let mut sym = BlockStore::symmetric();
+        sym.insert(2, 5, gaussian_mat(3, 4, 11));
+        sym.demote_pending(f64::INFINITY);
+        for &(s, t, transpose) in &[(2, 5, false), (5, 2, false), (2, 5, true), (5, 2, true)] {
+            let (m64, tr64) = sym.get_op(s, t, transpose).unwrap();
+            let (m32, tr32) = sym.get_op32(s, t, transpose).unwrap();
+            assert_eq!(tr64, tr32);
+            assert_eq!(&m32.promote(), m64);
+        }
+        // Ordered store: Kᵀ at (2,5) reads the (5,2) block transposed.
+        let mut ord = BlockStore::ordered();
+        ord.insert(2, 5, gaussian_mat(3, 4, 12));
+        ord.insert(5, 2, gaussian_mat(4, 3, 13));
+        ord.demote_pending(f64::INFINITY);
+        for &(s, t, transpose) in &[(2, 5, false), (5, 2, false), (2, 5, true), (5, 2, true)] {
+            let (m64, tr64) = ord.get_op(s, t, transpose).unwrap();
+            let (m32, tr32) = ord.get_op32(s, t, transpose).unwrap();
+            assert_eq!(tr64, tr32);
+            assert_eq!(&m32.promote(), m64);
+        }
+        // A block kept f64 answers None on the 32-bit lookup.
+        let mut kept = BlockStore::symmetric();
+        kept.insert(0, 1, gaussian_mat(2, 2, 14));
+        assert!(kept.get_op32(0, 1, false).is_none());
     }
 }

@@ -382,14 +382,20 @@ impl H2Matrix {
         let coupling = read_block_store(r, layout)?;
         let dense = read_block_store(r, layout)?;
         let col = match (col_basis, col_skel) {
-            (Some(basis), Some(skel)) => Some(BasisSide { basis, skel }),
+            (Some(basis), Some(skel)) => Some(BasisSide {
+                prec: vec![h2_dense::Precision::F64; basis.len()],
+                basis,
+                skel,
+            }),
             _ => None,
         };
+        let basis_prec = vec![h2_dense::Precision::F64; basis.len()];
         let h2 = H2Matrix {
             tree,
             partition,
             basis,
             skel,
+            basis_prec,
             col,
             coupling,
             dense,

@@ -18,7 +18,13 @@
 //! * a [direct proxy-ID constructor](direct::direct_construct) standing in
 //!   for H2Opus's entry-based construction (bootstraps reference operators),
 //! * [`LowRankUpdate`] — `A + P Qᵀ` operators for the recompression
-//!   experiment.
+//!   experiment,
+//! * a **storage precision tier**: every basis and coupling/dense block
+//!   carries a [`Precision`], and the norm-aware demotion rule
+//!   ([`BlockStore::demote_pending`] / [`H2Matrix::demote_level`]) moves a
+//!   block to f32 storage only when the f32 rounding error provably stays
+//!   below the construction tolerance; demoted blocks are consumed through
+//!   the promote-on-pack mixed GEMM (f32 storage, f64 accumulation).
 //!
 //! [`H2MatrixUnsym`] survives as a type alias: the unsymmetric matrix *is*
 //! an [`H2Matrix`] whose column side is stored.
@@ -33,6 +39,7 @@ pub mod orthog;
 
 pub use direct::{direct_construct, fill_blocks, DirectConfig};
 pub use format::{BasisSide, BlockStore, H2Matrix, MemoryBreakdown, StoreLayout};
+pub use h2_dense::Precision;
 pub use lowrank::{LinOpEntry, LowRankUpdate};
 pub use matvec::ApplyPhases;
 

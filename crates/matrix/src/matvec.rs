@@ -20,7 +20,7 @@
 //! over contiguous node chunks with explicit cross-device transfers.
 
 use crate::format::H2Matrix;
-use h2_dense::{gemm, Mat, MatMut, MatRef, Op};
+use h2_dense::{gemm, gemm_mixed, Mat, MatMut, MatRef, Op};
 use rayon::prelude::*;
 
 /// Side-resolved per-node kernels of the three-pass matvec.
@@ -124,6 +124,15 @@ impl<'a> ApplyPhases<'a> {
             if ks == 0 || self.in_basis[t].cols() == 0 {
                 continue;
             }
+            // Demoted blocks read their f32 storage through the
+            // promote-on-pack path — bitwise identical to the f64 working
+            // copy (see the format module docs), but it exercises the wire
+            // representation the fabric ships.
+            if let Some((b32, tr)) = self.h2.coupling.get_op32(s, t, self.transpose) {
+                let op = if tr { Op::Trans } else { Op::NoTrans };
+                gemm_mixed(op, Op::NoTrans, 1.0, b32, xhat[t].rf(), 1.0, acc.rm());
+                continue;
+            }
             let (blk, transposed) = self
                 .h2
                 .coupling
@@ -188,13 +197,26 @@ impl<'a> ApplyPhases<'a> {
             );
         }
         for &t in &self.h2.partition.near_of[s] {
+            let (tb, te) = tree.range(t);
+            if let Some((b32, tr)) = self.h2.dense.get_op32(s, t, self.transpose) {
+                let op = if tr { Op::Trans } else { Op::NoTrans };
+                gemm_mixed(
+                    op,
+                    Op::NoTrans,
+                    1.0,
+                    b32,
+                    x.view(tb, 0, te - tb, d),
+                    1.0,
+                    out.rm(),
+                );
+                continue;
+            }
             let (blk, transposed) = self
                 .h2
                 .dense
                 .get_op(s, t, self.transpose)
                 .expect("dense block");
             let op = if transposed { Op::Trans } else { Op::NoTrans };
-            let (tb, te) = tree.range(t);
             gemm(
                 op,
                 Op::NoTrans,

@@ -241,12 +241,14 @@ fn bsr_gemm_sharded(
             row_flops[r] += fl;
             let dev_b = owner(col, x.count().max(n), devices);
             if dev_b != dev && fetched.insert((dev, col)) {
-                let bytes = cost::fetch_bytes(mb, d);
+                let wire = disp.wire();
+                let bytes = cost::fetch_bytes_p(mb, d, wire);
                 disp.push_transfer(Transfer {
                     src: dev_b,
                     dst: dev,
                     bytes,
                     kind: TransferKind::OmegaFetch,
+                    prec: wire,
                 });
                 disp.arena_alloc(dev, bytes as usize);
             }
@@ -321,7 +323,7 @@ fn bsr_gemm_pipelined(
     // Plan the deduplicated fetches and the per-row flop estimate in one
     // cheap pass, then issue/claim the prefetch tickets before any compute
     // is enqueued.
-    let mut planner = FetchPlanner::new(stream, n, x.count(), devices);
+    let mut planner = FetchPlanner::new(stream, n, x.count(), devices, disp.wire());
     let mut row_flops = vec![0.0f64; n];
     for r in 0..n {
         let (b0, b1) = pattern.row_range(r);
@@ -406,7 +408,7 @@ pub fn hint_bsr_fetches(rt: &Runtime, stream: u8, adj: &[Vec<usize>], x_rows: &[
         return;
     }
     let n = adj.len();
-    let mut planner = FetchPlanner::new(stream, n, x_rows.len(), disp.devices());
+    let mut planner = FetchPlanner::new(stream, n, x_rows.len(), disp.devices(), disp.wire());
     for (r, partners) in adj.iter().enumerate() {
         for &b in partners {
             planner.visit(r, b, x_rows[b], d);

@@ -34,9 +34,10 @@ pub mod solve_ops;
 
 pub use batch::{cost_chunk_bounds, VarBatch};
 pub use bsr::{bsr_gemm, bsr_gemm_stream, hint_bsr_fetches, BsrBlock, BsrPattern};
+pub use h2_dense::Precision;
 pub use multidev::{
-    owner, simulate, simulate_solve, DeviceModel, LevelSpec, SimReport, SolveLevel, SolveSpec,
-    StreamSpec,
+    owner, simulate, simulate_prec, simulate_solve, simulate_solve_prec, DeviceModel, LevelSpec,
+    SimReport, SolveLevel, SolveSpec, StreamSpec,
 };
 pub use ops::{
     batched_gen, batched_row_id, gather_rows, gemm_at_x, hcat_batches, qr_min_rdiag, rand_mat,

@@ -16,11 +16,15 @@
 //! decomposition, and it keeps siblings (merged at line 24) on the same
 //! device except at chunk boundaries.
 
+use h2_dense::Precision;
+
 /// The work/traffic formulas shared by the closed-form simulator and the
 /// sharded executor's accounting ([`crate::ops`], [`crate::bsr`],
 /// `h2_sched`). One definition per kernel, so "measured totals equal
 /// predicted totals" is structural rather than a comment-level promise.
 pub mod cost {
+    use h2_dense::Precision;
+
     /// Convergence-QR flops for an `m × d` sample block (lines 11/29).
     pub fn qr_flops(m: usize, d: usize) -> f64 {
         2.0 * m as f64 * d as f64 * d as f64
@@ -50,16 +54,29 @@ pub mod cost {
     }
 
     /// Bytes of one fetched `rows × d` f64 block (an Ω/Ψ partner fetch, or
-    /// one half of a sibling merge).
+    /// one half of a sibling merge). The f64 specialization of
+    /// [`fetch_bytes_p`], kept for the historical call sites.
     pub fn fetch_bytes(rows: usize, d: usize) -> u64 {
-        (rows * d * 8) as u64
+        fetch_bytes_p(rows, d, Precision::F64)
+    }
+
+    /// Bytes of one fetched `rows × d` block at wire precision `prec` —
+    /// the element width is the only thing the precision tier changes in
+    /// the transfer model, so every byte formula is linear in it.
+    pub fn fetch_bytes_p(rows: usize, d: usize, prec: Precision) -> u64 {
+        (rows * d * prec.bytes()) as u64
     }
 
     /// Bytes of a line-24 boundary sibling merge: the moved child's samples
     /// *and* inputs — twice [`fetch_bytes`] (the executor records the two
     /// halves as separate `stack_children` transfers).
     pub fn merge_bytes(rows: usize, d: usize) -> u64 {
-        2 * fetch_bytes(rows, d)
+        merge_bytes_p(rows, d, Precision::F64)
+    }
+
+    /// [`merge_bytes`] at wire precision `prec`.
+    pub fn merge_bytes_p(rows: usize, d: usize, prec: Precision) -> u64 {
+        2 * fetch_bytes_p(rows, d, prec)
     }
 
     // ---- solver-sweep formulas (batched ULV elimination and the
@@ -238,6 +255,7 @@ fn stream_cost(
     devices: usize,
     model: &DeviceModel,
     is_top: bool,
+    wire: Precision,
     compute: &mut [f64],
     comm_bytes: &mut u64,
     comm_messages: &mut usize,
@@ -254,7 +272,7 @@ fn stream_cost(
             compute[dev] += cost::bsr_flops(rows[i], mb, d_samples) / model.flops_per_sec;
             let dev_b = owner(b, col_rows.len().max(n), devices);
             if dev_b != dev && fetched.insert((dev, b)) {
-                *comm_bytes += cost::fetch_bytes(mb, d_samples);
+                *comm_bytes += cost::fetch_bytes_p(mb, d_samples, wire);
                 *comm_messages += 1;
             }
         }
@@ -283,7 +301,7 @@ fn stream_cost(
         let (da, db) = (owner(a, n, devices), owner(b, n, devices));
         if da != db {
             let moved = rows.get(b).copied().unwrap_or(0);
-            *comm_bytes += cost::merge_bytes(moved, d_samples);
+            *comm_bytes += cost::merge_bytes_p(moved, d_samples, wire);
             *comm_messages += 1;
         }
     }
@@ -327,6 +345,20 @@ pub fn simulate(
     devices: usize,
     model: &DeviceModel,
 ) -> SimReport {
+    simulate_prec(levels, d_samples, devices, model, Precision::F64)
+}
+
+/// [`simulate`] at an explicit wire precision: every transfer byte count
+/// (`Ω`/`Ψ` fetches, line-24 merges) scales by the element width while the
+/// flop and launch model is untouched — arithmetic always accumulates in
+/// f64, only the shipped representation narrows.
+pub fn simulate_prec(
+    levels: &[LevelSpec],
+    d_samples: usize,
+    devices: usize,
+    model: &DeviceModel,
+    wire: Precision,
+) -> SimReport {
     assert!(devices > 0, "at least one device");
     let mut out_levels = Vec::with_capacity(levels.len());
     let mut makespan = 0.0;
@@ -363,6 +395,7 @@ pub fn simulate(
             devices,
             model,
             is_top,
+            wire,
             &mut compute,
             &mut comm_bytes,
             &mut comm_messages,
@@ -384,6 +417,7 @@ pub fn simulate(
                 devices,
                 model,
                 is_top,
+                wire,
                 &mut compute,
                 &mut comm_bytes,
                 &mut comm_messages,
@@ -474,6 +508,17 @@ pub struct SolveSpec {
 /// transfers and flop formulas, so measured byte totals must equal this
 /// model's — the solver extension of the construction/matvec equivalence.
 pub fn simulate_solve(spec: &SolveSpec, devices: usize, model: &DeviceModel) -> SimReport {
+    simulate_solve_prec(spec, devices, model, Precision::F64)
+}
+
+/// [`simulate_solve`] at an explicit wire precision: the pass-up /
+/// distribution blocks ship at `wire` width, the flop model is unchanged.
+pub fn simulate_solve_prec(
+    spec: &SolveSpec,
+    devices: usize,
+    model: &DeviceModel,
+    wire: Precision,
+) -> SimReport {
     assert!(devices > 0, "at least one device");
     let d = spec.nrhs;
     let mut out_levels: Vec<LevelCost> = Vec::new();
@@ -510,7 +555,7 @@ pub fn simulate_solve(spec: &SolveSpec, devices: usize, model: &DeviceModel) -> 
             for c in [a, b] {
                 let kc = lvl.k.get(c).copied().unwrap_or(0);
                 if kc > 0 && owner(c, nl, devices) != dev_p {
-                    bytes += cost::fetch_bytes(kc, d);
+                    bytes += cost::fetch_bytes_p(kc, d, wire);
                     msgs += 1;
                 }
             }

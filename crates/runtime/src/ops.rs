@@ -232,12 +232,14 @@ pub fn stack_children(rt: &Runtime, child: &VarBatch, children: &[Vec<usize>]) -
             for &c in cs {
                 let dc = owner(c, nc, devices);
                 if dc != dp {
-                    let bytes = cost::fetch_bytes(child.rows_of(c), d);
+                    let wire = disp.wire();
+                    let bytes = cost::fetch_bytes_p(child.rows_of(c), d, wire);
                     let t = Transfer {
                         src: dc,
                         dst: dp,
                         bytes,
                         kind: TransferKind::ChildGather,
+                        prec: wire,
                     };
                     if pipelined {
                         let ticket = disp.prefetch(t);

@@ -53,6 +53,7 @@
 //! prefetched early.
 
 use crate::multidev::{cost, owner};
+use h2_dense::Precision;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -99,6 +100,10 @@ pub struct Transfer {
     pub dst: usize,
     pub bytes: u64,
     pub kind: TransferKind,
+    /// Element width the block is shipped at; `bytes` is already expressed
+    /// at this width (the descriptor carries the precision so accounting
+    /// and assertions can audit the wire format, not to rescale bytes).
+    pub prec: Precision,
 }
 
 /// A unit of work bound for one virtual device's worker thread. Borrows are
@@ -132,17 +137,25 @@ pub struct FetchPlanner {
     n_rows: usize,
     n_partners: usize,
     devices: usize,
+    wire: Precision,
     seen: HashSet<(usize, usize)>,
     plan: Vec<(FetchKey, Transfer)>,
 }
 
 impl FetchPlanner {
-    pub fn new(stream: u8, n_rows: usize, n_partners: usize, devices: usize) -> Self {
+    pub fn new(
+        stream: u8,
+        n_rows: usize,
+        n_partners: usize,
+        devices: usize,
+        wire: Precision,
+    ) -> Self {
         FetchPlanner {
             stream,
             n_rows,
             n_partners,
             devices,
+            wire,
             seen: HashSet::new(),
             plan: Vec::new(),
         }
@@ -159,7 +172,7 @@ impl FetchPlanner {
         let dev = self.owner_of_row(row);
         let dev_b = owner(partner, self.n_partners.max(self.n_rows), self.devices);
         if dev_b != dev && self.seen.insert((dev, partner)) {
-            let bytes = cost::fetch_bytes(partner_rows, partner_cols);
+            let bytes = cost::fetch_bytes_p(partner_rows, partner_cols, self.wire);
             self.plan.push((
                 FetchKey {
                     stream: self.stream,
@@ -172,6 +185,7 @@ impl FetchPlanner {
                     dst: dev,
                     bytes,
                     kind: TransferKind::OmegaFetch,
+                    prec: self.wire,
                 },
             ));
         }
@@ -215,6 +229,13 @@ pub trait ShardDispatch: Send + Sync {
     /// Close the current accounting epoch (one construction level / matvec
     /// phase) under `label`, snapshotting per-device counters.
     fn epoch(&self, label: &str);
+
+    /// Wire precision every cross-device block ships at (and the width the
+    /// transfer-landing arena charges use). Defaults to the historical f64
+    /// so fabrics that predate the precision tier keep their byte totals.
+    fn wire(&self) -> Precision {
+        Precision::F64
+    }
 
     // ---- pipelined dispatch (defaults degrade to the synchronous path,
     // so a fork-join-only fabric keeps working unchanged) ----

@@ -16,7 +16,7 @@ use crate::fabric::{DeviceFabric, ExecReport};
 use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig, SketchStats};
 use h2_dense::{EntryAccess, LinOp};
 use h2_matrix::H2Matrix;
-use h2_runtime::{simulate, DeviceModel, LevelSpec, Runtime, ShardDispatch};
+use h2_runtime::{simulate_prec, DeviceModel, LevelSpec, Runtime, ShardDispatch};
 use h2_tree::{ClusterTree, Partition};
 use std::sync::Arc;
 
@@ -123,7 +123,7 @@ pub fn compare_with_simulator(
     d_samples: usize,
     model: &DeviceModel,
 ) -> SimComparison {
-    let sim = simulate(specs, d_samples, report.devices, model);
+    let sim = simulate_prec(specs, d_samples, report.devices, model, report.wire);
     SimComparison {
         measured_flop_equiv: report.flop_equiv(model.entry_cost),
         predicted_flop_equiv: sim.compute_total() * model.flops_per_sec,

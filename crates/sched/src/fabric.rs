@@ -45,10 +45,10 @@
 //! * `idle` — the rest of the epoch's wall span.
 
 use h2_runtime::{
-    DeviceModel, FetchKey, PipelineMode, ShardDispatch, ShardJob, Transfer, TransferKind,
+    DeviceModel, FetchKey, PipelineMode, Precision, ShardDispatch, ShardJob, Transfer, TransferKind,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -223,6 +223,10 @@ struct CopyQueue {
 struct Shared {
     devices: usize,
     mode: PipelineMode,
+    /// Wire precision (0 = f64, 1 = f32): the element width every
+    /// cross-device block ships at. Configuration, not accounting — it
+    /// survives [`DeviceFabric::reset`].
+    wire: AtomicU8,
     link: Mutex<LinkModel>,
     delay: Mutex<Option<TransferDelay>>,
     accounts: Vec<Mutex<Account>>,
@@ -352,6 +356,7 @@ impl DeviceFabric {
         let shared = Arc::new(Shared {
             devices,
             mode,
+            wire: AtomicU8::new(0),
             link: Mutex::new(link),
             delay: Mutex::new(None),
             accounts: (0..devices)
@@ -477,6 +482,30 @@ impl DeviceFabric {
     /// Replace the virtual link model (affects subsequent transfers).
     pub fn set_link(&self, link: LinkModel) {
         *self.shared.link.lock().unwrap() = link;
+    }
+
+    /// Set the wire precision: the element width every cross-device block
+    /// ships at (and the width transfer-landing arena charges use). The
+    /// sharded drivers read it through [`ShardDispatch::wire`] when sizing
+    /// their transfer descriptors, and the simulator cross-checks use the
+    /// same width — so byte totals stay exactly equal at either setting.
+    /// Configuration rather than accounting: preserved across
+    /// [`DeviceFabric::reset`].
+    pub fn set_wire(&self, prec: Precision) {
+        let tag = match prec {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+        };
+        self.shared.wire.store(tag, Ordering::SeqCst);
+    }
+
+    /// Current wire precision (defaults to [`Precision::F64`]).
+    pub fn wire(&self) -> Precision {
+        if self.shared.wire.load(Ordering::SeqCst) == 1 {
+            Precision::F32
+        } else {
+            Precision::F64
+        }
     }
 
     /// Install (or clear) the injected per-transfer delay hook used by the
@@ -775,6 +804,7 @@ impl DeviceFabric {
         ExecReport {
             devices: self.shared.devices,
             mode: self.shared.mode,
+            wire: self.wire(),
             epochs,
             transfers,
             arena_peaks,
@@ -863,6 +893,10 @@ impl ShardDispatch for DeviceFabric {
         DeviceFabric::mode(self)
     }
 
+    fn wire(&self) -> Precision {
+        DeviceFabric::wire(self)
+    }
+
     fn prefetch(&self, t: Transfer) -> u64 {
         self.prefetch_transfer(t)
     }
@@ -898,6 +932,9 @@ pub struct ExecReport {
     pub devices: usize,
     /// Execution discipline the run used (affects the makespan projection).
     pub mode: PipelineMode,
+    /// Wire precision the run shipped blocks at (the width behind every
+    /// transfer's `bytes`); the simulator cross-checks re-use it.
+    pub wire: Precision,
     pub epochs: Vec<Epoch>,
     /// `(issuing epoch index, transfer)` in queue order.
     pub transfers: Vec<(usize, Transfer)>,
@@ -1133,6 +1170,7 @@ mod tests {
             dst: 0,
             bytes: 64,
             kind: TransferKind::OmegaFetch,
+            prec: Precision::F64,
         };
         let ticket = fabric.prefetch_transfer(t);
         assert_ne!(ticket, 0);
@@ -1173,6 +1211,7 @@ mod tests {
             dst: 1,
             bytes: 128,
             kind: TransferKind::OmegaFetch,
+            prec: Precision::F64,
         });
         fabric.close_epoch("e0");
         fabric.record_flops(0, 1.0);
@@ -1223,6 +1262,7 @@ mod tests {
             dst: 1,
             bytes: 256,
             kind: TransferKind::OmegaFetch,
+            prec: Precision::F64,
         };
         fabric.hint_prefetch(key, t);
         // Claim consumes the hint without recording a second transfer.
@@ -1245,6 +1285,7 @@ mod tests {
                 dst: 0,
                 bytes: 64,
                 kind: TransferKind::OmegaFetch,
+                prec: Precision::F64,
             },
         );
         fabric.cancel_hints(1);
@@ -1298,6 +1339,7 @@ mod tests {
                 dst: 0,
                 bytes: 5e8 as u64, // 0.5 s on the modeled link
                 kind: TransferKind::OmegaFetch,
+                prec: Precision::F64,
             };
             match fabric.mode() {
                 PipelineMode::Synchronous => fabric.record_transfer(t),

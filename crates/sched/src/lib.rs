@@ -95,8 +95,11 @@ pub use exec::{
     compare_with_simulator, shard_construct, shard_construct_unsym, sharded_runtime, SimComparison,
 };
 pub use fabric::{DeviceEpochStats, DeviceFabric, Epoch, ExecReport, LinkModel, TransferDelay};
-pub use h2_runtime::{PipelineMode, Transfer, TransferKind};
-pub use matvec::{shard_matvec, shard_matvec_with_report};
+pub use h2_runtime::{PipelineMode, Precision, Transfer, TransferKind};
+pub use matvec::{
+    compare_matvec_with_simulator, shard_matvec, shard_matvec_with_report, simulate_matvec,
+    MatvecSim, MatvecSimEpoch,
+};
 pub use solve::{
     compare_solve_with_simulator, shard_ulv_solve, shard_ulv_solve_with_report, FabricOp,
     UlvFabricPrecond,

@@ -46,11 +46,13 @@
 //! device-resident, consistent with the simulator treating the generator
 //! and initial sample scatter as free — only `x̂`/`ŷ` movement counts.
 
+use crate::exec::SimComparison;
 use crate::fabric::{DeviceFabric, ExecReport};
 use h2_dense::Mat;
 use h2_matrix::H2Matrix;
 use h2_runtime::multidev::cost;
-use h2_runtime::{chunk_bounds, owner, PipelineMode, ShardJob, Transfer, TransferKind};
+use h2_runtime::DeviceModel;
+use h2_runtime::{chunk_bounds, owner, PipelineMode, Precision, ShardJob, Transfer, TransferKind};
 use std::collections::HashSet;
 
 /// `y = K x` (or `Kᵀ x`) executed sharded on the fabric, in tree-permuted
@@ -65,6 +67,11 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
     let d = x.cols();
     let devices = fabric.devices();
     let pipelined = fabric.mode() == PipelineMode::Pipelined;
+    // Every x̂/ŷ block that crosses a device boundary ships at the fabric's
+    // wire precision, and the staged copies occupy arena space at the same
+    // width — the simulator uses the identical formulas, so byte totals
+    // stay exactly equal at either width.
+    let wire = fabric.wire();
     let ph = h2.apply_phases(transpose);
     let in_basis = ph.in_basis();
     let out_basis = ph.out_basis();
@@ -94,8 +101,9 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
                     out.push(Transfer {
                         src: cdev,
                         dst: dev,
-                        bytes: cost::fetch_bytes(in_basis[c].cols(), d),
+                        bytes: cost::fetch_bytes_p(in_basis[c].cols(), d, wire),
                         kind: TransferKind::ChildGather,
+                        prec: wire,
                     });
                 }
             }
@@ -134,7 +142,7 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
             any = true;
             let dev = owner(local, nl, devices);
             fabric.record_flops(dev, cost::upsweep_flops(v.rows(), v.cols(), d));
-            fabric.arena_charge(dev, v.cols() * d * 8);
+            fabric.arena_charge(dev, v.cols() * d * wire.bytes());
         }
         let tickets: Vec<Vec<u64>> = if pipelined {
             match ahead.take() {
@@ -213,7 +221,7 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
                 any = true;
                 let dev = owner(local, nl, devices);
                 let ks = out_basis[s].cols();
-                arena[dev] += ks * d * 8;
+                arena[dev] += ks * d * wire.bytes();
                 for &t in &h2.partition.far_of[s] {
                     let kt = in_basis[t].cols();
                     if ks == 0 || kt == 0 {
@@ -222,12 +230,13 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
                     fabric.record_flops(dev, cost::bsr_flops(ks, kt, d));
                     let tdev = owner(tree.local_index(t), nl, devices);
                     if tdev != dev && fetched.insert((dev, t)) {
-                        let bytes = cost::fetch_bytes(kt, d);
+                        let bytes = cost::fetch_bytes_p(kt, d, wire);
                         let tk = fabric.prefetch_transfer(Transfer {
                             src: tdev,
                             dst: dev,
                             bytes,
                             kind: TransferKind::OmegaFetch,
+                            prec: wire,
                         });
                         if tk != 0 {
                             tickets[dev].push(tk);
@@ -306,7 +315,7 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
                 any = true;
                 let dev = owner(local, nl, devices);
                 let ks = out_basis[s].cols();
-                fabric.arena_charge(dev, ks * d * 8);
+                fabric.arena_charge(dev, ks * d * wire.bytes());
                 for &t in &h2.partition.far_of[s] {
                     let kt = in_basis[t].cols();
                     if ks == 0 || kt == 0 {
@@ -315,12 +324,13 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
                     fabric.record_flops(dev, cost::bsr_flops(ks, kt, d));
                     let tdev = owner(tree.local_index(t), nl, devices);
                     if tdev != dev && fetched.insert((dev, t)) {
-                        let bytes = cost::fetch_bytes(kt, d);
+                        let bytes = cost::fetch_bytes_p(kt, d, wire);
                         fabric.record_transfer(Transfer {
                             src: tdev,
                             dst: dev,
                             bytes,
                             kind: TransferKind::OmegaFetch,
+                            prec: wire,
                         });
                         fabric.arena_charge(dev, bytes as usize);
                     }
@@ -383,8 +393,9 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
                 let t = Transfer {
                     src: pdev,
                     dst: dev,
-                    bytes: cost::fetch_bytes(kp, d),
+                    bytes: cost::fetch_bytes_p(kp, d, wire),
                     kind: TransferKind::PartialSum,
+                    prec: wire,
                 };
                 if pipelined {
                     // Data-dependent predicate (the parent's partial sum
@@ -441,7 +452,7 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
     for (local, &s) in ids.iter().enumerate() {
         let dev = owner(local, nl, devices);
         let (b, e) = tree.range(s);
-        fabric.arena_charge(dev, (e - b) * d * 8);
+        fabric.arena_charge(dev, (e - b) * d * wire.bytes());
         if yhat[s].rows() > 0 && out_basis[s].cols() > 0 {
             fabric.record_flops(dev, cost::upsweep_flops(e - b, out_basis[s].cols(), d));
         }
@@ -487,4 +498,366 @@ pub fn shard_matvec_with_report(
     fabric.reset();
     let y = shard_matvec(fabric, h2, x, transpose);
     (y, fabric.report("matvec tail"))
+}
+
+/// One modeled epoch of [`simulate_matvec`] — the closed-form counterpart
+/// of a fabric [`crate::Epoch`].
+#[derive(Clone, Debug)]
+pub struct MatvecSimEpoch {
+    pub label: String,
+    /// Modeled batched-kernel flops per device.
+    pub flops: Vec<f64>,
+    /// Kernel launches per device.
+    pub launches: Vec<usize>,
+    /// Cross-device bytes issued during the epoch (at the wire precision).
+    pub comm_bytes: u64,
+    pub comm_messages: usize,
+}
+
+/// Closed-form prediction of one [`shard_matvec`] run: the same per-level
+/// owner/chunk sharding, transfer predicates, byte formulas and epoch
+/// boundaries evaluated from the matrix structure alone (basis shapes and
+/// the partition), without executing any arithmetic.
+///
+/// The executor and this model walk the identical guards — `x̂`/`ŷ`
+/// activity is derived structurally (`ŷ_s` is live iff the node has
+/// far-field rank and either couples directly or inherits a live parent) —
+/// so flop and byte totals must be *equal*, and
+/// [`MatvecSim::makespan`] applies the same projection as
+/// [`ExecReport::modeled_makespan`], making the makespan ratio 1 up to
+/// floating-point rounding. [`compare_matvec_with_simulator`] packages the
+/// cross-check.
+#[derive(Clone, Debug)]
+pub struct MatvecSim {
+    pub devices: usize,
+    pub mode: PipelineMode,
+    /// Wire precision the byte formulas were evaluated at.
+    pub wire: Precision,
+    pub epochs: Vec<MatvecSimEpoch>,
+}
+
+impl MatvecSim {
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.epochs.iter().map(|e| e.comm_bytes).sum()
+    }
+
+    pub fn total_comm_messages(&self) -> usize {
+        self.epochs.iter().map(|e| e.comm_messages).sum()
+    }
+
+    pub fn total_flops(&self) -> f64 {
+        self.epochs.iter().flat_map(|e| e.flops.iter()).sum()
+    }
+
+    /// Project the modeled epochs through a [`DeviceModel`] with the same
+    /// formula as [`ExecReport::modeled_makespan`]: per epoch the busiest
+    /// device's compute, the communication (serialized after compute when
+    /// synchronous, overlapped when pipelined), and the per-device launch
+    /// overhead; epochs are sequential.
+    pub fn makespan(&self, model: &DeviceModel) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| {
+                let compute_max = e
+                    .flops
+                    .iter()
+                    .map(|f| f / model.flops_per_sec)
+                    .fold(0.0, f64::max);
+                let comm = e.comm_bytes as f64 / model.link_bandwidth
+                    + e.comm_messages as f64 * model.link_latency;
+                let launches_max = e.launches.iter().copied().max().unwrap_or(0);
+                let body = match self.mode {
+                    PipelineMode::Synchronous => compute_max + comm,
+                    PipelineMode::Pipelined => compute_max.max(comm),
+                };
+                body + launches_max as f64 * model.launch_overhead
+            })
+            .sum()
+    }
+}
+
+/// Closed-form model of one sharded matvec (see [`MatvecSim`]).
+///
+/// `wire` must match the fabric's wire precision for byte totals to line
+/// up; `mode` decides both the epoch structure (the pipelined coupling
+/// phase merges all levels into one epoch, and upsweep gathers are issued
+/// one level ahead) and the makespan projection.
+pub fn simulate_matvec(
+    h2: &H2Matrix,
+    d: usize,
+    devices: usize,
+    mode: PipelineMode,
+    wire: Precision,
+    transpose: bool,
+) -> MatvecSim {
+    let pipelined = mode == PipelineMode::Pipelined;
+    let ph = h2.apply_phases(transpose);
+    let in_basis = ph.in_basis();
+    let out_basis = ph.out_basis();
+    let tree = &h2.tree;
+    let nnodes = tree.nodes.len();
+    let leaf_level = tree.leaf_level();
+    let mut epochs: Vec<MatvecSimEpoch> = Vec::new();
+
+    // Per-device launch pattern of one level: every device with a
+    // non-empty chunk issues exactly one batched launch.
+    let chunk_launches = |nl: usize| -> Vec<usize> {
+        let bounds = chunk_bounds(nl, devices);
+        (0..devices)
+            .map(|dev| usize::from(bounds[dev + 1] > bounds[dev]))
+            .collect()
+    };
+
+    // Child-gather traffic of one upsweep level (the executor's
+    // `upsweep_transfers` predicate).
+    let gathers = |l: usize| -> (u64, usize) {
+        let (mut bytes, mut msgs) = (0u64, 0usize);
+        if l >= leaf_level {
+            return (bytes, msgs);
+        }
+        let ids: Vec<usize> = tree.level(l).collect();
+        let nl = ids.len();
+        let ncl = tree.level_len(l + 1);
+        for (local, &id) in ids.iter().enumerate() {
+            if in_basis[id].cols() == 0 {
+                continue;
+            }
+            let dev = owner(local, nl, devices);
+            let (c1, c2) = tree.nodes[id].children.unwrap();
+            for c in [c1, c2] {
+                let cdev = owner(tree.local_index(c), ncl, devices);
+                if cdev != dev && in_basis[c].cols() > 0 {
+                    bytes += cost::fetch_bytes_p(in_basis[c].cols(), d, wire);
+                    msgs += 1;
+                }
+            }
+        }
+        (bytes, msgs)
+    };
+
+    // ---- upsweep, leaf level first. The pipelined executor issues level
+    // l-1's gathers during level l's epoch window (issue-epoch tagging
+    // charges them one epoch early); a level skipped for having no based
+    // nodes drops the look-ahead, so the next level issues its own. ----
+    let mut preissued: Option<usize> = None;
+    for l in (0..tree.nlevels()).rev() {
+        let ids: Vec<usize> = tree.level(l).collect();
+        let nl = ids.len();
+        let mut flops = vec![0.0; devices];
+        let mut any = false;
+        for (local, &id) in ids.iter().enumerate() {
+            let v = &in_basis[id];
+            if v.cols() == 0 {
+                continue;
+            }
+            any = true;
+            flops[owner(local, nl, devices)] += cost::upsweep_flops(v.rows(), v.cols(), d);
+        }
+        let (mut bytes, mut msgs) = (0u64, 0usize);
+        if preissued.take() != Some(l) {
+            let (b, m) = gathers(l);
+            bytes += b;
+            msgs += m;
+        }
+        if !any {
+            continue;
+        }
+        if pipelined && l > 0 {
+            let (b, m) = gathers(l - 1);
+            bytes += b;
+            msgs += m;
+            preissued = Some(l - 1);
+        }
+        epochs.push(MatvecSimEpoch {
+            label: format!("matvec upsweep L{l}"),
+            flops,
+            launches: chunk_launches(nl),
+            comm_bytes: bytes,
+            comm_messages: msgs,
+        });
+    }
+
+    // ---- coupling: deduplicated partner fetches per (device, partner)
+    // per level; one merged epoch when pipelined, one per level when
+    // synchronous. ----
+    struct LevelAcc {
+        flops: Vec<f64>,
+        launches: Vec<usize>,
+        bytes: u64,
+        msgs: usize,
+        any: bool,
+    }
+    let couple_level = |l: usize| -> LevelAcc {
+        let ids: Vec<usize> = tree.level(l).collect();
+        let nl = ids.len();
+        let mut acc = LevelAcc {
+            flops: vec![0.0; devices],
+            launches: vec![0; devices],
+            bytes: 0,
+            msgs: 0,
+            any: false,
+        };
+        let mut fetched: HashSet<(usize, usize)> = HashSet::new();
+        for (local, &s) in ids.iter().enumerate() {
+            if h2.partition.far_of[s].is_empty() {
+                continue;
+            }
+            acc.any = true;
+            let dev = owner(local, nl, devices);
+            let ks = out_basis[s].cols();
+            for &t in &h2.partition.far_of[s] {
+                let kt = in_basis[t].cols();
+                if ks == 0 || kt == 0 {
+                    continue;
+                }
+                acc.flops[dev] += cost::bsr_flops(ks, kt, d);
+                let tdev = owner(tree.local_index(t), nl, devices);
+                if tdev != dev && fetched.insert((dev, t)) {
+                    acc.bytes += cost::fetch_bytes_p(kt, d, wire);
+                    acc.msgs += 1;
+                }
+            }
+        }
+        if acc.any {
+            acc.launches = chunk_launches(nl);
+        }
+        acc
+    };
+    if pipelined {
+        let mut flops = vec![0.0; devices];
+        let mut launches = vec![0usize; devices];
+        let (mut bytes, mut msgs) = (0u64, 0usize);
+        for l in 0..tree.nlevels() {
+            let acc = couple_level(l);
+            for dev in 0..devices {
+                flops[dev] += acc.flops[dev];
+                launches[dev] += acc.launches[dev];
+            }
+            bytes += acc.bytes;
+            msgs += acc.msgs;
+        }
+        // The executor closes this epoch unconditionally.
+        epochs.push(MatvecSimEpoch {
+            label: "matvec coupling (overlapped)".to_string(),
+            flops,
+            launches,
+            comm_bytes: bytes,
+            comm_messages: msgs,
+        });
+    } else {
+        for l in 0..tree.nlevels() {
+            let acc = couple_level(l);
+            if !acc.any {
+                continue;
+            }
+            epochs.push(MatvecSimEpoch {
+                label: format!("matvec coupling L{l}"),
+                flops: acc.flops,
+                launches: acc.launches,
+                comm_bytes: acc.bytes,
+                comm_messages: acc.msgs,
+            });
+        }
+    }
+
+    // ---- downsweep: structural ŷ activity. After coupling, ŷ_s is live
+    // iff the node couples directly with positive rank; a child goes live
+    // when its parent is live and both ranks are positive. ----
+    let mut active: Vec<bool> = (0..nnodes)
+        .map(|s| !h2.partition.far_of[s].is_empty() && out_basis[s].cols() > 0)
+        .collect();
+    for l in 0..leaf_level {
+        let ids: Vec<usize> = tree.level(l + 1).collect();
+        let nl = ids.len();
+        let np = tree.level_len(l);
+        let mut flops = vec![0.0; devices];
+        let (mut bytes, mut msgs) = (0u64, 0usize);
+        let mut any = false;
+        let mut newly_live: Vec<usize> = Vec::new();
+        for (local, &child) in ids.iter().enumerate() {
+            let Some(parent) = tree.nodes[child].parent else {
+                continue;
+            };
+            if !active[parent] || out_basis[parent].cols() == 0 || out_basis[child].cols() == 0 {
+                continue;
+            }
+            any = true;
+            let dev = owner(local, nl, devices);
+            let kp = out_basis[parent].cols();
+            flops[dev] += cost::upsweep_flops(out_basis[child].cols(), kp, d);
+            let pdev = owner(tree.local_index(parent), np, devices);
+            if pdev != dev {
+                // Partial-sum reads are per child, not deduplicated.
+                bytes += cost::fetch_bytes_p(kp, d, wire);
+                msgs += 1;
+            }
+            newly_live.push(child);
+        }
+        if !any {
+            continue;
+        }
+        for c in newly_live {
+            active[c] = true;
+        }
+        epochs.push(MatvecSimEpoch {
+            label: format!("matvec downsweep L{}", l + 1),
+            flops,
+            launches: chunk_launches(nl),
+            comm_bytes: bytes,
+            comm_messages: msgs,
+        });
+    }
+
+    // ---- leaf expansion + dense near field (no transfers) ----
+    let ids: Vec<usize> = tree.level(leaf_level).collect();
+    let nl = ids.len();
+    let mut flops = vec![0.0; devices];
+    for (local, &s) in ids.iter().enumerate() {
+        let dev = owner(local, nl, devices);
+        let (b, e) = tree.range(s);
+        if active[s] && out_basis[s].cols() > 0 {
+            flops[dev] += cost::upsweep_flops(e - b, out_basis[s].cols(), d);
+        }
+        for &t in &h2.partition.near_of[s] {
+            let (tb, te) = tree.range(t);
+            flops[dev] += cost::bsr_flops(e - b, te - tb, d);
+        }
+    }
+    epochs.push(MatvecSimEpoch {
+        label: "matvec leaves".to_string(),
+        flops,
+        launches: chunk_launches(nl),
+        comm_bytes: 0,
+        comm_messages: 0,
+    });
+
+    MatvecSim {
+        devices,
+        mode,
+        wire,
+        epochs,
+    }
+}
+
+/// Measured-vs-simulated comparison of one sharded matvec against
+/// [`simulate_matvec`] — the matvec arm of the simulator-equivalence
+/// suite. Byte and flop totals must match exactly; the makespan ratio is
+/// 1 up to floating-point rounding, since both sides project the same
+/// per-epoch counts through the same formula.
+pub fn compare_matvec_with_simulator(
+    report: &ExecReport,
+    h2: &H2Matrix,
+    d: usize,
+    transpose: bool,
+    model: &DeviceModel,
+) -> SimComparison {
+    let sim = simulate_matvec(h2, d, report.devices, report.mode, report.wire, transpose);
+    SimComparison {
+        measured_flop_equiv: report.flop_equiv(model.entry_cost),
+        predicted_flop_equiv: sim.total_flops(),
+        measured_bytes: report.total_comm_bytes(),
+        predicted_bytes: sim.total_comm_bytes(),
+        measured_makespan: report.modeled_makespan(model),
+        predicted_makespan: sim.makespan(model),
+    }
 }

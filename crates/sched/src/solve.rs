@@ -39,8 +39,8 @@ use h2_dense::{LinOp, Mat, MatMut, MatRef};
 use h2_matrix::H2Matrix;
 use h2_runtime::multidev::cost;
 use h2_runtime::{
-    chunk_bounds, owner, simulate_solve, DeviceModel, PipelineMode, ShardJob, SolveSpec, Transfer,
-    TransferKind,
+    chunk_bounds, owner, simulate_solve_prec, DeviceModel, PipelineMode, ShardJob, SolveSpec,
+    Transfer, TransferKind,
 };
 use h2_solve::{Preconditioner, UlvFactor};
 
@@ -114,6 +114,9 @@ pub fn shard_ulv_solve(fabric: &DeviceFabric, ulv: &UlvFactor, b: &Mat) -> Mat {
     let leaf_level = tree.leaf_level();
     let devices = fabric.devices();
     let pipelined = fabric.mode() == PipelineMode::Pipelined;
+    // Cross-device reduced blocks ship (and land in the arena) at the
+    // fabric's wire precision; the solve simulator mirrors the width.
+    let wire = fabric.wire();
     let sweep = ulv.sweep();
     let nnodes = tree.nodes.len();
 
@@ -158,7 +161,7 @@ pub fn shard_ulv_solve(fabric: &DeviceFabric, ulv: &UlvFactor, b: &Mat) -> Mat {
             if fl > 0.0 {
                 fabric.record_flops(dev, fl);
             }
-            fabric.arena_charge(dev, (ulv.retained(id) + 1) * d * 8);
+            fabric.arena_charge(dev, (ulv.retained(id) + 1) * d * wire.bytes());
             if l < leaf_level {
                 // The node stacks its children's retained blocks: a child
                 // owned by another device moves k × d numbers over.
@@ -172,8 +175,9 @@ pub fn shard_ulv_solve(fabric: &DeviceFabric, ulv: &UlvFactor, b: &Mat) -> Mat {
                             Transfer {
                                 src: cdev,
                                 dst: dev,
-                                bytes: cost::fetch_bytes(kc, d),
+                                bytes: cost::fetch_bytes_p(kc, d, wire),
                                 kind: TransferKind::ChildGather,
+                                prec: wire,
                             },
                             &mut tickets,
                         );
@@ -231,8 +235,9 @@ pub fn shard_ulv_solve(fabric: &DeviceFabric, ulv: &UlvFactor, b: &Mat) -> Mat {
                     Transfer {
                         src: cdev,
                         dst: 0,
-                        bytes: cost::fetch_bytes(kc, d),
+                        bytes: cost::fetch_bytes_p(kc, d, wire),
                         kind: TransferKind::ChildGather,
+                        prec: wire,
                     },
                     &mut tickets,
                 );
@@ -278,8 +283,9 @@ pub fn shard_ulv_solve(fabric: &DeviceFabric, ulv: &UlvFactor, b: &Mat) -> Mat {
                     Transfer {
                         src: pdev,
                         dst: dev,
-                        bytes: cost::fetch_bytes(kc, d),
+                        bytes: cost::fetch_bytes_p(kc, d, wire),
                         kind: TransferKind::PartialSum,
+                        prec: wire,
                     },
                     &mut tickets,
                 );
@@ -356,7 +362,7 @@ pub fn compare_solve_with_simulator(
     spec: &SolveSpec,
     model: &DeviceModel,
 ) -> SimComparison {
-    let sim = simulate_solve(spec, report.devices, model);
+    let sim = simulate_solve_prec(spec, report.devices, model, report.wire);
     SimComparison {
         measured_flop_equiv: report.flop_equiv(model.entry_cost),
         predicted_flop_equiv: sim.compute_total() * model.flops_per_sec,

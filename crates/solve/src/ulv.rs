@@ -36,6 +36,17 @@
 //!
 //! The root system is dense and small; one LU finishes the factorization.
 //!
+//! ## Storage precision
+//!
+//! The factorization reads the matrix's f64 working copies, which for
+//! blocks demoted to f32 storage hold exactly the round-tripped values
+//! (see `h2_matrix::format`) — so a ULV of a mixed-precision matrix is
+//! the *exact* factorization of the stored operator, bitwise identical to
+//! promoting every f32 block on the fly. Solve residuals against the
+//! represented operator stay at machine precision regardless of the
+//! storage tier; only the represented operator itself differs from the
+//! original kernel by the (tolerance-bounded) demotion error.
+//!
 //! ## Per-level batched phases
 //!
 //! The default schedule ([`UlvSchedule::Batched`]) runs the elimination as

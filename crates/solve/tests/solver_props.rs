@@ -206,5 +206,55 @@ mod ulv_props {
             dd.axpy(-1.0, &xp);
             prop_assert!(dd.norm_fro() <= 1e-13 * xp.norm_fro().max(1e-300));
         }
+
+        /// ULV of an f32-storage matrix is the exact factorization of the
+        /// stored (demoted) operator: solve residuals against the
+        /// represented system stay at machine precision even though the
+        /// loose tolerance makes the norm-aware rule demote aggressively.
+        #[test]
+        fn ulv_exact_on_f32_storage(
+            n in 96usize..320,
+            leaf in 16usize..48,
+            seed in 0u64..100,
+        ) {
+            let pts: Vec<[f64; 3]> =
+                (0..n).map(|i| [i as f64 / n as f64, 0.0, 0.0]).collect();
+            let tree = Arc::new(ClusterTree::build(&pts, leaf));
+            let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
+            let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
+            let rt = Runtime::sequential();
+            let cfg = SketchConfig {
+                tol: 1e-4,
+                initial_samples: 48,
+                max_rank: 96,
+                seed,
+                storage: h2_runtime::Precision::F32,
+                ..Default::default()
+            };
+            let (mut hss, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
+            prop_assert!(
+                hss.dense.demoted_count() > 0,
+                "loose tolerance must demote the near field"
+            );
+            for i in 0..hss.dense.pairs.len() {
+                let (s, t) = hss.dense.pairs[i];
+                if s == t {
+                    let blk = &mut hss.dense.blocks[i];
+                    for j in 0..blk.rows() {
+                        blk[(j, j)] += 2.0;
+                    }
+                    // Keep the f32 storage coherent with the shifted
+                    // working copy.
+                    hss.dense.resync_demoted(i);
+                }
+            }
+            let ulv = UlvFactor::new(&hss).unwrap();
+            let b = gaussian_mat(n, 2, seed ^ 0xCAFE);
+            let x = ulv.solve(&b);
+            let mut r = hss.apply_permuted_mat(&x);
+            r.axpy(-1.0, &b);
+            let rel = r.norm_fro() / b.norm_fro();
+            prop_assert!(rel < 1e-9, "f32-storage ULV residual {rel} at n={n} leaf={leaf}");
+        }
     }
 }
