@@ -7,23 +7,24 @@
 //! * **adaptive vs fixed** sampling at several initial sample counts,
 //! * the **convergence-test scaling** `√d` (via sample-block size sweeps).
 //!
-//! Usage: `cargo run --release -p h2-bench --bin ablation -- [--n 8192]`
+//! Usage: `cargo run --release -p h2-bench --bin ablation -- [--n 8192]
+//! [--trace trace.json]`
 
-use h2_bench::{build_problem, header, mib, reference_h2, row, App, Args};
+use h2_bench::{build_problem, header, mib, reference_h2, row, App, Args, TraceSink};
 use h2_core::{sketch_construct, SketchConfig, TolSchedule};
 use h2_dense::relative_error_2;
-use h2_runtime::Runtime;
 use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
     let n: usize = args.get("n", 8192);
     let tol: f64 = args.get("tol", 1e-6);
+    let sink = TraceSink::from_args(&args);
     let problem = build_problem(App::Covariance, n, 64, 0.7, 0xAB1A);
     let reference = reference_h2(&problem, tol * 1e-2);
 
     let run = |cfg: &SketchConfig| {
-        let rt = Runtime::parallel();
+        let rt = sink.runtime();
         let t = Instant::now();
         let (h2, stats) = sketch_construct(
             &reference,
@@ -137,4 +138,5 @@ fn main() {
         ]);
     }
     println!("\n(Observations to compare with the paper: the adaptive runs converge to the\n sample count the spectrum demands; over-tight safety factors inflate ranks for\n little error benefit; per-level tightening trades memory for upsweep error.)");
+    sink.finish();
 }

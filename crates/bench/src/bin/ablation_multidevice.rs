@@ -14,16 +14,17 @@
 //!    against the projection, and time the sharded matvec.
 //!
 //! Usage: `cargo run --release -p h2_bench --bin ablation_multidevice --
-//!         [--n 32768] [--samples 256] [--skip-real] [--pipeline on|off|both]`
+//!         [--n 32768] [--samples 256] [--skip-real] [--pipeline on|off|both]
+//!         [--trace trace.json]`
 //!
 //! `--pipeline` selects the fabric schedule for the executed section:
 //! `off` = synchronous fork-join, `on` = pipelined (ordered queues +
 //! prefetched transfers), `both` (default) = run the two back to back so
 //! both curves land in one run.
 
-use h2_bench::{build_problem, header, reference_h2, row, App, Args};
+use h2_bench::{build_problem, header, reference_h2, row, App, Args, TraceSink};
 use h2_core::{level_specs, sketch_construct, SketchConfig};
-use h2_runtime::{simulate, DeviceModel, PipelineMode, Runtime, TransferKind};
+use h2_runtime::{simulate, DeviceModel, PipelineMode, TransferKind};
 use h2_sched::{compare_with_simulator, shard_construct, shard_matvec_with_report, DeviceFabric};
 
 fn main() {
@@ -41,9 +42,10 @@ fn main() {
         other => panic!("--pipeline must be on|off|both, got {other}"),
     };
 
+    let sink = TraceSink::from_args(&args);
     let problem = build_problem(App::Covariance, n, leaf, 0.7, 0xD1CE);
     let reference = reference_h2(&problem, tol * 1e-2);
-    let rt = Runtime::parallel();
+    let rt = sink.runtime();
     let cfg = SketchConfig {
         tol,
         initial_samples: d.min(256),
@@ -135,6 +137,7 @@ fn main() {
             for devices in [1usize, 2, 4, 8] {
                 let fabric =
                     DeviceFabric::with_config(devices, mode, h2_sched::LinkModel::default());
+                sink.attach(&fabric);
                 let (h2s, st, report) = shard_construct(
                     &fabric,
                     &reference,
@@ -174,6 +177,7 @@ fn main() {
             for devices in [1usize, 2, 4, 8] {
                 let fabric =
                     DeviceFabric::with_config(devices, mode, h2_sched::LinkModel::default());
+                sink.attach(&fabric);
                 let t0 = std::time::Instant::now();
                 let (_, rep) = shard_matvec_with_report(&fabric, &h2, &x, false);
                 let wall = t0.elapsed().as_secs_f64();
@@ -197,4 +201,5 @@ fn main() {
     println!("The executed rows validate the projection: identical work and byte");
     println!("totals, makespan agreeing within the scheduling band; wall times on");
     println!("CPU worker threads show the decomposition, not A100 throughput.");
+    sink.finish();
 }

@@ -34,16 +34,31 @@
 //!
 //! Usage: `fabric [--n 12288] [--n-unsym 8192] [--samples 128]
 //! [--leaf 32] [--precision f64|f32|both] [--out BENCH_fabric.json]
-//! [--smoke]`
+//! [--trace trace.json] [--smoke]`
+//!
+//! `--trace <path>` additionally runs one dedicated pipelined D=4
+//! construction with a live tracer attached and writes its merged Chrome
+//! trace (device timelines + link rows + host spans — load at
+//! <https://ui.perfetto.dev>), plus a `<path>.expect` sidecar holding the
+//! run's exact cross-device byte total for the CI validator
+//! (`trace_check`):
+//!
+//! ```sh
+//! cargo run --release -p h2_bench --bin fabric -- --smoke --trace trace.json
+//! cargo run --release -p h2_bench --bin trace_check -- \
+//!     --trace trace.json --expect-bytes $(cat trace.json.expect)
+//! ```
 
 use h2_core::{level_specs, sketch_construct_unsym, SketchConfig};
 use h2_dense::LinOp;
 use h2_kernels::{ConvectionKernel, ExponentialKernel, KernelMatrix, UnsymKernelMatrix};
 use h2_matrix::{direct_construct, DirectConfig};
+use h2_obs::Json;
 use h2_runtime::{DeviceModel, PipelineMode, Precision, Runtime};
 use h2_sched::{
-    compare_matvec_with_simulator, compare_with_simulator, shard_construct, shard_construct_unsym,
-    shard_matvec_with_report, DeviceFabric, ExecReport, LinkModel,
+    compare_matvec_with_simulator, compare_with_simulator, export_chrome_trace_with_spans,
+    shard_construct, shard_construct_unsym, shard_matvec_with_report, DeviceFabric, ExecReport,
+    LinkModel,
 };
 use h2_tree::{Admissibility, ClusterTree, Partition};
 use std::sync::Arc;
@@ -122,6 +137,60 @@ fn fabric_for(devices: usize, mode: PipelineMode, prec: Precision) -> Arc<Device
     let fabric = DeviceFabric::with_config(devices, mode, LinkModel::cpu_scale());
     fabric.set_wire(prec);
     fabric
+}
+
+/// Dedicated traced run backing `--trace`: a pipelined D=4 symmetric
+/// construction with non-adaptive sampling (byte totals provably equal to
+/// the simulator prediction), a live tracer attached to the fabric, and
+/// the merged Chrome trace written to `path`. A `<path>.expect` sidecar
+/// holds the exact cross-device byte total so `trace_check` can validate
+/// the trace against an independently recorded number.
+fn write_trace(path: &str, smoke: bool) {
+    let n = if smoke { 3000 } else { 4096 };
+    let pts = h2_tree::uniform_cube(n, 0xFAB7);
+    let tree = Arc::new(ClusterTree::build(&pts, 16));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+    let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+    let sampler = direct_construct(
+        &km,
+        tree.clone(),
+        part.clone(),
+        &DirectConfig {
+            tol: 1e-8,
+            ..Default::default()
+        },
+    );
+    let cfg = SketchConfig {
+        initial_samples: 64,
+        adaptive: false,
+        ..Default::default()
+    };
+    let fabric = DeviceFabric::with_config(4, PipelineMode::Pipelined, LinkModel::cpu_scale());
+    let tracer = h2_obs::Tracer::new(1 << 20);
+    fabric.set_tracer(Some(tracer.clone()));
+    let (h2, _, report) = shard_construct(&fabric, &sampler, &km, tree, part, &cfg);
+    fabric.set_tracer(None);
+    let (_, weak) = models();
+    let cmp = compare_with_simulator(&report, &level_specs(&h2), 64, &weak);
+    assert!(
+        cmp.bytes_match(),
+        "traced run must reconcile with the simulator ({} vs {})",
+        cmp.measured_bytes,
+        cmp.predicted_bytes
+    );
+    let events = tracer.drain();
+    let trace = export_chrome_trace_with_spans(&report, &events);
+    trace.write(path).expect("write chrome trace");
+    std::fs::write(
+        format!("{path}.expect"),
+        report.total_comm_bytes().to_string(),
+    )
+    .expect("write expect sidecar");
+    println!(
+        "trace: wrote {path} ({} events, comm_bytes {}) and {path}.expect",
+        trace.len(),
+        report.total_comm_bytes()
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -420,68 +489,66 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!(
-        "  \"config\": {{\"n\": {n}, \"n_unsym\": {n_unsym}, \"leaf\": {leaf}, \
-         \"samples\": {samples}, \"smoke\": {smoke}, \"link\": \"cpu_scale\", \
-         \"precisions\": [{}], \
-         \"headline_model\": \"weak_compute_0.5TFs\", \"reference_model\": \"a100_10TFs\"}},\n",
-        precisions
-            .iter()
-            .map(|p| format!("\"{}\"", p.name()))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    json.push_str(&format!(
-        "  \"headline_speedup_at_4plus\": {headline:.3},\n"
-    ));
+    fn mode_json(m: &ModeRow) -> Json {
+        Json::obj(vec![
+            ("makespan_weak", Json::Num(m.makespan_weak)),
+            ("makespan_a100", Json::Num(m.makespan_a100)),
+            ("wall", Json::Num(m.wall)),
+            ("busy", Json::Num(m.busy)),
+            ("stall", Json::Num(m.stall)),
+            ("overlap", Json::Num(m.overlap)),
+            ("idle", Json::Num(m.idle)),
+        ])
+    }
+
+    let (a100, weak) = models();
+    let mut rep = h2_bench::BenchReport::new("fabric");
+    rep.precisions(&precisions)
+        .device_model("weak_compute_0.5TFs", &weak)
+        .device_model("a100_10TFs", &a100);
+    rep.section(
+        "config",
+        Json::obj(vec![
+            ("n", Json::u64(n as u64)),
+            ("n_unsym", Json::u64(n_unsym as u64)),
+            ("leaf", Json::u64(leaf as u64)),
+            ("samples", Json::u64(samples as u64)),
+            ("smoke", Json::Bool(smoke)),
+            ("link", Json::str("cpu_scale")),
+            ("headline_model", Json::str("weak_compute_0.5TFs")),
+            ("reference_model", Json::str("a100_10TFs")),
+        ]),
+    );
+    rep.section("headline_speedup_at_4plus", Json::Num(headline));
     if precisions.len() == 2 {
-        json.push_str(&format!(
-            "  \"f32_byte_ratio_worst\": {byte_ratio_worst:.6},\n  \
-             \"f32_comm_speedup_a100_at_4plus\": {comm_speedup:.3},\n"
-        ));
+        rep.section("f32_byte_ratio_worst", Json::Num(byte_ratio_worst));
+        rep.section("f32_comm_speedup_a100_at_4plus", Json::Num(comm_speedup));
     }
-    json.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"phase\": \"{}\", \"precision\": \"{}\", \
-             \"devices\": {}, \"comm_bytes\": {}, \
-             \"sync\": {{\"makespan_weak\": {:.6e}, \"makespan_a100\": {:.6e}, \
-             \"wall\": {:.6e}, \"busy\": {:.6e}, \
-             \"stall\": {:.6e}, \"overlap\": {:.6e}, \"idle\": {:.6e}}}, \
-             \"pipelined\": {{\"makespan_weak\": {:.6e}, \"makespan_a100\": {:.6e}, \
-             \"wall\": {:.6e}, \"busy\": {:.6e}, \
-             \"stall\": {:.6e}, \"overlap\": {:.6e}, \"idle\": {:.6e}}}, \
-             \"speedup\": {:.3}, \"speedup_a100\": {:.3}, \"sim_ratio\": {:.3}, \
-             \"bytes_equal\": {}}}{}\n",
-            r.regime,
-            r.phase,
-            r.prec.name(),
-            r.devices,
-            r.comm_bytes,
-            r.sync.makespan_weak,
-            r.sync.makespan_a100,
-            r.sync.wall,
-            r.sync.busy,
-            r.sync.stall,
-            r.sync.overlap,
-            r.sync.idle,
-            r.pipe.makespan_weak,
-            r.pipe.makespan_a100,
-            r.pipe.wall,
-            r.pipe.busy,
-            r.pipe.stall,
-            r.pipe.overlap,
-            r.pipe.idle,
-            r.speedup(),
-            r.speedup_a100(),
-            r.sim_ratio,
-            r.bytes_equal,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+    rep.section(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("regime", Json::str(r.regime)),
+                        ("phase", Json::str(r.phase)),
+                        ("precision", Json::str(r.prec.name())),
+                        ("devices", Json::u64(r.devices as u64)),
+                        ("comm_bytes", Json::u64(r.comm_bytes)),
+                        ("sync", mode_json(&r.sync)),
+                        ("pipelined", mode_json(&r.pipe)),
+                        ("speedup", Json::Num(r.speedup())),
+                        ("speedup_a100", Json::Num(r.speedup_a100())),
+                        ("sim_ratio", Json::Num(r.sim_ratio)),
+                        ("bytes_equal", Json::Bool(r.bytes_equal)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    rep.write(&out_path);
+
+    if let Some(path) = args.get_opt("trace") {
+        write_trace(&path, smoke);
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("\nwrote {out_path}");
 }

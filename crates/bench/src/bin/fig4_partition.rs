@@ -7,15 +7,20 @@
 //! area split ("smaller η leads to more refined partitioning ... and hence
 //! larger sparsity constants Csp", §II.A).
 //!
-//! Usage: `cargo run --release -p h2-bench --bin fig4_partition -- [--n 32768] [--leaf 64]`
+//! Usage: `cargo run --release -p h2-bench --bin fig4_partition -- [--n 32768] [--leaf 64]
+//!         [--trace trace.json]`
+//!
+//! (`--trace` is accepted for uniformity with the other bins; partitioning
+//! runs no traced runtime, so the trace records only host-side spans.)
 
-use h2_bench::{header, row, Args};
+use h2_bench::{header, row, Args, TraceSink};
 use h2_tree::{Admissibility, ClusterTree, Partition};
 
 fn main() {
     let args = Args::parse();
     let n: usize = args.get("n", 1 << 15);
     let leaf: usize = args.get("leaf", 64);
+    let sink = TraceSink::from_args(&args);
     let pts = h2_tree::uniform_cube(n, 0xF164);
     let tree = ClusterTree::build(&pts, leaf);
     println!("# Fig. 4: block partition statistics (N = {n}, leaf = {leaf})\n");
@@ -63,4 +68,5 @@ fn main() {
             adm_area + dense_area == n * n
         );
     }
+    sink.finish();
 }

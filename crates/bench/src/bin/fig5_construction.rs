@@ -16,10 +16,11 @@
 //! paper).
 //!
 //! Usage: `--app cov --sizes 8192,16384,32768 [--leaf 64] [--eta 0.7]
-//!         [--tol 1e-6] [--d0 256] [--skip-hodlr] [--budget 4096]`
+//!         [--tol 1e-6] [--d0 256] [--skip-hodlr] [--budget 4096]
+//!         [--trace trace.json]`
 
 use h2_baselines::{hodlr_peel, topdown_peel, PeelConfig};
-use h2_bench::{build_problem, header, reference_h2, row, App, Args};
+use h2_bench::{build_problem, header, reference_h2, row, App, Args, TraceSink};
 use h2_core::{sketch_construct, SketchConfig};
 use h2_dense::relative_error_2;
 use h2_matrix::LowRankUpdate;
@@ -36,6 +37,7 @@ fn main() {
     let d0: usize = args.get("d0", 256);
     let budget: usize = args.get("budget", 4096);
     let skip_hodlr = args.flag("skip-hodlr");
+    let sink = TraceSink::from_args(&args);
 
     println!(
         "# Fig. 5({}): construction time vs N  (leaf={leaf}, eta={eta}, tol={tol}, d0={d0})\n",
@@ -112,7 +114,7 @@ fn main() {
         };
 
         let (t_cpu, _, _) = run(&Runtime::sequential());
-        let (t_gpu, h2, stats) = run(&Runtime::parallel());
+        let (t_gpu, h2, stats) = run(&sink.runtime());
         let err = match &update {
             Some(p) => {
                 let op = LowRankUpdate::symmetric(&reference, p.clone());
@@ -171,4 +173,5 @@ fn main() {
         ]);
     }
     println!("\n(Absolute times are container-scale; the reproduction targets are the O(N) slope of ours,\n the parallel-over-sequential speedup, and the sample-count separation between bottom-up and top-down.)");
+    sink.finish();
 }

@@ -1,11 +1,11 @@
 //! Fig. 6(a): memory consumption of the constructed H2 matrices for the
 //! covariance and IE kernels — the expected O(N) growth.
 //!
-//! Usage: `--sizes 8192,16384,32768,65536 [--leaf 64] [--eta 0.7] [--tol 1e-6]`
+//! Usage: `--sizes 8192,16384,32768,65536 [--leaf 64] [--eta 0.7] [--tol 1e-6]
+//!         [--trace trace.json]`
 
-use h2_bench::{build_problem, gib, header, mib, reference_h2, row, App, Args};
+use h2_bench::{build_problem, gib, header, mib, reference_h2, row, App, Args, TraceSink};
 use h2_core::{sketch_construct, SketchConfig};
-use h2_runtime::Runtime;
 
 fn main() {
     let args = Args::parse();
@@ -13,6 +13,7 @@ fn main() {
     let leaf: usize = args.get("leaf", 64);
     let eta: f64 = args.get("eta", 0.7);
     let tol: f64 = args.get("tol", 1e-6);
+    let sink = TraceSink::from_args(&args);
 
     println!(
         "# Fig. 6(a): memory of the constructed H2 matrix (leaf={leaf}, eta={eta}, tol={tol})\n"
@@ -32,7 +33,7 @@ fn main() {
         for app in [App::Covariance, App::IntegralEquation] {
             let problem = build_problem(app, n, leaf, eta, 0xF6A);
             let reference = reference_h2(&problem, tol * 1e-2);
-            let rt = Runtime::parallel();
+            let rt = sink.runtime();
             let cfg = SketchConfig {
                 tol,
                 initial_samples: 128,
@@ -61,4 +62,5 @@ fn main() {
         }
     }
     println!("\n(bytes/point flattening out with N is the paper's linear-memory claim;\n the dense near field dominates, as in the paper where eta=0.7 keeps Csp large in 3-D.)");
+    sink.finish();
 }

@@ -7,15 +7,15 @@
 //! surrogate for paper-scale separators (`--surrogate 50,70` → 2500, 4900).
 //! The paper's axis 2500…62500 corresponds to n = 50…250.
 //!
-//! Usage: `--exact-grids 12,16,24 --surrogate 50,70 [--tol 1e-6] [--leaf 64]`
+//! Usage: `--exact-grids 12,16,24 --surrogate 50,70 [--tol 1e-6] [--leaf 64]
+//!         [--trace trace.json]`
 
 use h2_baselines::{hodlr_compress, hss_construct};
-use h2_bench::{header, mib, permuted_dense_op, row, Args};
+use h2_bench::{header, mib, permuted_dense_op, row, Args, TraceSink};
 use h2_core::{sketch_construct, SketchConfig};
 use h2_dense::{DenseOp, EntryAccess, LinOp};
 use h2_frontal::{green_surrogate_front, poisson_top_front};
 use h2_kernels::{KernelMatrix, LaplaceKernel};
-use h2_runtime::Runtime;
 use h2_tree::{Admissibility, ClusterTree, Partition, Point};
 use std::sync::Arc;
 
@@ -60,10 +60,17 @@ impl EntryAccess for FrontOp {
     }
 }
 
-fn compress_and_report(name: &str, op: &FrontOp, pts: &[Point], leaf: usize, tol: f64) {
+fn compress_and_report(
+    sink: &TraceSink,
+    name: &str,
+    op: &FrontOp,
+    pts: &[Point],
+    leaf: usize,
+    tol: f64,
+) {
     let size = op.nrows();
     let tree = Arc::new(ClusterTree::build(pts, leaf));
-    let rt = Runtime::parallel();
+    let rt = sink.runtime();
     let cfg = SketchConfig {
         tol,
         initial_samples: 128,
@@ -77,7 +84,7 @@ fn compress_and_report(name: &str, op: &FrontOp, pts: &[Point], leaf: usize, tol
     let (h2, h2_stats) = sketch_construct(op, op, tree.clone(), part, &rt, &cfg);
 
     // HSS = Algorithm 1 on the weak partition.
-    let rt2 = Runtime::parallel();
+    let rt2 = sink.runtime();
     let (hss, hss_stats) = hss_construct(op, op, tree.clone(), &rt2, &cfg);
 
     // HODLR direct compression.
@@ -102,6 +109,7 @@ fn main() {
     let surrogate = args.sizes("surrogate", &[50]);
     let tol: f64 = args.get("tol", 1e-6);
     let leaf: usize = args.get("leaf", 64);
+    let sink = TraceSink::from_args(&args);
 
     println!("# Fig. 6(b): frontal-matrix memory, H2 vs HSS vs HODLR (tol={tol}, leaf={leaf})\n");
     println!("front sizes are n^2 for an n^3 Poisson grid; paper axis 2500..62500 = n 50..250\n");
@@ -121,7 +129,14 @@ fn main() {
         let tree_probe = ClusterTree::build(&raw_pts, leaf);
         let op = FrontOp::Dense(permuted_dense_op(&front, &tree_probe));
         // points must be permuted identically to the operator
-        compress_and_report(&format!("exact {g}^3 grid"), &op, &raw_pts, leaf, tol);
+        compress_and_report(
+            &sink,
+            &format!("exact {g}^3 grid"),
+            &op,
+            &raw_pts,
+            leaf,
+            tol,
+        );
     }
 
     for &k in &surrogate {
@@ -129,8 +144,16 @@ fn main() {
         // Rebind the kernel operator onto tree-ordered points.
         let tree = ClusterTree::build(&pts, leaf);
         let op = FrontOp::Kernel(KernelMatrix::new(km.kernel, tree.points.clone()));
-        compress_and_report(&format!("surrogate {k}x{k} plane"), &op, &pts, leaf, tol);
+        compress_and_report(
+            &sink,
+            &format!("surrogate {k}x{k} plane"),
+            &op,
+            &pts,
+            leaf,
+            tol,
+        );
     }
 
     println!("\n(The weak-admissibility formats' memory grows superlinearly on plane-separator fronts\n while H2 stays close to linear — the Fig. 6(b) separation. HODBF omitted, see EXPERIMENTS.md.)");
+    sink.finish();
 }

@@ -12,9 +12,10 @@
 //! executor measures: busy, idle, exposed stall, and overlapped transfer
 //! time.
 //!
-//! Usage: `--sizes 8192,16384,32768 [--leaf 64] [--tol 1e-6]`
+//! Usage: `--sizes 8192,16384,32768 [--leaf 64] [--tol 1e-6]
+//!         [--trace trace.json]`
 
-use h2_bench::{build_problem, header, reference_h2, row, App, Args};
+use h2_bench::{build_problem, header, reference_h2, row, App, Args, TraceSink};
 use h2_core::{sketch_construct, SketchConfig};
 use h2_runtime::{Backend, DeviceModel, PipelineMode, Runtime};
 use h2_sched::{shard_construct, DeviceFabric, LinkModel};
@@ -24,6 +25,7 @@ fn main() {
     let sizes = args.sizes("sizes", &[4096, 8192, 16384]);
     let leaf: usize = args.get("leaf", 64);
     let tol: f64 = args.get("tol", 1e-6);
+    let sink = TraceSink::from_args(&args);
 
     println!("# Fig. 7: construction-time phase breakdown (covariance, leaf={leaf}, tol={tol})\n");
 
@@ -145,6 +147,7 @@ fn main() {
         (PipelineMode::Pipelined, "pipelined"),
     ] {
         let fabric = DeviceFabric::with_config(4, mode, LinkModel::cpu_scale());
+        sink.attach(&fabric);
         let (_, _, report) = shard_construct(
             &fabric,
             &reference,
@@ -169,4 +172,5 @@ fn main() {
     }
     println!();
     println!("(Paper observation to compare: BSR product + sampling dominate on both backends;\n entry generation 10-20%; ID 5-10%; convergence test relatively larger on the batched backend at small N.)");
+    sink.finish();
 }

@@ -14,13 +14,15 @@
 //!   kernel, the Fig. 5 configuration scaled down).
 //!
 //! Usage: `kernels [--sizes 32,64,...] [--n 4096] [--matvecs 32]
-//! [--out BENCH_kernels.json] [--smoke]`
+//! [--out BENCH_kernels.json] [--trace trace.json] [--smoke]`
 //!
-//! `--smoke` shrinks sizes and repetitions for CI.
+//! `--smoke` shrinks sizes and repetitions for CI. `--trace` writes a
+//! Chrome-trace JSON of the construction's phase spans.
 
-use h2_bench::{build_problem, reference_h2, App, Args};
+use h2_bench::{build_problem, reference_h2, App, Args, BenchReport, TraceSink};
 use h2_core::{sketch_construct, SketchConfig};
 use h2_dense::{gaussian_mat, gemm, gemm_naive, par_gemm, Mat, Op};
+use h2_obs::Json;
 use h2_runtime::{gemm_at_x, Runtime, VarBatch};
 use std::time::Instant;
 
@@ -121,7 +123,7 @@ fn bench_par_gemm(sizes: &[usize], min_secs: f64) -> Vec<ParGemmPoint> {
 /// The batched upsweep shape: many variable-size entries, sizes skewed the
 /// way a construction level is (a few big blocks, a long tail of small
 /// ones).
-fn bench_batched_apply(entries: usize, d: usize, min_secs: f64) -> (f64, f64) {
+fn bench_batched_apply(rt: &Runtime, entries: usize, d: usize, min_secs: f64) -> (f64, f64) {
     let rows: Vec<usize> = (0..entries)
         .map(|i| {
             // Deterministic skew: sizes cycle 16..=256 with a heavy head.
@@ -147,9 +149,8 @@ fn bench_batched_apply(entries: usize, d: usize, min_secs: f64) -> (f64, f64) {
         .iter()
         .map(|u| 2.0 * u.rows() as f64 * u.cols() as f64 * d as f64)
         .sum();
-    let rt = Runtime::parallel();
     let secs = time_per_rep(min_secs, || {
-        let out = gemm_at_x(&rt, &bases, &x);
+        let out = gemm_at_x(rt, &bases, &x);
         std::hint::black_box(out.total_len());
     });
     (flops / secs / 1e9, secs)
@@ -168,6 +169,7 @@ fn main() {
     let n_construct: usize = args.get("n", if smoke { 1500 } else { 4096 });
     let matvecs: usize = args.get("matvecs", 32);
     let out_path: String = args.get("out", "BENCH_kernels.json".to_string());
+    let sink = TraceSink::from_args(&args);
 
     println!("# Kernel baseline (sizes {sizes:?}, min_secs {min_secs})\n");
 
@@ -202,7 +204,9 @@ fn main() {
 
     // --- batched sketch apply ---
     let (batch_entries, batch_d) = if smoke { (128, 32) } else { (512, 64) };
-    let (batched_gflops, batched_secs) = bench_batched_apply(batch_entries, batch_d, min_secs);
+    let batch_rt = sink.runtime();
+    let (batched_gflops, batched_secs) =
+        bench_batched_apply(&batch_rt, batch_entries, batch_d, min_secs);
     println!(
         "\nbatched sketch apply ({batch_entries} skewed entries, d={batch_d}): \
          {batched_gflops:.2} GF/s ({batched_secs:.4} s/apply)"
@@ -214,7 +218,7 @@ fn main() {
     let leaf = if n_construct < 3000 { 16 } else { 64 };
     let problem = build_problem(App::Covariance, n_construct, leaf, 0.7, 0xBE);
     let reference = reference_h2(&problem, 1e-8);
-    let rt = Runtime::parallel();
+    let rt = sink.runtime();
     let cfg = SketchConfig {
         initial_samples: 128,
         ..Default::default()
@@ -241,52 +245,71 @@ fn main() {
         stats.total_samples
     );
 
-    // --- JSON emission (hand-rolled; no serde in the offline workspace) ---
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!(
-        "  \"config\": {{\"sizes\": {sizes:?}, \"min_secs\": {min_secs}, \
-         \"smoke\": {smoke}, \"threads\": {}}},\n",
-        rayon::current_num_threads()
-    ));
-    json.push_str("  \"gemm\": [\n");
-    for (i, p) in gemm_points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"n\": {}, \"ta\": \"{}\", \"tb\": \"{}\", \
-             \"naive_gflops\": {:.3}, \"packed_gflops\": {:.3}, \"speedup\": {:.3}}}{}\n",
-            p.n,
-            op_name(p.ta),
-            op_name(p.tb),
-            p.naive_gflops,
-            p.packed_gflops,
-            p.packed_gflops / p.naive_gflops,
-            if i + 1 < gemm_points.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str("  \"par_gemm\": [\n");
-    for (i, p) in par_points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"n\": {}, \"serial_gflops\": {:.3}, \"par_gflops\": {:.3}, \
-             \"speedup\": {:.3}}}{}\n",
-            p.n,
-            p.serial_gflops,
-            p.par_gflops,
-            p.par_gflops / p.serial_gflops,
-            if i + 1 < par_points.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"batched_apply\": {{\"entries\": {batch_entries}, \"d\": {batch_d}, \
-         \"gflops\": {batched_gflops:.3}, \"secs_per_apply\": {batched_secs:.6}}},\n"
-    ));
-    json.push_str(&format!(
-        "  \"construct_matvec\": {{\"n\": {n_construct}, \"samples\": {}, \
-         \"construct_secs\": {construct_secs:.4}, \"matvec_secs\": {matvec_secs:.6}}}\n",
-        stats.total_samples
-    ));
-    json.push_str("}\n");
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("\nwrote {out_path}");
+    // --- unified JSON emission ---
+    let mut rep = BenchReport::new("kernels");
+    rep.section(
+        "config",
+        Json::obj(vec![
+            (
+                "sizes",
+                Json::Arr(sizes.iter().map(|&s| Json::u64(s as u64)).collect()),
+            ),
+            ("min_secs", Json::Num(min_secs)),
+            ("smoke", Json::Bool(smoke)),
+        ]),
+    );
+    rep.section(
+        "gemm",
+        Json::Arr(
+            gemm_points
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("n", Json::u64(p.n as u64)),
+                        ("ta", Json::str(op_name(p.ta))),
+                        ("tb", Json::str(op_name(p.tb))),
+                        ("naive_gflops", Json::Num(p.naive_gflops)),
+                        ("packed_gflops", Json::Num(p.packed_gflops)),
+                        ("speedup", Json::Num(p.packed_gflops / p.naive_gflops)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    rep.section(
+        "par_gemm",
+        Json::Arr(
+            par_points
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("n", Json::u64(p.n as u64)),
+                        ("serial_gflops", Json::Num(p.serial_gflops)),
+                        ("par_gflops", Json::Num(p.par_gflops)),
+                        ("speedup", Json::Num(p.par_gflops / p.serial_gflops)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    rep.section(
+        "batched_apply",
+        Json::obj(vec![
+            ("entries", Json::u64(batch_entries as u64)),
+            ("d", Json::u64(batch_d as u64)),
+            ("gflops", Json::Num(batched_gflops)),
+            ("secs_per_apply", Json::Num(batched_secs)),
+        ]),
+    );
+    rep.section(
+        "construct_matvec",
+        Json::obj(vec![
+            ("n", Json::u64(n_construct as u64)),
+            ("samples", Json::u64(stats.total_samples as u64)),
+            ("construct_secs", Json::Num(construct_secs)),
+            ("matvec_secs", Json::Num(matvec_secs)),
+        ]),
+    );
+    rep.write(&out_path);
+    sink.finish();
 }

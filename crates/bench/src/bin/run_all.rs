@@ -8,12 +8,15 @@
 //! ```
 //!
 //! Pass `--full` to use the per-binary default sizes instead of the quick
-//! ones (slower; closer to the recorded EXPERIMENTS.md numbers).
+//! ones (slower; closer to the recorded EXPERIMENTS.md numbers). Pass
+//! `--trace` to forward a per-experiment `--trace <dir>/<name>.trace.json`
+//! to every child, collecting one Chrome trace per experiment.
 
 use std::process::Command;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let trace = std::env::args().any(|a| a == "--trace");
     // Quick runs land in results/quick/ so they never clobber the recorded
     // full-size outputs that EXPERIMENTS.md cites.
     let dir = if full { "results" } else { "results/quick" };
@@ -59,11 +62,18 @@ fn main() {
 
     let mut failures = 0usize;
     for (bin, quick_args, out) in experiments {
-        let args: Vec<&str> = if full {
+        let mut args: Vec<String> = if full {
             Vec::new()
         } else {
-            quick_args.to_vec()
+            quick_args.iter().map(|s| s.to_string()).collect()
         };
+        if trace {
+            // Key traces by the output-file stem, not the binary name, so
+            // repeated invocations (fig5 per app) don't clobber each other.
+            let stem = out.trim_end_matches(".out");
+            args.push("--trace".to_string());
+            args.push(format!("{dir}/{stem}.trace.json"));
+        }
         eprintln!("== {bin} {} -> {dir}/{out}", args.join(" "));
         let t0 = std::time::Instant::now();
         let result = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))

@@ -33,18 +33,24 @@
 //!
 //! Usage: `solvers_fabric [--n 4096] [--n-unsym 2048] [--leaf 32]
 //! [--rhs 64] [--precision f64|f32|both] [--out BENCH_solve.json]
-//! [--smoke]`
+//! [--trace trace.json] [--smoke]`
+//!
+//! `--trace` attaches one tracer to every runtime and fabric in the run
+//! (construction phases, ULV level spans, sweep job spans, Krylov
+//! iteration instants) and writes a Chrome-trace JSON at exit.
 
+use h2_bench::{BenchReport, TraceSink};
 use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig};
 use h2_dense::gaussian_mat;
 use h2_kernels::{ConvectionKernel, ExponentialKernel, KernelMatrix, UnsymKernelMatrix};
 use h2_matrix::H2Matrix;
-use h2_runtime::{simulate_solve_prec, DeviceModel, Precision, Runtime};
+use h2_obs::Json;
+use h2_runtime::{simulate_solve_prec, DeviceModel, Precision};
 use h2_sched::{
     compare_solve_with_simulator, shard_ulv_solve_with_report, DeviceFabric, FabricOp,
     UlvFabricPrecond,
 };
-use h2_solve::{gmres, pcg, Identity, UlvFactor};
+use h2_solve::{gmres_with, pcg_with, Identity, KrylovWorkspace, UlvFactor};
 use h2_tree::{Admissibility, ClusterTree, Partition};
 use std::sync::Arc;
 use std::time::Instant;
@@ -122,6 +128,7 @@ fn run_regime(
     n: usize,
     leaf: usize,
     rhs: usize,
+    sink: &TraceSink,
     factor_rows: &mut Vec<FactorRow>,
     krylov_rows: &mut Vec<KrylovRow>,
     sweep_rows: &mut Vec<SweepRow>,
@@ -129,7 +136,7 @@ fn run_regime(
     let pts = line_points(n);
     let tree = Arc::new(ClusterTree::build(&pts, leaf));
     let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
-    let rt = Runtime::parallel();
+    let rt = sink.runtime();
     let sym = regime == "sym";
     let cfg = SketchConfig {
         tol: 1e-9,
@@ -187,18 +194,22 @@ fn run_regime(
     let bvec: Vec<f64> = (0..n).map(|i| 1.0 + (0.013 * i as f64).sin()).collect();
     let sweep_fabric = DeviceFabric::new(2);
     sweep_fabric.set_wire(prec);
+    sink.attach(&sweep_fabric);
     let minv = UlvFabricPrecond::new(&sweep_fabric, &ulv);
+    let mut ws = KrylovWorkspace::new(n);
+    ws.set_tracer(sink.tracer());
     let (method, plain, fast) = if sym {
-        let plain = pcg(&h2, &Identity { n }, &bvec, 600, 1e-10);
-        let fast = pcg(&h2, &minv, &bvec, 600, 1e-10);
+        let plain = pcg_with(&h2, &Identity { n }, &bvec, 600, 1e-10, &mut ws);
+        let fast = pcg_with(&h2, &minv, &bvec, 600, 1e-10, &mut ws);
         ("pcg", plain, fast)
     } else {
         // Matvecs through the fabric-sharded operator.
         let matvec_fabric = DeviceFabric::new(2);
         matvec_fabric.set_wire(prec);
+        sink.attach(&matvec_fabric);
         let op = FabricOp::new(&matvec_fabric, &h2);
-        let plain = gmres(&op, &Identity { n }, &bvec, 40, 600, 1e-10);
-        let fast = gmres(&op, &minv, &bvec, 40, 600, 1e-10);
+        let plain = gmres_with(&op, &Identity { n }, &bvec, 40, 600, 1e-10, &mut ws);
+        let fast = gmres_with(&op, &minv, &bvec, 40, 600, 1e-10, &mut ws);
         ("gmres", plain, fast)
     };
     assert!(fast.converged, "{regime}: preconditioned {method} stalled");
@@ -217,6 +228,7 @@ fn run_regime(
     for devices in [1usize, 2, 4] {
         let fabric = DeviceFabric::new(devices);
         fabric.set_wire(prec);
+        sink.attach(&fabric);
         let (_, report) = shard_ulv_solve_with_report(&fabric, &ulv, &b);
         let cmp = compare_solve_with_simulator(&report, &spec, &weak);
         assert!(
@@ -271,6 +283,7 @@ fn main() {
          # clock is only reported for the schedule comparison on one machine)\n"
     );
 
+    let sink = TraceSink::from_args(&args);
     let mut factor_rows = Vec::new();
     let mut krylov_rows = Vec::new();
     let mut sweep_rows = Vec::new();
@@ -281,6 +294,7 @@ fn main() {
             n,
             leaf,
             rhs,
+            &sink,
             &mut factor_rows,
             &mut krylov_rows,
             &mut sweep_rows,
@@ -291,6 +305,7 @@ fn main() {
             n_unsym,
             leaf,
             rhs,
+            &sink,
             &mut factor_rows,
             &mut krylov_rows,
             &mut sweep_rows,
@@ -389,77 +404,84 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!(
-        "  \"config\": {{\"n\": {n}, \"n_unsym\": {n_unsym}, \"leaf\": {leaf}, \
-         \"rhs\": {rhs}, \"smoke\": {smoke}, \"precisions\": [{}], \
-         \"makespan_models\": [\"weak_compute_0.5TFs\", \"a100_10TFs\"]}},\n",
-        precisions
-            .iter()
-            .map(|p| format!("\"{}\"", p.name()))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
+    let (a100, weak) = models();
+    let mut rep = BenchReport::new("solvers_fabric");
+    rep.precisions(&precisions)
+        .device_model("weak_compute_0.5TFs", &weak)
+        .device_model("a100_10TFs", &a100);
+    rep.section(
+        "config",
+        Json::obj(vec![
+            ("n", Json::u64(n as u64)),
+            ("n_unsym", Json::u64(n_unsym as u64)),
+            ("leaf", Json::u64(leaf as u64)),
+            ("rhs", Json::u64(rhs as u64)),
+            ("smoke", Json::Bool(smoke)),
+        ]),
+    );
     if f32_ratio_worst > 0.0 {
-        json.push_str(&format!(
-            "  \"f32_sweep_wire_ratio_worst\": {f32_ratio_worst:.6},\n"
-        ));
+        rep.section("f32_sweep_wire_ratio_worst", Json::Num(f32_ratio_worst));
     }
-    json.push_str("  \"factor\": [\n");
-    for (i, r) in factor_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"precision\": \"{}\", \"n\": {}, \
-             \"batched_factor_ms\": {:.3}, \
-             \"per_node_factor_ms\": {:.3}, \"solve_ms\": {:.3}, \
-             \"residual\": {:.3e}, \"root_size\": {}, \"schedule_gap\": {:.3e}}}{}\n",
-            r.regime,
-            r.prec.name(),
-            r.n,
-            r.batched_ms,
-            r.per_node_ms,
-            r.solve_ms,
-            r.residual,
-            r.root_size,
-            r.schedule_gap,
-            if i + 1 < factor_rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n  \"krylov\": [\n");
-    for (i, r) in krylov_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"precision\": \"{}\", \"method\": \"{}\", \
-             \"plain_iters\": {}, \
-             \"precond_iters\": {}, \"precond_residual\": {:.3e}}}{}\n",
-            r.regime,
-            r.prec.name(),
-            r.method,
-            r.plain_iters,
-            r.precond_iters,
-            r.precond_residual,
-            if i + 1 < krylov_rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n  \"sharded_sweep\": [\n");
-    for (i, r) in sweep_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"precision\": \"{}\", \"devices\": {}, \
-             \"makespan_weak\": {:.6e}, \
-             \"makespan_a100\": {:.6e}, \"sim_makespan_weak\": {:.6e}, \
-             \"comm_bytes\": {}, \"wire_ratio\": {:.6}, \"bytes_equal\": {}}}{}\n",
-            r.regime,
-            r.prec.name(),
-            r.devices,
-            r.makespan_weak,
-            r.makespan_a100,
-            r.sim_makespan_weak,
-            r.comm_bytes,
-            r.wire_ratio,
-            r.bytes_equal,
-            if i + 1 < sweep_rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("\nwrote {out_path}");
+    rep.section(
+        "factor",
+        Json::Arr(
+            factor_rows
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("regime", Json::str(r.regime)),
+                        ("precision", Json::str(r.prec.name())),
+                        ("n", Json::u64(r.n as u64)),
+                        ("batched_factor_ms", Json::Num(r.batched_ms)),
+                        ("per_node_factor_ms", Json::Num(r.per_node_ms)),
+                        ("solve_ms", Json::Num(r.solve_ms)),
+                        ("residual", Json::Num(r.residual)),
+                        ("root_size", Json::u64(r.root_size as u64)),
+                        ("schedule_gap", Json::Num(r.schedule_gap)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    rep.section(
+        "krylov",
+        Json::Arr(
+            krylov_rows
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("regime", Json::str(r.regime)),
+                        ("precision", Json::str(r.prec.name())),
+                        ("method", Json::str(r.method)),
+                        ("plain_iters", Json::u64(r.plain_iters as u64)),
+                        ("precond_iters", Json::u64(r.precond_iters as u64)),
+                        ("precond_residual", Json::Num(r.precond_residual)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    rep.section(
+        "sharded_sweep",
+        Json::Arr(
+            sweep_rows
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("regime", Json::str(r.regime)),
+                        ("precision", Json::str(r.prec.name())),
+                        ("devices", Json::u64(r.devices as u64)),
+                        ("makespan_weak", Json::Num(r.makespan_weak)),
+                        ("makespan_a100", Json::Num(r.makespan_a100)),
+                        ("sim_makespan_weak", Json::Num(r.sim_makespan_weak)),
+                        ("comm_bytes", Json::u64(r.comm_bytes)),
+                        ("wire_ratio", Json::Num(r.wire_ratio)),
+                        ("bytes_equal", Json::Bool(r.bytes_equal)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    rep.write(&out_path);
+    sink.finish();
 }

@@ -6,12 +6,12 @@
 //! * "fixed sample": one sampling round with d = leaf size (adaptive off),
 //! * "adaptive": d = 32 sample blocks grown on demand.
 //!
-//! Usage: `--n 32768 [--tol 1e-6] [--paper]` (`--paper` sets N = 2^18)
+//! Usage: `--n 32768 [--tol 1e-6] [--paper] [--trace trace.json]`
+//! (`--paper` sets N = 2^18)
 
-use h2_bench::{build_problem, header, mib, reference_h2, row, App, Args};
+use h2_bench::{build_problem, header, mib, reference_h2, row, App, Args, TraceSink};
 use h2_core::{sketch_construct, SketchConfig};
 use h2_dense::relative_error_2;
-use h2_runtime::Runtime;
 use std::time::Instant;
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
         args.get("n", 1 << 15)
     };
     let tol: f64 = args.get("tol", 1e-6);
+    let sink = TraceSink::from_args(&args);
 
     println!("# Table II: leaf size x sample block size (N = {n}, tol = {tol})\n");
     header(&[
@@ -45,7 +46,7 @@ fn main() {
                 ("fixed sample", leaf, leaf, false),
                 ("adaptive", 64, 32, true),
             ] {
-                let rt = Runtime::parallel();
+                let rt = sink.runtime();
                 let cfg = SketchConfig {
                     tol,
                     initial_samples: d0,
@@ -80,4 +81,5 @@ fn main() {
         }
     }
     println!("\n(Paper shape to compare: smaller leaves -> lower memory and time; adaptive d=32 -> fewer\n samples and lower time than fixed d=leaf, at slightly looser measured error within tolerance.)");
+    sink.finish();
 }

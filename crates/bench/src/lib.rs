@@ -24,6 +24,10 @@ use h2_tree::{Admissibility, ClusterTree, Partition};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+pub mod report;
+
+pub use report::{git_rev, BenchReport, TraceSink, SCHEMA_VERSION};
+
 /// Parsed `--key value` / `--flag` command-line options.
 pub struct Args {
     map: HashMap<String, String>,
@@ -56,6 +60,11 @@ impl Args {
             .get(key)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// The raw value of `--key <value>`, if present.
+    pub fn get_opt(&self, key: &str) -> Option<String> {
+        self.map.get(key).cloned()
     }
 
     /// Comma-separated list of sizes.

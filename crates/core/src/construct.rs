@@ -287,6 +287,7 @@ fn sketch_construct_engine(
 
     // ---- bottom-up level loop ----
     for l in (top..=leaf_level).rev() {
+        let _level_span = rt.trace_span("construct", || format!("construct L{l}"));
         let node_ids: Vec<usize> = tree.level(l).collect();
         let is_leaf = l == leaf_level;
         let structure = level_structure(&tree, &partition, &node_ids, is_leaf);

@@ -105,8 +105,15 @@ const NC: usize = 512;
 /// through the packing buffers, and `gemv` calls. `h2_runtime::Runtime`
 /// drains them into its launch/phase profile so the Fig. 7 breakdown
 /// reflects the blocked kernel structure.
+///
+/// Because the counters are process-wide, *draining* them is gated behind
+/// an exclusive [`StatsClaim`] handle: exactly one profile at a time may
+/// swap the counters to zero, so two concurrent profiles (parallel tests,
+/// a multi-tenant server) can no longer silently steal each other's
+/// pack/gemv counts. [`snapshot`] stays available to everyone — reading
+/// without resetting is race-free by nature.
 pub mod stats {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     static PACK_CALLS: AtomicU64 = AtomicU64::new(0);
     static PACK_BYTES: AtomicU64 = AtomicU64::new(0);
@@ -141,15 +148,48 @@ pub mod stats {
         }
     }
 
-    /// Read and zero the counters (the profile-drain primitive). Counters
-    /// are process-wide: concurrent matrix work from other threads lands in
-    /// whichever profile drains next, so treat the numbers as traffic
-    /// accounting, not an exact per-operation attribution.
-    pub fn take() -> GemmStats {
-        GemmStats {
-            pack_calls: PACK_CALLS.swap(0, Ordering::Relaxed),
-            pack_bytes: PACK_BYTES.swap(0, Ordering::Relaxed),
-            gemv_calls: GEMV_CALLS.swap(0, Ordering::Relaxed),
+    static CLAIMED: AtomicBool = AtomicBool::new(false);
+
+    /// Exclusive right to drain the process-wide counters. Held by at most
+    /// one owner at a time; dropping it releases the gate. While a claim
+    /// is live, every other would-be drainer observes [`claim`] returning
+    /// `None` and must fall back to attribution-free [`snapshot`]s.
+    #[derive(Debug)]
+    pub struct StatsClaim(());
+
+    impl StatsClaim {
+        /// Read and zero the counters (the profile-drain primitive). Only
+        /// the claim holder can reset, so drained deltas are attributable
+        /// to the holder's measurement window.
+        pub fn take(&self) -> GemmStats {
+            GemmStats {
+                pack_calls: PACK_CALLS.swap(0, Ordering::Relaxed),
+                pack_bytes: PACK_BYTES.swap(0, Ordering::Relaxed),
+                gemv_calls: GEMV_CALLS.swap(0, Ordering::Relaxed),
+            }
+        }
+    }
+
+    impl Drop for StatsClaim {
+        fn drop(&mut self) {
+            CLAIMED.store(false, Ordering::Release);
+        }
+    }
+
+    /// Try to acquire the exclusive drain handle. On success the counters
+    /// are swapped to zero first (leftovers from unclaimed work are
+    /// discarded), so the new holder starts from a clean window. Returns
+    /// `None` while another claim is live.
+    pub fn claim() -> Option<StatsClaim> {
+        if CLAIMED
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Acquire)
+            .is_ok()
+        {
+            let handle = StatsClaim(());
+            let _ = handle.take();
+            Some(handle)
+        } else {
+            None
         }
     }
 }

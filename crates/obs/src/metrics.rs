@@ -1,0 +1,300 @@
+//! The metrics registry: named counters, gauges and histograms behind one
+//! queryable interface, with **exact-sum semantics** — counters are `u64`
+//! and histogram sums accumulate the exact observed integer values, so a
+//! metric total can be asserted byte-for-byte equal to an accounting
+//! total (`ExecReport::total_comm_bytes`, `Profile` launches) rather than
+//! merely close.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotone integer counter handle (cheap to clone, lock-free to bump).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating gauge handle.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+const HIST_BUCKETS: usize = 65;
+
+struct HistInner {
+    /// `buckets[b]` counts observations with `b` significant bits
+    /// (power-of-two buckets); bucket 0 counts zeros.
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Power-of-two-bucket histogram handle for integer observations
+/// (durations in ns, bytes, batch sizes). `sum` is exact.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    pub fn observe(&self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of every observed value.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time histogram state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// One count per power-of-two bucket (bucket `b` holds values in
+    /// `[2^(b-1), 2^b)`; bucket 0 holds zeros).
+    pub buckets: Vec<u64>,
+}
+
+/// A snapshot of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            (
+                                k.clone(),
+                                Json::obj(vec![
+                                    ("count", Json::u64(h.count)),
+                                    ("sum", Json::u64(h.sum)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The registry: get-or-create named handles, snapshot everything. The
+/// registry lock guards only name lookup; handle updates are atomic.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Histogram(Arc::new(HistInner {
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .map(Counter::get)
+    }
+
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner.lock().unwrap().gauges.get(name).map(Gauge::get)
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_exactly_across_threads() {
+        let reg = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("bytes");
+                    for _ in 0..1000 {
+                        c.add(3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter_value("bytes"), Some(12_000));
+        // Same-name lookup returns the same underlying counter.
+        assert_eq!(reg.counter("bytes").get(), 12_000);
+        assert_eq!(reg.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_exact_sum() {
+        let reg = Registry::new();
+        let h = reg.histogram("stall_ns");
+        for v in [0u64, 1, 2, 3, 1024, u64::from(u32::MAX)] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1 + 2 + 3 + 1024 + u64::from(u32::MAX));
+        assert_eq!(snap.buckets[0], 1, "zero bucket");
+        assert_eq!(snap.buckets[1], 1, "value 1");
+        assert_eq!(snap.buckets[2], 2, "values 2 and 3");
+        assert_eq!(snap.buckets[11], 1, "value 1024");
+        assert_eq!(snap.buckets[32], 1, "u32::MAX");
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json.get("histograms")
+                .and_then(|h| h.get("stall_ns"))
+                .and_then(|h| h.get("sum"))
+                .and_then(Json::as_u64),
+            Some(snap.sum)
+        );
+    }
+
+    #[test]
+    fn gauges_hold_last_write() {
+        let reg = Registry::new();
+        let g = reg.gauge("ratio");
+        g.set(1.75);
+        assert_eq!(reg.gauge_value("ratio"), Some(1.75));
+        g.set(0.5);
+        assert_eq!(reg.gauge("ratio").get(), 0.5);
+    }
+}

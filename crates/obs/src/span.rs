@@ -1,0 +1,288 @@
+//! The span/event tracer: RAII scoped spans with parent links, tagged with
+//! the emitting thread or virtual device, timestamped against one tracer
+//! epoch, sunk into a lock-free ring buffer ([`crate::ring::Ring`]).
+//!
+//! Emission is wait-free for producers (one atomic claim per event) and
+//! never blocks an instrumented hot path: when the ring is full, events
+//! are dropped and counted ([`Tracer::dropped`]) instead of stalling a
+//! device worker. Spans nest through a thread-local stack, so an event's
+//! `parent` link reflects the dynamic scope that opened it — e.g. a
+//! fabric job span emitted on a worker thread inside `Runtime::phase`'s
+//! span on the issuing thread carries its own thread's innermost open
+//! span (device workers start their own root scopes).
+
+use crate::ring::Ring;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where an event happened: a host thread (arbitrary stable id) or a
+/// virtual device of the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Track {
+    Thread(u64),
+    Device(usize),
+}
+
+/// Typed event argument (rendered into the Chrome trace `args` object).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    F64(f64),
+    Str(&'static str),
+}
+
+/// One finished span or instant event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Unique id (1-based; 0 is "no span").
+    pub id: u64,
+    /// Id of the span that was open on the emitting thread, 0 for roots.
+    pub parent: u64,
+    /// Taxonomy category (see the crate docs for the span taxonomy).
+    pub cat: &'static str,
+    pub name: String,
+    pub track: Track,
+    /// Start time in nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds; `None` marks an instant event.
+    pub dur_ns: Option<u64>,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_TRACK: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+/// Stable per-thread track id (assigned on first use).
+pub fn current_thread_track() -> u64 {
+    THREAD_TRACK.with(|t| *t)
+}
+
+/// The tracer: shared epoch, id allocator, and ring-buffer sink. Cheap to
+/// clone behind an `Arc`; every emitting subsystem holds one.
+pub struct Tracer {
+    ring: Ring<Event>,
+    epoch: Instant,
+    next_id: AtomicU64,
+}
+
+impl Tracer {
+    /// A tracer whose sink holds up to `capacity` events (rounded up to a
+    /// power of two). 64Ki events is plenty for any bench in this repo.
+    pub fn new(capacity: usize) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            ring: Ring::with_capacity(capacity),
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Nanoseconds since the tracer's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Open a scoped span on the current thread's track. The span is
+    /// recorded when the guard drops.
+    pub fn span(&self, cat: &'static str, name: impl Into<String>) -> SpanGuard<'_> {
+        self.span_on(cat, name, Track::Thread(current_thread_track()))
+    }
+
+    /// Open a scoped span attributed to a virtual device's track.
+    pub fn span_on_device(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        device: usize,
+    ) -> SpanGuard<'_> {
+        self.span_on(cat, name, Track::Device(device))
+    }
+
+    fn span_on(&self, cat: &'static str, name: impl Into<String>, track: Track) -> SpanGuard<'_> {
+        let id = self.alloc_id();
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied().unwrap_or(0);
+            s.push(id);
+            parent
+        });
+        SpanGuard {
+            tracer: self,
+            id,
+            parent,
+            cat,
+            name: name.into(),
+            track,
+            start_ns: self.now_ns(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Record an instant event on the current thread's track.
+    pub fn instant(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.instant_on(cat, name, Track::Thread(current_thread_track()), args);
+    }
+
+    /// Record an instant event on a device track.
+    pub fn instant_on_device(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        device: usize,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.instant_on(cat, name, Track::Device(device), args);
+    }
+
+    fn instant_on(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        track: Track,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        self.ring.push(Event {
+            id: self.alloc_id(),
+            parent,
+            cat,
+            name: name.into(),
+            track,
+            start_ns: self.now_ns(),
+            dur_ns: None,
+            args,
+        });
+    }
+
+    /// Drain every recorded event, sorted by start time.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut events = Vec::new();
+        while let Some(e) = self.ring.pop() {
+            events.push(e);
+        }
+        events.sort_by_key(|e| (e.start_ns, e.id));
+        events
+    }
+
+    /// Events rejected because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+}
+
+/// RAII guard for an open span; records the event (with duration) on drop.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: u64,
+    parent: u64,
+    cat: &'static str,
+    name: String,
+    track: Track,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach an argument to the span (shows in the trace viewer).
+    pub fn arg(&mut self, key: &'static str, value: ArgValue) {
+        self.args.push((key, value));
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop in reverse open order on a thread; defend against
+            // a leaked guard by searching from the top.
+            if let Some(i) = s.iter().rposition(|&id| id == self.id) {
+                s.remove(i);
+            }
+        });
+        let end = self.tracer.now_ns();
+        self.tracer.ring.push(Event {
+            id: self.id,
+            parent: self.parent,
+            cat: self.cat,
+            name: std::mem::take(&mut self.name),
+            track: self.track,
+            start_ns: self.start_ns,
+            dur_ns: Some(end.saturating_sub(self.start_ns)),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_parent_links() {
+        let tracer = Tracer::new(64);
+        {
+            let outer = tracer.span("phase", "outer");
+            let outer_id = outer.id();
+            {
+                let inner = tracer.span("kernel", "inner");
+                assert_ne!(inner.id(), outer_id);
+            }
+            tracer.instant("mark", "tick", vec![("n", ArgValue::U64(3))]);
+            let _ = outer_id;
+        }
+        let events = tracer.drain();
+        assert_eq!(events.len(), 3);
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let tick = events.iter().find(|e| e.name == "tick").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(tick.parent, outer.id);
+        assert!(inner.dur_ns.is_some() && tick.dur_ns.is_none());
+        assert!(inner.start_ns >= outer.start_ns);
+        // inner closed before outer.
+        assert!(inner.start_ns + inner.dur_ns.unwrap() <= outer.start_ns + outer.dur_ns.unwrap());
+    }
+
+    #[test]
+    fn device_tracks_and_thread_tracks_are_distinct() {
+        let tracer = Tracer::new(64);
+        {
+            let _d = tracer.span_on_device("job", "dev job", 2);
+        }
+        let worker = {
+            let tracer = tracer.clone();
+            std::thread::spawn(move || {
+                let _s = tracer.span("phase", "worker span");
+            })
+        };
+        worker.join().unwrap();
+        {
+            let _s = tracer.span("phase", "main span");
+        }
+        let events = tracer.drain();
+        let dev = events.iter().find(|e| e.name == "dev job").unwrap();
+        assert_eq!(dev.track, Track::Device(2));
+        let t_main = events.iter().find(|e| e.name == "main span").unwrap();
+        let t_worker = events.iter().find(|e| e.name == "worker span").unwrap();
+        assert_ne!(t_main.track, t_worker.track, "threads get distinct tracks");
+    }
+}

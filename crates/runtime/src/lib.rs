@@ -35,6 +35,9 @@ pub mod solve_ops;
 pub use batch::{cost_chunk_bounds, VarBatch};
 pub use bsr::{bsr_gemm, bsr_gemm_stream, hint_bsr_fetches, BsrBlock, BsrPattern};
 pub use h2_dense::Precision;
+// Re-exported so downstream crates (core, solve, sched) reach the
+// observability layer through the runtime they already depend on.
+pub use h2_obs::{ArgValue, Registry, SpanGuard, Tracer};
 pub use multidev::{
     owner, simulate, simulate_prec, simulate_solve, simulate_solve_prec, DeviceModel, LevelSpec,
     SimReport, SolveLevel, SolveSpec, StreamSpec,

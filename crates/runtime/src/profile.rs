@@ -6,7 +6,9 @@
 //! phases (Fig. 7: sampling, BSR product, entry generation, convergence
 //! test, ID, and miscellaneous/marshaling).
 
+use h2_dense::gemm::stats::StatsClaim;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The batched kernels of the implementation (comments in Algorithm 1).
@@ -183,16 +185,48 @@ pub struct Profile {
     /// [`Kernel::Pack`] traffic; launches count invocations, this counts
     /// the moved data).
     pack_bytes: AtomicU64,
+    /// Exclusive handle on the process-wide dense counters
+    /// ([`h2_dense::gemm::stats`]). Held by at most one profile in the
+    /// process: acquiring it discards pre-existing counts, and only the
+    /// holder's [`Profile::drain_dense_stats`] resets the counters — so
+    /// two concurrent profiles can never steal each other's pack/gemv
+    /// counts (the non-holder simply records none).
+    dense_claim: Mutex<Option<StatsClaim>>,
 }
 
 impl Profile {
     pub fn new() -> Self {
-        // Discard whatever the process-wide dense counters accumulated
-        // before this profile existed (e.g. a dense reference build ahead
-        // of the profiled construction) so the first drain only sees work
+        let p = Self::default();
+        // Claim the process-wide dense counters if no other live profile
+        // holds them; claiming discards whatever accumulated before this
+        // profile existed (e.g. a dense reference build ahead of the
+        // profiled construction), so the first drain only sees work
         // performed during this profile's lifetime.
-        let _ = h2_dense::gemm::stats::take();
-        Self::default()
+        p.try_claim_dense_stats();
+        p
+    }
+
+    /// Try to acquire the exclusive dense-counter handle (a later retry
+    /// for a profile constructed while another held it). Returns whether
+    /// this profile now holds the claim.
+    pub fn try_claim_dense_stats(&self) -> bool {
+        let mut guard = self.dense_claim.lock().unwrap();
+        if guard.is_none() {
+            *guard = h2_dense::gemm::stats::claim();
+        }
+        guard.is_some()
+    }
+
+    /// Whether this profile holds the exclusive dense-counter handle (and
+    /// therefore attributes pack/gemv counts).
+    pub fn has_dense_claim(&self) -> bool {
+        self.dense_claim.lock().unwrap().is_some()
+    }
+
+    /// Release the dense-counter handle early (normally dropped with the
+    /// profile), letting another profile claim attribution.
+    pub fn release_dense_claim(&self) {
+        self.dense_claim.lock().unwrap().take();
     }
 
     /// Credit `bytes` of blocked-GEMM packing traffic.
@@ -212,8 +246,16 @@ impl Profile {
     /// [`Profile::pack_bytes`]. Called at every phase boundary by
     /// `Runtime::phase`, so the Fig. 7 breakdown sees the blocked kernel
     /// structure without the dense crate knowing about profiles.
+    ///
+    /// Draining requires the exclusive [`StatsClaim`]; a profile that
+    /// failed to claim (another profile was live first) records nothing
+    /// here instead of stealing the holder's counts.
     pub fn drain_dense_stats(&self) {
-        let s = h2_dense::gemm::stats::take();
+        let guard = self.dense_claim.lock().unwrap();
+        let Some(claim) = guard.as_ref() else {
+            return;
+        };
+        let s = claim.take();
         if s.pack_calls > 0 {
             self.launches[Kernel::Pack.index()].fetch_add(s.pack_calls as usize, Ordering::Relaxed);
         }
@@ -277,8 +319,11 @@ impl Profile {
             a.store(0, Ordering::Relaxed);
         }
         self.pack_bytes.store(0, Ordering::Relaxed);
-        // Pending dense-layer counts belong to the discarded measurements.
-        let _ = h2_dense::gemm::stats::take();
+        // Pending dense-layer counts belong to the discarded measurements
+        // (only the claim holder may reset the process-wide counters).
+        if let Some(claim) = self.dense_claim.lock().unwrap().as_ref() {
+            let _ = claim.take();
+        }
     }
 
     /// Per-phase percentages of the total (Fig. 7 rows).
@@ -299,6 +344,38 @@ impl Profile {
             .iter()
             .map(|&k| (k.name(), self.launches(k)))
             .collect()
+    }
+
+    /// Export every profile counter into a metrics registry under the
+    /// `profile.` namespace: `profile.launches.<kernel>` counters (plus
+    /// the `profile.launches.total` device-launch budget),
+    /// `profile.phase_ns.<phase>` counters, and `profile.pack_bytes`.
+    /// Counters are exact u64 sums, so
+    /// `registry.counter_value("profile.pack_bytes") == profile.pack_bytes()`
+    /// is an equality the observability tests assert.
+    pub fn export_metrics(&self, registry: &h2_obs::Registry) {
+        for &k in Kernel::ALL.iter() {
+            let n = self.launches(k);
+            if n > 0 {
+                registry
+                    .counter(&format!("profile.launches.{}", k.name()))
+                    .add(n as u64);
+            }
+        }
+        registry
+            .counter("profile.launches.total")
+            .add(self.total_launches() as u64);
+        for &p in Phase::ALL.iter() {
+            let ns = self.phase_time(p).as_nanos() as u64;
+            if ns > 0 {
+                registry
+                    .counter(&format!("profile.phase_ns.{}", p.name()))
+                    .add(ns);
+            }
+        }
+        registry
+            .counter("profile.pack_bytes")
+            .add(self.pack_bytes());
     }
 }
 
@@ -333,6 +410,42 @@ mod tests {
         p.add_phase(Phase::Id, Duration::from_millis(70));
         let total: f64 = p.phase_percentages().iter().map(|(_, v)| v).sum();
         assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_profiles_do_not_steal_dense_stats() {
+        // Acquire the exclusive dense-counter claim; other tests in this
+        // binary create transient profiles, so retry until it's free.
+        let holder = loop {
+            let p = Profile::new();
+            if p.has_dense_claim() {
+                break p;
+            }
+            std::thread::yield_now();
+        };
+        // While `holder` is live, a second profile cannot claim, and its
+        // drain records nothing — the race this test pins down used to
+        // let it swap the process-global counters to zero.
+        let thief = Profile::new();
+        assert!(!thief.has_dense_claim());
+        assert!(!thief.try_claim_dense_stats());
+        let (m, x) = (h2_dense::Mat::zeros(4, 4), vec![0.0; 4]);
+        let mut y = vec![0.0; 4];
+        h2_dense::gemm::gemv(h2_dense::Op::NoTrans, 1.0, m.rf(), &x, 0.0, &mut y);
+        thief.drain_dense_stats();
+        assert_eq!(
+            thief.launches(Kernel::Gemv),
+            0,
+            "a non-holder must not steal the holder's gemv counts"
+        );
+        holder.drain_dense_stats();
+        assert!(
+            holder.launches(Kernel::Gemv) >= 1,
+            "the holder sees the gemv issued during its window"
+        );
+        // Dropping the holder releases the gate for the next profile.
+        drop(holder);
+        assert!(thief.try_claim_dense_stats());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub struct Runtime {
     backend: Backend,
     profile: Profile,
     shard: Option<Arc<dyn ShardDispatch>>,
+    tracer: Option<Arc<h2_obs::Tracer>>,
 }
 
 impl Runtime {
@@ -44,6 +45,7 @@ impl Runtime {
             backend,
             profile: Profile::new(),
             shard: None,
+            tracer: None,
         }
     }
 
@@ -62,7 +64,36 @@ impl Runtime {
             backend: Backend::Sharded,
             profile: Profile::new(),
             shard: Some(dispatch),
+            tracer: None,
         }
+    }
+
+    /// Attach an observability tracer: [`Runtime::phase`] and the batched
+    /// drivers (construction level loop, ULV per-level phases) emit scoped
+    /// spans into it. `None` (the default) costs nothing on any hot path.
+    pub fn set_tracer(&mut self, tracer: Arc<h2_obs::Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Builder form of [`Runtime::set_tracer`].
+    pub fn with_tracer(mut self, tracer: Arc<h2_obs::Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<h2_obs::Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Open a scoped span when a tracer is attached (the name closure only
+    /// runs then, so untraced runs pay nothing for the formatting).
+    pub fn trace_span(
+        &self,
+        cat: &'static str,
+        name: impl FnOnce() -> String,
+    ) -> Option<h2_obs::SpanGuard<'_>> {
+        self.tracer.as_ref().map(|t| t.span(cat, name()))
     }
 
     pub fn backend(&self) -> Backend {
@@ -114,6 +145,7 @@ impl Runtime {
     /// blocked-GEMM structure shows up in the launch accounting without the
     /// dense crate depending on this one.
     pub fn phase<R>(&self, p: Phase, f: impl FnOnce() -> R) -> R {
+        let _span = self.tracer.as_ref().map(|t| t.span("phase", p.name()));
         let r = self.profile.time(p, f);
         self.profile.drain_dense_stats();
         r

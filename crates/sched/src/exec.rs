@@ -22,7 +22,11 @@ use std::sync::Arc;
 
 /// A [`Runtime`] whose batched kernels execute sharded on `fabric`.
 pub fn sharded_runtime(fabric: &Arc<DeviceFabric>) -> Runtime {
-    Runtime::sharded(fabric.clone() as Arc<dyn ShardDispatch>)
+    let rt = Runtime::sharded(fabric.clone() as Arc<dyn ShardDispatch>);
+    match fabric.tracer() {
+        Some(t) => rt.with_tracer(t),
+        None => rt,
+    }
 }
 
 /// Symmetric sketching construction executed on the device fabric.

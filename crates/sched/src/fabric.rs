@@ -44,11 +44,12 @@
 //!   stall: the communication hidden behind compute,
 //! * `idle` — the rest of the epoch's wall span.
 
+use h2_obs::{ArgValue, Tracer};
 use h2_runtime::{
     DeviceModel, FetchKey, PipelineMode, Precision, ShardDispatch, ShardJob, Transfer, TransferKind,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -238,6 +239,20 @@ struct Shared {
     panicked: Mutex<Option<String>>,
     copy: Mutex<CopyQueue>,
     copy_cv: Condvar,
+    /// Observability tracer; `traced` is the lock-free fast-path flag so
+    /// the untraced hot paths pay one relaxed load, not a mutex.
+    tracer: Mutex<Option<Arc<Tracer>>>,
+    traced: AtomicBool,
+}
+
+impl Shared {
+    /// Cloned tracer handle when tracing is on (one relaxed load when off).
+    fn tracer(&self) -> Option<Arc<Tracer>> {
+        if !self.traced.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.tracer.lock().unwrap().clone()
+    }
 }
 
 impl Shared {
@@ -390,6 +405,8 @@ impl DeviceFabric {
                 shutdown: false,
             }),
             copy_cv: Condvar::new(),
+            tracer: Mutex::new(None),
+            traced: AtomicBool::new(false),
         });
         // The virtual copy engine: one thread servicing every prefetch by
         // completion deadline (no per-transfer thread spawns).
@@ -433,9 +450,18 @@ impl DeviceFabric {
                             match cmd {
                                 Cmd::Job { deps, run } => {
                                     let stall = sh.wait_tickets(&deps);
+                                    let tracer = sh.tracer();
+                                    let span = tracer.as_ref().map(|t| {
+                                        let mut s =
+                                            t.span_on_device("job", format!("dev{dev} job"), dev);
+                                        s.arg("stall_ns", ArgValue::U64(stall.as_nanos() as u64));
+                                        s.arg("deps", ArgValue::U64(deps.len() as u64));
+                                        s
+                                    });
                                     let t0 = Instant::now();
                                     let result =
                                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                                    drop(span);
                                     let busy = t0.elapsed();
                                     {
                                         let mut a = sh.accounts[dev].lock().unwrap();
@@ -514,6 +540,27 @@ impl DeviceFabric {
         *self.shared.delay.lock().unwrap() = hook;
     }
 
+    /// Attach (or detach) an observability tracer. When attached, the
+    /// fabric emits device-track job spans (with their ticket-stall time),
+    /// per-transfer instants tagged with byte/precision payloads, flush
+    /// spans on the issuing thread, and epoch-boundary / arena-rotation
+    /// marks — all against the tracer's shared clock, so they interleave
+    /// correctly with `Runtime::phase` spans in one Chrome trace. Untraced
+    /// fabrics pay a single relaxed atomic load per hook site.
+    pub fn set_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        let on = tracer.is_some();
+        *self.shared.tracer.lock().unwrap() = tracer;
+        self.shared.traced.store(on, Ordering::Relaxed);
+    }
+
+    /// The tracer currently attached, if any. [`crate::sharded_runtime`]
+    /// propagates it into the `Runtime` it builds so one `set_tracer` call
+    /// covers both the fabric's device-side hooks and the host-side phase
+    /// spans.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.shared.tracer()
+    }
+
     /// Submit `job` to device `dev`'s ordered queue without blocking. The
     /// worker runs queue entries in FIFO order, waiting on the prefetch
     /// tickets in `deps` first (wait time is accounted as stall).
@@ -543,6 +590,8 @@ impl DeviceFabric {
     /// engine, or early-issued prefetches would lose their overlap; only
     /// [`DeviceFabric::report`] and [`DeviceFabric::reset`] drain those.
     pub fn flush(&self) {
+        let tracer = self.shared.tracer();
+        let _span = tracer.as_ref().map(|t| t.span("fabric", "flush"));
         for (dev, w) in self.workers.iter().enumerate() {
             let target = w.submitted.load(Ordering::SeqCst);
             let mut done = self.shared.progress[dev].done.lock().unwrap();
@@ -585,6 +634,7 @@ impl DeviceFabric {
         let service = self.service_time(&t);
         let ticket = self.shared.alloc_ticket(service.is_zero());
         self.shared.log_transfer(ticket, t, service, true);
+        self.trace_transfer(&t, true, service);
         if !service.is_zero() {
             let gen = self.shared.tickets.state.lock().unwrap().gen;
             let deadline = Instant::now() + service;
@@ -605,9 +655,38 @@ impl DeviceFabric {
     pub fn record_transfer(&self, t: Transfer) {
         let service = self.service_time(&t);
         self.shared.log_transfer(0, t, service, false);
+        self.trace_transfer(&t, false, service);
         if !service.is_zero() {
             virtual_wait(service);
             self.shared.accounts[t.dst].lock().unwrap().stall_nanos += service.as_nanos() as u64;
+        }
+    }
+
+    /// Emit one transfer instant on the destination device's track (no-op
+    /// without a tracer).
+    fn trace_transfer(&self, t: &Transfer, prefetched: bool, service: Duration) {
+        if let Some(tracer) = self.shared.tracer() {
+            tracer.instant_on_device(
+                "transfer",
+                t.kind.name(),
+                t.dst,
+                vec![
+                    ("bytes", ArgValue::U64(t.bytes)),
+                    ("src", ArgValue::U64(t.src as u64)),
+                    (
+                        "prec",
+                        ArgValue::Str(match t.prec {
+                            Precision::F64 => "f64",
+                            Precision::F32 => "f32",
+                        }),
+                    ),
+                    (
+                        "stage",
+                        ArgValue::Str(if prefetched { "prefetch" } else { "inline" }),
+                    ),
+                    ("flight_ns", ArgValue::U64(service.as_nanos() as u64)),
+                ],
+            );
         }
     }
 
@@ -719,10 +798,18 @@ impl DeviceFabric {
     /// release the current arena banks and rotate the standby banks in
     /// (double-buffered per-level workspace), and aggregate the epoch's
     /// issued transfer traffic.
+    ///
+    /// The per-device stats **exactly tile** the epoch span:
+    /// `busy + stall + overlapped + idle == span` on every device, with the
+    /// span widened to the busiest device's `busy + stall` when a still-
+    /// draining job from an overlapped phase group lands after the window
+    /// elapsed. Hidden communication (`overlapped`) is the prefetch flight
+    /// time that did not expose as a stall, clipped to the device's
+    /// non-working remainder so the tiling is an identity, not a bound.
     pub fn close_epoch(&self, label: &str) {
         let mut log = self.shared.log.lock().unwrap();
         let idx = log.epochs.len();
-        let span = log.window_start.elapsed();
+        let window = log.window_start.elapsed();
         log.window_start = Instant::now();
         let (mut bytes, mut msgs) = (0u64, 0usize);
         let mut flight = vec![0u64; self.shared.devices];
@@ -733,29 +820,60 @@ impl DeviceFabric {
                 flight[r.t.dst] += r.flight_nanos;
             }
         }
-        let per_device: Vec<DeviceEpochStats> = (0..self.shared.devices)
-            .map(|dev| {
-                let mut a = self.shared.accounts[dev].lock().unwrap();
+        let taken: Vec<Account> = (0..self.shared.devices)
+            .map(|dev| std::mem::take(&mut *self.shared.accounts[dev].lock().unwrap()))
+            .collect();
+        let span = taken
+            .iter()
+            .map(|a| Duration::from_nanos(a.busy_nanos + a.stall_nanos))
+            .max()
+            .unwrap_or_default()
+            .max(window);
+        let per_device: Vec<DeviceEpochStats> = taken
+            .into_iter()
+            .enumerate()
+            .map(|(dev, a)| {
                 let mut ar = self.shared.arenas[dev].lock().unwrap();
                 let busy = Duration::from_nanos(a.busy_nanos);
                 let stall = Duration::from_nanos(a.stall_nanos);
+                let rest = span - busy - stall;
+                let overlapped =
+                    Duration::from_nanos(flight[dev].saturating_sub(a.stall_nanos)).min(rest);
                 let stats = DeviceEpochStats {
                     flops: a.flops,
                     gen_entries: a.gen_entries,
                     launches: a.launches,
                     busy,
                     stall,
-                    overlapped: Duration::from_nanos(flight[dev].saturating_sub(a.stall_nanos)),
-                    idle: span.saturating_sub(busy + stall),
+                    overlapped,
+                    idle: rest - overlapped,
                     arena_peak: ar.peak_epoch,
                 };
-                *a = Account::default();
                 ar.cur = ar.ahead;
                 ar.ahead = 0;
                 ar.peak_epoch = ar.cur;
                 stats
             })
             .collect();
+        if let Some(tracer) = self.shared.tracer() {
+            tracer.instant(
+                "fabric",
+                format!("epoch close: {label}"),
+                vec![
+                    ("epoch", ArgValue::U64(idx as u64)),
+                    ("comm_bytes", ArgValue::U64(bytes)),
+                    ("comm_messages", ArgValue::U64(msgs as u64)),
+                ],
+            );
+            for (dev, d) in per_device.iter().enumerate() {
+                tracer.instant_on_device(
+                    "arena",
+                    "arena rotate",
+                    dev,
+                    vec![("peak_bytes", ArgValue::U64(d.arena_peak as u64))],
+                );
+            }
+        }
         log.epochs.push(Epoch {
             label: label.to_string(),
             per_device,
@@ -1058,24 +1176,99 @@ impl ExecReport {
     /// over the epoch's compute can extend the critical path). Epochs are
     /// sequential.
     pub fn modeled_makespan(&self, model: &DeviceModel) -> f64 {
-        self.epochs
-            .iter()
-            .map(|e| {
-                let compute_max = e
-                    .per_device
-                    .iter()
-                    .map(|d| (d.flops + model.entry_cost * d.gen_entries) / model.flops_per_sec)
-                    .fold(0.0, f64::max);
-                let comm = e.comm_bytes as f64 / model.link_bandwidth
-                    + e.comm_messages as f64 * model.link_latency;
-                let launches_max = e.per_device.iter().map(|d| d.launches).max().unwrap_or(0);
-                let body = match self.mode {
-                    PipelineMode::Synchronous => compute_max + comm,
-                    PipelineMode::Pipelined => compute_max.max(comm),
-                };
-                body + launches_max as f64 * model.launch_overhead
-            })
+        (0..self.epochs.len())
+            .map(|i| self.epoch_makespan(i, model))
             .sum()
+    }
+
+    /// The three schedule terms of epoch `i` under `model`:
+    /// `(compute_max, comm, launch_overhead)` — the busiest device's modeled
+    /// compute seconds, the epoch's link time, and the busiest device's
+    /// launch overhead. How they combine depends on the run's discipline;
+    /// [`ExecReport::epoch_makespan`] applies it.
+    pub fn epoch_terms(&self, i: usize, model: &DeviceModel) -> (f64, f64, f64) {
+        let e = &self.epochs[i];
+        let compute_max = e
+            .per_device
+            .iter()
+            .map(|d| (d.flops + model.entry_cost * d.gen_entries) / model.flops_per_sec)
+            .fold(0.0, f64::max);
+        let comm = e.comm_bytes as f64 / model.link_bandwidth
+            + e.comm_messages as f64 * model.link_latency;
+        let launches_max = e.per_device.iter().map(|d| d.launches).max().unwrap_or(0);
+        (
+            compute_max,
+            comm,
+            launches_max as f64 * model.launch_overhead,
+        )
+    }
+
+    /// Modeled critical-path seconds of epoch `i`: compute and communication
+    /// serialized for a synchronous run, overlapped for a pipelined one,
+    /// plus launch overhead either way. [`ExecReport::modeled_makespan`] is
+    /// exactly the sum of this over all epochs — the sim-drift attributor
+    /// relies on that identity to make per-epoch shares sum to the whole.
+    pub fn epoch_makespan(&self, i: usize, model: &DeviceModel) -> f64 {
+        let (compute_max, comm, launch) = self.epoch_terms(i, model);
+        let body = match self.mode {
+            PipelineMode::Synchronous => compute_max + comm,
+            PipelineMode::Pipelined => compute_max.max(comm),
+        };
+        body + launch
+    }
+
+    /// Export the report's totals into an observability [`Registry`]
+    /// (`h2_obs`): fabric byte/message/launch counters (total and per
+    /// transfer kind) and per-device busy/stall/overlapped/idle nanosecond
+    /// counters. The counter values are defined to equal the corresponding
+    /// `ExecReport` accessors exactly — the reconciliation tests assert it.
+    pub fn export_metrics(&self, registry: &h2_obs::Registry) {
+        registry
+            .counter("fabric.comm_bytes")
+            .add(self.total_comm_bytes());
+        registry
+            .counter("fabric.comm_messages")
+            .add(self.total_comm_messages() as u64);
+        registry
+            .counter("fabric.launches")
+            .add(self.total_launches() as u64);
+        registry
+            .counter("fabric.epochs")
+            .add(self.epochs.len() as u64);
+        for kind in [
+            TransferKind::OmegaFetch,
+            TransferKind::ChildGather,
+            TransferKind::PartialSum,
+        ] {
+            let bytes = self.bytes_of_kind(kind);
+            if bytes > 0 {
+                registry
+                    .counter(&format!("fabric.bytes.{}", kind.name()))
+                    .add(bytes);
+            }
+        }
+        let busy = self.busy_per_device();
+        for dev in 0..self.devices {
+            let (mut stall, mut over, mut idle) = (0u64, 0u64, 0u64);
+            for e in &self.epochs {
+                let d = &e.per_device[dev];
+                stall += d.stall.as_nanos() as u64;
+                over += d.overlapped.as_nanos() as u64;
+                idle += d.idle.as_nanos() as u64;
+            }
+            registry
+                .counter(&format!("fabric.dev{dev}.busy_ns"))
+                .add(busy[dev].as_nanos() as u64);
+            registry
+                .counter(&format!("fabric.dev{dev}.stall_ns"))
+                .add(stall);
+            registry
+                .counter(&format!("fabric.dev{dev}.overlapped_ns"))
+                .add(over);
+            registry
+                .counter(&format!("fabric.dev{dev}.idle_ns"))
+                .add(idle);
+        }
     }
 
     /// Modeled total compute seconds (device-invariant work currency).

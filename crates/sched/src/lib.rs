@@ -90,11 +90,13 @@ pub mod exec;
 pub mod fabric;
 pub mod matvec;
 pub mod solve;
+pub mod trace;
 
 pub use exec::{
     compare_with_simulator, shard_construct, shard_construct_unsym, sharded_runtime, SimComparison,
 };
 pub use fabric::{DeviceEpochStats, DeviceFabric, Epoch, ExecReport, LinkModel, TransferDelay};
+pub use h2_obs::{ChromeTrace, DriftTable, Registry, Tracer};
 pub use h2_runtime::{PipelineMode, Precision, Transfer, TransferKind};
 pub use matvec::{
     compare_matvec_with_simulator, shard_matvec, shard_matvec_with_report, simulate_matvec,
@@ -103,4 +105,7 @@ pub use matvec::{
 pub use solve::{
     compare_solve_with_simulator, shard_ulv_solve, shard_ulv_solve_with_report, FabricOp,
     UlvFabricPrecond,
+};
+pub use trace::{
+    drift_construct, drift_matvec, drift_solve, export_chrome_trace, export_chrome_trace_with_spans,
 };

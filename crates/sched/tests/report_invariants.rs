@@ -1,0 +1,184 @@
+//! `ExecReport` invariants: per device and epoch the accounted durations
+//! exactly tile the epoch span (`busy + stall + overlapped + idle ==
+//! span`), and `modeled_makespan` is exactly the sum over epochs of the
+//! max-over-devices schedule-aware projection — in both fabric modes at
+//! D ∈ {1, 2, 4}. Also pins the metrics-export reconciliation: the
+//! observability counters equal the report accessors byte-for-byte and
+//! launch-for-launch.
+
+use h2_core::SketchConfig;
+use h2_kernels::{ExponentialKernel, KernelMatrix};
+use h2_runtime::{DeviceModel, PipelineMode, Registry};
+use h2_sched::{shard_construct, DeviceFabric, ExecReport, LinkModel};
+use h2_tree::{Admissibility, ClusterTree, Partition};
+use std::sync::Arc;
+
+const DEVICE_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn sym_problem(
+    n: usize,
+    leaf: usize,
+    seed: u64,
+) -> (
+    Arc<ClusterTree>,
+    Arc<Partition>,
+    KernelMatrix<ExponentialKernel>,
+) {
+    let pts = h2_tree::uniform_cube(n, seed);
+    let tree = Arc::new(ClusterTree::build(&pts, leaf));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+    assert!(part.top_far_level(&tree).is_some(), "problem too small");
+    let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+    (tree, part, km)
+}
+
+fn cfg() -> SketchConfig {
+    SketchConfig {
+        initial_samples: 64,
+        adaptive: false,
+        ..Default::default()
+    }
+}
+
+fn run_construct(devices: usize, mode: PipelineMode) -> ExecReport {
+    let (tree, part, km) = sym_problem(1200, 16, 181);
+    // A CPU-scale link so transfers take visible time: stall (sync) and
+    // overlapped (pipelined) durations are exercised, not just zeros.
+    let fabric = DeviceFabric::with_config(devices, mode, LinkModel::cpu_scale());
+    let (_, _, report) = shard_construct(&fabric, &km, &km, tree, part, &cfg());
+    report
+}
+
+/// Independent re-derivation of the projection formula, used to pin
+/// `modeled_makespan` as exactly the sum of per-epoch schedule terms.
+fn recompute_makespan(report: &ExecReport, model: &DeviceModel) -> f64 {
+    report
+        .epochs
+        .iter()
+        .map(|e| {
+            let compute_max = e
+                .per_device
+                .iter()
+                .map(|d| (d.flops + model.entry_cost * d.gen_entries) / model.flops_per_sec)
+                .fold(0.0, f64::max);
+            let comm = e.comm_bytes as f64 / model.link_bandwidth
+                + e.comm_messages as f64 * model.link_latency;
+            let launches_max = e.per_device.iter().map(|d| d.launches).max().unwrap_or(0);
+            let body = match report.mode {
+                PipelineMode::Synchronous => compute_max + comm,
+                PipelineMode::Pipelined => compute_max.max(comm),
+            };
+            body + launches_max as f64 * model.launch_overhead
+        })
+        .sum()
+}
+
+#[test]
+fn durations_exactly_tile_every_epoch_span() {
+    for devices in DEVICE_COUNTS {
+        for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
+            let report = run_construct(devices, mode);
+            assert!(!report.epochs.is_empty());
+            for (i, e) in report.epochs.iter().enumerate() {
+                assert_eq!(e.per_device.len(), devices);
+                for (dev, d) in e.per_device.iter().enumerate() {
+                    let tiled = d.busy + d.stall + d.overlapped + d.idle;
+                    assert_eq!(
+                        tiled, e.span,
+                        "D={devices} {mode:?} epoch {i} ({}) dev {dev}: \
+                         busy {:?} + stall {:?} + overlapped {:?} + idle {:?} != span {:?}",
+                        e.label, d.busy, d.stall, d.overlapped, d.idle, e.span
+                    );
+                }
+            }
+            // The tiling implies the totals tile the summed spans too.
+            let spans: std::time::Duration = report.epochs.iter().map(|e| e.span).sum();
+            let busy: std::time::Duration = report.busy_per_device().iter().sum();
+            let accounted =
+                busy + report.stall_total() + report.overlapped_total() + report.idle_total();
+            let spans_all_devices = spans * devices as u32;
+            assert_eq!(accounted, spans_all_devices, "D={devices} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn modeled_makespan_is_sum_of_per_epoch_projections() {
+    let model = DeviceModel::default();
+    for devices in DEVICE_COUNTS {
+        for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
+            let report = run_construct(devices, mode);
+            let recomputed = recompute_makespan(&report, &model);
+            let got = report.modeled_makespan(&model);
+            assert_eq!(
+                got, recomputed,
+                "D={devices} {mode:?}: modeled_makespan diverged from the \
+                 per-epoch schedule projection"
+            );
+            // And the per-epoch accessor decomposes it exactly.
+            let summed: f64 = (0..report.epochs.len())
+                .map(|i| report.epoch_makespan(i, &model))
+                .sum();
+            assert_eq!(got, summed, "D={devices} {mode:?}");
+            // epoch_terms is the same decomposition one level down.
+            for i in 0..report.epochs.len() {
+                let (compute, comm, launch) = report.epoch_terms(i, &model);
+                let body = match mode {
+                    PipelineMode::Synchronous => compute + comm,
+                    PipelineMode::Pipelined => compute.max(comm),
+                };
+                assert_eq!(report.epoch_makespan(i, &model), body + launch);
+            }
+        }
+    }
+}
+
+#[test]
+fn exported_metrics_reconcile_with_report_totals() {
+    let report = run_construct(4, PipelineMode::Pipelined);
+    let registry = Registry::new();
+    report.export_metrics(&registry);
+    assert_eq!(
+        registry.counter_value("fabric.comm_bytes"),
+        Some(report.total_comm_bytes()),
+        "byte-for-byte reconciliation"
+    );
+    assert_eq!(
+        registry.counter_value("fabric.comm_messages"),
+        Some(report.total_comm_messages() as u64)
+    );
+    assert_eq!(
+        registry.counter_value("fabric.launches"),
+        Some(report.total_launches() as u64),
+        "launch-for-launch reconciliation"
+    );
+    assert_eq!(
+        registry.counter_value("fabric.epochs"),
+        Some(report.epochs.len() as u64)
+    );
+    // Per-kind byte counters partition the total.
+    let snap = registry.snapshot();
+    let kind_sum: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("fabric.bytes."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(kind_sum, report.total_comm_bytes());
+    // Per-device time counters match the report's duration totals.
+    let busy = report.busy_per_device();
+    for dev in 0..report.devices {
+        assert_eq!(
+            registry.counter_value(&format!("fabric.dev{dev}.busy_ns")),
+            Some(busy[dev].as_nanos() as u64)
+        );
+    }
+    let stall_sum: u64 = (0..report.devices)
+        .map(|d| {
+            registry
+                .counter_value(&format!("fabric.dev{d}.stall_ns"))
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(stall_sum, report.stall_total().as_nanos() as u64);
+}

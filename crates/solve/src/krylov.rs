@@ -18,6 +18,8 @@
 
 use crate::precond::Preconditioner;
 use h2_dense::{LinOp, Mat, MatMut, MatRef};
+use h2_runtime::{ArgValue, Tracer};
+use std::sync::Arc;
 
 /// Result of a preconditioned iterative solve.
 #[derive(Clone, Debug)]
@@ -55,6 +57,10 @@ pub struct KrylovWorkspace {
     cs: Vec<f64>,
     sn: Vec<f64>,
     g: Vec<f64>,
+    /// Observability tracer: when attached, every method wraps its solve in
+    /// a `krylov` span and marks each iteration with an instant carrying
+    /// the running residual estimate.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl KrylovWorkspace {
@@ -75,6 +81,7 @@ impl KrylovWorkspace {
             cs: Vec::new(),
             sn: Vec::new(),
             g: Vec::new(),
+            tracer: None,
         }
     }
 
@@ -83,9 +90,37 @@ impl KrylovWorkspace {
         self.n
     }
 
+    /// Attach (or detach) an observability tracer; survives workspace
+    /// resizes.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// Builder form of [`KrylovWorkspace::set_tracer`].
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     fn ensure(&mut self, n: usize) {
         if self.n != n {
+            let tracer = self.tracer.take();
             *self = KrylovWorkspace::new(n);
+            self.tracer = tracer;
+        }
+    }
+
+    /// One per-iteration instant (no-op without a tracer).
+    fn trace_iter(tracer: &Option<Arc<Tracer>>, method: &'static str, iter: usize, resid: f64) {
+        if let Some(t) = tracer {
+            t.instant(
+                "krylov",
+                method,
+                vec![
+                    ("iter", ArgValue::U64(iter as u64)),
+                    ("resid", ArgValue::F64(resid)),
+                ],
+            );
         }
     }
 
@@ -173,6 +208,8 @@ pub fn pcg_with(
     assert_eq!(a.nrows(), n, "pcg: dimension mismatch");
     assert_eq!(m.n(), n, "pcg: preconditioner dimension mismatch");
     ws.ensure(n);
+    let tracer = ws.tracer.clone();
+    let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "pcg"));
     let b_norm = norm(b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
@@ -191,6 +228,7 @@ pub fn pcg_with(
             break;
         }
         iterations += 1;
+        KrylovWorkspace::trace_iter(&tracer, "pcg iter", iterations, rn);
         apply_op_into(a, p, ap);
         let denom = dot(p, ap);
         if denom <= 0.0 {
@@ -257,6 +295,8 @@ pub fn gmres_with(
     let restart = restart.max(1);
     ws.ensure(n);
     ws.ensure_gmres(restart);
+    let tracer = ws.tracer.clone();
+    let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "gmres"));
     let b_norm = norm(b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
@@ -304,6 +344,12 @@ pub fn gmres_with(
                 break;
             }
             iterations += 1;
+            KrylovWorkspace::trace_iter(
+                &tracer,
+                "gmres iter",
+                iterations,
+                history.last().copied().unwrap_or(1.0),
+            );
             apply_prec_into(m, basis.col(k), mz);
             apply_op_into(a, mz, w);
             // Modified Gram-Schmidt against the stored basis.
@@ -425,6 +471,8 @@ pub fn bicgstab_with(
     let n = b.len();
     assert_eq!(a.nrows(), n, "bicgstab: dimension mismatch");
     ws.ensure(n);
+    let tracer = ws.tracer.clone();
+    let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "bicgstab"));
     let b_norm = norm(b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
@@ -456,6 +504,7 @@ pub fn bicgstab_with(
             break;
         }
         iterations += 1;
+        KrylovWorkspace::trace_iter(&tracer, "bicgstab iter", iterations, rn);
         let rho_new = dot(r0, r);
         if rho_new == 0.0 {
             break; // breakdown
@@ -533,6 +582,8 @@ pub fn cgs_with(
     let n = b.len();
     assert_eq!(a.nrows(), n, "cgs: dimension mismatch");
     ws.ensure(n);
+    let tracer = ws.tracer.clone();
+    let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "cgs"));
     let b_norm = norm(b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
@@ -563,6 +614,7 @@ pub fn cgs_with(
             break;
         }
         iterations += 1;
+        KrylovWorkspace::trace_iter(&tracer, "cgs iter", iterations, rn);
         let rho_new = dot(r0, r);
         if rho_new == 0.0 {
             break; // breakdown

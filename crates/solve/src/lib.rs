@@ -26,7 +26,10 @@ mod smallops;
 pub mod ulv;
 pub mod woodbury;
 
-pub use krylov::{bicgstab, cgs, gmres, pcg, IterResult, KrylovWorkspace};
+pub use krylov::{
+    bicgstab, bicgstab_with, cgs, cgs_with, gmres, gmres_with, pcg, pcg_with, IterResult,
+    KrylovWorkspace,
+};
 pub use precond::{BlockJacobi, DiagJacobi, Identity, Preconditioner};
 pub use ulv::{UlvError, UlvFactor, UlvSchedule, UlvSweep};
 pub use woodbury::woodbury_solve;

@@ -403,6 +403,7 @@ impl UlvFactor {
         }
 
         for l in (1..=leaf_level).rev() {
+            let _level_span = rt.trace_span("ulv", || format!("ulv eliminate L{l}"));
             let ids: Vec<usize> = tree.level(l).collect();
             match schedule {
                 UlvSchedule::PerNode => {
@@ -429,6 +430,7 @@ impl UlvFactor {
             }
 
             // ---- pass-up phase: assemble parents' reduced blocks ----
+            let _passup_span = rt.trace_span("ulv", || format!("ulv pass-up L{l}"));
             let parents: Vec<usize> = tree.level(l - 1).collect();
             let assembled: Vec<Mat> = match schedule {
                 UlvSchedule::PerNode => parents
