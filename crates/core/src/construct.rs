@@ -455,30 +455,58 @@ fn sketch_construct_engine(
         // ---- upsweep to the next level (lines 17-18 / 35-36): shrink each
         // stream's samples to its skeleton rows, compress its inputs by the
         // opposite side's basis (Ω ← VᵀΩ, Ψ ← UᵀΨ; V = U when symmetric) ----
-        streams = sides
-            .iter()
-            .zip(locals.drain(..))
-            .enumerate()
-            .map(|(idx, (&side, (yloc, omega_l)))| {
-                if l > top {
-                    let skel_refs: Vec<&[usize]> =
-                        skels_local[idx].iter().map(|v| v.as_slice()).collect();
-                    let bases: Vec<Mat> = {
+        streams = {
+            // Inputs the chained upsweep jobs borrow — the drained local
+            // batches, the skeleton-ref views and the cloned bases — are
+            // hoisted so they outlive the chain scope's closing barrier.
+            let taken: Vec<(VarBatch, VarBatch)> = std::mem::take(&mut locals);
+            let skel_refs_per: Vec<Vec<&[usize]>> = if l > top {
+                skels_local
+                    .iter()
+                    .map(|sk| sk.iter().map(|v| v.as_slice()).collect())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let bases_per: Vec<Vec<Mat>> = if l > top {
+                sides
+                    .iter()
+                    .map(|&side| {
                         let b = input_basis(&h2, side);
                         node_ids.iter().map(|&id| b[id].clone()).collect()
-                    };
-                    let y = rt.phase(Phase::Upsweep, || shrink_rows(rt, &yloc, &skel_refs));
-                    let omega = rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases, &omega_l));
-                    SketchStream { side, y, omega }
-                } else {
-                    SketchStream {
-                        side,
-                        y: VarBatch::zeros_uniform_cols(Vec::new(), 0),
-                        omega: VarBatch::zeros_uniform_cols(Vec::new(), 0),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            // Both streams' shrink + compress kernels share one chain scope
+            // on the pipelined fabric: one closing barrier instead of one
+            // per kernel.
+            rt.shard_chain_begin();
+            let out: Vec<SketchStream> = sides
+                .iter()
+                .zip(taken.iter())
+                .enumerate()
+                .map(|(idx, (&side, (yloc, omega_l)))| {
+                    if l > top {
+                        let y = rt.phase(Phase::Upsweep, || {
+                            shrink_rows(rt, yloc, &skel_refs_per[idx])
+                        });
+                        let omega =
+                            rt.phase(Phase::Upsweep, || gemm_at_x(rt, &bases_per[idx], omega_l));
+                        SketchStream { side, y, omega }
+                    } else {
+                        SketchStream {
+                            side,
+                            y: VarBatch::zeros_uniform_cols(Vec::new(), 0),
+                            omega: VarBatch::zeros_uniform_cols(Vec::new(), 0),
+                        }
                     }
-                }
-            })
-            .collect();
+                })
+                .collect();
+            rt.shard_chain_end();
+            out
+        };
 
         records.push(LevelRecord {
             structure,
@@ -661,8 +689,16 @@ fn advance_level(
     mut y: VarBatch,
     omega: VarBatch,
 ) -> (VarBatch, VarBatch) {
+    // On the pipelined fabric the subtraction and the child stacking run in
+    // one chain scope: each kernel's closing flush records a dependency
+    // boundary instead of blocking, so the stacking jobs queue behind the
+    // BSR jobs' completion tickets and a single barrier closes the scope.
+    // Everything the queued jobs borrow — `blocks`, `y`, `omega` — must
+    // stay alive until `shard_chain_end`, which is why `blocks` is hoisted
+    // out of the phase closure.
+    let blocks = resolve_blocks(h2, &structure.pairs, structure.source, side);
+    rt.shard_chain_begin();
     rt.phase(Phase::BsrGemm, || {
-        let blocks = resolve_blocks(h2, &structure.pairs, structure.source, side);
         bsr_gemm_stream(
             rt,
             &structure.pattern,
@@ -673,14 +709,19 @@ fn advance_level(
             side.stream_tag(),
         );
     });
-    if structure.children_local.is_empty() {
-        (y, omega)
+    let stacked = if structure.children_local.is_empty() {
+        None
     } else {
-        rt.phase(Phase::Misc, || {
+        Some(rt.phase(Phase::Misc, || {
             let yl = stack_children(rt, &y, &structure.children_local);
             let ol = stack_children(rt, &omega, &structure.children_local);
             (yl, ol)
-        })
+        }))
+    };
+    rt.shard_chain_end();
+    match stacked {
+        None => (y, omega),
+        Some(pair) => pair,
     }
 }
 

@@ -14,8 +14,11 @@
 //!   (pure FMA chains, no per-element zero-check branch), accumulates in
 //!   registers, and fuses `alpha` into the single write-out pass (`beta` is
 //!   applied once up front, so the macro loops only ever accumulate).
-//!   Runtime CPU detection routes the microkernel through an AVX2+FMA
-//!   compilation when the host supports it, without changing build flags.
+//!   Runtime CPU detection routes the microkernel through one of three
+//!   compilation tiers without changing build flags: AVX-512F (a widened
+//!   `MR512 × NR` register tile), AVX2+FMA (the `MR × NR` tile), or the
+//!   portable baseline. Per-`(i,j)` accumulation order along `k` is the
+//!   same in every tier, so tier selection never changes results bitwise.
 //!
 //! * **Naive axpy/dot kernel** ([`gemm_naive`], retained verbatim). The
 //!   innermost loop walks a contiguous column, which is optimal for the
@@ -28,10 +31,18 @@
 //!
 //! | param | value | constraint |
 //! |---|---|---|
-//! | `MR × NR` | 8 × 4 | register tile: 32 accumulators = 8 AVX2 vectors |
+//! | `MR × NR` | 8 × 4 | AVX2/baseline tile: 32 accumulators = 8 AVX2 vectors |
+//! | `MR512 × NR` | 16 × 4 | AVX-512F tile: 64 accumulators = 8 zmm vectors |
 //! | `MC` | 128 | `MC × KC` packed A block ≈ 256 KiB (L2-resident) |
 //! | `KC` | 256 | `KC × NR` B micro-panel ≈ 8 KiB (L1-resident) |
 //! | `NC` | 512 | `KC × NC` packed B block ≈ 1 MiB (LLC-resident) |
+//!
+//! The row tile is chosen **per call** by [`dispatched_mr`]: the AVX-512
+//! tier packs `MR512`-row panels when `op(A)` has at least `MR512` rows and
+//! falls back to the `MR` tile below that, so mid-size blocks
+//! (`MR ≤ m < MR512`) keep taking the packed path instead of silently
+//! dropping to [`gemm_naive`] — the crossover guard consults the same
+//! per-call tile, never a compile-time constant.
 //!
 //! # Packing layout
 //!
@@ -48,10 +59,11 @@
 //! kernel is ahead of the axpy form for every square size probed down to
 //! n = 8 (1.0–1.4x there, 2–3x by n = 24, 3–40x at n = 512), so the
 //! crossover is expressed as *dimension* guards rather than a flop volume:
-//! [`gemm`] dispatches to the packed path when `m ≥ MR`, `k ≥ 8`, `n ≥ NR`
-//! and the product volume is at least 8³. Below any of those, a tile would
-//! be mostly padding and the axpy form is kept — so sub-crossover
-//! performance is unchanged by construction.
+//! [`gemm`] dispatches to the packed path when `m ≥ dispatched_mr(m)`
+//! (the per-call row tile — effectively `m ≥ MR` on every tier), `k ≥ 8`,
+//! `n ≥ NR` and the product volume is at least 8³. Below any of those, a
+//! tile would be mostly padding and the axpy form is kept — so
+//! sub-crossover performance is unchanged by construction.
 //!
 //! Batch-level parallelism lives in `h2-runtime`; [`par_gemm`] parallelizes
 //! the *same* packed kernel for the few genuinely large single products
@@ -89,9 +101,11 @@ impl Op {
     }
 }
 
-/// Microkernel row tile (accumulator rows).
+/// Microkernel row tile of the AVX2/baseline tiers (accumulator rows).
 pub const MR: usize = 8;
-/// Microkernel column tile (accumulator columns).
+/// Widened microkernel row tile of the AVX-512F tier.
+pub const MR512: usize = 16;
+/// Microkernel column tile (accumulator columns, all tiers).
 pub const NR: usize = 4;
 /// Rows of C per packed-A block.
 const MC: usize = 128;
@@ -194,11 +208,73 @@ pub mod stats {
     }
 }
 
+/// The SIMD compilation tier the microkernel dispatcher selected for this
+/// host, detected once per process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdTier {
+    /// Portable baseline (the compiler's default codegen, SSE2 on x86-64).
+    Baseline,
+    /// AVX2 + FMA: the `MR × NR` register tile.
+    Avx2Fma,
+    /// AVX-512F: the widened `MR512 × NR` register tile.
+    Avx512,
+}
+
+/// Runtime-detected microkernel tier (cached after the first call).
+pub fn simd_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static TIER: AtomicU8 = AtomicU8::new(0);
+        let state = TIER.load(Ordering::Relaxed);
+        let code = if state == 0 {
+            let c = if std::is_x86_feature_detected!("avx512f") {
+                3
+            } else if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+            {
+                2
+            } else {
+                1
+            };
+            TIER.store(c, Ordering::Relaxed);
+            c
+        } else {
+            state
+        };
+        match code {
+            3 => SimdTier::Avx512,
+            2 => SimdTier::Avx2Fma,
+            _ => SimdTier::Baseline,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    SimdTier::Baseline
+}
+
+/// The row tile the packed path will use for an `m`-row `op(A)`: the
+/// AVX-512 tier's `MR512` when the host has it *and* the operand fills at
+/// least one widened panel row-wise, else `MR`. Mid-size operands
+/// (`MR ≤ m < MR512`) deliberately keep the narrow tile — a 16-row panel
+/// would be half padding there, and more importantly the crossover guard
+/// below must not push them to the naive kernel on AVX-512 hosts.
+#[inline]
+pub fn dispatched_mr(m: usize) -> usize {
+    if simd_tier() == SimdTier::Avx512 && m >= MR512 {
+        MR512
+    } else {
+        MR
+    }
+}
+
 /// The measured crossover: use the packed kernel only when the flop volume
-/// amortizes the packing pass (see the module doc).
+/// amortizes the packing pass (see the module doc). The row guard compares
+/// against the *per-call* tile of [`dispatched_mr`] — which by construction
+/// never exceeds `m` once `m ≥ MR` — so the AVX-512 tier widening the
+/// preferred tile to `MR512` cannot demote `MR ≤ m < MR512` blocks to the
+/// naive kernel.
 #[inline]
 fn use_packed(m: usize, n: usize, k: usize) -> bool {
-    m >= MR && k >= 8 && n >= NR && m.saturating_mul(n).saturating_mul(k) >= 512
+    m >= dispatched_mr(m) && k >= 8 && n >= NR && m.saturating_mul(n).saturating_mul(k) >= 512
 }
 
 /// `C = alpha * op(A) * op(B) + beta * C`.
@@ -350,17 +426,28 @@ fn ensure_pack_len(buf: &mut Vec<f64>, len: usize) {
     }
 }
 
-/// Pack `op(A)[ic..ic+mc, pc..pc+kc]` into `MR`-row micro-panels
-/// (`buf[q*MR*kc + p*MR + i]`), zero-padding the last panel to `MR` rows.
-fn pack_a(ta: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, buf: &mut Vec<f64>) {
-    let panels = mc.div_ceil(MR);
-    ensure_pack_len(buf, panels * MR * kc);
-    // Zero only the padding lanes: rows mc..panels*MR of the last panel.
-    let tail = mc % MR;
+/// Pack `op(A)[ic..ic+mc, pc..pc+kc]` into `mrt`-row micro-panels
+/// (`buf[q*mrt*kc + p*mrt + i]`), zero-padding the last panel to `mrt`
+/// rows. `mrt` is the dispatched row tile (`MR` or `MR512`).
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    ta: Op,
+    a: MatRef<'_>,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    mrt: usize,
+    buf: &mut Vec<f64>,
+) {
+    let panels = mc.div_ceil(mrt);
+    ensure_pack_len(buf, panels * mrt * kc);
+    // Zero only the padding lanes: rows mc..panels*mrt of the last panel.
+    let tail = mc % mrt;
     if tail != 0 {
-        let base = (panels - 1) * MR * kc;
+        let base = (panels - 1) * mrt * kc;
         for p in 0..kc {
-            buf[base + p * MR + tail..base + p * MR + MR].fill(0.0);
+            buf[base + p * mrt + tail..base + p * mrt + mrt].fill(0.0);
         }
     }
     match ta {
@@ -369,9 +456,9 @@ fn pack_a(ta: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, buf
             for p in 0..kc {
                 let col = a.col(pc + p);
                 for q in 0..panels {
-                    let i0 = q * MR;
-                    let cnt = MR.min(mc - i0);
-                    buf[q * MR * kc + p * MR..][..cnt]
+                    let i0 = q * mrt;
+                    let cnt = mrt.min(mc - i0);
+                    buf[q * mrt * kc + p * mrt..][..cnt]
                         .copy_from_slice(&col[ic + i0..ic + i0 + cnt]);
                 }
             }
@@ -379,13 +466,13 @@ fn pack_a(ta: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, buf
         Op::Trans => {
             // op(A) row i is the contiguous source column ic + i.
             for q in 0..panels {
-                let i0 = q * MR;
-                let cnt = MR.min(mc - i0);
+                let i0 = q * mrt;
+                let cnt = mrt.min(mc - i0);
                 for i in 0..cnt {
                     let col = a.col(ic + i0 + i);
-                    let base = q * MR * kc + i;
+                    let base = q * mrt * kc + i;
                     for p in 0..kc {
-                        buf[base + p * MR] = col[pc + p];
+                        buf[base + p * mrt] = col[pc + p];
                     }
                 }
             }
@@ -399,14 +486,24 @@ fn pack_a(ta: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, buf
 /// on `a.promote()` (promotion is exact), so the microkernel downstream is
 /// untouched and the mixed product equals the all-f64 product on the
 /// promoted working copy exactly.
-fn pack_a32(ta: Op, a: &Mat32, ic: usize, pc: usize, mc: usize, kc: usize, buf: &mut Vec<f64>) {
-    let panels = mc.div_ceil(MR);
-    ensure_pack_len(buf, panels * MR * kc);
-    let tail = mc % MR;
+#[allow(clippy::too_many_arguments)]
+fn pack_a32(
+    ta: Op,
+    a: &Mat32,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    mrt: usize,
+    buf: &mut Vec<f64>,
+) {
+    let panels = mc.div_ceil(mrt);
+    ensure_pack_len(buf, panels * mrt * kc);
+    let tail = mc % mrt;
     if tail != 0 {
-        let base = (panels - 1) * MR * kc;
+        let base = (panels - 1) * mrt * kc;
         for p in 0..kc {
-            buf[base + p * MR + tail..base + p * MR + MR].fill(0.0);
+            buf[base + p * mrt + tail..base + p * mrt + mrt].fill(0.0);
         }
     }
     match ta {
@@ -414,9 +511,9 @@ fn pack_a32(ta: Op, a: &Mat32, ic: usize, pc: usize, mc: usize, kc: usize, buf: 
             for p in 0..kc {
                 let col = a.col(pc + p);
                 for q in 0..panels {
-                    let i0 = q * MR;
-                    let cnt = MR.min(mc - i0);
-                    let dst = &mut buf[q * MR * kc + p * MR..][..cnt];
+                    let i0 = q * mrt;
+                    let cnt = mrt.min(mc - i0);
+                    let dst = &mut buf[q * mrt * kc + p * mrt..][..cnt];
                     for (d, &v) in dst.iter_mut().zip(&col[ic + i0..ic + i0 + cnt]) {
                         *d = v as f64;
                     }
@@ -425,13 +522,13 @@ fn pack_a32(ta: Op, a: &Mat32, ic: usize, pc: usize, mc: usize, kc: usize, buf: 
         }
         Op::Trans => {
             for q in 0..panels {
-                let i0 = q * MR;
-                let cnt = MR.min(mc - i0);
+                let i0 = q * mrt;
+                let cnt = mrt.min(mc - i0);
                 for i in 0..cnt {
                     let col = a.col(ic + i0 + i);
-                    let base = q * MR * kc + i;
+                    let base = q * mrt * kc + i;
                     for p in 0..kc {
-                        buf[base + p * MR] = col[pc + p] as f64;
+                        buf[base + p * mrt] = col[pc + p] as f64;
                     }
                 }
             }
@@ -509,26 +606,65 @@ fn micro_accumulate_fma(ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
     micro_accumulate(ap, bp)
 }
 
+/// The widened `MR512 × NR` inner product over `MR512`-row packed panels.
+/// Same per-`(i,j)` accumulation order along `k` as the narrow tile, so
+/// tile width never changes results bitwise.
 #[inline(always)]
-fn microkernel(ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
-    #[cfg(target_arch = "x86_64")]
-    {
-        use std::sync::atomic::{AtomicU8, Ordering};
-        static FMA: AtomicU8 = AtomicU8::new(0);
-        let state = FMA.load(Ordering::Relaxed);
-        let have_fma = if state == 0 {
-            let yes = std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma");
-            FMA.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
-            yes
-        } else {
-            state == 2
-        };
-        if have_fma {
-            // SAFETY: guarded by the runtime feature check above.
-            return unsafe { micro_accumulate_fma(ap, bp) };
+fn micro_accumulate_16(ap: &[f64], bp: &[f64]) -> [[f64; MR512]; NR] {
+    let mut acc = [[0.0f64; MR512]; NR];
+    for (av, bv) in ap.chunks_exact(MR512).zip(bp.chunks_exact(NR)) {
+        let av: &[f64; MR512] = av.try_into().unwrap();
+        let bv: &[f64; NR] = bv.try_into().unwrap();
+        for j in 0..NR {
+            let s = bv[j];
+            for i in 0..MR512 {
+                acc[j][i] += av[i] * s;
+            }
         }
     }
-    micro_accumulate(ap, bp)
+    acc
+}
+
+/// The widened microkernel compiled with AVX-512F codegen: each of the NR
+/// accumulator rows is two zmm vectors (8 zmm total), `av` two zmm loads,
+/// `bv[j]` a broadcast — pure vfmadd chains on the packed panels.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn micro_accumulate_avx512(ap: &[f64], bp: &[f64]) -> [[f64; MR512]; NR] {
+    micro_accumulate_16(ap, bp)
+}
+
+/// Run the microkernel for the dispatched row tile `mrt`, accumulating into
+/// the caller's max-width tile (only `acc[j][..mrt]` is written/meaningful).
+/// `mrt == MR512` is only ever dispatched on an AVX-512 host (see
+/// [`dispatched_mr`]); the portable 16-wide body is kept as a safety net.
+#[inline(always)]
+fn run_micro(mrt: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; MR512]; NR]) {
+    if mrt == MR512 {
+        #[cfg(target_arch = "x86_64")]
+        if simd_tier() == SimdTier::Avx512 {
+            // SAFETY: guarded by the runtime tier check above.
+            *acc = unsafe { micro_accumulate_avx512(ap, bp) };
+            return;
+        }
+        *acc = micro_accumulate_16(ap, bp);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if simd_tier() != SimdTier::Baseline {
+        // AVX-512 hosts also take this arm for narrow (m < MR512) calls:
+        // the AVX2 tile is the better fit there and zmm warm-up is avoided.
+        // SAFETY: Avx2Fma/Avx512 both imply avx2+fma support.
+        let t = unsafe { micro_accumulate_fma(ap, bp) };
+        for j in 0..NR {
+            acc[j][..MR].copy_from_slice(&t[j]);
+        }
+        return;
+    }
+    let t = micro_accumulate(ap, bp);
+    for j in 0..NR {
+        acc[j][..MR].copy_from_slice(&t[j]);
+    }
 }
 
 /// The blocked-packed macro loops over one C target (serial). `beta` has
@@ -536,15 +672,18 @@ fn microkernel(ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
 fn packed_accumulate(ta: Op, tb: Op, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
     let m = ta.rows_of(a);
     let k = ta.cols_of(a);
-    packed_macro_loops(tb, alpha, m, k, b, c, |ic, pc, mc, kc, buf| {
-        pack_a(ta, a, ic, pc, mc, kc, buf)
+    let mrt = dispatched_mr(m);
+    packed_macro_loops(mrt, tb, alpha, m, k, b, c, |ic, pc, mc, kc, buf| {
+        pack_a(ta, a, ic, pc, mc, kc, mrt, buf)
     });
 }
 
 /// The macro-loop body shared by the all-f64 and mixed-precision packed
 /// kernels: only the pack-A stage differs (where the f32 → f64 promotion
 /// happens), so everything downstream of packing is literally the same code.
+#[allow(clippy::too_many_arguments)]
 fn packed_macro_loops<PA>(
+    mrt: usize,
     tb: Op,
     alpha: f64,
     m: usize,
@@ -572,10 +711,11 @@ fn packed_macro_loops<PA>(
                 for jr in (0..nc).step_by(NR) {
                     let nr = NR.min(nc - jr);
                     let bp = &bpack[(jr / NR) * NR * kc..][..NR * kc];
-                    for ir in (0..mc).step_by(MR) {
-                        let mr = MR.min(mc - ir);
-                        let ap = &apack[(ir / MR) * MR * kc..][..MR * kc];
-                        let acc = microkernel(ap, bp);
+                    for ir in (0..mc).step_by(mrt) {
+                        let mr = mrt.min(mc - ir);
+                        let ap = &apack[(ir / mrt) * mrt * kc..][..mrt * kc];
+                        let mut acc = [[0.0f64; MR512]; NR];
+                        run_micro(mrt, ap, bp, &mut acc);
                         // Single write-out pass with alpha fused; only the
                         // valid mr x nr corner of the padded tile lands.
                         for j in 0..nr {
@@ -633,8 +773,9 @@ pub fn gemm_mixed(
         return;
     }
     if use_packed(m, n, k) {
-        packed_macro_loops(tb, alpha, m, k, b, c, |ic, pc, mc, kc, buf| {
-            pack_a32(ta, a, ic, pc, mc, kc, buf)
+        let mrt = dispatched_mr(m);
+        packed_macro_loops(mrt, tb, alpha, m, k, b, c, |ic, pc, mc, kc, buf| {
+            pack_a32(ta, a, ic, pc, mc, kc, mrt, buf)
         });
     } else {
         let ap = a.promote();
@@ -762,6 +903,7 @@ fn par_gemm_shared_b(
     let (cptr, ld) = c.raw_parts_mut();
     let cptr = SendPtr(cptr);
     let nbands = m.div_ceil(MC);
+    let mrt = dispatched_mr(m);
     let mut bpack: Vec<f64> = Vec::new();
     let mut packed_bytes = 0u64;
     for jc in (0..n).step_by(NC) {
@@ -781,14 +923,15 @@ fn par_gemm_shared_b(
                     let ic = band * MC;
                     let mc = MC.min(m - ic);
                     let mut apack: Vec<f64> = Vec::new();
-                    pack_a(ta, a, ic, pc, mc, kc, &mut apack);
+                    pack_a(ta, a, ic, pc, mc, kc, mrt, &mut apack);
                     for jr in (0..nc).step_by(NR) {
                         let nr = NR.min(nc - jr);
                         let bp = &bref[(jr / NR) * NR * kc..][..NR * kc];
-                        for ir in (0..mc).step_by(MR) {
-                            let mr = MR.min(mc - ir);
-                            let ap = &apack[(ir / MR) * MR * kc..][..MR * kc];
-                            let acc = microkernel(ap, bp);
+                        for ir in (0..mc).step_by(mrt) {
+                            let mr = mrt.min(mc - ir);
+                            let ap = &apack[(ir / mrt) * mrt * kc..][..mrt * kc];
+                            let mut acc = [[0.0f64; MR512]; NR];
+                            run_micro(mrt, ap, bp, &mut acc);
                             for j in 0..nr {
                                 // SAFETY: this band owns rows ic..ic+mc of
                                 // every column; tiles of one band are
@@ -807,7 +950,7 @@ fn par_gemm_shared_b(
             packed_bytes += (0..nbands)
                 .map(|band| {
                     let mc = MC.min(m - band * MC);
-                    (mc.div_ceil(MR) * MR * kc * 8) as u64
+                    (mc.div_ceil(mrt) * mrt * kc * 8) as u64
                 })
                 .sum::<u64>();
         }
@@ -924,6 +1067,62 @@ mod tests {
                     assert!(
                         diff.norm_max() / scale < 1e-13,
                         "packed mismatch for {ta:?},{tb:?} ({m},{k},{n})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_mr_is_consistent_with_tier() {
+        // The per-call tile never exceeds m once m >= MR, so the crossover
+        // guard cannot demote mid-size blocks on any tier.
+        for m in [8, 9, 12, 15, 16, 17, 31, 64] {
+            let mrt = dispatched_mr(m);
+            assert!(mrt == MR || mrt == MR512);
+            assert!(m >= mrt, "tile {mrt} exceeds m={m}");
+            if mrt == MR512 {
+                assert_eq!(simd_tier(), SimdTier::Avx512);
+                assert!(m >= MR512);
+            }
+        }
+        // Below a full narrow panel the naive kernel keeps the call.
+        assert!(!use_packed(MR - 1, 64, 64));
+        // The satellite-1 regression: every m in [MR, MR512) must stay on
+        // the packed path even when the host dispatches the wide tile for
+        // larger operands.
+        for m in MR..MR512 {
+            assert!(use_packed(m, 64, 64), "m={m} fell off the packed path");
+        }
+    }
+
+    #[test]
+    fn wide_tile_boundary_shapes_match_naive() {
+        // Shapes straddling the MR512 panel boundary (and the mc tails the
+        // widened packing pads) — on an AVX-512 host these run the 16-row
+        // microkernel, elsewhere the narrow tile; both must equal the
+        // reference bitwise-agnostically.
+        for (m, k, n) in [(16, 32, 8), (17, 64, 12), (15, 64, 12), (48, 33, 20)] {
+            for ta in [Op::NoTrans, Op::Trans] {
+                for tb in [Op::NoTrans, Op::Trans] {
+                    let a = match ta {
+                        Op::NoTrans => gaussian_mat(m, k, 61),
+                        Op::Trans => gaussian_mat(k, m, 61),
+                    };
+                    let b = match tb {
+                        Op::NoTrans => gaussian_mat(k, n, 62),
+                        Op::Trans => gaussian_mat(n, k, 62),
+                    };
+                    let mut c1 = gaussian_mat(m, n, 63);
+                    let mut c2 = c1.clone();
+                    gemm(ta, tb, 1.25, a.rf(), b.rf(), -0.75, c1.rm());
+                    gemm_naive(ta, tb, 1.25, a.rf(), b.rf(), -0.75, c2.rm());
+                    let mut diff = c1;
+                    diff.axpy(-1.0, &c2);
+                    let scale = c2.norm_max().max(1.0);
+                    assert!(
+                        diff.norm_max() / scale < 1e-13,
+                        "tile-boundary mismatch for {ta:?},{tb:?} ({m},{k},{n})"
                     );
                 }
             }

@@ -16,7 +16,24 @@
 //! decomposition, and it keeps siblings (merged at line 24) on the same
 //! device except at chunk boundaries.
 
+use crate::shard::PipelineMode;
 use h2_dense::Precision;
+
+/// Combine one level's three schedule terms — busiest device's compute,
+/// link time, per-device launch overhead — under an execution discipline.
+/// This is the *same* composition `h2_sched`'s `ExecReport::epoch_makespan`
+/// applies to measured counters: serialized for a synchronous schedule
+/// (every copy and kernel-boundary barrier is exposed), the max of the
+/// three for a pipelined one (prefetched transfers overlap compute, and
+/// job-level dependency chaining lets the host enqueue kernel *k+1* while
+/// kernel *k* drains, hiding launch overhead too).
+#[inline]
+pub fn combine_terms(mode: PipelineMode, compute_max: f64, comm: f64, launch: f64) -> f64 {
+    match mode {
+        PipelineMode::Synchronous => compute_max + comm + launch,
+        PipelineMode::Pipelined => compute_max.max(comm).max(launch),
+    }
+}
 
 /// The work/traffic formulas shared by the closed-form simulator and the
 /// sharded executor's accounting ([`crate::ops`], [`crate::bsr`],
@@ -359,6 +376,28 @@ pub fn simulate_prec(
     model: &DeviceModel,
     wire: Precision,
 ) -> SimReport {
+    simulate_prec_mode(
+        levels,
+        d_samples,
+        devices,
+        model,
+        wire,
+        PipelineMode::Synchronous,
+    )
+}
+
+/// [`simulate_prec`] under an explicit execution discipline: the per-level
+/// byte/flop/launch populations are identical (the trust contract's
+/// equality invariants are mode-independent); only how the three schedule
+/// terms combine into the level makespan changes — see [`combine_terms`].
+pub fn simulate_prec_mode(
+    levels: &[LevelSpec],
+    d_samples: usize,
+    devices: usize,
+    model: &DeviceModel,
+    wire: Precision,
+    mode: PipelineMode,
+) -> SimReport {
     assert!(devices > 0, "at least one device");
     let mut out_levels = Vec::with_capacity(levels.len());
     let mut makespan = 0.0;
@@ -435,9 +474,12 @@ pub fn simulate_prec(
         let compute_max = compute.iter().cloned().fold(0.0, f64::max);
         let comm_time =
             comm_bytes as f64 / model.link_bandwidth + comm_messages as f64 * model.link_latency;
-        let level_makespan = compute_max
-            + comm_time
-            + launches as f64 / active.max(1) as f64 * model.launch_overhead;
+        let level_makespan = combine_terms(
+            mode,
+            compute_max,
+            comm_time,
+            launches as f64 / active.max(1) as f64 * model.launch_overhead,
+        );
 
         makespan += level_makespan;
         total_comm += comm_bytes;
@@ -519,6 +561,19 @@ pub fn simulate_solve_prec(
     model: &DeviceModel,
     wire: Precision,
 ) -> SimReport {
+    simulate_solve_prec_mode(spec, devices, model, wire, PipelineMode::Synchronous)
+}
+
+/// [`simulate_solve_prec`] under an explicit execution discipline — the
+/// solver analogue of [`simulate_prec_mode`]: populations unchanged, level
+/// term composition per [`combine_terms`].
+pub fn simulate_solve_prec_mode(
+    spec: &SolveSpec,
+    devices: usize,
+    model: &DeviceModel,
+    wire: Precision,
+    mode: PipelineMode,
+) -> SimReport {
     assert!(devices > 0, "at least one device");
     let d = spec.nrhs;
     let mut out_levels: Vec<LevelCost> = Vec::new();
@@ -531,8 +586,12 @@ pub fn simulate_solve_prec(
         let compute_max = compute.iter().cloned().fold(0.0, f64::max);
         let comm_time =
             comm_bytes as f64 / model.link_bandwidth + comm_messages as f64 * model.link_latency;
-        let makespan =
-            compute_max + comm_time + launches as f64 / active as f64 * model.launch_overhead;
+        let makespan = combine_terms(
+            mode,
+            compute_max,
+            comm_time,
+            launches as f64 / active as f64 * model.launch_overhead,
+        );
         out.push(LevelCost {
             makespan,
             compute_total: compute.iter().sum(),

@@ -88,7 +88,10 @@ pub(crate) fn batch_for_each_mut_deps<F, C>(
     let exec_bounds = cost_chunk_bounds(n, devices, |i| {
         exec_cost(flops_of(i), out.rows_of(i) * out.cols_of(i))
     });
-    let f = &f;
+    // Jobs share ownership of the kernel body: inside a chain scope the
+    // closing `flush` records a boundary instead of blocking, so the jobs
+    // may outlive this frame — `f` must live on the heap, not here.
+    let f = std::sync::Arc::new(f);
     let mut entries = out.split_mut().into_iter();
     for dev in 0..devices {
         let chunk: Vec<MatMut<'_>> = entries
@@ -96,12 +99,15 @@ pub(crate) fn batch_for_each_mut_deps<F, C>(
             .take(exec_bounds[dev + 1] - exec_bounds[dev])
             .collect();
         let start = exec_bounds[dev];
+        let f = f.clone();
         let job: ShardJob<'_> = Box::new(move || {
             for (k, m) in chunk.into_iter().enumerate() {
                 f(start + k, m);
             }
         });
-        // SAFETY: the flush below runs before the borrows of `out`/`f` end.
+        // SAFETY: barriered by the flush below — or, inside a chain scope,
+        // by `chain_end` — before the borrows captured by `f`/`chunk` end
+        // (the chain caller keeps them alive past `chain_end`).
         unsafe { disp.enqueue(dev, deps, job) };
     }
     disp.flush();
@@ -194,7 +200,7 @@ pub fn gather_rows(rt: &Runtime, src: &Mat, ranges: &[(usize, usize)]) -> VarBat
         rt,
         &mut out,
         |_| 0.0,
-        |i, mut m| {
+        move |i, mut m| {
             let (b, _e) = ranges[i];
             m.copy_from(src.view(b, 0, m.rows(), d));
         },
@@ -259,7 +265,7 @@ pub fn stack_children(rt: &Runtime, child: &VarBatch, children: &[Vec<usize>]) -
         &mut out,
         &deps,
         |_| 0.0,
-        |p, mut m| {
+        move |p, mut m| {
             let mut off = 0;
             for &c in &children[p] {
                 let cm = child.mat(c);
@@ -323,7 +329,7 @@ pub fn shrink_rows(rt: &Runtime, batch: &VarBatch, skels: &[&[usize]]) -> VarBat
         rt,
         &mut out,
         |_| 0.0,
-        |i, mut m| {
+        move |i, mut m| {
             let src = batch.mat(i);
             for (r, &j) in skels[i].iter().enumerate() {
                 for c in 0..d {
@@ -345,7 +351,7 @@ pub fn gemm_at_x(rt: &Runtime, a: &[Mat], x: &VarBatch) -> VarBatch {
     let mut out = VarBatch::zeros_uniform_cols(rows, d);
     // The shared upsweep-GEMM cost formula.
     let flops = |i: usize| cost::upsweep_flops(a[i].rows(), a[i].cols(), d);
-    batch_for_each_mut(rt, &mut out, flops, |i, m| {
+    batch_for_each_mut(rt, &mut out, flops, move |i, m| {
         gemm(Op::Trans, Op::NoTrans, 1.0, a[i].rf(), x.mat(i), 0.0, m);
     });
     out
@@ -366,7 +372,7 @@ pub fn hcat_batches(rt: &Runtime, a: &VarBatch, b: &VarBatch) -> VarBatch {
         rt,
         &mut out,
         |_| 0.0,
-        |i, mut m| {
+        move |i, mut m| {
             assert_eq!(a.rows_of(i), b.rows_of(i), "hcat: entry {i} row mismatch");
             let (ca, cb) = (a.cols_of(i), b.cols_of(i));
             m.rb_mut()

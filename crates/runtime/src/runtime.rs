@@ -127,6 +127,26 @@ impl Runtime {
         }
     }
 
+    /// Open a cross-kernel chain scope on the fabric (no-op unless sharded
+    /// and pipelined): until [`Runtime::shard_chain_end`], each kernel's
+    /// closing `flush` records a dependency boundary instead of blocking,
+    /// so consecutive batched kernels run back-to-back per device, ordered
+    /// by job-completion tickets across devices.
+    pub fn shard_chain_begin(&self) {
+        if let Some(d) = &self.shard {
+            d.chain_begin();
+        }
+    }
+
+    /// Close the chain scope and run the real barrier (no-op unless
+    /// sharded). Every host-side read of job-produced data must sit after
+    /// this point.
+    pub fn shard_chain_end(&self) {
+        if let Some(d) = &self.shard {
+            d.chain_end();
+        }
+    }
+
     pub fn profile(&self) -> &Profile {
         &self.profile
     }

@@ -79,6 +79,11 @@ pub enum TransferKind {
     /// Matvec downsweep/reduction traffic: a device reading a parent's
     /// `ŷ` partial sum owned by another device.
     PartialSum,
+    /// Krylov vector staging: scattering an iterate/basis chunk to a device
+    /// (or gathering it back) when the solver round-trips whole vectors
+    /// through the shared host workspace, plus the boundary slivers and
+    /// scalar reductions that remain once shards are device-resident.
+    VectorStage,
 }
 
 impl TransferKind {
@@ -87,6 +92,7 @@ impl TransferKind {
             TransferKind::OmegaFetch => "omega-fetch",
             TransferKind::ChildGather => "child-gather",
             TransferKind::PartialSum => "partial-sum",
+            TransferKind::VectorStage => "vector-stage",
         }
     }
 }
@@ -254,26 +260,46 @@ pub trait ShardDispatch: Send + Sync {
     }
 
     /// Submit `job` to device `dev`'s ordered queue without blocking, gated
-    /// on the prefetch tickets in `deps`.
+    /// on the tickets in `deps` (prefetch tickets and/or prior jobs'
+    /// completion tickets — both live on one board). Returns the job's own
+    /// completion ticket (0 when the dispatcher ran it inline).
     ///
     /// # Safety
     ///
-    /// The caller must call [`ShardDispatch::flush`] before any borrow
-    /// captured by `job` ends — the fabric erases the job's lifetime to move
-    /// it onto the worker thread. Every batched kernel upholds this by
-    /// flushing before it returns (or before the borrowed buffers of an
-    /// overlapped phase group go out of scope).
+    /// The caller must call [`ShardDispatch::flush`] (or, inside a chain
+    /// scope, [`ShardDispatch::chain_end`]) before any borrow captured by
+    /// `job` ends — the fabric erases the job's lifetime to move it onto
+    /// the worker thread. Every batched kernel upholds this by flushing
+    /// before it returns (or before the borrowed buffers of an overlapped
+    /// phase group go out of scope).
     ///
     /// The synchronous default runs the job inline on the calling thread,
     /// which trivially satisfies the contract.
-    unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) {
+    unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) -> u64 {
         let _ = (dev, deps);
         job();
+        0
     }
 
-    /// Barrier: block until every enqueued job has completed (and propagate
-    /// any worker panic).
+    /// Kernel-boundary synchronization: a barrier that blocks until every
+    /// enqueued job has completed (and propagates any worker panic) —
+    /// except inside an open chain scope, where a chaining fabric records a
+    /// dependency boundary instead and returns immediately.
     fn flush(&self) {}
+
+    /// Open a cross-kernel chain scope: until [`ShardDispatch::chain_end`],
+    /// `flush` records kernel boundaries (the finished kernel's job tickets
+    /// become automatic dependencies for the next kernel's jobs on other
+    /// devices) instead of blocking the host. No-op by default and on
+    /// synchronous fabrics, where every kernel stays fork-join.
+    fn chain_begin(&self) {}
+
+    /// Close the chain scope and run the real barrier, discharging the
+    /// borrow contract of every `enqueue` issued inside the scope. The
+    /// default is a plain flush.
+    fn chain_end(&self) {
+        self.flush();
+    }
 
     /// Early prefetch hint: start the copy for `key` now (tagged to the
     /// issuing epoch, charged to the destination's *standby* arena bank) so

@@ -16,7 +16,7 @@ use crate::fabric::{DeviceFabric, ExecReport};
 use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig, SketchStats};
 use h2_dense::{EntryAccess, LinOp};
 use h2_matrix::H2Matrix;
-use h2_runtime::{simulate_prec, DeviceModel, LevelSpec, Runtime, ShardDispatch};
+use h2_runtime::{simulate_prec_mode, DeviceModel, LevelSpec, Runtime, ShardDispatch};
 use h2_tree::{ClusterTree, Partition};
 use std::sync::Arc;
 
@@ -120,14 +120,25 @@ impl SimComparison {
 }
 
 /// Compare an execution report against the simulator's prediction for the
-/// same level specs, sample width and device count.
+/// same level specs, sample width and device count. The simulator runs
+/// under the report's own execution discipline
+/// ([`h2_runtime::simulate_prec_mode`]), so both sides compose their
+/// per-level compute/comm/launch terms the same way and the makespan band
+/// measures population drift, not mode mismatch.
 pub fn compare_with_simulator(
     report: &ExecReport,
     specs: &[LevelSpec],
     d_samples: usize,
     model: &DeviceModel,
 ) -> SimComparison {
-    let sim = simulate_prec(specs, d_samples, report.devices, model, report.wire);
+    let sim = simulate_prec_mode(
+        specs,
+        d_samples,
+        report.devices,
+        model,
+        report.wire,
+        report.mode,
+    );
     SimComparison {
         measured_flop_equiv: report.flop_equiv(model.entry_cost),
         predicted_flop_equiv: sim.compute_total() * model.flops_per_sec,

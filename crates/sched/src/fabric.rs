@@ -20,6 +20,13 @@
 //!   [`PipelineMode::Pipelined`] transfers are issued as *prefetches* on a
 //!   virtual copy engine and compute jobs are gated on their tickets; in
 //!   [`PipelineMode::Synchronous`] they are serviced inline (exposed);
+//! * **job-level dependencies**: every queued job owns a completion ticket
+//!   on the same board as transfer tickets, and a **chain scope**
+//!   ([`DeviceFabric::chain_begin`] … [`DeviceFabric::chain_end`]) turns
+//!   the per-kernel `flush` into a recorded boundary — the next kernel's
+//!   jobs depend on the previous kernel's tickets on other devices instead
+//!   of a global barrier, the CUDA-graph shape of back-to-back batched
+//!   launches in §IV.B;
 //! * an **epoch** is one processed level (or matvec phase): the per-epoch
 //!   per-device stats line up one-to-one with the per-level costs of the
 //!   [`h2_runtime::multidev`] simulator, which is what
@@ -191,8 +198,11 @@ struct EpochLog {
     run_start: Instant,
 }
 
-/// Prefetch-ticket completion board. `gen` invalidates tickets across
-/// `reset` so a straggling virtual copy can never complete into a new run.
+/// Ticket completion board, shared by prefetched transfers **and** queued
+/// jobs: both allocate tickets from the same sequence, so a job's `deps`
+/// list can mix transfer tickets with prior jobs' completion tickets.
+/// `gen` invalidates tickets across `reset` so a straggling virtual copy
+/// can never complete into a new run.
 struct TicketState {
     gen: u64,
     done: Vec<bool>,
@@ -236,6 +246,7 @@ struct Shared {
     tickets: TicketBoard,
     progress: Vec<Progress>,
     hints: Mutex<HashMap<FetchKey, u64>>,
+    chain: Mutex<Option<ChainState>>,
     panicked: Mutex<Option<String>>,
     copy: Mutex<CopyQueue>,
     copy_cv: Condvar,
@@ -278,6 +289,16 @@ impl Shared {
             st.inflight += 1;
         }
         st.done.len() as u64
+    }
+
+    /// Allocate a job-completion ticket, returning `(gen, ticket)` so the
+    /// worker can complete it against the allocating run even if a `reset`
+    /// races in between.
+    fn alloc_job_ticket(&self) -> (u64, u64) {
+        let mut st = self.tickets.state.lock().unwrap();
+        st.done.push(false);
+        st.inflight += 1;
+        (st.gen, st.done.len() as u64)
     }
 
     fn complete_ticket(&self, gen: u64, ticket: u64) {
@@ -327,9 +348,26 @@ fn virtual_wait(d: Duration) {
     }
 }
 
+/// Open cross-kernel chain scope: per-device job tickets of the kernel
+/// closed at the last chain boundary (`prev`) and of the kernel currently
+/// enqueuing (`cur`). While a chain is open, `flush` records a boundary
+/// instead of blocking, and every new job automatically depends on the
+/// previous kernel's tickets **on other devices** — same-device ordering
+/// is already guaranteed by the FIFO queue, so a device that finishes its
+/// slice of kernel *k* starts kernel *k+1* while slower devices drain.
+struct ChainState {
+    prev: Vec<Vec<u64>>,
+    cur: Vec<Vec<u64>>,
+}
+
 enum Cmd {
     Job {
         deps: Vec<u64>,
+        /// Ticket generation + completion ticket of this job (completed by
+        /// the worker right after the job body runs, before the progress
+        /// counter bumps, so dependents can start as soon as possible).
+        gen: u64,
+        ticket: u64,
         run: Box<dyn FnOnce() + Send + 'static>,
     },
     Stop,
@@ -399,6 +437,7 @@ impl DeviceFabric {
                 })
                 .collect(),
             hints: Mutex::new(HashMap::new()),
+            chain: Mutex::new(None),
             panicked: Mutex::new(None),
             copy: Mutex::new(CopyQueue {
                 heap: std::collections::BinaryHeap::new(),
@@ -448,7 +487,12 @@ impl DeviceFabric {
                     .spawn(move || {
                         while let Ok(cmd) = rx.recv() {
                             match cmd {
-                                Cmd::Job { deps, run } => {
+                                Cmd::Job {
+                                    deps,
+                                    gen,
+                                    ticket,
+                                    run,
+                                } => {
                                     let stall = sh.wait_tickets(&deps);
                                     let tracer = sh.tracer();
                                     let span = tracer.as_ref().map(|t| {
@@ -474,6 +518,10 @@ impl DeviceFabric {
                                             *p = Some(format!("device {dev} job panicked"));
                                         }
                                     }
+                                    // Complete even on panic so dependents
+                                    // never deadlock; the panic surfaces at
+                                    // the next real barrier.
+                                    sh.complete_ticket(gen, ticket);
                                     let mut done = sh.progress[dev].done.lock().unwrap();
                                     *done += 1;
                                     sh.progress[dev].cv.notify_all();
@@ -561,35 +609,122 @@ impl DeviceFabric {
         self.shared.tracer()
     }
 
-    /// Submit `job` to device `dev`'s ordered queue without blocking. The
-    /// worker runs queue entries in FIFO order, waiting on the prefetch
-    /// tickets in `deps` first (wait time is accounted as stall).
+    /// Submit `job` to device `dev`'s ordered queue without blocking and
+    /// return its **completion ticket** (same board as transfer tickets, so
+    /// a later job's `deps` can mix both). The worker runs queue entries in
+    /// FIFO order, waiting on the tickets in `deps` first (wait time is
+    /// accounted as stall) and completing the job's own ticket right after
+    /// the body runs. Inside a chain scope (see
+    /// [`DeviceFabric::chain_begin`]) the previous kernel's tickets on
+    /// *other* devices are added as dependencies automatically.
     ///
     /// # Safety
     ///
     /// Every borrow captured by `job` must outlive its execution on the
-    /// worker thread: the caller must call [`DeviceFabric::flush`] before
-    /// the borrowed data is dropped or mutably re-aliased. This is the
-    /// standard scoped-threadpool lifetime erasure, with the scope-end
-    /// moved to the explicit flush.
-    pub unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) {
+    /// worker thread: the caller must call [`DeviceFabric::flush`] (or,
+    /// inside a chain scope, [`DeviceFabric::chain_end`]) before the
+    /// borrowed data is dropped or mutably re-aliased. This is the standard
+    /// scoped-threadpool lifetime erasure, with the scope-end moved to the
+    /// explicit barrier.
+    pub unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) -> u64 {
         let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        let (gen, ticket) = self.shared.alloc_job_ticket();
+        let mut all_deps = deps.to_vec();
+        {
+            let mut chain = self.shared.chain.lock().unwrap();
+            if let Some(ch) = chain.as_mut() {
+                for (d, tickets) in ch.prev.iter().enumerate() {
+                    if d != dev {
+                        all_deps.extend_from_slice(tickets);
+                    }
+                }
+                ch.cur[dev].push(ticket);
+            }
+        }
         self.workers[dev].submitted.fetch_add(1, Ordering::SeqCst);
         self.workers[dev]
             .tx
             .send(Cmd::Job {
-                deps: deps.to_vec(),
+                deps: all_deps,
+                gen,
+                ticket,
                 run,
             })
             .expect("device worker alive");
+        ticket
     }
 
-    /// Barrier: wait until every enqueued job has run, then propagate any
-    /// worker panic. Deliberately does **not** wait for in-flight virtual
-    /// copies — a compute-stream sync must not serialize against the copy
-    /// engine, or early-issued prefetches would lose their overlap; only
+    /// Open a cross-kernel chain scope (pipelined fabrics only; a no-op in
+    /// synchronous mode, where every kernel's fork-join barrier stays
+    /// exposed). While the scope is open, [`DeviceFabric::flush`] records a
+    /// **chain boundary** instead of blocking: the kernel that just
+    /// finished enqueuing becomes the dependency set for the next kernel's
+    /// jobs — cross-device ordering via completion tickets, same-device
+    /// ordering via the FIFO queue. The host thread never blocks between
+    /// kernels, so launch overhead hides behind the still-draining queues.
+    /// Close with [`DeviceFabric::chain_end`], which performs the real
+    /// barrier and discharges the `enqueue` borrow contract.
+    pub fn chain_begin(&self) {
+        if self.shared.mode != PipelineMode::Pipelined {
+            return;
+        }
+        let d = self.shared.devices;
+        *self.shared.chain.lock().unwrap() = Some(ChainState {
+            prev: vec![Vec::new(); d],
+            cur: vec![Vec::new(); d],
+        });
+    }
+
+    /// Close the chain scope opened by [`DeviceFabric::chain_begin`] and
+    /// run the real barrier (safe to call with no chain open — then it is
+    /// exactly [`DeviceFabric::flush`]).
+    pub fn chain_end(&self) {
+        *self.shared.chain.lock().unwrap() = None;
+        self.barrier();
+    }
+
+    /// Record a chain boundary if a chain scope is open; returns `false`
+    /// (caller should run the real barrier) otherwise. Devices whose
+    /// current-kernel ticket list is empty keep their previous tickets, so
+    /// dependency transitivity survives kernels that skip a device.
+    fn chain_boundary(&self) -> bool {
+        let mut chain = self.shared.chain.lock().unwrap();
+        match chain.as_mut() {
+            None => false,
+            Some(ch) => {
+                for dev in 0..self.shared.devices {
+                    if !ch.cur[dev].is_empty() {
+                        ch.prev[dev] = std::mem::take(&mut ch.cur[dev]);
+                    }
+                }
+                if let Some(tracer) = self.shared.tracer() {
+                    tracer.instant("fabric", "chain boundary", Vec::new());
+                }
+                true
+            }
+        }
+    }
+
+    /// Kernel-boundary synchronization point. Outside a chain scope this is
+    /// the barrier: wait until every enqueued job has run, then propagate
+    /// any worker panic. Inside a chain scope it records a **chain
+    /// boundary** and returns immediately — the finished kernel's job
+    /// tickets become automatic dependencies for the next kernel's enqueues
+    /// on other devices, so the barrier cost leaves the critical path.
+    /// Deliberately does **not** wait for in-flight virtual copies — a
+    /// compute-stream sync must not serialize against the copy engine, or
+    /// early-issued prefetches would lose their overlap; only
     /// [`DeviceFabric::report`] and [`DeviceFabric::reset`] drain those.
     pub fn flush(&self) {
+        if self.chain_boundary() {
+            return;
+        }
+        self.barrier();
+    }
+
+    /// The unconditional barrier behind [`DeviceFabric::flush`] /
+    /// [`DeviceFabric::chain_end`].
+    fn barrier(&self) {
         let tracer = self.shared.tracer();
         let _span = tracer.as_ref().map(|t| t.span("fabric", "flush"));
         for (dev, w) in self.workers.iter().enumerate() {
@@ -619,11 +754,12 @@ impl DeviceFabric {
     pub fn run_jobs<'a>(&self, jobs: Vec<ShardJob<'a>>) {
         assert!(jobs.len() <= self.shared.devices, "more jobs than devices");
         for (dev, job) in jobs.into_iter().enumerate() {
-            // SAFETY: the flush below blocks until every job has completed,
-            // so all borrows strictly outlive their execution.
+            // SAFETY: the barrier below blocks until every job has
+            // completed, so all borrows strictly outlive their execution
+            // (fork-join semantics even inside a chain scope).
             unsafe { self.enqueue(dev, &[], job) };
         }
-        self.flush();
+        self.barrier();
     }
 
     /// Issue a transfer as an asynchronous prefetch on the virtual copy
@@ -906,7 +1042,8 @@ impl DeviceFabric {
     /// epoch under `tail_label` if work is pending. Flushes first so no job
     /// or copy is still in flight.
     pub fn report(&self, tail_label: &str) -> ExecReport {
-        self.flush();
+        *self.shared.chain.lock().unwrap() = None;
+        self.barrier();
         self.drain_copies();
         if self.has_open_work() {
             self.close_epoch(tail_label);
@@ -933,7 +1070,8 @@ impl DeviceFabric {
     /// Clear all accounting (reuse the fabric for another run). Flushes and
     /// invalidates outstanding prefetch tickets first.
     pub fn reset(&self) {
-        self.flush();
+        *self.shared.chain.lock().unwrap() = None;
+        self.barrier();
         self.drain_copies();
         for dev in 0..self.shared.devices {
             *self.shared.accounts[dev].lock().unwrap() = Account::default();
@@ -1019,13 +1157,21 @@ impl ShardDispatch for DeviceFabric {
         self.prefetch_transfer(t)
     }
 
-    unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) {
+    unsafe fn enqueue<'a>(&self, dev: usize, deps: &[u64], job: ShardJob<'a>) -> u64 {
         // SAFETY: forwarded contract — the caller flushes before borrows end.
         unsafe { DeviceFabric::enqueue(self, dev, deps, job) }
     }
 
     fn flush(&self) {
         DeviceFabric::flush(self)
+    }
+
+    fn chain_begin(&self) {
+        DeviceFabric::chain_begin(self)
+    }
+
+    fn chain_end(&self) {
+        DeviceFabric::chain_end(self)
     }
 
     fn hint_prefetch(&self, key: FetchKey, t: Transfer) {
@@ -1203,18 +1349,22 @@ impl ExecReport {
         )
     }
 
-    /// Modeled critical-path seconds of epoch `i`: compute and communication
-    /// serialized for a synchronous run, overlapped for a pipelined one,
-    /// plus launch overhead either way. [`ExecReport::modeled_makespan`] is
-    /// exactly the sum of this over all epochs — the sim-drift attributor
-    /// relies on that identity to make per-epoch shares sum to the whole.
+    /// Modeled critical-path seconds of epoch `i`: compute, communication
+    /// and launch overhead **serialized** for a synchronous run (every
+    /// copy and every kernel-boundary barrier is exposed), but the **max**
+    /// of the three for a pipelined one — transfers are issued ahead on the
+    /// copy engine, and with job-level dependency chaining the host
+    /// enqueues kernel *k+1* while kernel *k* still drains, so launch
+    /// overhead also hides behind whichever of compute or communication
+    /// dominates. [`ExecReport::modeled_makespan`] is exactly the sum of
+    /// this over all epochs — the sim-drift attributor relies on that
+    /// identity to make per-epoch shares sum to the whole.
     pub fn epoch_makespan(&self, i: usize, model: &DeviceModel) -> f64 {
         let (compute_max, comm, launch) = self.epoch_terms(i, model);
-        let body = match self.mode {
-            PipelineMode::Synchronous => compute_max + comm,
-            PipelineMode::Pipelined => compute_max.max(comm),
-        };
-        body + launch
+        match self.mode {
+            PipelineMode::Synchronous => compute_max + comm + launch,
+            PipelineMode::Pipelined => compute_max.max(comm).max(launch),
+        }
     }
 
     /// Export the report's totals into an observability [`Registry`]
@@ -1239,6 +1389,7 @@ impl ExecReport {
             TransferKind::OmegaFetch,
             TransferKind::ChildGather,
             TransferKind::PartialSum,
+            TransferKind::VectorStage,
         ] {
             let bytes = self.bytes_of_kind(kind);
             if bytes > 0 {
@@ -1390,6 +1541,104 @@ mod tests {
             rep.stall_total() >= Duration::from_millis(10),
             "the exposed wait must be accounted as stall"
         );
+    }
+
+    #[test]
+    fn enqueue_returns_completion_tickets_that_gate_jobs() {
+        let fabric = DeviceFabric::pipelined(2);
+        let order = Mutex::new(Vec::new());
+        let order_ref = &order;
+        // SAFETY: chain_end/flush below runs before `order` is read.
+        let t0 = unsafe {
+            fabric.enqueue(
+                0,
+                &[],
+                Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    order_ref.lock().unwrap().push("producer");
+                }) as ShardJob<'_>,
+            )
+        };
+        assert_ne!(t0, 0);
+        // SAFETY: flushed below.
+        unsafe {
+            fabric.enqueue(
+                1,
+                &[t0],
+                Box::new(move || order_ref.lock().unwrap().push("consumer")) as ShardJob<'_>,
+            );
+        }
+        fabric.flush();
+        assert_eq!(
+            order.into_inner().unwrap(),
+            vec!["producer", "consumer"],
+            "the cross-device job must wait on the producer's ticket"
+        );
+    }
+
+    #[test]
+    fn chain_scope_orders_kernels_without_blocking_the_host() {
+        let fabric = DeviceFabric::pipelined(2);
+        let order = Mutex::new(Vec::new());
+        let order_ref = &order;
+        fabric.chain_begin();
+        // Kernel A: slow job on device 0, fast on device 1.
+        for (dev, ms, tag) in [(0usize, 25u64, "A0"), (1, 0, "A1")] {
+            // SAFETY: chain_end below runs before `order` is read.
+            unsafe {
+                fabric.enqueue(
+                    dev,
+                    &[],
+                    Box::new(move || {
+                        std::thread::sleep(Duration::from_millis(ms));
+                        order_ref.lock().unwrap().push(tag);
+                    }) as ShardJob<'_>,
+                );
+            }
+        }
+        let t_boundary = Instant::now();
+        fabric.flush(); // chain boundary: must NOT block on A0
+        let boundary_wait = t_boundary.elapsed();
+        // Kernel B on device 1 must still wait for kernel A on device 0.
+        // SAFETY: chain_end below.
+        unsafe {
+            fabric.enqueue(
+                1,
+                &[],
+                Box::new(move || order_ref.lock().unwrap().push("B1")) as ShardJob<'_>,
+            );
+        }
+        fabric.chain_end();
+        assert!(
+            boundary_wait < Duration::from_millis(15),
+            "the in-chain flush must not expose the slow device's drain"
+        );
+        let got = order.into_inner().unwrap();
+        let pos = |t: &str| got.iter().position(|g| *g == t).unwrap();
+        assert!(pos("A0") < pos("B1"), "B1 must wait on A0's ticket");
+        assert!(pos("A1") < pos("B1"), "B1 follows A1 in device 1's FIFO");
+    }
+
+    #[test]
+    fn chain_begin_is_a_noop_on_synchronous_fabrics() {
+        let fabric = DeviceFabric::new(1);
+        fabric.chain_begin();
+        let hits = AtomicUsize::new(0);
+        let hits_ref = &hits;
+        // SAFETY: flushed below.
+        unsafe {
+            fabric.enqueue(
+                0,
+                &[],
+                Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    hits_ref.fetch_add(1, Ordering::SeqCst);
+                }) as ShardJob<'_>,
+            );
+        }
+        fabric.flush(); // must be a real barrier: no chain is open
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        fabric.chain_end();
     }
 
     #[test]

@@ -57,22 +57,36 @@
 //! [`DeviceFabric::pipelined`] switches the fabric from fork-join-per-batch
 //! to an overlapped schedule built from three pieces:
 //!
-//! 1. **Ordered per-device queues** — [`DeviceFabric::enqueue`] submits a
-//!    job without blocking and [`DeviceFabric::flush`] is the only barrier.
-//!    `batchedBSRGemm` chains all `Csp` slot launches per device in one
-//!    queued job (per-row accumulation order unchanged ⇒ bit-identical
-//!    results, `Csp − 1` global joins removed), and the matvec's coupling
-//!    phase runs every level in one flush scope, so a device finishing a
-//!    narrow level immediately starts the next instead of idling at a
-//!    per-level join.
-//! 2. **Asynchronous prefetch stage** — transfers are issued as
+//! 1. **Ordered per-device queues with job tickets** — [`DeviceFabric::enqueue`]
+//!    submits a job without blocking and [`DeviceFabric::flush`] is the only
+//!    barrier. Every queued job also gets a **completion ticket** on the
+//!    same board the transfer stage uses, so later jobs can be gated on
+//!    *jobs*, not only on copies. `batchedBSRGemm` chains all `Csp` slot
+//!    launches per device in one queued job (per-row accumulation order
+//!    unchanged ⇒ bit-identical results, `Csp − 1` global joins removed),
+//!    and the matvec's coupling phase runs every level in one flush scope,
+//!    so a device finishing a narrow level immediately starts the next
+//!    instead of idling at a per-level join.
+//! 2. **Chain scopes** — [`DeviceFabric::chain_begin`] /
+//!    [`DeviceFabric::chain_end`] turn a *sequence of kernels* into one
+//!    flush scope: inside the scope each kernel's closing `flush` records a
+//!    per-device dependency boundary instead of blocking, and the next
+//!    kernel's jobs wait on the previous kernel's completion tickets from
+//!    *other* devices (same-device ordering is the FIFO queue). The
+//!    construction level's `bsr_gemm → stack_children` and
+//!    `shrink_rows → gemm_at_x` sequences and the matvec's whole
+//!    upsweep→coupling handoff run as such chains — one real barrier per
+//!    scope. Everything a chained job borrows must outlive `chain_end`, and
+//!    host code inside a scope may plan from shapes but never read
+//!    job-written data.
+//! 3. **Asynchronous prefetch stage** — transfers are issued as
 //!    descriptors on a virtual copy engine ([`DeviceFabric::prefetch_transfer`])
 //!    and compute jobs are gated on completion tickets; the construction
 //!    level loop *hints* the next level's `Ω_b`/`Ψ_b` fetches as soon as
 //!    the current level's IDs fix the block sizes, so the copies run behind
 //!    `batchedGen`/upsweep compute. Synchronous mode services the same
 //!    descriptors inline (exposed).
-//! 3. **Double-buffered arenas** — prefetch-stage charges land in a standby
+//! 4. **Double-buffered arenas** — prefetch-stage charges land in a standby
 //!    bank that rotates in at the epoch boundary, modeling level *l+1*'s
 //!    workspace being marshaled while level *l*'s is still live.
 //!
@@ -80,11 +94,30 @@
 //! the epoch that issued them, under a single lock), per-device stats grow
 //! busy/stall/overlapped/idle durations, and
 //! [`ExecReport::modeled_makespan`] projects the measured counters with
-//! communication overlapped against compute for pipelined runs — which is
-//! what tightens the simulator band from 3x to 2x. The pipeline tests in
-//! `tests/pipeline.rs` assert bit-identical outputs against the synchronous
-//! schedule in both symmetry regimes, including under an injected
-//! transfer-delay hook that randomizes prefetch completion order.
+//! communication *and launch overhead* overlapped against compute for
+//! pipelined runs ([`h2_runtime::combine_terms`]: job-level dependency
+//! chaining hides launch gaps behind whichever of compute or communication
+//! dominates) — which is what tightens the simulator band from 3x to 2x.
+//! The pipeline tests in `tests/pipeline.rs` assert bit-identical outputs
+//! against the synchronous schedule in both symmetry regimes, including
+//! under an injected transfer-delay hook that randomizes prefetch
+//! completion order.
+//!
+//! ## Resident Krylov vectors
+//!
+//! [`FabricOp`] / [`UlvFabricPrecond`] carry a [`Residency`]: `Staged`
+//! (default) models the historical dataflow — the iteration vectors live in
+//! the host `KrylovWorkspace` and every apply round-trips their per-device
+//! chunks as [`TransferKind::VectorStage`] traffic — while `Resident` pins
+//! the `x`/`r`/basis shards in the device arenas across iterations, so an
+//! apply moves only the boundary gathers already internal to the sharded
+//! kernels plus one `8·(D−1)`-byte scalar allreduce per global reduction
+//! ([`resident_reduce_hook`]). The blocked reductions
+//! (`h2_solve::blocked_dot`) fix the summation tree independently of the
+//! sharding, which is what keeps the two residencies bit-identical —
+//! `tests/krylov_residency.rs` pins both the bit-identity and the exact
+//! closed-form byte totals ([`staged_apply_bytes`] /
+//! [`resident_reduce_bytes`]).
 
 pub mod exec;
 pub mod fabric;
@@ -103,8 +136,8 @@ pub use matvec::{
     MatvecSim, MatvecSimEpoch,
 };
 pub use solve::{
-    compare_solve_with_simulator, shard_ulv_solve, shard_ulv_solve_with_report, FabricOp,
-    UlvFabricPrecond,
+    compare_solve_with_simulator, resident_reduce_bytes, resident_reduce_hook, shard_ulv_solve,
+    shard_ulv_solve_with_report, staged_apply_bytes, FabricOp, Residency, UlvFabricPrecond,
 };
 pub use trace::{
     drift_construct, drift_matvec, drift_solve, export_chrome_trace, export_chrome_trace_with_spans,

@@ -27,13 +27,20 @@
 //!   predicate depends only on basis shapes), so the virtual copies for
 //!   level *l* run behind level *l+1*'s compute; the level-*l* jobs are
 //!   gated on the tickets instead of a synchronous service;
-//! * the **coupling products of all levels run in one flush scope**: every
+//! * the **whole upsweep and the coupling phase form one chain scope**
+//!   ([`DeviceFabric::chain_begin`]): jobs write the device-resident `x̂`
+//!   slot table directly (no per-level host assembly), each level's flush
+//!   records a dependency boundary instead of blocking, and level *l*'s
+//!   jobs are gated on level *l+1*'s completion tickets across devices —
+//!   per-device FIFO order covers the same-device edges;
+//! * the **coupling products of all levels continue that scope**: every
 //!   level's `x̂_t` fetches are prefetched up front, per-device jobs for
-//!   every level are enqueued on the ordered queues, and a single barrier
-//!   closes the phase — a device that finishes level *l* immediately starts
-//!   level *l+1* instead of idling at a per-level join. The phase closes as
-//!   one epoch, so the makespan projection sees `max_dev Σ_levels` instead
-//!   of `Σ_levels max_dev`;
+//!   every level are enqueued on the ordered queues, and the single real
+//!   barrier ([`DeviceFabric::chain_end`]) closes the merged region — a
+//!   device that finishes level *l* immediately starts level *l+1* instead
+//!   of idling at a per-level join. The coupling phase closes as one epoch,
+//!   so the makespan projection sees `max_dev Σ_levels` instead of
+//!   `Σ_levels max_dev`;
 //! * downsweep partial-sum descriptors are data-dependent (a parent's `ŷ`
 //!   may be empty), so they are issued at their own level — still as
 //!   prefetches the level's jobs are gated on.
@@ -126,11 +133,29 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
     };
 
     // ---- upward pass: x̂_τ, leaf level first ----
+    //
+    // `x̂` lives in one device-resident slot table the jobs write directly:
+    // no host-side assembly between levels, so on the pipelined fabric the
+    // whole upsweep *and* the coupling phase run in a single chain scope
+    // (see [`DeviceFabric::chain_begin`]) — level `l`'s jobs are gated on
+    // level `l+1`'s completion tickets across devices, the coupling jobs on
+    // the last upsweep kernel's, and one barrier closes the merged scope.
+    // Raw-slice access is sound for the same reason the construction chain
+    // is: writers and readers of any slot are ordered by tickets (cross
+    // device) or queue order (same device), and the host only touches the
+    // table after the closing barrier.
     let mut xhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+    let xhat_addr = xhat.as_mut_ptr() as usize;
+    // Per-level id lists, hoisted so chained jobs' borrows outlive the
+    // closing barrier.
+    let level_ids: Vec<Vec<usize>> = (0..tree.nlevels())
+        .map(|l| tree.level(l).collect())
+        .collect();
+    fabric.chain_begin();
     // Tickets pre-issued for the next level's gathers (pipelined only).
     let mut ahead: Option<(usize, Vec<Vec<u64>>)> = None;
     for l in (0..tree.nlevels()).rev() {
-        let ids: Vec<usize> = tree.level(l).collect();
+        let ids = &level_ids[l];
         let nl = ids.len();
         let bounds = chunk_bounds(nl, devices);
         let mut any = false;
@@ -158,23 +183,28 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
         if !any {
             continue;
         }
-        let mut results: Vec<Vec<(usize, Mat)>> = (0..devices).map(|_| Vec::new()).collect();
         {
-            let (xhat_ref, ids_ref, ph_ref) = (&xhat, &ids, &ph);
-            for (dev, slot) in results.iter_mut().enumerate() {
+            let ph_ref = &ph;
+            for dev in 0..devices {
                 let (b, e) = (bounds[dev], bounds[dev + 1]);
                 if e > b {
                     fabric.record_launches(dev, 1);
                 }
                 let job: ShardJob<'_> = Box::new(move || {
+                    // SAFETY: slot accesses are ordered by the chain's
+                    // completion tickets / queue order; each job writes only
+                    // its own chunk's ids and reads only completed children.
+                    let xh =
+                        unsafe { std::slice::from_raw_parts_mut(xhat_addr as *mut Mat, nnodes) };
                     for local in b..e {
-                        let id = ids_ref[local];
-                        if let Some(m) = ph_ref.upsweep_node(id, x.rf(), xhat_ref) {
-                            slot.push((id, m));
+                        let id = ids[local];
+                        if let Some(m) = ph_ref.upsweep_node(id, x.rf(), xh) {
+                            xh[id] = m;
                         }
                     }
                 });
-                // SAFETY: flushed below before `results`/`xhat` borrows end.
+                // SAFETY: barriered by the flush below (synchronous) or the
+                // chain scope's closing barrier before any borrow ends.
                 unsafe { fabric.enqueue(dev, &tickets[dev], job) };
             }
             // Issue the next level's gathers while this level computes.
@@ -183,20 +213,22 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
             }
             fabric.flush();
         }
-        for (id, m) in results.into_iter().flatten() {
-            xhat[id] = m;
-        }
         fabric.close_epoch(&format!("matvec upsweep L{l}"));
     }
 
     // ---- coupling products per level: ŷ_s = Σ_t op(B) x̂_t ----
     let mut yhat: Vec<Mat> = vec![Mat::zeros(0, 0); nnodes];
+    let yhat_addr = yhat.as_mut_ptr() as usize;
     if pipelined {
-        // All levels in one flush scope: prefetch every level's fetches up
-        // front, enqueue every level's per-device jobs on the ordered
-        // queues, barrier once. Levels only read the completed `xhat`, and
-        // each level's output nodes are disjoint, so per-device FIFO order
-        // reproduces the synchronous arithmetic exactly.
+        // All levels continue the upsweep's chain scope: prefetch every
+        // level's fetches up front, enqueue every level's per-device jobs on
+        // the ordered queues — gated on the upsweep's completion tickets —
+        // and let `chain_end` run the single real barrier for the merged
+        // upsweep+coupling region. Levels only read the completed `xhat`,
+        // and each level's output nodes are disjoint, so per-device FIFO
+        // order reproduces the synchronous arithmetic exactly. The planning
+        // below touches only basis shapes and the partition, never `xhat`
+        // data, so it legally proceeds while the upsweep still drains.
         struct LevelPlan {
             ids: Vec<usize>,
             bounds: Vec<usize>,
@@ -268,38 +300,42 @@ pub fn shard_matvec(fabric: &DeviceFabric, h2: &H2Matrix, x: &Mat, transpose: bo
                 fabric.arena_charge(dev, peak);
             }
         }
-        let mut results: Vec<Vec<Vec<(usize, Mat)>>> = plans
-            .iter()
-            .map(|_| (0..devices).map(|_| Vec::new()).collect())
-            .collect();
         {
-            let (xhat_ref, ph_ref) = (&xhat, &ph);
-            for (plan, res) in plans.iter().zip(results.iter_mut()) {
-                for (dev, slot) in res.iter_mut().enumerate() {
+            let ph_ref = &ph;
+            for plan in plans.iter() {
+                for dev in 0..devices {
                     let (b, e) = (plan.bounds[dev], plan.bounds[dev + 1]);
                     if e > b {
                         fabric.record_launches(dev, 1);
                     }
                     let ids_ref = &plan.ids;
                     let job: ShardJob<'_> = Box::new(move || {
+                        // SAFETY: `xhat` writers all precede these jobs in
+                        // the chain (completion tickets / queue order), and
+                        // each `yhat` slot has exactly one writer — the
+                        // node's owning level/device job.
+                        let xh =
+                            unsafe { std::slice::from_raw_parts(xhat_addr as *const Mat, nnodes) };
+                        let yh = unsafe {
+                            std::slice::from_raw_parts_mut(yhat_addr as *mut Mat, nnodes)
+                        };
                         for local in b..e {
                             let s = ids_ref[local];
-                            if let Some(m) = ph_ref.coupling_node(s, xhat_ref, d) {
-                                slot.push((s, m));
+                            if let Some(m) = ph_ref.coupling_node(s, xh, d) {
+                                yh[s] = m;
                             }
                         }
                     });
-                    // SAFETY: flushed below before `results`/`plans` drop.
+                    // SAFETY: barriered by `chain_end` below before `plans`
+                    // (and the `xhat`/`yhat` tables) drop.
                     unsafe { fabric.enqueue(dev, &plan.tickets[dev], job) };
                 }
             }
             fabric.flush();
         }
-        for res in results {
-            for (s, m) in res.into_iter().flatten() {
-                yhat[s] = m;
-            }
-        }
+        // One real barrier closes the merged upsweep+coupling region; every
+        // host-side read of `xhat`/`yhat` sits after this point.
+        fabric.chain_end();
         fabric.close_epoch("matvec coupling (overlapped)");
     } else {
         for l in 0..tree.nlevels() {
@@ -550,10 +586,13 @@ impl MatvecSim {
     }
 
     /// Project the modeled epochs through a [`DeviceModel`] with the same
-    /// formula as [`ExecReport::modeled_makespan`]: per epoch the busiest
-    /// device's compute, the communication (serialized after compute when
-    /// synchronous, overlapped when pipelined), and the per-device launch
-    /// overhead; epochs are sequential.
+    /// formula as [`ExecReport::modeled_makespan`]
+    /// ([`h2_runtime::combine_terms`]): per epoch the busiest device's
+    /// compute, the communication, and the per-device launch overhead —
+    /// summed when synchronous, mutually overlapped (max of the three) when
+    /// pipelined, since job-level dependency chaining hides launch gaps
+    /// behind whichever of compute or communication dominates; epochs are
+    /// sequential.
     pub fn makespan(&self, model: &DeviceModel) -> f64 {
         self.epochs
             .iter()
@@ -566,11 +605,12 @@ impl MatvecSim {
                 let comm = e.comm_bytes as f64 / model.link_bandwidth
                     + e.comm_messages as f64 * model.link_latency;
                 let launches_max = e.launches.iter().copied().max().unwrap_or(0);
-                let body = match self.mode {
-                    PipelineMode::Synchronous => compute_max + comm,
-                    PipelineMode::Pipelined => compute_max.max(comm),
-                };
-                body + launches_max as f64 * model.launch_overhead
+                h2_runtime::combine_terms(
+                    self.mode,
+                    compute_max,
+                    comm,
+                    launches_max as f64 * model.launch_overhead,
+                )
             })
             .sum()
     }

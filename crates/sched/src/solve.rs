@@ -39,22 +39,162 @@ use h2_dense::{LinOp, Mat, MatMut, MatRef};
 use h2_matrix::H2Matrix;
 use h2_runtime::multidev::cost;
 use h2_runtime::{
-    chunk_bounds, owner, simulate_solve_prec, DeviceModel, PipelineMode, ShardJob, SolveSpec,
+    chunk_bounds, owner, simulate_solve_prec_mode, DeviceModel, PipelineMode, ShardJob, SolveSpec,
     Transfer, TransferKind,
 };
 use h2_solve::{Preconditioner, UlvFactor};
+use std::sync::Arc;
+
+/// Where a Krylov solve's iteration vectors live between fabric applies.
+///
+/// The fabric is virtual, so both modes run identical arithmetic and
+/// produce bit-identical iterates — what changes is the modeled traffic,
+/// exactly as on real hardware:
+///
+/// * [`Residency::Staged`] — the vectors live in the host
+///   [`h2_solve::KrylovWorkspace`]; every operator or preconditioner
+///   application stages the input's per-device row chunks out and gathers
+///   the output back, `2·(n − chunk₀)·d` elements of
+///   [`TransferKind::VectorStage`] traffic per apply (device 0 doubles as
+///   the host staging slot, so its own chunk never crosses a link).
+/// * [`Residency::Resident`] — the `x`/`r`/basis shards stay pinned in the
+///   device arenas across iterations; an apply exchanges only the boundary
+///   gathers already internal to the sharded kernels, and each global
+///   dot/norm costs one `8·(D−1)`-byte scalar allreduce (wire it with
+///   [`resident_reduce_hook`]). The blocked reductions
+///   ([`h2_solve::blocked_dot`]) make the per-device partial combine
+///   bit-equal to the host arithmetic, which is what keeps the two modes'
+///   iterates identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Residency {
+    Staged,
+    Resident,
+}
+
+/// Per-apply [`TransferKind::VectorStage`] bytes of a [`Residency::Staged`]
+/// operator at shape `n × d` — the closed-form the residency tests assert
+/// against the executor's accounting, exactly.
+pub fn staged_apply_bytes(n: usize, d: usize, devices: usize, wire: h2_dense::Precision) -> u64 {
+    let bounds = chunk_bounds(n, devices);
+    (1..devices)
+        .map(|dev| 2 * ((bounds[dev + 1] - bounds[dev]) * d * wire.bytes()) as u64)
+        .sum()
+}
+
+/// Bytes of one scalar allreduce in [`Residency::Resident`] mode: every
+/// non-root device ships its 8-byte partial to device 0.
+pub fn resident_reduce_bytes(devices: usize) -> u64 {
+    8 * (devices.saturating_sub(1)) as u64
+}
+
+/// A [`h2_solve::ReduceHook`] charging the fabric one scalar allreduce
+/// ([`resident_reduce_bytes`]) per global reduction — attach it to the
+/// [`h2_solve::KrylovWorkspace`] when driving a [`Residency::Resident`]
+/// operator so the only per-iteration traffic that leaves the devices is
+/// accounted. A one-device fabric charges nothing.
+pub fn resident_reduce_hook(fabric: &Arc<DeviceFabric>) -> h2_solve::ReduceHook {
+    let fabric = fabric.clone();
+    Arc::new(move || {
+        for dev in 1..fabric.devices() {
+            fabric.record_transfer(Transfer {
+                src: dev,
+                dst: 0,
+                bytes: 8,
+                kind: TransferKind::VectorStage,
+                prec: h2_dense::Precision::F64,
+            });
+        }
+    })
+}
+
+/// Charge one staged round trip (scatter the input chunks, gather the
+/// output chunks) for an apply of an `n × d` vector block.
+fn charge_vector_stage(fabric: &DeviceFabric, n: usize, d: usize) {
+    let devices = fabric.devices();
+    let wire = fabric.wire();
+    let bounds = chunk_bounds(n, devices);
+    for dev in 1..devices {
+        let rows = bounds[dev + 1] - bounds[dev];
+        if rows == 0 {
+            continue;
+        }
+        let bytes = (rows * d * wire.bytes()) as u64;
+        for (src, dst) in [(0, dev), (dev, 0)] {
+            fabric.record_transfer(Transfer {
+                src,
+                dst,
+                bytes,
+                kind: TransferKind::VectorStage,
+                prec: wire,
+            });
+        }
+        // Staged copies of the input chunk and the output chunk coexist.
+        fabric.arena_charge(dev, 2 * rows * d * wire.bytes());
+    }
+}
+
+/// Charge the arena residency of a pinned `n × d` shard set (f64 master
+/// copies; nothing crosses a link).
+fn charge_resident_arena(fabric: &DeviceFabric, n: usize, d: usize) {
+    let devices = fabric.devices();
+    let bounds = chunk_bounds(n, devices);
+    for dev in 0..devices {
+        let rows = bounds[dev + 1] - bounds[dev];
+        if rows > 0 {
+            fabric.arena_charge(dev, rows * d * 8);
+        }
+    }
+}
 
 /// An H2 operator whose products execute sharded on a device fabric —
 /// hand this to the Krylov methods so every basis-vector product runs
 /// through [`crate::shard_matvec`]'s three sharded passes.
+///
+/// [`FabricOp::new`] models the historical dataflow ([`Residency::Staged`]:
+/// the Krylov vectors round-trip through the host workspace every apply);
+/// [`FabricOp::resident`] pins the vector shards in the device arenas and
+/// drops the staging traffic entirely.
 pub struct FabricOp<'a> {
     fabric: &'a DeviceFabric,
     h2: &'a H2Matrix,
+    residency: Residency,
 }
 
 impl<'a> FabricOp<'a> {
     pub fn new(fabric: &'a DeviceFabric, h2: &'a H2Matrix) -> Self {
-        FabricOp { fabric, h2 }
+        FabricOp {
+            fabric,
+            h2,
+            residency: Residency::Staged,
+        }
+    }
+
+    /// [`FabricOp::new`] with [`Residency::Resident`] vectors. Pair with
+    /// [`resident_reduce_hook`] on the driving workspace so the scalar
+    /// allreduces are charged too.
+    pub fn resident(fabric: &'a DeviceFabric, h2: &'a H2Matrix) -> Self {
+        FabricOp {
+            fabric,
+            h2,
+            residency: Residency::Resident,
+        }
+    }
+
+    /// Override the vector residency (builder form).
+    pub fn with_residency(mut self, residency: Residency) -> Self {
+        self.residency = residency;
+        self
+    }
+
+    pub fn residency(&self) -> Residency {
+        self.residency
+    }
+
+    fn charge_apply(&self, d: usize) {
+        match self.residency {
+            Residency::Staged => charge_vector_stage(self.fabric, self.h2.n(), d),
+            Residency::Resident => charge_resident_arena(self.fabric, self.h2.n(), 2 * d),
+        }
     }
 }
 
@@ -68,11 +208,13 @@ impl LinOp for FabricOp<'_> {
     }
 
     fn apply(&self, x: MatRef<'_>, mut y: MatMut<'_>) {
+        self.charge_apply(x.cols());
         let r = crate::shard_matvec(self.fabric, self.h2, &x.to_mat(), false);
         y.copy_from(r.rf());
     }
 
     fn apply_transpose(&self, x: MatRef<'_>, mut y: MatMut<'_>) {
+        self.charge_apply(x.cols());
         let r = crate::shard_matvec(self.fabric, self.h2, &x.to_mat(), true);
         y.copy_from(r.rf());
     }
@@ -80,15 +222,35 @@ impl LinOp for FabricOp<'_> {
 
 /// A ULV factorization applied as a preconditioner through the
 /// fabric-sharded sweep: each Krylov iteration's `M⁻¹ r` runs
-/// [`shard_ulv_solve`] instead of the in-process solve.
+/// [`shard_ulv_solve`] instead of the in-process solve. Residency follows
+/// the same contract as [`FabricOp`] (staged by default, resident via
+/// [`UlvFabricPrecond::resident`]).
 pub struct UlvFabricPrecond<'a> {
     fabric: &'a DeviceFabric,
     ulv: &'a UlvFactor,
+    residency: Residency,
 }
 
 impl<'a> UlvFabricPrecond<'a> {
     pub fn new(fabric: &'a DeviceFabric, ulv: &'a UlvFactor) -> Self {
-        UlvFabricPrecond { fabric, ulv }
+        UlvFabricPrecond {
+            fabric,
+            ulv,
+            residency: Residency::Staged,
+        }
+    }
+
+    /// [`UlvFabricPrecond::new`] with [`Residency::Resident`] vectors.
+    pub fn resident(fabric: &'a DeviceFabric, ulv: &'a UlvFactor) -> Self {
+        UlvFabricPrecond {
+            fabric,
+            ulv,
+            residency: Residency::Resident,
+        }
+    }
+
+    pub fn residency(&self) -> Residency {
+        self.residency
     }
 }
 
@@ -98,6 +260,10 @@ impl Preconditioner for UlvFabricPrecond<'_> {
     }
 
     fn apply_inv(&self, r: &Mat) -> Mat {
+        match self.residency {
+            Residency::Staged => charge_vector_stage(self.fabric, self.ulv.n(), r.cols()),
+            Residency::Resident => charge_resident_arena(self.fabric, self.ulv.n(), 2 * r.cols()),
+        }
         shard_ulv_solve(self.fabric, self.ulv, r)
     }
 }
@@ -353,16 +519,17 @@ pub fn shard_ulv_solve_with_report(
 }
 
 /// Measured-vs-simulated comparison of one sharded solve sweep against
-/// [`simulate_solve`] on the factorization's own [`SolveSpec`] — the
-/// solver arm of the simulator-equivalence suite. Byte totals must match
-/// exactly; work totals to rounding; the makespan within the documented
-/// band (the two sides place pass-up traffic in adjacent levels).
+/// [`simulate_solve_prec_mode`] on the factorization's own [`SolveSpec`],
+/// evaluated under the report's own pipeline mode — the solver arm of the
+/// simulator-equivalence suite. Byte totals must match exactly; work
+/// totals to rounding; the makespan within the documented band (the two
+/// sides place pass-up traffic in adjacent levels).
 pub fn compare_solve_with_simulator(
     report: &ExecReport,
     spec: &SolveSpec,
     model: &DeviceModel,
 ) -> SimComparison {
-    let sim = simulate_solve_prec(spec, report.devices, model, report.wire);
+    let sim = simulate_solve_prec_mode(spec, report.devices, model, report.wire, report.mode);
     SimComparison {
         measured_flop_equiv: report.flop_equiv(model.entry_cost),
         predicted_flop_equiv: sim.compute_total() * model.flops_per_sec,

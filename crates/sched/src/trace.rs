@@ -25,8 +25,9 @@
 //! [`drift_construct`] / [`drift_matvec`] / [`drift_solve`] join the
 //! measured per-epoch schedule projection
 //! ([`ExecReport::epoch_makespan`]) against the per-level predictions of
-//! `simulate_prec` / [`simulate_matvec`](crate::simulate_matvec) /
-//! `simulate_solve_prec`. The rows cover *all* measured epochs and *all*
+//! `simulate_prec_mode` / [`simulate_matvec`](crate::simulate_matvec) /
+//! `simulate_solve_prec_mode`, each evaluated under the report's own
+//! pipeline mode. The rows cover *all* measured epochs and *all*
 //! predicted levels, so the table's measured total is exactly
 //! [`ExecReport::modeled_makespan`] and its predicted total exactly the
 //! simulator makespan — which makes the per-row shares sum identically to
@@ -37,7 +38,8 @@ use crate::fabric::ExecReport;
 use crate::matvec::{MatvecSim, MatvecSimEpoch};
 use h2_obs::{ns_to_us, ChromeTrace, DriftPart, DriftRow, DriftTable, Event, Json};
 use h2_runtime::{
-    simulate_prec, simulate_solve_prec, DeviceModel, LevelSpec, PipelineMode, Precision, SolveSpec,
+    simulate_prec_mode, simulate_solve_prec_mode, DeviceModel, LevelSpec, PipelineMode, Precision,
+    SolveSpec,
 };
 
 /// Process row for host-thread tracer spans.
@@ -237,8 +239,10 @@ fn paired_table(
 }
 
 /// Drift table for a construction run: measured epochs (one per processed
-/// level plus any tail) against `simulate_prec` on the same level specs,
-/// device count and wire precision. The measured total equals
+/// level plus any tail) against `simulate_prec_mode` on the same level
+/// specs, device count, wire precision *and* pipeline mode — the mode
+/// decides how each level's three schedule terms combine
+/// ([`h2_runtime::combine_terms`]). The measured total equals
 /// [`ExecReport::modeled_makespan`] and the predicted total equals the
 /// simulator's makespan (the sum of its sequential level makespans), so
 /// [`DriftTable::ratio`] is exactly
@@ -249,7 +253,14 @@ pub fn drift_construct(
     d_samples: usize,
     model: &DeviceModel,
 ) -> DriftTable {
-    let sim = simulate_prec(specs, d_samples, report.devices, model, report.wire);
+    let sim = simulate_prec_mode(
+        specs,
+        d_samples,
+        report.devices,
+        model,
+        report.wire,
+        report.mode,
+    );
     let predicted = sim
         .levels
         .iter()
@@ -271,11 +282,12 @@ fn matvec_epoch_makespan(e: &MatvecSimEpoch, mode: PipelineMode, model: &DeviceM
     let comm =
         e.comm_bytes as f64 / model.link_bandwidth + e.comm_messages as f64 * model.link_latency;
     let launches_max = e.launches.iter().copied().max().unwrap_or(0);
-    let body = match mode {
-        PipelineMode::Synchronous => compute_max + comm,
-        PipelineMode::Pipelined => compute_max.max(comm),
-    };
-    body + launches_max as f64 * model.launch_overhead
+    h2_runtime::combine_terms(
+        mode,
+        compute_max,
+        comm,
+        launches_max as f64 * model.launch_overhead,
+    )
 }
 
 /// Drift table for a sharded matvec: measured epochs against the
@@ -292,10 +304,11 @@ pub fn drift_matvec(report: &ExecReport, sim: &MatvecSim, model: &DeviceModel) -
 }
 
 /// Drift table for a sharded ULV solve sweep: measured epochs (forward
-/// levels, root, backward levels, tail) against `simulate_solve_prec` on
-/// the factorization's own [`SolveSpec`].
+/// levels, root, backward levels, tail) against `simulate_solve_prec_mode`
+/// on the factorization's own [`SolveSpec`], under the report's own
+/// pipeline mode.
 pub fn drift_solve(report: &ExecReport, spec: &SolveSpec, model: &DeviceModel) -> DriftTable {
-    let sim = simulate_solve_prec(spec, report.devices, model, report.wire);
+    let sim = simulate_solve_prec_mode(spec, report.devices, model, report.wire, report.mode);
     let predicted = sim
         .levels
         .iter()

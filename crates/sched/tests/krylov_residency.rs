@@ -1,0 +1,150 @@
+//! Krylov vector-residency acceptance: a fabric-backed solve with
+//! device-resident vectors ([`Residency::Resident`]) must be bit-identical
+//! to the staged round-tripping dataflow ([`Residency::Staged`]) — even
+//! across pipeline modes — while its per-iteration transfer bytes strictly
+//! decrease: the `O(n)` [`TransferKind::VectorStage`] staging per apply
+//! collapses to `8·(D−1)`-byte scalar allreduces per global reduction.
+//! Both sides' `VectorStage` totals are pinned to their closed forms
+//! ([`staged_apply_bytes`] / [`resident_reduce_bytes`]) exactly.
+
+use h2_core::{sketch_construct, SketchConfig};
+use h2_kernels::{ExponentialKernel, KernelMatrix};
+use h2_matrix::H2Matrix;
+use h2_runtime::{Runtime, TransferKind};
+use h2_sched::{
+    resident_reduce_bytes, resident_reduce_hook, staged_apply_bytes, DeviceFabric, FabricOp,
+    Residency, UlvFabricPrecond,
+};
+use h2_solve::{pcg_with, IterResult, KrylovWorkspace, UlvFactor};
+use h2_tree::{Admissibility, ClusterTree, Partition};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn line_points(n: usize) -> Vec<[f64; 3]> {
+    (0..n).map(|i| [i as f64 / n as f64, 0.0, 0.0]).collect()
+}
+
+fn shift_diag(h2: &mut H2Matrix, sigma: f64) {
+    for i in 0..h2.dense.pairs.len() {
+        let (s, t) = h2.dense.pairs[i];
+        if s == t {
+            let blk = &mut h2.dense.blocks[i];
+            for j in 0..blk.rows() {
+                blk[(j, j)] += sigma;
+            }
+        }
+    }
+}
+
+fn sym_hss(n: usize, leaf: usize) -> H2Matrix {
+    let pts = line_points(n);
+    let tree = Arc::new(ClusterTree::build(&pts, leaf));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Weak));
+    let km = KernelMatrix::new(ExponentialKernel { l: 0.5 }, tree.points.clone());
+    let rt = Runtime::parallel();
+    let cfg = SketchConfig {
+        tol: 1e-9,
+        initial_samples: 64,
+        max_rank: 96,
+        ..Default::default()
+    };
+    let (mut h2, _) = sketch_construct(&km, &km, tree, part, &rt, &cfg);
+    shift_diag(&mut h2, 2.0);
+    h2
+}
+
+fn assert_bit_identical(a: &IterResult, b: &IterResult, what: &str) {
+    assert_eq!(a.iterations, b.iterations, "{what}: iteration counts");
+    assert_eq!(a.history, b.history, "{what}: residual histories");
+    assert_eq!(a.x.len(), b.x.len());
+    for (i, (xa, xb)) in a.x.iter().zip(&b.x).enumerate() {
+        assert_eq!(
+            xa.to_bits(),
+            xb.to_bits(),
+            "{what}: x[{i}] diverged bitwise"
+        );
+    }
+}
+
+#[test]
+fn resident_solve_bit_identical_and_bytes_collapse() {
+    const N: usize = 640;
+    const D: usize = 4;
+    let h2 = sym_hss(N, 32);
+    let ulv = UlvFactor::new(&h2).unwrap();
+    let b: Vec<f64> = (0..N).map(|i| 1.0 + (0.013 * i as f64).sin()).collect();
+
+    // Staged round-tripping on a synchronous fabric: every op and
+    // preconditioner apply pays the O(n) vector staging.
+    let staged_fabric = DeviceFabric::new(D);
+    let (staged, staged_report) = {
+        let op = FabricOp::new(&staged_fabric, &h2);
+        let prec = UlvFabricPrecond::new(&staged_fabric, &ulv);
+        assert_eq!(op.residency(), Residency::Staged);
+        let mut ws = KrylovWorkspace::new(N);
+        let res = pcg_with(&op, &prec, &b, 200, 1e-10, &mut ws);
+        (res, staged_fabric.report("krylov staged"))
+    };
+    assert!(staged.converged, "staged PCG stalled");
+
+    // Device-resident vectors on a *pipelined* fabric: the staging traffic
+    // disappears; each global reduction charges one scalar allreduce.
+    let resident_fabric = DeviceFabric::pipelined(D);
+    let reduce_count = Arc::new(AtomicU64::new(0));
+    let (resident, resident_report) = {
+        let op = FabricOp::resident(&resident_fabric, &h2);
+        let prec = UlvFabricPrecond::resident(&resident_fabric, &ulv);
+        assert_eq!(op.residency(), Residency::Resident);
+        let mut ws = KrylovWorkspace::new(N);
+        let inner = resident_reduce_hook(&resident_fabric);
+        let count = reduce_count.clone();
+        ws.set_reduce_hook(Some(Arc::new(move || {
+            count.fetch_add(1, Ordering::Relaxed);
+            inner();
+        })));
+        let res = pcg_with(&op, &prec, &b, 200, 1e-10, &mut ws);
+        (res, resident_fabric.report("krylov resident"))
+    };
+
+    // Same arithmetic, bit for bit — across residency AND pipeline mode.
+    assert_bit_identical(&staged, &resident, "staged vs resident");
+
+    // Staged VectorStage bytes: one full round trip per apply. PCG performs
+    // `iterations + 1` operator applies (one in the exit residual) and
+    // `iterations + 1` preconditioner applies (one before the loop).
+    let applies = 2 * (staged.iterations as u64 + 1);
+    let per_apply = staged_apply_bytes(N, 1, D, staged_fabric.wire());
+    assert!(per_apply > 0);
+    assert_eq!(
+        staged_report.bytes_of_kind(TransferKind::VectorStage),
+        applies * per_apply,
+        "staged staging bytes must equal the closed form exactly"
+    );
+
+    // Resident VectorStage bytes: one scalar allreduce per global
+    // reduction, nothing else.
+    let reductions = reduce_count.load(Ordering::Relaxed);
+    assert!(reductions > 0);
+    assert_eq!(
+        resident_report.bytes_of_kind(TransferKind::VectorStage),
+        reductions * resident_reduce_bytes(D),
+        "resident allreduce bytes must equal the closed form exactly"
+    );
+
+    // The headline: per-iteration fabric traffic strictly decreases (same
+    // iteration count on both sides, so totals compare directly) — both for
+    // the staging kind alone and for the whole solve.
+    assert!(
+        resident_report.bytes_of_kind(TransferKind::VectorStage)
+            < staged_report.bytes_of_kind(TransferKind::VectorStage),
+        "resident staging bytes must strictly decrease"
+    );
+    assert!(
+        resident_report.total_comm_bytes() < staged_report.total_comm_bytes(),
+        "resident total bytes must strictly decrease"
+    );
+
+    // One device stages nothing and reduces nothing across links.
+    assert_eq!(staged_apply_bytes(N, 1, 1, staged_fabric.wire()), 0);
+    assert_eq!(resident_reduce_bytes(1), 0);
+}

@@ -21,6 +21,13 @@ use h2_dense::{LinOp, Mat, MatMut, MatRef};
 use h2_runtime::{ArgValue, Tracer};
 use std::sync::Arc;
 
+/// Observer invoked once per global reduction (each dot product or norm a
+/// Krylov method computes). `h2_sched` wires this to a device fabric so
+/// that, when the iteration vectors are device-resident, every reduction
+/// charges its `8·(D−1)`-byte scalar allreduce — the only per-iteration
+/// traffic that leaves the devices in that mode.
+pub type ReduceHook = Arc<dyn Fn() + Send + Sync>;
+
 /// Result of a preconditioned iterative solve.
 #[derive(Clone, Debug)]
 pub struct IterResult {
@@ -61,6 +68,8 @@ pub struct KrylovWorkspace {
     /// a `krylov` span and marks each iteration with an instant carrying
     /// the running residual estimate.
     tracer: Option<Arc<Tracer>>,
+    /// Global-reduction observer (see [`ReduceHook`]); survives resizes.
+    reduce_hook: Option<ReduceHook>,
 }
 
 impl KrylovWorkspace {
@@ -82,6 +91,7 @@ impl KrylovWorkspace {
             sn: Vec::new(),
             g: Vec::new(),
             tracer: None,
+            reduce_hook: None,
         }
     }
 
@@ -102,11 +112,20 @@ impl KrylovWorkspace {
         self
     }
 
+    /// Attach (or detach) a global-reduction observer: every dot product
+    /// and norm the methods compute invokes it exactly once. Survives
+    /// workspace resizes.
+    pub fn set_reduce_hook(&mut self, hook: Option<ReduceHook>) {
+        self.reduce_hook = hook;
+    }
+
     fn ensure(&mut self, n: usize) {
         if self.n != n {
             let tracer = self.tracer.take();
+            let hook = self.reduce_hook.take();
             *self = KrylovWorkspace::new(n);
             self.tracer = tracer;
+            self.reduce_hook = hook;
         }
     }
 
@@ -154,23 +173,71 @@ fn apply_prec_into(m: &dyn Preconditioner, v: &[f64], out: &mut [f64]) {
     );
 }
 
+/// Reduction block length of [`blocked_dot`] / [`blocked_norm`]. Fixed —
+/// never derived from thread or device counts — so the summation tree is a
+/// property of the problem size alone.
+const REDUCE_BLOCK: usize = 256;
+
+/// Blocked, fixed-order dot product: partial sums accumulate within
+/// consecutive [`REDUCE_BLOCK`]-length blocks, and the block partials
+/// combine left to right. Because the grouping is independent of how a
+/// device fabric shards the vectors, a per-device partial reduction that
+/// respects the block boundaries followed by an in-order combine reproduces
+/// this value bit-for-bit — the contract `h2_sched`'s resident-vector mode
+/// (`Residency::Resident`) relies on for its `8·(D−1)`-byte scalar
+/// allreduces.
+pub fn blocked_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut i = 0;
+    while i < a.len() {
+        let e = (i + REDUCE_BLOCK).min(a.len());
+        let mut part = 0.0;
+        for k in i..e {
+            part += a[k] * b[k];
+        }
+        total += part;
+        i = e;
+    }
+    total
+}
+
+/// Blocked Euclidean norm — `sqrt` of [`blocked_dot`] of a vector with
+/// itself, sharing its reproducibility contract.
+pub fn blocked_norm(a: &[f64]) -> f64 {
+    blocked_dot(a, a).sqrt()
+}
+
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    blocked_dot(a, b)
 }
 
 fn norm(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
+    blocked_norm(a)
+}
+
+/// Pass a reduction result through the workspace's observer: `h2_sched`
+/// wires this to the fabric so each global dot/norm charges its scalar
+/// allreduce when the Krylov vectors are device-resident.
+fn counted(hook: &Option<ReduceHook>, v: f64) -> f64 {
+    if let Some(h) = hook {
+        h();
+    }
+    v
 }
 
 /// True relative residual, computed into the workspace's scratch.
-fn true_residual(a: &dyn LinOp, x: &[f64], b: &[f64], scratch: &mut [f64]) -> f64 {
+fn true_residual(
+    a: &dyn LinOp,
+    x: &[f64],
+    b: &[f64],
+    scratch: &mut [f64],
+    hook: &Option<ReduceHook>,
+) -> f64 {
     apply_op_into(a, x, scratch);
-    let mut s = 0.0;
     for i in 0..b.len() {
-        let d = b[i] - scratch[i];
-        s += d * d;
+        scratch[i] = b[i] - scratch[i];
     }
-    s.sqrt() / norm(b).max(f64::MIN_POSITIVE)
+    counted(hook, norm(scratch)) / counted(hook, norm(b)).max(f64::MIN_POSITIVE)
 }
 
 /// Preconditioned conjugate gradients for SPD `A` and SPD `M`.
@@ -209,20 +276,21 @@ pub fn pcg_with(
     assert_eq!(m.n(), n, "pcg: preconditioner dimension mismatch");
     ws.ensure(n);
     let tracer = ws.tracer.clone();
+    let hook = ws.reduce_hook.clone();
     let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "pcg"));
-    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+    let b_norm = counted(&hook, norm(b)).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
     let KrylovWorkspace { r, z, p, q: ap, .. } = ws;
     r.copy_from_slice(b);
     apply_prec_into(m, r, z);
     p.copy_from_slice(z);
-    let mut rz = dot(r, z);
+    let mut rz = counted(&hook, dot(r, z));
     let mut history = Vec::new();
     let mut iterations = 0;
 
     for _ in 0..max_iters {
-        let rn = norm(r) / b_norm;
+        let rn = counted(&hook, norm(r)) / b_norm;
         history.push(rn);
         if rn <= rtol {
             break;
@@ -230,7 +298,7 @@ pub fn pcg_with(
         iterations += 1;
         KrylovWorkspace::trace_iter(&tracer, "pcg iter", iterations, rn);
         apply_op_into(a, p, ap);
-        let denom = dot(p, ap);
+        let denom = counted(&hook, dot(p, ap));
         if denom <= 0.0 {
             break; // not SPD (numerically): bail with best effort
         }
@@ -240,7 +308,7 @@ pub fn pcg_with(
             r[i] -= alpha * ap[i];
         }
         apply_prec_into(m, r, z);
-        let rz_new = dot(r, z);
+        let rz_new = counted(&hook, dot(r, z));
         let beta = rz_new / rz;
         for i in 0..n {
             p[i] = z[i] + beta * p[i];
@@ -248,7 +316,7 @@ pub fn pcg_with(
         rz = rz_new;
     }
 
-    let relative_residual = true_residual(a, &x, b, ap);
+    let relative_residual = true_residual(a, &x, b, ap, &hook);
     IterResult {
         x,
         iterations,
@@ -296,8 +364,9 @@ pub fn gmres_with(
     ws.ensure(n);
     ws.ensure_gmres(restart);
     let tracer = ws.tracer.clone();
+    let hook = ws.reduce_hook.clone();
     let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "gmres"));
-    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+    let b_norm = counted(&hook, norm(b)).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
     let mut history = Vec::new();
@@ -321,7 +390,7 @@ pub fn gmres_with(
         for i in 0..n {
             r[i] = b[i] - r[i];
         }
-        let beta = norm(r);
+        let beta = counted(&hook, norm(r));
         history.push(beta / b_norm);
         if beta / b_norm <= rtol {
             break;
@@ -355,13 +424,13 @@ pub fn gmres_with(
             // Modified Gram-Schmidt against the stored basis.
             for i in 0..n_cols {
                 let vi = basis.col(i);
-                let hik = dot(w, vi);
+                let hik = counted(&hook, dot(w, vi));
                 hess[(i, k)] = hik;
                 for j in 0..n {
                     w[j] -= hik * vi[j];
                 }
             }
-            let wn = norm(w);
+            let wn = counted(&hook, norm(w));
             hess[(k + 1, k)] = wn;
 
             // Apply existing Givens rotations to the new column.
@@ -423,7 +492,7 @@ pub fn gmres_with(
         }
     }
 
-    let relative_residual = true_residual(a, &x, b, r);
+    let relative_residual = true_residual(a, &x, b, r, &hook);
     IterResult {
         x,
         iterations,
@@ -472,8 +541,9 @@ pub fn bicgstab_with(
     assert_eq!(a.nrows(), n, "bicgstab: dimension mismatch");
     ws.ensure(n);
     let tracer = ws.tracer.clone();
+    let hook = ws.reduce_hook.clone();
     let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "bicgstab"));
-    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+    let b_norm = counted(&hook, norm(b)).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
     let KrylovWorkspace {
@@ -498,14 +568,14 @@ pub fn bicgstab_with(
     let mut iterations = 0;
 
     for _ in 0..max_iters {
-        let rn = norm(r) / b_norm;
+        let rn = counted(&hook, norm(r)) / b_norm;
         history.push(rn);
         if rn <= rtol {
             break;
         }
         iterations += 1;
         KrylovWorkspace::trace_iter(&tracer, "bicgstab iter", iterations, rn);
-        let rho_new = dot(r0, r);
+        let rho_new = counted(&hook, dot(r0, r));
         if rho_new == 0.0 {
             break; // breakdown
         }
@@ -515,7 +585,7 @@ pub fn bicgstab_with(
         }
         apply_prec_into(m, p, phat);
         apply_op_into(a, phat, v);
-        let r0v = dot(r0, v);
+        let r0v = counted(&hook, dot(r0, v));
         if r0v == 0.0 {
             break;
         }
@@ -523,7 +593,7 @@ pub fn bicgstab_with(
         for i in 0..n {
             s[i] = r[i] - alpha * v[i];
         }
-        if norm(s) / b_norm <= rtol {
+        if counted(&hook, norm(s)) / b_norm <= rtol {
             for i in 0..n {
                 x[i] += alpha * phat[i];
             }
@@ -532,11 +602,11 @@ pub fn bicgstab_with(
         }
         apply_prec_into(m, s, shat);
         apply_op_into(a, shat, t);
-        let tt = dot(t, t);
+        let tt = counted(&hook, dot(t, t));
         if tt == 0.0 {
             break;
         }
-        omega = dot(t, s) / tt;
+        omega = counted(&hook, dot(t, s)) / tt;
         for i in 0..n {
             x[i] += alpha * phat[i] + omega * shat[i];
             r[i] = s[i] - omega * t[i];
@@ -547,7 +617,7 @@ pub fn bicgstab_with(
         rho = rho_new;
     }
 
-    let relative_residual = true_residual(a, &x, b, t);
+    let relative_residual = true_residual(a, &x, b, t, &hook);
     IterResult {
         x,
         iterations,
@@ -583,8 +653,9 @@ pub fn cgs_with(
     assert_eq!(a.nrows(), n, "cgs: dimension mismatch");
     ws.ensure(n);
     let tracer = ws.tracer.clone();
+    let hook = ws.reduce_hook.clone();
     let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "cgs"));
-    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+    let b_norm = counted(&hook, norm(b)).max(f64::MIN_POSITIVE);
 
     let mut x = vec![0.0; n];
     let KrylovWorkspace {
@@ -608,14 +679,14 @@ pub fn cgs_with(
     let mut iterations = 0;
 
     for it in 0..max_iters {
-        let rn = norm(r) / b_norm;
+        let rn = counted(&hook, norm(r)) / b_norm;
         history.push(rn);
         if rn <= rtol {
             break;
         }
         iterations += 1;
         KrylovWorkspace::trace_iter(&tracer, "cgs iter", iterations, rn);
-        let rho_new = dot(r0, r);
+        let rho_new = counted(&hook, dot(r0, r));
         if rho_new == 0.0 {
             break; // breakdown
         }
@@ -626,7 +697,7 @@ pub fn cgs_with(
         }
         apply_prec_into(m, p, hat);
         apply_op_into(a, hat, v);
-        let sigma = dot(r0, v);
+        let sigma = counted(&hook, dot(r0, v));
         if sigma == 0.0 {
             break;
         }
@@ -644,7 +715,7 @@ pub fn cgs_with(
         rho = rho_new;
     }
 
-    let relative_residual = true_residual(a, &x, b, av);
+    let relative_residual = true_residual(a, &x, b, av, &hook);
     IterResult {
         x,
         iterations,
