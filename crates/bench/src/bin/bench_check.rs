@@ -13,7 +13,10 @@
 //!   (`bytes_equal`, `sim_ratio` within the `--band` window), the
 //!   pipelined schedule never loses to the synchronous one on the same
 //!   counters, `headline_speedup_at_4plus` clears `--headline-floor`,
-//!   and (when present) the f32 wire ships at most ~half the bytes;
+//!   (when present) the f32 wire ships at most ~half the bytes, and
+//!   (when present, i.e. the bench ran with `--faults`) every
+//!   `resilience` row is `bytes_equal` against the *extended* simulator
+//!   with a finite faulted/clean makespan ratio at or above 1.0;
 //! * **`--solve`** — ULV residuals stay below 1e-10 and the batched vs
 //!   per-node schedule gap below 1e-13, ULV preconditioning never takes
 //!   more iterations than the unpreconditioned solve, every sweep row is
@@ -142,7 +145,40 @@ fn check_fabric(path: &str, headline_floor: f64, band: f64) {
             fail(&format!("{path}: worst f32/f64 byte ratio {r:.3} > 0.55"));
         }
     }
-    println!("bench_check: OK: {path} (headline {headline:.3}x, band {band:.1}x)");
+    // Resilience section (present when the bench ran with --faults): every
+    // chaos row must have reconciled with the extended simulator — charged
+    // retry bytes included — and fault handling must never make the
+    // modeled makespan *shorter* than the fault-free baseline (a ratio
+    // below 1.0 would mean work or traffic silently vanished under
+    // faults).
+    let mut resilience_rows = 0;
+    if let Some(res) = json.get("resilience").and_then(|r| r.as_array()) {
+        if res.is_empty() {
+            fail(&format!("{path}: resilience section is empty"));
+        }
+        for (i, row) in res.iter().enumerate() {
+            let kind = row.get("kind").and_then(|k| k.as_str()).unwrap_or("?");
+            let mode = row.get("mode").and_then(|m| m.as_str()).unwrap_or("?");
+            let ctx = format!("{path} resilience[{i}] ({kind}/{mode})");
+            if !boolean(row, "bytes_equal", &ctx) {
+                fail(&format!(
+                    "{ctx}: faulted bytes diverged from the extended simulator"
+                ));
+            }
+            let ratio = num(row, "makespan_ratio", &ctx);
+            if !ratio.is_finite() || ratio < 1.0 / REL_SLACK {
+                fail(&format!(
+                    "{ctx}: faulted/clean makespan ratio {ratio:.6} below 1.0"
+                ));
+            }
+            uint(row, "retries", &ctx);
+            resilience_rows = i + 1;
+        }
+    }
+    println!(
+        "bench_check: OK: {path} (headline {headline:.3}x, band {band:.1}x, \
+         {resilience_rows} resilience rows)"
+    );
 }
 
 fn check_solve(path: &str, band: f64) {

@@ -32,9 +32,18 @@
 //!   `--precision both` runs f64 and f32 back to back and reports the
 //!   byte ratio plus the comm-bound A100 D >= 4 makespan speedup.
 //!
+//! * **`--faults`** — the resilience sweep: for every `FaultKind` chaos
+//!   preset at D = 4 in both modes, the faulted construction must stay
+//!   **bit-identical** to the fault-free run and its measured bytes
+//!   (charged retries included) must equal the extended simulator
+//!   ([`h2_sched::compare_with_simulator_faulted`]); emitted as the
+//!   `resilience` section of the envelope (validated by `bench_check`),
+//!   and the `--trace` run then executes under a drop plan so the trace
+//!   carries paired fault/retry instants for `trace_check`.
+//!
 //! Usage: `fabric [--n 12288] [--n-unsym 8192] [--samples 128]
 //! [--leaf 32] [--precision f64|f32|both] [--out BENCH_fabric.json]
-//! [--trace trace.json] [--smoke]`
+//! [--trace trace.json] [--smoke] [--faults]`
 //!
 //! `--trace <path>` additionally runs one dedicated pipelined D=4
 //! construction with a live tracer attached and writes its merged Chrome
@@ -56,9 +65,9 @@ use h2_matrix::{direct_construct, DirectConfig};
 use h2_obs::Json;
 use h2_runtime::{DeviceModel, PipelineMode, Precision, Runtime};
 use h2_sched::{
-    compare_matvec_with_simulator, compare_with_simulator, export_chrome_trace_with_spans,
-    shard_construct, shard_construct_unsym, shard_matvec_with_report, DeviceFabric, ExecReport,
-    LinkModel,
+    compare_matvec_with_simulator, compare_with_simulator, compare_with_simulator_faulted,
+    export_chrome_trace_with_spans, shard_construct, shard_construct_unsym,
+    shard_matvec_with_report, DeviceFabric, ExecReport, FaultKind, FaultPlan, LinkModel,
 };
 use h2_tree::{Admissibility, ClusterTree, Partition};
 use std::sync::Arc;
@@ -145,7 +154,7 @@ fn fabric_for(devices: usize, mode: PipelineMode, prec: Precision) -> Arc<Device
 /// the merged Chrome trace written to `path`. A `<path>.expect` sidecar
 /// holds the exact cross-device byte total so `trace_check` can validate
 /// the trace against an independently recorded number.
-fn write_trace(path: &str, smoke: bool) {
+fn write_trace(path: &str, smoke: bool, faults: bool) {
     let n = if smoke { 3000 } else { 4096 };
     let pts = h2_tree::uniform_cube(n, 0xFAB7);
     let tree = Arc::new(ClusterTree::build(&pts, 16));
@@ -166,18 +175,36 @@ fn write_trace(path: &str, smoke: bool) {
         ..Default::default()
     };
     let fabric = DeviceFabric::with_config(4, PipelineMode::Pipelined, LinkModel::cpu_scale());
+    let plan = faults.then(|| Arc::new(FaultPlan::chaos(0xFA57_7ACE, FaultKind::TransferDrop)));
+    if plan.is_some() {
+        fabric.set_fault_plan(plan.clone());
+    }
     let tracer = h2_obs::Tracer::new(1 << 20);
     fabric.set_tracer(Some(tracer.clone()));
     let (h2, _, report) = shard_construct(&fabric, &sampler, &km, tree, part, &cfg);
     fabric.set_tracer(None);
     let (_, weak) = models();
-    let cmp = compare_with_simulator(&report, &level_specs(&h2), 64, &weak);
-    assert!(
-        cmp.bytes_match(),
-        "traced run must reconcile with the simulator ({} vs {})",
-        cmp.measured_bytes,
-        cmp.predicted_bytes
-    );
+    if let Some(plan) = &plan {
+        let cmp = compare_with_simulator_faulted(&report, &level_specs(&h2), 64, &weak, plan);
+        assert!(
+            cmp.bytes_match(),
+            "traced chaos run must reconcile with the extended simulator ({} vs {})",
+            cmp.base.measured_bytes,
+            cmp.predicted_bytes()
+        );
+        assert!(
+            fabric.fault_counters().retries > 0,
+            "traced chaos run produced no retries to validate"
+        );
+    } else {
+        let cmp = compare_with_simulator(&report, &level_specs(&h2), 64, &weak);
+        assert!(
+            cmp.bytes_match(),
+            "traced run must reconcile with the simulator ({} vs {})",
+            cmp.measured_bytes,
+            cmp.predicted_bytes
+        );
+    }
     let events = tracer.drain();
     let trace = export_chrome_trace_with_spans(&report, &events);
     trace.write(path).expect("write chrome trace");
@@ -191,6 +218,122 @@ fn write_trace(path: &str, smoke: bool) {
         trace.len(),
         report.total_comm_bytes()
     );
+}
+
+struct FaultRow {
+    kind: &'static str,
+    devices: usize,
+    mode: &'static str,
+    bytes_equal: bool,
+    /// Faulted over fault-free modeled makespan (weak model), same mode:
+    /// charged retry traffic can only lengthen the projection, so the
+    /// ratio must sit at or above 1.0 (within float slack).
+    makespan_ratio: f64,
+    retries: u64,
+    recoveries: u64,
+}
+
+/// The resilience sweep backing `--faults`: every chaos preset at D = 4
+/// in both modes against a fault-free baseline of the same mode. The
+/// headline claims are asserted here at generation time (bit-identity,
+/// extended-simulator byte equality) and re-checked from the envelope by
+/// `bench_check`.
+fn run_faults(smoke: bool) -> Vec<FaultRow> {
+    let n = if smoke { 1400 } else { 3000 };
+    let devices = 4;
+    let pts = h2_tree::uniform_cube(n, 0xFA57);
+    let tree = Arc::new(ClusterTree::build(&pts, 16));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+    let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+    let sampler = direct_construct(
+        &km,
+        tree.clone(),
+        part.clone(),
+        &DirectConfig {
+            tol: 1e-8,
+            ..Default::default()
+        },
+    );
+    let cfg = SketchConfig {
+        initial_samples: 64,
+        adaptive: false,
+        ..Default::default()
+    };
+    let (_, weak) = models();
+    let probe = h2_dense::gaussian_mat(n, 2, 0xFA58);
+    let mut rows = Vec::new();
+    println!("## Resilience (chaos sweep, D={devices}, N={n})\n");
+    h2_bench::header(&[
+        "kind",
+        "mode",
+        "bytes ==",
+        "makespan ratio",
+        "retries",
+        "recoveries",
+    ]);
+    for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
+        let mode_name = match mode {
+            PipelineMode::Synchronous => "sync",
+            PipelineMode::Pipelined => "pipelined",
+        };
+        let fabric = fabric_for(devices, mode, Precision::F64);
+        let (h2c, _, base_rep) =
+            shard_construct(&fabric, &sampler, &km, tree.clone(), part.clone(), &cfg);
+        let base_makespan = base_rep.modeled_makespan(&weak);
+        let want = h2c.apply_permuted_mat(&probe);
+        for kind in FaultKind::ALL {
+            let plan = Arc::new(FaultPlan::chaos(0xFA59, kind));
+            let fabric = fabric_for(devices, mode, Precision::F64);
+            fabric.set_fault_plan(Some(plan.clone()));
+            let (h2, stats, report) =
+                shard_construct(&fabric, &sampler, &km, tree.clone(), part.clone(), &cfg);
+            assert_eq!(
+                h2.apply_permuted_mat(&probe),
+                want,
+                "{} / {mode_name}: faulted construction must be bit-identical",
+                kind.name()
+            );
+            let cmp = compare_with_simulator_faulted(
+                &report,
+                &level_specs(&h2),
+                stats.total_samples,
+                &weak,
+                &plan,
+            );
+            assert!(
+                cmp.bytes_match(),
+                "{} / {mode_name}: measured {} bytes vs extended simulator {}",
+                kind.name(),
+                cmp.base.measured_bytes,
+                cmp.predicted_bytes()
+            );
+            let counters = fabric.fault_counters();
+            let row = FaultRow {
+                kind: kind.name(),
+                devices,
+                mode: mode_name,
+                bytes_equal: cmp.bytes_match(),
+                makespan_ratio: if base_makespan > 0.0 {
+                    report.modeled_makespan(&weak) / base_makespan
+                } else {
+                    1.0
+                },
+                retries: counters.retries,
+                recoveries: counters.recoveries + stats.recoveries as u64,
+            };
+            h2_bench::row(&[
+                row.kind.to_string(),
+                row.mode.to_string(),
+                row.bytes_equal.to_string(),
+                format!("{:.3}", row.makespan_ratio),
+                row.retries.to_string(),
+                row.recoveries.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    println!();
+    rows
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -404,6 +547,7 @@ fn main() {
     // model — the regime overlap exists to win (bigger N drifts
     // compute-bound, smaller N latency-bound; both converge to 1.0x).
     let smoke = args.flag("smoke");
+    let faults = args.flag("faults");
     let n: usize = args.get("n", if smoke { 3000 } else { 12288 });
     let n_unsym: usize = args.get("n-unsym", if smoke { 2200 } else { 8192 });
     let leaf: usize = args.get("leaf", if smoke { 16 } else { 32 });
@@ -442,6 +586,7 @@ fn main() {
         &precisions,
         &mut rows,
     );
+    let fault_rows = faults.then(|| run_faults(smoke));
 
     // Headline: the best pipelined-over-synchronous makespan at D >= 4.
     let headline = rows
@@ -514,6 +659,7 @@ fn main() {
             ("leaf", Json::u64(leaf as u64)),
             ("samples", Json::u64(samples as u64)),
             ("smoke", Json::Bool(smoke)),
+            ("faults", Json::Bool(faults)),
             ("link", Json::str("cpu_scale")),
             ("headline_model", Json::str("weak_compute_0.5TFs")),
             ("reference_model", Json::str("a100_10TFs")),
@@ -546,9 +692,30 @@ fn main() {
                 .collect(),
         ),
     );
+    if let Some(fault_rows) = &fault_rows {
+        rep.section(
+            "resilience",
+            Json::Arr(
+                fault_rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("kind", Json::str(r.kind)),
+                            ("devices", Json::u64(r.devices as u64)),
+                            ("mode", Json::str(r.mode)),
+                            ("bytes_equal", Json::Bool(r.bytes_equal)),
+                            ("makespan_ratio", Json::Num(r.makespan_ratio)),
+                            ("retries", Json::u64(r.retries)),
+                            ("recoveries", Json::u64(r.recoveries)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+    }
     rep.write(&out_path);
 
     if let Some(path) = args.get_opt("trace") {
-        write_trace(&path, smoke);
+        write_trace(&path, smoke, faults);
     }
 }

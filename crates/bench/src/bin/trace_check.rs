@@ -17,7 +17,16 @@
 //! 4. with `--expect-bytes N` (the `<path>.expect` sidecar written by
 //!    `fabric --trace`), the transfer-byte sum must equal `N` exactly —
 //!    the `ExecReport::total_comm_bytes` of the run that produced the
-//!    trace, itself asserted equal to the simulator prediction.
+//!    trace, itself asserted equal to the simulator prediction;
+//! 5. fault/retry pairing: every retry-staged transfer instant
+//!    (`args.stage == "retry"`) must pair one-to-one with a detected
+//!    retryable-fault instant (`cat == "fault"` named `transfer-drop` or
+//!    `transfer-corrupt`) — a chaos trace cannot show a retry that was
+//!    never charged, nor a detected drop/corruption that was never
+//!    re-shipped;
+//! 6. the `comm_bytes` payloads of the `epoch close` instants sum to the
+//!    same total as the per-transfer instants (a third independently
+//!    aggregated path: per-epoch boundary totals).
 //!
 //! Usage: `trace_check --trace trace.json [--expect-bytes N]`
 //!
@@ -53,6 +62,10 @@ fn main() {
     let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
     let mut transfer_bytes: u64 = 0;
     let mut transfer_events: usize = 0;
+    let mut retry_transfers: usize = 0;
+    let mut retryable_faults: usize = 0;
+    let mut epoch_close_bytes: u64 = 0;
+    let mut epoch_closes: usize = 0;
     let mut counter_bytes: Option<f64> = None;
     for (i, e) in events.iter().enumerate() {
         let ph = e
@@ -84,7 +97,9 @@ fn main() {
             ));
         }
         *prev = ts;
-        if e.get("cat").and_then(|c| c.as_str()) == Some("transfer") {
+        let cat = e.get("cat").and_then(|c| c.as_str());
+        let name = e.get("name").and_then(|n| n.as_str()).unwrap_or_default();
+        if cat == Some("transfer") {
             let bytes = e
                 .get("args")
                 .and_then(|a| a.get("bytes"))
@@ -92,6 +107,25 @@ fn main() {
                 .unwrap_or_else(|| fail(&format!("transfer event {i}: missing bytes payload")));
             transfer_bytes += bytes;
             transfer_events += 1;
+            if e.get("args")
+                .and_then(|a| a.get("stage"))
+                .and_then(|s| s.as_str())
+                == Some("retry")
+            {
+                retry_transfers += 1;
+            }
+        }
+        if cat == Some("fault") && (name == "transfer-drop" || name == "transfer-corrupt") {
+            retryable_faults += 1;
+        }
+        if cat == Some("fabric") && name.starts_with("epoch close") {
+            let bytes = e
+                .get("args")
+                .and_then(|a| a.get("comm_bytes"))
+                .and_then(|b| b.as_u64())
+                .unwrap_or_else(|| fail(&format!("epoch close event {i}: missing comm_bytes")));
+            epoch_close_bytes += bytes;
+            epoch_closes += 1;
         }
         if ph == "C" && e.get("name").and_then(|n| n.as_str()) == Some("comm_bytes") {
             counter_bytes = e
@@ -118,9 +152,27 @@ fn main() {
             ));
         }
     }
+    // Fault/retry pairing: the fabric emits one detected-fault instant
+    // (transfer-drop / transfer-corrupt) per failed attempt and one
+    // retry-staged re-transfer charging its bytes — the two event streams
+    // must be in bijection.
+    if retry_transfers != retryable_faults {
+        fail(&format!(
+            "{retry_transfers} retry-staged transfers != {retryable_faults} \
+             detected drop/corrupt fault instants"
+        ));
+    }
+    // Third aggregation path: per-epoch boundary totals.
+    if epoch_closes > 0 && epoch_close_bytes != transfer_bytes {
+        fail(&format!(
+            "epoch close comm_bytes sum {epoch_close_bytes} != summed transfer \
+             bytes {transfer_bytes}"
+        ));
+    }
     println!(
-        "trace_check: OK: {path} — {} events, {transfer_events} transfers, \
-         {transfer_bytes} bytes{}",
+        "trace_check: OK: {path} — {} events, {transfer_events} transfers \
+         ({retry_transfers} retries paired with {retryable_faults} faults), \
+         {epoch_closes} epoch closes, {transfer_bytes} bytes{}",
         events.len(),
         match expect_bytes {
             Some(e) => format!(" (== expected {e})"),

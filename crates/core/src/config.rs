@@ -121,6 +121,14 @@ pub struct SketchStats {
     pub launches: Vec<(&'static str, usize)>,
     /// Bytes staged through the blocked-GEMM packing buffers.
     pub pack_bytes: u64,
+    /// Per-level construction checkpoints sealed (one per processed level
+    /// on a sharded backend; 0 off-fabric). The checkpoint ledger is what
+    /// bounds device-loss recovery to replaying the in-flight level.
+    pub checkpoints: usize,
+    /// Recovery actions the construction observed: reshard-map version
+    /// changes absorbed at level checkpoints (device loss mid-construction
+    /// resumes from the last sealed level, not from scratch).
+    pub recoveries: usize,
 }
 
 impl SketchStats {

@@ -120,6 +120,50 @@ struct LevelRecord {
     skels_local: Vec<Vec<Vec<usize>>>,
 }
 
+/// One sealed per-level construction checkpoint: the finished level's
+/// identity plus the skeleton widths its bases committed into the
+/// `H2Matrix`. Sealed right after the level's fabric accounting epoch
+/// closes — and a device fail-stop is applied exactly at an epoch
+/// boundary — so a topology change can only ever interrupt the *next*,
+/// not-yet-sealed level. Recovery therefore verifies the sealed ledger
+/// intact and replays the single in-flight level by simply running it on
+/// the re-routed fabric: per-entry arithmetic is device-count-invariant,
+/// so the replayed level (and the whole construction) stays bit-identical
+/// to a fault-free run.
+struct LevelCheckpoint {
+    level: usize,
+    /// Node ids of the sealed level (level order).
+    node_ids: Vec<usize>,
+    /// Committed skeleton width per node: row side, then (unsymmetric
+    /// only) column side.
+    skel_widths: Vec<Vec<usize>>,
+}
+
+impl LevelCheckpoint {
+    fn seal(l: usize, node_ids: &[usize], h2: &H2Matrix, symmetric: bool) -> Self {
+        let mut skel_widths = vec![node_ids.iter().map(|&id| h2.skel[id].len()).collect()];
+        if !symmetric {
+            skel_widths.push(node_ids.iter().map(|&id| h2.col_skel()[id].len()).collect());
+        }
+        LevelCheckpoint {
+            level: l,
+            node_ids: node_ids.to_vec(),
+            skel_widths,
+        }
+    }
+
+    /// Assert the sealed level's committed state is still what it was at
+    /// seal time (nothing a later topology change may have clobbered).
+    fn verify(&self, h2: &H2Matrix, symmetric: bool) {
+        let fresh = LevelCheckpoint::seal(self.level, &self.node_ids, h2, symmetric);
+        assert_eq!(
+            self.skel_widths, fresh.skel_widths,
+            "construct checkpoint L{} violated after reshard",
+            self.level
+        );
+    }
+}
+
 /// Construct a symmetric H2 matrix by adaptive sketching (Algorithm 1).
 ///
 /// The degenerate one-stream instance of the engine: `V = U`, one sample
@@ -284,9 +328,30 @@ fn sketch_construct_engine(
 
     let mut records: Vec<LevelRecord> = Vec::new();
     let mut round_seed = cfg.seed.wrapping_add(0x1234_5678);
+    let mut checkpoints: Vec<LevelCheckpoint> = Vec::new();
+    let mut reshard_seen = rt
+        .shard_dispatch()
+        .map(|d| d.reshard_version())
+        .unwrap_or(0);
 
     // ---- bottom-up level loop ----
     for l in (top..=leaf_level).rev() {
+        // Device-loss recovery boundary: a fail-stop lands exactly at an
+        // epoch close, so a reshard-version change observed here means the
+        // loss interrupted *this* (in-flight) level at worst. Verify the
+        // sealed ledger, count the recovery, and proceed — running the
+        // level on the re-routed fabric IS the bounded replay.
+        if let Some(disp) = rt.shard_dispatch() {
+            let v = disp.reshard_version();
+            if v != reshard_seen {
+                reshard_seen = v;
+                for cp in &checkpoints {
+                    cp.verify(&h2, symmetric);
+                }
+                stats.recoveries += 1;
+                disp.note_recovery("construct level replay");
+            }
+        }
         let _level_span = rt.trace_span("construct", || format!("construct L{l}"));
         let node_ids: Vec<usize> = tree.level(l).collect();
         let is_leaf = l == leaf_level;
@@ -518,6 +583,15 @@ fn sketch_construct_engine(
         // off the sharded backend): per-epoch stats then line up one-to-one
         // with the `level_specs` the multi-device simulator consumes.
         rt.shard_epoch(&format!("construct L{l}"));
+
+        // Seal this level's checkpoint only after the epoch boundary — the
+        // point where a scheduled device fail-stop takes effect — so the
+        // ledger never contains a level the loss could have interrupted.
+        if rt.shard_dispatch().is_some() {
+            let rec = records.last().expect("level record just pushed");
+            checkpoints.push(LevelCheckpoint::seal(l, &rec.node_ids, &h2, symmetric));
+            stats.checkpoints += 1;
+        }
 
         if l == top {
             break;

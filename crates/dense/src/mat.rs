@@ -142,6 +142,29 @@ impl Mat {
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
+    /// First non-finite entry (NaN/±Inf) in column-major order, if any:
+    /// `(row, col, value)`. The detection primitive behind the kernel
+    /// poison tripwires — a NaN produced by one batched kernel propagates
+    /// through every downstream GEMM, so catching it at the producing
+    /// phase boundary is the only place the diagnosis is cheap.
+    pub fn find_nonfinite(&self) -> Option<(usize, usize, f64)> {
+        self.data
+            .iter()
+            .position(|v| !v.is_finite())
+            .map(|k| (k % self.rows.max(1), k / self.rows.max(1), self.data[k]))
+    }
+
+    /// Panic with a located diagnostic if any entry is non-finite. Used as
+    /// a debug-mode tripwire at phase boundaries (`ctx` names the phase).
+    pub fn assert_finite(&self, ctx: &str) {
+        if let Some((i, j, v)) = self.find_nonfinite() {
+            panic!(
+                "{ctx}: non-finite value {v} at ({i}, {j}) of {}x{}",
+                self.rows, self.cols
+            );
+        }
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Mat {
         Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
@@ -638,5 +661,51 @@ mod tests {
         let m = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
         assert!((m.norm_fro() - 5.0).abs() < 1e-14);
         assert_eq!(m.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn find_nonfinite_locates_first_in_column_major_order() {
+        let mut m = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        assert_eq!(m.find_nonfinite(), None);
+        m.assert_finite("clean");
+        m[(2, 0)] = f64::NEG_INFINITY;
+        m[(0, 1)] = f64::NAN;
+        let (i, j, v) = m.find_nonfinite().unwrap();
+        assert_eq!((i, j), (2, 0));
+        assert!(v.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "upsweep gemm")]
+    fn assert_finite_panics_with_context() {
+        let mut m = Mat::zeros(2, 2);
+        m[(1, 1)] = f64::NAN;
+        m.assert_finite("upsweep gemm");
+    }
+
+    #[test]
+    fn gemm_propagates_nan_from_one_operand_entry() {
+        // One poisoned entry in A contaminates a full output row of
+        // C = A·B — the reason tripwires must sit at the *producing*
+        // kernel's boundary, not three levels downstream.
+        let mut a = Mat::from_fn(4, 4, |i, j| 1.0 + (i * 4 + j) as f64);
+        let b = Mat::from_fn(4, 4, |i, j| 1.0 / (1.0 + (i + j) as f64));
+        a[(2, 1)] = f64::NAN;
+        let mut c = Mat::zeros(4, 4);
+        crate::gemm(
+            crate::Op::NoTrans,
+            crate::Op::NoTrans,
+            1.0,
+            a.rf(),
+            b.rf(),
+            0.0,
+            c.rm(),
+        );
+        let (i, _, _) = c.find_nonfinite().expect("NaN must propagate");
+        assert_eq!(i, 2, "poisoned row of A contaminates row 2 of C");
+        for jc in 0..4 {
+            assert!(c[(2, jc)].is_nan(), "entire output row is NaN");
+            assert!(c[(0, jc)].is_finite(), "other rows stay finite");
+        }
     }
 }

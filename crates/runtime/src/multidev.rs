@@ -16,7 +16,7 @@
 //! decomposition, and it keeps siblings (merged at line 24) on the same
 //! device except at chunk boundaries.
 
-use crate::shard::PipelineMode;
+use crate::shard::{PipelineMode, Transfer, TransferKind};
 use h2_dense::Precision;
 
 /// Combine one level's three schedule terms — busiest device's compute,
@@ -322,6 +322,103 @@ fn stream_cost(
             *comm_messages += 1;
         }
     }
+}
+
+/// Executor-granularity enumeration of one stream's cross-device
+/// transfers: the same dedup/owner/byte logic as [`stream_cost`], but
+/// emitting one [`Transfer`] descriptor per copy the fabric actually
+/// issues instead of accumulating totals. Line-24 merges emit **two**
+/// descriptors (the straddling sibling's samples and its inputs are
+/// stacked by separate `stack_children` calls), matching the executor's
+/// record stream where the simulator folds both into one
+/// `merge_bytes_p` message.
+#[allow(clippy::too_many_arguments)]
+fn stream_census(
+    rows: &[usize],
+    adj: &[Vec<usize>],
+    col_rows: &[usize],
+    merges: &[(usize, usize)],
+    d_samples: usize,
+    devices: usize,
+    wire: Precision,
+    out: &mut Vec<Transfer>,
+) {
+    let n = rows.len();
+    let mut fetched: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for (i, partners) in adj.iter().enumerate() {
+        let dev = owner(i, n, devices);
+        for &b in partners {
+            let mb = col_rows.get(b).copied().unwrap_or(0);
+            let dev_b = owner(b, col_rows.len().max(n), devices);
+            if dev_b != dev && fetched.insert((dev, b)) {
+                out.push(Transfer {
+                    src: dev_b,
+                    dst: dev,
+                    bytes: cost::fetch_bytes_p(mb, d_samples, wire),
+                    kind: TransferKind::OmegaFetch,
+                    prec: wire,
+                });
+            }
+        }
+    }
+    for &(a, b) in merges {
+        let (da, db) = (owner(a, n, devices), owner(b, n, devices));
+        if da != db {
+            let moved = rows.get(b).copied().unwrap_or(0);
+            let t = Transfer {
+                src: db,
+                dst: da,
+                bytes: cost::fetch_bytes_p(moved, d_samples, wire),
+                kind: TransferKind::ChildGather,
+                prec: wire,
+            };
+            out.push(t);
+            out.push(t);
+        }
+    }
+}
+
+/// Closed-form enumeration of every cross-device [`Transfer`] a
+/// non-adaptive construction issues — the extended simulator's input for
+/// predicting *faulted* byte totals. The multiset returned here equals the
+/// executor's transfer record multiset exactly (same owner mapping, same
+/// dedup, same byte formulas as [`stream_cost`], whose totals the
+/// equivalence tests pin to the executor), so replaying a seeded
+/// [`h2_fault::FaultPlan`] over it — fingerprint plus occurrence index per
+/// descriptor — reproduces the executor's exact retry stream, and
+/// therefore its retry bytes, without running anything.
+pub fn transfer_census(
+    levels: &[LevelSpec],
+    d_samples: usize,
+    devices: usize,
+    wire: Precision,
+) -> Vec<Transfer> {
+    let mut out = Vec::new();
+    for spec in levels {
+        stream_census(
+            &spec.rows,
+            &spec.adj,
+            &spec.col_rows,
+            &spec.merges,
+            d_samples,
+            devices,
+            wire,
+            &mut out,
+        );
+        if let Some(cs) = &spec.col_stream {
+            stream_census(
+                &cs.rows,
+                &spec.adj,
+                &spec.rows,
+                &spec.merges,
+                d_samples,
+                devices,
+                wire,
+                &mut out,
+            );
+        }
+    }
+    out
 }
 
 /// Contiguous-chunk owner of local node `i` among `n` nodes on `d` devices.

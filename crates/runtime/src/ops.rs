@@ -9,12 +9,39 @@ use crate::batch::{cost_chunk_bounds, VarBatch};
 use crate::multidev::{cost, owner};
 use crate::profile::Kernel;
 use crate::runtime::Runtime;
-use crate::shard::{chunk_bounds, ShardJob, Transfer, TransferKind};
+use crate::shard::{chunk_bounds, ShardDispatch, ShardJob, Transfer, TransferKind};
 use h2_dense::cpqr::{row_id, RowId, Truncation};
 use h2_dense::qr::qr_in_place;
 use h2_dense::{gemm, EntryAccess, Mat, MatMut, MatRef, Op};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Poison-site family of `batchedRand` columns (see [`h2_fault::poison_site`]).
+const RAND_POISON_SALT: u64 = 0x7A9D_0001;
+/// Poison-site family of `batchedGen` blocks.
+const GEN_POISON_SALT: u64 = 0x7A9D_0002;
+
+/// Debug-mode NaN tripwire at a batched-kernel phase boundary: a poisoned
+/// value must be caught and healed at its injection site (the finite
+/// checks in [`rand_mat`] / [`batched_gen`]), never propagate silently
+/// into the next phase. Host-side scan, so it only runs where the host
+/// may read the batch — the callers skip it on a sharded backend, whose
+/// chain scopes forbid reading job-written data before the barrier.
+#[cfg(debug_assertions)]
+pub(crate) fn debug_assert_batch_finite(out: &VarBatch, ctx: &str) {
+    for i in 0..out.count() {
+        let m = out.mat(i);
+        for c in 0..m.cols() {
+            for r in 0..m.rows() {
+                let v = m.at(r, c);
+                assert!(
+                    v.is_finite(),
+                    "{ctx}: non-finite value {v} at ({r}, {c}) of batch entry {i}"
+                );
+            }
+        }
+    }
+}
 
 /// Execution-cost estimate for chunking entry `i`: the kernel's modeled
 /// flops when it has any, otherwise the entry's scalar footprint (the
@@ -177,6 +204,7 @@ pub fn rand_mat(rt: &Runtime, n: usize, d: usize, seed: u64) -> Mat {
             jobs.push(Box::new(move || chunk.into_iter().for_each(run)));
         }
         disp.run(jobs);
+        poison_and_heal_rand(disp.as_ref(), &mut y, n, seed);
     } else if rt.is_parallel() {
         use rayon::prelude::*;
         cols.into_par_iter().enumerate().for_each(run);
@@ -184,6 +212,46 @@ pub fn rand_mat(rt: &Runtime, n: usize, d: usize, seed: u64) -> Mat {
         cols.into_iter().enumerate().for_each(run);
     }
     y
+}
+
+/// Kernel-poison injection + recovery for `batchedRand` under an active
+/// [`h2_fault::FaultPlan`]: the plan deterministically NaN-poisons whole
+/// columns of the freshly generated block; a finite check over every
+/// column detects the damage and each poisoned column is re-sketched by
+/// re-running its seed-derived stream — the per-column counter-based
+/// seeding makes the recompute *exact*, so the healed block is bit-
+/// identical to a fault-free run (the acceptance contract of the chaos
+/// tests; a production system would instead draw replacement columns
+/// through the adaptive incremental-sampling path). The recompute's cost
+/// is not re-charged to the accounts — recovery compute is treated as
+/// off-schedule, like the detection scans (a documented modeling
+/// simplification; the re-transfer traffic of the fabric layer *is*
+/// charged, because bytes are the trust invariant).
+fn poison_and_heal_rand(disp: &dyn ShardDispatch, y: &mut Mat, n: usize, seed: u64) {
+    let Some(plan) = disp.fault_plan() else {
+        return;
+    };
+    if plan.poison_rate <= 0.0 || n == 0 {
+        return;
+    }
+    let d = y.cols();
+    for j in 0..d {
+        let site = h2_fault::poison_site(RAND_POISON_SALT, n as u64, j as u64);
+        let occ = disp.fault_occurrence(site);
+        if plan.poison_hit(site, occ) {
+            y[(0, j)] = f64::NAN;
+        }
+    }
+    for (j, col) in y.as_mut_slice().chunks_mut(n).enumerate() {
+        if col.iter().all(|v| v.is_finite()) {
+            continue;
+        }
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(j as u64 + 1)));
+        h2_dense::rand::fill_gaussian_slice(col, &mut rng);
+        debug_assert!(col.iter().all(|v| v.is_finite()));
+        disp.note_recovery("rand_mat");
+    }
 }
 
 /// Marshal: gather row ranges of a global `n x d` matrix into a batch
@@ -354,6 +422,13 @@ pub fn gemm_at_x(rt: &Runtime, a: &[Mat], x: &VarBatch) -> VarBatch {
     batch_for_each_mut(rt, &mut out, flops, move |i, m| {
         gemm(Op::Trans, Op::NoTrans, 1.0, a[i].rf(), x.mat(i), 0.0, m);
     });
+    // Phase-boundary tripwire: upsweep outputs feed the next level's
+    // sketches, so a NaN here means a poison escaped its injection-site
+    // heal. Host-readable only off the sharded backend (chain scopes).
+    #[cfg(debug_assertions)]
+    if rt.shard_dispatch().is_none() {
+        debug_assert_batch_finite(&out, "upsweep gemm");
+    }
     out
 }
 
@@ -383,6 +458,12 @@ pub fn hcat_batches(rt: &Runtime, a: &VarBatch, b: &VarBatch) -> VarBatch {
                 .copy_from(b.mat(i));
         },
     );
+    // Phase-boundary tripwire: widened samples enter the adaptive
+    // convergence QR next; see the note in [`gemm_at_x`].
+    #[cfg(debug_assertions)]
+    if rt.shard_dispatch().is_none() {
+        debug_assert_batch_finite(&out, "sample widening hcat");
+    }
     out
 }
 
@@ -432,9 +513,51 @@ pub fn batched_gen(rt: &Runtime, gen: &dyn EntryAccess, blocks: &[GenBlock]) -> 
     for (i, m) in results.into_iter().flatten() {
         out[i] = Some(m);
     }
-    out.into_iter()
+    let mut mats: Vec<Mat> = out
+        .into_iter()
         .map(|o| o.expect("every block generated"))
-        .collect()
+        .collect();
+    poison_and_heal_gen(disp.as_ref(), gen, blocks, &mut mats);
+    mats
+}
+
+/// Kernel-poison injection + recovery for `batchedGen`, mirroring
+/// [`poison_and_heal_rand`]: whole generated blocks are NaN-poisoned by
+/// the plan, detected by a finite scan, and healed by re-evaluating the
+/// block's entries — the generator is pure, so the recompute is exact and
+/// the healed batch is bit-identical to a fault-free run. Recovery
+/// compute is off-schedule (not re-charged as `gen_entries`).
+fn poison_and_heal_gen(
+    disp: &dyn ShardDispatch,
+    gen: &dyn EntryAccess,
+    blocks: &[GenBlock],
+    out: &mut [Mat],
+) {
+    let Some(plan) = disp.fault_plan() else {
+        return;
+    };
+    if plan.poison_rate <= 0.0 {
+        return;
+    }
+    for (i, b) in blocks.iter().enumerate() {
+        let site = h2_fault::poison_site(
+            GEN_POISON_SALT,
+            i as u64,
+            ((b.rows.len() as u64) << 32) | b.cols.len() as u64,
+        );
+        let occ = disp.fault_occurrence(site);
+        if plan.poison_hit(site, occ) && !b.rows.is_empty() && !b.cols.is_empty() {
+            out[i][(0, 0)] = f64::NAN;
+        }
+    }
+    for (i, b) in blocks.iter().enumerate() {
+        if out[i].find_nonfinite().is_none() {
+            continue;
+        }
+        out[i] = gen.block_mat(&b.rows, &b.cols);
+        debug_assert!(out[i].find_nonfinite().is_none());
+        disp.note_recovery("batched_gen");
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,16 @@ impl TransferKind {
             TransferKind::VectorStage => "vector-stage",
         }
     }
+
+    /// Stable small integer used in fault-site fingerprints.
+    fn tag(self) -> u8 {
+        match self {
+            TransferKind::OmegaFetch => 0,
+            TransferKind::ChildGather => 1,
+            TransferKind::PartialSum => 2,
+            TransferKind::VectorStage => 3,
+        }
+    }
 }
 
 /// One explicit cross-device copy.
@@ -110,6 +120,25 @@ pub struct Transfer {
     /// at this width (the descriptor carries the precision so accounting
     /// and assertions can audit the wire format, not to rescale bytes).
     pub prec: Precision,
+}
+
+impl Transfer {
+    /// Fault-site fingerprint of this descriptor: the identity the
+    /// deterministic fault machinery keys its per-occurrence draws on
+    /// ([`h2_fault::transfer_fingerprint`]). Interleaving-independent —
+    /// two transfers with equal kind, endpoints, bytes, and wire precision
+    /// share a fingerprint and are told apart by occurrence index, which
+    /// is what lets a closed-form transfer census replay the executor's
+    /// exact fault stream.
+    pub fn fingerprint(&self) -> u64 {
+        h2_fault::transfer_fingerprint(
+            self.kind.tag(),
+            self.src as u64,
+            self.dst as u64,
+            self.bytes,
+            self.prec.bytes() as u8,
+        )
+    }
 }
 
 /// A unit of work bound for one virtual device's worker thread. Borrows are
@@ -324,6 +353,41 @@ pub trait ShardDispatch: Send + Sync {
     /// can never double-count bytes. No-op by default.
     fn cancel_hints(&self, stream: u8) {
         let _ = stream;
+    }
+
+    // ---- resilience (defaults describe a fault-free, statically-routed
+    // fabric, so existing dispatchers keep working unchanged) ----
+
+    /// The active fault-injection plan, if the fabric is running a seeded
+    /// chaos schedule ([`h2_fault::FaultPlan`]). Kernels consult this to
+    /// inject/detect output poison at the producing site. Default: none.
+    fn fault_plan(&self) -> Option<Arc<h2_fault::FaultPlan>> {
+        None
+    }
+
+    /// Advance and return the occurrence index of fault site `site`
+    /// (a fingerprint from [`h2_fault::poison_site`] or
+    /// [`Transfer::fingerprint`]) — the deterministic replay clock.
+    /// Default: always 0 (no occurrence tracking).
+    fn fault_occurrence(&self, site: u64) -> u32 {
+        let _ = site;
+        0
+    }
+
+    /// Version of the logical-to-physical reshard map. Bumps when a device
+    /// fail-stop makes survivors adopt the lost shard's node ownership;
+    /// the construction level loop observes a change and replays only the
+    /// in-flight level from its last sealed checkpoint. Default: 0
+    /// (static map, never resharded).
+    fn reshard_version(&self) -> u64 {
+        0
+    }
+
+    /// Record one bounded-recovery event at a named site (poison
+    /// recompute, shard adoption) for the fabric's fault counters and
+    /// trace stream. No-op by default.
+    fn note_recovery(&self, site: &str) {
+        let _ = site;
     }
 }
 

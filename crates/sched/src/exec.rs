@@ -15,8 +15,11 @@
 use crate::fabric::{DeviceFabric, ExecReport};
 use h2_core::{sketch_construct, sketch_construct_unsym, SketchConfig, SketchStats};
 use h2_dense::{EntryAccess, LinOp};
+use h2_fault::{FaultPlan, OccurrenceMap};
 use h2_matrix::H2Matrix;
-use h2_runtime::{simulate_prec_mode, DeviceModel, LevelSpec, Runtime, ShardDispatch};
+use h2_runtime::{
+    simulate_prec_mode, transfer_census, DeviceModel, LevelSpec, Runtime, ShardDispatch,
+};
 use h2_tree::{ClusterTree, Partition};
 use std::sync::Arc;
 
@@ -146,5 +149,80 @@ pub fn compare_with_simulator(
         predicted_bytes: sim.total_comm_bytes,
         measured_makespan: report.modeled_makespan(model),
         predicted_makespan: sim.makespan,
+    }
+}
+
+/// Predicted retry traffic of one faulted construction:
+/// `(retry_bytes, retry_messages)` over the executor-granularity transfer
+/// multiset of [`h2_runtime::transfer_census`], replaying the plan's
+/// per-fingerprint occurrence draws exactly as the fabric does. Because
+/// fault decisions are pure functions of `(seed, fingerprint, occurrence,
+/// attempt)` and the census enumerates the same multiset of fingerprints
+/// the executor issues, the predicted retry bytes equal the fabric's
+/// charged re-transfer bytes *exactly* — the faulted extension of the
+/// byte-equality trust invariant.
+pub fn predicted_fault_traffic(
+    specs: &[LevelSpec],
+    d_samples: usize,
+    devices: usize,
+    wire: h2_runtime::Precision,
+    plan: &FaultPlan,
+) -> (u64, usize) {
+    let mut occ = OccurrenceMap::new();
+    let (mut bytes, mut msgs) = (0u64, 0usize);
+    for t in transfer_census(specs, d_samples, devices, wire) {
+        let fp = t.fingerprint();
+        let failures = plan.failed_attempts(fp, occ.next(fp));
+        bytes += failures as u64 * t.bytes;
+        msgs += failures as usize;
+    }
+    (bytes, msgs)
+}
+
+/// [`SimComparison`] extended with the fault plan's predicted retry
+/// traffic: the executor's measured bytes (which include every charged
+/// re-transfer) are checked against `sim + retries` instead of `sim`.
+#[derive(Clone, Debug)]
+pub struct FaultComparison {
+    /// The fault-free comparison (its `predicted_bytes` excludes retries).
+    pub base: SimComparison,
+    /// Retry bytes the plan predicts over the transfer census.
+    pub predicted_retry_bytes: u64,
+    /// Retry messages the plan predicts over the transfer census.
+    pub predicted_retry_messages: usize,
+}
+
+impl FaultComparison {
+    /// Total predicted bytes including retry traffic.
+    pub fn predicted_bytes(&self) -> u64 {
+        self.base.predicted_bytes + self.predicted_retry_bytes
+    }
+
+    /// Whether the executor's byte total (retries included) exactly equals
+    /// the extended simulator's prediction.
+    pub fn bytes_match(&self) -> bool {
+        self.base.measured_bytes == self.predicted_bytes()
+    }
+}
+
+/// Compare a faulted execution report against the simulator's prediction
+/// extended with `plan`'s deterministic retry traffic. The base
+/// comparison is [`compare_with_simulator`] unchanged; on top of it the
+/// census replay predicts exactly which transfers fail how many attempts
+/// and therefore how many re-transfer bytes the fabric charged.
+pub fn compare_with_simulator_faulted(
+    report: &ExecReport,
+    specs: &[LevelSpec],
+    d_samples: usize,
+    model: &DeviceModel,
+    plan: &FaultPlan,
+) -> FaultComparison {
+    let base = compare_with_simulator(report, specs, d_samples, model);
+    let (predicted_retry_bytes, predicted_retry_messages) =
+        predicted_fault_traffic(specs, d_samples, report.devices, report.wire, plan);
+    FaultComparison {
+        base,
+        predicted_retry_bytes,
+        predicted_retry_messages,
     }
 }

@@ -51,6 +51,7 @@
 //!   stall: the communication hidden behind compute,
 //! * `idle` — the rest of the epoch's wall span.
 
+use h2_fault::{FabricError, FaultKind, FaultPlan, OccurrenceMap};
 use h2_obs::{ArgValue, Tracer};
 use h2_runtime::{
     DeviceModel, FetchKey, PipelineMode, Precision, ShardDispatch, ShardJob, Transfer, TransferKind,
@@ -58,9 +59,28 @@ use h2_runtime::{
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Poison-tolerant locking for every fabric mutex. A queued job that
+/// panics is captured on its worker and re-raised at the next barrier on
+/// the *host* thread — which can itself unwind through a lock guard (the
+/// barrier's own panic, or a caller's `catch_unwind` scope). Every
+/// critical section in this file leaves its data consistent at every exit
+/// point, so a poisoned flag is noise: clearing it (instead of
+/// `.unwrap()`-cascading a `PoisonError`) is what keeps the other device
+/// workers live and the fabric reusable after a propagated job panic —
+/// the regression tests in `tests/faults.rs` pin this down.
+trait PoisonTolerant<T> {
+    fn plock(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> PoisonTolerant<T> for Mutex<T> {
+    fn plock(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
 
 /// The virtual inter-device link the fabric emulates when servicing
 /// transfers. The default link is free (zero service time), which keeps
@@ -181,12 +201,18 @@ impl Arena {
 /// flight time (service on the virtual link + any injected delay).
 #[derive(Clone, Debug)]
 struct TransferRecord {
-    /// Prefetch ticket (0 for synchronously serviced transfers).
+    /// Prefetch ticket (0 for synchronously serviced transfers). Retry
+    /// records share their parent's ticket so hint cancellation removes
+    /// the whole attempt group.
     ticket: u64,
     epoch: usize,
     t: Transfer,
     flight_nanos: u64,
     prefetched: bool,
+    /// `true` for a charged re-transfer attempt injected by the fault
+    /// plan: same bytes as the parent, but it must not advance or unwind
+    /// occurrence counters (the parent's fingerprint owns those).
+    retry: bool,
 }
 
 /// Epoch index, transfer records and the epoch wall-clock window — one
@@ -231,6 +257,36 @@ struct CopyQueue {
     shutdown: bool,
 }
 
+/// Aggregate fault/recovery event counts over the current accounting
+/// scope (cleared by [`DeviceFabric::reset`] and when a new plan is
+/// installed). `faults` counts injected fault instants of every kind;
+/// `retries` counts charged re-transfer attempts; `recoveries` counts
+/// completed recovery actions (device adoption, poisoned-column
+/// re-sketches reported through [`ShardDispatch::note_recovery`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    pub faults: u64,
+    pub retries: u64,
+    pub recoveries: u64,
+}
+
+/// Mutable resilience state behind one mutex: the installed plan, the
+/// per-fingerprint occurrence counters that make injection replayable,
+/// the logical→physical queue routing (identity until a fail-stop), the
+/// first typed error observed, and the event counters.
+///
+/// Lock-order contract: the fault mutex is **leaf-level** — it is never
+/// acquired while the epoch log lock is held (`log → fault` would-be
+/// edges are broken by dropping the log guard first), and no other fabric
+/// lock is taken while it is held.
+struct FaultState {
+    plan: Option<Arc<FaultPlan>>,
+    occ: OccurrenceMap,
+    route: Vec<usize>,
+    error: Option<FabricError>,
+    counters: FaultCounters,
+}
+
 struct Shared {
     devices: usize,
     mode: PipelineMode,
@@ -254,6 +310,19 @@ struct Shared {
     /// the untraced hot paths pay one relaxed load, not a mutex.
     tracer: Mutex<Option<Arc<Tracer>>>,
     traced: AtomicBool,
+    /// Resilience state; `faulty` is its lock-free fast-path flag (set
+    /// while a plan is installed), mirroring the tracer's discipline so a
+    /// fault-free run pays one relaxed load per transfer.
+    fault: Mutex<FaultState>,
+    faulty: AtomicBool,
+    /// Monotone reshard-map version: bumped on every device-loss adoption
+    /// so construction drivers can detect a topology change between level
+    /// checkpoints without taking the fault lock.
+    reshard: AtomicU64,
+    /// Ticket-wait deadline in nanoseconds (0 = none). Read lock-free on
+    /// the worker hot path; turns a silent dependency hang into a typed
+    /// [`FabricError::TransferTimeout`] surfaced at the next barrier.
+    deadline_nanos: AtomicU64,
 }
 
 impl Shared {
@@ -262,7 +331,7 @@ impl Shared {
         if !self.traced.load(Ordering::Relaxed) {
             return None;
         }
-        self.tracer.lock().unwrap().clone()
+        self.tracer.plock().clone()
     }
 }
 
@@ -270,7 +339,18 @@ impl Shared {
     /// Append a transfer record under the single log lock (issue-epoch
     /// tagging is atomic with the epoch index read).
     fn log_transfer(&self, ticket: u64, t: Transfer, flight: Duration, prefetched: bool) {
-        let mut log = self.log.lock().unwrap();
+        self.log_transfer_full(ticket, t, flight, prefetched, false)
+    }
+
+    fn log_transfer_full(
+        &self,
+        ticket: u64,
+        t: Transfer,
+        flight: Duration,
+        prefetched: bool,
+        retry: bool,
+    ) {
+        let mut log = self.log.plock();
         let epoch = log.epochs.len();
         log.records.push(TransferRecord {
             ticket,
@@ -278,12 +358,32 @@ impl Shared {
             t,
             flight_nanos: flight.as_nanos() as u64,
             prefetched,
+            retry,
         });
+    }
+
+    /// Draw this transfer's fault context: the installed plan plus the
+    /// transfer's fingerprint and occurrence index (advanced atomically
+    /// under the fault lock, which is released before any logging so the
+    /// `log → fault` lock order is never reversed). One relaxed load when
+    /// no plan is installed.
+    fn begin_fault(&self, t: &Transfer) -> Option<(Arc<FaultPlan>, u64, u32)> {
+        if !self.faulty.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut fs = self.fault.plock();
+        let plan = fs.plan.clone()?;
+        if !plan.is_active() {
+            return None;
+        }
+        let fp = t.fingerprint();
+        let occ = fs.occ.next(fp);
+        Some((plan, fp, occ))
     }
 
     /// Allocate a prefetch ticket; `complete` pre-marks it done.
     fn alloc_ticket(&self, complete: bool) -> u64 {
-        let mut st = self.tickets.state.lock().unwrap();
+        let mut st = self.tickets.state.plock();
         st.done.push(complete);
         if !complete {
             st.inflight += 1;
@@ -295,14 +395,14 @@ impl Shared {
     /// worker can complete it against the allocating run even if a `reset`
     /// races in between.
     fn alloc_job_ticket(&self) -> (u64, u64) {
-        let mut st = self.tickets.state.lock().unwrap();
+        let mut st = self.tickets.state.plock();
         st.done.push(false);
         st.inflight += 1;
         (st.gen, st.done.len() as u64)
     }
 
     fn complete_ticket(&self, gen: u64, ticket: u64) {
-        let mut st = self.tickets.state.lock().unwrap();
+        let mut st = self.tickets.state.plock();
         if st.gen == gen {
             st.done[ticket as usize - 1] = true;
             st.inflight -= 1;
@@ -312,12 +412,24 @@ impl Shared {
 
     /// Block until every ticket in `deps` has completed; returns the wall
     /// time spent waiting (the exposed portion of the communication).
+    ///
+    /// When a ticket deadline is configured
+    /// ([`DeviceFabric::set_ticket_deadline`]) a dependency that has not
+    /// completed within it stops being a silent hang: the wait gives up,
+    /// records a typed [`FabricError::TransferTimeout`] and arms the
+    /// panic slot so the next barrier raises it on the host thread. The
+    /// waiter itself *proceeds* (transfers are virtual, so running the
+    /// dependent job is harmless) — giving up instead of panicking here
+    /// keeps the worker thread alive to complete its ticket, which is
+    /// what prevents the barrier from deadlocking on the very hang the
+    /// deadline just diagnosed.
     fn wait_tickets(&self, deps: &[u64]) -> Duration {
         if deps.iter().all(|&d| d == 0) {
             return Duration::ZERO;
         }
         let t0 = Instant::now();
-        let mut st = self.tickets.state.lock().unwrap();
+        let deadline = self.deadline_nanos.load(Ordering::Relaxed);
+        let mut st = self.tickets.state.plock();
         let gen = st.gen;
         loop {
             if st.gen != gen
@@ -327,9 +439,59 @@ impl Shared {
             {
                 return t0.elapsed();
             }
-            st = self.tickets.cv.wait(st).unwrap();
+            if deadline == 0 {
+                st = self.tickets.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            let budget = Duration::from_nanos(deadline);
+            let waited = t0.elapsed();
+            if waited >= budget {
+                let stuck = deps
+                    .iter()
+                    .copied()
+                    .find(|&d| d != 0 && !st.done.get(d as usize - 1).copied().unwrap_or(true))
+                    .unwrap_or(0);
+                drop(st);
+                let err = FabricError::TransferTimeout {
+                    ticket: stuck,
+                    waited_nanos: waited.as_nanos() as u64,
+                };
+                let msg = err.to_string();
+                self.fault.plock().error = Some(err);
+                let mut p = self.panicked.plock();
+                if p.is_none() {
+                    *p = Some(msg);
+                }
+                return waited;
+            }
+            st = self
+                .tickets
+                .cv
+                .wait_timeout(st, budget - waited)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
         }
     }
+}
+
+/// Extra flight time the fault plan adds to one transfer: a possible
+/// copy-engine delay spike, plus — per failed attempt — the detection
+/// latency (a dropped attempt surfaces at the plan's detect timeout; a
+/// corrupted one ships fully and is caught by the landing checksum, i.e.
+/// after `base`) and the exponential backoff before the re-issue. The
+/// re-issued attempts' own service times are carried by their retry
+/// records, so summing record flight times reproduces the full timeline
+/// without double counting.
+fn fault_flight(plan: &FaultPlan, fp: u64, occ: u32, base: Duration) -> Duration {
+    let mut extra = plan.delay_spike(fp, occ).unwrap_or(Duration::ZERO);
+    for attempt in 0..plan.failed_attempts(fp, occ) {
+        let detect = match plan.attempt_failure(fp, occ, attempt) {
+            Some(FaultKind::TransferDrop) => plan.detect_timeout,
+            _ => base,
+        };
+        extra += detect + plan.backoff(attempt);
+    }
+    extra
 }
 
 /// Sub-millisecond-accurate wait used to emulate link service time.
@@ -446,6 +608,16 @@ impl DeviceFabric {
             copy_cv: Condvar::new(),
             tracer: Mutex::new(None),
             traced: AtomicBool::new(false),
+            fault: Mutex::new(FaultState {
+                plan: None,
+                occ: OccurrenceMap::new(),
+                route: (0..devices).collect(),
+                error: None,
+                counters: FaultCounters::default(),
+            }),
+            faulty: AtomicBool::new(false),
+            reshard: AtomicU64::new(0),
+            deadline_nanos: AtomicU64::new(0),
         });
         // The virtual copy engine: one thread servicing every prefetch by
         // completion deadline (no per-transfer thread spawns).
@@ -454,14 +626,14 @@ impl DeviceFabric {
             std::thread::Builder::new()
                 .name("h2-copy-engine".to_string())
                 .spawn(move || loop {
-                    let q = sh.copy.lock().unwrap();
+                    let q = sh.copy.plock();
                     let head = q.heap.peek().copied();
                     match head {
                         None => {
                             if q.shutdown {
                                 return;
                             }
-                            drop(sh.copy_cv.wait(q).unwrap());
+                            drop(sh.copy_cv.wait(q).unwrap_or_else(|e| e.into_inner()));
                         }
                         Some(std::cmp::Reverse((deadline, gen, ticket))) => {
                             let now = Instant::now();
@@ -471,7 +643,12 @@ impl DeviceFabric {
                                 drop(q);
                                 sh.complete_ticket(gen, ticket);
                             } else {
-                                drop(sh.copy_cv.wait_timeout(q, deadline - now).unwrap().0);
+                                drop(
+                                    sh.copy_cv
+                                        .wait_timeout(q, deadline - now)
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .0,
+                                );
                             }
                         }
                     }
@@ -508,12 +685,12 @@ impl DeviceFabric {
                                     drop(span);
                                     let busy = t0.elapsed();
                                     {
-                                        let mut a = sh.accounts[dev].lock().unwrap();
+                                        let mut a = sh.accounts[dev].plock();
                                         a.busy_nanos += busy.as_nanos() as u64;
                                         a.stall_nanos += stall.as_nanos() as u64;
                                     }
                                     if result.is_err() {
-                                        let mut p = sh.panicked.lock().unwrap();
+                                        let mut p = sh.panicked.plock();
                                         if p.is_none() {
                                             *p = Some(format!("device {dev} job panicked"));
                                         }
@@ -522,7 +699,7 @@ impl DeviceFabric {
                                     // never deadlock; the panic surfaces at
                                     // the next real barrier.
                                     sh.complete_ticket(gen, ticket);
-                                    let mut done = sh.progress[dev].done.lock().unwrap();
+                                    let mut done = sh.progress[dev].done.plock();
                                     *done += 1;
                                     sh.progress[dev].cv.notify_all();
                                 }
@@ -555,7 +732,7 @@ impl DeviceFabric {
 
     /// Replace the virtual link model (affects subsequent transfers).
     pub fn set_link(&self, link: LinkModel) {
-        *self.shared.link.lock().unwrap() = link;
+        *self.shared.link.plock() = link;
     }
 
     /// Set the wire precision: the element width every cross-device block
@@ -585,7 +762,81 @@ impl DeviceFabric {
     /// Install (or clear) the injected per-transfer delay hook used by the
     /// prefetch-ordering stress tests.
     pub fn set_transfer_delay(&self, hook: Option<TransferDelay>) {
-        *self.shared.delay.lock().unwrap() = hook;
+        *self.shared.delay.plock() = hook;
+    }
+
+    /// Install (or clear) a deterministic [`FaultPlan`]. Installing resets
+    /// the occurrence counters, the reshard routing and the event
+    /// counters, so two runs under the same plan and seed inject the
+    /// identical fault sequence — the chaos tests' replayability contract.
+    /// The plan itself is configuration and survives
+    /// [`DeviceFabric::reset`] (counters and routing do not).
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        let on = plan.as_ref().is_some_and(|p| p.is_active());
+        {
+            let mut fs = self.shared.fault.plock();
+            fs.plan = plan;
+            fs.occ.clear();
+            fs.route = (0..self.shared.devices).collect();
+            fs.error = None;
+            fs.counters = FaultCounters::default();
+        }
+        self.shared.reshard.store(0, Ordering::SeqCst);
+        self.shared.faulty.store(on, Ordering::Relaxed);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        if !self.shared.faulty.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.shared.fault.plock().plan.clone()
+    }
+
+    /// Arm (or disarm with `None`) the ticket-wait deadline: a dependency
+    /// not completed within `d` surfaces as a typed
+    /// [`FabricError::TransferTimeout`] at the next barrier instead of a
+    /// silent hang. Configuration; survives [`DeviceFabric::reset`].
+    pub fn set_ticket_deadline(&self, d: Option<Duration>) {
+        let nanos = d.map(|d| (d.as_nanos() as u64).max(1)).unwrap_or(0);
+        self.shared.deadline_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Take the first typed fabric error observed since the last
+    /// [`DeviceFabric::reset`] / plan install (clearing it).
+    pub fn take_fault_error(&self) -> Option<FabricError> {
+        self.shared.fault.plock().error.take()
+    }
+
+    /// Fault/retry/recovery event counts of the current accounting scope.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.shared.fault.plock().counters
+    }
+
+    /// Monotone reshard-map version: 0 until a device loss, bumped on
+    /// every adoption. Construction drivers compare it across level
+    /// checkpoints to detect that recovery replay is needed.
+    pub fn reshard_version(&self) -> u64 {
+        self.shared.reshard.load(Ordering::SeqCst)
+    }
+
+    /// Draw the next occurrence index for a non-transfer fault site (the
+    /// kernel-poison sites in `h2_runtime::ops` key their injection and
+    /// deterministic re-sketch off this counter).
+    pub fn fault_occurrence(&self, site: u64) -> u32 {
+        if !self.shared.faulty.load(Ordering::Relaxed) {
+            return 0;
+        }
+        self.shared.fault.plock().occ.next(site)
+    }
+
+    /// Record one completed recovery action (poisoned-column re-sketch,
+    /// checkpoint replay) and emit a trace instant for it.
+    pub fn note_recovery(&self, site: &str) {
+        self.shared.fault.plock().counters.recoveries += 1;
+        if let Some(tracer) = self.shared.tracer() {
+            tracer.instant("fault", format!("recovery: {site}"), Vec::new());
+        }
     }
 
     /// Attach (or detach) an observability tracer. When attached, the
@@ -597,7 +848,7 @@ impl DeviceFabric {
     /// fabrics pay a single relaxed atomic load per hook site.
     pub fn set_tracer(&self, tracer: Option<Arc<Tracer>>) {
         let on = tracer.is_some();
-        *self.shared.tracer.lock().unwrap() = tracer;
+        *self.shared.tracer.plock() = tracer;
         self.shared.traced.store(on, Ordering::Relaxed);
     }
 
@@ -631,7 +882,7 @@ impl DeviceFabric {
         let (gen, ticket) = self.shared.alloc_job_ticket();
         let mut all_deps = deps.to_vec();
         {
-            let mut chain = self.shared.chain.lock().unwrap();
+            let mut chain = self.shared.chain.plock();
             if let Some(ch) = chain.as_mut() {
                 for (d, tickets) in ch.prev.iter().enumerate() {
                     if d != dev {
@@ -641,8 +892,13 @@ impl DeviceFabric {
                 ch.cur[dev].push(ticket);
             }
         }
-        self.workers[dev].submitted.fetch_add(1, Ordering::SeqCst);
-        self.workers[dev]
+        // Device loss: `dev` stays the *logical* device (ownership,
+        // accounting and transfer endpoints are unchanged, so byte totals
+        // still match the simulator); only the physical worker executing
+        // the queue moves to the adopter.
+        let phys = self.route_of(dev);
+        self.workers[phys].submitted.fetch_add(1, Ordering::SeqCst);
+        self.workers[phys]
             .tx
             .send(Cmd::Job {
                 deps: all_deps,
@@ -652,6 +908,16 @@ impl DeviceFabric {
             })
             .expect("device worker alive");
         ticket
+    }
+
+    /// Physical worker currently executing logical device `dev`'s queue
+    /// (identity until a fail-stop adoption; one relaxed load when no
+    /// fault plan is installed).
+    fn route_of(&self, dev: usize) -> usize {
+        if !self.shared.faulty.load(Ordering::Relaxed) {
+            return dev;
+        }
+        self.shared.fault.plock().route[dev]
     }
 
     /// Open a cross-kernel chain scope (pipelined fabrics only; a no-op in
@@ -669,7 +935,7 @@ impl DeviceFabric {
             return;
         }
         let d = self.shared.devices;
-        *self.shared.chain.lock().unwrap() = Some(ChainState {
+        *self.shared.chain.plock() = Some(ChainState {
             prev: vec![Vec::new(); d],
             cur: vec![Vec::new(); d],
         });
@@ -679,7 +945,7 @@ impl DeviceFabric {
     /// run the real barrier (safe to call with no chain open — then it is
     /// exactly [`DeviceFabric::flush`]).
     pub fn chain_end(&self) {
-        *self.shared.chain.lock().unwrap() = None;
+        *self.shared.chain.plock() = None;
         self.barrier();
     }
 
@@ -688,7 +954,7 @@ impl DeviceFabric {
     /// current-kernel ticket list is empty keep their previous tickets, so
     /// dependency transitivity survives kernels that skip a device.
     fn chain_boundary(&self) -> bool {
-        let mut chain = self.shared.chain.lock().unwrap();
+        let mut chain = self.shared.chain.plock();
         match chain.as_mut() {
             None => false,
             Some(ch) => {
@@ -729,21 +995,29 @@ impl DeviceFabric {
         let _span = tracer.as_ref().map(|t| t.span("fabric", "flush"));
         for (dev, w) in self.workers.iter().enumerate() {
             let target = w.submitted.load(Ordering::SeqCst);
-            let mut done = self.shared.progress[dev].done.lock().unwrap();
+            let mut done = self.shared.progress[dev].done.plock();
             while *done < target {
-                done = self.shared.progress[dev].cv.wait(done).unwrap();
+                done = self.shared.progress[dev]
+                    .cv
+                    .wait(done)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
-        if let Some(msg) = self.shared.panicked.lock().unwrap().take() {
+        if let Some(msg) = self.shared.panicked.plock().take() {
             panic!("a device job panicked on its worker thread: {msg}");
         }
     }
 
     /// Wait for every in-flight virtual copy to land.
     fn drain_copies(&self) {
-        let mut st = self.shared.tickets.state.lock().unwrap();
+        let mut st = self.shared.tickets.state.plock();
         while st.inflight > 0 {
-            st = self.shared.tickets.cv.wait(st).unwrap();
+            st = self
+                .shared
+                .tickets
+                .cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -764,20 +1038,29 @@ impl DeviceFabric {
 
     /// Issue a transfer as an asynchronous prefetch on the virtual copy
     /// engine and return its completion ticket. The record is tagged with
-    /// the issuing epoch; the flight time is the link service time plus any
-    /// injected delay.
+    /// the issuing epoch; the flight time is the link service time plus
+    /// any injected delay, widened by the fault plan's detection and
+    /// backoff latencies when the plan fails attempts of this transfer.
     pub fn prefetch_transfer(&self, t: Transfer) -> u64 {
-        let service = self.service_time(&t);
+        let base = self.service_time(&t);
+        let fault = self.shared.begin_fault(&t);
+        let extra = fault
+            .as_ref()
+            .map(|(plan, fp, occ)| fault_flight(plan, *fp, *occ, base))
+            .unwrap_or(Duration::ZERO);
+        let service = base + extra;
         let ticket = self.shared.alloc_ticket(service.is_zero());
         self.shared.log_transfer(ticket, t, service, true);
         self.trace_transfer(&t, true, service);
+        if let Some((plan, fp, occ)) = fault {
+            self.charge_fault_retries(ticket, &t, base, true, &plan, fp, occ);
+        }
         if !service.is_zero() {
-            let gen = self.shared.tickets.state.lock().unwrap().gen;
+            let gen = self.shared.tickets.state.plock().gen;
             let deadline = Instant::now() + service;
             self.shared
                 .copy
-                .lock()
-                .unwrap()
+                .plock()
                 .heap
                 .push(std::cmp::Reverse((deadline, gen, ticket)));
             self.shared.copy_cv.notify_all();
@@ -787,14 +1070,115 @@ impl DeviceFabric {
 
     /// Record a cross-device transfer on the explicit queue and service it
     /// inline (synchronous semantics: the copy is exposed; the wait is
-    /// charged to the destination device as stall).
+    /// charged to the destination device as stall). Fault-plan detection
+    /// and backoff latencies extend the exposed wait the same way they
+    /// extend a prefetch's flight.
     pub fn record_transfer(&self, t: Transfer) {
-        let service = self.service_time(&t);
+        let base = self.service_time(&t);
+        let fault = self.shared.begin_fault(&t);
+        let extra = fault
+            .as_ref()
+            .map(|(plan, fp, occ)| fault_flight(plan, *fp, *occ, base))
+            .unwrap_or(Duration::ZERO);
+        let service = base + extra;
         self.shared.log_transfer(0, t, service, false);
         self.trace_transfer(&t, false, service);
+        if let Some((plan, fp, occ)) = fault {
+            self.charge_fault_retries(0, &t, base, false, &plan, fp, occ);
+        }
         if !service.is_zero() {
             virtual_wait(service);
-            self.shared.accounts[t.dst].lock().unwrap().stall_nanos += service.as_nanos() as u64;
+            self.shared.accounts[t.dst].plock().stall_nanos += service.as_nanos() as u64;
+        }
+    }
+
+    /// Charge the fault plan's consequences for one issued transfer: one
+    /// extra [`TransferRecord`] per failed attempt (same bytes, same
+    /// parent ticket — the re-transfer traffic the accounts and the
+    /// extended simulator both count), a fault instant per injected
+    /// event, and the retry/fault counters. The landing checksum of the
+    /// synthetic payload is exercised in debug builds: a corrupted
+    /// attempt must be *detectable* and the final attempt must verify.
+    fn charge_fault_retries(
+        &self,
+        ticket: u64,
+        t: &Transfer,
+        base: Duration,
+        prefetched: bool,
+        plan: &FaultPlan,
+        fp: u64,
+        occ: u32,
+    ) {
+        if plan.delay_spike(fp, occ).is_some() {
+            self.note_fault(FaultKind::DelaySpike, t, 0);
+        }
+        let failures = plan.failed_attempts(fp, occ);
+        for attempt in 0..failures {
+            let kind = plan
+                .attempt_failure(fp, occ, attempt)
+                .expect("attempt counted as failed");
+            if kind == FaultKind::TransferCorrupt {
+                debug_assert!(
+                    !h2_fault::verify_landing(fp, true),
+                    "corrupted landing must fail its checksum"
+                );
+            }
+            self.shared
+                .log_transfer_full(ticket, *t, base, prefetched, true);
+            self.note_fault(kind, t, attempt);
+            self.trace_retry(t, attempt, base);
+        }
+        debug_assert!(
+            h2_fault::verify_landing(fp, false),
+            "clean landing must verify"
+        );
+        if failures > 0 {
+            self.shared.fault.plock().counters.retries += failures as u64;
+        }
+    }
+
+    /// Count one injected fault instant and emit it on the destination
+    /// device's trace track.
+    fn note_fault(&self, kind: FaultKind, t: &Transfer, attempt: u32) {
+        self.shared.fault.plock().counters.faults += 1;
+        if let Some(tracer) = self.shared.tracer() {
+            tracer.instant_on_device(
+                "fault",
+                kind.name(),
+                t.dst,
+                vec![
+                    ("bytes", ArgValue::U64(t.bytes)),
+                    ("src", ArgValue::U64(t.src as u64)),
+                    ("attempt", ArgValue::U64(attempt as u64)),
+                ],
+            );
+        }
+    }
+
+    /// Emit one re-transfer instant (category `transfer`, like every
+    /// charged copy, so trace byte reconciliation keeps summing to the
+    /// counter — distinguished by `stage: "retry"`).
+    fn trace_retry(&self, t: &Transfer, attempt: u32, service: Duration) {
+        if let Some(tracer) = self.shared.tracer() {
+            tracer.instant_on_device(
+                "transfer",
+                t.kind.name(),
+                t.dst,
+                vec![
+                    ("bytes", ArgValue::U64(t.bytes)),
+                    ("src", ArgValue::U64(t.src as u64)),
+                    (
+                        "prec",
+                        ArgValue::Str(match t.prec {
+                            Precision::F64 => "f64",
+                            Precision::F32 => "f32",
+                        }),
+                    ),
+                    ("stage", ArgValue::Str("retry")),
+                    ("flight_ns", ArgValue::U64(service.as_nanos() as u64)),
+                    ("retry", ArgValue::U64(attempt as u64 + 1)),
+                ],
+            );
         }
     }
 
@@ -827,12 +1211,11 @@ impl DeviceFabric {
     }
 
     fn service_time(&self, t: &Transfer) -> Duration {
-        let base = self.shared.link.lock().unwrap().service(t);
+        let base = self.shared.link.plock().service(t);
         let extra = self
             .shared
             .delay
-            .lock()
-            .unwrap()
+            .plock()
             .as_ref()
             .map(|h| h(t))
             .unwrap_or(Duration::ZERO);
@@ -846,18 +1229,18 @@ impl DeviceFabric {
     pub fn hint_prefetch(&self, key: FetchKey, t: Transfer) {
         let ticket = self.prefetch_transfer(t);
         {
-            let mut a = self.shared.arenas[t.dst].lock().unwrap();
+            let mut a = self.shared.arenas[t.dst].plock();
             a.ahead += t.bytes as usize;
             a.allocated_total += t.bytes as usize;
             a.bump_peaks();
         }
-        self.shared.hints.lock().unwrap().insert(key, ticket);
+        self.shared.hints.plock().insert(key, ticket);
     }
 
     /// Claim a hinted prefetch (already recorded and arena-charged), or
     /// issue a fresh one on a miss.
     pub fn claim_or_fetch(&self, key: FetchKey, t: Transfer) -> u64 {
-        if let Some(ticket) = self.shared.hints.lock().unwrap().remove(&key) {
+        if let Some(ticket) = self.shared.hints.plock().remove(&key) {
             return ticket;
         }
         let ticket = self.prefetch_transfer(t);
@@ -870,7 +1253,7 @@ impl DeviceFabric {
     /// never double-counts bytes against the simulator.
     pub fn cancel_hints(&self, stream: u8) {
         let stale: Vec<(FetchKey, u64)> = {
-            let mut hints = self.shared.hints.lock().unwrap();
+            let mut hints = self.shared.hints.plock();
             let keys: Vec<FetchKey> = hints
                 .keys()
                 .filter(|k| k.stream == stream)
@@ -887,33 +1270,49 @@ impl DeviceFabric {
             return;
         }
         let tickets: Vec<u64> = stale.iter().map(|&(_, t)| t).collect();
-        self.shared
-            .log
-            .lock()
-            .unwrap()
-            .records
-            .retain(|r| r.ticket == 0 || !tickets.contains(&r.ticket));
+        let mut removed_fps = Vec::new();
+        {
+            let mut log = self.shared.log.plock();
+            log.records.retain(|r| {
+                let keep = r.ticket == 0 || !tickets.contains(&r.ticket);
+                if !keep && !r.retry {
+                    removed_fps.push(r.t.fingerprint());
+                }
+                keep
+            });
+        }
+        // A canceled hint never happened as far as the simulator census is
+        // concerned: rewind its fingerprint's occurrence counter (retry
+        // records rode the parent's draw, so only the parent rewinds) so a
+        // later re-issue of the same transfer replays the same fault
+        // decision the census predicts for it.
+        if !removed_fps.is_empty() && self.shared.faulty.load(Ordering::Relaxed) {
+            let mut fs = self.shared.fault.plock();
+            for fp in removed_fps {
+                fs.occ.unwind(fp);
+            }
+        }
         for (k, _) in &stale {
-            let mut a = self.shared.arenas[k.dst].lock().unwrap();
+            let mut a = self.shared.arenas[k.dst].plock();
             a.ahead = a.ahead.saturating_sub(k.bytes as usize);
         }
     }
 
     pub fn record_flops(&self, dev: usize, flops: f64) {
-        self.shared.accounts[dev].lock().unwrap().flops += flops;
+        self.shared.accounts[dev].plock().flops += flops;
     }
 
     pub fn record_gen_entries(&self, dev: usize, entries: f64) {
-        self.shared.accounts[dev].lock().unwrap().gen_entries += entries;
+        self.shared.accounts[dev].plock().gen_entries += entries;
     }
 
     pub fn record_launches(&self, dev: usize, n: usize) {
-        self.shared.accounts[dev].lock().unwrap().launches += n;
+        self.shared.accounts[dev].plock().launches += n;
     }
 
     /// Charge workspace bytes to a device arena's current bank.
     pub fn arena_charge(&self, dev: usize, bytes: usize) {
-        let mut a = self.shared.arenas[dev].lock().unwrap();
+        let mut a = self.shared.arenas[dev].plock();
         a.cur += bytes;
         a.allocated_total += bytes;
         a.bump_peaks();
@@ -924,7 +1323,7 @@ impl DeviceFabric {
     /// level computes). Rotated into the current bank at the next epoch
     /// boundary.
     pub fn arena_charge_ahead(&self, dev: usize, bytes: usize) {
-        let mut a = self.shared.arenas[dev].lock().unwrap();
+        let mut a = self.shared.arenas[dev].plock();
         a.ahead += bytes;
         a.allocated_total += bytes;
         a.bump_peaks();
@@ -943,7 +1342,7 @@ impl DeviceFabric {
     /// time that did not expose as a stall, clipped to the device's
     /// non-working remainder so the tiling is an identity, not a bound.
     pub fn close_epoch(&self, label: &str) {
-        let mut log = self.shared.log.lock().unwrap();
+        let mut log = self.shared.log.plock();
         let idx = log.epochs.len();
         let window = log.window_start.elapsed();
         log.window_start = Instant::now();
@@ -957,7 +1356,7 @@ impl DeviceFabric {
             }
         }
         let taken: Vec<Account> = (0..self.shared.devices)
-            .map(|dev| std::mem::take(&mut *self.shared.accounts[dev].lock().unwrap()))
+            .map(|dev| std::mem::take(&mut *self.shared.accounts[dev].plock()))
             .collect();
         let span = taken
             .iter()
@@ -969,7 +1368,7 @@ impl DeviceFabric {
             .into_iter()
             .enumerate()
             .map(|(dev, a)| {
-                let mut ar = self.shared.arenas[dev].lock().unwrap();
+                let mut ar = self.shared.arenas[dev].plock();
                 let busy = Duration::from_nanos(a.busy_nanos);
                 let stall = Duration::from_nanos(a.stall_nanos);
                 let rest = span - busy - stall;
@@ -1017,19 +1416,71 @@ impl DeviceFabric {
             comm_messages: msgs,
             span,
         });
+        // Lock order is log → fault, never the reverse: release the log
+        // guard before the fail-stop check takes the fault lock.
+        drop(log);
+        self.maybe_fail_stop(idx);
+    }
+
+    /// Apply a scheduled device fail-stop once its epoch has closed: the
+    /// lost device's queue routing moves to the lowest surviving device,
+    /// which adopts the shard's jobs from the next enqueue on. Ownership,
+    /// accounting and transfer endpoints stay *logical* — byte totals and
+    /// simulator comparisons are untouched; what changes is which
+    /// physical worker drains the queue, which is the point of the
+    /// recovery. Skipped on single-device fabrics (nothing to adopt).
+    fn maybe_fail_stop(&self, closed_epoch: usize) {
+        let devices = self.shared.devices;
+        if devices <= 1 || !self.shared.faulty.load(Ordering::Relaxed) {
+            return;
+        }
+        let adoption = {
+            let mut fs = self.shared.fault.plock();
+            let Some(stop) = fs.plan.as_ref().and_then(|p| p.fail_stop) else {
+                return;
+            };
+            let dead = stop.device;
+            if stop.epoch != closed_epoch || dead >= devices || fs.route[dead] != dead {
+                return;
+            }
+            let adopter = (0..devices)
+                .find(|&d| d != dead && fs.route[d] == d)
+                .expect("at least one surviving device");
+            fs.route[dead] = adopter;
+            fs.counters.faults += 1;
+            fs.counters.recoveries += 1;
+            Some((dead, adopter))
+        };
+        if let Some((dead, adopter)) = adoption {
+            self.shared.reshard.fetch_add(1, Ordering::SeqCst);
+            if let Some(tracer) = self.shared.tracer() {
+                tracer.instant_on_device(
+                    "fault",
+                    FaultKind::DeviceFailStop.name(),
+                    dead,
+                    vec![("epoch", ArgValue::U64(closed_epoch as u64))],
+                );
+                tracer.instant_on_device(
+                    "fault",
+                    "reshard-adopt",
+                    adopter,
+                    vec![("adopted", ArgValue::U64(dead as u64))],
+                );
+            }
+        }
     }
 
     /// Whether any counter has accumulated since the last epoch boundary.
     fn has_open_work(&self) -> bool {
         {
-            let log = self.shared.log.lock().unwrap();
+            let log = self.shared.log.plock();
             let idx = log.epochs.len();
             if log.records.iter().any(|r| r.epoch == idx) {
                 return true;
             }
         }
         (0..self.shared.devices).any(|dev| {
-            let a = self.shared.accounts[dev].lock().unwrap();
+            let a = self.shared.accounts[dev].plock();
             a.flops > 0.0
                 || a.gen_entries > 0.0
                 || a.launches > 0
@@ -1042,19 +1493,23 @@ impl DeviceFabric {
     /// epoch under `tail_label` if work is pending. Flushes first so no job
     /// or copy is still in flight.
     pub fn report(&self, tail_label: &str) -> ExecReport {
-        *self.shared.chain.lock().unwrap() = None;
+        *self.shared.chain.plock() = None;
         self.barrier();
         self.drain_copies();
         if self.has_open_work() {
             self.close_epoch(tail_label);
         }
-        let log = self.shared.log.lock().unwrap();
+        let log = self.shared.log.plock();
         let epochs = log.epochs.clone();
-        let transfers = log.records.iter().map(|r| (r.epoch, r.t)).collect();
+        let transfers = log
+            .records
+            .iter()
+            .map(|r| (r.epoch, r.t, r.retry))
+            .collect();
         let wall = log.run_start.elapsed();
         drop(log);
         let arena_peaks = (0..self.shared.devices)
-            .map(|dev| self.shared.arenas[dev].lock().unwrap().peak_total)
+            .map(|dev| self.shared.arenas[dev].plock().peak_total)
             .collect();
         ExecReport {
             devices: self.shared.devices,
@@ -1070,23 +1525,35 @@ impl DeviceFabric {
     /// Clear all accounting (reuse the fabric for another run). Flushes and
     /// invalidates outstanding prefetch tickets first.
     pub fn reset(&self) {
-        *self.shared.chain.lock().unwrap() = None;
+        *self.shared.chain.plock() = None;
         self.barrier();
         self.drain_copies();
         for dev in 0..self.shared.devices {
-            *self.shared.accounts[dev].lock().unwrap() = Account::default();
-            *self.shared.arenas[dev].lock().unwrap() = Arena::default();
+            *self.shared.accounts[dev].plock() = Account::default();
+            *self.shared.arenas[dev].plock() = Arena::default();
             self.workers[dev].submitted.store(0, Ordering::SeqCst);
-            *self.shared.progress[dev].done.lock().unwrap() = 0;
+            *self.shared.progress[dev].done.plock() = 0;
         }
         {
-            let mut st = self.shared.tickets.state.lock().unwrap();
+            let mut st = self.shared.tickets.state.plock();
             st.gen += 1;
             st.done.clear();
             st.inflight = 0;
         }
-        self.shared.hints.lock().unwrap().clear();
-        let mut log = self.shared.log.lock().unwrap();
+        self.shared.hints.plock().clear();
+        {
+            // Accounting-scope fault state restarts with the run (the plan
+            // and ticket deadline are configuration and survive, like the
+            // wire precision), so the next run replays the identical fault
+            // sequence from occurrence zero.
+            let mut fs = self.shared.fault.plock();
+            fs.occ.clear();
+            fs.route = (0..self.shared.devices).collect();
+            fs.error = None;
+            fs.counters = FaultCounters::default();
+        }
+        self.shared.reshard.store(0, Ordering::SeqCst);
+        let mut log = self.shared.log.plock();
         log.epochs.clear();
         log.records.clear();
         log.window_start = Instant::now();
@@ -1104,9 +1571,9 @@ impl Drop for DeviceFabric {
                 let _ = h.join();
             }
         }
-        self.shared.copy.lock().unwrap().shutdown = true;
+        self.shared.copy.plock().shutdown = true;
         self.shared.copy_cv.notify_all();
-        if let Some(h) = self.copy_engine.lock().unwrap().take() {
+        if let Some(h) = self.copy_engine.plock().take() {
             let _ = h.join();
         }
     }
@@ -1185,6 +1652,22 @@ impl ShardDispatch for DeviceFabric {
     fn cancel_hints(&self, stream: u8) {
         DeviceFabric::cancel_hints(self, stream)
     }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        DeviceFabric::fault_plan(self)
+    }
+
+    fn fault_occurrence(&self, site: u64) -> u32 {
+        DeviceFabric::fault_occurrence(self, site)
+    }
+
+    fn reshard_version(&self) -> u64 {
+        DeviceFabric::reshard_version(self)
+    }
+
+    fn note_recovery(&self, site: &str) {
+        DeviceFabric::note_recovery(self, site)
+    }
 }
 
 /// Everything a sharded run recorded: per-epoch per-device timing and
@@ -1200,8 +1683,10 @@ pub struct ExecReport {
     /// transfer's `bytes`); the simulator cross-checks re-use it.
     pub wire: Precision,
     pub epochs: Vec<Epoch>,
-    /// `(issuing epoch index, transfer)` in queue order.
-    pub transfers: Vec<(usize, Transfer)>,
+    /// `(issuing epoch index, transfer, is_retry)` in queue order; retry
+    /// entries are the charged re-transfers of a fault plan (same bytes
+    /// as their parent, flagged so exporters can label them).
+    pub transfers: Vec<(usize, Transfer, bool)>,
     /// Per-device peak arena bytes over the whole run (both banks).
     pub arena_peaks: Vec<usize>,
     /// Wall-clock of the whole accounting scope (reset to report).
@@ -1234,7 +1719,7 @@ impl ExecReport {
     }
 
     pub fn total_comm_bytes(&self) -> u64 {
-        self.transfers.iter().map(|(_, t)| t.bytes).sum()
+        self.transfers.iter().map(|(_, t, _)| t.bytes).sum()
     }
 
     pub fn total_comm_messages(&self) -> usize {
@@ -1253,8 +1738,8 @@ impl ExecReport {
     pub fn bytes_of_kind(&self, kind: TransferKind) -> u64 {
         self.transfers
             .iter()
-            .filter(|(_, t)| t.kind == kind)
-            .map(|(_, t)| t.bytes)
+            .filter(|(_, t, _)| t.kind == kind)
+            .map(|(_, t, _)| t.bytes)
             .sum()
     }
 
@@ -1493,7 +1978,7 @@ mod tests {
                 fabric.enqueue(
                     i % 2,
                     &[],
-                    Box::new(move || seq_ref.lock().unwrap().push(i)) as ShardJob<'_>,
+                    Box::new(move || seq_ref.plock().push(i)) as ShardJob<'_>,
                 );
             }
         }
@@ -1555,7 +2040,7 @@ mod tests {
                 &[],
                 Box::new(move || {
                     std::thread::sleep(Duration::from_millis(20));
-                    order_ref.lock().unwrap().push("producer");
+                    order_ref.plock().push("producer");
                 }) as ShardJob<'_>,
             )
         };
@@ -1565,7 +2050,7 @@ mod tests {
             fabric.enqueue(
                 1,
                 &[t0],
-                Box::new(move || order_ref.lock().unwrap().push("consumer")) as ShardJob<'_>,
+                Box::new(move || order_ref.plock().push("consumer")) as ShardJob<'_>,
             );
         }
         fabric.flush();
@@ -1591,7 +2076,7 @@ mod tests {
                     &[],
                     Box::new(move || {
                         std::thread::sleep(Duration::from_millis(ms));
-                        order_ref.lock().unwrap().push(tag);
+                        order_ref.plock().push(tag);
                     }) as ShardJob<'_>,
                 );
             }
@@ -1605,7 +2090,7 @@ mod tests {
             fabric.enqueue(
                 1,
                 &[],
-                Box::new(move || order_ref.lock().unwrap().push("B1")) as ShardJob<'_>,
+                Box::new(move || order_ref.plock().push("B1")) as ShardJob<'_>,
             );
         }
         fabric.chain_end();

@@ -118,6 +118,48 @@
 //! `tests/krylov_residency.rs` pins both the bit-identity and the exact
 //! closed-form byte totals ([`staged_apply_bytes`] /
 //! [`resident_reduce_bytes`]).
+//!
+//! ## Resilience
+//!
+//! The fabric carries a deterministic fault-injection and bounded-recovery
+//! layer (crate [`h2_fault`]), designed so that chaos runs stay inside the
+//! trust invariant rather than suspending it:
+//!
+//! * **Deterministic injection** — [`DeviceFabric::set_fault_plan`]
+//!   installs a [`FaultPlan`]: every fault decision (transfer drop,
+//!   checksum-detectable payload corruption, copy-engine delay spike,
+//!   device fail-stop at an epoch, NaN poison in kernel output) is a pure
+//!   function of the plan's `u64` seed, the fault site's fingerprint and
+//!   its occurrence index — the same plan replays the identical fault
+//!   sequence, run after run.
+//! * **Bounded, charged retries** — a dropped attempt surfaces at the
+//!   plan's detection timeout, a corrupted one at the landing checksum;
+//!   each failed attempt is retried after exponential backoff, with its
+//!   re-transfer bytes recorded on the same queue the accounts and
+//!   simulator comparison read. [`compare_with_simulator_faulted`]
+//!   extends the byte-equality invariant: measured bytes (retries
+//!   included) must equal the census prediction of
+//!   [`predicted_fault_traffic`] *exactly*, in both fabric modes.
+//! * **Typed failures instead of hangs** —
+//!   [`DeviceFabric::set_ticket_deadline`] turns a dependency that never
+//!   completes into a [`FabricError::TransferTimeout`] raised at the next
+//!   barrier; worker job panics are captured, propagate at the barrier,
+//!   and leave the fabric reusable (all fabric locks are poison-tolerant).
+//! * **Device-loss recovery** — a scheduled fail-stop moves the lost
+//!   device's queue routing to the lowest surviving device at the epoch
+//!   boundary and bumps [`DeviceFabric::reshard_version`]; ownership and
+//!   accounting stay logical, so byte totals are unchanged while the
+//!   physical workers shrink. The construction level loop checkpoints per
+//!   level and replays only the in-flight level on a version change.
+//! * **Poison recovery** — the sketching kernels finite-check their
+//!   outputs at the poison sites and deterministically recompute exactly
+//!   the poisoned columns, reporting each repair through
+//!   [`DeviceFabric::note_recovery`].
+//!
+//! Under every seeded plan of the chaos grid in `tests/faults.rs`, the
+//! constructed `H2Matrix` is **bit-identical** to the fault-free run and
+//! the measured bytes equal the extended simulator — faults change the
+//! schedule and the traffic, never the numerics.
 
 pub mod exec;
 pub mod fabric;
@@ -126,9 +168,13 @@ pub mod solve;
 pub mod trace;
 
 pub use exec::{
-    compare_with_simulator, shard_construct, shard_construct_unsym, sharded_runtime, SimComparison,
+    compare_with_simulator, compare_with_simulator_faulted, predicted_fault_traffic,
+    shard_construct, shard_construct_unsym, sharded_runtime, FaultComparison, SimComparison,
 };
-pub use fabric::{DeviceEpochStats, DeviceFabric, Epoch, ExecReport, LinkModel, TransferDelay};
+pub use fabric::{
+    DeviceEpochStats, DeviceFabric, Epoch, ExecReport, FaultCounters, LinkModel, TransferDelay,
+};
+pub use h2_fault::{FabricError, FailStop, FaultKind, FaultPlan, OccurrenceMap};
 pub use h2_obs::{ChromeTrace, DriftTable, Registry, Tracer};
 pub use h2_runtime::{PipelineMode, Precision, Transfer, TransferKind};
 pub use matvec::{

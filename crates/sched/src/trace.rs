@@ -131,21 +131,31 @@ pub fn export_chrome_trace(report: &ExecReport) -> ChromeTrace {
         // Spread the epoch's transfers over its span so per-track
         // timestamps stay monotone; the byte payloads are the accounting
         // truth, the placement is presentational.
-        let epoch_transfers: Vec<_> = report.transfers.iter().filter(|(ep, _)| *ep == i).collect();
+        let epoch_transfers: Vec<_> = report
+            .transfers
+            .iter()
+            .filter(|(ep, _, _)| *ep == i)
+            .collect();
         let n = epoch_transfers.len();
-        for (k, (_, t)) in epoch_transfers.into_iter().enumerate() {
+        for (k, (_, t, retry)) in epoch_transfers.into_iter().enumerate() {
             let ts = t0 + span_us * (k as f64 + 1.0) / (n as f64 + 1.0);
+            let mut args = vec![
+                ("bytes", Json::u64(t.bytes)),
+                ("src", Json::u64(t.src as u64)),
+                ("prec", Json::str(prec_name(t.prec))),
+            ];
+            if *retry {
+                // Charged re-transfer of a fault plan: `trace_check` pairs
+                // these one-to-one with the detected-fault instants.
+                args.push(("stage", Json::str("retry")));
+            }
             tr.instant(
                 LINK_PID,
                 t.dst as u64,
                 "transfer",
                 t.kind.name(),
                 ts,
-                Json::obj(vec![
-                    ("bytes", Json::u64(t.bytes)),
-                    ("src", Json::u64(t.src as u64)),
-                    ("prec", Json::str(prec_name(t.prec))),
-                ]),
+                Json::obj(args),
             );
         }
         cumulative_bytes += e.comm_bytes;

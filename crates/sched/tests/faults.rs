@@ -1,0 +1,348 @@
+//! Chaos acceptance for the fault-tolerant fabric: under every seeded
+//! [`FaultPlan`] of the grid (each fault kind × device counts × both
+//! pipeline modes) the construction must complete **bit-identical** to
+//! the fault-free run, with measured bytes — retry traffic included —
+//! exactly equal to the extended simulator's prediction. Plus the typed
+//! timeout path, the panic-safety regression (fabric reusable after a
+//! propagated job panic), deterministic replay, and exact retry
+//! accounting at rate 1.0.
+
+use h2_core::{level_specs, SketchConfig};
+use h2_dense::gaussian_mat;
+use h2_kernels::{ConvectionKernel, ExponentialKernel, KernelMatrix, UnsymKernelMatrix};
+use h2_runtime::{DeviceModel, PipelineMode, Precision, Transfer, TransferKind};
+use h2_sched::{
+    compare_with_simulator_faulted, shard_construct, shard_construct_unsym, DeviceFabric,
+    FabricError, FaultKind, FaultPlan,
+};
+use h2_tree::{Admissibility, ClusterTree, Partition};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0xC4A0_5EED;
+
+fn sym_problem(
+    n: usize,
+    leaf: usize,
+    seed: u64,
+) -> (
+    Arc<ClusterTree>,
+    Arc<Partition>,
+    KernelMatrix<ExponentialKernel>,
+) {
+    let pts = h2_tree::uniform_cube(n, seed);
+    let tree = Arc::new(ClusterTree::build(&pts, leaf));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+    assert!(part.top_far_level(&tree).is_some(), "problem too small");
+    let km = KernelMatrix::new(ExponentialKernel::default(), tree.points.clone());
+    (tree, part, km)
+}
+
+fn cfg() -> SketchConfig {
+    SketchConfig {
+        initial_samples: 64,
+        ..Default::default()
+    }
+}
+
+fn fabric_for(devices: usize, mode: PipelineMode) -> Arc<DeviceFabric> {
+    match mode {
+        PipelineMode::Synchronous => DeviceFabric::new(devices),
+        PipelineMode::Pipelined => DeviceFabric::pipelined(devices),
+    }
+}
+
+/// The acceptance grid: every fault kind × D ∈ {1, 2, 4} × both modes.
+/// One fault-free baseline (results are already pinned identical across
+/// device counts and modes by `tests/pipeline.rs`) anchors bit-identity.
+#[test]
+fn chaos_grid_bit_identical_and_bytes_exact() {
+    let n = 1400;
+    let (tree, part, km) = sym_problem(n, 16, 107);
+    let model = DeviceModel::default();
+    let clean = DeviceFabric::new(1);
+    let (h2_clean, stats_clean, _) =
+        shard_construct(&clean, &km, &km, tree.clone(), part.clone(), &cfg());
+    assert_eq!(stats_clean.rounds, 0, "grid config must be non-adaptive");
+    let probe = gaussian_mat(n, 3, 108);
+    let want = h2_clean.apply_permuted_mat(&probe);
+
+    for kind in FaultKind::ALL {
+        for devices in [1usize, 2, 4] {
+            for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
+                let plan = Arc::new(FaultPlan::chaos(SEED, kind));
+                let fabric = fabric_for(devices, mode);
+                fabric.set_fault_plan(Some(plan.clone()));
+                let (h2, stats, report) =
+                    shard_construct(&fabric, &km, &km, tree.clone(), part.clone(), &cfg());
+                let ctx = format!("kind={} D={devices} mode={mode:?}", kind.name());
+
+                assert_eq!(
+                    h2.apply_permuted_mat(&probe),
+                    want,
+                    "{ctx}: faulted construction must be bit-identical to fault-free"
+                );
+
+                let cmp = compare_with_simulator_faulted(
+                    &report,
+                    &level_specs(&h2),
+                    stats.total_samples,
+                    &model,
+                    &plan,
+                );
+                assert!(
+                    cmp.bytes_match(),
+                    "{ctx}: measured {} bytes vs extended simulator {} (base {} + retries {})",
+                    cmp.base.measured_bytes,
+                    cmp.predicted_bytes(),
+                    cmp.base.predicted_bytes,
+                    cmp.predicted_retry_bytes
+                );
+
+                let counters = fabric.fault_counters();
+                match kind {
+                    FaultKind::TransferDrop | FaultKind::TransferCorrupt if devices > 1 => {
+                        assert!(
+                            counters.retries > 0,
+                            "{ctx}: a 0.2 rate over real traffic must retry at least once"
+                        );
+                        assert!(
+                            cmp.predicted_retry_bytes > 0,
+                            "{ctx}: the census must predict the same nonzero retry traffic"
+                        );
+                    }
+                    FaultKind::DeviceFailStop if devices > 1 => {
+                        assert!(
+                            fabric.reshard_version() > 0,
+                            "{ctx}: the scheduled fail-stop must reshard"
+                        );
+                        assert!(
+                            stats.recoveries >= 1,
+                            "{ctx}: the level loop must observe the reshard at a checkpoint"
+                        );
+                        assert!(
+                            stats.checkpoints > 0,
+                            "{ctx}: sharded construction must seal per-level checkpoints"
+                        );
+                    }
+                    FaultKind::KernelPoison => {
+                        assert!(
+                            counters.recoveries > 0,
+                            "{ctx}: a 0.15 poison rate over 64 columns must heal at least once"
+                        );
+                    }
+                    _ => {}
+                }
+                assert!(
+                    fabric.take_fault_error().is_none(),
+                    "{ctx}: bounded recovery must leave no terminal error"
+                );
+            }
+        }
+    }
+}
+
+/// The unsymmetric two-stream engine through the harshest transfer kind.
+#[test]
+fn chaos_unsym_drop_bit_identical() {
+    let n = 700;
+    let pts = h2_tree::uniform_cube(n, 109);
+    let tree = Arc::new(ClusterTree::build(&pts, 16));
+    let part = Arc::new(Partition::build(&tree, Admissibility::Strong { eta: 0.7 }));
+    let km = UnsymKernelMatrix::new(ConvectionKernel::default(), tree.points.clone());
+    let clean = DeviceFabric::new(1);
+    let (h2c, _, _) = shard_construct_unsym(&clean, &km, &km, tree.clone(), part.clone(), &cfg());
+    let probe = gaussian_mat(n, 2, 110);
+    let want = h2c.apply_permuted_mat(&probe);
+    let model = DeviceModel::default();
+    for mode in [PipelineMode::Synchronous, PipelineMode::Pipelined] {
+        let plan = Arc::new(FaultPlan::chaos(SEED ^ 1, FaultKind::TransferDrop));
+        let fabric = fabric_for(4, mode);
+        fabric.set_fault_plan(Some(plan.clone()));
+        let (h2, stats, report) =
+            shard_construct_unsym(&fabric, &km, &km, tree.clone(), part.clone(), &cfg());
+        assert_eq!(h2.apply_permuted_mat(&probe), want, "mode={mode:?}");
+        let cmp = compare_with_simulator_faulted(
+            &report,
+            &level_specs(&h2),
+            stats.total_samples,
+            &model,
+            &plan,
+        );
+        assert!(
+            cmp.bytes_match(),
+            "mode={mode:?}: measured {} vs predicted {}",
+            cmp.base.measured_bytes,
+            cmp.predicted_bytes()
+        );
+        assert!(cmp.predicted_retry_bytes > 0);
+    }
+}
+
+/// Two runs under the same plan replay the identical fault sequence:
+/// byte-for-byte equal traffic and equal event counters.
+#[test]
+fn fault_injection_replays_deterministically() {
+    let (tree, part, km) = sym_problem(600, 16, 111);
+    let run = || {
+        let fabric = DeviceFabric::pipelined(2);
+        fabric.set_fault_plan(Some(Arc::new(FaultPlan::chaos(
+            SEED ^ 2,
+            FaultKind::TransferCorrupt,
+        ))));
+        let (_, _, report) = shard_construct(&fabric, &km, &km, tree.clone(), part.clone(), &cfg());
+        (
+            report.total_comm_bytes(),
+            report.total_comm_messages(),
+            fabric.fault_counters(),
+        )
+    };
+    let (b1, m1, c1) = run();
+    let (b2, m2, c2) = run();
+    assert_eq!(b1, b2, "replayed byte totals must be identical");
+    assert_eq!(m1, m2, "replayed message counts must be identical");
+    assert_eq!(c1, c2, "replayed fault counters must be identical");
+}
+
+/// Exact retry arithmetic: at drop rate 1.0 with `max_retries = 2` every
+/// transfer fails attempts 0 and 1 and succeeds on attempt 2, so the
+/// queue carries exactly 3x the bytes and the retry counter 2 per
+/// transfer — in both service paths (inline and prefetched).
+#[test]
+fn retry_accounting_is_exact_at_rate_one() {
+    let t = Transfer {
+        src: 0,
+        dst: 1,
+        bytes: 4096,
+        kind: TransferKind::OmegaFetch,
+        prec: Precision::F64,
+    };
+    for prefetched in [false, true] {
+        let fabric = DeviceFabric::new(2);
+        fabric.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(SEED ^ 3).with_drops(1.0).with_max_retries(2),
+        )));
+        if prefetched {
+            let _ticket = fabric.prefetch_transfer(t);
+        } else {
+            fabric.record_transfer(t);
+        }
+        let report = fabric.report("retry accounting");
+        assert_eq!(
+            report.total_comm_bytes(),
+            3 * t.bytes,
+            "prefetched={prefetched}: original + 2 charged retries"
+        );
+        assert_eq!(report.total_comm_messages(), 3);
+        let counters = fabric.fault_counters();
+        assert_eq!(counters.retries, 2);
+        assert_eq!(counters.faults, 2);
+    }
+}
+
+/// A dependency that outlives the armed ticket deadline surfaces as a
+/// typed [`FabricError::TransferTimeout`] at the barrier — and the
+/// fabric stays fully usable afterwards.
+#[test]
+fn ticket_deadline_turns_hang_into_typed_error() {
+    let fabric = DeviceFabric::pipelined(2);
+    fabric.set_transfer_delay(Some(Arc::new(|_: &Transfer| Duration::from_millis(80))));
+    fabric.set_ticket_deadline(Some(Duration::from_millis(5)));
+    let t = Transfer {
+        src: 0,
+        dst: 1,
+        bytes: 1 << 20,
+        kind: TransferKind::OmegaFetch,
+        prec: Precision::F64,
+    };
+    let ticket = fabric.prefetch_transfer(t);
+    assert_ne!(ticket, 0);
+    let ran = AtomicUsize::new(0);
+    // SAFETY: the barrier in the catch_unwind below (and the reset after)
+    // runs before `ran` leaves scope.
+    unsafe {
+        fabric.enqueue(1, &[ticket], {
+            let ran = &ran;
+            Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+    }
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fabric.flush()));
+    assert!(err.is_err(), "the timeout must surface at the barrier");
+    match fabric.take_fault_error() {
+        Some(FabricError::TransferTimeout {
+            ticket: stuck,
+            waited_nanos,
+        }) => {
+            assert_eq!(stuck, ticket);
+            assert!(
+                waited_nanos >= 5_000_000,
+                "must have waited the deadline out"
+            );
+        }
+        other => panic!("expected TransferTimeout, got {other:?}"),
+    }
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        1,
+        "the dependent job proceeds after diagnosis (virtual transfer)"
+    );
+    // Reusable: a fresh accounting scope runs cleanly.
+    fabric.set_transfer_delay(None);
+    fabric.set_ticket_deadline(None);
+    fabric.reset();
+    let hits = AtomicUsize::new(0);
+    fabric.run_jobs(
+        (0..2)
+            .map(|_| {
+                Box::new(|| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as h2_runtime::ShardJob<'_>
+            })
+            .collect(),
+    );
+    assert_eq!(hits.load(Ordering::SeqCst), 2);
+    assert!(fabric.take_fault_error().is_none());
+}
+
+/// Panic-safety regression: a deliberately panicking kernel closure in a
+/// pipelined chain scope propagates at the barrier, and the fabric —
+/// every lock crossed by the unwinding host thread included — stays
+/// usable: reset, rerun, report.
+#[test]
+fn panicking_job_leaves_fabric_reusable() {
+    let fabric = DeviceFabric::pipelined(2);
+    for round in 0..2 {
+        fabric.chain_begin();
+        // SAFETY: chain_end below barriers before any borrow ends.
+        unsafe {
+            fabric.enqueue(0, &[], Box::new(|| panic!("deliberate kernel panic")));
+            fabric.enqueue(1, &[], Box::new(|| {}));
+        }
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fabric.chain_end()));
+        assert!(
+            caught.is_err(),
+            "round {round}: the job panic must propagate"
+        );
+        // The poisoned-flag recovery is the regression under test: every
+        // subsequent fabric operation must work as if the panic never
+        // happened structurally.
+        fabric.reset();
+        let hits = AtomicUsize::new(0);
+        fabric.run_jobs(
+            (0..2)
+                .map(|_| {
+                    Box::new(|| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }) as h2_runtime::ShardJob<'_>
+                })
+                .collect(),
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "round {round}");
+        let report = fabric.report("after panic");
+        assert!(report.epochs.len() <= 2);
+        fabric.reset();
+    }
+}
