@@ -25,11 +25,19 @@
 //!   `krylov_residency` row shows resident vector traffic strictly below
 //!   staged;
 //! * **`--kernels`** — the packed GEMM beats the naive kernel at every
-//!   size ≥ `--gemm-floor-n` and all throughput numbers are positive.
+//!   size ≥ `--gemm-floor-n` and all throughput numbers are positive;
+//! * **`--serve`** — every blocked-sweep amortization row is
+//!   `bytes_equal` with pipelined never losing to synchronous, the
+//!   amortized per-RHS makespan at k = 32 is strictly below k = 1 for
+//!   every device count, `amortized_speedup_at_k32_d4` clears
+//!   `--serve-floor`, and the serve_sim workload coalesced (batches <
+//!   requests), hit the cache at least once, and matched the simulator's
+//!   byte prediction on every batch.
 //!
 //! Usage: `bench_check [--fabric BENCH_fabric.json]
 //! [--solve BENCH_solve.json] [--kernels BENCH_kernels.json]
-//! [--headline-floor 1.25] [--band 2.0] [--gemm-floor-n 256]`
+//! [--serve BENCH_serve.json] [--headline-floor 1.25] [--band 2.0]
+//! [--gemm-floor-n 256] [--serve-floor 4.0]`
 //!
 //! Exits non-zero with a diagnostic on the first violation.
 
@@ -260,6 +268,83 @@ fn check_solve(path: &str, band: f64) {
     println!("bench_check: OK: {path} (band {band:.1}x)");
 }
 
+fn check_serve(path: &str, serve_floor: f64) {
+    let json = load(path, "serve");
+    // Every amortization row must keep the trust invariant, the pipelined
+    // schedule must never lose, and within each device count the amortized
+    // per-RHS makespan at k = 32 must be strictly below k = 1 — the whole
+    // point of coalescing requests into blocked sweeps.
+    let mut per_rhs: Vec<(u64, u64, f64)> = Vec::new();
+    for (i, row) in rows(&json, "amortization", path).iter().enumerate() {
+        let d = row.get("devices").and_then(|d| d.as_u64()).unwrap_or(0);
+        let k = row.get("k").and_then(|k| k.as_u64()).unwrap_or(0);
+        let ctx = format!("{path} amortization[{i}] (D={d} k={k})");
+        if !boolean(row, "bytes_equal", &ctx) {
+            fail(&format!(
+                "{ctx}: blocked sweep bytes diverged from simulator"
+            ));
+        }
+        for model in ["makespan_a100", "makespan_weak"] {
+            let (s, p) = (
+                num(row, model, &ctx),
+                num(row, &format!("pipe_{model}"), &ctx),
+            );
+            if p > s * REL_SLACK {
+                fail(&format!(
+                    "{ctx}: pipelined {model} {p:.6e} exceeds synchronous {s:.6e}"
+                ));
+            }
+        }
+        per_rhs.push((d, k, num(row, "per_rhs_a100", &ctx)));
+    }
+    for &(d, _, p1) in per_rhs.iter().filter(|&&(_, k, _)| k == 1) {
+        let p32 = per_rhs
+            .iter()
+            .find(|&&(dd, k, _)| dd == d && k == 32)
+            .map(|&(_, _, p)| p)
+            .unwrap_or_else(|| fail(&format!("{path}: no k=32 amortization row for D={d}")));
+        if p32 * REL_SLACK >= p1 {
+            fail(&format!(
+                "{path}: per-RHS makespan at k=32 ({p32:.6e}) is not strictly \
+                 below k=1 ({p1:.6e}) for D={d}"
+            ));
+        }
+    }
+    let headline = json
+        .get("amortized_speedup_at_k32_d4")
+        .and_then(|h| h.as_f64())
+        .unwrap_or_else(|| fail(&format!("{path}: missing amortized_speedup_at_k32_d4")));
+    if headline < serve_floor {
+        fail(&format!(
+            "{path}: amortized speedup at k=32 D=4 is {headline:.3}x, \
+             below the {serve_floor:.2}x floor"
+        ));
+    }
+    let sim = json
+        .get("serve_sim")
+        .unwrap_or_else(|| fail(&format!("{path}: missing serve_sim section")));
+    let ctx = format!("{path} serve_sim");
+    if !boolean(sim, "bytes_equal", &ctx) {
+        fail(&format!(
+            "{ctx}: served batches diverged from the simulator"
+        ));
+    }
+    if uint(sim, "batches", &ctx) >= uint(sim, "completed", &ctx) {
+        fail(&format!("{ctx}: no coalescing (batches >= requests)"));
+    }
+    if uint(sim, "cache_hits", &ctx) == 0 {
+        fail(&format!("{ctx}: workload recorded no cache hit"));
+    }
+    if num(sim, "throughput_rhs_per_sec", &ctx) <= 0.0 {
+        fail(&format!("{ctx}: non-positive modeled throughput"));
+    }
+    let (p50, p99) = (num(sim, "p50_latency", &ctx), num(sim, "p99_latency", &ctx));
+    if p99 < p50 {
+        fail(&format!("{ctx}: p99 latency {p99:.6e} below p50 {p50:.6e}"));
+    }
+    println!("bench_check: OK: {path} (amortized speedup {headline:.3}x, floor {serve_floor:.1}x)");
+}
+
 fn check_kernels(path: &str, gemm_floor_n: u64) {
     let json = load(path, "kernels");
     for (i, row) in rows(&json, "gemm", path).iter().enumerate() {
@@ -300,6 +385,7 @@ fn main() {
     let headline_floor: f64 = args.get("headline-floor", 1.25);
     let band: f64 = args.get("band", 2.0);
     let gemm_floor_n: u64 = args.get("gemm-floor-n", 256);
+    let serve_floor: f64 = args.get("serve-floor", 4.0);
     let mut checked = 0;
     if let Some(path) = args.get_opt("fabric") {
         check_fabric(&path, headline_floor, band);
@@ -313,8 +399,12 @@ fn main() {
         check_kernels(&path, gemm_floor_n);
         checked += 1;
     }
+    if let Some(path) = args.get_opt("serve") {
+        check_serve(&path, serve_floor);
+        checked += 1;
+    }
     if checked == 0 {
-        fail("nothing to check: pass --fabric, --solve and/or --kernels");
+        fail("nothing to check: pass --fabric, --solve, --kernels and/or --serve");
     }
     println!("bench_check: all {checked} envelope(s) OK");
 }

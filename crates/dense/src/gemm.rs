@@ -300,6 +300,56 @@ pub fn gemm(
     }
 }
 
+/// The RHS-width-invariant crossover: the same row/depth guards as
+/// [`use_packed`], with the volume term evaluated at the `NR`-column
+/// saturation point instead of the true `n` — a function of `(m, k)` only.
+#[inline]
+fn use_packed_rhs(m: usize, k: usize) -> bool {
+    m >= dispatched_mr(m) && k >= 8 && m.saturating_mul(NR).saturating_mul(k) >= 512
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C` with a kernel choice that is a
+/// function of `op(A)`'s shape **only** — never of the RHS width `n`.
+///
+/// Both kernels accumulate each column of C independently with a fixed
+/// order along `k`: the naive axpy form walks `l` in order per column, and
+/// the packed path splits `k` into the same `KC` panels and runs the same
+/// per-`(i, j)` FMA chain into a private accumulator lane no matter how
+/// many columns share the call (padding lanes of a partial `NR` panel are
+/// separate accumulators that never touch real columns). With the
+/// dispatch decided by [`use_packed_rhs`]`(m, k)` alone, **column `j` of
+/// the result is bitwise identical for every RHS width it rides in**: the
+/// `n = 32` call produces in `C[:, j]` exactly what the `n = 1` call on
+/// `B[:, j]` produces. [`gemm`] deliberately does *not* have this property
+/// (its crossover reads `n`, so a single column can take the twice-rounding
+/// naive kernel while a block takes the once-rounding FMA microkernel).
+///
+/// This is the GEMM analogue of `blocked_dot`'s fixed reduction tree, and
+/// the contract the blocked multi-RHS solve sweep pins its
+/// blocked-vs-sequential bit-identity on. The price is that single-column
+/// calls above the crossover pay the packed path's padded microkernel
+/// lanes; use it on the sweep-critical products where the invariance is the
+/// point, and plain [`gemm`] everywhere else.
+pub fn gemm_rhs(
+    ta: Op,
+    tb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let (m, n, k) = check_and_scale(ta, tb, a, b, beta, &mut c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if use_packed_rhs(m, k) {
+        packed_accumulate(ta, tb, alpha, a, b, c);
+    } else {
+        naive_accumulate(ta, tb, alpha, a, b, c);
+    }
+}
+
 /// The retained axpy/dot-form reference kernel (the pre-blocking `gemm`).
 /// Identical semantics to [`gemm`]; used below the small-matrix crossover
 /// and as the ground truth in property tests and kernel benchmarks.
@@ -1125,6 +1175,57 @@ mod tests {
                         "tile-boundary mismatch for {ta:?},{tb:?} ({m},{k},{n})"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rhs_per_column_bitwise_invariant_in_width() {
+        // The blocked-solve contract: column j of C must be bitwise
+        // identical whether computed alone (n = 1) or inside any wider
+        // RHS panel — including widths on both sides of NR and the
+        // `use_packed` volume crossover that `gemm_rhs` deliberately
+        // ignores.
+        for (m, k) in [(32, 16), (17, 64), (8, 8), (5, 4), (48, 33)] {
+            for ta in [Op::NoTrans, Op::Trans] {
+                let a = match ta {
+                    Op::NoTrans => gaussian_mat(m, k, 41),
+                    Op::Trans => gaussian_mat(k, m, 41),
+                };
+                let b = gaussian_mat(k, 32, 42);
+                let c0 = gaussian_mat(m, 32, 43);
+                let mut wide = c0.clone();
+                gemm_rhs(ta, Op::NoTrans, 1.5, a.rf(), b.rf(), -0.5, wide.rm());
+                for n in [1usize, 3, 8] {
+                    for c0col in [0usize, 32 - n] {
+                        let mut narrow = c0.col_block(c0col, n).to_mat();
+                        gemm_rhs(
+                            ta,
+                            Op::NoTrans,
+                            1.5,
+                            a.rf(),
+                            b.col_block(c0col, n),
+                            -0.5,
+                            narrow.rm(),
+                        );
+                        assert_eq!(
+                            narrow.as_slice(),
+                            wide.col_block(c0col, n).to_mat().as_slice(),
+                            "gemm_rhs column drifted with width ({m},{k}) n={n} at {c0col}"
+                        );
+                    }
+                }
+                // And the dispatch must still agree numerically with the
+                // reference kernel.
+                let mut check = c0.clone();
+                gemm_naive(ta, Op::NoTrans, 1.5, a.rf(), b.rf(), -0.5, check.rm());
+                let mut diff = wide.clone();
+                diff.axpy(-1.0, &check);
+                let scale = check.norm_max().max(1.0);
+                assert!(
+                    diff.norm_max() / scale < 1e-13,
+                    "gemm_rhs vs naive ({m},{k})"
+                );
             }
         }
     }

@@ -37,7 +37,8 @@ pub mod tri;
 pub use aca::{aca, AcaResult};
 pub use cpqr::{col_id, cpqr_factor, row_id, select_rank, ColId, RowId, Truncation};
 pub use gemm::{
-    dispatched_mr, gemm, gemm_mixed, gemm_naive, gemv, matmul, par_gemm, simd_tier, Op, SimdTier,
+    dispatched_mr, gemm, gemm_mixed, gemm_naive, gemm_rhs, gemv, matmul, par_gemm, simd_tier, Op,
+    SimdTier,
 };
 pub use krylov::{cg, hutchinson_trace, power_eig_max, SolveResult};
 pub use lu::{cholesky_in_place, cholesky_solve, lu_factor, LuFactor};

@@ -124,6 +124,19 @@ impl Mat {
         self.rm().into_view(r0, c0, nr, nc)
     }
 
+    /// Zero-copy view of the `nc` columns starting at `c0` (all rows).
+    /// The multi-RHS gather primitive: slicing a coalesced batch back into
+    /// per-request column groups without materializing copies.
+    pub fn col_block(&self, c0: usize, nc: usize) -> MatRef<'_> {
+        self.view(0, c0, self.rows, nc)
+    }
+
+    /// Mutable zero-copy view of the `nc` columns starting at `c0`.
+    pub fn col_block_mut(&mut self, c0: usize, nc: usize) -> MatMut<'_> {
+        let rows = self.rows;
+        self.view_mut(0, c0, rows, nc)
+    }
+
     /// Underlying column-major data.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
@@ -355,6 +368,11 @@ impl<'a> MatRef<'a> {
         }
     }
 
+    /// Zero-copy view of the `nc` columns starting at `c0` (all rows).
+    pub fn col_block(&self, c0: usize, nc: usize) -> MatRef<'a> {
+        self.view(0, c0, self.rows, nc)
+    }
+
     /// Owned copy of this view.
     pub fn to_mat(&self) -> Mat {
         let mut m = Mat::zeros(self.rows, self.cols);
@@ -497,6 +515,14 @@ impl<'a> MatMut<'a> {
             ld: self.ld,
             data: &mut self.data[off..end],
         }
+    }
+
+    /// Consume into a zero-copy view of the `nc` columns starting at `c0`
+    /// (all rows). The mutable half of the multi-RHS scatter path: each
+    /// coalesced request writes straight into its column group of the batch.
+    pub fn col_block_mut(self, c0: usize, nc: usize) -> MatMut<'a> {
+        let rows = self.rows;
+        self.into_view(0, c0, rows, nc)
     }
 
     /// Split into two disjoint column-range views `[0, c)` and `[c, cols)`.

@@ -1,0 +1,217 @@
+//! Memory-budgeted operator cache.
+//!
+//! A cached operator is the pair the service amortizes: the compressed
+//! `H2Matrix` and its `UlvFactor`. Both carry their own `memory_bytes`
+//! accounting, so the cache's eviction currency is exact resident bytes,
+//! not an entry count. Eviction is least-recent-use under a byte budget:
+//! admitting a new operator evicts the stalest entries until the new total
+//! fits (an operator larger than the whole budget is still admitted alone —
+//! refusing it would wedge every request for that key).
+
+use h2_matrix::H2Matrix;
+use h2_solve::UlvFactor;
+use std::sync::Arc;
+
+/// Cache key: which operator a request asks to solve with.
+///
+/// * `kernel` — the kernel family and its parameters, rendered to a
+///   canonical string by the caller (e.g. `"exp3d:len=0.25"`);
+/// * `geometry` — [`geometry_hash`] of the point set (bit-exact: two
+///   geometries that differ in one ulp are different operators);
+/// * `tol_bits` — the construction tolerance's IEEE bit pattern, so keys
+///   are `Eq + Hash` without any float-comparison ambiguity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpKey {
+    pub kernel: String,
+    pub geometry: u64,
+    pub tol_bits: u64,
+}
+
+impl OpKey {
+    /// Key for `kernel` over `points` at construction tolerance `tol`.
+    pub fn new(kernel: &str, points: &[[f64; 3]], tol: f64) -> Self {
+        OpKey {
+            kernel: kernel.to_string(),
+            geometry: geometry_hash(points),
+            tol_bits: tol.to_bits(),
+        }
+    }
+
+    /// Key from a precomputed geometry hash.
+    pub fn from_hash(kernel: &str, geometry: u64, tol: f64) -> Self {
+        OpKey {
+            kernel: kernel.to_string(),
+            geometry,
+            tol_bits: tol.to_bits(),
+        }
+    }
+
+    /// The construction tolerance the key encodes.
+    pub fn tol(&self) -> f64 {
+        f64::from_bits(self.tol_bits)
+    }
+}
+
+/// FNV-1a over the exact bit patterns of the coordinates. Deterministic
+/// across runs and platforms; any coordinate perturbation — even one ulp —
+/// produces a different operator identity, which is the safe direction for
+/// a cache fronting a direct factorization.
+pub fn geometry_hash(points: &[[f64; 3]]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for p in points {
+        for c in p {
+            for b in c.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+    }
+    h
+}
+
+/// The cached pair: compressed operator + its ULV factorization.
+#[derive(Clone)]
+pub struct CachedOperator {
+    pub h2: Arc<H2Matrix>,
+    pub ulv: Arc<UlvFactor>,
+}
+
+impl CachedOperator {
+    /// Resident bytes of the pair — the cache's eviction currency.
+    pub fn memory_bytes(&self) -> usize {
+        self.h2.memory_bytes() + self.ulv.memory_bytes()
+    }
+}
+
+struct Slot {
+    key: OpKey,
+    op: CachedOperator,
+    bytes: usize,
+    last_use: u64,
+}
+
+/// LRU operator cache under a byte budget.
+pub struct OperatorCache {
+    budget_bytes: usize,
+    slots: Vec<Slot>,
+    clock: u64,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+}
+
+impl OperatorCache {
+    pub fn new(budget_bytes: usize) -> Self {
+        OperatorCache {
+            budget_bytes,
+            slots: Vec::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current resident bytes across all slots.
+    pub fn total_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.bytes).sum()
+    }
+
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Whether `key` is resident (no LRU touch, no hit/miss accounting).
+    pub fn contains(&self, key: &OpKey) -> bool {
+        self.slots.iter().any(|s| &s.key == key)
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &OpKey) -> Option<CachedOperator> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(slot) = self.slots.iter_mut().find(|s| &s.key == key) {
+            slot.last_use = clock;
+            self.hits += 1;
+            Some(slot.op.clone())
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Admit `op` under `key`, evicting least-recently-used slots until the
+    /// budget holds. Replaces any existing slot for the same key. Returns
+    /// the number of evictions this admission caused.
+    pub fn insert(&mut self, key: OpKey, op: CachedOperator) -> usize {
+        self.clock += 1;
+        let bytes = op.memory_bytes();
+        self.slots.retain(|s| s.key != key);
+        let mut evicted = 0;
+        while !self.slots.is_empty() && self.total_bytes() + bytes > self.budget_bytes {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.slots.remove(victim);
+            evicted += 1;
+        }
+        self.evictions += evicted;
+        self.slots.push(Slot {
+            key,
+            op,
+            bytes,
+            last_use: self.clock,
+        });
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_hash_is_bit_exact() {
+        let pts: Vec<[f64; 3]> = vec![[0.0, 1.0, 2.0], [3.0, 4.0, 5.0]];
+        let mut perturbed = pts.clone();
+        perturbed[1][2] = f64::from_bits(perturbed[1][2].to_bits() + 1);
+        assert_eq!(geometry_hash(&pts), geometry_hash(&pts));
+        assert_ne!(geometry_hash(&pts), geometry_hash(&perturbed));
+    }
+
+    #[test]
+    fn opkey_distinguishes_all_three_fields() {
+        let pts = vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]];
+        let k = OpKey::new("exp", &pts, 1e-6);
+        assert_ne!(k, OpKey::new("matern", &pts, 1e-6));
+        assert_ne!(k, OpKey::new("exp", &pts, 1e-8));
+        assert_ne!(k, OpKey::new("exp", &pts[..1], 1e-6));
+        assert_eq!(k.tol(), 1e-6);
+    }
+}

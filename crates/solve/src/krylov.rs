@@ -326,6 +326,236 @@ pub fn pcg_with(
     }
 }
 
+/// Result of a blocked iterative solve: the solution block plus per-column
+/// iteration counts, residuals, convergence flags and histories — one entry
+/// per right-hand side, exactly what [`pcg`] would have reported for that
+/// column alone.
+#[derive(Clone, Debug)]
+pub struct BlockIterResult {
+    pub x: Mat,
+    pub iterations: Vec<usize>,
+    pub relative_residual: Vec<f64>,
+    pub converged: Vec<bool>,
+    pub history: Vec<Vec<f64>>,
+}
+
+/// Preallocated `n × k` iteration blocks for [`block_pcg_with`]. The blocked
+/// counterpart of [`KrylovWorkspace`]: one workspace amortizes the four
+/// direction/residual blocks across solves, and the tracer / reduce-hook
+/// attachments survive resizes exactly as in the vector workspace.
+pub struct BlockKrylovWorkspace {
+    n: usize,
+    k: usize,
+    r: Mat,
+    z: Mat,
+    p: Mat,
+    ap: Mat,
+    scratch: Vec<f64>,
+    tracer: Option<Arc<Tracer>>,
+    reduce_hook: Option<ReduceHook>,
+}
+
+impl BlockKrylovWorkspace {
+    pub fn new(n: usize, k: usize) -> Self {
+        BlockKrylovWorkspace {
+            n,
+            k,
+            r: Mat::zeros(n, k),
+            z: Mat::zeros(n, k),
+            p: Mat::zeros(n, k),
+            ap: Mat::zeros(n, k),
+            scratch: vec![0.0; n],
+            tracer: None,
+            reduce_hook: None,
+        }
+    }
+
+    /// Problem size the workspace is sized for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Block width the workspace is sized for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Attach (or detach) an observability tracer; survives resizes.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// Attach (or detach) a global-reduction observer; survives resizes.
+    pub fn set_reduce_hook(&mut self, hook: Option<ReduceHook>) {
+        self.reduce_hook = hook;
+    }
+
+    fn ensure(&mut self, n: usize, k: usize) {
+        if self.n != n || self.k != k {
+            let tracer = self.tracer.take();
+            let hook = self.reduce_hook.take();
+            *self = BlockKrylovWorkspace::new(n, k);
+            self.tracer = tracer;
+            self.reduce_hook = hook;
+        }
+    }
+}
+
+/// Blocked preconditioned conjugate gradients: `k` independent PCG
+/// recurrences advanced in lockstep, sharing one blocked operator
+/// application `AP = A P` and one blocked preconditioner application
+/// `Z = M⁻¹ R` per iteration — GEMM-shaped work instead of `k` sequential
+/// GEMV-shaped passes.
+///
+/// Every scalar of the recurrence (`α`, `β`, `ρ`, the residual norms) is
+/// per-column, computed by the same fixed-order [`blocked_dot`] over the
+/// same contiguous column slice the single-RHS method would use, and a
+/// column that converges (or breaks down) freezes: its `x`/`r`/`p` stop
+/// updating while the remaining columns iterate on. Consequently, when the
+/// operator and preconditioner apply each column independently of its
+/// neighbours — the `gemm_rhs` dispatch contract, satisfied by
+/// `UlvFactor`'s solve path — column `j` of the blocked solve is
+/// **bit-identical** to `pcg(a, m, b.col(j), …)`.
+pub fn block_pcg(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &Mat,
+    max_iters: usize,
+    rtol: f64,
+) -> BlockIterResult {
+    block_pcg_with(
+        a,
+        m,
+        b,
+        max_iters,
+        rtol,
+        &mut BlockKrylovWorkspace::new(b.rows(), b.cols()),
+    )
+}
+
+/// [`block_pcg`] reusing a caller-owned workspace.
+pub fn block_pcg_with(
+    a: &dyn LinOp,
+    m: &dyn Preconditioner,
+    b: &Mat,
+    max_iters: usize,
+    rtol: f64,
+    ws: &mut BlockKrylovWorkspace,
+) -> BlockIterResult {
+    let (n, k) = (b.rows(), b.cols());
+    assert_eq!(a.nrows(), n, "block_pcg: dimension mismatch");
+    assert_eq!(m.n(), n, "block_pcg: preconditioner dimension mismatch");
+    ws.ensure(n, k);
+    let tracer = ws.tracer.clone();
+    let hook = ws.reduce_hook.clone();
+    let _solve_span = tracer.as_ref().map(|t| t.span("krylov", "block_pcg"));
+    let b_norms: Vec<f64> = (0..k)
+        .map(|j| counted(&hook, norm(b.col(j))).max(f64::MIN_POSITIVE))
+        .collect();
+
+    let mut x = Mat::zeros(n, k);
+    let BlockKrylovWorkspace {
+        r,
+        z,
+        p,
+        ap,
+        scratch,
+        ..
+    } = ws;
+    r.rm().copy_from(b.rf());
+    m.apply_inv_into(r.rf(), z.rm());
+    p.rm().copy_from(z.rf());
+    let mut rz: Vec<f64> = (0..k)
+        .map(|j| counted(&hook, dot(r.col(j), z.col(j))))
+        .collect();
+    let mut history: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut iterations = vec![0usize; k];
+    let mut active = vec![true; k];
+    let mut rounds = 0;
+
+    for _ in 0..max_iters {
+        // Residual check per column; converged columns freeze here, exactly
+        // where the single-RHS loop would break.
+        let mut worst = 0.0_f64;
+        for j in 0..k {
+            if !active[j] {
+                continue;
+            }
+            let rn = counted(&hook, norm(r.col(j))) / b_norms[j];
+            history[j].push(rn);
+            if rn <= rtol {
+                active[j] = false;
+            } else {
+                worst = worst.max(rn);
+            }
+        }
+        if !active.iter().any(|&v| v) {
+            break;
+        }
+        rounds += 1;
+        for j in 0..k {
+            if active[j] {
+                iterations[j] += 1;
+            }
+        }
+        KrylovWorkspace::trace_iter(&tracer, "block_pcg iter", rounds, worst);
+        // One blocked application covers every column; frozen columns carry
+        // stale directions whose products are simply ignored.
+        a.apply(p.rf(), ap.rm());
+        for j in 0..k {
+            if !active[j] {
+                continue;
+            }
+            let denom = counted(&hook, dot(p.col(j), ap.col(j)));
+            if denom <= 0.0 {
+                active[j] = false; // not SPD (numerically): freeze best effort
+                continue;
+            }
+            let alpha = rz[j] / denom;
+            {
+                let xc = x.col_mut(j);
+                let pc = p.col(j);
+                for i in 0..n {
+                    xc[i] += alpha * pc[i];
+                }
+            }
+            let rc = r.col_mut(j);
+            let apc = ap.col(j);
+            for i in 0..n {
+                rc[i] -= alpha * apc[i];
+            }
+        }
+        m.apply_inv_into(r.rf(), z.rm());
+        for j in 0..k {
+            if !active[j] {
+                continue;
+            }
+            let rz_new = counted(&hook, dot(r.col(j), z.col(j)));
+            let beta = rz_new / rz[j];
+            let pc = p.col_mut(j);
+            let zc = z.col(j);
+            for i in 0..n {
+                pc[i] = zc[i] + beta * pc[i];
+            }
+            rz[j] = rz_new;
+        }
+    }
+
+    let mut relative_residual = vec![0.0; k];
+    let mut converged = vec![false; k];
+    for j in 0..k {
+        relative_residual[j] = true_residual(a, x.col(j), b.col(j), scratch, &hook);
+        converged[j] = relative_residual[j] <= 10.0 * rtol;
+    }
+    BlockIterResult {
+        x,
+        iterations,
+        relative_residual,
+        converged,
+        history,
+    }
+}
+
 /// Restarted GMRES(m) with *right* preconditioning: solves `A M⁻¹ u = b`,
 /// `x = M⁻¹ u`, so the preconditioner need not be symmetric.
 pub fn gmres(
@@ -911,6 +1141,98 @@ mod tests {
             prec.iterations,
             plain.iterations
         );
+    }
+
+    /// A dense operator whose kernel choice ignores the RHS width
+    /// (`gemm_rhs`), so each column's product is bitwise independent of its
+    /// neighbours — the operator contract `block_pcg`'s bit-identity claim
+    /// rests on. (`DenseOp` uses `par_gemm`, whose dispatch reads the
+    /// column count.)
+    struct ColInvariantOp {
+        a: Mat,
+    }
+
+    impl h2_dense::LinOp for ColInvariantOp {
+        fn nrows(&self) -> usize {
+            self.a.rows()
+        }
+
+        fn ncols(&self) -> usize {
+            self.a.cols()
+        }
+
+        fn apply(&self, x: h2_dense::MatRef<'_>, y: h2_dense::MatMut<'_>) {
+            h2_dense::gemm_rhs(
+                h2_dense::Op::NoTrans,
+                h2_dense::Op::NoTrans,
+                1.0,
+                self.a.rf(),
+                x,
+                0.0,
+                y,
+            );
+        }
+    }
+
+    fn spd_mat(n: usize, seed: u64) -> Mat {
+        let g = gaussian_mat(n, n, seed);
+        let mut a = h2_dense::matmul(h2_dense::Op::NoTrans, h2_dense::Op::Trans, g.rf(), g.rf());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn block_pcg_bit_identical_to_sequential_pcg() {
+        let n = 96;
+        let a = spd_mat(n, 23);
+        let op = ColInvariantOp { a: a.clone() };
+        // Columns with wildly different scales so convergence rounds differ
+        // per column — exercising the freeze path.
+        let mut b = gaussian_mat(n, 8, 24);
+        for j in 0..8 {
+            let s = 10f64.powi(j as i32 - 4);
+            for v in b.col_mut(j) {
+                *v *= s;
+            }
+        }
+        for m in [
+            &Identity { n } as &dyn crate::Preconditioner,
+            &DiagJacobi::new(&DenseOp::new(a.clone()), n),
+        ] {
+            let blocked = block_pcg(&op, m, &b, 200, 1e-10);
+            for j in 0..8 {
+                let single = pcg(&op, m, b.col(j), 200, 1e-10);
+                assert_eq!(
+                    blocked.x.col(j),
+                    single.x.as_slice(),
+                    "column {j} drifted from its single-RHS solve"
+                );
+                assert_eq!(blocked.iterations[j], single.iterations);
+                assert_eq!(blocked.history[j], single.history);
+                assert_eq!(blocked.relative_residual[j], single.relative_residual);
+                assert_eq!(blocked.converged[j], single.converged);
+            }
+        }
+    }
+
+    #[test]
+    fn block_pcg_workspace_reuse_is_identical_to_fresh() {
+        let n = 64;
+        let op = ColInvariantOp { a: spd_mat(n, 29) };
+        let b = gaussian_mat(n, 5, 30);
+        let mut ws = BlockKrylovWorkspace::new(n, 5);
+        for _ in 0..2 {
+            let r1 = block_pcg_with(&op, &Identity { n }, &b, 200, 1e-10, &mut ws);
+            let r2 = block_pcg(&op, &Identity { n }, &b, 200, 1e-10);
+            assert_eq!(r1.x, r2.x);
+        }
+        // Resize across widths.
+        let b2 = gaussian_mat(n, 3, 31);
+        let r1 = block_pcg_with(&op, &Identity { n }, &b2, 200, 1e-10, &mut ws);
+        assert_eq!(ws.k(), 3);
+        assert!(r1.converged.iter().all(|&c| c));
     }
 
     #[test]

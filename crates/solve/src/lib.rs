@@ -27,8 +27,9 @@ pub mod ulv;
 pub mod woodbury;
 
 pub use krylov::{
-    bicgstab, bicgstab_with, blocked_dot, blocked_norm, cgs, cgs_with, gmres, gmres_with, pcg,
-    pcg_with, IterResult, KrylovWorkspace, ReduceHook,
+    bicgstab, bicgstab_with, block_pcg, block_pcg_with, blocked_dot, blocked_norm, cgs, cgs_with,
+    gmres, gmres_with, pcg, pcg_with, BlockIterResult, BlockKrylovWorkspace, IterResult,
+    KrylovWorkspace, ReduceHook,
 };
 pub use precond::{BlockJacobi, DiagJacobi, Identity, Preconditioner};
 pub use ulv::{UlvError, UlvFactor, UlvSchedule, UlvSweep};

@@ -70,7 +70,7 @@
 
 use crate::precond::Preconditioner;
 use crate::smallops::stored_op;
-use h2_dense::{gemm, lu_factor, matmul, qr_factor, LuFactor, Mat, MatMut, Op, QrFactor};
+use h2_dense::{gemm, gemm_rhs, lu_factor, matmul, qr_factor, LuFactor, Mat, MatMut, Op, QrFactor};
 use h2_matrix::H2Matrix;
 use h2_runtime::multidev::cost;
 use h2_runtime::{
@@ -633,6 +633,51 @@ impl UlvFactor {
         let bm = Mat::from_vec(b.len(), 1, b.to_vec());
         self.solve(&bm).as_slice().to_vec()
     }
+
+    /// Resident bytes of the factor: every per-node rotation / pivot /
+    /// coupling block plus the assembled root LU. The eviction currency of
+    /// the `h2_serve` operator cache, the solver-side counterpart of
+    /// `H2Matrix::memory_bytes`.
+    pub fn memory_bytes(&self) -> usize {
+        let f64s = std::mem::size_of::<f64>();
+        let mat = |m: &Mat| m.rows() * m.cols() * f64s;
+        let qr = |q: &QrFactor| mat(&q.a) + q.tau.len() * f64s;
+        let mut bytes = mat(&self.root_lu.a) + self.root_lu.piv.len() * 8;
+        for nf in self.nodes.iter().flatten() {
+            bytes += qr(&nf.row_qr);
+            if let Some(cq) = &nf.col_qr {
+                bytes += qr(cq);
+            }
+            bytes += mat(&nf.lu22.a) + nf.lu22.piv.len() * 8;
+            bytes += mat(&nf.d12) + mat(&nf.d21) + mat(&nf.r);
+            if let Some(s) = &nf.s {
+                bytes += mat(s);
+            }
+        }
+        bytes
+    }
+
+    /// Modeled flop count of (re)building this factor: per node, the
+    /// one-or-two basis QRs, the two-sided rotation of the local block,
+    /// the pivot LU and its Schur update, plus the root LU. What a serve
+    /// cache miss costs under a [`h2_runtime::multidev::DeviceModel`] —
+    /// the quantity the multi-RHS batching amortizes.
+    pub fn factor_flops(&self) -> f64 {
+        let mut fl = cost::lu_flops(self.root_size);
+        for nf in self.nodes.iter().flatten() {
+            let m = nf.k + nf.e;
+            fl += cost::qr_flops(m, nf.row_qr.tau.len());
+            fl += cost::qr_apply_flops(m, nf.row_qr.tau.len(), m);
+            if let Some(cq) = &nf.col_qr {
+                fl += cost::qr_flops(m, cq.tau.len());
+            }
+            fl += cost::qr_apply_flops(m, nf.col_qr().tau.len(), m);
+            fl += cost::lu_flops(nf.e);
+            fl += cost::lu_solve_flops(nf.e, nf.k);
+            fl += cost::gemm_flops(nf.k, nf.e, nf.k);
+        }
+        fl
+    }
 }
 
 /// The batched per-level elimination: rotate, eliminate, expressed as
@@ -799,10 +844,12 @@ impl UlvSweep<'_> {
         nf.row_qr.apply_qt(&mut bl.rm());
         let mut b1 = bl.view(0, 0, nf.k, d).to_mat();
         let b2 = bl.view(nf.k, 0, nf.e, d).to_mat();
-        // b₁' = b₁ − D̃₁₂ D̃₂₂⁻¹ b₂
+        // b₁' = b₁ − D̃₁₂ D̃₂₂⁻¹ b₂. `gemm_rhs` keeps the kernel choice a
+        // function of (rows, depth) only, so every column of a blocked rhs
+        // is updated bit-identically to a d = 1 sweep.
         if nf.e > 0 && nf.k > 0 {
             let z = nf.lu22.solve(&b2);
-            gemm(
+            gemm_rhs(
                 Op::NoTrans,
                 Op::NoTrans,
                 -1.0,
@@ -823,7 +870,7 @@ impl UlvSweep<'_> {
         // x₂ = D̃₂₂⁻¹ (b₂ − D̃₂₁ x₁)
         let mut rhs2 = b2;
         if nf.e > 0 && nf.k > 0 {
-            gemm(
+            gemm_rhs(
                 Op::NoTrans,
                 Op::NoTrans,
                 -1.0,
@@ -1186,11 +1233,18 @@ mod tests {
         let ulv = UlvFactor::new(&h2).unwrap();
         let b = gaussian_mat(256, 4, 28);
         let x_all = ulv.solve(&b);
+        // Bit-identity, not tolerance: the blocked sweep dispatches its
+        // kernels on (rows, depth) only, so every column must match its
+        // own single-RHS solve exactly.
         for c in 0..4 {
             let bc: Vec<f64> = b.col(c).to_vec();
             let xc = ulv.solve_vec(&bc);
             for i in 0..256 {
-                assert!((x_all[(i, c)] - xc[i]).abs() < 1e-12);
+                assert_eq!(
+                    x_all[(i, c)].to_bits(),
+                    xc[i].to_bits(),
+                    "column {c} row {i} drifted from the single-RHS sweep"
+                );
             }
         }
     }

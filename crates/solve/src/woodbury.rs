@@ -10,27 +10,40 @@
 //! Any solver for `A` works as the inner solve — a [`crate::UlvFactor`], a
 //! converged Krylov iteration, or a dense factorization in tests.
 
-use h2_dense::{gemm, lu_factor, matmul, Mat, Op};
+use h2_dense::{gemm_rhs, lu_factor, matmul, Mat, MatMut, MatRef, Op};
 
 /// Solve `(A + P Qᵀ) X = B` given a solver for `A`.
 ///
-/// `solve_a` must apply `A⁻¹` to a block of vectors. Returns `None` when the
-/// `k × k` capacitance system `I + Qᵀ A⁻¹ P` is singular (the update makes
-/// the operator singular). The tiny-block products read their operands
-/// through `gemm`'s transpose flags like the ULV elimination — no
-/// materialized transposes, no per-call scratch beyond the capacitance.
-pub fn woodbury_solve(solve_a: &dyn Fn(&Mat) -> Mat, p: &Mat, q: &Mat, b: &Mat) -> Option<Mat> {
+/// `solve_a` applies `A⁻¹` to a block of vectors *into a caller-owned
+/// buffer* — the `apply_inv_into` shape of [`crate::Preconditioner`], so an
+/// inner [`crate::UlvFactor`] (or any blocked solver) runs allocation-free
+/// and a multi-column `B` flows through one blocked inner solve per
+/// application instead of a column loop. Returns `None` when the `k × k`
+/// capacitance system `I + Qᵀ A⁻¹ P` is singular (the update makes the
+/// operator singular). The tiny-block products read their operands through
+/// `gemm`'s transpose flags like the ULV elimination — no materialized
+/// transposes, no per-call scratch beyond the capacitance; the rank-update
+/// correction uses [`gemm_rhs`] so each solution column is bitwise
+/// independent of the block width, matching the blocked sweep it wraps.
+pub fn woodbury_solve<F: Fn(MatRef<'_>, MatMut<'_>)>(
+    solve_a: F,
+    p: &Mat,
+    q: &Mat,
+    b: &Mat,
+) -> Option<Mat> {
     let n = b.rows();
     assert_eq!(p.rows(), n, "woodbury: P rows");
     assert_eq!(q.rows(), n, "woodbury: Q rows");
     assert_eq!(p.cols(), q.cols(), "woodbury: update rank mismatch");
     let k = p.cols();
 
-    let ai_b = solve_a(b);
+    let mut ai_b = Mat::zeros(n, b.cols());
+    solve_a(b.rf(), ai_b.rm());
     if k == 0 {
         return Some(ai_b);
     }
-    let ai_p = solve_a(p);
+    let mut ai_p = Mat::zeros(n, k);
+    solve_a(p.rf(), ai_p.rm());
 
     // Capacitance: C = I + Qᵀ A⁻¹ P.
     let mut cap = matmul(Op::Trans, Op::NoTrans, q.rf(), ai_p.rf());
@@ -43,7 +56,7 @@ pub fn woodbury_solve(solve_a: &dyn Fn(&Mat) -> Mat, p: &Mat, q: &Mat, b: &Mat) 
     let qt_aib = matmul(Op::Trans, Op::NoTrans, q.rf(), ai_b.rf());
     let t = lu.solve(&qt_aib);
     let mut x = ai_b;
-    gemm(
+    gemm_rhs(
         Op::NoTrans,
         Op::NoTrans,
         -1.0,
@@ -74,8 +87,9 @@ mod tests {
         let b = gaussian_mat(n, 2, 34);
 
         let lu_a = lu_factor(a.clone()).unwrap();
-        let solve_a = |rhs: &Mat| lu_a.solve(rhs);
-        let x = woodbury_solve(&solve_a, &p, &q, &b).unwrap();
+        let solve_a =
+            |rhs: MatRef<'_>, mut out: MatMut<'_>| out.copy_from(lu_a.solve(&rhs.to_mat()).rf());
+        let x = woodbury_solve(solve_a, &p, &q, &b).unwrap();
 
         // Dense reference: (A + P Qᵀ) x = b.
         let mut full = a;
@@ -88,6 +102,42 @@ mod tests {
     }
 
     #[test]
+    fn multi_column_rhs_through_one_blocked_path() {
+        // The k>1 pin: an 8-column B must go through the same blocked inner
+        // solves, and each column must equal its own single-column solve
+        // bitwise (the inner solver here is column-independent LU).
+        let n = 48;
+        let k = 4;
+        let d = 8;
+        let g = gaussian_mat(n, n, 41);
+        let mut a = matmul(Op::NoTrans, Op::Trans, g.rf(), g.rf());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let p = gaussian_mat(n, k, 42);
+        let q = gaussian_mat(n, k, 43);
+        let b = gaussian_mat(n, d, 44);
+        let lu_a = lu_factor(a).unwrap();
+        let calls = std::cell::Cell::new(0usize);
+        let solve_a = |rhs: MatRef<'_>, mut out: MatMut<'_>| {
+            calls.set(calls.get() + 1);
+            out.copy_from(lu_a.solve(&rhs.to_mat()).rf());
+        };
+        let x = woodbury_solve(solve_a, &p, &q, &b).unwrap();
+        // Exactly two inner applications regardless of d: A⁻¹B and A⁻¹P.
+        assert_eq!(calls.get(), 2);
+        for j in 0..d {
+            let bj = b.col_block(j, 1).to_mat();
+            let xj = woodbury_solve(solve_a, &p, &q, &bj).unwrap();
+            assert_eq!(
+                x.col(j),
+                xj.as_slice(),
+                "blocked woodbury column {j} drifted from its single solve"
+            );
+        }
+    }
+
+    #[test]
     fn rank_zero_update_is_plain_solve() {
         let n = 20;
         let g = gaussian_mat(n, n, 35);
@@ -96,11 +146,12 @@ mod tests {
             a[(i, i)] += n as f64;
         }
         let lu_a = lu_factor(a).unwrap();
-        let solve_a = |rhs: &Mat| lu_a.solve(rhs);
+        let solve_a =
+            |rhs: MatRef<'_>, mut out: MatMut<'_>| out.copy_from(lu_a.solve(&rhs.to_mat()).rf());
         let b = gaussian_mat(n, 1, 36);
         let p = Mat::zeros(n, 0);
         let q = Mat::zeros(n, 0);
-        let x = woodbury_solve(&solve_a, &p, &q, &b).unwrap();
+        let x = woodbury_solve(solve_a, &p, &q, &b).unwrap();
         let mut d = x;
         d.axpy(-1.0, &lu_a.solve(&b));
         assert_eq!(d.norm_max(), 0.0);
@@ -113,12 +164,13 @@ mod tests {
         let n = 10;
         let a = Mat::eye(n);
         let lu_a = lu_factor(a).unwrap();
-        let solve_a = |rhs: &Mat| lu_a.solve(rhs);
+        let solve_a =
+            |rhs: MatRef<'_>, mut out: MatMut<'_>| out.copy_from(lu_a.solve(&rhs.to_mat()).rf());
         let mut p = Mat::zeros(n, 1);
         p[(0, 0)] = 1.0;
         let mut q = Mat::zeros(n, 1);
         q[(0, 0)] = -1.0;
         let b = gaussian_mat(n, 1, 37);
-        assert!(woodbury_solve(&solve_a, &p, &q, &b).is_none());
+        assert!(woodbury_solve(solve_a, &p, &q, &b).is_none());
     }
 }

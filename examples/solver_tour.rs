@@ -138,8 +138,10 @@ fn main() {
     let p = h2sketch::dense::gaussian_mat(n1, 8, 7);
     let mut pscaled = p;
     pscaled.scale(0.05);
-    let solve_a = |rhs: &Mat| ulv.solve(rhs);
-    let xw = woodbury_solve(&solve_a, &pscaled, &pscaled, &bm).expect("capacitance nonsingular");
+    let solve_a = |rhs: h2sketch::dense::MatRef<'_>, mut out: h2sketch::dense::MatMut<'_>| {
+        out.copy_from(ulv.solve(&rhs.to_mat()).rf())
+    };
+    let xw = woodbury_solve(solve_a, &pscaled, &pscaled, &bm).expect("capacitance nonsingular");
     // Residual against (K_H2 + P Pᵀ).
     let mut rw = hss.apply_permuted_mat(&xw);
     let ptx = h2sketch::dense::matmul(

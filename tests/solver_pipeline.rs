@@ -163,8 +163,10 @@ fn lowrank_update_woodbury_vs_recompression() {
     let mut p = gaussian_mat(n, 6, 704);
     p.scale(0.1);
     let b = gaussian_mat(n, 1, 705);
-    let solve_a = |rhs: &Mat| ulv.solve(rhs);
-    let x = woodbury_solve(&solve_a, &p, &p, &b).expect("nonsingular update");
+    let solve_a = |rhs: h2sketch::dense::MatRef<'_>, mut out: h2sketch::dense::MatMut<'_>| {
+        out.copy_from(ulv.solve(&rhs.to_mat()).rf())
+    };
+    let x = woodbury_solve(solve_a, &p, &p, &b).expect("nonsingular update");
 
     // Reference: iterate on the updated operator directly.
     let upd = LowRankUpdate::symmetric(&hss, p.clone());
